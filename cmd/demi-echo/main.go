@@ -1,0 +1,103 @@
+// Command demi-echo measures echo round-trip latency across libOS
+// flavours and message sizes — the command-line version of experiment E1.
+//
+// Usage:
+//
+//	demi-echo [-libos catnip|catnap|catmint|all] [-n N] [-sizes 64,1024,4096]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	demi "demikernel"
+	"demikernel/internal/apps/echo"
+	"demikernel/internal/metrics"
+)
+
+func main() {
+	libos := flag.String("libos", "all", "library OS: catnip, catnap, catmint, or all")
+	n := flag.Int("n", 50, "round trips per point")
+	sizesArg := flag.String("sizes", "64,1024,4096,16384", "comma-separated message sizes")
+	seed := flag.Int64("seed", 1, "cluster seed")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesArg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "demi-echo: bad size %q\n", s)
+			os.Exit(2)
+		}
+		sizes = append(sizes, v)
+	}
+	flavors := []string{*libos}
+	if *libos == "all" {
+		flavors = []string{"catnap", "catnip", "catmint"}
+	}
+
+	tbl := metrics.NewTable("echo round-trip virtual latency", "libOS", "msg bytes", "p50", "p99")
+	for _, flavor := range flavors {
+		for _, size := range sizes {
+			h, err := measure(flavor, size, *n, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "demi-echo: %s/%dB: %v\n", flavor, size, err)
+				os.Exit(1)
+			}
+			tbl.AddRow(flavor, size, h.Percentile(50), h.Percentile(99))
+		}
+	}
+	fmt.Println(tbl.String())
+}
+
+func measure(flavor string, size, n int, seed int64) (*metrics.Histogram, error) {
+	cluster := demi.NewCluster(seed)
+	mk := func(host byte) (*demi.Node, error) {
+		switch flavor {
+		case "catnip":
+			return cluster.NewCatnipNode(demi.NodeConfig{Host: host}), nil
+		case "catnap":
+			return cluster.NewCatnapNode(demi.NodeConfig{Host: host}), nil
+		case "catmint":
+			return cluster.NewCatmintNode(demi.NodeConfig{Host: host}), nil
+		default:
+			return nil, fmt.Errorf("unknown libOS %q", flavor)
+		}
+	}
+	srvNode, err := mk(1)
+	if err != nil {
+		return nil, err
+	}
+	cliNode, err := mk(2)
+	if err != nil {
+		return nil, err
+	}
+	server := echo.NewServer(srvNode.LibOS)
+	server.AppCost = cluster.Model.AppRequestNS
+	if err := server.Listen(7); err != nil {
+		return nil, err
+	}
+	defer srvNode.Background()()
+	defer cliNode.Background()()
+	stop := make(chan struct{})
+	defer close(stop)
+	go server.Run(stop)
+
+	client := echo.NewClient(cliNode.LibOS)
+	if err := client.Connect(cluster.AddrOf(srvNode, 7)); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, size)
+	var h metrics.Histogram
+	for i := 0; i < n; i++ {
+		cost, err := client.RTT(payload, cluster.Model.AppRequestNS)
+		if err != nil {
+			return nil, err
+		}
+		h.Record(cost)
+	}
+	return &h, nil
+}

@@ -1,0 +1,131 @@
+// Command demi-kv runs the Redis-like key-value store over a chosen
+// library OS inside one simulated cluster, drives a workload against it,
+// and prints latency and server statistics. It is the executable face of
+// the paper's running example.
+//
+// Usage:
+//
+//	demi-kv [-libos catnip|catnap|catmint] [-ops N] [-value BYTES]
+//	        [-workload fixed|uniform|ycsb-b] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	demi "demikernel"
+	"demikernel/internal/apps/kv"
+	"demikernel/internal/metrics"
+	"demikernel/internal/workload"
+)
+
+func main() {
+	libos := flag.String("libos", "catnip", "library OS: catnip, catnap, or catmint")
+	ops := flag.Int("ops", 200, "GET operations to issue")
+	valueSize := flag.Int("value", 4096, "value size in bytes (fixed workload)")
+	wl := flag.String("workload", "fixed", "workload: fixed, uniform, or ycsb-b")
+	seed := flag.Int64("seed", 1, "cluster seed")
+	flag.Parse()
+
+	if err := run(*libos, *ops, *valueSize, *wl, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "demi-kv: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(libos string, ops, valueSize int, wl string, seed int64) error {
+	cluster := demi.NewCluster(seed)
+	var srvNode, cliNode *demi.Node
+	mk := func(host byte) (*demi.Node, error) {
+		switch libos {
+		case "catnip":
+			return cluster.NewCatnipNode(demi.NodeConfig{Host: host}), nil
+		case "catnap":
+			return cluster.NewCatnapNode(demi.NodeConfig{Host: host}), nil
+		case "catmint":
+			return cluster.NewCatmintNode(demi.NodeConfig{Host: host}), nil
+		default:
+			return nil, fmt.Errorf("unknown libOS %q", libos)
+		}
+	}
+	srvNode, err := mk(1)
+	if err != nil {
+		return err
+	}
+	cliNode, err = mk(2)
+	if err != nil {
+		return err
+	}
+
+	server := kv.NewServer(srvNode.LibOS, &cluster.Model)
+	if err := server.Listen(6379); err != nil {
+		return err
+	}
+	defer srvNode.Background()()
+	defer cliNode.Background()()
+	stop := make(chan struct{})
+	defer close(stop)
+	go server.Run(stop)
+
+	client := kv.NewClient(cliNode.LibOS)
+	if err := client.Connect(cluster.AddrOf(srvNode, 6379)); err != nil {
+		return err
+	}
+
+	const keys = 64
+	var gen *workload.Generator
+	switch wl {
+	case "fixed":
+		gen = workload.NewGenerator(workload.NewUniformKeys(keys, seed),
+			workload.FixedSize(valueSize), 0.75, seed+1)
+	case "uniform":
+		gen = workload.UniformSmall(keys, seed)
+	case "ycsb-b":
+		gen = workload.YCSBStyleB(keys, seed)
+	default:
+		return fmt.Errorf("unknown workload %q", wl)
+	}
+	fmt.Printf("demi-kv: %s libOS, %q workload, %d keys, %d ops\n", libos, wl, keys, ops)
+
+	// Preload the keyspace so reads hit.
+	var setH, getH metrics.Histogram
+	for i := 0; i < keys; i++ {
+		cost, err := client.Set(fmt.Sprintf("key-%06d", i), make([]byte, valueSize))
+		if err != nil {
+			return fmt.Errorf("preload set: %w", err)
+		}
+		setH.Record(cost)
+	}
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		if op.IsRead {
+			_, cost, found, err := client.Get(op.Key)
+			if err != nil {
+				return fmt.Errorf("get: %w", err)
+			}
+			if !found {
+				return fmt.Errorf("get %d: key %q missing after preload", i, op.Key)
+			}
+			getH.Record(cost)
+		} else {
+			cost, err := client.Set(op.Key, make([]byte, op.ValueLen))
+			if err != nil {
+				return fmt.Errorf("set: %w", err)
+			}
+			setH.Record(cost)
+		}
+	}
+
+	tbl := metrics.NewTable("virtual request latency", "op", "count", "p50", "p99", "mean")
+	s := setH.Summarize()
+	g := getH.Summarize()
+	tbl.AddRow("SET", s.Count, s.P50, s.P99, s.Mean)
+	tbl.AddRow("GET", g.Count, g.P50, g.P99, g.Mean)
+	fmt.Println(tbl.String())
+
+	st := server.Stats()
+	fmt.Printf("server: %d connections, %d sets, %d gets, %d bytes stored\n",
+		st.Connections, st.Sets, st.Gets, st.BytesStored)
+	return nil
+}

@@ -1,0 +1,256 @@
+// Package demikernel is a Go reproduction of the Demikernel, the
+// library-OS architecture for kernel-bypass datacenter servers proposed
+// in "I'm Not Dead Yet! The Role of the Operating System in a
+// Kernel-Bypass Era" (Zhang et al., HotOS 2019).
+//
+// The Demikernel abstracts kernel-bypass I/O devices as I/O queues whose
+// atomic element is a scatter-gather array. Applications push and pop
+// whole elements, receive qtokens for outstanding operations, and collect
+// completions with Wait, WaitAny, and WaitAll. Device differences are
+// hidden behind library OSes: the same application runs unmodified over a
+// simulated kernel socket path (catnap), a simulated DPDK NIC with a
+// user-level TCP stack (catnip), a simulated RDMA NIC (catmint), and a
+// simulated SPDK NVMe device (catfish).
+//
+// Because the real hardware is simulated, every device and protocol cost
+// is charged explicitly from a documented cost model (package
+// internal/simclock), making experiments deterministic. See DESIGN.md for
+// the full substitution table and EXPERIMENTS.md for the reproduced
+// results.
+//
+// # Quick start
+//
+//	cluster := demikernel.NewCluster(1)
+//	server := cluster.NewCatnipNode(demikernel.NodeConfig{Host: 1})
+//	client := cluster.NewCatnipNode(demikernel.NodeConfig{Host: 2})
+//
+//	// Server: socket / bind / listen / accept — Figure 3's control path.
+//	sqd, _ := server.Socket()
+//	server.Bind(sqd, demikernel.Addr{Port: 80})
+//	server.Listen(sqd)
+//
+//	// Client connects and pushes one atomic element.
+//	cqd, _ := client.Socket()
+//	go client.Connect(cqd, cluster.AddrOf(server, 80))
+//	conn, _ := server.Accept(sqd)
+//	qt, _ := client.Push(cqd, demikernel.NewSGA([]byte("hi")))
+//	client.Wait(qt)
+//
+//	// Server pops the whole element — never a fragment.
+//	comp, _ := server.BlockingPop(conn)
+package demikernel
+
+import (
+	"fmt"
+
+	"demikernel/internal/core"
+	"demikernel/internal/fabric"
+	"demikernel/internal/kernel"
+	"demikernel/internal/libos/catfish"
+	"demikernel/internal/libos/catmint"
+	"demikernel/internal/libos/catnap"
+	"demikernel/internal/libos/catnip"
+	"demikernel/internal/netstack"
+	"demikernel/internal/nic"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+	"demikernel/internal/spdk"
+)
+
+// Re-exported core types: the Demikernel system-call surface (Figure 3).
+type (
+	// LibOS is one Demikernel library-OS instance.
+	LibOS = core.LibOS
+	// QD is a queue descriptor.
+	QD = core.QD
+	// Addr names a network endpoint.
+	Addr = core.Addr
+	// Features is the Table 1 hardware/software feature split.
+	Features = core.Features
+	// QToken identifies one outstanding queue operation.
+	QToken = queue.QToken
+	// Completion is the result of one queue operation.
+	Completion = queue.Completion
+	// SGA is a scatter-gather array, the atomic queue element.
+	SGA = sga.SGA
+	// CostModel is the virtual cost model behind all simulated devices.
+	CostModel = simclock.CostModel
+	// Lat is a virtual latency in nanoseconds.
+	Lat = simclock.Lat
+)
+
+// Re-exported errors.
+var (
+	ErrBadQD        = core.ErrBadQD
+	ErrNotSupported = core.ErrNotSupported
+	ErrTimeout      = core.ErrTimeout
+)
+
+// NewSGA builds a scatter-gather array over the given segments without
+// copying them.
+func NewSGA(segs ...[]byte) SGA { return sga.New(segs...) }
+
+// Cluster is a simulated rack: one fabric switch plus the cost model, to
+// which nodes running different library OSes attach. It exists so that
+// examples and experiments can build multi-host worlds in a few lines.
+type Cluster struct {
+	Model  CostModel
+	Switch *fabric.Switch
+
+	nodes []*Node
+}
+
+// Node binds a LibOS to its simulated host identity on the cluster.
+type Node struct {
+	*LibOS
+	MAC fabric.MAC
+	IP  netstack.IPv4Addr
+
+	// Kernel is non-nil on catnap nodes (for counters).
+	Kernel *kernel.Kernel
+	// Catnip is non-nil on catnip nodes (for device/stack access).
+	Catnip *catnip.Transport
+	// Catmint is non-nil on catmint nodes.
+	Catmint *catmint.Transport
+	// Catfish is non-nil on catfish nodes.
+	Catfish *catfish.Transport
+}
+
+// NodeConfig identifies a host within a cluster.
+type NodeConfig struct {
+	// Host is a small integer naming the host; it determines the
+	// node's MAC (02:00:00:00:00:<host>) and IP (10.0.0.<host>).
+	Host byte
+	// PerPacketExtra adds processing cost to every packet on this
+	// node's stack (used to model mTCP-style POSIX emulation, §6).
+	PerPacketExtra Lat
+	// PostedRecvs overrides the RDMA receive window (catmint only).
+	PostedRecvs int
+}
+
+// NewCluster creates a cluster with deterministic fault injection seeded
+// by seed.
+func NewCluster(seed int64) *Cluster {
+	return NewClusterWithModel(seed, simclock.Datacenter2019())
+}
+
+// NewClusterWithModel creates a cluster charging costs from a custom cost
+// model — the hook the ablation experiments use to sweep individual cost
+// parameters (syscall price, copy bandwidth, ...).
+func NewClusterWithModel(seed int64, model CostModel) *Cluster {
+	c := &Cluster{Model: model}
+	c.Switch = fabric.NewSwitch(&c.Model, seed)
+	return c
+}
+
+func (c *Cluster) mac(host byte) fabric.MAC {
+	return fabric.MAC{0x02, 0, 0, 0, 0, host}
+}
+
+func (c *Cluster) ip(host byte) netstack.IPv4Addr {
+	return netstack.IP(10, 0, 0, host)
+}
+
+func (c *Cluster) newKernelNIC(host byte) *nic.Device {
+	return nic.New(&c.Model, c.Switch, nic.Config{MAC: c.mac(host)})
+}
+
+// NewCatnipNode attaches a DPDK-libOS node: simulated NIC + user-level
+// TCP stack + transparent memory registration.
+func (c *Cluster) NewCatnipNode(cfg NodeConfig) *Node {
+	t := catnip.New(&c.Model, c.Switch, catnip.Config{
+		MAC:            c.mac(cfg.Host),
+		IP:             c.ip(cfg.Host),
+		PerPacketExtra: cfg.PerPacketExtra,
+	})
+	n := &Node{
+		LibOS:  core.New(t, &c.Model),
+		MAC:    c.mac(cfg.Host),
+		IP:     c.ip(cfg.Host),
+		Catnip: t,
+	}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// NewCatnapNode attaches a kernel-libOS node: same wire, but every I/O
+// pays the legacy kernel costs.
+func (c *Cluster) NewCatnapNode(cfg NodeConfig) *Node {
+	dev := c.newKernelNIC(cfg.Host)
+	k := kernel.New(&c.Model, dev, c.ip(cfg.Host))
+	t := catnap.New(&c.Model, k)
+	n := &Node{
+		LibOS:  core.New(t, &c.Model),
+		MAC:    c.mac(cfg.Host),
+		IP:     c.ip(cfg.Host),
+		Kernel: k,
+	}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// NewCatmintNode attaches an RDMA-libOS node.
+func (c *Cluster) NewCatmintNode(cfg NodeConfig) *Node {
+	t := catmint.New(&c.Model, c.Switch, catmint.Config{
+		MAC:         c.mac(cfg.Host),
+		PostedRecvs: cfg.PostedRecvs,
+	})
+	n := &Node{
+		LibOS:   core.New(t, &c.Model),
+		MAC:     c.mac(cfg.Host),
+		IP:      c.ip(cfg.Host),
+		Catmint: t,
+	}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// NewCatfishNode attaches a storage-libOS node over a fresh simulated
+// NVMe namespace with the given capacity in blocks (0 for the default).
+func (c *Cluster) NewCatfishNode(numBlocks int) (*Node, error) {
+	dev := spdk.New(&c.Model, spdk.Config{NumBlocks: numBlocks})
+	return c.newCatfishOn(dev)
+}
+
+// NewCatfishNodeOn attaches a storage-libOS node to an existing device,
+// recovering any log it carries (restart scenarios).
+func (c *Cluster) NewCatfishNodeOn(dev *spdk.Device) (*Node, error) {
+	return c.newCatfishOn(dev)
+}
+
+func (c *Cluster) newCatfishOn(dev *spdk.Device) (*Node, error) {
+	t, err := catfish.New(&c.Model, dev)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{LibOS: core.New(t, &c.Model), Catfish: t}
+	c.nodes = append(c.nodes, n)
+	return n, nil
+}
+
+// AddrOf returns the address of node's port, usable from any libOS.
+func (c *Cluster) AddrOf(n *Node, port uint16) Addr {
+	return Addr{IP: n.IP, MAC: n.MAC, Port: port}
+}
+
+// Poll pumps every node's data path once (tests and single-threaded
+// drivers use it instead of per-node polling).
+func (c *Cluster) Poll() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.Poll()
+	}
+	return total
+}
+
+// NewDisk creates a standalone simulated NVMe device on this cluster's
+// cost model (for kernel-file-system baselines and restarts).
+func (c *Cluster) NewDisk(numBlocks int) *spdk.Device {
+	return spdk.New(&c.Model, spdk.Config{NumBlocks: numBlocks})
+}
+
+// String summarises the cluster.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{%d nodes}", len(c.nodes))
+}

@@ -1,0 +1,454 @@
+package demikernel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+)
+
+// echoOnce drives one full request/response over an established pair of
+// queue descriptors.
+func echoOnce(t *testing.T, cli *Node, cqd QD, srv *Node, sqd QD, payload string) {
+	t.Helper()
+	if _, err := cli.BlockingPush(cqd, NewSGA([]byte(payload))); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	comp, err := srv.BlockingPop(sqd)
+	if err != nil {
+		t.Fatalf("server pop: %v", err)
+	}
+	if string(comp.SGA.Bytes()) != payload {
+		t.Fatalf("server got %q, want %q", comp.SGA.Bytes(), payload)
+	}
+	if _, err := srv.BlockingPush(sqd, comp.SGA); err != nil {
+		t.Fatalf("server push: %v", err)
+	}
+	back, err := cli.BlockingPop(cqd)
+	if err != nil {
+		t.Fatalf("client pop: %v", err)
+	}
+	if string(back.SGA.Bytes()) != payload {
+		t.Fatalf("client got %q, want %q", back.SGA.Bytes(), payload)
+	}
+}
+
+// connectNodes builds a connected client/server pair over any two nodes.
+func connectNodes(t *testing.T, cluster *Cluster, cli, srv *Node, port uint16) (cqd, sqd QD, cleanup func()) {
+	t.Helper()
+	stopS := srv.Background()
+	stopC := cli.Background()
+
+	lqd, err := srv.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bind(lqd, Addr{Port: port}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(lqd); err != nil {
+		t.Fatal(err)
+	}
+	cqd, err = cli.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Connect(cqd, cluster.AddrOf(srv, port)); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	sqd, err = srv.Accept(lqd)
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	return cqd, sqd, func() { stopC(); stopS() }
+}
+
+func TestEchoOverCatnip(t *testing.T) {
+	c := NewCluster(1)
+	srv := c.NewCatnipNode(NodeConfig{Host: 1})
+	cli := c.NewCatnipNode(NodeConfig{Host: 2})
+	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
+	defer cleanup()
+	echoOnce(t, cli, cqd, srv, sqd, "dpdk-class path")
+}
+
+func TestEchoOverCatnap(t *testing.T) {
+	c := NewCluster(2)
+	srv := c.NewCatnapNode(NodeConfig{Host: 1})
+	cli := c.NewCatnapNode(NodeConfig{Host: 2})
+	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
+	defer cleanup()
+	echoOnce(t, cli, cqd, srv, sqd, "kernel path")
+	// catnap paid legacy costs: syscalls and copies happened.
+	ctr := cli.Kernel.Counters()
+	if ctr.SyscallCrossings == 0 || ctr.BytesCopied == 0 {
+		t.Fatalf("catnap should cross the kernel and copy: %+v", ctr)
+	}
+}
+
+func TestEchoOverCatmint(t *testing.T) {
+	c := NewCluster(3)
+	srv := c.NewCatmintNode(NodeConfig{Host: 1})
+	cli := c.NewCatmintNode(NodeConfig{Host: 2})
+	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 7)
+	defer cleanup()
+	echoOnce(t, cli, cqd, srv, sqd, "rdma path")
+}
+
+func TestCrossLibOSInterop(t *testing.T) {
+	// The wire format (TCP + SGA framing) is shared between the kernel
+	// and DPDK libOSes, so a catnap client talks to a catnip server:
+	// the paper's portability story, across stacks.
+	c := NewCluster(4)
+	srv := c.NewCatnipNode(NodeConfig{Host: 1})
+	cli := c.NewCatnapNode(NodeConfig{Host: 2})
+	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
+	defer cleanup()
+	echoOnce(t, cli, cqd, srv, sqd, "cross-libOS")
+}
+
+func TestMultiSegmentSGAPreserved(t *testing.T) {
+	c := NewCluster(5)
+	srv := c.NewCatnipNode(NodeConfig{Host: 1})
+	cli := c.NewCatnipNode(NodeConfig{Host: 2})
+	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
+	defer cleanup()
+
+	s := NewSGA([]byte("GET "), []byte("key:42"), []byte(" END"))
+	if _, err := cli.BlockingPush(cqd, s); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := srv.BlockingPop(sqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "A scatter-gather array pushed into a Demikernel queue always
+	// pops out as a single element" — including its segmentation.
+	if comp.SGA.NumSegments() != 3 {
+		t.Fatalf("segments = %d, want 3", comp.SGA.NumSegments())
+	}
+	if !comp.SGA.Equal(s) {
+		t.Fatalf("got %v, want %v", comp.SGA, s)
+	}
+}
+
+func TestWaitAnyAcrossConnections(t *testing.T) {
+	c := NewCluster(6)
+	srv := c.NewCatnipNode(NodeConfig{Host: 1})
+	cli := c.NewCatnipNode(NodeConfig{Host: 2})
+	stopS := srv.Background()
+	stopC := cli.Background()
+	defer stopC()
+	defer stopS()
+
+	lqd, _ := srv.Socket()
+	srv.Bind(lqd, Addr{Port: 80})
+	srv.Listen(lqd)
+
+	const n = 3
+	cqds := make([]QD, n)
+	sqds := make([]QD, n)
+	for i := 0; i < n; i++ {
+		cqd, err := cli.Socket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Connect(cqd, c.AddrOf(srv, 80)); err != nil {
+			t.Fatal(err)
+		}
+		cqds[i] = cqd
+		sqd, err := srv.Accept(lqd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqds[i] = sqd
+	}
+	// The server waits on one pop token per connection.
+	tokens := make([]QToken, n)
+	for i, sqd := range sqds {
+		qt, err := srv.Pop(sqd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens[i] = qt
+	}
+	// Client 1 (only) sends.
+	if _, err := cli.BlockingPush(cqds[1], NewSGA([]byte("from-1"))); err != nil {
+		t.Fatal(err)
+	}
+	idx, comp, err := srv.WaitAny(tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("WaitAny idx = %d, want 1", idx)
+	}
+	if string(comp.SGA.Bytes()) != "from-1" {
+		t.Fatalf("payload %q", comp.SGA.Bytes())
+	}
+}
+
+func TestWaitAllMemoryQueues(t *testing.T) {
+	c := NewCluster(7)
+	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	q1 := n.Queue()
+	q2 := n.Queue()
+	t1, _ := n.Push(q1, NewSGA([]byte("a")))
+	t2, _ := n.Push(q2, NewSGA([]byte("b")))
+	p1, _ := n.Pop(q1)
+	p2, _ := n.Pop(q2)
+	comps, err := n.WaitAll([]QToken{t1, t2, p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(comps[2].SGA.Bytes()) != "a" || string(comps[3].SGA.Bytes()) != "b" {
+		t.Fatalf("pops: %q %q", comps[2].SGA.Bytes(), comps[3].SGA.Bytes())
+	}
+}
+
+func TestComposedQueueSyscalls(t *testing.T) {
+	c := NewCluster(8)
+	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	base := n.Queue()
+	fqd, err := n.Filter(base, func(s SGA) bool { return s.Len() > 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mqd, err := n.Map(fqd, func(s SGA) SGA {
+		return NewSGA(append([]byte(">"), s.Bytes()...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"ab", "abcd", "x", "longer"} {
+		if _, err := n.BlockingPush(base, NewSGA([]byte(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []string{">abcd", ">longer"} {
+		comp, err := n.BlockingPop(mqd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(comp.SGA.Bytes()) != want {
+			t.Fatalf("got %q, want %q", comp.SGA.Bytes(), want)
+		}
+	}
+}
+
+func TestSortQueueSyscall(t *testing.T) {
+	c := NewCluster(9)
+	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	base := n.Queue()
+	sqd, err := n.Sort(base, func(a, b SGA) bool { return a.Bytes()[0] < b.Bytes()[0] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []byte{9, 2, 7, 1} {
+		if _, err := n.BlockingPush(base, NewSGA([]byte{p})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Poll() // prefetch into the sorted view
+	var got []byte
+	for i := 0; i < 4; i++ {
+		comp, err := n.BlockingPop(sqd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, comp.SGA.Bytes()[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("not priority ordered: %v", got)
+		}
+	}
+}
+
+func TestQConnectForwarding(t *testing.T) {
+	c := NewCluster(10)
+	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	in := n.Queue()
+	out := n.Queue()
+	if err := n.QConnect(in, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.BlockingPush(in, NewSGA([]byte("through"))); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := n.BlockingPop(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(comp.SGA.Bytes()) != "through" {
+		t.Fatalf("got %q", comp.SGA.Bytes())
+	}
+}
+
+func TestCatfishFileQueues(t *testing.T) {
+	c := NewCluster(11)
+	node, err := c.NewCatfishNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, err := node.Open("/logs/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s := NewSGA([]byte(fmt.Sprintf("record-%d", i)))
+		if _, err := node.BlockingPush(qd, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		comp, err := node.BlockingPop(qd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(comp.SGA.Bytes()) != fmt.Sprintf("record-%d", i) {
+			t.Fatalf("record %d = %q", i, comp.SGA.Bytes())
+		}
+	}
+}
+
+func TestCatfishDurability(t *testing.T) {
+	c := NewCluster(12)
+	disk := c.NewDisk(0)
+	node1, err := c.NewCatfishNodeOn(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, _ := node1.Open("/wal")
+	node1.BlockingPush(qd, NewSGA([]byte("survives"), []byte(" restarts")))
+
+	// "Restart": a fresh libOS over the same device recovers the log.
+	node2, err := c.NewCatfishNodeOn(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd2, err := node2.Open("/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := node2.BlockingPop(qd2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(comp.SGA.Bytes()) != "survives restarts" {
+		t.Fatalf("got %q", comp.SGA.Bytes())
+	}
+	if comp.SGA.NumSegments() != 2 {
+		t.Fatalf("segmentation lost across restart: %d", comp.SGA.NumSegments())
+	}
+}
+
+func TestFeaturesTaxonomy(t *testing.T) {
+	c := NewCluster(13)
+	catnipNode := c.NewCatnipNode(NodeConfig{Host: 1})
+	catnapNode := c.NewCatnapNode(NodeConfig{Host: 2})
+	catmintNode := c.NewCatmintNode(NodeConfig{Host: 3})
+	if !catnipNode.Features().KernelBypass {
+		t.Fatal("catnip must be kernel-bypass")
+	}
+	if catnapNode.Features().KernelBypass {
+		t.Fatal("catnap must not claim kernel bypass")
+	}
+	if !catmintNode.Features().HWTransport {
+		t.Fatal("catmint's device provides a hardware transport")
+	}
+	// The DPDK libOS must supply strictly more software than the RDMA
+	// libOS (Table 1: RDMA adds OS features in hardware).
+	if len(catnipNode.Features().SoftwareSupplied) <= len(catmintNode.Features().SoftwareSupplied)-1 {
+		t.Fatalf("catnip supplies %v, catmint %v",
+			catnipNode.Features().SoftwareSupplied, catmintNode.Features().SoftwareSupplied)
+	}
+}
+
+func TestBadDescriptorsRejected(t *testing.T) {
+	c := NewCluster(14)
+	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	if _, err := n.Push(QD(999), NewSGA([]byte("x"))); !errors.Is(err, ErrBadQD) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.Pop(QD(999)); !errors.Is(err, ErrBadQD) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := n.Close(QD(999)); !errors.Is(err, ErrBadQD) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.Open("/nope"); !errors.Is(err, ErrNotSupported) {
+		t.Fatalf("catnip Open err = %v", err)
+	}
+}
+
+func TestWaitChanExactlyOneWaiter(t *testing.T) {
+	c := NewCluster(15)
+	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	q := n.Queue()
+	qt, err := n.Pop(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := n.WaitChan(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.WaitChan(qt); !errors.Is(err, queue.ErrTokenClaimed) {
+		t.Fatalf("second waiter err = %v", err)
+	}
+	if _, err := n.Push(q, NewSGA([]byte("wake"))); err != nil {
+		t.Fatal(err)
+	}
+	comp := <-ch
+	if string(comp.SGA.Bytes()) != "wake" {
+		t.Fatalf("got %q", comp.SGA.Bytes())
+	}
+}
+
+func TestAllocSGAFreeProtection(t *testing.T) {
+	c := NewCluster(16)
+	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	s := n.AllocSGA(128)
+	if s.Len() != 128 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	stats := n.Catnip.Memory().Stats()
+	if stats.Allocs != 1 {
+		t.Fatalf("allocs = %d", stats.Allocs)
+	}
+	s.Free()
+	if got := n.Catnip.Memory().Stats().LiveBuffers; got != 0 {
+		t.Fatalf("live buffers = %d", got)
+	}
+}
+
+func TestPropagatedCostsOverCatnip(t *testing.T) {
+	c := NewCluster(17)
+	srv := c.NewCatnipNode(NodeConfig{Host: 1})
+	cli := c.NewCatnipNode(NodeConfig{Host: 2})
+	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
+	defer cleanup()
+
+	appCost := c.Model.AppRequestNS
+	qt, err := cli.PushCost(cqd, NewSGA(make([]byte, 64)), appCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Wait(qt); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := srv.BlockingPop(sqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End-to-end virtual latency must include app compute, user stack,
+	// NIC, and wire — i.e. strictly more than the app cost alone.
+	if comp.Cost <= appCost {
+		t.Fatalf("cost %v did not accumulate the path", comp.Cost)
+	}
+}
+
+var _ = sga.SGA{} // keep the import for the documented example types

@@ -1,0 +1,55 @@
+// Quickstart: the Demikernel queue abstraction in its smallest form —
+// memory queues, non-blocking push/pop returning qtokens, and the wait_*
+// calls of Figure 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	demi "demikernel"
+)
+
+func main() {
+	// A cluster holds the simulated world; a catnip node is a host with
+	// a kernel-bypass NIC, a user-level stack, and the Demikernel API.
+	cluster := demi.NewCluster(1)
+	node := cluster.NewCatnipNode(demi.NodeConfig{Host: 1})
+
+	// queue() — a plain memory queue (control path).
+	qd := node.Queue()
+
+	// push() is non-blocking: it returns a qtoken for the completion.
+	req := demi.NewSGA([]byte("hello, "), []byte("queues"))
+	pushToken, err := node.Push(qd, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// wait() blocks (polling the libOS) until the operation completes.
+	if _, err := node.Wait(pushToken); err != nil {
+		log.Fatal(err)
+	}
+
+	// pop() returns the WHOLE element or nothing — never a fragment.
+	comp, err := node.BlockingPop(qd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("popped %d segments, %d bytes: %q\n",
+		comp.SGA.NumSegments(), comp.SGA.Len(), comp.SGA.Bytes())
+
+	// wait_any() — the queue-native epoll replacement: one token per
+	// outstanding operation, and the completion carries the data.
+	q1, q2 := node.Queue(), node.Queue()
+	t1, _ := node.Pop(q1)
+	t2, _ := node.Pop(q2)
+	if _, err := node.BlockingPush(q2, demi.NewSGA([]byte("second queue wins"))); err != nil {
+		log.Fatal(err)
+	}
+	idx, comp, err := node.WaitAny([]demi.QToken{t1, t2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wait_any: queue #%d completed first with %q\n", idx+1, comp.SGA.Bytes())
+}

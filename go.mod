@@ -1,0 +1,3 @@
+module demikernel
+
+go 1.23

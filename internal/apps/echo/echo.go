@@ -1,0 +1,184 @@
+// Package echo implements the echo server/client used by the latency
+// experiments: the server pops each atomic element and pushes it straight
+// back; the client measures the accumulated virtual cost of the full
+// round trip. Like the KV store, it is written against the Demikernel
+// API only, so it runs unmodified over every libOS.
+package echo
+
+import (
+	"runtime"
+	"sync"
+
+	"demikernel/internal/core"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+)
+
+// Server echoes every popped element back on its connection.
+type Server struct {
+	lib *core.LibOS
+	// AppCost is charged per echoed request (models server compute).
+	AppCost simclock.Lat
+
+	mu     sync.Mutex
+	lqd    core.QD
+	conns  map[core.QD]queue.QToken
+	echoed int64
+}
+
+// NewServer creates an echo server on lib.
+func NewServer(lib *core.LibOS) *Server {
+	return &Server{lib: lib, conns: make(map[core.QD]queue.QToken)}
+}
+
+// Listen binds the server to port.
+func (s *Server) Listen(port uint16) error {
+	qd, err := s.lib.Socket()
+	if err != nil {
+		return err
+	}
+	if err := s.lib.Bind(qd, core.Addr{Port: port}); err != nil {
+		return err
+	}
+	if err := s.lib.Listen(qd); err != nil {
+		return err
+	}
+	s.lqd = qd
+	return nil
+}
+
+// Echoed returns the number of requests echoed so far.
+func (s *Server) Echoed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.echoed
+}
+
+// Step runs one non-blocking iteration and returns requests served.
+func (s *Server) Step() int {
+	for {
+		conn, ok, err := s.lib.TryAccept(s.lqd)
+		if err != nil || !ok {
+			break
+		}
+		if qt, err := s.lib.Pop(conn); err == nil {
+			s.mu.Lock()
+			s.conns[conn] = qt
+			s.mu.Unlock()
+		}
+	}
+	s.mu.Lock()
+	type armed struct {
+		conn core.QD
+		qt   queue.QToken
+	}
+	pending := make([]armed, 0, len(s.conns))
+	for conn, qt := range s.conns {
+		pending = append(pending, armed{conn, qt})
+	}
+	s.mu.Unlock()
+
+	served := 0
+	for _, p := range pending {
+		comp, ok, err := s.lib.TryWait(p.qt)
+		if err != nil || !ok {
+			continue
+		}
+		if comp.Err != nil {
+			s.mu.Lock()
+			delete(s.conns, p.conn)
+			s.mu.Unlock()
+			s.lib.Close(p.conn)
+			continue
+		}
+		if qt, err := s.lib.PushCost(p.conn, comp.SGA, comp.Cost+s.AppCost); err == nil {
+			s.lib.Wait(qt)
+		}
+		served++
+		s.mu.Lock()
+		s.echoed++
+		s.mu.Unlock()
+		if qt, err := s.lib.Pop(p.conn); err == nil {
+			s.mu.Lock()
+			s.conns[p.conn] = qt
+			s.mu.Unlock()
+		} else {
+			s.mu.Lock()
+			delete(s.conns, p.conn)
+			s.mu.Unlock()
+		}
+	}
+	return served
+}
+
+// Run pumps Step until stop closes.
+func (s *Server) Run(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if s.Step() == 0 {
+			s.lib.Poll()
+		}
+		runtime.Gosched()
+	}
+}
+
+// Client measures echo round trips.
+type Client struct {
+	lib *core.LibOS
+	qd  core.QD
+}
+
+// NewClient creates an echo client on lib.
+func NewClient(lib *core.LibOS) *Client {
+	return &Client{lib: lib}
+}
+
+// Connect dials the echo server.
+func (c *Client) Connect(addr core.Addr) error {
+	qd, err := c.lib.Socket()
+	if err != nil {
+		return err
+	}
+	if err := c.lib.Connect(qd, addr); err != nil {
+		return err
+	}
+	c.qd = qd
+	return nil
+}
+
+// RTT sends payload and returns the virtual cost accumulated by the
+// response — the simulated round-trip latency.
+func (c *Client) RTT(payload []byte, appCost simclock.Lat) (simclock.Lat, error) {
+	qt, err := c.lib.PushCost(c.qd, sga.New(payload), appCost)
+	if err != nil {
+		return 0, err
+	}
+	pushComp, err := c.lib.Wait(qt)
+	if err != nil {
+		return 0, err
+	}
+	if pushComp.Err != nil {
+		return 0, pushComp.Err
+	}
+	comp, err := c.lib.BlockingPop(c.qd)
+	if err != nil {
+		return 0, err
+	}
+	if comp.Err != nil {
+		return 0, comp.Err
+	}
+	defer comp.SGA.Free()
+	return comp.Cost, nil
+}
+
+// QD exposes the client's connection descriptor so experiments can push
+// raw SGAs over the established connection.
+func (c *Client) QD() core.QD { return c.qd }
+
+// Close shuts the client connection.
+func (c *Client) Close() error { return c.lib.Close(c.qd) }

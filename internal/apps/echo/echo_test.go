@@ -1,0 +1,118 @@
+package echo
+
+import (
+	"testing"
+	"time"
+
+	demi "demikernel"
+)
+
+func newPair(t *testing.T, flavor string, seed int64) (*Server, *Client, *demi.Cluster, func()) {
+	t.Helper()
+	c := demi.NewCluster(seed)
+	mk := func(host byte) *demi.Node {
+		switch flavor {
+		case "catnip":
+			return c.NewCatnipNode(demi.NodeConfig{Host: host})
+		case "catnap":
+			return c.NewCatnapNode(demi.NodeConfig{Host: host})
+		case "catmint":
+			return c.NewCatmintNode(demi.NodeConfig{Host: host})
+		default:
+			t.Fatalf("unknown flavor %q", flavor)
+			return nil
+		}
+	}
+	srvNode, cliNode := mk(1), mk(2)
+	srv := NewServer(srvNode.LibOS)
+	if err := srv.Listen(7); err != nil {
+		t.Fatal(err)
+	}
+	stopSrv := srvNode.Background()
+	stopCli := cliNode.Background()
+	stopServe := make(chan struct{})
+	go srv.Run(stopServe)
+
+	cli := NewClient(cliNode.LibOS)
+	if err := cli.Connect(c.AddrOf(srvNode, 7)); err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		close(stopServe)
+		stopCli()
+		stopSrv()
+	}
+	return srv, cli, c, cleanup
+}
+
+func testEcho(t *testing.T, flavor string, seed int64) {
+	srv, cli, _, cleanup := newPair(t, flavor, seed)
+	defer cleanup()
+	for i := 0; i < 5; i++ {
+		cost, err := cli.RTT([]byte("ping"), 0)
+		if err != nil {
+			t.Fatalf("rtt %d: %v", i, err)
+		}
+		if cost == 0 {
+			t.Fatal("zero round-trip cost")
+		}
+	}
+	// The server counts an echo after its push completes, which can
+	// trail the client's receive slightly; poll briefly.
+	deadline := time.Now().Add(time.Second)
+	for srv.Echoed() != 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Echoed() != 5 {
+		t.Fatalf("Echoed = %d", srv.Echoed())
+	}
+}
+
+func TestEchoOverCatnip(t *testing.T)  { testEcho(t, "catnip", 31) }
+func TestEchoOverCatnap(t *testing.T)  { testEcho(t, "catnap", 32) }
+func TestEchoOverCatmint(t *testing.T) { testEcho(t, "catmint", 33) }
+
+func TestKernelPathCostsMore(t *testing.T) {
+	// The E1 shape in miniature: the same echo costs more virtual
+	// latency over the kernel (catnap) than over kernel-bypass
+	// (catnip), by at least the syscall + copy + kernel-stack deltas.
+	_, catnipCli, _, cleanup1 := newPair(t, "catnip", 34)
+	defer cleanup1()
+	_, catnapCli, _, cleanup2 := newPair(t, "catnap", 34)
+	defer cleanup2()
+
+	payload := make([]byte, 1024)
+	var bypass, legacy demi.Lat
+	for i := 0; i < 10; i++ {
+		c1, err := catnipCli.RTT(payload, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := catnapCli.RTT(payload, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bypass += c1
+		legacy += c2
+	}
+	if legacy <= bypass {
+		t.Fatalf("kernel path (%v) should cost more than bypass (%v)", legacy, bypass)
+	}
+}
+
+func TestServerAppCostCharged(t *testing.T) {
+	srv, cli, c, cleanup := newPair(t, "catnip", 35)
+	defer cleanup()
+	base, err := cli.RTT([]byte("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AppCost = c.Model.AppRequestNS * 10
+	loaded, err := cli.RTT([]byte("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded < base+c.Model.AppRequestNS*9 {
+		t.Fatalf("app cost not charged: base %v loaded %v", base, loaded)
+	}
+}

@@ -1,0 +1,374 @@
+// Package kv implements the paper's running application example: a
+// Redis-like in-memory key-value store, written against the Demikernel
+// queue API so that one binary runs unmodified over every libOS (§4.1).
+//
+// The server follows the paper's zero-copy discipline (§4.5):
+//
+//   - SET stores the value buffer popped from the queue directly — "Redis
+//     allocates a new value buffer for each put request and changes the
+//     pointer in its data structures to the new buffer". No payload copy
+//     happens on the data path.
+//
+//   - GET pushes the stored buffer as a scatter-gather segment; the
+//     transport DMAs from it in place.
+//
+// Requests and responses are multi-segment SGAs, leaning on the
+// guarantee that segmentation survives the queue:
+//
+//	request  := [op] [key] [value?]     op in {GET, SET, DEL}
+//	response := [status] [value?]       status in {OK, NF, ER}
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"demikernel/internal/core"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+)
+
+// Ops and statuses.
+const (
+	OpGet = "GET"
+	OpSet = "SET"
+	OpDel = "DEL"
+
+	StatusOK       = "OK"
+	StatusNotFound = "NF"
+	StatusError    = "ER"
+)
+
+// ErrBadRequest is returned for malformed requests.
+var ErrBadRequest = errors.New("kv: malformed request")
+
+// Stats counts server activity.
+type Stats struct {
+	Gets, Sets, Dels int64
+	NotFound         int64
+	BadRequests      int64
+	Connections      int64
+	BytesStored      int64
+}
+
+type storedVal struct {
+	val []byte
+	s   sga.SGA // retained popped SGA backing val; freed on overwrite
+}
+
+// Server is a KV server over one Demikernel libOS.
+type Server struct {
+	lib   *core.LibOS
+	model *simclock.CostModel
+
+	mu     sync.Mutex
+	store  map[string]storedVal
+	stats  Stats
+	lqd    core.QD
+	conns  map[core.QD]queue.QToken // outstanding pop per connection
+	closed bool
+}
+
+// NewServer creates a server on lib; per-request application compute is
+// charged from model (the paper's 2µs Redis figure).
+func NewServer(lib *core.LibOS, model *simclock.CostModel) *Server {
+	return &Server{
+		lib:   lib,
+		model: model,
+		store: make(map[string]storedVal),
+		conns: make(map[core.QD]queue.QToken),
+	}
+}
+
+// Listen binds the server to port.
+func (s *Server) Listen(port uint16) error {
+	qd, err := s.lib.Socket()
+	if err != nil {
+		return err
+	}
+	if err := s.lib.Bind(qd, core.Addr{Port: port}); err != nil {
+		return err
+	}
+	if err := s.lib.Listen(qd); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.lqd = qd
+	s.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Step runs one non-blocking server iteration: accept new connections,
+// collect completed pops, serve requests, re-arm pops. It returns the
+// number of requests served. Callers pump it from their event loop; Run
+// wraps it in a goroutine.
+func (s *Server) Step() int {
+	s.acceptNew()
+	return s.serveReady()
+}
+
+func (s *Server) acceptNew() {
+	for {
+		conn, ok, err := s.lib.TryAccept(s.lqd)
+		if err != nil || !ok {
+			return
+		}
+		qt, err := s.lib.Pop(conn)
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		s.stats.Connections++
+		s.conns[conn] = qt
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) serveReady() int {
+	s.mu.Lock()
+	type armed struct {
+		conn core.QD
+		qt   queue.QToken
+	}
+	pending := make([]armed, 0, len(s.conns))
+	for conn, qt := range s.conns {
+		pending = append(pending, armed{conn, qt})
+	}
+	s.mu.Unlock()
+
+	served := 0
+	for _, p := range pending {
+		comp, ok, err := s.lib.TryWait(p.qt)
+		if err != nil || !ok {
+			continue
+		}
+		if comp.Err != nil {
+			// Connection closed or failed: drop it.
+			s.mu.Lock()
+			delete(s.conns, p.conn)
+			s.mu.Unlock()
+			s.lib.Close(p.conn)
+			continue
+		}
+		s.handle(p.conn, comp)
+		served++
+		// Re-arm the pop for the next request on this connection.
+		qt, err := s.lib.Pop(p.conn)
+		if err != nil {
+			s.mu.Lock()
+			delete(s.conns, p.conn)
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		s.conns[p.conn] = qt
+		s.mu.Unlock()
+	}
+	return served
+}
+
+// Run pumps Step until stop closes.
+func (s *Server) Run(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if s.Step() == 0 {
+			s.lib.Poll()
+		}
+		runtime.Gosched()
+	}
+}
+
+// handle serves one request and pushes the response, charging the
+// application compute cost on top of the request's accumulated path cost.
+func (s *Server) handle(conn core.QD, comp queue.Completion) {
+	resp, retain := s.Apply(comp.SGA)
+	if !retain {
+		comp.SGA.Free()
+	}
+	cost := comp.Cost + s.model.AppRequestNS
+	if qt, err := s.lib.PushCost(conn, resp, cost); err == nil {
+		// The response's buffers may be store-owned; the push holds
+		// them only until the transport accepts the bytes, which the
+		// wait below observes.
+		s.lib.Wait(qt)
+	}
+}
+
+// Apply executes one decoded request against the store and returns the
+// response. retain reports whether the server kept the request SGA's
+// buffers (a SET stores the value segment in place — the zero-copy
+// pointer swap).
+func (s *Server) Apply(req sga.SGA) (resp sga.SGA, retain bool) {
+	segs := req.Segments
+	if len(segs) < 2 {
+		s.count(func(st *Stats) { st.BadRequests++ })
+		return sga.New([]byte(StatusError)), false
+	}
+	op := string(segs[0].Buf)
+	key := string(segs[1].Buf)
+	switch op {
+	case OpGet:
+		s.mu.Lock()
+		sv, ok := s.store[key]
+		s.stats.Gets++
+		if !ok {
+			s.stats.NotFound++
+		}
+		s.mu.Unlock()
+		if !ok {
+			return sga.New([]byte(StatusNotFound)), false
+		}
+		// Zero-copy: the stored buffer itself is the response segment.
+		return sga.New([]byte(StatusOK), sv.val), false
+	case OpSet:
+		if len(segs) < 3 {
+			s.count(func(st *Stats) { st.BadRequests++ })
+			return sga.New([]byte(StatusError)), false
+		}
+		val := segs[2].Buf
+		s.mu.Lock()
+		old, had := s.store[key]
+		s.store[key] = storedVal{val: val, s: req}
+		s.stats.Sets++
+		s.stats.BytesStored += int64(len(val))
+		if had {
+			s.stats.BytesStored -= int64(len(old.val))
+		}
+		s.mu.Unlock()
+		if had {
+			old.s.Free() // the swapped-out buffer goes back to the pool
+		}
+		return sga.New([]byte(StatusOK)), true
+	case OpDel:
+		s.mu.Lock()
+		old, had := s.store[key]
+		delete(s.store, key)
+		s.stats.Dels++
+		if had {
+			s.stats.BytesStored -= int64(len(old.val))
+		}
+		s.mu.Unlock()
+		if had {
+			old.s.Free()
+			return sga.New([]byte(StatusOK)), false
+		}
+		return sga.New([]byte(StatusNotFound)), false
+	default:
+		s.count(func(st *Stats) { st.BadRequests++ })
+		return sga.New([]byte(StatusError)), false
+	}
+}
+
+func (s *Server) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Len returns the number of stored keys.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.store)
+}
+
+// Client is a KV client over one Demikernel libOS.
+type Client struct {
+	lib *core.LibOS
+	qd  core.QD
+}
+
+// NewClient creates a client on lib.
+func NewClient(lib *core.LibOS) *Client {
+	return &Client{lib: lib}
+}
+
+// Connect dials the server.
+func (c *Client) Connect(addr core.Addr) error {
+	qd, err := c.lib.Socket()
+	if err != nil {
+		return err
+	}
+	if err := c.lib.Connect(qd, addr); err != nil {
+		return err
+	}
+	c.qd = qd
+	return nil
+}
+
+// roundTrip pushes a request and waits for its response.
+func (c *Client) roundTrip(req sga.SGA, appCost simclock.Lat) (sga.SGA, simclock.Lat, error) {
+	qt, err := c.lib.PushCost(c.qd, req, appCost)
+	if err != nil {
+		return sga.SGA{}, 0, err
+	}
+	if _, err := c.lib.Wait(qt); err != nil {
+		return sga.SGA{}, 0, err
+	}
+	comp, err := c.lib.BlockingPop(c.qd)
+	if err != nil {
+		return sga.SGA{}, 0, err
+	}
+	if comp.Err != nil {
+		return sga.SGA{}, 0, comp.Err
+	}
+	return comp.SGA, comp.Cost, nil
+}
+
+// Get fetches key; found is false on StatusNotFound.
+func (c *Client) Get(key string) (val []byte, cost simclock.Lat, found bool, err error) {
+	resp, cost, err := c.roundTrip(sga.New([]byte(OpGet), []byte(key)), 0)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	status := string(resp.Segments[0].Buf)
+	switch status {
+	case StatusOK:
+		if resp.NumSegments() < 2 {
+			return nil, cost, false, ErrBadRequest
+		}
+		return resp.Segments[1].Buf, cost, true, nil
+	case StatusNotFound:
+		return nil, cost, false, nil
+	default:
+		return nil, cost, false, fmt.Errorf("kv: server error %q", status)
+	}
+}
+
+// Set stores key=val. The value segment travels and is stored zero-copy.
+func (c *Client) Set(key string, val []byte) (simclock.Lat, error) {
+	resp, cost, err := c.roundTrip(sga.New([]byte(OpSet), []byte(key), val), 0)
+	if err != nil {
+		return 0, err
+	}
+	if status := string(resp.Segments[0].Buf); status != StatusOK {
+		return cost, fmt.Errorf("kv: set failed: %q", status)
+	}
+	return cost, nil
+}
+
+// Del removes key; found reports whether it existed.
+func (c *Client) Del(key string) (found bool, err error) {
+	resp, _, err := c.roundTrip(sga.New([]byte(OpDel), []byte(key)), 0)
+	if err != nil {
+		return false, err
+	}
+	return string(resp.Segments[0].Buf) == StatusOK, nil
+}
+
+// Close shuts the client connection.
+func (c *Client) Close() error { return c.lib.Close(c.qd) }

@@ -1,0 +1,222 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+
+	demi "demikernel"
+	"demikernel/internal/sga"
+)
+
+// harness builds a connected client/server pair over the given libOS
+// flavour; the same test body runs over all of them (§4.1 portability).
+type harness struct {
+	cluster *demi.Cluster
+	server  *Server
+	client  *Client
+	stop    []func()
+}
+
+func newHarness(t *testing.T, flavor string, seed int64) *harness {
+	t.Helper()
+	c := demi.NewCluster(seed)
+	mk := func(host byte) *demi.Node {
+		switch flavor {
+		case "catnip":
+			return c.NewCatnipNode(demi.NodeConfig{Host: host})
+		case "catnap":
+			return c.NewCatnapNode(demi.NodeConfig{Host: host})
+		case "catmint":
+			return c.NewCatmintNode(demi.NodeConfig{Host: host})
+		default:
+			t.Fatalf("unknown flavor %q", flavor)
+			return nil
+		}
+	}
+	srvNode := mk(1)
+	cliNode := mk(2)
+
+	srv := NewServer(srvNode.LibOS, &c.Model)
+	if err := srv.Listen(6379); err != nil {
+		t.Fatal(err)
+	}
+	stopSrvPoll := srvNode.Background()
+	stopCliPoll := cliNode.Background()
+	stopServe := make(chan struct{})
+	go srv.Run(stopServe)
+
+	cli := NewClient(cliNode.LibOS)
+	if err := cli.Connect(c.AddrOf(srvNode, 6379)); err != nil {
+		t.Fatal(err)
+	}
+	return &harness{
+		cluster: c,
+		server:  srv,
+		client:  cli,
+		stop: []func(){
+			func() { close(stopServe) },
+			stopCliPoll,
+			stopSrvPoll,
+		},
+	}
+}
+
+func (h *harness) close() {
+	for _, f := range h.stop {
+		f()
+	}
+}
+
+func testBasicOps(t *testing.T, flavor string, seed int64) {
+	h := newHarness(t, flavor, seed)
+	defer h.close()
+	cli := h.client
+
+	// Missing key.
+	if _, _, found, err := cli.Get("nope"); err != nil || found {
+		t.Fatalf("get missing: found=%v err=%v", found, err)
+	}
+	// Set then get.
+	if _, err := cli.Set("k1", []byte("value-1")); err != nil {
+		t.Fatal(err)
+	}
+	val, _, found, err := cli.Get("k1")
+	if err != nil || !found {
+		t.Fatalf("get: found=%v err=%v", found, err)
+	}
+	if string(val) != "value-1" {
+		t.Fatalf("val = %q", val)
+	}
+	// Overwrite.
+	if _, err := cli.Set("k1", []byte("value-2")); err != nil {
+		t.Fatal(err)
+	}
+	val, _, _, _ = cli.Get("k1")
+	if string(val) != "value-2" {
+		t.Fatalf("overwritten val = %q", val)
+	}
+	// Delete.
+	if found, err := cli.Del("k1"); err != nil || !found {
+		t.Fatalf("del: found=%v err=%v", found, err)
+	}
+	if found, _ := cli.Del("k1"); found {
+		t.Fatal("double delete reported found")
+	}
+	if _, _, found, _ := cli.Get("k1"); found {
+		t.Fatal("deleted key still readable")
+	}
+
+	st := h.server.Stats()
+	if st.Sets != 2 || st.Gets != 4 || st.Dels != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestKVOverCatnip(t *testing.T)  { testBasicOps(t, "catnip", 21) }
+func TestKVOverCatnap(t *testing.T)  { testBasicOps(t, "catnap", 22) }
+func TestKVOverCatmint(t *testing.T) { testBasicOps(t, "catmint", 23) }
+
+func TestKVLargeValues(t *testing.T) {
+	h := newHarness(t, "catnip", 24)
+	defer h.close()
+	val := bytes.Repeat([]byte{0xAB}, 8000)
+	if _, err := h.client.Set("big", val); err != nil {
+		t.Fatal(err)
+	}
+	got, _, found, err := h.client.Get("big")
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatal("large value corrupted")
+	}
+}
+
+func TestKVManyKeys(t *testing.T) {
+	h := newHarness(t, "catnip", 25)
+	defer h.close()
+	for i := 0; i < 50; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if _, err := h.client.Set(key, []byte{byte(i)}); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	if h.server.Len() != 50 {
+		t.Fatalf("stored keys = %d", h.server.Len())
+	}
+	for i := 0; i < 50; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		val, _, found, err := h.client.Get(key)
+		if err != nil || !found || val[0] != byte(i) {
+			t.Fatalf("get %q: %v %v %v", key, val, found, err)
+		}
+	}
+}
+
+func TestApplyMalformedRequests(t *testing.T) {
+	c := demi.NewCluster(26)
+	node := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	srv := NewServer(node.LibOS, &c.Model)
+
+	resp, retain := srv.Apply(sga.New([]byte("GET"))) // missing key
+	if retain || string(resp.Segments[0].Buf) != StatusError {
+		t.Fatalf("resp = %v", resp)
+	}
+	resp, _ = srv.Apply(sga.New([]byte("SET"), []byte("k"))) // missing value
+	if string(resp.Segments[0].Buf) != StatusError {
+		t.Fatalf("resp = %v", resp)
+	}
+	resp, _ = srv.Apply(sga.New([]byte("WAT"), []byte("k")))
+	if string(resp.Segments[0].Buf) != StatusError {
+		t.Fatalf("resp = %v", resp)
+	}
+	if srv.Stats().BadRequests != 3 {
+		t.Fatalf("BadRequests = %d", srv.Stats().BadRequests)
+	}
+}
+
+func TestApplyZeroCopySetRetains(t *testing.T) {
+	// The SET request's value segment must be stored by reference: the
+	// paper's pointer-swap discipline, not a copy.
+	c := demi.NewCluster(27)
+	node := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	srv := NewServer(node.LibOS, &c.Model)
+
+	val := []byte("owned-by-store")
+	req := sga.New([]byte(OpSet), []byte("k"), val)
+	resp, retain := srv.Apply(req)
+	if !retain {
+		t.Fatal("SET must retain the request SGA")
+	}
+	if string(resp.Segments[0].Buf) != StatusOK {
+		t.Fatalf("resp = %v", resp)
+	}
+	getResp, retain2 := srv.Apply(sga.New([]byte(OpGet), []byte("k")))
+	if retain2 {
+		t.Fatal("GET must not retain")
+	}
+	// Mutating the original buffer must be visible through GET: proof
+	// the store aliases rather than copies.
+	val[0] = 'X'
+	if getResp.Segments[1].Buf[0] != 'X' {
+		t.Fatal("store copied the value instead of retaining the buffer")
+	}
+}
+
+func TestSetOverwriteFreesOldBuffer(t *testing.T) {
+	c := demi.NewCluster(28)
+	node := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	srv := NewServer(node.LibOS, &c.Model)
+
+	freed := 0
+	old := sga.New([]byte(OpSet), []byte("k"), []byte("old")).WithFree(func() { freed++ })
+	srv.Apply(old)
+	srv.Apply(sga.New([]byte(OpSet), []byte("k"), []byte("new")))
+	if freed != 1 {
+		t.Fatalf("old buffer freed %d times, want 1 (free-protection handoff)", freed)
+	}
+	resp, _ := srv.Apply(sga.New([]byte(OpGet), []byte("k")))
+	if string(resp.Segments[1].Buf) != "new" {
+		t.Fatalf("value = %q", resp.Segments[1].Buf)
+	}
+}

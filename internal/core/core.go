@@ -1,0 +1,633 @@
+// Package core implements the Demikernel system-call interface of
+// Figure 3 in the paper: control-path calls (Socket, Bind, Listen,
+// Accept, Connect, Close, Open, Create, Queue, Merge, Filter, Sort, Map,
+// QConnect) and data-path calls (Push, Pop, Wait, WaitAny, WaitAll,
+// BlockingPush, BlockingPop) over queue descriptors.
+//
+// The package is device-independent. Device specifics live in library
+// OSes (internal/libos/...), each of which implements the Transport
+// interface for one class of kernel-bypass accelerator, exactly as each
+// Demikernel libOS targets one accelerator type (§4.1). The public facade
+// for applications is the root package demikernel, which re-exports this
+// API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"demikernel/internal/fabric"
+	"demikernel/internal/netstack"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+)
+
+// QD is a queue descriptor: what a file descriptor becomes when I/O is
+// queues (§4.3: calls "which would previously return a file descriptor,
+// now return a queue descriptor").
+type QD int
+
+// InvalidQD is returned by failing control-path calls.
+const InvalidQD QD = -1
+
+// Errors returned by the syscall layer.
+var (
+	ErrBadQD        = errors.New("demikernel: bad queue descriptor")
+	ErrNotSupported = errors.New("demikernel: operation not supported by this libOS")
+	ErrTimeout      = errors.New("demikernel: wait timed out")
+	ErrNotListening = errors.New("demikernel: not a listening queue")
+)
+
+// Addr names a network endpoint. TCP-style transports use IP:Port;
+// RDMA-style transports address by MAC:Port. Both fields are carried so
+// one application Addr works across libOSes (§4.1 portability).
+type Addr struct {
+	IP   netstack.IPv4Addr
+	MAC  fabric.MAC
+	Port uint16
+}
+
+// String formats the address.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// Features describes which OS functionality a device class provides in
+// hardware versus what the libOS must supply in software — the Table 1
+// taxonomy, made machine-readable for the E2 experiment.
+type Features struct {
+	// KernelBypass is true for every kernel-bypass accelerator.
+	KernelBypass bool
+	// HWTransport: the device implements a reliable transport (RDMA).
+	HWTransport bool
+	// HWBufferMgmt: the device manages receive buffers itself.
+	HWBufferMgmt bool
+	// HWOffloads: the device can run filters/maps (FPGA/SoC class).
+	HWOffloads bool
+	// SoftwareSupplied lists the OS components this libOS had to
+	// implement on the CPU to close the gap (§2).
+	SoftwareSupplied []string
+}
+
+// Endpoint is a network queue endpoint provided by a Transport. It is a
+// Demikernel I/O queue plus the POSIX-shaped control-path operations.
+type Endpoint interface {
+	queue.IoQueue
+	Bind(addr Addr) error
+	Listen() error
+	// Accept returns a new endpoint for one pending connection, or
+	// ok=false when none is pending.
+	Accept() (Endpoint, bool, error)
+	// Connect starts connecting; completion is observed via Connected.
+	Connect(addr Addr) error
+	Connected() bool
+	// LocalAddr reports the bound address.
+	LocalAddr() Addr
+}
+
+// Transport is what each library OS implements for its accelerator.
+type Transport interface {
+	// Name identifies the libOS (catnap, catnip, catmint, catfish).
+	Name() string
+	// Features describes the hardware/software split (Table 1).
+	Features() Features
+	// Socket creates an unbound, stream-style network endpoint.
+	Socket() (Endpoint, error)
+	// SocketUDP creates an unbound datagram endpoint on transports with
+	// a datagram path; others return ErrNotSupported.
+	SocketUDP() (Endpoint, error)
+	// Open opens a named file queue on storage transports.
+	Open(path string) (queue.IoQueue, error)
+	// AllocSGA allocates an n-byte single-segment SGA from
+	// device-registered memory (§4.5: the libOS memory manager). The
+	// fallback is plain heap memory.
+	AllocSGA(n int) sga.SGA
+	// Poll pumps the transport's data path once.
+	Poll() int
+}
+
+// qdKind discriminates descriptor types.
+type qdKind int
+
+const (
+	qdEndpoint qdKind = iota
+	qdQueue           // plain or composed IoQueue (memory, file, filter...)
+)
+
+type qdesc struct {
+	kind qdKind
+	ep   Endpoint
+	q    queue.IoQueue
+}
+
+func (d *qdesc) ioq() queue.IoQueue {
+	if d.kind == qdEndpoint {
+		return d.ep
+	}
+	return d.q
+}
+
+// LibOS is one Demikernel library-OS instance: a Transport plus the
+// queue-descriptor table, the qtoken completer, and the wait machinery.
+// It is safe for concurrent use.
+type LibOS struct {
+	t         Transport
+	model     *simclock.CostModel
+	completer *queue.Completer
+
+	mu       sync.Mutex
+	qds      map[QD]*qdesc
+	next     QD
+	forwards []*forward
+
+	// WaitTimeout bounds Wait/WaitAny/WaitAll spinning. The default
+	// (5s of wall time) exists so a lost completion fails loudly in
+	// tests instead of hanging.
+	WaitTimeout time.Duration
+}
+
+type forward struct {
+	in, out queue.IoQueue
+	stop    bool
+}
+
+// New creates a libOS over the given transport, charging composed-queue
+// costs against model.
+func New(t Transport, model *simclock.CostModel) *LibOS {
+	return &LibOS{
+		t:           t,
+		model:       model,
+		completer:   queue.NewCompleter(),
+		qds:         make(map[QD]*qdesc),
+		next:        1,
+		WaitTimeout: 5 * time.Second,
+	}
+}
+
+// Name returns the underlying libOS name.
+func (l *LibOS) Name() string { return l.t.Name() }
+
+// Features returns the transport's Table 1 feature description.
+func (l *LibOS) Features() Features { return l.t.Features() }
+
+// AllocSGA allocates from the libOS memory manager (§4.5).
+func (l *LibOS) AllocSGA(n int) sga.SGA { return l.t.AllocSGA(n) }
+
+// Completer exposes the token table (used by experiments and the
+// blocking-wait API).
+func (l *LibOS) Completer() *queue.Completer { return l.completer }
+
+func (l *LibOS) insert(d *qdesc) QD {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	qd := l.next
+	l.next++
+	l.qds[qd] = d
+	return qd
+}
+
+func (l *LibOS) get(qd QD) (*qdesc, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.qds[qd]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadQD, qd)
+	}
+	return d, nil
+}
+
+// --- control path: network (Figure 3, top-left) ---
+
+// Socket creates a network queue endpoint and returns its descriptor.
+func (l *LibOS) Socket() (QD, error) {
+	ep, err := l.t.Socket()
+	if err != nil {
+		return InvalidQD, err
+	}
+	return l.insert(&qdesc{kind: qdEndpoint, ep: ep}), nil
+}
+
+// EndpointOf returns the transport endpoint behind a socket queue
+// descriptor, for transport-specific extensions (e.g. catmint's
+// one-sided remote-memory operations).
+func (l *LibOS) EndpointOf(qd QD) (Endpoint, error) {
+	d, err := l.get(qd)
+	if err != nil {
+		return nil, err
+	}
+	if d.kind != qdEndpoint {
+		return nil, ErrBadQD
+	}
+	return d.ep, nil
+}
+
+// SocketUDP creates a datagram queue endpoint. Datagrams are natural
+// atomic units, so no stream framing is involved; each pushed SGA
+// travels as one datagram.
+func (l *LibOS) SocketUDP() (QD, error) {
+	ep, err := l.t.SocketUDP()
+	if err != nil {
+		return InvalidQD, err
+	}
+	return l.insert(&qdesc{kind: qdEndpoint, ep: ep}), nil
+}
+
+// Bind binds a socket queue to a local address.
+func (l *LibOS) Bind(qd QD, addr Addr) error {
+	d, err := l.get(qd)
+	if err != nil {
+		return err
+	}
+	if d.kind != qdEndpoint {
+		return ErrBadQD
+	}
+	return d.ep.Bind(addr)
+}
+
+// Listen marks a bound socket queue as accepting connections.
+func (l *LibOS) Listen(qd QD) error {
+	d, err := l.get(qd)
+	if err != nil {
+		return err
+	}
+	if d.kind != qdEndpoint {
+		return ErrBadQD
+	}
+	return d.ep.Listen()
+}
+
+// Accept waits (control path, so blocking is acceptable) for one inbound
+// connection and returns its queue descriptor.
+func (l *LibOS) Accept(qd QD) (QD, error) {
+	d, err := l.get(qd)
+	if err != nil {
+		return InvalidQD, err
+	}
+	if d.kind != qdEndpoint {
+		return InvalidQD, ErrBadQD
+	}
+	deadline := time.Now().Add(l.WaitTimeout)
+	for {
+		ep, ok, err := d.ep.Accept()
+		if err != nil {
+			return InvalidQD, err
+		}
+		if ok {
+			return l.insert(&qdesc{kind: qdEndpoint, ep: ep}), nil
+		}
+		if time.Now().After(deadline) {
+			return InvalidQD, ErrTimeout
+		}
+		l.Poll()
+		runtime.Gosched()
+	}
+}
+
+// TryAccept is the non-blocking accept used by event loops.
+func (l *LibOS) TryAccept(qd QD) (QD, bool, error) {
+	d, err := l.get(qd)
+	if err != nil {
+		return InvalidQD, false, err
+	}
+	if d.kind != qdEndpoint {
+		return InvalidQD, false, ErrBadQD
+	}
+	ep, ok, err := d.ep.Accept()
+	if err != nil || !ok {
+		return InvalidQD, false, err
+	}
+	return l.insert(&qdesc{kind: qdEndpoint, ep: ep}), true, nil
+}
+
+// Connect connects a socket queue to a remote address, polling the data
+// path until the connection establishes (control path; may block).
+func (l *LibOS) Connect(qd QD, addr Addr) error {
+	d, err := l.get(qd)
+	if err != nil {
+		return err
+	}
+	if d.kind != qdEndpoint {
+		return ErrBadQD
+	}
+	if err := d.ep.Connect(addr); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(l.WaitTimeout)
+	for !d.ep.Connected() {
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		l.Poll()
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// Close tears down a queue descriptor.
+func (l *LibOS) Close(qd QD) error {
+	l.mu.Lock()
+	d, ok := l.qds[qd]
+	if ok {
+		delete(l.qds, qd)
+	}
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadQD, qd)
+	}
+	return d.ioq().Close()
+}
+
+// --- control path: files (Figure 3, bottom-left) ---
+
+// Open opens a named file queue (storage transports only).
+func (l *LibOS) Open(path string) (QD, error) {
+	q, err := l.t.Open(path)
+	if err != nil {
+		return InvalidQD, err
+	}
+	return l.insert(&qdesc{kind: qdQueue, q: q}), nil
+}
+
+// Create creates (or opens) a named file queue; with the log-structured
+// store underneath, creation and open are the same operation.
+func (l *LibOS) Create(path string) (QD, error) { return l.Open(path) }
+
+// --- control path: queue composition (Figure 3, top-right) ---
+
+// Queue creates a plain memory queue.
+func (l *LibOS) Queue() QD {
+	return l.insert(&qdesc{kind: qdQueue, q: queue.NewMemQueue(0)})
+}
+
+// Merge returns a queue combining qd1 and qd2: pops drain either, pushes
+// land in both.
+func (l *LibOS) Merge(qd1, qd2 QD) (QD, error) {
+	d1, err := l.get(qd1)
+	if err != nil {
+		return InvalidQD, err
+	}
+	d2, err := l.get(qd2)
+	if err != nil {
+		return InvalidQD, err
+	}
+	m := queue.NewMergeQueue(d1.ioq(), d2.ioq(), 0)
+	return l.insert(&qdesc{kind: qdQueue, q: m}), nil
+}
+
+// Filter returns a queue exposing only elements of qd that match fn.
+// The libOS lowers the filter onto the device when the transport supports
+// it and otherwise runs it on the CPU (§4.3); lowering is the business of
+// transport-specific helpers (see internal/offload).
+func (l *LibOS) Filter(qd QD, fn queue.FilterFunc) (QD, error) {
+	d, err := l.get(qd)
+	if err != nil {
+		return InvalidQD, err
+	}
+	f := queue.NewFilterQueue(d.ioq(), fn, l.model)
+	return l.insert(&qdesc{kind: qdQueue, q: f}), nil
+}
+
+// Sort returns a queue that pops elements of qd in priority order.
+func (l *LibOS) Sort(qd QD, less queue.LessFunc) (QD, error) {
+	d, err := l.get(qd)
+	if err != nil {
+		return InvalidQD, err
+	}
+	s := queue.NewSortQueue(d.ioq(), less, 0)
+	return l.insert(&qdesc{kind: qdQueue, q: s}), nil
+}
+
+// Map returns a queue applying fn to every element crossing qd.
+func (l *LibOS) Map(qd QD, fn queue.MapFunc) (QD, error) {
+	d, err := l.get(qd)
+	if err != nil {
+		return InvalidQD, err
+	}
+	m := queue.NewMapQueue(d.ioq(), fn, l.model)
+	return l.insert(&qdesc{kind: qdQueue, q: m}), nil
+}
+
+// QConnect plumbs qdin's pops into pushes on qdout; the forwarding runs
+// inside Poll. It is how pipelines of queues are stitched together.
+func (l *LibOS) QConnect(qdin, qdout QD) error {
+	din, err := l.get(qdin)
+	if err != nil {
+		return err
+	}
+	dout, err := l.get(qdout)
+	if err != nil {
+		return err
+	}
+	f := &forward{in: din.ioq(), out: dout.ioq()}
+	l.mu.Lock()
+	l.forwards = append(l.forwards, f)
+	l.mu.Unlock()
+	l.startForward(f)
+	return nil
+}
+
+func (l *LibOS) startForward(f *forward) {
+	f.in.Pop(func(c queue.Completion) {
+		if c.Err != nil || f.stop {
+			return
+		}
+		f.out.Push(c.SGA, c.Cost, func(queue.Completion) {})
+		l.startForward(f)
+	})
+}
+
+// --- data path (Figure 3, bottom) ---
+
+// Push submits an SGA into a queue as one atomic element and returns a
+// qtoken for its completion.
+func (l *LibOS) Push(qd QD, s sga.SGA) (queue.QToken, error) {
+	return l.PushCost(qd, s, 0)
+}
+
+// PushCost is Push carrying virtual application-compute cost already
+// spent on the element (experiments use it to model the §3.2 2µs Redis
+// request).
+func (l *LibOS) PushCost(qd QD, s sga.SGA, cost simclock.Lat) (queue.QToken, error) {
+	d, err := l.get(qd)
+	if err != nil {
+		return 0, err
+	}
+	qt, done := l.completer.NewToken()
+	d.ioq().Push(s, cost, done)
+	return qt, nil
+}
+
+// Pop requests the next element of a queue and returns a qtoken.
+func (l *LibOS) Pop(qd QD) (queue.QToken, error) {
+	d, err := l.get(qd)
+	if err != nil {
+		return 0, err
+	}
+	qt, done := l.completer.NewToken()
+	d.ioq().Pop(done)
+	return qt, nil
+}
+
+// Poll pumps the whole libOS data path once: transport, composed queues,
+// and qconnect forwarding.
+func (l *LibOS) Poll() int {
+	n := l.t.Poll()
+	l.mu.Lock()
+	qs := make([]queue.IoQueue, 0, len(l.qds))
+	for _, d := range l.qds {
+		qs = append(qs, d.ioq())
+	}
+	l.mu.Unlock()
+	for _, q := range qs {
+		n += q.Pump()
+	}
+	return n
+}
+
+// Background starts a goroutine that pumps Poll continuously, yielding
+// the processor when idle, and returns a function that stops it. A real
+// Demikernel deployment dedicates a polling thread per libOS in exactly
+// this shape; tests, examples, and experiments use it so that both ends
+// of a connection make progress.
+func (l *LibOS) Background() (stop func()) {
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if l.Poll() == 0 {
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				// On small GOMAXPROCS, yield so peer pollers and the
+				// application goroutines interleave at poll granularity
+				// instead of the scheduler's preemption interval.
+				runtime.Gosched()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-stopped
+	}
+}
+
+// TryWait returns qt's completion if it has arrived (consuming the
+// token), without polling.
+func (l *LibOS) TryWait(qt queue.QToken) (queue.Completion, bool, error) {
+	return l.completer.TryWait(qt)
+}
+
+// Wait polls the data path until qt completes and returns its completion.
+// Because "wait directly returns the data from the operation", a pop's
+// SGA arrives here with no further call (§4.4).
+func (l *LibOS) Wait(qt queue.QToken) (queue.Completion, error) {
+	deadline := time.Now().Add(l.WaitTimeout)
+	for {
+		c, ok, err := l.completer.TryWait(qt)
+		if err != nil {
+			return queue.Completion{}, err
+		}
+		if ok {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return queue.Completion{}, ErrTimeout
+		}
+		l.Poll()
+		runtime.Gosched()
+	}
+}
+
+// WaitAny polls until any of the tokens completes; it returns the index
+// of the winner and its completion. It is the queue-native replacement
+// for an epoll loop (§4.4).
+func (l *LibOS) WaitAny(qts []queue.QToken) (int, queue.Completion, error) {
+	deadline := time.Now().Add(l.WaitTimeout)
+	for {
+		for i, qt := range qts {
+			c, ok, err := l.completer.TryWait(qt)
+			if err != nil {
+				return i, queue.Completion{}, err
+			}
+			if ok {
+				return i, c, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return -1, queue.Completion{}, ErrTimeout
+		}
+		l.Poll()
+		runtime.Gosched()
+	}
+}
+
+// WaitAll polls until every token completes, returning completions in
+// token order.
+func (l *LibOS) WaitAll(qts []queue.QToken) ([]queue.Completion, error) {
+	out := make([]queue.Completion, len(qts))
+	donemask := make([]bool, len(qts))
+	remaining := len(qts)
+	deadline := time.Now().Add(l.WaitTimeout)
+	for remaining > 0 {
+		progressed := false
+		for i, qt := range qts {
+			if donemask[i] {
+				continue
+			}
+			c, ok, err := l.completer.TryWait(qt)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out[i] = c
+				donemask[i] = true
+				remaining--
+				progressed = true
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if !progressed && time.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		l.Poll()
+		runtime.Gosched()
+	}
+	return out, nil
+}
+
+// WaitChan subscribes a blocking waiter to qt: the channel delivers the
+// completion and wakes exactly this one waiter (§4.4). The caller must
+// keep another thread pumping Poll, as a scheduler-integrated Demikernel
+// deployment would.
+func (l *LibOS) WaitChan(qt queue.QToken) (<-chan queue.Completion, error) {
+	return l.completer.WaitChan(qt)
+}
+
+// BlockingPush is "identical to a push, followed by a wait on the
+// returned qtoken" (Figure 3).
+func (l *LibOS) BlockingPush(qd QD, s sga.SGA) (queue.Completion, error) {
+	qt, err := l.Push(qd, s)
+	if err != nil {
+		return queue.Completion{}, err
+	}
+	return l.Wait(qt)
+}
+
+// BlockingPop is "identical to a pop, followed by a wait on the returned
+// qtoken" (Figure 3).
+func (l *LibOS) BlockingPop(qd QD) (queue.Completion, error) {
+	qt, err := l.Pop(qd)
+	if err != nil {
+		return queue.Completion{}, err
+	}
+	return l.Wait(qt)
+}

@@ -1,0 +1,184 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	demi "demikernel"
+	"demikernel/internal/core"
+	"demikernel/internal/queue"
+)
+
+func newNode(t *testing.T, seed int64) *demi.Node {
+	t.Helper()
+	return demi.NewCluster(seed).NewCatnipNode(demi.NodeConfig{Host: 1})
+}
+
+func TestWaitUnknownToken(t *testing.T) {
+	n := newNode(t, 111)
+	if _, err := n.Wait(queue.QToken(424242)); !errors.Is(err, queue.ErrUnknownToken) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWaitTimesOut(t *testing.T) {
+	n := newNode(t, 112)
+	n.WaitTimeout = 30 * time.Millisecond
+	q := n.Queue()
+	qt, err := n.Pop(q) // nothing will ever arrive
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := n.Wait(qt); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout far exceeded WaitTimeout")
+	}
+}
+
+func TestAcceptTimesOut(t *testing.T) {
+	n := newNode(t, 113)
+	n.WaitTimeout = 30 * time.Millisecond
+	qd, _ := n.Socket()
+	n.Bind(qd, demi.Addr{Port: 99})
+	n.Listen(qd)
+	if _, err := n.Accept(qd); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWaitAnyTimesOut(t *testing.T) {
+	n := newNode(t, 114)
+	n.WaitTimeout = 30 * time.Millisecond
+	q := n.Queue()
+	qt, _ := n.Pop(q)
+	if _, _, err := n.WaitAny([]queue.QToken{qt}); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEndpointOfNonEndpoint(t *testing.T) {
+	n := newNode(t, 115)
+	q := n.Queue()
+	if _, err := n.EndpointOf(q); !errors.Is(err, core.ErrBadQD) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.EndpointOf(demi.QD(999)); !errors.Is(err, core.ErrBadQD) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateAliasesOpenOnStorage(t *testing.T) {
+	c := demi.NewCluster(116)
+	n, err := c.NewCatfishNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, err := n.Create("/made")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.BlockingPush(qd, demi.NewSGA([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	qd2, err := n.Open("/made")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := n.BlockingPop(qd2)
+	if err != nil || string(comp.SGA.Bytes()) != "x" {
+		t.Fatalf("comp=%v err=%v", comp, err)
+	}
+}
+
+func TestQConnectChain(t *testing.T) {
+	// queue -> filter -> queue via two qconnects: a §4.3 pipeline
+	// stitched from forwarding rules.
+	n := newNode(t, 117)
+	in := n.Queue()
+	mid, err := n.Filter(n.Queue(), func(s demi.SGA) bool { return s.Len() >= 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.Queue()
+	if err := n.QConnect(in, mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.QConnect(mid, out); err != nil {
+		t.Fatal(err)
+	}
+	n.BlockingPush(in, demi.NewSGA([]byte("y")))  // filtered out
+	n.BlockingPush(in, demi.NewSGA([]byte("ok"))) // passes
+	comp, err := n.BlockingPop(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(comp.SGA.Bytes()) != "ok" {
+		t.Fatalf("got %q", comp.SGA.Bytes())
+	}
+}
+
+func TestCloseFailsOutstandingOps(t *testing.T) {
+	n := newNode(t, 118)
+	q := n.Queue()
+	qt, _ := n.Pop(q)
+	if err := n.Close(q); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := n.Wait(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(comp.Err, queue.ErrClosed) {
+		t.Fatalf("comp.Err = %v", comp.Err)
+	}
+	// The descriptor is gone.
+	if _, err := n.Pop(q); !errors.Is(err, core.ErrBadQD) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTryWaitNonBlocking(t *testing.T) {
+	n := newNode(t, 119)
+	q := n.Queue()
+	qt, _ := n.Pop(q)
+	if _, ok, err := n.TryWait(qt); ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	n.BlockingPush(q, demi.NewSGA([]byte("now")))
+	comp, ok, err := n.TryWait(qt)
+	if !ok || err != nil || string(comp.SGA.Bytes()) != "now" {
+		t.Fatalf("ok=%v err=%v comp=%v", ok, err, comp)
+	}
+}
+
+func TestMergeOfComposedQueues(t *testing.T) {
+	n := newNode(t, 120)
+	a, b := n.Queue(), n.Queue()
+	fa, err := n.Filter(a, func(s demi.SGA) bool { return s.Bytes()[0] == 'A' })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := n.Merge(fa, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.BlockingPush(a, demi.NewSGA([]byte("X-dropped")))
+	n.BlockingPush(a, demi.NewSGA([]byte("A-pass")))
+	n.BlockingPush(b, demi.NewSGA([]byte("B-direct")))
+	n.Poll()
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		comp, err := n.BlockingPop(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[string(comp.SGA.Bytes())] = true
+	}
+	if !seen["A-pass"] || !seen["B-direct"] {
+		t.Fatalf("merged = %v", seen)
+	}
+}

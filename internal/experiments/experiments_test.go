@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestAllExperimentsReproduceShapes runs every experiment in the index
+// and asserts every shape check — this is the reproduction gate: if a
+// code change breaks a paper claim's shape, this test fails.
+func TestAllExperimentsReproduceShapes(t *testing.T) {
+	for _, exp := range All {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := exp.Run(42)
+			if err != nil {
+				t.Fatalf("%s (%s) failed to run: %v", exp.ID, exp.Title, err)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.ID)
+			}
+			if len(res.Checks) == 0 {
+				t.Fatalf("%s asserted nothing", exp.ID)
+			}
+			for _, c := range res.Checks {
+				if !c.OK {
+					t.Errorf("%s shape check failed: %s (%s)", exp.ID, c.Name, c.Detail)
+				}
+			}
+			for _, tbl := range res.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s table %q is empty", exp.ID, tbl.Title)
+				}
+				t.Logf("\n%s", tbl.String())
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 should not exist")
+	}
+	// IDs must be unique and sequential with the DESIGN.md index.
+	seen := map[string]bool{}
+	for _, e := range All {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Source == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("%s missing metadata", e.ID)
+		}
+	}
+	if len(All) != 15 {
+		t.Fatalf("experiment count = %d, want 13 paper experiments + 2 ablations", len(All))
+	}
+}
+
+// TestExperimentsDeterministic: same seed, same tables (E1 spot check).
+func TestExperimentsDeterministic(t *testing.T) {
+	e, _ := ByID("E3")
+	r1, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Tables[0].String() != r2.Tables[0].String() {
+		t.Fatalf("E3 not deterministic:\n%s\nvs\n%s", r1.Tables[0], r2.Tables[0])
+	}
+}

@@ -1,0 +1,242 @@
+// Package fabric simulates the datacenter network that connects the
+// simulated kernel-bypass NICs: a learning Ethernet switch with per-link
+// propagation delay and configurable fault injection (loss, duplication,
+// reordering).
+//
+// The fabric transports raw Ethernet frames as byte slices, exactly as a
+// physical wire would; all structure above the Ethernet header is the
+// business of the network stacks built on top (package netstack). Each
+// frame also carries an accumulated virtual-latency cost (see package
+// simclock) so end-to-end simulated latency can be reported
+// deterministically.
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"demikernel/internal/simclock"
+)
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String formats the address in the usual colon notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// MinFrameLen is the smallest frame the fabric will carry: a full
+// Ethernet header (two MACs and an EtherType).
+const MinFrameLen = 14
+
+// Frame is one Ethernet frame in flight, with its accumulated virtual
+// cost. Data holds the full frame starting at the destination MAC.
+type Frame struct {
+	Data []byte
+	Cost simclock.Lat
+}
+
+// DstMAC returns the destination address of a well-formed frame.
+func (f Frame) DstMAC() MAC { var m MAC; copy(m[:], f.Data[0:6]); return m }
+
+// SrcMAC returns the source address of a well-formed frame.
+func (f Frame) SrcMAC() MAC { var m MAC; copy(m[:], f.Data[6:12]); return m }
+
+// Impairments configures fault injection on a switch. Rates are
+// probabilities in [0,1]; injection draws from a deterministic seeded
+// source so experiments are reproducible.
+type Impairments struct {
+	LossRate    float64
+	DupRate     float64
+	ReorderRate float64 // probability a frame is held and swapped with the next
+	ExtraDelay  simclock.Lat
+}
+
+// Stats counts fabric-level events.
+type Stats struct {
+	Delivered       int64
+	Flooded         int64
+	DroppedRxFull   int64
+	InjectedLoss    int64
+	InjectedDup     int64
+	InjectedReorder int64
+}
+
+// Switch is a learning Ethernet switch. Ports attach with NewPort; frames
+// sent on one port are delivered to the port that owns the destination
+// MAC, or flooded when the destination is unknown or broadcast.
+//
+// Switch is safe for concurrent use.
+type Switch struct {
+	model *simclock.CostModel
+
+	mu     sync.Mutex
+	ports  []*Port
+	macTab map[MAC]*Port
+	imp    Impairments
+	rng    *rand.Rand
+	held   *heldFrame // one-slot reorder buffer
+	stats  Stats
+}
+
+type heldFrame struct {
+	frame Frame
+	from  *Port
+}
+
+// NewSwitch returns a switch charging wire costs from model, with fault
+// injection driven by seed.
+func NewSwitch(model *simclock.CostModel, seed int64) *Switch {
+	return &Switch{
+		model:  model,
+		macTab: make(map[MAC]*Port),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetImpairments replaces the fault-injection configuration.
+func (s *Switch) SetImpairments(imp Impairments) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.imp = imp
+}
+
+// Stats returns a snapshot of the switch counters.
+func (s *Switch) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// DefaultPortRing is the default depth of a port's receive ring.
+const DefaultPortRing = 1024
+
+// Port is one attachment point on the switch. A simulated NIC owns a port
+// and polls frames from it.
+type Port struct {
+	sw *Switch
+	rx chan Frame
+}
+
+// NewPort attaches a new port with the given receive-ring depth (0 means
+// DefaultPortRing).
+func (s *Switch) NewPort(ringDepth int) *Port {
+	if ringDepth <= 0 {
+		ringDepth = DefaultPortRing
+	}
+	p := &Port{sw: s, rx: make(chan Frame, ringDepth)}
+	s.mu.Lock()
+	s.ports = append(s.ports, p)
+	s.mu.Unlock()
+	return p
+}
+
+// Send transmits a frame into the fabric. Short frames are dropped, as a
+// physical switch would drop runts.
+func (p *Port) Send(f Frame) {
+	if len(f.Data) < MinFrameLen {
+		return
+	}
+	s := p.sw
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Learn the source address.
+	s.macTab[f.SrcMAC()] = p
+
+	// Fault injection.
+	if s.imp.LossRate > 0 && s.rng.Float64() < s.imp.LossRate {
+		s.stats.InjectedLoss++
+		return
+	}
+	frames := []Frame{f}
+	if s.imp.DupRate > 0 && s.rng.Float64() < s.imp.DupRate {
+		s.stats.InjectedDup++
+		dup := f
+		dup.Data = append([]byte(nil), f.Data...)
+		frames = append(frames, dup)
+	}
+	if s.imp.ReorderRate > 0 {
+		if s.held != nil {
+			// Deliver the new frame first, then the held one.
+			heldF, heldFrom := s.held.frame, s.held.from
+			s.held = nil
+			for _, fr := range frames {
+				s.forwardLocked(fr, p)
+			}
+			s.forwardLocked(heldF, heldFrom)
+			return
+		}
+		if s.rng.Float64() < s.imp.ReorderRate {
+			s.stats.InjectedReorder++
+			s.held = &heldFrame{frame: f, from: p}
+			return
+		}
+	}
+	for _, fr := range frames {
+		s.forwardLocked(fr, p)
+	}
+}
+
+// Flush delivers any frame held by the reorder buffer. Tests and quiesce
+// paths call it so a trailing held frame is not lost.
+func (s *Switch) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.held != nil {
+		h := s.held
+		s.held = nil
+		s.forwardLocked(h.frame, h.from)
+	}
+}
+
+func (s *Switch) forwardLocked(f Frame, from *Port) {
+	f.Cost += s.model.WireDelayNS + s.imp.ExtraDelay
+	dst := f.DstMAC()
+	if !dst.IsBroadcast() {
+		if out, ok := s.macTab[dst]; ok {
+			s.deliverLocked(out, f)
+			return
+		}
+	}
+	// Broadcast or unknown destination: flood.
+	s.stats.Flooded++
+	for _, out := range s.ports {
+		if out == from {
+			continue
+		}
+		df := f
+		df.Data = append([]byte(nil), f.Data...)
+		s.deliverLocked(out, df)
+	}
+}
+
+func (s *Switch) deliverLocked(out *Port, f Frame) {
+	select {
+	case out.rx <- f:
+		s.stats.Delivered++
+	default:
+		s.stats.DroppedRxFull++
+	}
+}
+
+// Poll returns the next received frame without blocking.
+func (p *Port) Poll() (Frame, bool) {
+	select {
+	case f := <-p.rx:
+		return f, true
+	default:
+		return Frame{}, false
+	}
+}
+
+// Recv returns the port's receive channel for event-driven consumers.
+func (p *Port) Recv() <-chan Frame { return p.rx }

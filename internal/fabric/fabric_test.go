@@ -1,0 +1,237 @@
+package fabric
+
+import (
+	"testing"
+
+	"demikernel/internal/simclock"
+)
+
+var (
+	macA = MAC{0x02, 0, 0, 0, 0, 0xA}
+	macB = MAC{0x02, 0, 0, 0, 0, 0xB}
+	macC = MAC{0x02, 0, 0, 0, 0, 0xC}
+)
+
+func frame(dst, src MAC, payload string) Frame {
+	data := make([]byte, 0, 14+len(payload))
+	data = append(data, dst[:]...)
+	data = append(data, src[:]...)
+	data = append(data, 0x08, 0x00)
+	data = append(data, payload...)
+	return Frame{Data: data}
+}
+
+func newTestSwitch() *Switch {
+	model := simclock.Datacenter2019()
+	return NewSwitch(&model, 1)
+}
+
+func TestMACString(t *testing.T) {
+	if got := macA.String(); got != "02:00:00:00:00:0a" {
+		t.Fatalf("MAC.String = %q", got)
+	}
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast must report IsBroadcast")
+	}
+	if macA.IsBroadcast() {
+		t.Fatal("unicast MAC reports broadcast")
+	}
+}
+
+func TestFloodThenLearn(t *testing.T) {
+	sw := newTestSwitch()
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+	pc := sw.NewPort(0)
+
+	// A sends to B before anyone is learned: flood to B and C, not A.
+	pa.Send(frame(macB, macA, "hello"))
+	if _, ok := pa.Poll(); ok {
+		t.Fatal("sender received its own flooded frame")
+	}
+	fb, ok := pb.Poll()
+	if !ok {
+		t.Fatal("B missed the flooded frame")
+	}
+	if string(fb.Data[14:]) != "hello" {
+		t.Fatalf("payload = %q", fb.Data[14:])
+	}
+	if _, ok := pc.Poll(); !ok {
+		t.Fatal("C missed the flooded frame")
+	}
+
+	// B replies; the switch has learned A, so only A receives.
+	pb.Send(frame(macA, macB, "re"))
+	if _, ok := pa.Poll(); !ok {
+		t.Fatal("A missed the reply")
+	}
+	if _, ok := pc.Poll(); ok {
+		t.Fatal("C received a unicast frame after learning")
+	}
+
+	// Now A→B is also learned.
+	pa.Send(frame(macB, macA, "again"))
+	if _, ok := pc.Poll(); ok {
+		t.Fatal("C received learned unicast traffic")
+	}
+	if _, ok := pb.Poll(); !ok {
+		t.Fatal("B missed learned unicast traffic")
+	}
+}
+
+func TestBroadcastFloods(t *testing.T) {
+	sw := newTestSwitch()
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+	pc := sw.NewPort(0)
+	pa.Send(frame(Broadcast, macA, "arp"))
+	if _, ok := pb.Poll(); !ok {
+		t.Fatal("B missed broadcast")
+	}
+	if _, ok := pc.Poll(); !ok {
+		t.Fatal("C missed broadcast")
+	}
+	if _, ok := pa.Poll(); ok {
+		t.Fatal("sender got its own broadcast")
+	}
+}
+
+func TestWireCostAccumulates(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := NewSwitch(&model, 1)
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+	_ = pb
+	in := frame(macB, macA, "x")
+	in.Cost = 100
+	pa.Send(in)
+	// flooded to b
+	got, ok := sw.ports[1].Poll()
+	if !ok {
+		t.Fatal("no frame")
+	}
+	want := simclock.Lat(100) + model.WireDelayNS
+	if got.Cost != want {
+		t.Fatalf("cost = %v, want %v", got.Cost, want)
+	}
+	_ = pa
+}
+
+func TestRuntFramesDropped(t *testing.T) {
+	sw := newTestSwitch()
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+	pa.Send(Frame{Data: []byte{1, 2, 3}})
+	if _, ok := pb.Poll(); ok {
+		t.Fatal("runt frame was delivered")
+	}
+}
+
+func TestRxRingOverflowDrops(t *testing.T) {
+	sw := newTestSwitch()
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(2) // tiny ring
+	_ = pb
+	for i := 0; i < 10; i++ {
+		pa.Send(frame(macB, macA, "spam"))
+	}
+	st := sw.Stats()
+	if st.DroppedRxFull == 0 {
+		t.Fatal("expected overflow drops on tiny ring")
+	}
+	// The first sends flooded; count delivered+dropped matches sends per port.
+	if st.Delivered == 0 {
+		t.Fatal("nothing delivered at all")
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	sw := newTestSwitch()
+	sw.SetImpairments(Impairments{LossRate: 1.0})
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+	for i := 0; i < 5; i++ {
+		pa.Send(frame(macB, macA, "gone"))
+	}
+	if _, ok := pb.Poll(); ok {
+		t.Fatal("frame survived 100% loss")
+	}
+	if sw.Stats().InjectedLoss != 5 {
+		t.Fatalf("InjectedLoss = %d, want 5", sw.Stats().InjectedLoss)
+	}
+}
+
+func TestDuplicationInjection(t *testing.T) {
+	sw := newTestSwitch()
+	sw.SetImpairments(Impairments{DupRate: 1.0})
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+	_ = pb
+	pa.Send(frame(macB, macA, "twice"))
+	n := 0
+	for {
+		if _, ok := sw.ports[1].Poll(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("received %d copies, want 2", n)
+	}
+}
+
+func TestReorderInjection(t *testing.T) {
+	sw := newTestSwitch()
+	sw.SetImpairments(Impairments{ReorderRate: 1.0})
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+	_ = pb
+	pa.Send(frame(macB, macA, "1")) // held
+	pa.Send(frame(macB, macA, "2")) // delivered first, then "1"
+	var got []string
+	for {
+		f, ok := sw.ports[1].Poll()
+		if !ok {
+			break
+		}
+		got = append(got, string(f.Data[14:]))
+	}
+	if len(got) != 2 || got[0] != "2" || got[1] != "1" {
+		t.Fatalf("order = %v, want [2 1]", got)
+	}
+}
+
+func TestFlushReleasesHeldFrame(t *testing.T) {
+	sw := newTestSwitch()
+	sw.SetImpairments(Impairments{ReorderRate: 1.0})
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+	_ = pb
+	pa.Send(frame(macB, macA, "held"))
+	if _, ok := sw.ports[1].Poll(); ok {
+		t.Fatal("held frame delivered early")
+	}
+	sw.Flush()
+	if _, ok := sw.ports[1].Poll(); !ok {
+		t.Fatal("Flush did not release the held frame")
+	}
+}
+
+func TestDeterministicInjection(t *testing.T) {
+	run := func() Stats {
+		model := simclock.Datacenter2019()
+		sw := NewSwitch(&model, 42)
+		sw.SetImpairments(Impairments{LossRate: 0.3, DupRate: 0.2})
+		pa := sw.NewPort(0)
+		pb := sw.NewPort(0)
+		_ = pb
+		for i := 0; i < 200; i++ {
+			pa.Send(frame(macB, macA, "d"))
+		}
+		return sw.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", a, b)
+	}
+}

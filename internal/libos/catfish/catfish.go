@@ -1,0 +1,189 @@
+// Package catfish is the storage library OS: it implements Demikernel
+// file queues over the simulated SPDK NVMe device, using the
+// accelerator-specific log-structured layout of §5.3 (package spdk's
+// blob store) instead of a general-purpose UNIX file system.
+//
+// A file queue is an append-only record stream: push durably appends one
+// scatter-gather array; pop returns the next unread one. Records keep
+// their segmentation via the standard SGA framing, so "a scatter-gather
+// array pushed into a Demikernel queue always pops out as a single
+// element" holds across the storage path and across restarts.
+package catfish
+
+import (
+	"sync"
+
+	"demikernel/internal/core"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+	"demikernel/internal/spdk"
+)
+
+// Transport is the catfish libOS transport.
+type Transport struct {
+	model *simclock.CostModel
+	dev   *spdk.Device
+	store *spdk.Store
+
+	mu  sync.Mutex
+	fqs []*fileQueue
+}
+
+// New opens (recovering if necessary) a catfish instance on dev.
+func New(model *simclock.CostModel, dev *spdk.Device) (*Transport, error) {
+	store, _, err := spdk.NewStore(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &Transport{model: model, dev: dev, store: store}, nil
+}
+
+// Name implements core.Transport.
+func (t *Transport) Name() string { return "catfish" }
+
+// Features implements core.Transport.
+func (t *Transport) Features() core.Features {
+	return core.Features{
+		KernelBypass: true,
+		SoftwareSupplied: []string{
+			"log-structured record layout", "naming", "sga framing",
+		},
+	}
+}
+
+// Device exposes the NVMe device (for stats).
+func (t *Transport) Device() *spdk.Device { return t.dev }
+
+// Store exposes the blob store (for recovery tests).
+func (t *Transport) Store() *spdk.Store { return t.store }
+
+// AllocSGA implements core.Transport.
+func (t *Transport) AllocSGA(n int) sga.SGA { return sga.New(make([]byte, n)) }
+
+// Socket implements core.Transport; catfish has no network path.
+func (t *Transport) Socket() (core.Endpoint, error) {
+	return nil, core.ErrNotSupported
+}
+
+// SocketUDP implements core.Transport; this libOS has no datagram path.
+func (t *Transport) SocketUDP() (core.Endpoint, error) {
+	return nil, core.ErrNotSupported
+}
+
+// Open implements core.Transport: it returns a file queue over the named
+// record stream. Reads resume from the first record (a fresh cursor per
+// open).
+func (t *Transport) Open(path string) (queue.IoQueue, error) {
+	f, _, err := t.store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fq := &fileQueue{t: t, f: f}
+	t.mu.Lock()
+	t.fqs = append(t.fqs, fq)
+	t.mu.Unlock()
+	return fq, nil
+}
+
+// Poll implements core.Transport.
+func (t *Transport) Poll() int {
+	t.mu.Lock()
+	fqs := append([]*fileQueue(nil), t.fqs...)
+	t.mu.Unlock()
+	n := 0
+	for _, fq := range fqs {
+		n += fq.Pump()
+	}
+	return n
+}
+
+// fileQueue adapts one blob file to the IoQueue interface.
+type fileQueue struct {
+	t *Transport
+	f *spdk.File
+
+	mu      sync.Mutex
+	cursor  int
+	waiters []queue.DoneFunc
+	closed  bool
+}
+
+// Push implements queue.IoQueue: a durable append of the framed SGA.
+func (q *fileQueue) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
+	q.mu.Lock()
+	closed := q.closed
+	q.mu.Unlock()
+	if closed {
+		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
+		return
+	}
+	c, err := q.f.Append(s.Marshal())
+	if err != nil {
+		done(queue.Completion{Kind: queue.OpPush, Err: err})
+		return
+	}
+	done(queue.Completion{Kind: queue.OpPush, Cost: cost + c})
+	q.Pump() // a waiter may be satisfiable now
+}
+
+// Pop implements queue.IoQueue: the next unread record, or a wait until
+// one is appended.
+func (q *fileQueue) Pop(done queue.DoneFunc) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: queue.ErrClosed})
+		return
+	}
+	q.waiters = append(q.waiters, done)
+	q.mu.Unlock()
+	q.Pump()
+}
+
+// Pump implements queue.IoQueue: serve waiters from available records.
+func (q *fileQueue) Pump() int {
+	n := 0
+	for {
+		q.mu.Lock()
+		if q.closed || len(q.waiters) == 0 || q.cursor >= q.f.NumRecords() {
+			q.mu.Unlock()
+			return n
+		}
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		idx := q.cursor
+		q.cursor++
+		q.mu.Unlock()
+
+		rec, cost, err := q.f.Read(idx)
+		if err != nil {
+			w(queue.Completion{Kind: queue.OpPop, Err: err})
+			continue
+		}
+		s, _, err := sga.Unmarshal(rec)
+		if err != nil {
+			w(queue.Completion{Kind: queue.OpPop, Err: err})
+			continue
+		}
+		w(queue.Completion{Kind: queue.OpPop, SGA: s, Cost: cost})
+		n++
+	}
+}
+
+// Close implements queue.IoQueue.
+func (q *fileQueue) Close() error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	ws := q.waiters
+	q.waiters = nil
+	q.mu.Unlock()
+	for _, w := range ws {
+		w(queue.Completion{Kind: queue.OpPop, Err: queue.ErrClosed})
+	}
+	return nil
+}

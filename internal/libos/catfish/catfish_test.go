@@ -1,0 +1,155 @@
+package catfish_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	demi "demikernel"
+	"demikernel/internal/core"
+)
+
+func node(t *testing.T, seed int64) (*demi.Cluster, *demi.Node) {
+	t.Helper()
+	c := demi.NewCluster(seed)
+	n, err := c.NewCatfishNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, n
+}
+
+func TestSocketNotSupported(t *testing.T) {
+	_, n := node(t, 71)
+	if _, err := n.Socket(); !errors.Is(err, core.ErrNotSupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPopWaitsForAppend(t *testing.T) {
+	_, n := node(t, 72)
+	qd, err := n.Open("/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := n.Pop(qd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing yet.
+	if _, ok, _ := n.TryWait(qt); ok {
+		t.Fatal("pop completed on empty file")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		comp, err := n.Wait(qt)
+		if err != nil || string(comp.SGA.Bytes()) != "arrives later" {
+			t.Errorf("wait: %v %v", comp, err)
+		}
+	}()
+	time.Sleep(time.Millisecond)
+	if _, err := n.BlockingPush(qd, demi.NewSGA([]byte("arrives later"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never served")
+	}
+}
+
+func TestIndependentCursorsPerOpen(t *testing.T) {
+	// Each Open returns a fresh read cursor over the same durable
+	// record stream.
+	_, n := node(t, 73)
+	q1, _ := n.Open("/shared")
+	n.BlockingPush(q1, demi.NewSGA([]byte("r0")))
+	n.BlockingPush(q1, demi.NewSGA([]byte("r1")))
+	if comp, _ := n.BlockingPop(q1); string(comp.SGA.Bytes()) != "r0" {
+		t.Fatalf("q1 pop = %q", comp.SGA.Bytes())
+	}
+	q2, _ := n.Open("/shared")
+	if comp, _ := n.BlockingPop(q2); string(comp.SGA.Bytes()) != "r0" {
+		t.Fatalf("fresh cursor should start at record 0")
+	}
+	if comp, _ := n.BlockingPop(q1); string(comp.SGA.Bytes()) != "r1" {
+		t.Fatal("q1 cursor disturbed by q2")
+	}
+}
+
+func TestPushAfterCloseFails(t *testing.T) {
+	_, n := node(t, 74)
+	qd, _ := n.Open("/q")
+	if err := n.Close(qd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Push(qd, demi.NewSGA([]byte("x"))); err == nil {
+		t.Fatal("push on closed descriptor succeeded")
+	}
+}
+
+func TestCloseFailsOutstandingPop(t *testing.T) {
+	_, n := node(t, 75)
+	qd, _ := n.Open("/q")
+	qt, _ := n.Pop(qd)
+	n.Close(qd)
+	comp, err := n.Wait(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Err == nil {
+		t.Fatal("outstanding pop must fail on close")
+	}
+}
+
+func TestDurableCostsCharged(t *testing.T) {
+	_, n := node(t, 76)
+	qd, _ := n.Open("/q")
+	comp, err := n.BlockingPush(qd, demi.NewSGA(make([]byte, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Cost == 0 {
+		t.Fatal("durable append must charge device cost")
+	}
+	got, err := n.BlockingPop(qd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost == 0 {
+		t.Fatal("device read must charge cost")
+	}
+}
+
+func TestManyFilesInterleaved(t *testing.T) {
+	_, n := node(t, 77)
+	var qds []demi.QD
+	for i := 0; i < 8; i++ {
+		qd, err := n.Open(string(rune('a' + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qds = append(qds, qd)
+	}
+	for round := 0; round < 5; round++ {
+		for i, qd := range qds {
+			payload := []byte{byte(i), byte(round)}
+			if _, err := n.BlockingPush(qd, demi.NewSGA(payload)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, qd := range qds {
+		for round := 0; round < 5; round++ {
+			comp, err := n.BlockingPop(qd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := comp.SGA.Bytes()
+			if b[0] != byte(i) || b[1] != byte(round) {
+				t.Fatalf("file %d round %d: got %v", i, round, b)
+			}
+		}
+	}
+}

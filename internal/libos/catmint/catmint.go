@@ -1,0 +1,597 @@
+// Package catmint is the RDMA library OS: it implements the Demikernel
+// queue abstraction over the simulated RDMA verbs device (internal/rdma).
+//
+// Where catnip must supply an entire network stack, an RDMA NIC already
+// provides reliable, message-oriented transport in hardware (Table 1,
+// middle column); what it does NOT provide is exactly what the paper
+// calls out in §2: "applications must still supply OS buffer management
+// and flow control. Applications have to register memory before using it
+// for I/O, and receivers must allocate enough buffers of the right size
+// for senders." catmint supplies those pieces:
+//
+//   - a registered buffer pool (arena MRs carved into fixed slots), so
+//     applications never register memory and registration cost is
+//     amortised per arena, not per message (§4.5);
+//
+//   - receive-buffer management: a configurable number of receives is
+//     kept posted on every queue pair, eliminating the paper's
+//     too-few-buffers failure mode (RNR) that raw verbs applications
+//     must handle themselves (the E13 experiment quantifies this).
+//
+// Pushes from SGAs allocated via AllocSGA travel zero-copy (the device
+// gathers directly from registered memory); pushes from unregistered
+// application memory are staged into a pool slot with the staging copy
+// charged, which is what a real libOS would have to do.
+package catmint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"demikernel/internal/core"
+	"demikernel/internal/fabric"
+	"demikernel/internal/queue"
+	"demikernel/internal/rdma"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+)
+
+// SlotSize is the fixed message buffer size: the largest framed SGA one
+// push may carry over catmint. It is deliberately larger than a power-of-
+// two payload so 16 KiB application messages fit with framing overhead.
+const SlotSize = 32 * 1024
+
+// slotsPerArena slots are carved from each registered arena MR.
+const slotsPerArena = 64
+
+// DefaultPostedRecvs is how many receives the libOS keeps posted per
+// queue pair.
+const DefaultPostedRecvs = 32
+
+// readyByte is the one-byte connection-ready marker the accepting side
+// sends after posting its receives (framed SGAs are always >= 8 bytes,
+// so it cannot collide with data).
+const readyByte = 0xA5
+
+// ErrMessageTooBig is returned when a framed SGA exceeds SlotSize.
+var ErrMessageTooBig = errors.New("catmint: message exceeds slot size")
+
+// Config tunes the transport.
+type Config struct {
+	MAC fabric.MAC
+	// PostedRecvs overrides DefaultPostedRecvs (experiments lower it to
+	// reproduce the RNR failure mode).
+	PostedRecvs int
+}
+
+// Transport is the catmint libOS transport.
+type Transport struct {
+	model *simclock.CostModel
+	dev   *rdma.Device
+	pd    *rdma.PD
+	scq   *rdma.CQ
+	rcq   *rdma.CQ
+	cfg   Config
+
+	mu       sync.Mutex
+	pool     []*slot // free slots
+	arenas   int
+	byQPN    map[uint32]*endpoint
+	pending  map[uint64]*pendingOp // wrID -> op
+	nextWRID uint64
+	eps      []*endpoint
+	// stats
+	stagedCopies int64
+	zeroCopyTx   int64
+}
+
+type slot struct {
+	mr  *rdma.MR
+	off int
+}
+
+func (s *slot) bytes() []byte { return s.mr.Bytes()[s.off : s.off+SlotSize] }
+
+type pendingOp struct {
+	kind queue.OpKind
+	ep   *endpoint
+	slot *slot
+	done queue.DoneFunc
+	cost simclock.Lat
+	// onWC, when set, routes the raw completion to a one-sided
+	// operation (see remote.go) instead of the queue machinery.
+	onWC   func(rdma.WC)
+	isRead bool
+}
+
+// New attaches a catmint instance to the fabric switch.
+func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Transport {
+	if cfg.PostedRecvs <= 0 {
+		cfg.PostedRecvs = DefaultPostedRecvs
+	}
+	dev := rdma.New(model, sw, cfg.MAC)
+	t := &Transport{
+		model:   model,
+		dev:     dev,
+		pd:      dev.AllocPD(),
+		cfg:     cfg,
+		byQPN:   make(map[uint32]*endpoint),
+		pending: make(map[uint64]*pendingOp),
+	}
+	t.scq = dev.CreateCQ()
+	t.rcq = dev.CreateCQ()
+	return t
+}
+
+// Name implements core.Transport.
+func (t *Transport) Name() string { return "catmint" }
+
+// Features implements core.Transport.
+func (t *Transport) Features() core.Features {
+	return core.Features{
+		KernelBypass: true,
+		HWTransport:  true,
+		SoftwareSupplied: []string{
+			"buffer management (posted receives)", "memory registration pooling",
+			"sga framing", "flow control",
+		},
+	}
+}
+
+// Device exposes the RDMA device (for stats in experiments).
+func (t *Transport) Device() *rdma.Device { return t.dev }
+
+// StagedCopies reports pushes that had to stage unregistered memory.
+func (t *Transport) StagedCopies() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stagedCopies
+}
+
+// ZeroCopyTx reports pushes that went out directly from registered
+// memory.
+func (t *Transport) ZeroCopyTx() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.zeroCopyTx
+}
+
+// allocSlot pops a free slot, registering a new arena when the pool is
+// dry (one registration per arena: the §4.5 amortisation).
+func (t *Transport) allocSlot() *slot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.allocSlotLocked()
+}
+
+func (t *Transport) allocSlotLocked() *slot {
+	if len(t.pool) == 0 {
+		arena := make([]byte, SlotSize*slotsPerArena)
+		mr := t.pd.RegisterMemory(arena)
+		t.arenas++
+		for i := 0; i < slotsPerArena; i++ {
+			t.pool = append(t.pool, &slot{mr: mr, off: i * SlotSize})
+		}
+	}
+	s := t.pool[len(t.pool)-1]
+	t.pool = t.pool[:len(t.pool)-1]
+	return s
+}
+
+func (t *Transport) freeSlot(s *slot) {
+	t.mu.Lock()
+	t.pool = append(t.pool, s)
+	t.mu.Unlock()
+}
+
+// Arenas returns how many arena registrations have been performed.
+func (t *Transport) Arenas() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.arenas
+}
+
+// AllocSGA implements core.Transport: the returned single-segment SGA
+// lives in a registered pool slot, so pushes of it are zero-copy.
+func (t *Transport) AllocSGA(n int) sga.SGA {
+	if n > SlotSize {
+		// Oversized allocations fall back to heap memory (staged at
+		// push time).
+		return sga.New(make([]byte, n))
+	}
+	sl := t.allocSlot()
+	s := sga.New(sl.bytes()[:n]).WithFree(func() { t.freeSlot(sl) })
+	s.Reg = sl
+	return s
+}
+
+// SocketUDP implements core.Transport; this libOS has no datagram path.
+func (t *Transport) SocketUDP() (core.Endpoint, error) {
+	return nil, core.ErrNotSupported
+}
+
+// Open implements core.Transport; catmint has no storage path.
+func (t *Transport) Open(string) (queue.IoQueue, error) {
+	return nil, core.ErrNotSupported
+}
+
+// Socket implements core.Transport.
+func (t *Transport) Socket() (core.Endpoint, error) {
+	ep := &endpoint{t: t}
+	t.mu.Lock()
+	t.eps = append(t.eps, ep)
+	t.mu.Unlock()
+	return ep, nil
+}
+
+// Poll implements core.Transport: pump the device, stage inbound
+// connections, and route completions.
+func (t *Transport) Poll() int {
+	n := t.dev.Poll()
+
+	// Stage inbound connections eagerly: the libOS (not the
+	// application) posts the receive window and signals readiness, so a
+	// peer that connects and immediately pushes never hits RNR — the
+	// buffer-management burden §2 describes, carried by the libOS.
+	t.mu.Lock()
+	eps := append([]*endpoint(nil), t.eps...)
+	t.mu.Unlock()
+	for _, ep := range eps {
+		n += ep.stageAccepts()
+	}
+
+	for _, wc := range t.rcq.Poll(0) {
+		n++
+		t.handleRecv(wc)
+	}
+	for _, wc := range t.scq.Poll(0) {
+		n++
+		t.handleSendComp(wc)
+	}
+	t.mu.Lock()
+	eps = append(eps[:0], t.eps...)
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.serveWaiters()
+	}
+	return n
+}
+
+func (t *Transport) handleRecv(wc rdma.WC) {
+	t.mu.Lock()
+	op, ok := t.pending[wc.WRID]
+	if ok {
+		delete(t.pending, wc.WRID)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	ep := op.ep
+	// Keep the configured number of receives posted.
+	ep.postRecv()
+	if wc.Status != rdma.StatusSuccess {
+		t.freeSlot(op.slot)
+		ep.deliver(queue.Completion{Kind: queue.OpPop, Err: fmt.Errorf("catmint: recv failed: %v", wc.Status)})
+		return
+	}
+	data := op.slot.bytes()[:wc.Len]
+	if wc.Len == 1 && data[0] == readyByte {
+		t.freeSlot(op.slot)
+		ep.markReady()
+		return
+	}
+	s, _, err := sga.Unmarshal(data)
+	if err != nil {
+		t.freeSlot(op.slot)
+		ep.deliver(queue.Completion{Kind: queue.OpPop, Err: err})
+		return
+	}
+	sl := op.slot
+	s = s.WithFree(func() { t.freeSlot(sl) })
+	ep.deliver(queue.Completion{Kind: queue.OpPop, SGA: s, Cost: wc.Cost})
+}
+
+func (t *Transport) handleSendComp(wc rdma.WC) {
+	t.mu.Lock()
+	op, ok := t.pending[wc.WRID]
+	if ok {
+		delete(t.pending, wc.WRID)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	if op.onWC != nil {
+		// One-sided operation: the callback may need the slot's bytes
+		// (reads), so it runs before the slot recycles.
+		op.onWC(wc)
+		if op.slot != nil {
+			t.freeSlot(op.slot)
+		}
+		return
+	}
+	if op.slot != nil {
+		t.freeSlot(op.slot)
+	}
+	if op.done == nil {
+		return // fire-and-forget (the ready marker)
+	}
+	c := queue.Completion{Kind: queue.OpPush, Cost: op.cost + wc.Cost}
+	if wc.Status != rdma.StatusSuccess {
+		c.Err = fmt.Errorf("catmint: send failed: %v", wc.Status)
+	}
+	op.done(c)
+}
+
+func (t *Transport) newWRID(op *pendingOp) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextWRID++
+	t.pending[t.nextWRID] = op
+	return t.nextWRID
+}
+
+func (t *Transport) adopt(ep *endpoint, qpn uint32) {
+	t.mu.Lock()
+	t.eps = append(t.eps, ep)
+	t.byQPN[qpn] = ep
+	t.mu.Unlock()
+}
+
+// endpoint is one catmint socket queue over an RDMA queue pair.
+type endpoint struct {
+	t *Transport
+
+	mu       sync.Mutex
+	bound    core.Addr
+	listener *rdma.Listener
+	qp       *rdma.QP
+	ready    []queue.Completion
+	waiters  []queue.DoneFunc
+	acceptQ  []*endpoint // staged inbound connections (listeners only)
+	isReady  bool        // connection fully usable (ready marker seen / sent)
+	accepted bool
+	closed   bool
+}
+
+// Bind implements core.Endpoint.
+func (e *endpoint) Bind(addr core.Addr) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bound = addr
+	return nil
+}
+
+// LocalAddr implements core.Endpoint.
+func (e *endpoint) LocalAddr() core.Addr {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bound
+}
+
+// Listen implements core.Endpoint.
+func (e *endpoint) Listen() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l, err := e.t.dev.Listen(e.bound.Port, e.t.pd, e.t.scq, e.t.rcq)
+	if err != nil {
+		return err
+	}
+	e.listener = l
+	return nil
+}
+
+// stageAccepts drains the device-level backlog into fully initialised
+// endpoints (receive window posted, ready marker sent). Called from
+// Transport.Poll so staging never waits for the application.
+func (e *endpoint) stageAccepts() int {
+	e.mu.Lock()
+	l := e.listener
+	e.mu.Unlock()
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for {
+		qp, ok := l.Accept()
+		if !ok {
+			return n
+		}
+		child := &endpoint{t: e.t, qp: qp, isReady: true, accepted: true}
+		e.t.adopt(child, qp.Num())
+		for i := 0; i < e.t.cfg.PostedRecvs; i++ {
+			child.postRecv()
+		}
+		child.sendReadyMarker()
+		e.mu.Lock()
+		e.acceptQ = append(e.acceptQ, child)
+		e.mu.Unlock()
+		n++
+	}
+}
+
+// Accept implements core.Endpoint: it pops one staged connection.
+func (e *endpoint) Accept() (core.Endpoint, bool, error) {
+	e.mu.Lock()
+	l := e.listener
+	e.mu.Unlock()
+	if l == nil {
+		return nil, false, core.ErrNotListening
+	}
+	e.stageAccepts()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.acceptQ) == 0 {
+		return nil, false, nil
+	}
+	child := e.acceptQ[0]
+	e.acceptQ = e.acceptQ[1:]
+	return child, true, nil
+}
+
+// Connect implements core.Endpoint: the receive window is posted before
+// the connection request leaves, so the peer can never hit RNR on the
+// handshake.
+func (e *endpoint) Connect(addr core.Addr) error {
+	qp := e.t.dev.Connect(addr.MAC, addr.Port, e.t.pd, e.t.scq, e.t.rcq)
+	e.mu.Lock()
+	e.qp = qp
+	e.mu.Unlock()
+	e.t.adopt(e, qp.Num())
+	for i := 0; i < e.t.cfg.PostedRecvs; i++ {
+		e.postRecv()
+	}
+	return nil
+}
+
+// Connected implements core.Endpoint.
+func (e *endpoint) Connected() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.isReady && e.qp != nil && e.qp.Connected()
+}
+
+func (e *endpoint) markReady() {
+	e.mu.Lock()
+	e.isReady = true
+	e.mu.Unlock()
+}
+
+func (e *endpoint) sendReadyMarker() {
+	sl := e.t.allocSlot()
+	sl.bytes()[0] = readyByte
+	wrID := e.t.newWRID(&pendingOp{kind: queue.OpPush, ep: e, slot: sl})
+	e.qp.PostSend(wrID, rdma.Sge{MR: sl.mr, Off: sl.off, Len: 1})
+}
+
+// postRecv posts one pool slot as a receive buffer.
+func (e *endpoint) postRecv() {
+	e.mu.Lock()
+	qp := e.qp
+	closed := e.closed
+	e.mu.Unlock()
+	if qp == nil || closed {
+		return
+	}
+	sl := e.t.allocSlot()
+	wrID := e.t.newWRID(&pendingOp{kind: queue.OpPop, ep: e, slot: sl})
+	if err := qp.PostRecv(wrID, rdma.Sge{MR: sl.mr, Off: sl.off, Len: SlotSize}); err != nil {
+		e.t.freeSlot(sl)
+	}
+}
+
+// Push implements queue.IoQueue.
+func (e *endpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
+	e.mu.Lock()
+	qp := e.qp
+	closed := e.closed
+	e.mu.Unlock()
+	if closed || qp == nil {
+		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
+		return
+	}
+	size := s.MarshalledSize()
+	if size > SlotSize {
+		done(queue.Completion{Kind: queue.OpPush, Err: ErrMessageTooBig})
+		return
+	}
+	sl := e.t.allocSlot()
+	buf := s.AppendMarshal(sl.bytes()[:0])
+
+	// Zero-copy accounting: if every segment came from the registered
+	// pool the device gathers in place; otherwise the staging into the
+	// slot is a real copy and is charged.
+	if registered(s) {
+		e.t.mu.Lock()
+		e.t.zeroCopyTx++
+		e.t.mu.Unlock()
+	} else {
+		e.t.mu.Lock()
+		e.t.stagedCopies++
+		e.t.mu.Unlock()
+		cost += e.t.model.CopyCost(s.Len())
+	}
+
+	wrID := e.t.newWRID(&pendingOp{kind: queue.OpPush, ep: e, slot: sl, done: done, cost: cost})
+	if err := qp.PostSend(wrID, rdma.Sge{MR: sl.mr, Off: sl.off, Len: len(buf)}); err != nil {
+		e.t.mu.Lock()
+		delete(e.t.pending, wrID)
+		e.t.mu.Unlock()
+		e.t.freeSlot(sl)
+		done(queue.Completion{Kind: queue.OpPush, Err: err})
+	}
+}
+
+// registered reports whether every segment of s lives in pool memory.
+func registered(s sga.SGA) bool {
+	if s.Reg == nil {
+		return false
+	}
+	_, ok := s.Reg.(*slot)
+	return ok
+}
+
+// Pop implements queue.IoQueue.
+func (e *endpoint) Pop(done queue.DoneFunc) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: queue.ErrClosed})
+		return
+	}
+	if len(e.ready) > 0 {
+		c := e.ready[0]
+		e.ready = e.ready[1:]
+		e.mu.Unlock()
+		done(c)
+		return
+	}
+	e.waiters = append(e.waiters, done)
+	e.mu.Unlock()
+}
+
+func (e *endpoint) deliver(c queue.Completion) {
+	e.mu.Lock()
+	e.ready = append(e.ready, c)
+	e.mu.Unlock()
+	e.serveWaiters()
+}
+
+func (e *endpoint) serveWaiters() {
+	for {
+		e.mu.Lock()
+		if len(e.waiters) == 0 || len(e.ready) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		w := e.waiters[0]
+		e.waiters = e.waiters[1:]
+		c := e.ready[0]
+		e.ready = e.ready[1:]
+		e.mu.Unlock()
+		w(c)
+	}
+}
+
+// Pump implements queue.IoQueue; completion routing happens centrally in
+// Transport.Poll.
+func (e *endpoint) Pump() int { return 0 }
+
+// Close implements queue.IoQueue.
+func (e *endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	ws := e.waiters
+	e.waiters = nil
+	e.mu.Unlock()
+	for _, w := range ws {
+		w(queue.Completion{Kind: queue.OpPop, Err: queue.ErrClosed})
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+// Package catnap is the kernel library OS: it implements the Demikernel
+// queue abstraction over ordinary (simulated) kernel sockets. It exists
+// for portability and development, just like the open-source Demikernel's
+// catnap: the same application binary that runs over catnip (DPDK) or
+// catmint (RDMA) runs here — paying the legacy costs of Figure 1's left
+// side: a syscall crossing and a payload copy per I/O, and the in-kernel
+// network stack per packet.
+package catnap
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"demikernel/internal/core"
+	"demikernel/internal/kernel"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+)
+
+// Transport is the catnap libOS transport.
+type Transport struct {
+	model *simclock.CostModel
+	k     *kernel.Kernel
+
+	mu  sync.Mutex
+	eps []*endpoint
+	fqs []*fileQueue
+}
+
+// New wraps an existing simulated kernel. The kernel carries the NIC and
+// in-kernel stack; see kernel.New.
+func New(model *simclock.CostModel, k *kernel.Kernel) *Transport {
+	return &Transport{model: model, k: k}
+}
+
+// Name implements core.Transport.
+func (t *Transport) Name() string { return "catnap" }
+
+// Features implements core.Transport: no kernel bypass at all — the
+// kernel supplies everything, at kernel prices.
+func (t *Transport) Features() core.Features {
+	return core.Features{
+		KernelBypass:     false,
+		SoftwareSupplied: []string{"sga framing"},
+	}
+}
+
+// Kernel exposes the underlying kernel (for counters in experiments).
+func (t *Transport) Kernel() *kernel.Kernel { return t.k }
+
+// AllocSGA implements core.Transport: plain heap memory; there is no
+// device to register with.
+func (t *Transport) AllocSGA(n int) sga.SGA {
+	return sga.New(make([]byte, n))
+}
+
+// SocketUDP implements core.Transport; this libOS has no datagram path.
+func (t *Transport) SocketUDP() (core.Endpoint, error) {
+	return nil, core.ErrNotSupported
+}
+
+// Open implements core.Transport: file queues over the legacy kernel
+// file system (page cache, journaling, syscalls, copies). Requires a
+// disk attached to the kernel; see file.go.
+func (t *Transport) Open(path string) (queue.IoQueue, error) {
+	return t.OpenFileQueue(path)
+}
+
+// Socket implements core.Transport.
+func (t *Transport) Socket() (core.Endpoint, error) {
+	ep := &endpoint{t: t, fd: -1}
+	t.mu.Lock()
+	t.eps = append(t.eps, ep)
+	t.mu.Unlock()
+	return ep, nil
+}
+
+// Poll implements core.Transport.
+func (t *Transport) Poll() int {
+	n := t.k.Poll()
+	t.mu.Lock()
+	eps := append([]*endpoint(nil), t.eps...)
+	t.mu.Unlock()
+	for _, ep := range eps {
+		n += ep.Pump()
+	}
+	t.mu.Lock()
+	fqs := append([]*fileQueue(nil), t.fqs...)
+	t.mu.Unlock()
+	for _, fq := range fqs {
+		n += fq.Pump()
+	}
+	return n
+}
+
+func (t *Transport) adopt(ep *endpoint) {
+	t.mu.Lock()
+	t.eps = append(t.eps, ep)
+	t.mu.Unlock()
+}
+
+// endpoint is one catnap socket queue over a kernel TCP socket.
+type endpoint struct {
+	t *Transport
+
+	mu        sync.Mutex
+	bound     core.Addr
+	fd        kernel.FD // connection fd, -1 until connected/accepted
+	listenFD  kernel.FD
+	listening bool
+	framer    sga.Framer
+	ready     []queue.Completion
+	waiters   []queue.DoneFunc
+	txq       []txFrame
+	closed    bool
+}
+
+type txFrame struct {
+	data []byte
+	cost simclock.Lat
+	done queue.DoneFunc
+	sent int
+}
+
+// Bind implements core.Endpoint.
+func (e *endpoint) Bind(addr core.Addr) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bound = addr
+	return nil
+}
+
+// LocalAddr implements core.Endpoint.
+func (e *endpoint) LocalAddr() core.Addr {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bound
+}
+
+// Listen implements core.Endpoint.
+func (e *endpoint) Listen() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fd, _, err := e.t.k.Listen(e.bound.Port)
+	if err != nil {
+		return err
+	}
+	e.listenFD = fd
+	e.listening = true
+	return nil
+}
+
+// Accept implements core.Endpoint.
+func (e *endpoint) Accept() (core.Endpoint, bool, error) {
+	e.mu.Lock()
+	if !e.listening {
+		e.mu.Unlock()
+		return nil, false, core.ErrNotListening
+	}
+	lfd := e.listenFD
+	e.mu.Unlock()
+	fd, _, err := e.t.k.Accept(lfd)
+	if errors.Is(err, kernel.ErrWouldBlock) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	child := &endpoint{t: e.t, fd: fd}
+	e.t.adopt(child)
+	return child, true, nil
+}
+
+// Connect implements core.Endpoint.
+func (e *endpoint) Connect(addr core.Addr) error {
+	fd, _, err := e.t.k.Connect(addr.IP, addr.Port)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.fd = fd
+	e.mu.Unlock()
+	return nil
+}
+
+// Connected implements core.Endpoint.
+func (e *endpoint) Connected() bool {
+	e.mu.Lock()
+	fd := e.fd
+	e.mu.Unlock()
+	return fd >= 0 && e.t.k.Connected(fd)
+}
+
+// Push implements queue.IoQueue. Unlike catnip, every pushed byte pays
+// the syscall and user→kernel copy inside kernel.Send.
+func (e *endpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
+	e.mu.Lock()
+	if e.closed || e.fd < 0 {
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
+		return
+	}
+	e.txq = append(e.txq, txFrame{data: s.Marshal(), cost: cost, done: done})
+	e.mu.Unlock()
+	e.Pump()
+}
+
+// Pop implements queue.IoQueue.
+func (e *endpoint) Pop(done queue.DoneFunc) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: queue.ErrClosed})
+		return
+	}
+	if len(e.ready) > 0 {
+		c := e.ready[0]
+		e.ready = e.ready[1:]
+		e.mu.Unlock()
+		done(c)
+		return
+	}
+	e.waiters = append(e.waiters, done)
+	e.mu.Unlock()
+	e.Pump()
+}
+
+// Pump implements queue.IoQueue.
+func (e *endpoint) Pump() int {
+	e.mu.Lock()
+	fd := e.fd
+	closed := e.closed
+	e.mu.Unlock()
+	if fd < 0 || closed {
+		return 0
+	}
+	n := e.flushTx(fd) + e.drainRx(fd)
+	e.serveWaiters()
+	return n
+}
+
+func (e *endpoint) flushTx(fd kernel.FD) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for len(e.txq) > 0 {
+		f := &e.txq[0]
+		sent, cost, err := e.t.k.Send(fd, f.data[f.sent:], f.cost)
+		if err != nil {
+			done := f.done
+			e.txq = e.txq[1:]
+			e.mu.Unlock()
+			done(queue.Completion{Kind: queue.OpPush, Err: err})
+			e.mu.Lock()
+			continue
+		}
+		f.sent += sent
+		f.cost = cost
+		n += sent
+		if f.sent < len(f.data) {
+			break
+		}
+		done := f.done
+		e.txq = e.txq[1:]
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPush, Cost: cost})
+		e.mu.Lock()
+	}
+	return n
+}
+
+func (e *endpoint) drainRx(fd kernel.FD) int {
+	n := 0
+	for {
+		b, cost, err := e.t.k.Recv(fd, 0)
+		if errors.Is(err, io.EOF) {
+			e.failWaiters(queue.ErrClosed)
+			return n
+		}
+		if err != nil || len(b) == 0 {
+			return n
+		}
+		e.mu.Lock()
+		e.framer.Feed(b)
+		for {
+			s, ok, ferr := e.framer.Next()
+			if ferr != nil {
+				e.mu.Unlock()
+				e.failWaiters(ferr)
+				return n
+			}
+			if !ok {
+				break
+			}
+			e.ready = append(e.ready, queue.Completion{Kind: queue.OpPop, SGA: s, Cost: cost})
+			n++
+		}
+		e.mu.Unlock()
+	}
+}
+
+func (e *endpoint) serveWaiters() {
+	for {
+		e.mu.Lock()
+		if len(e.waiters) == 0 || len(e.ready) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		w := e.waiters[0]
+		e.waiters = e.waiters[1:]
+		c := e.ready[0]
+		e.ready = e.ready[1:]
+		e.mu.Unlock()
+		w(c)
+	}
+}
+
+func (e *endpoint) failWaiters(err error) {
+	e.mu.Lock()
+	ws := e.waiters
+	e.waiters = nil
+	e.mu.Unlock()
+	for _, w := range ws {
+		w(queue.Completion{Kind: queue.OpPop, Err: err})
+	}
+}
+
+// Close implements queue.IoQueue.
+func (e *endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	fd, lfd, listening := e.fd, e.listenFD, e.listening
+	e.mu.Unlock()
+	if fd >= 0 {
+		e.t.k.Close(fd)
+	}
+	if listening {
+		e.t.k.Close(lfd)
+	}
+	e.failWaiters(queue.ErrClosed)
+	return nil
+}

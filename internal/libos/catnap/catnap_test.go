@@ -1,0 +1,200 @@
+package catnap_test
+
+import (
+	"errors"
+	"testing"
+
+	demi "demikernel"
+	"demikernel/internal/kernel"
+)
+
+func pair(t *testing.T, seed int64) (*demi.Cluster, *demi.Node, *demi.Node, func()) {
+	t.Helper()
+	c := demi.NewCluster(seed)
+	srv := c.NewCatnapNode(demi.NodeConfig{Host: 1})
+	cli := c.NewCatnapNode(demi.NodeConfig{Host: 2})
+	stop1 := srv.Background()
+	stop2 := cli.Background()
+	return c, srv, cli, func() { stop2(); stop1() }
+}
+
+func connect(t *testing.T, c *demi.Cluster, srv, cli *demi.Node, port uint16) (cqd, sqd demi.QD) {
+	t.Helper()
+	lqd, err := srv.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bind(lqd, demi.Addr{Port: port}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(lqd); err != nil {
+		t.Fatal(err)
+	}
+	cqd, err = cli.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Connect(cqd, c.AddrOf(srv, port)); err != nil {
+		t.Fatal(err)
+	}
+	sqd, err = srv.Accept(lqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cqd, sqd
+}
+
+func TestLegacyCostsCharged(t *testing.T) {
+	c, srv, cli, cleanup := pair(t, 51)
+	defer cleanup()
+	cqd, sqd := connect(t, c, srv, cli, 80)
+	cli.Kernel.ResetCounters()
+	srv.Kernel.ResetCounters()
+
+	payload := make([]byte, 4096)
+	if _, err := cli.BlockingPush(cqd, demi.NewSGA(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.BlockingPop(sqd); err != nil {
+		t.Fatal(err)
+	}
+	cc := cli.Kernel.Counters()
+	if cc.SyscallCrossings == 0 {
+		t.Fatal("catnap push must cross the kernel")
+	}
+	if cc.BytesCopied < 4096 {
+		t.Fatalf("catnap push must copy user->kernel: copied %d", cc.BytesCopied)
+	}
+	sc := srv.Kernel.Counters()
+	if sc.BytesCopied < 4096 {
+		t.Fatalf("catnap pop must copy kernel->user: copied %d", sc.BytesCopied)
+	}
+}
+
+func TestSameWireAsBypass(t *testing.T) {
+	// A catnap client can talk to a catnip server: the SGA framing over
+	// TCP is the shared wire format (the §4.1 portability story at the
+	// protocol level).
+	c := demi.NewCluster(52)
+	srv := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	cli := c.NewCatnapNode(demi.NodeConfig{Host: 2})
+	stop1 := srv.Background()
+	defer stop1()
+	stop2 := cli.Background()
+	defer stop2()
+
+	lqd, _ := srv.Socket()
+	srv.Bind(lqd, demi.Addr{Port: 80})
+	srv.Listen(lqd)
+	cqd, _ := cli.Socket()
+	if err := cli.Connect(cqd, c.AddrOf(srv, 80)); err != nil {
+		t.Fatal(err)
+	}
+	sqd, err := srv.Accept(lqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := demi.NewSGA([]byte("kernel"), []byte("to"), []byte("bypass"))
+	if _, err := cli.BlockingPush(cqd, msg); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := srv.BlockingPop(sqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.SGA.Equal(msg) {
+		t.Fatal("cross-stack message corrupted")
+	}
+}
+
+func TestOpenWithoutDisk(t *testing.T) {
+	_, srv, _, cleanup := pair(t, 53)
+	defer cleanup()
+	if _, err := srv.Open("/etc/passwd"); !errors.Is(err, kernel.ErrNoDisk) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFileQueuesOverKernelFS(t *testing.T) {
+	c, srv, _, cleanup := pair(t, 57)
+	defer cleanup()
+	srv.Kernel.AttachDisk(c.NewDisk(0))
+
+	qd, err := srv.Open("/var/log/records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Kernel.ResetCounters()
+	msg := demi.NewSGA([]byte("hdr"), []byte("body"))
+	comp, err := srv.BlockingPush(qd, msg)
+	if err != nil || comp.Err != nil {
+		t.Fatalf("push: %v %v", err, comp.Err)
+	}
+	if comp.Cost == 0 {
+		t.Fatal("durable write must carry kernel costs")
+	}
+	got, err := srv.BlockingPop(qd)
+	if err != nil || got.Err != nil {
+		t.Fatalf("pop: %v %v", err, got.Err)
+	}
+	if !got.SGA.Equal(msg) {
+		t.Fatal("record corrupted through the kernel file path")
+	}
+	// Legacy prices were paid: syscalls and copies happened.
+	ctr := srv.Kernel.Counters()
+	if ctr.SyscallCrossings == 0 || ctr.BytesCopied == 0 {
+		t.Fatalf("kernel file path paid nothing: %+v", ctr)
+	}
+
+	// Restart parity: a second open re-indexes durable records.
+	qd2, err := srv.Open("/var/log/records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := srv.BlockingPop(qd2)
+	if err != nil || !got2.SGA.Equal(msg) {
+		t.Fatalf("reindex pop: %v", err)
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	_, srv, _, cleanup := pair(t, 54)
+	defer cleanup()
+	f := srv.Features()
+	if f.KernelBypass {
+		t.Fatal("catnap must not claim kernel bypass")
+	}
+}
+
+func TestCloseReleasesKernelFDs(t *testing.T) {
+	c, srv, cli, cleanup := pair(t, 55)
+	defer cleanup()
+	cqd, sqd := connect(t, c, srv, cli, 80)
+	if err := cli.Close(cqd); err != nil {
+		t.Fatal(err)
+	}
+	// The peer observes the close as a failed pop.
+	comp, err := srv.BlockingPop(sqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Err == nil {
+		t.Fatal("pop should fail after peer close")
+	}
+	// Double close of the same descriptor is rejected at the core layer.
+	if err := cli.Close(cqd); err == nil {
+		t.Fatal("double close succeeded")
+	}
+}
+
+func TestAllocSGAPlainHeap(t *testing.T) {
+	_, srv, _, cleanup := pair(t, 56)
+	defer cleanup()
+	s := srv.AllocSGA(64)
+	if s.Reg != nil {
+		t.Fatal("catnap has no device to register with")
+	}
+	if s.Len() != 64 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}

@@ -1,0 +1,213 @@
+package catnip_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	demi "demikernel"
+	"demikernel/internal/core"
+)
+
+func pair(t *testing.T, seed int64) (*demi.Cluster, *demi.Node, *demi.Node, func()) {
+	t.Helper()
+	c := demi.NewCluster(seed)
+	srv := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	cli := c.NewCatnipNode(demi.NodeConfig{Host: 2})
+	stop1 := srv.Background()
+	stop2 := cli.Background()
+	return c, srv, cli, func() { stop2(); stop1() }
+}
+
+func connect(t *testing.T, c *demi.Cluster, srv, cli *demi.Node, port uint16) (cqd, sqd demi.QD) {
+	t.Helper()
+	lqd, err := srv.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bind(lqd, demi.Addr{Port: port}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(lqd); err != nil {
+		t.Fatal(err)
+	}
+	cqd, err = cli.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Connect(cqd, c.AddrOf(srv, port)); err != nil {
+		t.Fatal(err)
+	}
+	sqd, err = srv.Accept(lqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cqd, sqd
+}
+
+func TestAcceptOnNonListener(t *testing.T) {
+	c, srv, _, cleanup := pair(t, 41)
+	defer cleanup()
+	_ = c
+	qd, _ := srv.Socket()
+	if _, _, err := srv.TryAccept(qd); !errors.Is(err, core.ErrNotListening) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPushBeforeConnectFails(t *testing.T) {
+	_, srv, _, cleanup := pair(t, 42)
+	defer cleanup()
+	qd, _ := srv.Socket()
+	qt, err := srv.Push(qd, demi.NewSGA([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := srv.Wait(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Err == nil {
+		t.Fatal("push on unconnected endpoint should fail")
+	}
+}
+
+func TestLargeSGASegmentedOverMSS(t *testing.T) {
+	// A 40 KB SGA crosses dozens of TCP segments; it must pop as one
+	// atomic element with its three segments intact.
+	c, srv, cli, cleanup := pair(t, 43)
+	defer cleanup()
+	cqd, sqd := connect(t, c, srv, cli, 80)
+
+	big := bytes.Repeat([]byte{0xEE}, 40_000)
+	s := demi.NewSGA([]byte("head"), big, []byte("tail"))
+	if _, err := cli.BlockingPush(cqd, s); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := srv.BlockingPop(sqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.SGA.NumSegments() != 3 || !comp.SGA.Equal(s) {
+		t.Fatalf("reassembly failed: %v", comp.SGA)
+	}
+	if cli.Catnip.Stack().Stats().TCPSegsSent < 20 {
+		t.Fatalf("expected many segments, got %d", cli.Catnip.Stack().Stats().TCPSegsSent)
+	}
+}
+
+func TestPipelinedPushes(t *testing.T) {
+	// Many pushes in flight before any pop: FIFO order must hold.
+	c, srv, cli, cleanup := pair(t, 44)
+	defer cleanup()
+	cqd, sqd := connect(t, c, srv, cli, 80)
+	const n = 20
+	var tokens []demi.QToken
+	for i := 0; i < n; i++ {
+		qt, err := cli.Push(cqd, demi.NewSGA([]byte{byte(i)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens = append(tokens, qt)
+	}
+	if _, err := cli.WaitAll(tokens); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		comp, err := srv.BlockingPop(sqd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if comp.SGA.Bytes()[0] != byte(i) {
+			t.Fatalf("pop %d returned %d: order broken", i, comp.SGA.Bytes()[0])
+		}
+	}
+}
+
+func TestPopFailsAfterPeerClose(t *testing.T) {
+	c, srv, cli, cleanup := pair(t, 45)
+	defer cleanup()
+	cqd, sqd := connect(t, c, srv, cli, 80)
+	qt, err := srv.Pop(sqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close(cqd)
+	comp, err := srv.Wait(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Err == nil {
+		t.Fatal("pop should fail once the peer closed")
+	}
+}
+
+func TestAllocSGAIsRegistered(t *testing.T) {
+	_, srv, _, cleanup := pair(t, 46)
+	defer cleanup()
+	s := srv.AllocSGA(512)
+	if s.Reg == nil {
+		t.Fatal("AllocSGA must attach a registration token")
+	}
+	if srv.Catnip.Device().Stats().Regions == 0 {
+		t.Fatal("slab region never registered with the NIC")
+	}
+	s.Free()
+}
+
+func TestFeatures(t *testing.T) {
+	_, srv, _, cleanup := pair(t, 47)
+	defer cleanup()
+	f := srv.Features()
+	if !f.KernelBypass || f.HWTransport {
+		t.Fatalf("catnip features wrong: %+v", f)
+	}
+	if len(f.SoftwareSupplied) < 3 {
+		t.Fatalf("catnip must supply a full stack in software: %v", f.SoftwareSupplied)
+	}
+}
+
+func TestBindThenLocalAddr(t *testing.T) {
+	_, srv, _, cleanup := pair(t, 48)
+	defer cleanup()
+	qd, _ := srv.Socket()
+	srv.Bind(qd, demi.Addr{Port: 1234})
+	// Bind state is observable through Listen succeeding on that port.
+	if err := srv.Listen(qd); err != nil {
+		t.Fatal(err)
+	}
+	qd2, _ := srv.Socket()
+	srv.Bind(qd2, demi.Addr{Port: 1234})
+	if err := srv.Listen(qd2); err == nil {
+		t.Fatal("double listen on one port succeeded")
+	}
+}
+
+func TestEchoManyMessagesStress(t *testing.T) {
+	c, srv, cli, cleanup := pair(t, 49)
+	defer cleanup()
+	cqd, sqd := connect(t, c, srv, cli, 80)
+	for i := 0; i < 100; i++ {
+		msg := demi.NewSGA([]byte{byte(i)}, bytes.Repeat([]byte{byte(i)}, i*17%900))
+		if _, err := cli.BlockingPush(cqd, msg); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		comp, err := srv.BlockingPop(sqd)
+		if err != nil {
+			t.Fatalf("pop %d: %v", i, err)
+		}
+		if !comp.SGA.Equal(msg) {
+			t.Fatalf("message %d corrupted", i)
+		}
+		if _, err := srv.BlockingPush(sqd, comp.SGA); err != nil {
+			t.Fatalf("echo push %d: %v", i, err)
+		}
+		back, err := cli.BlockingPop(cqd)
+		if err != nil {
+			t.Fatalf("echo pop %d: %v", i, err)
+		}
+		if !back.SGA.Equal(msg) {
+			t.Fatalf("echo %d corrupted", i)
+		}
+	}
+}

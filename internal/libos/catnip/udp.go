@@ -1,0 +1,197 @@
+package catnip
+
+import (
+	"sync"
+
+	"demikernel/internal/core"
+	"demikernel/internal/netstack"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+)
+
+// SocketUDP implements core.Transport: a datagram queue endpoint over
+// the user-level UDP path. A datagram is already an atomic unit, so the
+// SGA framing only preserves segmentation inside each datagram — there
+// is no stream reassembly at all.
+func (t *Transport) SocketUDP() (core.Endpoint, error) {
+	ep := &udpEndpoint{t: t}
+	t.mu.Lock()
+	t.udps = append(t.udps, ep)
+	t.mu.Unlock()
+	return ep, nil
+}
+
+// udpEndpoint is one catnip datagram queue. Connect fixes the peer for
+// subsequent pushes (connected-UDP semantics); Listen/Accept are not
+// datagram concepts and return ErrNotListening.
+type udpEndpoint struct {
+	t *Transport
+
+	mu       sync.Mutex
+	bound    core.Addr
+	peer     core.Addr
+	havePeer bool
+	sock     *netstack.UDPSock
+	ready    []queue.Completion
+	waiters  []queue.DoneFunc
+	closed   bool
+}
+
+// Bind implements core.Endpoint.
+func (e *udpEndpoint) Bind(addr core.Addr) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bound = addr
+	return e.ensureSockLocked(addr.Port)
+}
+
+func (e *udpEndpoint) ensureSockLocked(port uint16) error {
+	if e.sock != nil {
+		return nil
+	}
+	u, err := e.t.stack.OpenUDP(port)
+	if err != nil {
+		return err
+	}
+	e.sock = u
+	return nil
+}
+
+// LocalAddr implements core.Endpoint.
+func (e *udpEndpoint) LocalAddr() core.Addr {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bound
+}
+
+// Listen implements core.Endpoint; datagram sockets do not listen.
+func (e *udpEndpoint) Listen() error { return core.ErrNotListening }
+
+// Accept implements core.Endpoint; datagram sockets do not accept.
+func (e *udpEndpoint) Accept() (core.Endpoint, bool, error) {
+	return nil, false, core.ErrNotListening
+}
+
+// Connect implements core.Endpoint: it fixes the default peer.
+func (e *udpEndpoint) Connect(addr core.Addr) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensureSockLocked(0); err != nil {
+		return err
+	}
+	e.peer = addr
+	e.havePeer = true
+	return nil
+}
+
+// Connected implements core.Endpoint; connected-UDP is ready instantly.
+func (e *udpEndpoint) Connected() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.havePeer
+}
+
+// Push implements queue.IoQueue: one SGA becomes one datagram.
+func (e *udpEndpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
+	e.mu.Lock()
+	if e.closed || !e.havePeer || e.sock == nil {
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
+		return
+	}
+	peer := e.peer
+	sock := e.sock
+	e.mu.Unlock()
+	sock.SendTo(peer.IP, peer.Port, s.Marshal(), cost)
+	done(queue.Completion{Kind: queue.OpPush, Cost: cost})
+}
+
+// Pop implements queue.IoQueue.
+func (e *udpEndpoint) Pop(done queue.DoneFunc) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: queue.ErrClosed})
+		return
+	}
+	if len(e.ready) > 0 {
+		c := e.ready[0]
+		e.ready = e.ready[1:]
+		e.mu.Unlock()
+		done(c)
+		return
+	}
+	e.waiters = append(e.waiters, done)
+	e.mu.Unlock()
+	e.Pump()
+}
+
+// Pump implements queue.IoQueue: drain received datagrams into whole
+// SGAs.
+func (e *udpEndpoint) Pump() int {
+	e.mu.Lock()
+	sock := e.sock
+	closed := e.closed
+	e.mu.Unlock()
+	if sock == nil || closed {
+		return 0
+	}
+	n := 0
+	for {
+		d, ok := sock.Recv()
+		if !ok {
+			break
+		}
+		s, _, err := sga.Unmarshal(d.Payload)
+		comp := queue.Completion{Kind: queue.OpPop, Cost: d.Cost}
+		if err != nil {
+			comp.Err = err
+		} else {
+			comp.SGA = s.Clone()
+		}
+		e.mu.Lock()
+		e.ready = append(e.ready, comp)
+		e.mu.Unlock()
+		n++
+	}
+	e.serveWaiters()
+	return n
+}
+
+func (e *udpEndpoint) serveWaiters() {
+	for {
+		e.mu.Lock()
+		if len(e.waiters) == 0 || len(e.ready) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		w := e.waiters[0]
+		e.waiters = e.waiters[1:]
+		c := e.ready[0]
+		e.ready = e.ready[1:]
+		e.mu.Unlock()
+		w(c)
+	}
+}
+
+// Close implements queue.IoQueue.
+func (e *udpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	ws := e.waiters
+	e.waiters = nil
+	sock := e.sock
+	e.mu.Unlock()
+	if sock != nil {
+		sock.Close()
+	}
+	for _, w := range ws {
+		w(queue.Completion{Kind: queue.OpPop, Err: queue.ErrClosed})
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package catnip_test
+
+import (
+	"errors"
+	"testing"
+
+	demi "demikernel"
+	"demikernel/internal/core"
+)
+
+func TestUDPDatagramQueues(t *testing.T) {
+	c, srv, cli, cleanup := pair(t, 91)
+	defer cleanup()
+
+	sqd, err := srv.SocketUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bind(sqd, demi.Addr{Port: 5353}); err != nil {
+		t.Fatal(err)
+	}
+	// The server "connects back" once it learns the peer; start with
+	// the client side.
+	cqd, err := cli.SocketUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Bind(cqd, demi.Addr{Port: 5454}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Connect(cqd, c.AddrOf(srv, 5353)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Connect(sqd, c.AddrOf(cli, 5454)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Datagrams are atomic units: segmentation survives.
+	msg := demi.NewSGA([]byte("dns"), []byte("query"))
+	if _, err := cli.BlockingPush(cqd, msg); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := srv.BlockingPop(sqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.SGA.NumSegments() != 2 || !comp.SGA.Equal(msg) {
+		t.Fatalf("datagram mangled: %v", comp.SGA)
+	}
+	if comp.Cost == 0 {
+		t.Fatal("no virtual cost on datagram path")
+	}
+
+	// Reply direction.
+	if _, err := srv.BlockingPush(sqd, demi.NewSGA([]byte("answer"))); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cli.BlockingPop(cqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back.SGA.Bytes()) != "answer" {
+		t.Fatalf("reply %q", back.SGA.Bytes())
+	}
+}
+
+func TestUDPNoListenAccept(t *testing.T) {
+	_, srv, _, cleanup := pair(t, 92)
+	defer cleanup()
+	qd, err := srv.SocketUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(qd); !errors.Is(err, core.ErrNotListening) {
+		t.Fatalf("Listen err = %v", err)
+	}
+	if _, _, err := srv.TryAccept(qd); !errors.Is(err, core.ErrNotListening) {
+		t.Fatalf("Accept err = %v", err)
+	}
+}
+
+func TestUDPPushWithoutPeerFails(t *testing.T) {
+	_, srv, _, cleanup := pair(t, 93)
+	defer cleanup()
+	qd, _ := srv.SocketUDP()
+	srv.Bind(qd, demi.Addr{Port: 1000})
+	comp, err := srv.BlockingPush(qd, demi.NewSGA([]byte("lost")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Err == nil {
+		t.Fatal("push without a connected peer should fail")
+	}
+}
+
+func TestUDPOnOtherLibOSesUnsupported(t *testing.T) {
+	c := demi.NewCluster(94)
+	for _, n := range []*demi.Node{
+		c.NewCatnapNode(demi.NodeConfig{Host: 1}),
+		c.NewCatmintNode(demi.NodeConfig{Host: 2}),
+	} {
+		if _, err := n.SocketUDP(); !errors.Is(err, core.ErrNotSupported) {
+			t.Fatalf("%s: err = %v", n.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package membuf implements the Demikernel libOS memory manager (§4.5).
+//
+// Kernel-bypass devices require memory registration before DMA, and
+// zero-copy I/O requires that buffers are not recycled while a device is
+// still using them. The paper's design makes both transparent:
+//
+//   - Transparent registration: the libOS registers whole memory regions
+//     with every attached kernel-bypass device and allocates application
+//     buffers out of those regions, so applications never call a
+//     registration API and registration cost is amortised over a region
+//     rather than paid per buffer.
+//
+//   - Free-protection: "applications can free buffers while they are in
+//     use by a device, but the libOS will not deallocate the buffer until
+//     the device completes its I/O." Buffers are reference counted;
+//     devices hold a reference for the duration of an I/O.
+//
+// The package charges virtual registration costs through the simclock
+// cost model and exposes counters so experiments can observe pinned
+// memory, registration counts, and deferred frees.
+package membuf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"demikernel/internal/simclock"
+)
+
+// RegistrationSink is implemented by simulated kernel-bypass devices that
+// need to learn about DMA-able memory regions (IOMMU programming, rkey
+// issue, ...). The manager calls RegisterRegion once per (device, region)
+// pair.
+type RegistrationSink interface {
+	RegisterRegion(id uint64, mem []byte)
+}
+
+// DefaultRegionSize is the size of each slab region the manager carves
+// buffers from. One registration covers a whole region.
+const DefaultRegionSize = 256 * 1024
+
+// defaultClasses are the allocation size classes.
+var defaultClasses = []int{64, 256, 1024, 4096, 16384, 65536}
+
+// Stats describes the manager's observable behaviour.
+type Stats struct {
+	Regions          int          // regions created
+	PinnedBytes      int64        // total bytes pinned (all regions)
+	Registrations    int64        // device registrations performed
+	RegistrationCost simclock.Lat // total virtual registration cost
+	Allocs           int64        // buffers handed to the application
+	Recycled         int64        // buffers returned to free lists
+	DeferredFrees    int64        // frees deferred by free-protection
+	DoubleFrees      int64        // application double-free attempts
+	LiveBuffers      int64        // currently outstanding buffers
+}
+
+// Manager is a region-based slab allocator with transparent device
+// registration. It is safe for concurrent use.
+type Manager struct {
+	model      *simclock.CostModel
+	regionSize int
+	classes    []int
+
+	mu      sync.Mutex
+	devices []RegistrationSink
+	regions []*region
+	free    map[int][]*Buffer // size class -> free buffers
+	nextID  uint64
+	stats   Stats
+}
+
+type region struct {
+	id  uint64
+	mem []byte
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithRegionSize overrides the slab region size.
+func WithRegionSize(n int) Option {
+	return func(m *Manager) { m.regionSize = n }
+}
+
+// WithSizeClasses overrides the allocation size classes. Classes must be
+// ascending; the largest class bounds the largest slab allocation.
+func WithSizeClasses(classes []int) Option {
+	return func(m *Manager) {
+		cs := append([]int(nil), classes...)
+		sort.Ints(cs)
+		m.classes = cs
+	}
+}
+
+// NewManager returns a memory manager charging costs against model.
+func NewManager(model *simclock.CostModel, opts ...Option) *Manager {
+	m := &Manager{
+		model:      model,
+		regionSize: DefaultRegionSize,
+		classes:    defaultClasses,
+		free:       make(map[int][]*Buffer),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// AttachDevice registers every existing region with dev and arranges for
+// future regions to be registered as they are created. This is the
+// control-path moment where the libOS makes "all application memory
+// available to I/O devices" (§3.1).
+func (m *Manager) AttachDevice(dev RegistrationSink) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.devices = append(m.devices, dev)
+	for _, r := range m.regions {
+		m.registerLocked(dev, r)
+	}
+}
+
+func (m *Manager) registerLocked(dev RegistrationSink, r *region) {
+	dev.RegisterRegion(r.id, r.mem)
+	m.stats.Registrations++
+	m.stats.RegistrationCost += m.model.RegistrationNS
+}
+
+// sizeClass returns the smallest class >= n, or n itself when it exceeds
+// the largest class (such buffers get a dedicated region).
+func (m *Manager) sizeClass(n int) (int, bool) {
+	for _, c := range m.classes {
+		if n <= c {
+			return c, true
+		}
+	}
+	return n, false
+}
+
+// Alloc returns a buffer of at least n usable bytes from registered
+// memory. Alloc never returns nil; it panics on non-positive sizes, which
+// indicate a caller bug.
+func (m *Manager) Alloc(n int) *Buffer {
+	if n <= 0 {
+		panic(fmt.Sprintf("membuf: Alloc(%d)", n))
+	}
+	class, slabbed := m.sizeClass(n)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if slabbed {
+		if list := m.free[class]; len(list) > 0 {
+			b := list[len(list)-1]
+			m.free[class] = list[:len(list)-1]
+			b.reset(n)
+			m.stats.Allocs++
+			m.stats.LiveBuffers++
+			return b
+		}
+		m.carveRegionLocked(class)
+		list := m.free[class]
+		b := list[len(list)-1]
+		m.free[class] = list[:len(list)-1]
+		b.reset(n)
+		m.stats.Allocs++
+		m.stats.LiveBuffers++
+		return b
+	}
+
+	// Oversized allocation: dedicated region, not recycled through a
+	// free list (it is returned whole on final release).
+	r := m.newRegionLocked(n)
+	b := &Buffer{mgr: m, class: class, data: r.mem[:n], full: r.mem}
+	b.refs.Store(1)
+	m.stats.Allocs++
+	m.stats.LiveBuffers++
+	return b
+}
+
+// carveRegionLocked creates a region and slices it into free buffers of
+// the given class.
+func (m *Manager) carveRegionLocked(class int) {
+	size := m.regionSize
+	if size < class {
+		size = class
+	}
+	r := m.newRegionLocked(size)
+	for off := 0; off+class <= len(r.mem); off += class {
+		full := r.mem[off : off+class : off+class]
+		b := &Buffer{mgr: m, class: class, data: full, full: full}
+		m.free[class] = append(m.free[class], b)
+	}
+}
+
+func (m *Manager) newRegionLocked(size int) *region {
+	m.nextID++
+	r := &region{id: m.nextID, mem: make([]byte, size)}
+	m.regions = append(m.regions, r)
+	m.stats.Regions++
+	m.stats.PinnedBytes += int64(size)
+	for _, dev := range m.devices {
+		m.registerLocked(dev, r)
+	}
+	return r
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Manager) recycle(b *Buffer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.LiveBuffers--
+	_, slabbed := m.sizeClass(b.class)
+	if slabbed {
+		m.stats.Recycled++
+		m.free[b.class] = append(m.free[b.class], b)
+	}
+	// Oversized dedicated regions are simply dropped; the simulated pin
+	// stays accounted, mirroring how pinned regions are rarely returned.
+}
+
+func (m *Manager) noteDeferredFree() {
+	m.mu.Lock()
+	m.stats.DeferredFrees++
+	m.mu.Unlock()
+}
+
+func (m *Manager) noteDoubleFree() {
+	m.mu.Lock()
+	m.stats.DoubleFrees++
+	m.mu.Unlock()
+}
+
+// Buffer is a reference-counted, device-registered byte buffer.
+//
+// The application owns one reference from Alloc and drops it with Free.
+// Devices (or queue implementations acting for them) bracket each I/O with
+// HoldForIO / ReleaseFromIO. The storage is recycled only when every
+// reference is gone, implementing the paper's free-protection.
+type Buffer struct {
+	mgr   *Manager
+	class int
+	data  []byte // current allocation view (len = requested size)
+	full  []byte // full capacity backing slice
+	refs  atomic.Int32
+	freed atomic.Bool
+}
+
+func (b *Buffer) reset(n int) {
+	b.data = b.full[:n]
+	b.refs.Store(1)
+	b.freed.Store(false)
+}
+
+// Bytes returns the buffer's usable bytes. The slice is valid until the
+// final reference is released.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Cap returns the full capacity of the underlying slab slot.
+func (b *Buffer) Cap() int { return len(b.full) }
+
+// HoldForIO takes a device reference for the duration of an I/O
+// (free-protection, §4.5). It must be paired with ReleaseFromIO.
+func (b *Buffer) HoldForIO() {
+	if b.refs.Add(1) <= 1 {
+		panic("membuf: HoldForIO on released buffer")
+	}
+}
+
+// ReleaseFromIO drops a device reference taken by HoldForIO. If the
+// application already freed the buffer, the storage is recycled now.
+func (b *Buffer) ReleaseFromIO() {
+	b.release()
+}
+
+// Free drops the application's reference. If a device still holds the
+// buffer, deallocation is deferred until the device completes — the
+// application never coordinates with the device itself. Double frees are
+// counted and otherwise ignored.
+func (b *Buffer) Free() {
+	if b.freed.Swap(true) {
+		b.mgr.noteDoubleFree()
+		return
+	}
+	if b.refs.Load() > 1 {
+		// Device still holds it; free-protection defers the release.
+		b.mgr.noteDeferredFree()
+	}
+	b.release()
+}
+
+// InFlight reports whether any device reference is outstanding.
+func (b *Buffer) InFlight() bool { return b.refs.Load() > 1 }
+
+// Freed reports whether the application has called Free.
+func (b *Buffer) Freed() bool { return b.freed.Load() }
+
+func (b *Buffer) release() {
+	n := b.refs.Add(-1)
+	switch {
+	case n == 0:
+		b.mgr.recycle(b)
+	case n < 0:
+		panic("membuf: reference count underflow")
+	}
+}

@@ -1,0 +1,274 @@
+package membuf
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"unsafe"
+
+	"demikernel/internal/simclock"
+)
+
+func newTestManager(opts ...Option) *Manager {
+	model := simclock.Datacenter2019()
+	return NewManager(&model, opts...)
+}
+
+// recordingSink records regions it was asked to register.
+type recordingSink struct {
+	mu      sync.Mutex
+	regions map[uint64][]byte
+}
+
+func newRecordingSink() *recordingSink {
+	return &recordingSink{regions: make(map[uint64][]byte)}
+}
+
+func (s *recordingSink) RegisterRegion(id uint64, mem []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.regions[id] = mem
+}
+
+func (s *recordingSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.regions)
+}
+
+func TestAllocBasics(t *testing.T) {
+	m := newTestManager()
+	b := m.Alloc(100)
+	if len(b.Bytes()) != 100 {
+		t.Fatalf("len = %d, want 100", len(b.Bytes()))
+	}
+	if b.Cap() < 100 {
+		t.Fatalf("cap = %d, want >= 100", b.Cap())
+	}
+	b.Free()
+	st := m.Stats()
+	if st.Allocs != 1 || st.Recycled != 1 || st.LiveBuffers != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAllocPanicsOnBadSize(t *testing.T) {
+	m := newTestManager()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(0) should panic")
+		}
+	}()
+	m.Alloc(0)
+}
+
+func TestSlabReuse(t *testing.T) {
+	m := newTestManager()
+	b1 := m.Alloc(64)
+	p1 := &b1.Bytes()[0]
+	b1.Free()
+	b2 := m.Alloc(64)
+	p2 := &b2.Bytes()[0]
+	if p1 != p2 {
+		t.Fatal("freed slab buffer was not reused")
+	}
+	if m.Stats().Regions != 1 {
+		t.Fatalf("regions = %d, want 1", m.Stats().Regions)
+	}
+}
+
+func TestOversizedAllocation(t *testing.T) {
+	m := newTestManager()
+	b := m.Alloc(1 << 20) // larger than any class
+	if len(b.Bytes()) != 1<<20 {
+		t.Fatalf("len = %d", len(b.Bytes()))
+	}
+	b.Free()
+	st := m.Stats()
+	if st.Recycled != 0 {
+		t.Fatal("oversized buffers must not enter slab free lists")
+	}
+	if st.LiveBuffers != 0 {
+		t.Fatalf("LiveBuffers = %d, want 0", st.LiveBuffers)
+	}
+}
+
+func TestTransparentRegistration(t *testing.T) {
+	m := newTestManager()
+	sink := newRecordingSink()
+	m.AttachDevice(sink)
+	// No regions yet; first alloc creates and registers one.
+	m.Alloc(64)
+	if sink.count() != 1 {
+		t.Fatalf("device saw %d regions, want 1", sink.count())
+	}
+	// A second device attached later sees existing regions too.
+	sink2 := newRecordingSink()
+	m.AttachDevice(sink2)
+	if sink2.count() != 1 {
+		t.Fatalf("late device saw %d regions, want 1", sink2.count())
+	}
+	st := m.Stats()
+	if st.Registrations != 2 {
+		t.Fatalf("registrations = %d, want 2", st.Registrations)
+	}
+	if st.RegistrationCost == 0 {
+		t.Fatal("registration cost not charged")
+	}
+}
+
+func TestRegistrationAmortised(t *testing.T) {
+	// Many small allocations from one region must cost one registration,
+	// not one per buffer (§4.5: the point of region registration).
+	m := newTestManager()
+	sink := newRecordingSink()
+	m.AttachDevice(sink)
+	var bufs []*Buffer
+	for i := 0; i < 1000; i++ {
+		bufs = append(bufs, m.Alloc(64))
+	}
+	st := m.Stats()
+	if st.Registrations != int64(st.Regions) {
+		t.Fatalf("registrations %d != regions %d", st.Registrations, st.Regions)
+	}
+	if st.Registrations >= 1000 {
+		t.Fatalf("registration not amortised: %d registrations for 1000 allocs", st.Registrations)
+	}
+	for _, b := range bufs {
+		b.Free()
+	}
+}
+
+func TestFreeProtection(t *testing.T) {
+	m := newTestManager()
+	b := m.Alloc(64)
+	b.HoldForIO() // device takes a reference
+	b.Free()      // app frees while in flight — must be safe
+	if !b.Freed() {
+		t.Fatal("Freed() should report true after app free")
+	}
+	if m.Stats().LiveBuffers != 1 {
+		t.Fatal("buffer recycled while device held it")
+	}
+	if m.Stats().DeferredFrees != 1 {
+		t.Fatalf("DeferredFrees = %d, want 1", m.Stats().DeferredFrees)
+	}
+	// Buffer contents must still be addressable by the "device".
+	_ = b.Bytes()[0]
+	b.ReleaseFromIO() // device completes
+	st := m.Stats()
+	if st.LiveBuffers != 0 || st.Recycled != 1 {
+		t.Fatalf("after device release: %+v", st)
+	}
+}
+
+func TestDoubleFreeCounted(t *testing.T) {
+	m := newTestManager()
+	b := m.Alloc(64)
+	b.HoldForIO() // keep a device ref so the slot isn't recycled/reused
+	b.Free()
+	b.Free()
+	b.Free()
+	if got := m.Stats().DoubleFrees; got != 2 {
+		t.Fatalf("DoubleFrees = %d, want 2", got)
+	}
+	b.ReleaseFromIO()
+}
+
+func TestInFlight(t *testing.T) {
+	m := newTestManager()
+	b := m.Alloc(64)
+	if b.InFlight() {
+		t.Fatal("fresh buffer should not be in flight")
+	}
+	b.HoldForIO()
+	if !b.InFlight() {
+		t.Fatal("buffer with device ref should be in flight")
+	}
+	b.ReleaseFromIO()
+	if b.InFlight() {
+		t.Fatal("buffer should leave flight after device release")
+	}
+	b.Free()
+}
+
+func TestPinnedBytesGrow(t *testing.T) {
+	m := newTestManager(WithRegionSize(4096), WithSizeClasses([]int{1024}))
+	m.Alloc(1024)
+	first := m.Stats().PinnedBytes
+	if first != 4096 {
+		t.Fatalf("pinned = %d, want 4096", first)
+	}
+	// Exhaust the region (4 slots) to force another region.
+	for i := 0; i < 4; i++ {
+		m.Alloc(1024)
+	}
+	if got := m.Stats().PinnedBytes; got != 8192 {
+		t.Fatalf("pinned = %d, want 8192", got)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	m := newTestManager()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				b := m.Alloc(1 + r.Intn(60000))
+				if r.Intn(2) == 0 {
+					b.HoldForIO()
+					b.Free()
+					b.ReleaseFromIO()
+				} else {
+					b.Free()
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.LiveBuffers != 0 {
+		t.Fatalf("leaked %d buffers", st.LiveBuffers)
+	}
+	if st.DoubleFrees != 0 {
+		t.Fatalf("unexpected double frees: %d", st.DoubleFrees)
+	}
+}
+
+// TestPropNoOverlappingBuffers: no two live buffers may share memory.
+func TestPropNoOverlappingBuffers(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := newTestManager(WithRegionSize(8192))
+		type span struct{ lo, hi uintptr }
+		var live []span
+		for i := 0; i < 50; i++ {
+			n := 1 + r.Intn(5000)
+			b := m.Alloc(n)
+			bs := b.Bytes()
+			lo := uintptr(0)
+			if len(bs) > 0 {
+				lo = addrOf(&bs[0])
+			}
+			hi := lo + uintptr(len(bs))
+			for _, s := range live {
+				if lo < s.hi && s.lo < hi {
+					return false // overlap
+				}
+			}
+			live = append(live, span{lo, hi})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func addrOf(p *byte) uintptr {
+	return uintptr(unsafe.Pointer(p))
+}

@@ -1,0 +1,201 @@
+// Package metrics provides the measurement plumbing for the experiment
+// harness: latency histograms over virtual (simclock) latencies,
+// percentile summaries, and plain-text/markdown table rendering for
+// EXPERIMENTS.md.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"demikernel/internal/simclock"
+)
+
+// Histogram records latency samples. It keeps exact samples (experiments
+// record thousands, not billions, of points), so percentiles are exact.
+// It is not safe for concurrent use; experiments record from one
+// goroutine.
+type Histogram struct {
+	samples []int64
+	sorted  bool
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(l simclock.Lat) {
+	h.samples = append(h.samples, int64(l))
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+func (h *Histogram) sortSamples() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank. It returns 0 on an empty histogram.
+func (h *Histogram) Percentile(p float64) simclock.Lat {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return simclock.Lat(h.samples[rank])
+}
+
+// Mean returns the arithmetic mean.
+func (h *Histogram) Mean() simclock.Lat {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range h.samples {
+		sum += s
+	}
+	return simclock.Lat(sum / int64(len(h.samples)))
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() simclock.Lat {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	return simclock.Lat(h.samples[0])
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() simclock.Lat {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortSamples()
+	return simclock.Lat(h.samples[len(h.samples)-1])
+}
+
+// Summary is a fixed percentile digest of a histogram.
+type Summary struct {
+	Count          int
+	Mean, P50, P99 simclock.Lat
+	Min, Max       simclock.Lat
+}
+
+// Summarize digests the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P99:   h.Percentile(99),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}
+
+// Table is a simple experiment-result table rendered as aligned text or
+// markdown.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, hd := range t.Headers {
+		widths[i] = len(hd)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n*%s*\n", t.Note)
+	}
+	return b.String()
+}
+
+// Ratio formats a/b as "N.NNx", guarding division by zero.
+func Ratio(a, b simclock.Lat) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"demikernel/internal/simclock"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(simclock.Lat(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99 {
+		t.Fatalf("P99 = %v", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := h.Mean(); got != 50 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Summarize()
+	if s.Count != 0 || s.P50 != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	s := h.Summarize()
+	if s.P50 != 42 || s.P99 != 42 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestRecordAfterPercentileStaysSorted(t *testing.T) {
+	var h Histogram
+	h.Record(10)
+	_ = h.Percentile(50)
+	h.Record(5)
+	if got := h.Min(); got != 5 {
+		t.Fatalf("Min after late record = %v", got)
+	}
+}
+
+func TestPropPercentileBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var h Histogram
+		var vals []int64
+		n := 1 + r.Intn(500)
+		for i := 0; i < n; i++ {
+			v := r.Int63n(1_000_000)
+			vals = append(vals, v)
+			h.Record(simclock.Lat(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		p50 := int64(h.Percentile(50))
+		p99 := int64(h.Percentile(99))
+		// Percentiles must be actual samples, ordered, and bounded.
+		return p50 >= vals[0] && p99 <= vals[len(vals)-1] && p50 <= p99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Echo latency", "path", "p50", "p99")
+	tb.AddRow("kernel", simclock.Lat(9000), simclock.Lat(12000))
+	tb.AddRow("catnip", simclock.Lat(4000), simclock.Lat(5000))
+	tb.Note = "lower is better"
+	out := tb.String()
+	for _, want := range []string{"Echo latency", "kernel", "catnip", "9.00µs", "lower is better"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| path | p50 | p99 |") {
+		t.Fatalf("markdown header missing:\n%s", md)
+	}
+	if !strings.Contains(md, "### Echo latency") {
+		t.Fatal("markdown title missing")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("x", "v")
+	tb.AddRow(1.23456)
+	if !strings.Contains(tb.String(), "1.23") {
+		t.Fatalf("float not formatted: %s", tb.String())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(200, 100); got != "2.00x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(100, 0); got != "inf" {
+		t.Fatalf("Ratio/0 = %q", got)
+	}
+}

@@ -1,0 +1,365 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"demikernel/internal/fabric"
+	"demikernel/internal/nic"
+	"demikernel/internal/simclock"
+)
+
+// Config describes one stack instance.
+type Config struct {
+	// IP is the stack's address on the fabric's single L2 segment.
+	IP IPv4Addr
+	// MSS is the maximum TCP segment payload (default 1400).
+	MSS int
+	// RxWindow is the TCP receive buffer per connection (default 64 KiB).
+	RxWindow int
+	// RTO is the initial TCP retransmission timeout (default 20 ms;
+	// short because the simulated fabric has microsecond delays).
+	RTO time.Duration
+	// PerPacketExtra is an additional per-packet processing cost. A
+	// plain Demikernel libOS leaves it zero; the mTCP-style
+	// POSIX-preserving configuration (§6) charges the POSIX emulation
+	// tax here.
+	PerPacketExtra simclock.Lat
+}
+
+// Stats counts stack events.
+type Stats struct {
+	FramesIn        int64
+	ARPRequests     int64
+	ARPReplies      int64
+	TCPSegsSent     int64
+	TCPSegsRcvd     int64
+	Retransmits     int64
+	FastRetransmits int64
+	DupAcksRcvd     int64
+	OutOfOrderSegs  int64
+	BadChecksums    int64
+	UDPSent         int64
+	UDPRcvd         int64
+	NoListener      int64
+	RSTsSent        int64
+	RSTsRcvd        int64
+}
+
+// Errors returned by the stack.
+var (
+	ErrPortInUse      = errors.New("netstack: port in use")
+	ErrConnClosed     = errors.New("netstack: connection closed")
+	ErrBufferFull     = errors.New("netstack: send buffer full")
+	ErrNotEstablished = errors.New("netstack: not established")
+)
+
+type connKey struct {
+	localPort  uint16
+	remoteIP   IPv4Addr
+	remotePort uint16
+}
+
+type pendingPkt struct {
+	etherType uint16
+	payload   []byte
+	cost      simclock.Lat
+}
+
+// Stack is one user-level TCP/IP instance bound to a simulated NIC.
+// All methods are safe for concurrent use; the data path is driven by
+// Poll, which the owning libOS pumps from its wait loop.
+type Stack struct {
+	model *simclock.CostModel
+	dev   *nic.Device
+	cfg   Config
+
+	mu         sync.Mutex
+	arp        map[IPv4Addr]fabric.MAC
+	arpPending map[IPv4Addr][]pendingPkt
+	conns      map[connKey]*TCPConn
+	listeners  map[uint16]*TCPListener
+	udp        map[uint16]*UDPSock
+	ipID       uint16
+	nextPort   uint16
+	issCounter uint32
+	now        func() time.Time
+	stats      Stats
+}
+
+// New creates a stack for dev with the given configuration.
+func New(model *simclock.CostModel, dev *nic.Device, cfg Config) *Stack {
+	if cfg.MSS <= 0 {
+		cfg.MSS = 1400
+	}
+	if cfg.RxWindow <= 0 {
+		cfg.RxWindow = 64 * 1024
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 20 * time.Millisecond
+	}
+	return &Stack{
+		model:      model,
+		dev:        dev,
+		cfg:        cfg,
+		arp:        make(map[IPv4Addr]fabric.MAC),
+		arpPending: make(map[IPv4Addr][]pendingPkt),
+		conns:      make(map[connKey]*TCPConn),
+		listeners:  make(map[uint16]*TCPListener),
+		udp:        make(map[uint16]*UDPSock),
+		nextPort:   49152,
+		now:        time.Now,
+	}
+}
+
+// IP returns the stack's address.
+func (s *Stack) IP() IPv4Addr { return s.cfg.IP }
+
+// Stats returns a snapshot of the stack's counters.
+func (s *Stack) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Poll pumps the data path once: it drains received frames from the NIC,
+// advances protocol state machines, fires retransmission timers, and
+// transmits whatever became ready. It returns the number of frames
+// processed, so callers can back off when idle.
+func (s *Stack) Poll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for {
+		frames := s.dev.RxBurst(0, 64)
+		if len(frames) == 0 {
+			break
+		}
+		for _, f := range frames {
+			s.handleFrameLocked(f)
+			n++
+		}
+	}
+	s.tickTimersLocked()
+	return n
+}
+
+func (s *Stack) handleFrameLocked(f fabric.Frame) {
+	s.stats.FramesIn++
+	if len(f.Data) < ethHdrLen {
+		return
+	}
+	f.Cost += s.model.UserNetStackNS + s.cfg.PerPacketExtra
+	etherType := uint16(f.Data[12])<<8 | uint16(f.Data[13])
+	body := f.Data[ethHdrLen:]
+	switch etherType {
+	case etherTypeARP:
+		s.handleARPLocked(body)
+	case etherTypeIPv4:
+		s.handleIPv4Locked(body, f.Cost)
+	}
+}
+
+// --- ARP ---
+
+func (s *Stack) handleARPLocked(b []byte) {
+	p, ok := parseARP(b)
+	if !ok {
+		return
+	}
+	// Learn the sender in all cases (gratuitous/learning behaviour).
+	s.arp[p.senderIP] = p.senderHW
+	s.flushARPPendingLocked(p.senderIP)
+	switch p.op {
+	case arpOpRequest:
+		if p.targetIP != s.cfg.IP {
+			return
+		}
+		s.stats.ARPReplies++
+		reply := arpPacket{
+			op:       arpOpReply,
+			senderHW: s.dev.MAC(),
+			senderIP: s.cfg.IP,
+			targetHW: p.senderHW,
+			targetIP: p.senderIP,
+		}
+		frame := appendEth(nil, p.senderHW, s.dev.MAC(), etherTypeARP)
+		frame = reply.marshal(frame)
+		s.dev.Tx(frame, 0)
+	case arpOpReply:
+		// Learning already done above.
+	}
+}
+
+func (s *Stack) flushARPPendingLocked(ip IPv4Addr) {
+	pend := s.arpPending[ip]
+	if len(pend) == 0 {
+		return
+	}
+	delete(s.arpPending, ip)
+	mac := s.arp[ip]
+	for _, p := range pend {
+		frame := appendEth(nil, mac, s.dev.MAC(), p.etherType)
+		frame = append(frame, p.payload...)
+		s.dev.Tx(frame, p.cost)
+	}
+}
+
+// sendIPv4Locked wraps payload in an IPv4+Ethernet frame to dstIP,
+// resolving the MAC with ARP if needed.
+func (s *Stack) sendIPv4Locked(dstIP IPv4Addr, proto uint8, l4 []byte, cost simclock.Lat) {
+	s.ipID++
+	h := ipv4Header{
+		totalLen: uint16(ipv4HdrLen + len(l4)),
+		id:       s.ipID,
+		ttl:      64,
+		proto:    proto,
+		src:      s.cfg.IP,
+		dst:      dstIP,
+	}
+	pkt := h.marshal(make([]byte, 0, ipv4HdrLen+len(l4)))
+	pkt = append(pkt, l4...)
+
+	if mac, ok := s.arp[dstIP]; ok {
+		frame := appendEth(make([]byte, 0, ethHdrLen+len(pkt)), mac, s.dev.MAC(), etherTypeIPv4)
+		frame = append(frame, pkt...)
+		s.dev.Tx(frame, cost)
+		return
+	}
+	// Queue behind ARP resolution.
+	s.arpPending[dstIP] = append(s.arpPending[dstIP], pendingPkt{etherTypeIPv4, pkt, cost})
+	s.stats.ARPRequests++
+	req := arpPacket{
+		op:       arpOpRequest,
+		senderHW: s.dev.MAC(),
+		senderIP: s.cfg.IP,
+		targetIP: dstIP,
+	}
+	frame := appendEth(nil, fabric.Broadcast, s.dev.MAC(), etherTypeARP)
+	frame = req.marshal(frame)
+	s.dev.Tx(frame, 0)
+}
+
+// --- IPv4 demux ---
+
+func (s *Stack) handleIPv4Locked(b []byte, cost simclock.Lat) {
+	h, body, ok := parseIPv4(b)
+	if !ok {
+		s.stats.BadChecksums++
+		return
+	}
+	if h.dst != s.cfg.IP {
+		return
+	}
+	switch h.proto {
+	case protoTCP:
+		s.handleTCPLocked(h, body, cost)
+	case protoUDP:
+		s.handleUDPLocked(h, body, cost)
+	}
+}
+
+// --- UDP ---
+
+// Datagram is one received UDP datagram.
+type Datagram struct {
+	SrcIP   IPv4Addr
+	SrcPort uint16
+	Payload []byte
+	Cost    simclock.Lat
+}
+
+// UDPSock is a bound UDP socket.
+type UDPSock struct {
+	stack *Stack
+	port  uint16
+	rx    []Datagram
+	max   int
+}
+
+// OpenUDP binds a UDP socket to port (0 picks an ephemeral port).
+func (s *Stack) OpenUDP(port uint16) (*UDPSock, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if port == 0 {
+		port = s.ephemeralLocked()
+	}
+	if _, used := s.udp[port]; used {
+		return nil, fmt.Errorf("%w: udp %d", ErrPortInUse, port)
+	}
+	u := &UDPSock{stack: s, port: port, max: 1024}
+	s.udp[port] = u
+	return u, nil
+}
+
+func (s *Stack) ephemeralLocked() uint16 {
+	for {
+		s.nextPort++
+		if s.nextPort < 49152 {
+			s.nextPort = 49152
+		}
+		p := s.nextPort
+		_, tcpUsed := s.listeners[p]
+		_, udpUsed := s.udp[p]
+		if !tcpUsed && !udpUsed {
+			return p
+		}
+	}
+}
+
+func (s *Stack) handleUDPLocked(h ipv4Header, body []byte, cost simclock.Lat) {
+	u, ok := parseUDP(body, h.src, h.dst)
+	if !ok {
+		s.stats.BadChecksums++
+		return
+	}
+	sock, ok := s.udp[u.dstPort]
+	if !ok {
+		s.stats.NoListener++
+		return
+	}
+	s.stats.UDPRcvd++
+	if len(sock.rx) >= sock.max {
+		return // receive queue overflow: drop, as UDP does
+	}
+	payload := append([]byte(nil), u.payload...)
+	sock.rx = append(sock.rx, Datagram{SrcIP: h.src, SrcPort: u.srcPort, Payload: payload, Cost: cost})
+}
+
+// Port returns the socket's bound port.
+func (u *UDPSock) Port() uint16 { return u.port }
+
+// SendTo transmits one datagram. cost is the virtual latency already
+// accumulated by the caller (application compute, libOS work).
+func (u *UDPSock) SendTo(ip IPv4Addr, port uint16, payload []byte, cost simclock.Lat) {
+	s := u.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.UDPSent++
+	d := udpDatagram{srcPort: u.port, dstPort: port, payload: payload}
+	l4 := d.marshal(make([]byte, 0, udpHdrLen+len(payload)), s.cfg.IP, ip)
+	s.sendIPv4Locked(ip, protoUDP, l4, cost+s.model.UserNetStackNS+s.cfg.PerPacketExtra)
+}
+
+// Recv pops one received datagram without blocking.
+func (u *UDPSock) Recv() (Datagram, bool) {
+	s := u.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(u.rx) == 0 {
+		return Datagram{}, false
+	}
+	d := u.rx[0]
+	u.rx = u.rx[1:]
+	return d, true
+}
+
+// Close unbinds the socket.
+func (u *UDPSock) Close() {
+	s := u.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.udp, u.port)
+}

@@ -1,0 +1,611 @@
+package netstack
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"demikernel/internal/simclock"
+)
+
+// TCP connection states (a condensed but faithful subset of RFC 793).
+type tcpState int
+
+const (
+	stateSynSent tcpState = iota
+	stateSynRcvd
+	stateEstablished
+	stateClosed
+)
+
+// seqLT reports a < b in 32-bit sequence space.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLEQ reports a <= b in 32-bit sequence space.
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// maxRTO caps exponential backoff.
+const maxRTO = time.Second
+
+// sndBufMax bounds the per-connection send buffer.
+const sndBufMax = 256 * 1024
+
+// TCPListener accepts inbound connections on a port.
+type TCPListener struct {
+	stack   *Stack
+	port    uint16
+	backlog []*TCPConn
+	closed  bool
+}
+
+// ListenTCP binds a listener to port.
+func (s *Stack) ListenTCP(port uint16) (*TCPListener, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, used := s.listeners[port]; used {
+		return nil, fmt.Errorf("%w: tcp %d", ErrPortInUse, port)
+	}
+	l := &TCPListener{stack: s, port: port}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Accept pops one fully established connection, without blocking.
+func (l *TCPListener) Accept() (*TCPConn, bool) {
+	s := l.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(l.backlog) == 0 {
+		return nil, false
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, true
+}
+
+// Close unbinds the listener. Established connections are unaffected.
+func (l *TCPListener) Close() {
+	s := l.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l.closed = true
+	delete(s.listeners, l.port)
+}
+
+// TCPConn is one TCP connection. All methods are non-blocking; callers
+// pump Stack.Poll and retry, which is exactly how a Demikernel libOS
+// drives it from wait_*.
+type TCPConn struct {
+	stack *Stack
+	key   connKey
+	state tcpState
+	iss   uint32
+
+	// Send side. sndBuf holds bytes in [sndUna, sndUna+len(sndBuf)).
+	sndUna, sndNxt uint32
+	sndBuf         []byte
+	peerWnd        int
+	cwnd, ssthresh int
+	dupAcks        int
+	rto            time.Duration
+	rtoDeadline    time.Time
+	txCost         simclock.Lat
+	finQueued      bool
+	finSent        bool
+	finAcked       bool
+
+	// Receive side.
+	rcvNxt      uint32
+	rcvBuf      []byte
+	ooo         map[uint32][]byte
+	peerFinRcvd bool
+	rxCost      simclock.Lat
+
+	// pendingListener receives the connection on handshake completion.
+	pendingListener *TCPListener
+
+	err error
+}
+
+// DialTCP starts an active open to ip:port. The returned connection is in
+// SYN-SENT; poll the stack until Established reports true.
+func (s *Stack) DialTCP(ip IPv4Addr, port uint16) (*TCPConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	local := s.ephemeralLocked()
+	key := connKey{localPort: local, remoteIP: ip, remotePort: port}
+	if _, dup := s.conns[key]; dup {
+		return nil, fmt.Errorf("%w: %v", ErrPortInUse, key)
+	}
+	c := s.newConnLocked(key, stateSynSent)
+	s.conns[key] = c
+	c.sendSegmentLocked(c.iss, nil, flagSYN)
+	c.sndNxt = c.iss + 1
+	c.armTimerLocked()
+	return c, nil
+}
+
+func (s *Stack) newConnLocked(key connKey, st tcpState) *TCPConn {
+	s.issCounter += 64013
+	return &TCPConn{
+		stack:    s,
+		key:      key,
+		state:    st,
+		iss:      s.issCounter,
+		cwnd:     2 * s.cfg.MSS,
+		ssthresh: 64 * 1024,
+		peerWnd:  s.cfg.MSS, // until the peer advertises
+		rto:      s.cfg.RTO,
+		ooo:      make(map[uint32][]byte),
+	}
+}
+
+// LocalPort returns the connection's local port.
+func (c *TCPConn) LocalPort() uint16 { return c.key.localPort }
+
+// RemoteIP returns the peer address.
+func (c *TCPConn) RemoteIP() IPv4Addr { return c.key.remoteIP }
+
+// RemotePort returns the peer port.
+func (c *TCPConn) RemotePort() uint16 { return c.key.remotePort }
+
+// Established reports whether the handshake has completed.
+func (c *TCPConn) Established() bool {
+	c.stack.mu.Lock()
+	defer c.stack.mu.Unlock()
+	return c.state == stateEstablished
+}
+
+// Err returns the terminal error, if the connection failed.
+func (c *TCPConn) Err() error {
+	c.stack.mu.Lock()
+	defer c.stack.mu.Unlock()
+	return c.err
+}
+
+// Send enqueues payload bytes for transmission, carrying the caller's
+// accumulated virtual cost. It returns the number of bytes accepted,
+// which may be less than len(b) when the send buffer fills.
+func (c *TCPConn) Send(b []byte, cost simclock.Lat) (int, error) {
+	s := c.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.err != nil {
+		return 0, c.err
+	}
+	if c.state == stateClosed || c.finQueued {
+		return 0, ErrConnClosed
+	}
+	space := sndBufMax - len(c.sndBuf)
+	if space <= 0 {
+		return 0, nil
+	}
+	n := len(b)
+	if n > space {
+		n = space
+	}
+	c.sndBuf = append(c.sndBuf, b[:n]...)
+	c.txCost = cost
+	c.trySendLocked()
+	return n, nil
+}
+
+// Recv pops up to max in-order received bytes. It returns (nil, 0, nil)
+// when no data is ready, and io.EOF once the peer's FIN has been consumed
+// and the buffer is drained.
+func (c *TCPConn) Recv(max int) ([]byte, simclock.Lat, error) {
+	s := c.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.err != nil {
+		return nil, 0, c.err
+	}
+	if len(c.rcvBuf) == 0 {
+		if c.peerFinRcvd {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, nil
+	}
+	n := len(c.rcvBuf)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]byte, n)
+	copy(out, c.rcvBuf)
+	c.rcvBuf = c.rcvBuf[:copy(c.rcvBuf, c.rcvBuf[n:])]
+	return out, c.rxCost, nil
+}
+
+// Close queues a FIN after any buffered data drains.
+func (c *TCPConn) Close() {
+	s := c.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.finQueued || c.state == stateClosed {
+		return
+	}
+	c.finQueued = true
+	c.trySendLocked()
+}
+
+// Readable reports whether Recv would return data or EOF right now
+// (level-triggered readiness, as epoll sees it).
+func (c *TCPConn) Readable() bool {
+	c.stack.mu.Lock()
+	defer c.stack.mu.Unlock()
+	return len(c.rcvBuf) > 0 || c.peerFinRcvd || c.err != nil
+}
+
+// Pending returns the number of connections waiting in the accept
+// backlog.
+func (l *TCPListener) Pending() int {
+	l.stack.mu.Lock()
+	defer l.stack.mu.Unlock()
+	return len(l.backlog)
+}
+
+// Closed reports whether both directions have shut down or the connection
+// was reset.
+func (c *TCPConn) Closed() bool {
+	c.stack.mu.Lock()
+	defer c.stack.mu.Unlock()
+	return c.state == stateClosed
+}
+
+// --- segment input ---
+
+func (s *Stack) handleTCPLocked(h ipv4Header, body []byte, cost simclock.Lat) {
+	seg, ok := parseTCP(body, h.src, h.dst)
+	if !ok {
+		s.stats.BadChecksums++
+		return
+	}
+	s.stats.TCPSegsRcvd++
+	key := connKey{localPort: seg.dstPort, remoteIP: h.src, remotePort: seg.srcPort}
+	if c, ok := s.conns[key]; ok {
+		c.handleSegmentLocked(seg, cost)
+		return
+	}
+	// New inbound connection?
+	if seg.flags&flagSYN != 0 && seg.flags&flagACK == 0 {
+		if l, ok := s.listeners[seg.dstPort]; ok && !l.closed {
+			c := s.newConnLocked(key, stateSynRcvd)
+			s.conns[key] = c
+			c.rcvNxt = seg.seq + 1
+			c.peerWnd = int(seg.window)
+			c.pendingListener = l
+			c.sendSegmentLocked(c.iss, nil, flagSYN|flagACK)
+			c.sndNxt = c.iss + 1
+			c.armTimerLocked()
+			return
+		}
+	}
+	s.stats.NoListener++
+	// No connection and no listener: answer with RST, as a real stack
+	// does, so the peer fails fast instead of retrying into a void.
+	if seg.flags&flagRST == 0 {
+		s.sendRSTLocked(h.src, seg)
+	}
+}
+
+// sendRSTLocked emits a reset in response to an orphan segment.
+func (s *Stack) sendRSTLocked(dst IPv4Addr, orphan tcpSegment) {
+	s.stats.RSTsSent++
+	rst := tcpSegment{
+		srcPort: orphan.dstPort,
+		dstPort: orphan.srcPort,
+		// RFC 793: if the orphan had an ACK, reset with its ack number;
+		// otherwise seq 0 and ack covering the orphan.
+		seq:   orphan.ack,
+		ack:   orphan.seq + uint32(len(orphan.payload)) + 1,
+		flags: flagRST | flagACK,
+	}
+	l4 := rst.marshal(make([]byte, 0, tcpHdrLen), s.cfg.IP, dst)
+	s.sendIPv4Locked(dst, protoTCP, l4, 0)
+}
+
+func (c *TCPConn) handleSegmentLocked(seg tcpSegment, cost simclock.Lat) {
+	s := c.stack
+	if seg.flags&flagRST != 0 {
+		s.stats.RSTsRcvd++
+		c.err = ErrConnClosed
+		c.state = stateClosed
+		delete(s.conns, c.key)
+		return
+	}
+	switch c.state {
+	case stateSynSent:
+		if seg.flags&(flagSYN|flagACK) == flagSYN|flagACK && seg.ack == c.iss+1 {
+			c.sndUna = seg.ack
+			c.rcvNxt = seg.seq + 1
+			c.peerWnd = int(seg.window)
+			c.state = stateEstablished
+			c.clearTimerLocked()
+			c.sendAckLocked()
+			c.trySendLocked()
+		}
+		return
+	case stateSynRcvd:
+		if seg.flags&flagACK != 0 && seg.ack == c.iss+1 {
+			c.sndUna = seg.ack
+			c.peerWnd = int(seg.window)
+			c.state = stateEstablished
+			c.clearTimerLocked()
+			if l := c.pendingListener; l != nil && !l.closed {
+				l.backlog = append(l.backlog, c)
+			}
+			c.pendingListener = nil
+			// Fall through: the handshake ACK may carry data.
+		} else {
+			return
+		}
+	case stateClosed:
+		return
+	}
+
+	c.processAckLocked(seg)
+	c.processDataLocked(seg, cost)
+	c.maybeFinishLocked()
+}
+
+func (c *TCPConn) processAckLocked(seg tcpSegment) {
+	if seg.flags&flagACK == 0 {
+		return
+	}
+	oldWnd := c.peerWnd
+	c.peerWnd = int(seg.window)
+	mss := c.stack.cfg.MSS
+	switch {
+	case seqLT(c.sndUna, seg.ack) && seqLEQ(seg.ack, c.sndNxt):
+		acked := int(seg.ack - c.sndUna)
+		dataAcked := acked
+		if dataAcked > len(c.sndBuf) {
+			dataAcked = len(c.sndBuf) // the excess is our FIN
+			c.finAcked = c.finSent
+		}
+		c.sndBuf = c.sndBuf[:copy(c.sndBuf, c.sndBuf[dataAcked:])]
+		c.sndUna = seg.ack
+		c.dupAcks = 0
+		c.rto = c.stack.cfg.RTO
+		// Congestion control: slow start then AIMD (RFC 5681 shape).
+		if c.cwnd < c.ssthresh {
+			c.cwnd += mss
+		} else {
+			c.cwnd += mss * mss / c.cwnd
+		}
+		if c.sndUna != c.sndNxt || len(c.sndBuf) > 0 {
+			// Data in flight, or data stalled behind a closed peer
+			// window (the timer then acts as the persist timer).
+			c.armTimerLocked()
+		} else {
+			c.clearTimerLocked()
+		}
+	case seg.ack == c.sndUna && c.sndNxt != c.sndUna && len(seg.payload) == 0 && c.peerWnd == oldWnd:
+		c.stack.stats.DupAcksRcvd++
+		c.dupAcks++
+		if c.dupAcks == 3 {
+			c.fastRetransmitLocked()
+		}
+	}
+	// A window update may have unblocked sending even without new ACKs.
+	c.trySendLocked()
+}
+
+func (c *TCPConn) fastRetransmitLocked() {
+	s := c.stack
+	s.stats.FastRetransmits++
+	mss := s.cfg.MSS
+	flight := int(c.sndNxt - c.sndUna)
+	c.ssthresh = max(flight/2, 2*mss)
+	c.cwnd = c.ssthresh + 3*mss
+	c.retransmitHeadLocked()
+}
+
+// retransmitHeadLocked resends the first unacknowledged segment (or the
+// FIN when only the FIN is outstanding).
+func (c *TCPConn) retransmitHeadLocked() {
+	mss := c.stack.cfg.MSS
+	if len(c.sndBuf) > 0 {
+		n := min(mss, len(c.sndBuf))
+		c.sendSegmentLocked(c.sndUna, c.sndBuf[:n], flagACK|flagPSH)
+	} else if c.finSent && !c.finAcked {
+		c.sendSegmentLocked(c.sndNxt-1, nil, flagFIN|flagACK)
+	}
+	c.armTimerLocked()
+}
+
+func (c *TCPConn) processDataLocked(seg tcpSegment, cost simclock.Lat) {
+	payload := seg.payload
+	seq := seg.seq
+	hasFin := seg.flags&flagFIN != 0
+	if len(payload) == 0 && !hasFin {
+		return
+	}
+	// Trim anything we already have.
+	if seqLT(seq, c.rcvNxt) {
+		skip := int(c.rcvNxt - seq)
+		if skip >= len(payload) {
+			if !(hasFin && seq+uint32(len(payload)) == c.rcvNxt) {
+				// Pure duplicate: re-ACK so the sender advances.
+				c.sendAckLocked()
+				return
+			}
+			payload = nil
+			seq = c.rcvNxt
+		} else {
+			payload = payload[skip:]
+			seq += uint32(skip)
+		}
+	}
+	switch {
+	case seq == c.rcvNxt:
+		c.acceptDataLocked(payload, cost)
+		if hasFin && !c.peerFinRcvd {
+			c.peerFinRcvd = true
+			c.rcvNxt++
+		}
+		c.drainOutOfOrderLocked()
+	default:
+		// Future segment: stash for reassembly.
+		c.stack.stats.OutOfOrderSegs++
+		if len(payload) > 0 {
+			if _, dup := c.ooo[seq]; !dup {
+				c.ooo[seq] = append([]byte(nil), payload...)
+			}
+		}
+		// FIN out of order is recovered by retransmission.
+	}
+	c.sendAckLocked()
+}
+
+func (c *TCPConn) acceptDataLocked(payload []byte, cost simclock.Lat) {
+	space := c.stack.cfg.RxWindow - len(c.rcvBuf)
+	n := min(len(payload), space)
+	if n > 0 {
+		c.rcvBuf = append(c.rcvBuf, payload[:n]...)
+		c.rcvNxt += uint32(n)
+		c.rxCost = cost
+	}
+	// Bytes beyond the window are dropped; the shrunken advertised
+	// window makes the sender retransmit them later.
+}
+
+func (c *TCPConn) drainOutOfOrderLocked() {
+	for {
+		payload, ok := c.ooo[c.rcvNxt]
+		if !ok {
+			return
+		}
+		space := c.stack.cfg.RxWindow - len(c.rcvBuf)
+		if space < len(payload) {
+			return // keep it buffered until the app drains
+		}
+		delete(c.ooo, c.rcvNxt)
+		c.rcvBuf = append(c.rcvBuf, payload...)
+		c.rcvNxt += uint32(len(payload))
+	}
+}
+
+func (c *TCPConn) maybeFinishLocked() {
+	if c.finSent && c.finAcked && c.peerFinRcvd && c.state != stateClosed {
+		c.state = stateClosed
+		delete(c.stack.conns, c.key)
+	}
+}
+
+// --- segment output ---
+
+func (c *TCPConn) advertisedWindowLocked() uint16 {
+	w := c.stack.cfg.RxWindow - len(c.rcvBuf)
+	if w < 0 {
+		w = 0
+	}
+	if w > 0xffff {
+		w = 0xffff
+	}
+	return uint16(w)
+}
+
+func (c *TCPConn) sendAckLocked() {
+	c.sendSegmentLocked(c.sndNxt, nil, flagACK)
+}
+
+func (c *TCPConn) sendSegmentLocked(seq uint32, payload []byte, flags uint8) {
+	s := c.stack
+	s.stats.TCPSegsSent++
+	seg := tcpSegment{
+		srcPort: c.key.localPort,
+		dstPort: c.key.remotePort,
+		seq:     seq,
+		ack:     c.rcvNxt,
+		flags:   flags,
+		window:  c.advertisedWindowLocked(),
+		payload: payload,
+	}
+	l4 := seg.marshal(make([]byte, 0, tcpHdrLen+len(payload)), s.cfg.IP, c.key.remoteIP)
+	cost := c.txCost + s.model.UserNetStackNS + s.cfg.PerPacketExtra
+	s.sendIPv4Locked(c.key.remoteIP, protoTCP, l4, cost)
+}
+
+// trySendLocked emits as much buffered data as the congestion and flow
+// control windows allow, then a FIN if one is queued and the buffer is
+// empty.
+func (c *TCPConn) trySendLocked() {
+	if c.state != stateEstablished {
+		return
+	}
+	mss := c.stack.cfg.MSS
+	for {
+		flight := int(c.sndNxt - c.sndUna)
+		wnd := min(c.peerWnd, c.cwnd)
+		unsent := len(c.sndBuf) - flight
+		if unsent <= 0 {
+			break
+		}
+		n := min(mss, unsent, wnd-flight)
+		if n <= 0 {
+			break
+		}
+		off := flight
+		c.sendSegmentLocked(c.sndNxt, c.sndBuf[off:off+n], flagACK|flagPSH)
+		c.sndNxt += uint32(n)
+		c.armTimerLocked()
+	}
+	if c.finQueued && !c.finSent && int(c.sndNxt-c.sndUna) == len(c.sndBuf) {
+		c.sendSegmentLocked(c.sndNxt, nil, flagFIN|flagACK)
+		c.sndNxt++
+		c.finSent = true
+		c.armTimerLocked()
+	}
+}
+
+// --- timers ---
+
+func (c *TCPConn) armTimerLocked() {
+	c.rtoDeadline = c.stack.now().Add(c.rto)
+}
+
+func (c *TCPConn) clearTimerLocked() {
+	c.rtoDeadline = time.Time{}
+}
+
+// tickTimersLocked fires retransmission timers across all connections.
+func (s *Stack) tickTimersLocked() {
+	now := s.now()
+	for _, c := range s.conns {
+		if c.rtoDeadline.IsZero() || now.Before(c.rtoDeadline) {
+			continue
+		}
+		s.stats.Retransmits++
+		mss := s.cfg.MSS
+		switch c.state {
+		case stateSynSent:
+			c.sendSegmentLocked(c.iss, nil, flagSYN)
+		case stateSynRcvd:
+			c.sendSegmentLocked(c.iss, nil, flagSYN|flagACK)
+		case stateEstablished:
+			flight := int(c.sndNxt - c.sndUna)
+			c.ssthresh = max(flight/2, 2*mss)
+			c.cwnd = mss
+			if c.peerWnd == 0 && len(c.sndBuf) > 0 && flight == 0 {
+				// Zero-window probe: one byte past the edge.
+				c.sendSegmentLocked(c.sndNxt, c.sndBuf[:1], flagACK|flagPSH)
+				c.sndNxt++
+			} else if flight > 0 {
+				c.retransmitHeadLocked()
+				continue // retransmitHead re-armed the timer
+			} else {
+				c.clearTimerLocked()
+				continue
+			}
+		case stateClosed:
+			c.clearTimerLocked()
+			continue
+		}
+		c.rto *= 2
+		if c.rto > maxRTO {
+			c.rto = maxRTO
+		}
+		c.armTimerLocked()
+	}
+}

@@ -1,0 +1,244 @@
+// Package nic simulates a DPDK-class kernel-bypass NIC (Table 1, left
+// column of the paper): raw descriptor rings, burst polling, RSS receive
+// steering, and a small hardware filter table for offloaded queue filters
+// (§4.2, §4.3).
+//
+// The device deliberately provides *no* OS functionality: no protocol
+// stack, no buffer management beyond its rings, no sockets. "To use
+// kernel-bypass accelerators in this category, applications must supply
+// their own I/O stack" — that stack is package netstack, and the libOS
+// that ties them together is internal/libos/catnip.
+package nic
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"demikernel/internal/fabric"
+	"demikernel/internal/simclock"
+)
+
+// Config describes a simulated NIC.
+type Config struct {
+	MAC       fabric.MAC
+	RxQueues  int // number of receive queues (RSS spreads across them)
+	RingDepth int // descriptor ring depth per queue
+}
+
+// Stats counts device events.
+type Stats struct {
+	TxFrames    int64
+	RxFrames    int64
+	RxDropped   int64 // descriptor ring full
+	FilterDrops int64 // frames dropped by a hardware filter
+	FilterEvals int64 // hardware filter evaluations
+	DMABytes    int64
+	Regions     int64 // memory regions registered via membuf
+}
+
+// FilterAction tells the device what to do with a frame matching a
+// hardware filter.
+type FilterAction int
+
+const (
+	// ActionSteer steers matching frames to a specific receive queue.
+	ActionSteer FilterAction = iota
+	// ActionDrop drops matching frames in hardware.
+	ActionDrop
+)
+
+// HWFilter is one entry in the device's filter table. Match inspects the
+// raw frame. Running in "hardware" costs the device the offloaded filter
+// cost per evaluation but zero host CPU (§4.2: "library OSes always
+// implement filters directly on supported devices but default to using
+// the CPU if necessary").
+type HWFilter struct {
+	Match  func(frame []byte) bool
+	Action FilterAction
+	Queue  int
+}
+
+// Device is a simulated kernel-bypass NIC attached to a fabric switch.
+// All methods are safe for concurrent use.
+type Device struct {
+	model *simclock.CostModel
+	cfg   Config
+	port  *fabric.Port
+
+	mu      sync.Mutex
+	rx      []*ring
+	filters []HWFilter
+	stats   Stats
+}
+
+// New creates a NIC with cfg attached to sw. It announces its MAC to the
+// switch immediately (as link-up traffic would) so unicast delivery works
+// from the first frame.
+func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Device {
+	if cfg.RxQueues <= 0 {
+		cfg.RxQueues = 1
+	}
+	if cfg.RingDepth <= 0 {
+		cfg.RingDepth = 512
+	}
+	// The wire-side buffer is deeper than the descriptor rings so that
+	// overflow manifests where it does on real hardware: as RxDropped at
+	// the device ring, not as silent loss in the fabric.
+	portDepth := cfg.RingDepth * cfg.RxQueues * 4
+	if portDepth < 4096 {
+		portDepth = 4096
+	}
+	d := &Device{
+		model: model,
+		cfg:   cfg,
+		port:  sw.NewPort(portDepth),
+	}
+	d.rx = make([]*ring, cfg.RxQueues)
+	for i := range d.rx {
+		d.rx[i] = newRing(cfg.RingDepth)
+	}
+	return d
+}
+
+// MAC returns the device's hardware address.
+func (d *Device) MAC() fabric.MAC { return d.cfg.MAC }
+
+// NumRxQueues returns the configured receive-queue count.
+func (d *Device) NumRxQueues() int { return d.cfg.RxQueues }
+
+// RegisterRegion implements membuf.RegistrationSink: the device records
+// that a DMA-able region exists. (A real NIC would program its IOMMU
+// mapping here.)
+func (d *Device) RegisterRegion(id uint64, mem []byte) {
+	d.mu.Lock()
+	d.stats.Regions++
+	d.mu.Unlock()
+}
+
+// Tx transmits one raw Ethernet frame carrying prior accumulated cost.
+// The device charges its per-packet processing plus DMA of the payload.
+func (d *Device) Tx(data []byte, cost simclock.Lat) {
+	d.mu.Lock()
+	d.stats.TxFrames++
+	d.stats.DMABytes += int64(len(data))
+	d.mu.Unlock()
+	cost += d.model.NICProcessNS + d.model.DMACost(len(data))
+	d.port.Send(fabric.Frame{Data: data, Cost: cost})
+}
+
+// TxBurst transmits a batch of frames, as DPDK's tx_burst would.
+func (d *Device) TxBurst(frames []fabric.Frame) {
+	for _, f := range frames {
+		d.Tx(f.Data, f.Cost)
+	}
+}
+
+// RxBurst polls up to max frames from the given receive queue, as DPDK's
+// rx_burst would. It first drains the wire into the device's rings,
+// applying hardware filters and RSS steering.
+func (d *Device) RxBurst(queue, max int) []fabric.Frame {
+	if queue < 0 || queue >= len(d.rx) {
+		panic(fmt.Sprintf("nic: RxBurst on queue %d of %d", queue, len(d.rx)))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.drainWireLocked()
+	var out []fabric.Frame
+	for len(out) < max {
+		f, ok := d.rx[queue].pop()
+		if !ok {
+			break
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// drainWireLocked moves frames from the fabric port into receive rings.
+func (d *Device) drainWireLocked() {
+	for {
+		f, ok := d.port.Poll()
+		if !ok {
+			return
+		}
+		// Hardware receive processing + DMA into host memory.
+		f.Cost += d.model.NICProcessNS + d.model.DMACost(len(f.Data))
+		d.stats.DMABytes += int64(len(f.Data))
+
+		q, drop := d.classifyLocked(&f)
+		if drop {
+			d.stats.FilterDrops++
+			continue
+		}
+		if d.rx[q].push(f) {
+			d.stats.RxFrames++
+		} else {
+			d.stats.RxDropped++
+		}
+	}
+}
+
+// classifyLocked runs the hardware filter table, then RSS.
+func (d *Device) classifyLocked(f *fabric.Frame) (queue int, drop bool) {
+	for _, flt := range d.filters {
+		d.stats.FilterEvals++
+		f.Cost += d.model.OffloadedFilterCost()
+		if flt.Match(f.Data) {
+			if flt.Action == ActionDrop {
+				return 0, true
+			}
+			return flt.Queue % len(d.rx), false
+		}
+	}
+	return d.rss(f.Data), false
+}
+
+// AddFilter installs a hardware filter and returns its table index.
+// Filters run in installation order; the first match wins.
+func (d *Device) AddFilter(f HWFilter) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.filters = append(d.filters, f)
+	return len(d.filters) - 1
+}
+
+// ClearFilters removes all hardware filters.
+func (d *Device) ClearFilters() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.filters = nil
+}
+
+// rss hashes the flow identity of a frame onto a receive queue. For IPv4
+// frames it hashes the source/destination addresses and the first four
+// bytes of the transport header (ports); otherwise it hashes the source
+// MAC. This stands in for a Toeplitz hash: the property that matters is a
+// stable flow→queue mapping.
+func (d *Device) rss(data []byte) int {
+	h := fnv.New32a()
+	const ethHdr = 14
+	if len(data) >= ethHdr+24 && data[12] == 0x08 && data[13] == 0x00 {
+		h.Write(data[ethHdr+12 : ethHdr+20]) // src+dst IPv4
+		h.Write(data[ethHdr+20 : ethHdr+24]) // ports
+	} else {
+		h.Write(data[6:12])
+	}
+	return int(h.Sum32()) % len(d.rx)
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// QueueDepth reports the current occupancy of a receive queue, after
+// draining the wire. Useful in tests and the steering experiment.
+func (d *Device) QueueDepth(queue int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.drainWireLocked()
+	return d.rx[queue].len()
+}

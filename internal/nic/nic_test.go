@@ -1,0 +1,198 @@
+package nic
+
+import (
+	"testing"
+
+	"demikernel/internal/fabric"
+	"demikernel/internal/simclock"
+)
+
+var (
+	macA = fabric.MAC{0x02, 0, 0, 0, 0, 0xA}
+	macB = fabric.MAC{0x02, 0, 0, 0, 0, 0xB}
+)
+
+func ethFrame(dst, src fabric.MAC, payload string) []byte {
+	data := make([]byte, 0, 14+len(payload))
+	data = append(data, dst[:]...)
+	data = append(data, src[:]...)
+	data = append(data, 0x08, 0x00)
+	data = append(data, payload...)
+	return data
+}
+
+func pair(t *testing.T) (*Device, *Device, *fabric.Switch) {
+	t.Helper()
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 7)
+	a := New(&model, sw, Config{MAC: macA})
+	b := New(&model, sw, Config{MAC: macB})
+	return a, b, sw
+}
+
+func TestTxRx(t *testing.T) {
+	a, b, _ := pair(t)
+	a.Tx(ethFrame(macB, macA, "ping"), 0)
+	got := b.RxBurst(0, 8)
+	if len(got) != 1 {
+		t.Fatalf("RxBurst returned %d frames, want 1", len(got))
+	}
+	if string(got[0].Data[14:]) != "ping" {
+		t.Fatalf("payload = %q", got[0].Data[14:])
+	}
+	if got[0].Cost == 0 {
+		t.Fatal("no virtual cost accumulated on the rx path")
+	}
+	if a.Stats().TxFrames != 1 || b.Stats().RxFrames != 1 {
+		t.Fatalf("stats: tx=%+v rx=%+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestRxBurstMax(t *testing.T) {
+	a, b, _ := pair(t)
+	for i := 0; i < 10; i++ {
+		a.Tx(ethFrame(macB, macA, "x"), 0)
+	}
+	first := b.RxBurst(0, 4)
+	if len(first) != 4 {
+		t.Fatalf("burst = %d, want 4", len(first))
+	}
+	rest := b.RxBurst(0, 100)
+	if len(rest) != 6 {
+		t.Fatalf("rest = %d, want 6", len(rest))
+	}
+}
+
+func TestRingOverflow(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 7)
+	a := New(&model, sw, Config{MAC: macA})
+	b := New(&model, sw, Config{MAC: macB, RingDepth: 4})
+	for i := 0; i < 20; i++ {
+		a.Tx(ethFrame(macB, macA, "burst"), 0)
+	}
+	got := b.RxBurst(0, 100)
+	if len(got) != 4 {
+		t.Fatalf("got %d frames, want ring depth 4", len(got))
+	}
+	if b.Stats().RxDropped != 16 {
+		t.Fatalf("RxDropped = %d, want 16", b.Stats().RxDropped)
+	}
+}
+
+func TestHardwareDropFilter(t *testing.T) {
+	a, b, _ := pair(t)
+	b.AddFilter(HWFilter{
+		Match:  func(f []byte) bool { return len(f) > 14 && f[14] == 'D' },
+		Action: ActionDrop,
+	})
+	a.Tx(ethFrame(macB, macA, "Drop me"), 0)
+	a.Tx(ethFrame(macB, macA, "keep me"), 0)
+	got := b.RxBurst(0, 8)
+	if len(got) != 1 || string(got[0].Data[14:]) != "keep me" {
+		t.Fatalf("filter failed: %d frames", len(got))
+	}
+	st := b.Stats()
+	if st.FilterDrops != 1 {
+		t.Fatalf("FilterDrops = %d, want 1", st.FilterDrops)
+	}
+	if st.FilterEvals != 2 {
+		t.Fatalf("FilterEvals = %d, want 2", st.FilterEvals)
+	}
+}
+
+func TestSteeringFilter(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 7)
+	a := New(&model, sw, Config{MAC: macA})
+	b := New(&model, sw, Config{MAC: macB, RxQueues: 4})
+	b.AddFilter(HWFilter{
+		Match:  func(f []byte) bool { return len(f) > 14 && f[14] == 'K' },
+		Action: ActionSteer,
+		Queue:  3,
+	})
+	a.Tx(ethFrame(macB, macA, "K:steer me"), 0)
+	got := b.RxBurst(3, 8)
+	if len(got) != 1 {
+		t.Fatalf("steered queue got %d frames, want 1", len(got))
+	}
+}
+
+func TestFilterClears(t *testing.T) {
+	a, b, _ := pair(t)
+	b.AddFilter(HWFilter{Match: func([]byte) bool { return true }, Action: ActionDrop})
+	b.ClearFilters()
+	a.Tx(ethFrame(macB, macA, "survives"), 0)
+	if got := b.RxBurst(0, 8); len(got) != 1 {
+		t.Fatalf("frame did not survive after ClearFilters: %d", len(got))
+	}
+}
+
+func TestRSSStableFlowMapping(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 7)
+	b := New(&model, sw, Config{MAC: macB, RxQueues: 4})
+	// An IPv4-ish frame: eth header + 20B IPv4 + 4B ports.
+	mk := func(srcIP byte) []byte {
+		f := ethFrame(macB, macA, "")
+		ip := make([]byte, 24)
+		ip[12] = srcIP // src addr first byte
+		return append(f, ip...)
+	}
+	q1 := b.rss(mk(1))
+	for i := 0; i < 10; i++ {
+		if b.rss(mk(1)) != q1 {
+			t.Fatal("RSS mapping unstable for identical flow")
+		}
+	}
+	// Different flows should spread across queues (at least two distinct).
+	seen := map[int]bool{}
+	for ip := byte(0); ip < 32; ip++ {
+		seen[b.rss(mk(ip))] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("RSS used %d queues for 32 flows", len(seen))
+	}
+}
+
+func TestRegisterRegionCounts(t *testing.T) {
+	a, _, _ := pair(t)
+	a.RegisterRegion(1, make([]byte, 64))
+	a.RegisterRegion(2, make([]byte, 64))
+	if a.Stats().Regions != 2 {
+		t.Fatalf("Regions = %d, want 2", a.Stats().Regions)
+	}
+}
+
+func TestQueueDepth(t *testing.T) {
+	a, b, _ := pair(t)
+	for i := 0; i < 3; i++ {
+		a.Tx(ethFrame(macB, macA, "d"), 0)
+	}
+	if d := b.QueueDepth(0); d != 3 {
+		t.Fatalf("QueueDepth = %d, want 3", d)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := newRing(4)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.push(fabric.Frame{Data: []byte{byte(round), byte(i)}}) {
+				t.Fatal("push failed below capacity")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			f, ok := r.pop()
+			if !ok {
+				t.Fatal("pop failed")
+			}
+			if f.Data[0] != byte(round) || f.Data[1] != byte(i) {
+				t.Fatalf("wraparound corrupted order: %v", f.Data)
+			}
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}

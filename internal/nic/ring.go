@@ -1,0 +1,43 @@
+package nic
+
+import "demikernel/internal/fabric"
+
+// ring is a fixed-capacity single-producer/single-consumer style
+// descriptor ring. The device serialises access with its own lock, so the
+// ring itself needs no synchronisation; it exists to model the bounded
+// descriptor rings of real hardware, including drop-on-full behaviour.
+type ring struct {
+	buf  []fabric.Frame
+	head int // next slot to pop
+	tail int // next slot to push
+	n    int // occupied slots
+}
+
+func newRing(depth int) *ring {
+	return &ring{buf: make([]fabric.Frame, depth)}
+}
+
+// push appends a frame; it reports false (dropping the frame) when full.
+func (r *ring) push(f fabric.Frame) bool {
+	if r.n == len(r.buf) {
+		return false
+	}
+	r.buf[r.tail] = f
+	r.tail = (r.tail + 1) % len(r.buf)
+	r.n++
+	return true
+}
+
+// pop removes and returns the oldest frame.
+func (r *ring) pop() (fabric.Frame, bool) {
+	if r.n == 0 {
+		return fabric.Frame{}, false
+	}
+	f := r.buf[r.head]
+	r.buf[r.head] = fabric.Frame{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return f, true
+}
+
+func (r *ring) len() int { return r.n }

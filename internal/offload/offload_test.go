@@ -1,0 +1,155 @@
+package offload
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"demikernel/internal/fabric"
+	"demikernel/internal/nic"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+)
+
+var (
+	macA = fabric.MAC{0x02, 0, 0, 0, 0, 0xA}
+	macB = fabric.MAC{0x02, 0, 0, 0, 0, 0xB}
+)
+
+func TestInstallDrop(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 1)
+	a := nic.New(&model, sw, nic.Config{MAC: macA})
+	b := nic.New(&model, sw, nic.Config{MAC: macB})
+
+	spec := FilterSpec{
+		Name:  "starts-with-K",
+		Frame: func(f []byte) bool { return len(f) > 14 && f[14] == 'K' },
+	}
+	InstallDrop(b, spec)
+
+	send := func(payload string) {
+		frame := append(append(append([]byte{}, macB[:]...), macA[:]...), 0x08, 0x00)
+		a.Tx(append(frame, payload...), 0)
+	}
+	send("Keep")
+	send("drop")
+	send("Keep2")
+	got := b.RxBurst(0, 10)
+	if len(got) != 2 {
+		t.Fatalf("frames = %d, want 2", len(got))
+	}
+	if b.Stats().FilterDrops != 1 {
+		t.Fatalf("FilterDrops = %d", b.Stats().FilterDrops)
+	}
+}
+
+func TestCPUFilterAgreesWithSpec(t *testing.T) {
+	model := simclock.Datacenter2019()
+	spec := SGAKeyFilter([]byte("hot:"))
+	inner := queue.NewMemQueue(0)
+	f := CPUFilter(inner, spec, &model)
+	for _, p := range []string{"hot:1", "cold:1", "hot:2"} {
+		inner.Push(sga.New([]byte(p)), 0, func(queue.Completion) {})
+	}
+	var got []string
+	for i := 0; i < 2; i++ {
+		done := make(chan queue.Completion, 1)
+		f.Pop(func(c queue.Completion) { done <- c })
+		c := <-done
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		got = append(got, string(c.SGA.Bytes()))
+	}
+	if got[0] != "hot:1" || got[1] != "hot:2" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKeySteeringStable(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 2)
+	a := nic.New(&model, sw, nic.Config{MAC: macA})
+	b := nic.New(&model, sw, nic.Config{MAC: macB, RxQueues: 4})
+
+	keyOf := func(f []byte) ([]byte, bool) {
+		if len(f) < 20 {
+			return nil, false
+		}
+		return f[14:20], true // first 6 payload bytes are the key
+	}
+	KeySteering(b, 4, keyOf)
+
+	send := func(key string) {
+		frame := append(append(append([]byte{}, macB[:]...), macA[:]...), 0x08, 0x00)
+		a.Tx(append(frame, key...), 0)
+	}
+	// Every frame for a key lands on QueueForKey(key).
+	keys := []string{"key-01", "key-02", "key-03", "key-04"}
+	for rep := 0; rep < 5; rep++ {
+		for _, k := range keys {
+			send(k)
+		}
+	}
+	for _, k := range keys {
+		q := QueueForKey([]byte(k), 4)
+		got := b.RxBurst(q, 100)
+		if len(got) != 5 {
+			t.Fatalf("key %q: queue %d got %d frames, want 5", k, q, len(got))
+		}
+		for _, f := range got {
+			if string(f.Data[14:20]) != k {
+				t.Fatalf("foreign frame on queue %d: %q", q, f.Data[14:20])
+			}
+		}
+	}
+}
+
+func TestCacheSimSteeringBeatsSpray(t *testing.T) {
+	// The §4.3 cache claim, in the small: key-affine placement yields a
+	// higher hit ratio than random spraying.
+	const nCores, capacity, nKeys, nAccesses = 4, 64, 128, 20000
+	r := rand.New(rand.NewSource(7))
+
+	steered := NewCacheSim(nCores, capacity)
+	sprayed := NewCacheSim(nCores, capacity)
+	for i := 0; i < nAccesses; i++ {
+		key := fmt.Sprintf("key-%03d", r.Intn(nKeys))
+		steered.Access(QueueForKey([]byte(key), nCores), key)
+		sprayed.Access(r.Intn(nCores), key)
+	}
+	if steered.HitRatio() <= sprayed.HitRatio() {
+		t.Fatalf("steering (%.3f) should beat spraying (%.3f)",
+			steered.HitRatio(), sprayed.HitRatio())
+	}
+	if steered.Hits()+steered.Misses() != nAccesses {
+		t.Fatal("accounting broken")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l := newLRU(2)
+	if l.touch("a") {
+		t.Fatal("first touch hit")
+	}
+	l.touch("b")
+	if !l.touch("a") {
+		t.Fatal("a evicted too early")
+	}
+	l.touch("c") // evicts b (LRU)
+	if l.touch("b") {
+		t.Fatal("b should have been evicted")
+	}
+	if !l.touch("c") {
+		t.Fatal("c missing")
+	}
+}
+
+func TestCacheSimEmpty(t *testing.T) {
+	cs := NewCacheSim(2, 8)
+	if cs.HitRatio() != 0 {
+		t.Fatal("empty sim should report 0")
+	}
+}

@@ -1,0 +1,224 @@
+// Package sched implements the event-scheduling integration sketched in
+// §4.4 of the paper: "we envision Demikernel libOSes being tightly
+// integrated with existing scheduling libraries ... we plan to implement
+// a libevent-based Demikernel OS, which would enable applications, like
+// memcached, to achieve the benefits of kernel-bypass transparently."
+//
+// EventLoop is that libevent-shaped adapter: applications register
+// callbacks for accepts and pops, and the loop turns qtoken completions
+// into callback invocations. Because each qtoken is unique to one
+// operation, dispatch needs no readiness scans and no wasted wakeups —
+// the completion already carries the data (§4.4's two fixes to epoll).
+package sched
+
+import (
+	"sync"
+
+	"demikernel/internal/core"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+)
+
+// PopHandler receives one completed pop.
+type PopHandler func(qd core.QD, comp queue.Completion)
+
+// PushHandler receives one completed push.
+type PushHandler func(qd core.QD, comp queue.Completion)
+
+// AcceptHandler receives one accepted connection descriptor.
+type AcceptHandler func(conn core.QD)
+
+// EventLoop multiplexes Demikernel completions into callbacks.
+// All methods are safe for concurrent use; callbacks run on the loop's
+// ticking goroutine.
+type EventLoop struct {
+	lib *core.LibOS
+
+	mu        sync.Mutex
+	pops      map[queue.QToken]popReg
+	pushes    map[queue.QToken]pushReg
+	acceptors map[core.QD]AcceptHandler
+	stopped   bool
+
+	dispatched int64
+}
+
+type popReg struct {
+	qd      core.QD
+	handler PopHandler
+	rearm   bool
+}
+
+type pushReg struct {
+	qd      core.QD
+	handler PushHandler
+}
+
+// New creates an event loop over lib.
+func New(lib *core.LibOS) *EventLoop {
+	return &EventLoop{
+		lib:       lib,
+		pops:      make(map[queue.QToken]popReg),
+		pushes:    make(map[queue.QToken]pushReg),
+		acceptors: make(map[core.QD]AcceptHandler),
+	}
+}
+
+// OnAccept registers a callback for every connection accepted on the
+// listening descriptor.
+func (el *EventLoop) OnAccept(lqd core.QD, h AcceptHandler) {
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	el.acceptors[lqd] = h
+}
+
+// OnPop arms one pop on qd and invokes h with its completion. When rearm
+// is true the loop immediately arms the next pop on the same descriptor
+// after each successful completion — the shape of a request loop.
+func (el *EventLoop) OnPop(qd core.QD, rearm bool, h PopHandler) error {
+	qt, err := el.lib.Pop(qd)
+	if err != nil {
+		return err
+	}
+	el.mu.Lock()
+	el.pops[qt] = popReg{qd: qd, handler: h, rearm: rearm}
+	el.mu.Unlock()
+	return nil
+}
+
+// Push submits s on qd and invokes h (which may be nil) on completion.
+func (el *EventLoop) Push(qd core.QD, s sga.SGA, cost simclock.Lat, h PushHandler) error {
+	qt, err := el.lib.PushCost(qd, s, cost)
+	if err != nil {
+		return err
+	}
+	el.mu.Lock()
+	el.pushes[qt] = pushReg{qd: qd, handler: h}
+	el.mu.Unlock()
+	return nil
+}
+
+// Dispatched returns the number of callbacks invoked so far.
+func (el *EventLoop) Dispatched() int64 {
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	return el.dispatched
+}
+
+// Tick runs one loop iteration: poll the libOS, accept pending
+// connections, and dispatch every completed token. It returns the number
+// of callbacks invoked.
+func (el *EventLoop) Tick() int {
+	el.lib.Poll()
+	n := el.dispatchAccepts()
+	n += el.dispatchPops()
+	n += el.dispatchPushes()
+	return n
+}
+
+func (el *EventLoop) dispatchAccepts() int {
+	el.mu.Lock()
+	type acc struct {
+		lqd core.QD
+		h   AcceptHandler
+	}
+	var accs []acc
+	for lqd, h := range el.acceptors {
+		accs = append(accs, acc{lqd, h})
+	}
+	el.mu.Unlock()
+
+	n := 0
+	for _, a := range accs {
+		for {
+			conn, ok, err := el.lib.TryAccept(a.lqd)
+			if err != nil || !ok {
+				break
+			}
+			a.h(conn)
+			el.mu.Lock()
+			el.dispatched++
+			el.mu.Unlock()
+			n++
+		}
+	}
+	return n
+}
+
+func (el *EventLoop) dispatchPops() int {
+	el.mu.Lock()
+	tokens := make([]queue.QToken, 0, len(el.pops))
+	for qt := range el.pops {
+		tokens = append(tokens, qt)
+	}
+	el.mu.Unlock()
+
+	n := 0
+	for _, qt := range tokens {
+		comp, ok, err := el.lib.TryWait(qt)
+		if err != nil || !ok {
+			continue
+		}
+		el.mu.Lock()
+		reg, found := el.pops[qt]
+		delete(el.pops, qt)
+		el.dispatched++
+		el.mu.Unlock()
+		if !found {
+			continue
+		}
+		reg.handler(reg.qd, comp)
+		n++
+		if reg.rearm && comp.Err == nil {
+			el.OnPop(reg.qd, true, reg.handler)
+		}
+	}
+	return n
+}
+
+func (el *EventLoop) dispatchPushes() int {
+	el.mu.Lock()
+	tokens := make([]queue.QToken, 0, len(el.pushes))
+	for qt := range el.pushes {
+		tokens = append(tokens, qt)
+	}
+	el.mu.Unlock()
+
+	n := 0
+	for _, qt := range tokens {
+		comp, ok, err := el.lib.TryWait(qt)
+		if err != nil || !ok {
+			continue
+		}
+		el.mu.Lock()
+		reg, found := el.pushes[qt]
+		delete(el.pushes, qt)
+		el.dispatched++
+		el.mu.Unlock()
+		if found && reg.handler != nil {
+			reg.handler(reg.qd, comp)
+		}
+		n++
+	}
+	return n
+}
+
+// Run ticks until stop closes.
+func (el *EventLoop) Run(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		el.Tick()
+	}
+}
+
+// Pending reports armed-but-incomplete operations (for tests).
+func (el *EventLoop) Pending() int {
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	return len(el.pops) + len(el.pushes)
+}

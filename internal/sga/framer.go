@@ -1,0 +1,56 @@
+package sga
+
+// Framer incrementally reassembles framed SGAs from a byte stream that may
+// be delivered in arbitrary fragments (as TCP does). It is the receiving
+// half of the §5.2 framing: "the libOS could insert the needed framing
+// itself (e.g., atop a TCP stream); however, the other end must be able to
+// correctly parse the framing and recreate the scatter-gather array."
+//
+// A Framer is not safe for concurrent use; each connection owns one.
+type Framer struct {
+	buf []byte
+	// decoded counts complete SGAs produced, for stats and tests.
+	decoded int64
+}
+
+// Feed appends stream bytes to the framer's reassembly buffer.
+func (f *Framer) Feed(b []byte) {
+	f.buf = append(f.buf, b...)
+}
+
+// Next returns the next complete SGA from the reassembly buffer, or
+// ok=false if no complete frame has arrived yet. The returned SGA owns
+// fresh copies of its segments, so the caller may retain them while the
+// framer keeps reusing its internal buffer. A corrupt frame returns a
+// non-nil error; the framer is then poisoned and every later call returns
+// the same error (a stream with corrupt framing cannot be re-synchronised,
+// matching TCP stream semantics).
+func (f *Framer) Next() (SGA, bool, error) {
+	s, n, err := Unmarshal(f.buf)
+	if err == ErrShortBuffer {
+		return SGA{}, false, nil
+	}
+	if err != nil {
+		return SGA{}, false, err
+	}
+	// Copy out so the internal buffer can be compacted safely.
+	out := s.Clone()
+	f.buf = f.buf[:copy(f.buf, f.buf[n:])]
+	f.decoded++
+	return out, true, nil
+}
+
+// Pending returns the number of buffered, not-yet-decoded bytes.
+func (f *Framer) Pending() int { return len(f.buf) }
+
+// Decoded returns the number of complete SGAs produced so far.
+func (f *Framer) Decoded() int64 { return f.decoded }
+
+// HasCompleteFrame reports whether a full frame is buffered, without
+// consuming it. This models the §3.2 observation: with an atomic-unit
+// abstraction, the application asks "is a whole request ready?" instead of
+// re-parsing a stream prefix.
+func (f *Framer) HasCompleteFrame() bool {
+	_, _, err := Unmarshal(f.buf)
+	return err == nil
+}

@@ -1,0 +1,247 @@
+// Package sga implements scatter-gather arrays, the atomic unit of I/O in
+// the Demikernel queue abstraction (§4.2, §4.3 of the paper).
+//
+// A scatter-gather array (SGA) is an ordered list of byte segments that is
+// pushed into and popped out of Demikernel I/O queues as a single unit: "a
+// scatter-gather array pushed into a Demikernel queue always pops out as a
+// single element". The package also provides the wire framing a libOS
+// inserts when carrying SGAs over a byte-stream transport such as TCP
+// (§5.2), including an incremental decoder that tolerates arbitrary
+// fragmentation of the underlying stream.
+package sga
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Limits on a well-formed SGA. These mirror the fixed bounds a hardware
+// descriptor format would impose while staying far above what the
+// experiments need.
+const (
+	// MaxSegments is the maximum number of segments in one SGA.
+	MaxSegments = 256
+	// MaxSegmentLen is the maximum length of one segment in bytes.
+	MaxSegmentLen = 1 << 24
+	// MaxTotalLen is the maximum total payload of one SGA in bytes.
+	MaxTotalLen = 1 << 26
+)
+
+// Errors returned by validation and unmarshalling.
+var (
+	ErrTooManySegments = errors.New("sga: too many segments")
+	ErrSegmentTooLarge = errors.New("sga: segment too large")
+	ErrTotalTooLarge   = errors.New("sga: total payload too large")
+	ErrShortBuffer     = errors.New("sga: short buffer")
+	ErrCorruptFrame    = errors.New("sga: corrupt frame")
+)
+
+// Segment is one contiguous run of bytes in a scatter-gather array.
+type Segment struct {
+	Buf []byte
+}
+
+// SGA is a scatter-gather array: the atomic queue element of the
+// Demikernel I/O abstraction. The zero value is an empty, valid SGA.
+//
+// An SGA popped from a libOS queue may own device buffers; Free returns
+// them to the owning memory manager. Freeing is idempotent and freeing an
+// SGA the application built itself is a no-op.
+type SGA struct {
+	Segments []Segment
+	// Reg is an opaque registration token attached by the libOS memory
+	// manager when the SGA's memory is already registered with a
+	// kernel-bypass device (§4.5). Transports use it to take the
+	// zero-copy path; application code never inspects it.
+	Reg  any
+	free func()
+}
+
+// New builds an SGA over the given segments without copying them.
+func New(segs ...[]byte) SGA {
+	s := SGA{Segments: make([]Segment, len(segs))}
+	for i, b := range segs {
+		s.Segments[i] = Segment{Buf: b}
+	}
+	return s
+}
+
+// FromBytes builds a single-segment SGA over b without copying.
+func FromBytes(b []byte) SGA { return New(b) }
+
+// WithFree returns a copy of s that invokes fn exactly once when freed.
+// Libraries allocating device memory for an SGA use this to attach the
+// release of that memory (free-protection is the memory manager's job;
+// see package membuf).
+func (s SGA) WithFree(fn func()) SGA {
+	s.free = fn
+	return s
+}
+
+// Free releases any libOS-owned buffers behind the SGA. It is safe to call
+// on the zero value and safe to call more than once.
+func (s *SGA) Free() {
+	if s.free != nil {
+		fn := s.free
+		s.free = nil
+		fn()
+	}
+}
+
+// Len returns the total payload length in bytes.
+func (s SGA) Len() int {
+	n := 0
+	for _, seg := range s.Segments {
+		n += len(seg.Buf)
+	}
+	return n
+}
+
+// NumSegments returns the number of segments.
+func (s SGA) NumSegments() int { return len(s.Segments) }
+
+// Bytes flattens the SGA into one newly allocated contiguous buffer.
+// It is intended for tests and small control-path uses; data-path code
+// should iterate segments to stay zero-copy.
+func (s SGA) Bytes() []byte {
+	out := make([]byte, 0, s.Len())
+	for _, seg := range s.Segments {
+		out = append(out, seg.Buf...)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the SGA with freshly allocated segments and
+// no free hook.
+func (s SGA) Clone() SGA {
+	c := SGA{Segments: make([]Segment, len(s.Segments))}
+	for i, seg := range s.Segments {
+		b := make([]byte, len(seg.Buf))
+		copy(b, seg.Buf)
+		c.Segments[i] = Segment{Buf: b}
+	}
+	return c
+}
+
+// Equal reports whether two SGAs carry the same payload bytes with the
+// same segmentation.
+func (s SGA) Equal(o SGA) bool {
+	if len(s.Segments) != len(o.Segments) {
+		return false
+	}
+	for i := range s.Segments {
+		if !bytes.Equal(s.Segments[i].Buf, o.Segments[i].Buf) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualBytes reports whether two SGAs carry the same payload bytes,
+// ignoring segmentation boundaries.
+func (s SGA) EqualBytes(o SGA) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	return bytes.Equal(s.Bytes(), o.Bytes())
+}
+
+// Validate checks the SGA against the package limits.
+func (s SGA) Validate() error {
+	if len(s.Segments) > MaxSegments {
+		return fmt.Errorf("%w: %d > %d", ErrTooManySegments, len(s.Segments), MaxSegments)
+	}
+	total := 0
+	for i, seg := range s.Segments {
+		if len(seg.Buf) > MaxSegmentLen {
+			return fmt.Errorf("%w: segment %d is %d bytes", ErrSegmentTooLarge, i, len(seg.Buf))
+		}
+		total += len(seg.Buf)
+	}
+	if total > MaxTotalLen {
+		return fmt.Errorf("%w: %d > %d", ErrTotalTooLarge, total, MaxTotalLen)
+	}
+	return nil
+}
+
+// String summarises the SGA for debugging.
+func (s SGA) String() string {
+	return fmt.Sprintf("sga{%d segs, %d bytes}", len(s.Segments), s.Len())
+}
+
+// Wire framing (§5.2): when a libOS carries SGAs over a byte stream it
+// must insert framing so the receiver can reconstruct the scatter-gather
+// boundaries. The frame layout is:
+//
+//	u32  payloadLen  total bytes of all segments
+//	u32  numSegments
+//	then per segment: u32 segLen, segLen bytes
+//
+// All integers are big-endian.
+
+// headerLen is the fixed frame header size.
+const headerLen = 8
+
+// MarshalledSize returns the number of bytes Marshal will produce.
+func (s SGA) MarshalledSize() int {
+	return headerLen + 4*len(s.Segments) + s.Len()
+}
+
+// AppendMarshal appends the wire encoding of s to dst and returns the
+// extended slice.
+func (s SGA) AppendMarshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(s.Len()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Segments)))
+	for _, seg := range s.Segments {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(seg.Buf)))
+		dst = append(dst, seg.Buf...)
+	}
+	return dst
+}
+
+// Marshal returns the wire encoding of s.
+func (s SGA) Marshal() []byte {
+	return s.AppendMarshal(make([]byte, 0, s.MarshalledSize()))
+}
+
+// Unmarshal decodes one framed SGA from the front of b. It returns the
+// decoded SGA and the number of bytes consumed. The returned SGA's
+// segments alias b. If b does not yet hold a complete frame, Unmarshal
+// returns ErrShortBuffer (callers doing stream reassembly should then wait
+// for more bytes; see Framer).
+func Unmarshal(b []byte) (SGA, int, error) {
+	if len(b) < headerLen {
+		return SGA{}, 0, ErrShortBuffer
+	}
+	payloadLen := binary.BigEndian.Uint32(b[0:4])
+	numSegs := binary.BigEndian.Uint32(b[4:8])
+	if payloadLen > MaxTotalLen {
+		return SGA{}, 0, fmt.Errorf("%w: payload %d", ErrCorruptFrame, payloadLen)
+	}
+	if numSegs > MaxSegments {
+		return SGA{}, 0, fmt.Errorf("%w: %d segments", ErrCorruptFrame, numSegs)
+	}
+	need := headerLen + int(numSegs)*4 + int(payloadLen)
+	if len(b) < need {
+		return SGA{}, 0, ErrShortBuffer
+	}
+	s := SGA{Segments: make([]Segment, numSegs)}
+	off := headerLen
+	remaining := int(payloadLen)
+	for i := 0; i < int(numSegs); i++ {
+		segLen := int(binary.BigEndian.Uint32(b[off : off+4]))
+		off += 4
+		if segLen > remaining || segLen > MaxSegmentLen {
+			return SGA{}, 0, fmt.Errorf("%w: segment %d length %d", ErrCorruptFrame, i, segLen)
+		}
+		s.Segments[i] = Segment{Buf: b[off : off+segLen : off+segLen]}
+		off += segLen
+		remaining -= segLen
+	}
+	if remaining != 0 {
+		return SGA{}, 0, fmt.Errorf("%w: %d unaccounted payload bytes", ErrCorruptFrame, remaining)
+	}
+	return s, off, nil
+}

@@ -1,0 +1,306 @@
+package sga
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndLen(t *testing.T) {
+	s := New([]byte("hello"), []byte(" "), []byte("world"))
+	if s.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", s.Len())
+	}
+	if s.NumSegments() != 3 {
+		t.Fatalf("NumSegments = %d, want 3", s.NumSegments())
+	}
+	if string(s.Bytes()) != "hello world" {
+		t.Fatalf("Bytes = %q", s.Bytes())
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	var s SGA
+	if s.Len() != 0 || s.NumSegments() != 0 {
+		t.Fatal("zero SGA should be empty")
+	}
+	s.Free() // must not panic
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero SGA invalid: %v", err)
+	}
+	if len(s.Bytes()) != 0 {
+		t.Fatal("zero SGA should flatten to empty")
+	}
+}
+
+func TestFreeIdempotent(t *testing.T) {
+	n := 0
+	s := New([]byte("x")).WithFree(func() { n++ })
+	s.Free()
+	s.Free()
+	s.Free()
+	if n != 1 {
+		t.Fatalf("free hook ran %d times, want exactly 1", n)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := New([]byte("abc"))
+	c := orig.Clone()
+	orig.Segments[0].Buf[0] = 'X'
+	if c.Bytes()[0] != 'a' {
+		t.Fatal("Clone shares memory with original")
+	}
+	if !c.EqualBytes(New([]byte("abc"))) {
+		t.Fatal("Clone payload mismatch")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New([]byte("ab"), []byte("cd"))
+	b := New([]byte("ab"), []byte("cd"))
+	c := New([]byte("abcd"))
+	if !a.Equal(b) {
+		t.Fatal("identical SGAs not Equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("differently segmented SGAs should not be Equal")
+	}
+	if !a.EqualBytes(c) {
+		t.Fatal("same payload should be EqualBytes regardless of segmentation")
+	}
+}
+
+func TestValidateLimits(t *testing.T) {
+	segs := make([][]byte, MaxSegments+1)
+	for i := range segs {
+		segs[i] = []byte{0}
+	}
+	if err := New(segs...).Validate(); !errors.Is(err, ErrTooManySegments) {
+		t.Fatalf("want ErrTooManySegments, got %v", err)
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	s := New([]byte("GET"), []byte("key-123"), nil, []byte("tail"))
+	b := s.Marshal()
+	if len(b) != s.MarshalledSize() {
+		t.Fatalf("MarshalledSize = %d, actual %d", s.MarshalledSize(), len(b))
+	}
+	got, n, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d, want %d", n, len(b))
+	}
+	if !got.Equal(s) {
+		t.Fatalf("roundtrip mismatch: %v vs %v", got, s)
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	s := New([]byte("hello world, this is a frame"))
+	b := s.Marshal()
+	for cut := 0; cut < len(b); cut++ {
+		_, _, err := Unmarshal(b[:cut])
+		if err != ErrShortBuffer {
+			t.Fatalf("cut=%d: want ErrShortBuffer, got %v", cut, err)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	s := New([]byte("abcd"))
+	b := s.Marshal()
+	// Claim a segment longer than the declared payload.
+	b[11] = 5
+	if _, _, err := Unmarshal(b); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("want corruption error, got %v", err)
+	}
+	// Absurd payload length.
+	b2 := s.Marshal()
+	b2[0] = 0xFF
+	if _, _, err := Unmarshal(b2); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("want ErrCorruptFrame, got %v", err)
+	}
+}
+
+func TestUnmarshalTrailingBytes(t *testing.T) {
+	s := New([]byte("one"))
+	b := append(s.Marshal(), []byte("extra")...)
+	got, n, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatal("payload mismatch with trailing bytes present")
+	}
+	if string(b[n:]) != "extra" {
+		t.Fatalf("consumed wrong prefix: remainder %q", b[n:])
+	}
+}
+
+// randomSGA builds a pseudo-random SGA from quick-check source data.
+func randomSGA(r *rand.Rand) SGA {
+	nseg := r.Intn(8)
+	segs := make([][]byte, nseg)
+	for i := range segs {
+		seg := make([]byte, r.Intn(512))
+		r.Read(seg)
+		segs[i] = seg
+	}
+	return New(segs...)
+}
+
+func TestPropMarshalRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSGA(r)
+		got, n, err := Unmarshal(s.Marshal())
+		return err == nil && n == s.MarshalledSize() && got.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSGA(r)
+		return s.Clone().Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFramerReassembly(t *testing.T) {
+	// Three frames delivered in pathological fragmentation.
+	frames := []SGA{
+		New([]byte("first")),
+		New([]byte("second"), []byte("frame")),
+		New(nil, []byte("third")),
+	}
+	var stream []byte
+	for _, f := range frames {
+		stream = f.AppendMarshal(stream)
+	}
+	var fr Framer
+	var got []SGA
+	for i := 0; i < len(stream); i++ { // byte-at-a-time delivery
+		fr.Feed(stream[i : i+1])
+		for {
+			s, ok, err := fr.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, s)
+		}
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !got[i].Equal(frames[i]) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	if fr.Pending() != 0 {
+		t.Fatalf("%d stray bytes pending", fr.Pending())
+	}
+	if fr.Decoded() != int64(len(frames)) {
+		t.Fatalf("Decoded = %d, want %d", fr.Decoded(), len(frames))
+	}
+}
+
+func TestFramerPoisonedByCorruption(t *testing.T) {
+	s := New([]byte("abcd"))
+	b := s.Marshal()
+	b[0] = 0xFF // absurd length
+	var fr Framer
+	fr.Feed(b)
+	if _, _, err := fr.Next(); err == nil {
+		t.Fatal("expected corruption error")
+	}
+	if _, _, err := fr.Next(); err == nil {
+		t.Fatal("framer should stay poisoned")
+	}
+}
+
+func TestFramerHasCompleteFrame(t *testing.T) {
+	s := New([]byte("payload"))
+	b := s.Marshal()
+	var fr Framer
+	fr.Feed(b[:len(b)-1])
+	if fr.HasCompleteFrame() {
+		t.Fatal("incomplete frame reported complete")
+	}
+	fr.Feed(b[len(b)-1:])
+	if !fr.HasCompleteFrame() {
+		t.Fatal("complete frame not detected")
+	}
+	// Detection must not consume.
+	if !fr.HasCompleteFrame() {
+		t.Fatal("detection consumed the frame")
+	}
+	got, ok, err := fr.Next()
+	if err != nil || !ok || !got.Equal(s) {
+		t.Fatalf("Next after detection: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPropFramerArbitraryFragmentation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		frames := make([]SGA, n)
+		var stream []byte
+		for i := range frames {
+			frames[i] = randomSGA(r)
+			stream = frames[i].AppendMarshal(stream)
+		}
+		var fr Framer
+		var got []SGA
+		for len(stream) > 0 {
+			k := 1 + r.Intn(len(stream))
+			fr.Feed(stream[:k])
+			stream = stream[k:]
+			for {
+				s, ok, err := fr.Next()
+				if err != nil {
+					return false
+				}
+				if !ok {
+					break
+				}
+				got = append(got, s)
+			}
+		}
+		if len(got) != n {
+			return false
+		}
+		for i := range frames {
+			if !got[i].Equal(frames[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesMatchesSegments(t *testing.T) {
+	s := New([]byte{1, 2}, []byte{}, []byte{3})
+	if !bytes.Equal(s.Bytes(), []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", s.Bytes())
+	}
+}

@@ -1,0 +1,229 @@
+// Package spdk simulates an SPDK-class kernel-bypass NVMe device (Table 1,
+// left column of the paper, storage side): a namespace of fixed-size
+// blocks accessed through asynchronous submission/completion queue pairs,
+// with device latencies charged from the cost model.
+//
+// Like its network sibling (package nic), the device offers no OS
+// functionality: no file system, no page cache, no naming. The
+// accelerator-specific log-structured layout the paper sketches in §5.3
+// lives on top, in blob.go, and the storage libOS (internal/libos/catfish)
+// exposes it through Demikernel file queues.
+package spdk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"demikernel/internal/simclock"
+)
+
+// BlockSize is the device's logical block size.
+const BlockSize = 4096
+
+// Op is an NVMe command opcode.
+type Op int
+
+// Command opcodes.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpFlush
+)
+
+// Errors returned by Submit and surfaced in completions.
+var (
+	ErrQueueFull   = errors.New("spdk: submission queue full")
+	ErrOutOfRange  = errors.New("spdk: LBA out of range")
+	ErrBadLength   = errors.New("spdk: data length must equal one block")
+	ErrDeviceReset = errors.New("spdk: device was reset")
+)
+
+// Command is one submission-queue entry.
+type Command struct {
+	Op  Op
+	LBA int
+	// Data holds exactly BlockSize bytes for writes; unused for reads
+	// and flushes.
+	Data []byte
+}
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	ID   uint64
+	Op   Op
+	LBA  int
+	Err  error
+	Data []byte // block contents for reads
+	Cost simclock.Lat
+}
+
+// Config describes a device.
+type Config struct {
+	NumBlocks  int // namespace capacity in blocks (default 16384)
+	QueueDepth int // submission queue depth (default 256)
+}
+
+// Stats counts device events.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	Flushes    int64
+	QueueFulls int64
+	Errors     int64
+	DMABytes   int64
+}
+
+// Device is a simulated NVMe namespace with one SQ/CQ pair. All methods
+// are safe for concurrent use.
+type Device struct {
+	model *simclock.CostModel
+	cfg   Config
+
+	mu     sync.Mutex
+	blocks map[int][]byte
+	sq     []sqe
+	cq     []Completion
+	nextID uint64
+	stats  Stats
+}
+
+type sqe struct {
+	id  uint64
+	cmd Command
+}
+
+// New creates a device.
+func New(model *simclock.CostModel, cfg Config) *Device {
+	if cfg.NumBlocks <= 0 {
+		cfg.NumBlocks = 16384
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	return &Device{model: model, cfg: cfg, blocks: make(map[int][]byte)}
+}
+
+// NumBlocks returns the namespace capacity in blocks.
+func (d *Device) NumBlocks() int { return d.cfg.NumBlocks }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Submit enqueues a command and returns its completion ID. It fails fast
+// with ErrQueueFull when the submission queue is at depth, as a polled
+// NVMe driver would observe.
+func (d *Device) Submit(cmd Command) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.sq) >= d.cfg.QueueDepth {
+		d.stats.QueueFulls++
+		return 0, ErrQueueFull
+	}
+	if cmd.Op == OpWrite && len(cmd.Data) != BlockSize {
+		return 0, fmt.Errorf("%w: %d", ErrBadLength, len(cmd.Data))
+	}
+	d.nextID++
+	id := d.nextID
+	e := sqe{id: id, cmd: cmd}
+	if cmd.Op == OpWrite {
+		// The device DMAs the buffer at submission; keep a copy so the
+		// caller may reuse its buffer immediately (completion-side
+		// free-protection is the libOS's job, not the device's).
+		e.cmd.Data = append([]byte(nil), cmd.Data...)
+	}
+	d.sq = append(d.sq, e)
+	return id, nil
+}
+
+// Poll processes pending submissions and returns up to max completions
+// (0 means all).
+func (d *Device) Poll(max int) []Completion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.processLocked()
+	n := len(d.cq)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Completion, n)
+	copy(out, d.cq)
+	d.cq = d.cq[:copy(d.cq, d.cq[n:])]
+	return out
+}
+
+func (d *Device) processLocked() {
+	for _, e := range d.sq {
+		c := Completion{ID: e.id, Op: e.cmd.Op, LBA: e.cmd.LBA}
+		switch e.cmd.Op {
+		case OpRead:
+			if e.cmd.LBA < 0 || e.cmd.LBA >= d.cfg.NumBlocks {
+				c.Err = ErrOutOfRange
+			} else {
+				d.stats.Reads++
+				d.stats.DMABytes += BlockSize
+				blk, ok := d.blocks[e.cmd.LBA]
+				data := make([]byte, BlockSize)
+				if ok {
+					copy(data, blk)
+				}
+				c.Data = data
+				c.Cost = d.model.NVMeReadNS + d.model.DMACost(BlockSize)
+			}
+		case OpWrite:
+			if e.cmd.LBA < 0 || e.cmd.LBA >= d.cfg.NumBlocks {
+				c.Err = ErrOutOfRange
+			} else {
+				d.stats.Writes++
+				d.stats.DMABytes += BlockSize
+				d.blocks[e.cmd.LBA] = e.cmd.Data
+				c.Cost = d.model.NVMeWriteNS + d.model.DMACost(BlockSize)
+			}
+		case OpFlush:
+			d.stats.Flushes++
+			c.Cost = d.model.NVMeWriteNS
+		}
+		if c.Err != nil {
+			d.stats.Errors++
+		}
+		d.cq = append(d.cq, c)
+	}
+	d.sq = d.sq[:0]
+}
+
+// Execute submits cmd and polls until its completion arrives, returning
+// it. It is the synchronous convenience used by the blob layer; other
+// completions that surface first are queued back in order.
+func (d *Device) Execute(cmd Command) Completion {
+	id, err := d.Submit(cmd)
+	if err != nil {
+		return Completion{Op: cmd.Op, LBA: cmd.LBA, Err: err}
+	}
+	for {
+		d.mu.Lock()
+		d.processLocked()
+		for i, c := range d.cq {
+			if c.ID == id {
+				d.cq = append(d.cq[:i], d.cq[i+1:]...)
+				d.mu.Unlock()
+				return c
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Reset clears queues and storage, as a controller reset would.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range d.sq {
+		d.cq = append(d.cq, Completion{ID: e.id, Op: e.cmd.Op, LBA: e.cmd.LBA, Err: ErrDeviceReset})
+	}
+	d.sq = d.sq[:0]
+	d.blocks = make(map[int][]byte)
+}

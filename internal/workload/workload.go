@@ -1,0 +1,151 @@
+// Package workload generates the synthetic request streams the
+// experiments and tools drive applications with. The paper motivates the
+// Demikernel with datacenter applications (Redis, memcached) whose
+// production traces are skewed: a small set of hot keys dominates, most
+// values are small with a heavy tail, and reads outnumber writes. Since
+// real traces are unavailable, this package provides deterministic
+// generators with those shape properties (uniform and Zipf key
+// popularity, fixed and bimodal value sizes, configurable read ratio).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op is one generated operation.
+type Op struct {
+	// IsRead selects GET (true) or SET (false).
+	IsRead bool
+	// Key is the operation's key.
+	Key string
+	// ValueLen is the value size for writes (0 for reads).
+	ValueLen int
+}
+
+// KeyDist selects keys.
+type KeyDist interface {
+	// NextKey returns the next key index in [0, Keys).
+	NextKey() int
+	// Keys returns the keyspace size.
+	Keys() int
+}
+
+// UniformKeys picks keys uniformly.
+type UniformKeys struct {
+	n int
+	r *rand.Rand
+}
+
+// NewUniformKeys builds a uniform distribution over n keys.
+func NewUniformKeys(n int, seed int64) *UniformKeys {
+	return &UniformKeys{n: n, r: rand.New(rand.NewSource(seed))}
+}
+
+// NextKey implements KeyDist.
+func (u *UniformKeys) NextKey() int { return u.r.Intn(u.n) }
+
+// Keys implements KeyDist.
+func (u *UniformKeys) Keys() int { return u.n }
+
+// ZipfKeys picks keys with Zipfian popularity (hot-key skew).
+type ZipfKeys struct {
+	n int
+	z *rand.Zipf
+}
+
+// NewZipfKeys builds a Zipf distribution over n keys with skew s > 1
+// (1.1 is a mild production-like skew; larger is hotter).
+func NewZipfKeys(n int, s float64, seed int64) *ZipfKeys {
+	r := rand.New(rand.NewSource(seed))
+	return &ZipfKeys{n: n, z: rand.NewZipf(r, s, 1, uint64(n-1))}
+}
+
+// NextKey implements KeyDist.
+func (z *ZipfKeys) NextKey() int { return int(z.z.Uint64()) }
+
+// Keys implements KeyDist.
+func (z *ZipfKeys) Keys() int { return z.n }
+
+// SizeDist selects value sizes.
+type SizeDist interface {
+	NextSize() int
+}
+
+// FixedSize always returns one size.
+type FixedSize int
+
+// NextSize implements SizeDist.
+func (f FixedSize) NextSize() int { return int(f) }
+
+// BimodalSize models the small-values-heavy-tail shape of production KV
+// traces: smallFrac of values are Small bytes, the rest Large.
+type BimodalSize struct {
+	Small, Large int
+	SmallFrac    float64
+	r            *rand.Rand
+}
+
+// NewBimodalSize builds a bimodal size distribution.
+func NewBimodalSize(small, large int, smallFrac float64, seed int64) *BimodalSize {
+	return &BimodalSize{Small: small, Large: large, SmallFrac: smallFrac,
+		r: rand.New(rand.NewSource(seed))}
+}
+
+// NextSize implements SizeDist.
+func (b *BimodalSize) NextSize() int {
+	if b.r.Float64() < b.SmallFrac {
+		return b.Small
+	}
+	return b.Large
+}
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	keys      KeyDist
+	sizes     SizeDist
+	readRatio float64
+	r         *rand.Rand
+
+	reads, writes int64
+}
+
+// NewGenerator builds a generator. readRatio in [0,1] is the fraction of
+// GETs.
+func NewGenerator(keys KeyDist, sizes SizeDist, readRatio float64, seed int64) *Generator {
+	return &Generator{
+		keys:      keys,
+		sizes:     sizes,
+		readRatio: readRatio,
+		r:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	op := Op{Key: fmt.Sprintf("key-%06d", g.keys.NextKey())}
+	if g.r.Float64() < g.readRatio {
+		op.IsRead = true
+		g.reads++
+	} else {
+		op.ValueLen = g.sizes.NextSize()
+		g.writes++
+	}
+	return op
+}
+
+// Counts returns the generated read/write totals.
+func (g *Generator) Counts() (reads, writes int64) { return g.reads, g.writes }
+
+// Presets match common benchmark shapes.
+
+// YCSBStyleB returns a read-heavy (95/5) Zipf workload, the YCSB-B shape.
+func YCSBStyleB(keys int, seed int64) *Generator {
+	return NewGenerator(NewZipfKeys(keys, 1.1, seed),
+		NewBimodalSize(128, 4096, 0.9, seed+1), 0.95, seed+2)
+}
+
+// UniformSmall returns a uniform 50/50 workload with small fixed values.
+func UniformSmall(keys int, seed int64) *Generator {
+	return NewGenerator(NewUniformKeys(keys, seed), FixedSize(64), 0.5, seed+1)
+}

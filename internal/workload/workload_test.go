@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformCoversKeyspace(t *testing.T) {
+	u := NewUniformKeys(16, 1)
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		k := u.NextKey()
+		if k < 0 || k >= 16 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("uniform covered %d of 16 keys", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipfKeys(1000, 1.2, 2)
+	counts := make([]int, 1000)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.NextKey()]++
+	}
+	// Hot-key property: the single most popular key takes a clearly
+	// disproportionate share versus uniform (which would be 0.1%).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 0.05 {
+		t.Fatalf("zipf top key share %.4f, want >= 0.05", float64(max)/n)
+	}
+}
+
+func TestBimodalShares(t *testing.T) {
+	b := NewBimodalSize(64, 8192, 0.9, 3)
+	small := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		switch b.NextSize() {
+		case 64:
+			small++
+		case 8192:
+		default:
+			t.Fatal("unexpected size")
+		}
+	}
+	frac := float64(small) / n
+	if frac < 0.87 || frac > 0.93 {
+		t.Fatalf("small fraction %.3f, want ~0.9", frac)
+	}
+}
+
+func TestGeneratorReadRatio(t *testing.T) {
+	g := NewGenerator(NewUniformKeys(10, 4), FixedSize(100), 0.7, 5)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.IsRead && op.ValueLen != 0 {
+			t.Fatal("read carries a value size")
+		}
+		if !op.IsRead && op.ValueLen != 100 {
+			t.Fatalf("write value len %d", op.ValueLen)
+		}
+	}
+	reads, writes := g.Counts()
+	if reads+writes != n {
+		t.Fatal("counts do not add up")
+	}
+	ratio := float64(reads) / n
+	if ratio < 0.67 || ratio > 0.73 {
+		t.Fatalf("read ratio %.3f, want ~0.7", ratio)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		g1 := YCSBStyleB(100, seed)
+		g2 := YCSBStyleB(100, seed)
+		for i := 0; i < 50; i++ {
+			if g1.Next() != g2.Next() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	y := YCSBStyleB(50, 1)
+	for i := 0; i < 100; i++ {
+		op := y.Next()
+		if op.Key == "" {
+			t.Fatal("empty key")
+		}
+	}
+	u := UniformSmall(50, 1)
+	if op := u.Next(); op.Key == "" {
+		t.Fatal("empty key")
+	}
+}
