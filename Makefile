@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all tier1 vet build test race chaos bench report clean
+
+all: tier1
+
+## tier1: the gate every PR must keep green — vet, build, full test
+## suite, then a short -race pass over the concurrency-heavy packages
+## (the chaos engine, the user TCP stack, the pinned-memory allocator).
+tier1: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/
+
+## chaos: just the fault-injection suite (root soak tests + engine).
+chaos:
+	$(GO) test -run 'TestChaos' -count=1 ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+## report: regenerate EXPERIMENTS.md's measured tables.
+report:
+	$(GO) run ./cmd/demi-bench -md EXPERIMENTS.md
+
+clean:
+	$(GO) clean ./...

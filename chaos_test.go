@@ -1,0 +1,532 @@
+package demikernel
+
+// Chaos tests: scheduled fault injection (package internal/chaos) driven
+// through the full Demikernel stack. The paper's argument is that
+// kernel-bypass devices ship without the OS safety net, so the libOS must
+// supply it; these tests attack that net on a seeded schedule and require
+// that applications see typed errors and full recovery — never hangs,
+// never silent corruption.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"demikernel/internal/apps/kv"
+	"demikernel/internal/chaos"
+	"demikernel/internal/fabric"
+	"demikernel/internal/libos/catmint"
+	"demikernel/internal/netstack"
+	"demikernel/internal/queue"
+	"demikernel/internal/spdk"
+)
+
+// chaosConnect is connectNodes plus the listener descriptor, which chaos
+// tests need to accept replacement connections after a partition heals.
+func chaosConnect(t *testing.T, cluster *Cluster, cli, srv *Node, port uint16) (cqd, lqd, sqd QD, cleanup func()) {
+	t.Helper()
+	stopS := srv.Background()
+	stopC := cli.Background()
+	var err error
+	if lqd, err = srv.Socket(); err != nil {
+		t.Fatal(err)
+	}
+	if err = srv.Bind(lqd, Addr{Port: port}); err != nil {
+		t.Fatal(err)
+	}
+	if err = srv.Listen(lqd); err != nil {
+		t.Fatal(err)
+	}
+	if cqd, err = cli.Socket(); err != nil {
+		t.Fatal(err)
+	}
+	if err = cli.Connect(cqd, cluster.AddrOf(srv, port)); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	if sqd, err = srv.Accept(lqd); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	return cqd, lqd, sqd, func() { stopC(); stopS() }
+}
+
+// typedErr reports whether err (or a completion error) is one of the
+// typed failure sentinels a chaos run may legitimately surface. Anything
+// else — and in particular a silent wrong answer — fails the soak.
+func typedErr(err error) bool {
+	for _, want := range []error{
+		ErrWaitTimeout,
+		netstack.ErrMaxRetransmits,
+		netstack.ErrConnectTimeout,
+		catmint.ErrQPBroken,
+		catmint.ErrOpTimeout,
+		catmint.ErrReconnecting,
+		catmint.ErrPeerDead,
+	} {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	// queue.ErrClosed surfaces when the server dropped a half-dead
+	// connection; the client answers it by reconnecting.
+	return errors.Is(err, queue.ErrClosed)
+}
+
+// TestChaosSoakKV runs the KV application over each transport while a
+// seeded chaos schedule attacks the fabric or device underneath: loss and
+// corruption, then a partition, then heal (network); injected media
+// errors and a controller reset (storage). During the fault window
+// operations may fail — but only with typed errors, within the configured
+// timeouts. After heal the application must make progress again and every
+// successful read must return exactly the value written.
+func TestChaosSoakKV(t *testing.T) {
+	t.Run("catnip", func(t *testing.T) { chaosSoakNet(t, "catnip") })
+	t.Run("catmint", func(t *testing.T) { chaosSoakNet(t, "catmint") })
+	t.Run("catfish", chaosSoakCatfish)
+}
+
+func chaosSoakNet(t *testing.T, flavor string) {
+	c := NewCluster(42)
+	var srvNode, cliNode *Node
+	switch flavor {
+	case "catnip":
+		srvNode = c.NewCatnipNode(NodeConfig{Host: 1})
+		// Short retransmission budget so a partitioned connection gives
+		// up inside the fault window instead of riding it out.
+		cliNode = c.NewCatnipNode(NodeConfig{Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4})
+	case "catmint":
+		srvNode = c.NewCatmintNode(NodeConfig{Host: 1})
+		cliNode = c.NewCatmintNode(NodeConfig{
+			Host: 2, OpTimeout: 10 * time.Millisecond,
+			MaxReconnects: 40, ReconnectBackoff: time.Millisecond,
+		})
+	}
+	cliNode.WaitTimeout = 200 * time.Millisecond
+
+	srv := kv.NewServer(srvNode.LibOS, &c.Model)
+	if err := srv.Listen(6379); err != nil {
+		t.Fatal(err)
+	}
+	defer srvNode.Background()()
+	defer cliNode.Background()()
+	stop := make(chan struct{})
+	defer close(stop)
+	go srv.Run(stop)
+
+	cli := kv.NewClient(cliNode.LibOS)
+	addr := c.AddrOf(srvNode, 6379)
+	if err := cli.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The seeded schedule: a loss+corruption phase, a clean gap so both
+	// sides re-stabilise, then a hard partition of the client's link,
+	// then heal. The gap guarantees the client is healthy — and therefore
+	// transmitting — when the partition lands.
+	port := cliNode.FabricPort()
+	eng := chaos.New(42).
+		ImpairAll(0, c.Switch, fabric.Impairments{LossRate: 0.03, CorruptRate: 0.12}).
+		ImpairAll(60*time.Millisecond, c.Switch, fabric.Impairments{}).
+		LinkDown(100*time.Millisecond, c.Switch, port).
+		LinkUp(200*time.Millisecond, c.Switch, port)
+	eng.Start()
+
+	expected := make(map[string][]byte)
+	var failures, successes, postHealOK int
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; postHealOK < 20; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("no recovery after heal: %d successes, %d typed failures, %d post-heal",
+				successes, failures, postHealOK)
+		}
+		eng.Step()
+		key := fmt.Sprintf("k%02d", i%8)
+		val := bytes.Repeat([]byte{byte(i)}, 64+i%257)
+		if _, err := cli.Set(key, val); err != nil {
+			if !typedErr(err) {
+				t.Fatalf("set %d failed with untyped error: %v", i, err)
+			}
+			failures++
+			// catnip connections are terminal after give-up: reconnect
+			// at the application level. catmint redials the same queue
+			// pair underneath, so the same client keeps working.
+			if flavor == "catnip" {
+				_ = cli.Connect(addr) // fails fast while partitioned
+			}
+			continue
+		}
+		expected[key] = val
+		got, _, found, err := cli.Get(key)
+		if err != nil {
+			if !typedErr(err) {
+				t.Fatalf("get %d failed with untyped error: %v", i, err)
+			}
+			failures++
+			if flavor == "catnip" {
+				_ = cli.Connect(addr)
+			}
+			continue
+		}
+		if !found || !bytes.Equal(got, expected[key]) {
+			t.Fatalf("iteration %d: corrupted response for %q: got %d bytes, want %d",
+				i, key, len(got), len(expected[key]))
+		}
+		successes++
+		if eng.Done() {
+			postHealOK++
+		}
+	}
+	if successes == 0 {
+		t.Fatal("no operation ever succeeded")
+	}
+	if failures == 0 {
+		t.Fatal("the partition never produced a visible failure: fault schedule did not bite")
+	}
+
+	// The schedule must actually have fired on the wire.
+	st := c.Switch.Stats()
+	if st.InjectedCorrupt == 0 {
+		t.Fatal("no frames were corrupted despite CorruptRate")
+	}
+	if st.LinkDownDrops == 0 {
+		t.Fatal("no frames were dropped despite the partition")
+	}
+	ps := c.Switch.PortStats(port)
+	if ps.LinkDownDrops == 0 {
+		t.Fatal("partition drops were not attributed to the targeted port")
+	}
+	if got := eng.Fired(); len(got) != 4 {
+		t.Fatalf("schedule fired %d/4 events: %v", len(got), got)
+	}
+	switch flavor {
+	case "catnip":
+		if cliNode.Catnip.Stack().Stats().GiveUps == 0 {
+			t.Fatal("the TCP stack never declared the peer dead")
+		}
+	case "catmint":
+		if cliNode.Catmint.Reconnects() == 0 {
+			t.Fatal("catmint never redialed the broken queue pair")
+		}
+	}
+}
+
+// chaosSoakCatfish drives the storage leg: durable record appends while
+// the chaos schedule injects media errors and a controller reset. The
+// retry loop in catfish must absorb the transients; after the run every
+// record must read back intact — including across a restart.
+func chaosSoakCatfish(t *testing.T) {
+	c := NewCluster(43)
+	node, err := c.NewCatfishNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, err := node.Open("/chaos/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := node.Catfish.Device()
+	eng := chaos.New(43).
+		IOErrorRate(0, dev, 0.15).
+		ControllerReset(8*time.Millisecond, dev, 3).
+		IOErrorRate(16*time.Millisecond, dev, 0)
+	eng.Start()
+
+	const records = 80
+	var want [][]byte
+	for i := 0; i < records; i++ {
+		eng.Step()
+		rec := append([]byte(fmt.Sprintf("rec-%04d:", i)), bytes.Repeat([]byte{byte(i)}, 100+i)...)
+		comp, err := node.BlockingPush(qd, NewSGA(rec))
+		if err != nil || comp.Err != nil {
+			t.Fatalf("push %d not absorbed by the retry budget: %v %v", i, err, comp.Err)
+		}
+		want = append(want, rec)
+		time.Sleep(300 * time.Microsecond)
+	}
+	for !eng.Done() {
+		eng.Step()
+		time.Sleep(time.Millisecond)
+	}
+
+	st := dev.Stats()
+	if st.Resets == 0 {
+		t.Fatal("controller reset never fired")
+	}
+	if st.InjectedErrors == 0 {
+		t.Fatal("no media errors were injected despite the armed rate")
+	}
+	if node.Catfish.Retries() == 0 {
+		t.Fatal("the retry loop never absorbed a transient failure")
+	}
+
+	verify := func(n *Node, label string) {
+		qd, err := n.Open("/chaos/log")
+		if err != nil {
+			t.Fatalf("%s open: %v", label, err)
+		}
+		for i := 0; i < records; i++ {
+			comp, err := n.BlockingPop(qd)
+			if err != nil || comp.Err != nil {
+				t.Fatalf("%s pop %d: %v %v", label, i, err, comp.Err)
+			}
+			if !bytes.Equal(comp.SGA.Bytes(), want[i]) {
+				t.Fatalf("%s record %d corrupted", label, i)
+			}
+		}
+	}
+	verify(node, "same-process")
+
+	// Restart: recover the log from the same device and re-verify.
+	node2, err := c.NewCatfishNodeOn(dev)
+	if err != nil {
+		t.Fatalf("recovery after chaos run: %v", err)
+	}
+	verify(node2, "post-restart")
+}
+
+// TestChaosTCPGiveUp partitions a catnip client mid-connection and
+// requires the user-level TCP stack to give up with typed errors — the
+// hang-free failure handling §2 says nobody below the libOS will provide.
+func TestChaosTCPGiveUp(t *testing.T) {
+	c := NewCluster(301)
+	srv := c.NewCatnipNode(NodeConfig{Host: 1})
+	cli := c.NewCatnipNode(NodeConfig{Host: 2, RTO: time.Millisecond, MaxRetransmits: 3})
+	cqd, lqd, _, cleanup := chaosConnect(t, c, cli, srv, 80)
+	defer cleanup()
+
+	eng := chaos.New(301)
+	eng.LinkDown(0, c.Switch, cli.FabricPort())
+	eng.Start()
+	eng.Step()
+
+	// A push is accepted into the send buffer, but the bytes can never
+	// be delivered: the stack must retransmit, give up, and fail the
+	// next operation with ErrMaxRetransmits — well inside the wait
+	// deadline, so this is a typed error, not a hang.
+	start := time.Now()
+	qt, err := cli.Push(cqd, NewSGA([]byte("into the void")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Wait(qt); err != nil {
+		t.Fatalf("push wait: %v", err)
+	}
+	comp, err := cli.BlockingPop(cqd)
+	if err == nil && comp.Err == nil {
+		t.Fatal("pop succeeded across a partition")
+	}
+	popErr := err
+	if popErr == nil {
+		popErr = comp.Err
+	}
+	if !errors.Is(popErr, netstack.ErrMaxRetransmits) {
+		t.Fatalf("pop failed with %v, want ErrMaxRetransmits", popErr)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("give-up took %v: that is a hang, not failure detection", elapsed)
+	}
+	if cli.Catnip.Stack().Stats().GiveUps == 0 {
+		t.Fatal("GiveUps counter never moved")
+	}
+
+	// Connecting to anyone across the dead link fails with
+	// ErrConnectTimeout once the SYN budget is spent.
+	qd2, err := cli.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Connect(qd2, c.AddrOf(srv, 80)); !errors.Is(err, netstack.ErrConnectTimeout) {
+		t.Fatalf("connect over partition: %v, want ErrConnectTimeout", err)
+	}
+
+	// Heal and verify a fresh connection works end to end.
+	eng.LinkUp(0, c.Switch, cli.FabricPort())
+	eng.Step()
+	qd3, err := cli.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Connect(qd3, c.AddrOf(srv, 80)); err != nil {
+		t.Fatalf("post-heal connect: %v", err)
+	}
+	sqd2, err := srv.Accept(lqd)
+	if err != nil {
+		t.Fatalf("post-heal accept: %v", err)
+	}
+	echoOnce(t, cli, qd3, srv, sqd2, "back from the dead")
+}
+
+// TestChaosCatmintReconnect flaps the client's link and requires the
+// catmint libOS to detect the dead peer, fail in-flight operations with
+// typed errors, and redial the queue pair once the link heals — same
+// endpoint, no application-level reconnect.
+func TestChaosCatmintReconnect(t *testing.T) {
+	c := NewCluster(302)
+	srv := c.NewCatmintNode(NodeConfig{Host: 1})
+	cli := c.NewCatmintNode(NodeConfig{
+		Host: 2, OpTimeout: 10 * time.Millisecond,
+		MaxReconnects: 40, ReconnectBackoff: time.Millisecond,
+	})
+	cqd, lqd, sqd, cleanup := chaosConnect(t, c, cli, srv, 7)
+	defer cleanup()
+	echoOnce(t, cli, cqd, srv, sqd, "healthy before the flap")
+
+	const downFor = 40 * time.Millisecond
+	eng := chaos.New(302)
+	eng.LinkFlap(0, downFor, c.Switch, cli.FabricPort())
+	eng.Start()
+	eng.Step() // fires link-down
+
+	// The in-flight push can never complete; the dead-peer detector
+	// must fail it with a typed error within the op timeout.
+	qt, err := cli.Push(cqd, NewSGA([]byte("lost")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := cli.Wait(qt)
+	if err != nil {
+		t.Fatalf("wait during outage: %v", err)
+	}
+	if comp.Err == nil {
+		t.Fatal("push across a dead link reported success")
+	}
+	if !typedErr(comp.Err) {
+		t.Fatalf("push failed with untyped error: %v", comp.Err)
+	}
+
+	// While the redial is in flight, operations fail fast.
+	qt2, err := cli.Push(cqd, NewSGA([]byte("still down")))
+	if err == nil {
+		if comp2, werr := cli.Wait(qt2); werr != nil || comp2.Err == nil || !typedErr(comp2.Err) {
+			t.Fatalf("push during reconnect: err=%v comp.Err=%v", werr, comp2.Err)
+		}
+	}
+
+	// Heal and let the redial land: keep pushing on the SAME client
+	// descriptor until one push completes cleanly.
+	for !eng.Done() {
+		eng.Step()
+		time.Sleep(time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("the endpoint never recovered after the flap")
+		}
+		qt, err := cli.Push(cqd, NewSGA([]byte("recovered after the flap")))
+		if err != nil {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		comp, werr := cli.Wait(qt)
+		if werr != nil {
+			continue
+		}
+		if comp.Err != nil {
+			if !typedErr(comp.Err) {
+				t.Fatalf("push during recovery failed with untyped error: %v", comp.Err)
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		break // delivered over the redialed queue pair
+	}
+	if cli.Catmint.Reconnects() == 0 {
+		t.Fatal("no reconnect was ever attempted")
+	}
+	// The replacement connection surfaces at the server's listener; pop
+	// the message that made it through (the outage pushes never left the
+	// client, so the first delivery is the recovery marker).
+	srv.WaitTimeout = time.Second
+	var got string
+	for got == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never saw the redialed connection's data")
+		}
+		sqd2, err := srv.Accept(lqd)
+		if err != nil {
+			continue
+		}
+		comp, err := srv.BlockingPop(sqd2)
+		if err != nil || comp.Err != nil {
+			continue // a stale child from a redial attempt; keep accepting
+		}
+		got = string(comp.SGA.Bytes())
+		// Echo it back on the same (new) connection: full duplex works.
+		if _, err := srv.BlockingPush(sqd2, comp.SGA); err != nil {
+			t.Fatalf("server echo push: %v", err)
+		}
+	}
+	if got != "recovered after the flap" {
+		t.Fatalf("server popped %q after recovery", got)
+	}
+	back, err := cli.BlockingPop(cqd)
+	if err != nil || back.Err != nil {
+		t.Fatalf("client pop of the echo: %v %v", err, back.Err)
+	}
+	if string(back.SGA.Bytes()) != "recovered after the flap" {
+		t.Fatalf("client got %q", back.SGA.Bytes())
+	}
+	_ = sqd
+}
+
+// TestChaosCatfishResetRetry injects an NVMe controller reset mid-stream:
+// with the default budget the retry loop absorbs it invisibly; with the
+// budget zeroed the application sees the typed device error.
+func TestChaosCatfishResetRetry(t *testing.T) {
+	c := NewCluster(303)
+	node, err := c.NewCatfishNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, err := node.Open("/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := node.Catfish.Device()
+
+	// Reset absorbed by the retry budget.
+	eng := chaos.New(303)
+	eng.ControllerReset(0, dev, 3)
+	eng.Start()
+	eng.Step()
+	comp, err := node.BlockingPush(qd, NewSGA([]byte("survives the reset")))
+	if err != nil || comp.Err != nil {
+		t.Fatalf("push across reset: %v %v", err, comp.Err)
+	}
+	if node.Catfish.Retries() == 0 {
+		t.Fatal("reset fired but the retry loop never ran")
+	}
+	if dev.Stats().Resets != 1 {
+		t.Fatalf("resets = %d, want 1", dev.Stats().Resets)
+	}
+
+	// With no retry budget the same fault becomes a typed failure.
+	node.Catfish.SetRetryPolicy(0, time.Microsecond)
+	eng.ControllerReset(0, dev, 5)
+	eng.Step()
+	comp, err = node.BlockingPush(qd, NewSGA([]byte("gives up")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(comp.Err, spdk.ErrDeviceReset) {
+		t.Fatalf("push with zero budget failed with %v, want ErrDeviceReset", comp.Err)
+	}
+
+	// Restore the budget: the stream is intact and appends resume.
+	node.Catfish.SetRetryPolicy(8, 100*time.Microsecond)
+	comp, err = node.BlockingPush(qd, NewSGA([]byte("resumes")))
+	if err != nil || comp.Err != nil {
+		t.Fatalf("push after restoring budget: %v %v", err, comp.Err)
+	}
+	for _, want := range []string{"survives the reset", "resumes"} {
+		comp, err := node.BlockingPop(qd)
+		if err != nil || comp.Err != nil {
+			t.Fatalf("pop: %v %v", err, comp.Err)
+		}
+		if string(comp.SGA.Bytes()) != want {
+			t.Fatalf("popped %q, want %q", comp.SGA.Bytes(), want)
+		}
+	}
+}

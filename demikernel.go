@@ -42,6 +42,7 @@ package demikernel
 
 import (
 	"fmt"
+	"time"
 
 	"demikernel/internal/core"
 	"demikernel/internal/fabric"
@@ -85,6 +86,9 @@ var (
 	ErrBadQD        = core.ErrBadQD
 	ErrNotSupported = core.ErrNotSupported
 	ErrTimeout      = core.ErrTimeout
+	// ErrWaitTimeout is the sentinel wrapped by every Wait/Accept/Connect
+	// deadline error; match it with errors.Is.
+	ErrWaitTimeout = core.ErrWaitTimeout
 )
 
 // NewSGA builds a scatter-gather array over the given segments without
@@ -127,6 +131,27 @@ type NodeConfig struct {
 	PerPacketExtra Lat
 	// PostedRecvs overrides the RDMA receive window (catmint only).
 	PostedRecvs int
+
+	// MemCapacity caps the catnip node's pinned-memory bytes; staging a
+	// push beyond it fails with membuf.ErrNoMem (catnip only, 0 =
+	// unbounded).
+	MemCapacity int64
+	// RTO overrides the user TCP stack's initial retransmission timeout
+	// (catnip only; chaos tests shorten it).
+	RTO time.Duration
+	// MaxRetransmits overrides the TCP give-up budget (catnip only).
+	MaxRetransmits int
+
+	// OpTimeout bounds how long an RDMA operation may stay in flight
+	// before the peer is declared dead (catmint only; negative
+	// disables).
+	OpTimeout time.Duration
+	// MaxReconnects bounds QP redial attempts after a QP error
+	// (catmint only).
+	MaxReconnects int
+	// ReconnectBackoff is the first QP redial delay; it doubles per
+	// attempt (catmint only).
+	ReconnectBackoff time.Duration
 }
 
 // NewCluster creates a cluster with deterministic fault injection seeded
@@ -163,6 +188,9 @@ func (c *Cluster) NewCatnipNode(cfg NodeConfig) *Node {
 		MAC:            c.mac(cfg.Host),
 		IP:             c.ip(cfg.Host),
 		PerPacketExtra: cfg.PerPacketExtra,
+		MemCapacity:    cfg.MemCapacity,
+		RTO:            cfg.RTO,
+		MaxRetransmits: cfg.MaxRetransmits,
 	})
 	n := &Node{
 		LibOS:  core.New(t, &c.Model),
@@ -193,8 +221,11 @@ func (c *Cluster) NewCatnapNode(cfg NodeConfig) *Node {
 // NewCatmintNode attaches an RDMA-libOS node.
 func (c *Cluster) NewCatmintNode(cfg NodeConfig) *Node {
 	t := catmint.New(&c.Model, c.Switch, catmint.Config{
-		MAC:         c.mac(cfg.Host),
-		PostedRecvs: cfg.PostedRecvs,
+		MAC:              c.mac(cfg.Host),
+		PostedRecvs:      cfg.PostedRecvs,
+		OpTimeout:        cfg.OpTimeout,
+		MaxReconnects:    cfg.MaxReconnects,
+		ReconnectBackoff: cfg.ReconnectBackoff,
 	})
 	n := &Node{
 		LibOS:   core.New(t, &c.Model),
@@ -227,6 +258,19 @@ func (c *Cluster) newCatfishOn(dev *spdk.Device) (*Node, error) {
 	n := &Node{LibOS: core.New(t, &c.Model), Catfish: t}
 	c.nodes = append(c.nodes, n)
 	return n, nil
+}
+
+// FabricPort returns the switch port ID the node's NIC is attached to
+// (catnip and catmint nodes only; -1 otherwise). Chaos schedules use it
+// to target link faults at one host.
+func (n *Node) FabricPort() int {
+	switch {
+	case n.Catnip != nil:
+		return n.Catnip.Device().PortID()
+	case n.Catmint != nil:
+		return n.Catmint.Device().PortID()
+	}
+	return -1
 }
 
 // AddrOf returns the address of node's port, usable from any libOS.

@@ -316,8 +316,15 @@ func (c *Client) roundTrip(req sga.SGA, appCost simclock.Lat) (sga.SGA, simclock
 	if err != nil {
 		return sga.SGA{}, 0, err
 	}
-	if _, err := c.lib.Wait(qt); err != nil {
+	pushed, err := c.lib.Wait(qt)
+	if err != nil {
 		return sga.SGA{}, 0, err
+	}
+	if pushed.Err != nil {
+		// The push itself failed (dead peer, backpressure): surface the
+		// typed transport error instead of waiting for a response that
+		// can never come.
+		return sga.SGA{}, 0, pushed.Err
 	}
 	comp, err := c.lib.BlockingPop(c.qd)
 	if err != nil {

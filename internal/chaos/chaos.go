@@ -1,0 +1,215 @@
+// Package chaos is a deterministic, seeded fault-schedule engine for the
+// simulated kernel-bypass fabric and devices.
+//
+// The paper's thesis is that kernel-bypass devices ship with none of the
+// operating system's safety net; the libOSes in this repository supply
+// that net (retransmission budgets, QP reconnects, device-reset retries,
+// memory backpressure). This package exists to *attack* the net on a
+// schedule and observe that applications see typed errors and recover —
+// never hangs, never silent corruption.
+//
+// An Engine holds a list of time-targeted events (offsets relative to
+// Start). Each event fires exactly once, in offset order, when Step or
+// Run observes that its offset has elapsed. Faults are plain closures, so
+// any knob is schedulable; typed helpers cover the common ones:
+//
+//   - link down / up / flap on one switch port (partitions),
+//   - per-port or global frame impairments (loss, duplication,
+//     reordering, corruption),
+//   - NVMe controller resets and injected media error rates,
+//   - node crash/restart (modeled as the node's links going down and the
+//     application ceasing to poll — see the root chaos tests).
+//
+// Everything random (which byte a corruption flips, which command an
+// error rate fails) is driven by seeded generators, so a chaos run is
+// reproducible from its seed and schedule alone.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"demikernel/internal/fabric"
+	"demikernel/internal/spdk"
+)
+
+// Event is one scheduled fault injection.
+type Event struct {
+	At     time.Duration // offset from Start at which to fire
+	Name   string        // human-readable label, recorded in Fired
+	Inject func()        // the fault; runs exactly once
+}
+
+// Engine schedules and fires fault events. It is safe for concurrent
+// use; Step may be called from a polling loop while another goroutine
+// inspects Fired.
+type Engine struct {
+	seed int64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	events  []Event
+	started bool
+	start   time.Time
+	next    int
+	fired   []string
+}
+
+// New returns an engine whose random choices derive from seed.
+func New(seed int64) *Engine {
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the engine's seed (for logging a reproducible run).
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Rand returns the engine's seeded random source. Schedules use it to
+// derive fault parameters (which port, how long an outage) so the whole
+// scenario replays from one seed.
+func (e *Engine) Rand() *rand.Rand {
+	return e.rng
+}
+
+// At schedules inject to fire once the given offset from Start has
+// elapsed. It returns the engine for chaining. Scheduling after Start is
+// allowed as long as the offset is still in the future of the already
+// fired prefix.
+func (e *Engine) At(at time.Duration, name string, inject func()) *Engine {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.events = append(e.events, Event{At: at, Name: name, Inject: inject})
+	// Keep events sorted by offset; stable so equal offsets fire in
+	// scheduling order.
+	sort.SliceStable(e.events[e.next:], func(i, j int) bool {
+		return e.events[e.next+i].At < e.events[e.next+j].At
+	})
+	return e
+}
+
+// Start records the schedule's time zero. Run calls it implicitly.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.started {
+		e.started = true
+		e.start = time.Now()
+	}
+}
+
+// Step fires every event whose offset has elapsed and returns how many
+// fired. It is cheap enough to call from a tight polling loop.
+func (e *Engine) Step() int {
+	e.mu.Lock()
+	if !e.started {
+		e.started = true
+		e.start = time.Now()
+	}
+	elapsed := time.Since(e.start)
+	var due []Event
+	for e.next < len(e.events) && e.events[e.next].At <= elapsed {
+		due = append(due, e.events[e.next])
+		e.fired = append(e.fired, e.events[e.next].Name)
+		e.next++
+	}
+	e.mu.Unlock()
+	for _, ev := range due {
+		ev.Inject()
+	}
+	return len(due)
+}
+
+// Done reports whether every scheduled event has fired.
+func (e *Engine) Done() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.next >= len(e.events)
+}
+
+// Fired returns the names of fired events in firing order.
+func (e *Engine) Fired() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.fired...)
+}
+
+// Run starts the schedule and steps it every tick until total has
+// elapsed and all events fired. It blocks the calling goroutine; tests
+// usually run it alongside Background pollers.
+func (e *Engine) Run(total, tick time.Duration) {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	e.Start()
+	deadline := time.Now().Add(total)
+	for {
+		e.Step()
+		if time.Now().After(deadline) && e.Done() {
+			return
+		}
+		time.Sleep(tick)
+	}
+}
+
+// --- typed helpers: fabric faults ---
+
+// LinkDown schedules taking one switch port's link down: frames to and
+// from the port drop (counted in LinkDownDrops) — a partition of that
+// node from the fabric.
+func (e *Engine) LinkDown(at time.Duration, sw *fabric.Switch, port int) *Engine {
+	return e.At(at, fmt.Sprintf("link-down(port=%d)", port), func() {
+		sw.SetLinkState(port, false)
+	})
+}
+
+// LinkUp schedules healing one switch port's link.
+func (e *Engine) LinkUp(at time.Duration, sw *fabric.Switch, port int) *Engine {
+	return e.At(at, fmt.Sprintf("link-up(port=%d)", port), func() {
+		sw.SetLinkState(port, true)
+	})
+}
+
+// LinkFlap schedules a down-then-up pulse on one port.
+func (e *Engine) LinkFlap(at, downFor time.Duration, sw *fabric.Switch, port int) *Engine {
+	e.LinkDown(at, sw, port)
+	return e.LinkUp(at+downFor, sw, port)
+}
+
+// Impair schedules replacing one port's impairments (loss, duplication,
+// reordering, corruption, delay). Zero Impairments heals the port.
+func (e *Engine) Impair(at time.Duration, sw *fabric.Switch, port int, imp fabric.Impairments) *Engine {
+	return e.At(at, fmt.Sprintf("impair(port=%d,%+v)", port, imp), func() {
+		sw.SetPortImpairments(port, imp)
+	})
+}
+
+// ImpairAll schedules replacing the switch-wide impairments applied to
+// every frame regardless of port. Zero Impairments heals the fabric.
+func (e *Engine) ImpairAll(at time.Duration, sw *fabric.Switch, imp fabric.Impairments) *Engine {
+	return e.At(at, fmt.Sprintf("impair-all(%+v)", imp), func() {
+		sw.SetImpairments(imp)
+	})
+}
+
+// --- typed helpers: storage faults ---
+
+// ControllerReset schedules a spontaneous NVMe controller reset:
+// in-flight commands abort with spdk.ErrDeviceReset and the next downFor
+// commands fail while the controller re-initialises. Media survives.
+func (e *Engine) ControllerReset(at time.Duration, dev *spdk.Device, downFor int) *Engine {
+	return e.At(at, fmt.Sprintf("nvme-reset(downFor=%d)", downFor), func() {
+		dev.ControllerReset(downFor)
+	})
+}
+
+// IOErrorRate schedules arming (or with rate 0, disarming) seeded random
+// command failures on the NVMe device. The generator seed derives from
+// the engine seed, keeping the run reproducible.
+func (e *Engine) IOErrorRate(at time.Duration, dev *spdk.Device, rate float64) *Engine {
+	seed := e.seed ^ 0x10E44A7E // decorrelate from other engine draws
+	return e.At(at, fmt.Sprintf("nvme-errors(rate=%g)", rate), func() {
+		dev.SetErrorRate(rate, seed)
+	})
+}

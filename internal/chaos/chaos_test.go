@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInOffsetOrder(t *testing.T) {
+	e := New(1)
+	var got []string
+	record := func(name string) func() {
+		return func() { got = append(got, name) }
+	}
+	// Scheduled out of order on purpose.
+	e.At(2*time.Millisecond, "second", record("second"))
+	e.At(0, "first", record("first"))
+	e.At(5*time.Millisecond, "third", record("third"))
+
+	e.Run(6*time.Millisecond, time.Millisecond)
+	if !e.Done() {
+		t.Fatal("Run returned before the schedule completed")
+	}
+	want := []string{"first", "second", "third"}
+	fired := e.Fired()
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] || got[i] != want[i] {
+			t.Fatalf("order: fired=%v injected=%v, want %v", fired, got, want)
+		}
+	}
+}
+
+func TestEachEventFiresExactlyOnce(t *testing.T) {
+	e := New(2)
+	count := 0
+	e.At(0, "once", func() { count++ })
+	e.Start()
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if count != 1 {
+		t.Fatalf("event fired %d times, want 1", count)
+	}
+}
+
+func TestStepReportsDueEvents(t *testing.T) {
+	e := New(3)
+	e.At(0, "a", func() {})
+	e.At(0, "b", func() {})
+	e.At(time.Hour, "never", func() {})
+	e.Start()
+	if n := e.Step(); n != 2 {
+		t.Fatalf("Step fired %d, want 2", n)
+	}
+	if e.Done() {
+		t.Fatal("Done with a future event still scheduled")
+	}
+}
+
+func TestEqualOffsetsFireInSchedulingOrder(t *testing.T) {
+	e := New(4)
+	var got []string
+	for _, name := range []string{"x", "y", "z"} {
+		n := name
+		e.At(0, n, func() { got = append(got, n) })
+	}
+	e.Start()
+	e.Step()
+	if len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
+		t.Fatalf("equal-offset order: %v", got)
+	}
+}
+
+func TestSeededRandDeterministic(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 32; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("two engines with the same seed diverged")
+		}
+	}
+	if a.Seed() != 7 {
+		t.Fatalf("Seed() = %d, want 7", a.Seed())
+	}
+}
+
+func TestSchedulingAfterStart(t *testing.T) {
+	e := New(5)
+	e.At(0, "early", func() {})
+	e.Start()
+	e.Step()
+	fired := false
+	e.At(0, "late", func() { fired = true }) // offset already elapsed
+	e.Step()
+	if !fired {
+		t.Fatal("event scheduled after Start never fired")
+	}
+	if f := e.Fired(); len(f) != 2 || f[1] != "late" {
+		t.Fatalf("fired = %v", f)
+	}
+}

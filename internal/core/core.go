@@ -38,9 +38,24 @@ const InvalidQD QD = -1
 var (
 	ErrBadQD        = errors.New("demikernel: bad queue descriptor")
 	ErrNotSupported = errors.New("demikernel: operation not supported by this libOS")
-	ErrTimeout      = errors.New("demikernel: wait timed out")
 	ErrNotListening = errors.New("demikernel: not a listening queue")
+
+	// ErrWaitTimeout is the sentinel for every Wait/WaitAny/WaitAll/
+	// Accept/Connect deadline expiry. It is always wrapped with the
+	// operation that timed out, so applications (and the chaos soak
+	// tests) can distinguish "the peer is slow or gone" from a
+	// transport-reported failure with errors.Is.
+	ErrWaitTimeout = errors.New("demikernel: wait deadline exceeded")
+
+	// ErrTimeout is the historical name of ErrWaitTimeout, kept so
+	// errors.Is(err, ErrTimeout) continues to hold.
+	ErrTimeout = ErrWaitTimeout
 )
+
+// timeoutErr wraps ErrWaitTimeout with the operation that expired.
+func timeoutErr(op string, d time.Duration) error {
+	return fmt.Errorf("demikernel: %s exceeded %v: %w", op, d, ErrWaitTimeout)
+}
 
 // Addr names a network endpoint. TCP-style transports use IP:Port;
 // RDMA-style transports address by MAC:Port. Both fields are carried so
@@ -83,6 +98,12 @@ type Endpoint interface {
 	// Connect starts connecting; completion is observed via Connected.
 	Connect(addr Addr) error
 	Connected() bool
+	// Err reports the endpoint's terminal transport failure, if any
+	// (peer dead, retransmit budget exhausted, queue pair unrecoverable).
+	// Nil while the endpoint is healthy. The syscall layer checks it so
+	// control-path waits fail fast with the transport's own error
+	// instead of spinning to the deadline.
+	Err() error
 	// LocalAddr reports the bound address.
 	LocalAddr() Addr
 }
@@ -277,8 +298,11 @@ func (l *LibOS) Accept(qd QD) (QD, error) {
 		if ok {
 			return l.insert(&qdesc{kind: qdEndpoint, ep: ep}), nil
 		}
+		if err := d.ep.Err(); err != nil {
+			return InvalidQD, err
+		}
 		if time.Now().After(deadline) {
-			return InvalidQD, ErrTimeout
+			return InvalidQD, timeoutErr("accept", l.WaitTimeout)
 		}
 		l.Poll()
 		runtime.Gosched()
@@ -316,8 +340,13 @@ func (l *LibOS) Connect(qd QD, addr Addr) error {
 	}
 	deadline := time.Now().Add(l.WaitTimeout)
 	for !d.ep.Connected() {
+		if err := d.ep.Err(); err != nil {
+			// The transport diagnosed the failure (SYN timeout, QP
+			// error): report it instead of spinning to the deadline.
+			return err
+		}
 		if time.Now().After(deadline) {
-			return ErrTimeout
+			return timeoutErr("connect", l.WaitTimeout)
 		}
 		l.Poll()
 		runtime.Gosched()
@@ -538,7 +567,7 @@ func (l *LibOS) Wait(qt queue.QToken) (queue.Completion, error) {
 			return c, nil
 		}
 		if time.Now().After(deadline) {
-			return queue.Completion{}, ErrTimeout
+			return queue.Completion{}, timeoutErr("wait", l.WaitTimeout)
 		}
 		l.Poll()
 		runtime.Gosched()
@@ -561,7 +590,7 @@ func (l *LibOS) WaitAny(qts []queue.QToken) (int, queue.Completion, error) {
 			}
 		}
 		if time.Now().After(deadline) {
-			return -1, queue.Completion{}, ErrTimeout
+			return -1, queue.Completion{}, timeoutErr("wait-any", l.WaitTimeout)
 		}
 		l.Poll()
 		runtime.Gosched()
@@ -596,7 +625,7 @@ func (l *LibOS) WaitAll(qts []queue.QToken) ([]queue.Completion, error) {
 			break
 		}
 		if !progressed && time.Now().After(deadline) {
-			return nil, ErrTimeout
+			return nil, timeoutErr("wait-all", l.WaitTimeout)
 		}
 		l.Poll()
 		runtime.Gosched()

@@ -182,3 +182,51 @@ func TestMergeOfComposedQueues(t *testing.T) {
 		t.Fatalf("merged = %v", seen)
 	}
 }
+
+func TestErrWaitTimeoutSentinel(t *testing.T) {
+	// Every deadline error across the system-call surface wraps the one
+	// sentinel, so applications can write a single errors.Is check.
+	if !errors.Is(core.ErrTimeout, core.ErrWaitTimeout) {
+		t.Fatal("ErrTimeout must alias ErrWaitTimeout")
+	}
+	n := newNode(t, 120)
+	n.WaitTimeout = 20 * time.Millisecond
+	q := n.Queue()
+	qt, err := n.Pop(q) // nothing will ever arrive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Wait(qt); !errors.Is(err, core.ErrWaitTimeout) {
+		t.Fatalf("Wait: %v does not wrap ErrWaitTimeout", err)
+	}
+	if _, err := n.WaitAll([]queue.QToken{qt}); !errors.Is(err, core.ErrWaitTimeout) {
+		t.Fatalf("WaitAll: %v does not wrap ErrWaitTimeout", err)
+	}
+	// The wrapped form must still carry the operation's name for logs.
+	_, err = n.Wait(qt)
+	if err == nil || err.Error() == core.ErrWaitTimeout.Error() {
+		t.Fatalf("Wait error %q should wrap the sentinel with context", err)
+	}
+}
+
+func TestConnectTimeoutWrapsSentinel(t *testing.T) {
+	// Connecting to a host that never answers must fail within the
+	// configured deadline with the typed sentinel — not hang. (catnap's
+	// kernel stack keeps retrying SYNs below the libOS, so the generic
+	// wait deadline is the backstop there.)
+	c := demi.NewCluster(121)
+	n := c.NewCatnapNode(demi.NodeConfig{Host: 1})
+	n.WaitTimeout = 30 * time.Millisecond
+	qd, err := n.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = n.Connect(qd, demi.Addr{IP: c.NewCatnapNode(demi.NodeConfig{Host: 9}).IP, Port: 1})
+	if !errors.Is(err, core.ErrWaitTimeout) {
+		t.Fatalf("connect to silent host: %v does not wrap ErrWaitTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("connect timeout took far longer than the configured deadline")
+	}
+}

@@ -57,7 +57,24 @@ type Impairments struct {
 	LossRate    float64
 	DupRate     float64
 	ReorderRate float64 // probability a frame is held and swapped with the next
+	// CorruptRate flips a payload byte past the Ethernet header. The
+	// frame still routes (MACs are untouched); the damage must be caught
+	// by the integrity checks of the stack above (IPv4/TCP/UDP
+	// checksums, the RDMA ICRC, the blob-store CRC).
+	CorruptRate float64
 	ExtraDelay  simclock.Lat
+}
+
+// merge returns the combination of two impairment configurations: rates
+// compose as independent fault sources, delays add.
+func (a Impairments) merge(b Impairments) Impairments {
+	return Impairments{
+		LossRate:    1 - (1-a.LossRate)*(1-b.LossRate),
+		DupRate:     1 - (1-a.DupRate)*(1-b.DupRate),
+		ReorderRate: 1 - (1-a.ReorderRate)*(1-b.ReorderRate),
+		CorruptRate: 1 - (1-a.CorruptRate)*(1-b.CorruptRate),
+		ExtraDelay:  a.ExtraDelay + b.ExtraDelay,
+	}
 }
 
 // Stats counts fabric-level events.
@@ -68,6 +85,18 @@ type Stats struct {
 	InjectedLoss    int64
 	InjectedDup     int64
 	InjectedReorder int64
+	InjectedCorrupt int64
+	LinkDownDrops   int64
+}
+
+// PortStats counts per-port fabric events, so experiments can verify that
+// a fault schedule actually fired on the link it targeted.
+type PortStats struct {
+	TxFrames        int64 // frames the port attempted to send
+	Delivered       int64 // frames delivered into the port's rx ring
+	InjectedLoss    int64 // tx frames dropped by this port's impairments
+	InjectedCorrupt int64 // tx frames corrupted by this port's impairments
+	LinkDownDrops   int64 // frames dropped because this link was down
 }
 
 // Switch is a learning Ethernet switch. Ports attach with NewPort; frames
@@ -102,11 +131,58 @@ func NewSwitch(model *simclock.CostModel, seed int64) *Switch {
 	}
 }
 
-// SetImpairments replaces the fault-injection configuration.
+// SetImpairments replaces the switch-global fault-injection
+// configuration. Per-port impairments (SetPortImpairments) compose on
+// top of it.
 func (s *Switch) SetImpairments(imp Impairments) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.imp = imp
+}
+
+// SetPortImpairments replaces the fault-injection configuration of one
+// port (by port ID). Per-port rates compose with the switch-global rates
+// as independent fault sources and apply to frames the port transmits.
+func (s *Switch) SetPortImpairments(id int, imp Impairments) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.portLocked(id); p != nil {
+		p.imp = imp
+	}
+}
+
+// SetLinkState administratively raises (up=true) or cuts (up=false) the
+// link behind one port. While a link is down, frames sent from the port
+// and frames destined to it are dropped and counted in LinkDownDrops —
+// the fabric-level model of a cable pull or a partitioned peer.
+func (s *Switch) SetLinkState(id int, up bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.portLocked(id); p != nil {
+		p.down = !up
+	}
+}
+
+// LinkUp reports the administrative link state of a port.
+func (s *Switch) LinkUp(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.portLocked(id)
+	return p != nil && !p.down
+}
+
+func (s *Switch) portLocked(id int) *Port {
+	if id < 0 || id >= len(s.ports) {
+		return nil
+	}
+	return s.ports[id]
+}
+
+// NumPorts returns the number of attached ports.
+func (s *Switch) NumPorts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ports)
 }
 
 // Stats returns a snapshot of the switch counters.
@@ -116,15 +192,33 @@ func (s *Switch) Stats() Stats {
 	return s.stats
 }
 
+// PortStats returns a snapshot of one port's counters.
+func (s *Switch) PortStats(id int) PortStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.portLocked(id); p != nil {
+		return p.stats
+	}
+	return PortStats{}
+}
+
 // DefaultPortRing is the default depth of a port's receive ring.
 const DefaultPortRing = 1024
 
 // Port is one attachment point on the switch. A simulated NIC owns a port
 // and polls frames from it.
 type Port struct {
-	sw *Switch
-	rx chan Frame
+	sw    *Switch
+	id    int
+	rx    chan Frame
+	imp   Impairments // per-port fault injection (guarded by sw.mu)
+	down  bool        // administrative link state (guarded by sw.mu)
+	stats PortStats   // guarded by sw.mu
 }
+
+// ID returns the port's index on its switch, the handle fault schedules
+// target links by.
+func (p *Port) ID() int { return p.id }
 
 // NewPort attaches a new port with the given receive-ring depth (0 means
 // DefaultPortRing).
@@ -134,6 +228,7 @@ func (s *Switch) NewPort(ringDepth int) *Port {
 	}
 	p := &Port{sw: s, rx: make(chan Frame, ringDepth)}
 	s.mu.Lock()
+	p.id = len(s.ports)
 	s.ports = append(s.ports, p)
 	s.mu.Unlock()
 	return p
@@ -149,22 +244,38 @@ func (p *Port) Send(f Frame) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	// Learn the source address.
+	p.stats.TxFrames++
+
+	// Learn the source address (even across a down link: the MAC table
+	// models state the switch learned before the cut).
 	s.macTab[f.SrcMAC()] = p
 
-	// Fault injection.
-	if s.imp.LossRate > 0 && s.rng.Float64() < s.imp.LossRate {
-		s.stats.InjectedLoss++
+	// A cut link transmits nothing.
+	if p.down {
+		s.stats.LinkDownDrops++
+		p.stats.LinkDownDrops++
 		return
 	}
+
+	// Fault injection: the port's own impairments compose with the
+	// switch-global ones.
+	imp := s.imp.merge(p.imp)
+	if imp.LossRate > 0 && s.rng.Float64() < imp.LossRate {
+		s.stats.InjectedLoss++
+		p.stats.InjectedLoss++
+		return
+	}
+	if imp.CorruptRate > 0 && s.rng.Float64() < imp.CorruptRate {
+		f = s.corruptLocked(f, p)
+	}
 	frames := []Frame{f}
-	if s.imp.DupRate > 0 && s.rng.Float64() < s.imp.DupRate {
+	if imp.DupRate > 0 && s.rng.Float64() < imp.DupRate {
 		s.stats.InjectedDup++
 		dup := f
 		dup.Data = append([]byte(nil), f.Data...)
 		frames = append(frames, dup)
 	}
-	if s.imp.ReorderRate > 0 {
+	if imp.ReorderRate > 0 {
 		if s.held != nil {
 			// Deliver the new frame first, then the held one.
 			heldF, heldFrom := s.held.frame, s.held.from
@@ -175,7 +286,7 @@ func (p *Port) Send(f Frame) {
 			s.forwardLocked(heldF, heldFrom)
 			return
 		}
-		if s.rng.Float64() < s.imp.ReorderRate {
+		if s.rng.Float64() < imp.ReorderRate {
 			s.stats.InjectedReorder++
 			s.held = &heldFrame{frame: f, from: p}
 			return
@@ -184,6 +295,22 @@ func (p *Port) Send(f Frame) {
 	for _, fr := range frames {
 		s.forwardLocked(fr, p)
 	}
+}
+
+// corruptLocked returns a copy of f with one byte past the Ethernet
+// header flipped — the wire-level bit error a schedule injects. The copy
+// keeps the sender's buffer intact, as real corruption happens on the
+// wire, not in host memory.
+func (s *Switch) corruptLocked(f Frame, p *Port) Frame {
+	s.stats.InjectedCorrupt++
+	p.stats.InjectedCorrupt++
+	data := append([]byte(nil), f.Data...)
+	if len(data) > MinFrameLen {
+		i := MinFrameLen + s.rng.Intn(len(data)-MinFrameLen)
+		data[i] ^= 0xFF
+	}
+	f.Data = data
+	return f
 }
 
 // Flush delivers any frame held by the reorder buffer. Tests and quiesce
@@ -199,7 +326,7 @@ func (s *Switch) Flush() {
 }
 
 func (s *Switch) forwardLocked(f Frame, from *Port) {
-	f.Cost += s.model.WireDelayNS + s.imp.ExtraDelay
+	f.Cost += s.model.WireDelayNS + s.imp.ExtraDelay + from.imp.ExtraDelay
 	dst := f.DstMAC()
 	if !dst.IsBroadcast() {
 		if out, ok := s.macTab[dst]; ok {
@@ -220,9 +347,16 @@ func (s *Switch) forwardLocked(f Frame, from *Port) {
 }
 
 func (s *Switch) deliverLocked(out *Port, f Frame) {
+	if out.down {
+		// The destination's link is cut: the frame dies on the wire.
+		s.stats.LinkDownDrops++
+		out.stats.LinkDownDrops++
+		return
+	}
 	select {
 	case out.rx <- f:
 		s.stats.Delivered++
+		out.stats.Delivered++
 	default:
 		s.stats.DroppedRxFull++
 	}

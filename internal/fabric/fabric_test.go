@@ -217,6 +217,170 @@ func TestFlushReleasesHeldFrame(t *testing.T) {
 	}
 }
 
+func TestLinkDownDropsAtSender(t *testing.T) {
+	sw := newTestSwitch()
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+
+	sw.SetLinkState(pa.ID(), false)
+	for i := 0; i < 3; i++ {
+		pa.Send(frame(macB, macA, "void"))
+	}
+	if _, ok := pb.Poll(); ok {
+		t.Fatal("frame crossed an administratively down link")
+	}
+	if got := sw.Stats().LinkDownDrops; got != 3 {
+		t.Fatalf("global LinkDownDrops = %d, want 3", got)
+	}
+	if got := sw.PortStats(pa.ID()).LinkDownDrops; got != 3 {
+		t.Fatalf("port %d LinkDownDrops = %d, want 3", pa.ID(), got)
+	}
+	if got := sw.PortStats(pb.ID()).LinkDownDrops; got != 0 {
+		t.Fatalf("receiver port charged %d LinkDownDrops for a tx-side cut", got)
+	}
+
+	// Healing the link restores delivery.
+	sw.SetLinkState(pa.ID(), true)
+	pa.Send(frame(macB, macA, "back"))
+	f, ok := pb.Poll()
+	if !ok {
+		t.Fatal("no delivery after the link came back up")
+	}
+	if string(f.Data[14:]) != "back" {
+		t.Fatalf("payload after heal = %q", f.Data[14:])
+	}
+}
+
+func TestLinkDownDropsAtReceiver(t *testing.T) {
+	sw := newTestSwitch()
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+
+	// Teach the switch where B lives so the frame is unicast, then cut B.
+	pb.Send(frame(macA, macB, "learn"))
+	pa.Poll()
+	sw.SetLinkState(pb.ID(), false)
+
+	pa.Send(frame(macB, macA, "drowned"))
+	if _, ok := pb.Poll(); ok {
+		t.Fatal("frame delivered to a down port")
+	}
+	if got := sw.Stats().LinkDownDrops; got != 1 {
+		t.Fatalf("global LinkDownDrops = %d, want 1", got)
+	}
+	// The drop is attributed to the receiver's port, not the sender's.
+	if got := sw.PortStats(pb.ID()).LinkDownDrops; got != 1 {
+		t.Fatalf("receiver port LinkDownDrops = %d, want 1", got)
+	}
+	if got := sw.PortStats(pa.ID()).LinkDownDrops; got != 0 {
+		t.Fatalf("sender port LinkDownDrops = %d, want 0", got)
+	}
+}
+
+func TestCorruptionInjection(t *testing.T) {
+	sw := newTestSwitch()
+	sw.SetImpairments(Impairments{CorruptRate: 1.0})
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+
+	sent := frame(macB, macA, "precious payload")
+	orig := append([]byte(nil), sent.Data...)
+	pa.Send(sent)
+
+	got, ok := pb.Poll()
+	if !ok {
+		t.Fatal("corrupted frame was not delivered (corruption must not drop)")
+	}
+	// Exactly one byte differs, and only past the Ethernet header.
+	diffs := 0
+	for i := range orig {
+		if got.Data[i] != orig[i] {
+			diffs++
+			if i < MinFrameLen {
+				t.Fatalf("corruption touched header byte %d", i)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diffs)
+	}
+	// The sender's buffer is untouched: corruption copies.
+	for i := range orig {
+		if sent.Data[i] != orig[i] {
+			t.Fatal("corruption scribbled on the sender's buffer")
+		}
+	}
+	if got := sw.Stats().InjectedCorrupt; got != 1 {
+		t.Fatalf("global InjectedCorrupt = %d, want 1", got)
+	}
+	if got := sw.PortStats(pa.ID()).InjectedCorrupt; got != 1 {
+		t.Fatalf("port InjectedCorrupt = %d, want 1", got)
+	}
+}
+
+func TestPerPortImpairmentsTargetOnePort(t *testing.T) {
+	sw := newTestSwitch()
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+	pc := sw.NewPort(0)
+	_ = pb
+
+	// Only A's uplink corrupts; C's traffic must pass clean.
+	sw.SetPortImpairments(pa.ID(), Impairments{CorruptRate: 1.0})
+
+	pa.Send(frame(macB, macA, "dirty"))
+	pc.Send(frame(macB, macC, "clean"))
+
+	var clean, dirty int
+	for {
+		f, ok := sw.ports[1].Poll()
+		if !ok {
+			break
+		}
+		switch string(f.Data[14:]) {
+		case "clean":
+			clean++
+		case "dirty":
+			t.Fatal("frame from the impaired port arrived uncorrupted")
+		default:
+			dirty++
+		}
+	}
+	if clean != 1 || dirty != 1 {
+		t.Fatalf("clean=%d dirty=%d, want 1 and 1", clean, dirty)
+	}
+	if got := sw.PortStats(pa.ID()).InjectedCorrupt; got != 1 {
+		t.Fatalf("impaired port InjectedCorrupt = %d, want 1", got)
+	}
+	if got := sw.PortStats(pc.ID()).InjectedCorrupt; got != 0 {
+		t.Fatalf("clean port InjectedCorrupt = %d, want 0", got)
+	}
+}
+
+func TestPortStatsCountTxAndDelivered(t *testing.T) {
+	sw := newTestSwitch()
+	pa := sw.NewPort(0)
+	pb := sw.NewPort(0)
+
+	// Learn both directions so traffic is unicast.
+	pa.Send(frame(macB, macA, "l1"))
+	pb.Poll()
+	pb.Send(frame(macA, macB, "l2"))
+	pa.Poll()
+
+	for i := 0; i < 4; i++ {
+		pa.Send(frame(macB, macA, "x"))
+		pb.Poll()
+	}
+	sa, sb := sw.PortStats(pa.ID()), sw.PortStats(pb.ID())
+	if sa.TxFrames != 5 { // learn + 4
+		t.Fatalf("A TxFrames = %d, want 5", sa.TxFrames)
+	}
+	if sb.Delivered != 5 {
+		t.Fatalf("B Delivered = %d, want 5", sb.Delivered)
+	}
+}
+
 func TestDeterministicInjection(t *testing.T) {
 	run := func() Stats {
 		model := simclock.Datacenter2019()

@@ -11,7 +11,9 @@
 package catfish
 
 import (
+	"errors"
 	"sync"
+	"time"
 
 	"demikernel/internal/core"
 	"demikernel/internal/queue"
@@ -20,14 +22,29 @@ import (
 	"demikernel/internal/spdk"
 )
 
+// Retry policy for transient device failures. Injected media errors
+// (spdk.ErrIO) and controller resets (spdk.ErrDeviceReset) are absorbed
+// by the libOS — the application's qtoken only fails once the retry
+// budget is spent.
+const (
+	// DefaultMaxRetries bounds retry attempts per operation.
+	DefaultMaxRetries = 8
+	// DefaultRetryBackoff is the first retry delay; it doubles per
+	// attempt.
+	DefaultRetryBackoff = 100 * time.Microsecond
+)
+
 // Transport is the catfish libOS transport.
 type Transport struct {
 	model *simclock.CostModel
 	dev   *spdk.Device
 	store *spdk.Store
 
-	mu  sync.Mutex
-	fqs []*fileQueue
+	mu           sync.Mutex
+	fqs          []*fileQueue
+	maxRetries   int
+	retryBackoff time.Duration
+	retries      int64 // transient failures absorbed by the retry loop
 }
 
 // New opens (recovering if necessary) a catfish instance on dev.
@@ -36,7 +53,61 @@ func New(model *simclock.CostModel, dev *spdk.Device) (*Transport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Transport{model: model, dev: dev, store: store}, nil
+	return &Transport{
+		model:        model,
+		dev:          dev,
+		store:        store,
+		maxRetries:   DefaultMaxRetries,
+		retryBackoff: DefaultRetryBackoff,
+	}, nil
+}
+
+// SetRetryPolicy overrides the transient-failure retry budget (chaos
+// tests tighten it to observe give-up behaviour).
+func (t *Transport) SetRetryPolicy(maxRetries int, backoff time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.maxRetries = maxRetries
+	t.retryBackoff = backoff
+}
+
+// Retries reports how many transient device failures the retry loop has
+// absorbed.
+func (t *Transport) Retries() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.retries
+}
+
+// transient reports whether err is worth retrying: controller resets
+// clear after the controller re-initialises, injected media errors are
+// probabilistic.
+func transient(err error) bool {
+	return errors.Is(err, spdk.ErrDeviceReset) || errors.Is(err, spdk.ErrIO)
+}
+
+// retry runs op, retrying with exponential backoff while it fails
+// transiently. The blob layer's appends are idempotent on failure (the
+// tail only advances after a fully successful append), so re-running op
+// is safe. The accumulated virtual cost of every attempt is returned —
+// failed device commands still spent device time.
+func (t *Transport) retry(op func() (simclock.Lat, error)) (simclock.Lat, error) {
+	t.mu.Lock()
+	maxRetries, backoff := t.maxRetries, t.retryBackoff
+	t.mu.Unlock()
+	var total simclock.Lat
+	for attempt := 0; ; attempt++ {
+		cost, err := op()
+		total += cost
+		if err == nil || !transient(err) || attempt >= maxRetries {
+			return total, err
+		}
+		t.mu.Lock()
+		t.retries++
+		t.mu.Unlock()
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // Name implements core.Transport.
@@ -75,7 +146,13 @@ func (t *Transport) SocketUDP() (core.Endpoint, error) {
 // record stream. Reads resume from the first record (a fresh cursor per
 // open).
 func (t *Transport) Open(path string) (queue.IoQueue, error) {
-	f, _, err := t.store.Open(path)
+	var f *spdk.File
+	_, err := t.retry(func() (simclock.Lat, error) {
+		var c simclock.Lat
+		var e error
+		f, c, e = t.store.Open(path)
+		return c, e
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +195,10 @@ func (q *fileQueue) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
 		return
 	}
-	c, err := q.f.Append(s.Marshal())
+	// Transient device failures (resets, injected errors) are retried
+	// with backoff; the qtoken only fails once the budget is spent.
+	data := s.Marshal()
+	c, err := q.t.retry(func() (simclock.Lat, error) { return q.f.Append(data) })
 	if err != nil {
 		done(queue.Completion{Kind: queue.OpPush, Err: err})
 		return
@@ -156,7 +236,13 @@ func (q *fileQueue) Pump() int {
 		q.cursor++
 		q.mu.Unlock()
 
-		rec, cost, err := q.f.Read(idx)
+		var rec []byte
+		cost, err := q.t.retry(func() (simclock.Lat, error) {
+			var c simclock.Lat
+			var e error
+			rec, c, e = q.f.Read(idx)
+			return c, e
+		})
 		if err != nil {
 			w(queue.Completion{Kind: queue.OpPop, Err: err})
 			continue

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"demikernel/internal/core"
 	"demikernel/internal/fabric"
@@ -57,12 +58,52 @@ const readyByte = 0xA5
 // ErrMessageTooBig is returned when a framed SGA exceeds SlotSize.
 var ErrMessageTooBig = errors.New("catmint: message exceeds slot size")
 
+// Failure-path errors (all surfaced through qtoken completions, never by
+// hanging a Wait):
+var (
+	// ErrQPBroken is carried by completions whose work requests were
+	// flushed when the queue pair errored. The endpoint may still
+	// recover: the dialing side tears the QP down and redials with
+	// exponential backoff.
+	ErrQPBroken = errors.New("catmint: queue pair errored")
+	// ErrOpTimeout is the dead-peer detector: an operation stayed
+	// inflight past OpTimeout, so the peer (or the path to it) is gone.
+	ErrOpTimeout = errors.New("catmint: operation timed out (dead peer)")
+	// ErrPeerDead is terminal: the reconnect budget is exhausted and the
+	// endpoint will not recover.
+	ErrPeerDead = errors.New("catmint: peer unreachable (reconnect budget exhausted)")
+	// ErrReconnecting rejects pushes while a redial is in progress;
+	// callers retry after the endpoint reports Connected again.
+	ErrReconnecting = errors.New("catmint: reconnect in progress")
+)
+
+// Reconnect policy defaults.
+const (
+	// DefaultOpTimeout bounds how long a send-side work request may stay
+	// inflight before the libOS declares the peer dead. Healthy
+	// completions take microseconds of polling; two seconds only ever
+	// expires when the peer stopped answering.
+	DefaultOpTimeout = 2 * time.Second
+	// DefaultMaxReconnects bounds redial attempts per outage.
+	DefaultMaxReconnects = 6
+	// DefaultReconnectBackoff is the first redial delay; it doubles on
+	// every failed attempt.
+	DefaultReconnectBackoff = 2 * time.Millisecond
+)
+
 // Config tunes the transport.
 type Config struct {
 	MAC fabric.MAC
 	// PostedRecvs overrides DefaultPostedRecvs (experiments lower it to
 	// reproduce the RNR failure mode).
 	PostedRecvs int
+	// OpTimeout overrides DefaultOpTimeout (chaos tests shorten it so
+	// dead peers are detected quickly). Negative disables the detector.
+	OpTimeout time.Duration
+	// MaxReconnects overrides DefaultMaxReconnects.
+	MaxReconnects int
+	// ReconnectBackoff overrides DefaultReconnectBackoff.
+	ReconnectBackoff time.Duration
 }
 
 // Transport is the catmint libOS transport.
@@ -84,6 +125,8 @@ type Transport struct {
 	// stats
 	stagedCopies int64
 	zeroCopyTx   int64
+	reconnects   int64
+	opTimeouts   int64
 }
 
 type slot struct {
@@ -103,12 +146,26 @@ type pendingOp struct {
 	// operation (see remote.go) instead of the queue machinery.
 	onWC   func(rdma.WC)
 	isRead bool
+	// deadline, when non-zero, is the dead-peer detector: Transport.Poll
+	// expires the op with ErrOpTimeout once the deadline passes. Only
+	// send-side ops carry deadlines; posted receives legitimately sit
+	// idle forever.
+	deadline time.Time
 }
 
 // New attaches a catmint instance to the fabric switch.
 func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Transport {
 	if cfg.PostedRecvs <= 0 {
 		cfg.PostedRecvs = DefaultPostedRecvs
+	}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = DefaultOpTimeout
+	}
+	if cfg.MaxReconnects <= 0 {
+		cfg.MaxReconnects = DefaultMaxReconnects
+	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = DefaultReconnectBackoff
 	}
 	dev := rdma.New(model, sw, cfg.MAC)
 	t := &Transport{
@@ -155,6 +212,20 @@ func (t *Transport) ZeroCopyTx() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.zeroCopyTx
+}
+
+// Reconnects reports how many QP redials the transport has performed.
+func (t *Transport) Reconnects() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reconnects
+}
+
+// OpTimeouts reports operations expired by the dead-peer detector.
+func (t *Transport) OpTimeouts() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.opTimeouts
 }
 
 // allocSlot pops a free slot, registering a new arena when the pool is
@@ -249,13 +320,53 @@ func (t *Transport) Poll() int {
 		n++
 		t.handleSendComp(wc)
 	}
+
+	// Failure handling: expire dead-peer ops, then drive per-endpoint
+	// recovery (teardown + redial with backoff).
+	n += t.checkDeadlines()
 	t.mu.Lock()
 	eps = append(eps[:0], t.eps...)
 	t.mu.Unlock()
 	for _, ep := range eps {
+		n += ep.checkQP()
+	}
+
+	for _, ep := range eps {
 		ep.serveWaiters()
 	}
 	return n
+}
+
+// checkDeadlines is the dead-peer detector: any send-side work request
+// inflight past its deadline completes with ErrOpTimeout and breaks its
+// queue pair, which starts the reconnect machinery. A peer behind a
+// downed link never NAKs, so without this the op would hang forever.
+func (t *Transport) checkDeadlines() int {
+	now := time.Now()
+	t.mu.Lock()
+	var expired []*pendingOp
+	for id, op := range t.pending {
+		if !op.deadline.IsZero() && now.After(op.deadline) {
+			delete(t.pending, id)
+			expired = append(expired, op)
+		}
+	}
+	t.opTimeouts += int64(len(expired))
+	t.mu.Unlock()
+	for _, op := range expired {
+		if op.slot != nil {
+			t.freeSlot(op.slot)
+		}
+		if op.onWC != nil {
+			op.onWC(rdma.WC{Status: rdma.StatusQPError})
+		} else if op.done != nil {
+			op.done(queue.Completion{Kind: op.kind, Err: ErrOpTimeout})
+		}
+		if op.ep != nil {
+			op.ep.breakQP()
+		}
+	}
+	return len(expired)
 }
 
 func (t *Transport) handleRecv(wc rdma.WC) {
@@ -269,13 +380,21 @@ func (t *Transport) handleRecv(wc rdma.WC) {
 		return
 	}
 	ep := op.ep
-	// Keep the configured number of receives posted.
-	ep.postRecv()
 	if wc.Status != rdma.StatusSuccess {
+		// Flushed or failed receive: recycle the slot and record one
+		// typed error for the endpoint instead of queueing an error
+		// completion per posted buffer (a QP error flushes the whole
+		// receive window at once).
 		t.freeSlot(op.slot)
-		ep.deliver(queue.Completion{Kind: queue.OpPop, Err: fmt.Errorf("catmint: recv failed: %v", wc.Status)})
+		err := error(ErrQPBroken)
+		if wc.Status != rdma.StatusQPError {
+			err = fmt.Errorf("catmint: recv failed: %v", wc.Status)
+		}
+		ep.recvError(err)
 		return
 	}
+	// Keep the configured number of receives posted.
+	ep.postRecv()
 	data := op.slot.bytes()[:wc.Len]
 	if wc.Len == 1 && data[0] == readyByte {
 		t.freeSlot(op.slot)
@@ -319,7 +438,11 @@ func (t *Transport) handleSendComp(wc rdma.WC) {
 		return // fire-and-forget (the ready marker)
 	}
 	c := queue.Completion{Kind: queue.OpPush, Cost: op.cost + wc.Cost}
-	if wc.Status != rdma.StatusSuccess {
+	switch wc.Status {
+	case rdma.StatusSuccess:
+	case rdma.StatusQPError:
+		c.Err = ErrQPBroken // typed: caller may retry after reconnect
+	default:
 		c.Err = fmt.Errorf("catmint: send failed: %v", wc.Status)
 	}
 	op.done(c)
@@ -328,6 +451,11 @@ func (t *Transport) handleSendComp(wc rdma.WC) {
 func (t *Transport) newWRID(op *pendingOp) uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Send-side work requests get a dead-peer deadline; posted receives
+	// (kind OpPop without a one-sided callback) wait indefinitely.
+	if t.cfg.OpTimeout > 0 && (op.kind == queue.OpPush || op.onWC != nil) {
+		op.deadline = time.Now().Add(t.cfg.OpTimeout)
+	}
 	t.nextWRID++
 	t.pending[t.nextWRID] = op
 	return t.nextWRID
@@ -354,6 +482,15 @@ type endpoint struct {
 	isReady  bool        // connection fully usable (ready marker seen / sent)
 	accepted bool
 	closed   bool
+
+	// Failure / recovery state.
+	remote       core.Addr // peer address (dialing side only)
+	dialer       bool      // this side called Connect and may redial
+	reconnecting bool      // old QP torn down, redial pending or inflight
+	redialAt     time.Time // earliest time the next redial may fire
+	attempts     int       // redials since the last healthy connection
+	epErr        error     // terminal failure; nil while healthy/recovering
+	popErr       error     // one-shot error for the next pop (QP flush)
 }
 
 // Bind implements core.Endpoint.
@@ -438,6 +575,8 @@ func (e *endpoint) Connect(addr core.Addr) error {
 	qp := e.t.dev.Connect(addr.MAC, addr.Port, e.t.pd, e.t.scq, e.t.rcq)
 	e.mu.Lock()
 	e.qp = qp
+	e.remote = addr
+	e.dialer = true
 	e.mu.Unlock()
 	e.t.adopt(e, qp.Num())
 	for i := 0; i < e.t.cfg.PostedRecvs; i++ {
@@ -453,10 +592,156 @@ func (e *endpoint) Connected() bool {
 	return e.isReady && e.qp != nil && e.qp.Connected()
 }
 
+// Err implements core.Endpoint: non-nil once the endpoint has failed for
+// good (reconnect budget exhausted, or a server-side QP died — only the
+// dialing side knows the address to redial).
+func (e *endpoint) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epErr
+}
+
 func (e *endpoint) markReady() {
 	e.mu.Lock()
 	e.isReady = true
+	e.attempts = 0 // healthy again: reset the reconnect budget
+	e.reconnecting = false
+	e.popErr = nil // errors of the dead incarnation die with it
 	e.mu.Unlock()
+}
+
+// breakQP tears the endpoint's queue pair down after a failure and arms
+// the redial timer (dialing side) or records the terminal error (server
+// side). Safe to call repeatedly.
+func (e *endpoint) breakQP() {
+	e.mu.Lock()
+	qp := e.qp
+	if qp == nil || e.closed || e.reconnecting || e.epErr != nil {
+		e.mu.Unlock()
+		return
+	}
+	e.qp = nil
+	e.isReady = false
+	// The broken incarnation's undelivered data dies with it: a response
+	// whose request already failed must not be served to a later pop
+	// (classic off-by-one desync). Slots recycle; the stream restarts
+	// clean after the redial.
+	stale := e.ready
+	e.ready = nil
+	e.popErr = nil
+	if e.dialer {
+		e.reconnecting = true
+		backoff := e.t.cfg.ReconnectBackoff << e.attempts
+		e.redialAt = time.Now().Add(backoff)
+	} else {
+		// The accepting side cannot redial (the dialer owns the
+		// address); the connection is gone for good. The application's
+		// accept loop will pick up the replacement connection.
+		e.epErr = ErrQPBroken
+	}
+	e.mu.Unlock()
+	for _, c := range stale {
+		c.SGA.Free()
+	}
+	qp.Destroy() // flushes remaining WRs; completions surface via CQs
+	if err := e.Err(); err != nil {
+		e.failWaiters(err)
+	} else {
+		e.failWaiters(ErrReconnecting)
+	}
+}
+
+// checkQP drives failure detection and recovery for one endpoint from
+// Transport.Poll: notice errored QPs, and fire pending redials once
+// their backoff expires.
+func (e *endpoint) checkQP() int {
+	e.mu.Lock()
+	qp := e.qp
+	closed := e.closed
+	reconnecting := e.reconnecting
+	redialAt := e.redialAt
+	e.mu.Unlock()
+	if closed {
+		return 0
+	}
+	if !reconnecting && qp != nil && qp.Errored() {
+		e.breakQP()
+		return 1
+	}
+	if !reconnecting || time.Now().Before(redialAt) {
+		return 0
+	}
+	return e.redial()
+}
+
+// redial dials a replacement QP, or gives up with ErrPeerDead once the
+// attempt budget is spent. The endpoint counts attempts from the moment
+// the redial fires; success is only declared when the peer's ready
+// marker arrives (markReady), which also resets the budget.
+func (e *endpoint) redial() int {
+	e.mu.Lock()
+	if e.closed || e.epErr != nil || !e.reconnecting {
+		e.mu.Unlock()
+		return 0
+	}
+	if e.attempts >= e.t.cfg.MaxReconnects {
+		e.epErr = ErrPeerDead
+		e.reconnecting = false
+		e.mu.Unlock()
+		e.failWaiters(ErrPeerDead)
+		return 0
+	}
+	e.attempts++
+	attempt := e.attempts
+	remote := e.remote
+	old := e.qp
+	e.qp = nil
+	e.mu.Unlock()
+	if old != nil {
+		old.Destroy() // previous redial attempt died too
+	}
+
+	qp := e.t.dev.Connect(remote.MAC, remote.Port, e.t.pd, e.t.scq, e.t.rcq)
+	e.mu.Lock()
+	e.qp = qp
+	// Arm the next backoff now: if this attempt dies too, checkQP
+	// redials after the (doubled) delay without extra bookkeeping.
+	e.redialAt = time.Now().Add(e.t.cfg.ReconnectBackoff << attempt)
+	e.mu.Unlock()
+	e.t.mu.Lock()
+	e.t.reconnects++
+	e.t.byQPN[qp.Num()] = e
+	e.t.mu.Unlock()
+	for i := 0; i < e.t.cfg.PostedRecvs; i++ {
+		e.postRecv()
+	}
+	return 1
+}
+
+// recvError records a flushed/failed receive: waiting pops fail now;
+// otherwise one error completion is held for the next pop so a single QP
+// flush does not flood the ready queue.
+func (e *endpoint) recvError(err error) {
+	e.mu.Lock()
+	ws := e.waiters
+	e.waiters = nil
+	if len(ws) == 0 {
+		e.popErr = err
+	}
+	e.mu.Unlock()
+	for _, w := range ws {
+		w(queue.Completion{Kind: queue.OpPop, Err: err})
+	}
+}
+
+func (e *endpoint) failWaiters(err error) {
+	e.mu.Lock()
+	ws := e.waiters
+	e.waiters = nil
+	e.mu.Unlock()
+	for _, w := range ws {
+		w(queue.Completion{Kind: queue.OpPop, Err: err})
+	}
 }
 
 func (e *endpoint) sendReadyMarker() {
@@ -472,7 +757,7 @@ func (e *endpoint) postRecv() {
 	qp := e.qp
 	closed := e.closed
 	e.mu.Unlock()
-	if qp == nil || closed {
+	if qp == nil || closed || qp.Errored() {
 		return
 	}
 	sl := e.t.allocSlot()
@@ -487,8 +772,20 @@ func (e *endpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 	e.mu.Lock()
 	qp := e.qp
 	closed := e.closed
+	epErr := e.epErr
+	reconnecting := e.reconnecting
 	e.mu.Unlock()
-	if closed || qp == nil {
+	switch {
+	case closed:
+		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
+		return
+	case epErr != nil:
+		done(queue.Completion{Kind: queue.OpPush, Err: epErr})
+		return
+	case reconnecting:
+		done(queue.Completion{Kind: queue.OpPush, Err: ErrReconnecting})
+		return
+	case qp == nil:
 		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
 		return
 	}
@@ -546,6 +843,27 @@ func (e *endpoint) Pop(done queue.DoneFunc) {
 		e.ready = e.ready[1:]
 		e.mu.Unlock()
 		done(c)
+		return
+	}
+	if e.popErr != nil {
+		err := e.popErr
+		e.popErr = nil
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: err})
+		return
+	}
+	if e.epErr != nil {
+		err := e.epErr
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: err})
+		return
+	}
+	if e.reconnecting {
+		// No QP exists while the redial is in flight, so nothing can
+		// arrive: fail fast rather than queue a waiter that would
+		// outlive the outage and steal the first post-heal delivery.
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: ErrReconnecting})
 		return
 	}
 	e.waiters = append(e.waiters, done)

@@ -193,6 +193,11 @@ func (e *endpoint) Connected() bool {
 	return fd >= 0 && e.t.k.Connected(fd)
 }
 
+// Err implements core.Endpoint. The in-kernel stack owns failure
+// detection for catnap sockets and reports errors through syscall
+// results, so the endpoint itself never carries a terminal error.
+func (e *endpoint) Err() error { return nil }
+
 // Push implements queue.IoQueue. Unlike catnip, every pushed byte pays
 // the syscall and user→kernel copy inside kernel.Send.
 func (e *endpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {

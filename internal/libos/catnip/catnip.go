@@ -13,6 +13,7 @@ package catnip
 import (
 	"io"
 	"sync"
+	"time"
 
 	"demikernel/internal/core"
 	"demikernel/internal/fabric"
@@ -44,6 +45,18 @@ type Config struct {
 	// for plain catnip; the E6 experiment sets it to the POSIX
 	// emulation tax to model an mTCP-style stack.
 	PerPacketExtra simclock.Lat
+	// MemCapacity caps the bytes of pinned (device-registered) memory
+	// the libOS may create. When staging a push would exceed it the
+	// push completes with membuf.ErrNoMem — visible backpressure
+	// instead of unbounded pinning. Zero means unbounded.
+	MemCapacity int64
+	// RTO overrides the stack's initial TCP retransmission timeout
+	// (chaos tests shorten it so give-ups land inside the fault
+	// window). Zero keeps the netstack default.
+	RTO time.Duration
+	// MaxRetransmits overrides the stack's consecutive-retransmit cap
+	// before a connection gives up. Zero keeps the netstack default.
+	MaxRetransmits int
 }
 
 // New attaches a catnip instance (NIC + user stack + memory manager) to
@@ -53,8 +66,14 @@ func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Transport {
 	stack := netstack.New(model, dev, netstack.Config{
 		IP:             cfg.IP,
 		PerPacketExtra: cfg.PerPacketExtra,
+		RTO:            cfg.RTO,
+		MaxRetransmits: cfg.MaxRetransmits,
 	})
-	mem := membuf.NewManager(model)
+	var opts []membuf.Option
+	if cfg.MemCapacity > 0 {
+		opts = append(opts, membuf.WithCapacity(cfg.MemCapacity))
+	}
+	mem := membuf.NewManager(model, opts...)
 	mem.AttachDevice(dev) // transparent registration (§4.5)
 	return &Transport{model: model, dev: dev, stack: stack, mem: mem}
 }
@@ -85,9 +104,14 @@ func (t *Transport) Stack() *netstack.Stack { return t.stack }
 func (t *Transport) Memory() *membuf.Manager { return t.mem }
 
 // AllocSGA implements core.Transport: buffers come from device-registered
-// slab regions and free back into them.
+// slab regions and free back into them. When a configured memory cap is
+// exhausted the allocation falls back to unregistered heap memory; the
+// later push then reports ErrNoMem backpressure from its staging step.
 func (t *Transport) AllocSGA(n int) sga.SGA {
-	buf := t.mem.Alloc(n)
+	buf, err := t.mem.TryAlloc(n)
+	if err != nil {
+		return sga.New(make([]byte, n))
+	}
 	s := sga.New(buf.Bytes()).WithFree(buf.Free)
 	s.Reg = buf
 	return s
@@ -150,6 +174,7 @@ type endpoint struct {
 
 type txFrame struct {
 	data []byte
+	buf  *membuf.Buffer // registered staging buffer backing data
 	cost simclock.Lat
 	done queue.DoneFunc
 	sent int
@@ -219,6 +244,20 @@ func (e *endpoint) Connected() bool {
 	return conn != nil && conn.Established()
 }
 
+// Err implements core.Endpoint: it surfaces a terminal failure detected
+// by the user-level TCP stack (dead peer after the retransmission budget
+// is spent, or a connect that never completed). Healthy endpoints return
+// nil.
+func (e *endpoint) Err() error {
+	e.mu.Lock()
+	conn := e.conn
+	e.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Err()
+}
+
 // Push implements queue.IoQueue: the SGA is framed and handed to the TCP
 // send path; the completion fires when the transport has accepted every
 // byte. No payload copy is charged — the device DMAs from the framed
@@ -230,7 +269,24 @@ func (e *endpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
 		return
 	}
-	e.txq = append(e.txq, txFrame{data: s.Marshal(), cost: cost, done: done})
+	e.mu.Unlock()
+	// Stage the framed SGA in device-registered memory (the NIC DMAs
+	// from it). Under a configured memory cap, exhaustion surfaces here
+	// as an ErrNoMem push completion — backpressure, not a panic.
+	buf, err := e.t.mem.TryAlloc(s.MarshalledSize())
+	if err != nil {
+		done(queue.Completion{Kind: queue.OpPush, Err: err})
+		return
+	}
+	data := s.AppendMarshal(buf.Bytes()[:0])
+	e.mu.Lock()
+	if e.closed || e.conn == nil {
+		e.mu.Unlock()
+		buf.Free()
+		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
+		return
+	}
+	e.txq = append(e.txq, txFrame{data: data, buf: buf, cost: cost, done: done})
 	e.mu.Unlock()
 	e.Pump()
 }
@@ -268,6 +324,12 @@ func (e *endpoint) Pump() int {
 	n := 0
 	n += e.flushTx(conn)
 	n += e.drainRx(conn)
+	if err := conn.Err(); err != nil {
+		// The stack declared the connection dead (max retransmits /
+		// connect timeout). Every outstanding qtoken must complete with
+		// the typed error rather than hang until the Wait deadline.
+		e.failAll(err)
+	}
 	e.serveWaiters()
 	return n
 }
@@ -280,9 +342,12 @@ func (e *endpoint) flushTx(conn *netstack.TCPConn) int {
 		f := &e.txq[0]
 		sent, err := conn.Send(f.data[f.sent:], f.cost)
 		if err != nil {
-			done := f.done
+			done, buf := f.done, f.buf
 			e.txq = e.txq[1:]
 			e.mu.Unlock()
+			if buf != nil {
+				buf.Free()
+			}
 			done(queue.Completion{Kind: queue.OpPush, Err: err})
 			e.mu.Lock()
 			continue
@@ -292,10 +357,13 @@ func (e *endpoint) flushTx(conn *netstack.TCPConn) int {
 		if f.sent < len(f.data) {
 			break // TCP send buffer full; retry on a later pump
 		}
-		done := f.done
+		done, buf := f.done, f.buf
 		cost := f.cost
 		e.txq = e.txq[1:]
 		e.mu.Unlock()
+		if buf != nil {
+			buf.Free() // TCP copied the bytes; staging slot recycles
+		}
 		done(queue.Completion{Kind: queue.OpPush, Cost: cost})
 		e.mu.Lock()
 	}
@@ -345,6 +413,27 @@ func (e *endpoint) serveWaiters() {
 		e.ready = e.ready[1:]
 		e.mu.Unlock()
 		w(c)
+	}
+}
+
+// failAll fails every queued pop waiter and every pending push with err:
+// the dead-peer path. Unsent tx frames can never be delivered once the
+// stack has given up, so their pushes fail too.
+func (e *endpoint) failAll(err error) {
+	e.mu.Lock()
+	ws := e.waiters
+	e.waiters = nil
+	txq := e.txq
+	e.txq = nil
+	e.mu.Unlock()
+	for _, w := range ws {
+		w(queue.Completion{Kind: queue.OpPop, Err: err})
+	}
+	for _, f := range txq {
+		if f.buf != nil {
+			f.buf.Free()
+		}
+		f.done(queue.Completion{Kind: queue.OpPush, Err: err})
 	}
 }
 

@@ -92,6 +92,10 @@ func (e *udpEndpoint) Connected() bool {
 	return e.havePeer
 }
 
+// Err implements core.Endpoint; datagram sockets are connectionless and
+// carry no terminal transport failure.
+func (e *udpEndpoint) Err() error { return nil }
+
 // Push implements queue.IoQueue: one SGA becomes one datagram.
 func (e *udpEndpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 	e.mu.Lock()

@@ -21,6 +21,7 @@
 package membuf
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -28,6 +29,12 @@ import (
 
 	"demikernel/internal/simclock"
 )
+
+// ErrNoMem is returned by TryAlloc when the optional capacity cap is
+// reached: all registered memory is pinned by live buffers. Transports
+// surface it through push completions, turning pool exhaustion into
+// visible backpressure instead of unbounded region growth.
+var ErrNoMem = errors.New("membuf: registered-memory capacity exhausted")
 
 // RegistrationSink is implemented by simulated kernel-bypass devices that
 // need to learn about DMA-able memory regions (IOMMU programming, rkey
@@ -55,6 +62,7 @@ type Stats struct {
 	DeferredFrees    int64        // frees deferred by free-protection
 	DoubleFrees      int64        // application double-free attempts
 	LiveBuffers      int64        // currently outstanding buffers
+	NoMemFailures    int64        // TryAllocs rejected by the capacity cap
 }
 
 // Manager is a region-based slab allocator with transparent device
@@ -63,6 +71,7 @@ type Manager struct {
 	model      *simclock.CostModel
 	regionSize int
 	classes    []int
+	capacity   int64 // max pinned bytes; 0 = unbounded
 
 	mu      sync.Mutex
 	devices []RegistrationSink
@@ -93,6 +102,14 @@ func WithSizeClasses(classes []int) Option {
 		sort.Ints(cs)
 		m.classes = cs
 	}
+}
+
+// WithCapacity caps the total bytes of pinned (registered) memory the
+// manager may create. When a TryAlloc would need a new region past the
+// cap, it fails with ErrNoMem — the backpressure signal. Zero means
+// unbounded (the pre-cap behaviour).
+func WithCapacity(maxBytes int64) Option {
+	return func(m *Manager) { m.capacity = maxBytes }
 }
 
 // NewManager returns a memory manager charging costs against model.
@@ -141,10 +158,23 @@ func (m *Manager) sizeClass(n int) (int, bool) {
 
 // Alloc returns a buffer of at least n usable bytes from registered
 // memory. Alloc never returns nil; it panics on non-positive sizes, which
-// indicate a caller bug.
+// indicate a caller bug, and on capacity exhaustion when a cap was
+// configured — callers that want backpressure instead use TryAlloc.
 func (m *Manager) Alloc(n int) *Buffer {
+	b, err := m.TryAlloc(n)
+	if err != nil {
+		panic(fmt.Sprintf("membuf: Alloc(%d): %v (use TryAlloc with WithCapacity)", n, err))
+	}
+	return b
+}
+
+// TryAlloc returns a buffer of at least n usable bytes from registered
+// memory, or ErrNoMem when the configured capacity cap leaves no room
+// for a new region. It panics on non-positive sizes, which indicate a
+// caller bug.
+func (m *Manager) TryAlloc(n int) (*Buffer, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("membuf: Alloc(%d)", n))
+		panic(fmt.Sprintf("membuf: TryAlloc(%d)", n))
 	}
 	class, slabbed := m.sizeClass(n)
 
@@ -152,50 +182,59 @@ func (m *Manager) Alloc(n int) *Buffer {
 	defer m.mu.Unlock()
 
 	if slabbed {
-		if list := m.free[class]; len(list) > 0 {
-			b := list[len(list)-1]
-			m.free[class] = list[:len(list)-1]
-			b.reset(n)
-			m.stats.Allocs++
-			m.stats.LiveBuffers++
-			return b
+		if list := m.free[class]; len(list) == 0 {
+			if err := m.carveRegionLocked(class); err != nil {
+				m.stats.NoMemFailures++
+				return nil, err
+			}
 		}
-		m.carveRegionLocked(class)
 		list := m.free[class]
 		b := list[len(list)-1]
 		m.free[class] = list[:len(list)-1]
 		b.reset(n)
 		m.stats.Allocs++
 		m.stats.LiveBuffers++
-		return b
+		return b, nil
 	}
 
 	// Oversized allocation: dedicated region, not recycled through a
 	// free list (it is returned whole on final release).
-	r := m.newRegionLocked(n)
+	r, err := m.newRegionLocked(n)
+	if err != nil {
+		m.stats.NoMemFailures++
+		return nil, err
+	}
 	b := &Buffer{mgr: m, class: class, data: r.mem[:n], full: r.mem}
 	b.refs.Store(1)
 	m.stats.Allocs++
 	m.stats.LiveBuffers++
-	return b
+	return b, nil
 }
 
 // carveRegionLocked creates a region and slices it into free buffers of
 // the given class.
-func (m *Manager) carveRegionLocked(class int) {
+func (m *Manager) carveRegionLocked(class int) error {
 	size := m.regionSize
 	if size < class {
 		size = class
 	}
-	r := m.newRegionLocked(size)
+	r, err := m.newRegionLocked(size)
+	if err != nil {
+		return err
+	}
 	for off := 0; off+class <= len(r.mem); off += class {
 		full := r.mem[off : off+class : off+class]
 		b := &Buffer{mgr: m, class: class, data: full, full: full}
 		m.free[class] = append(m.free[class], b)
 	}
+	return nil
 }
 
-func (m *Manager) newRegionLocked(size int) *region {
+func (m *Manager) newRegionLocked(size int) (*region, error) {
+	if m.capacity > 0 && m.stats.PinnedBytes+int64(size) > m.capacity {
+		return nil, fmt.Errorf("%w: pinned %d + region %d > cap %d",
+			ErrNoMem, m.stats.PinnedBytes, size, m.capacity)
+	}
 	m.nextID++
 	r := &region{id: m.nextID, mem: make([]byte, size)}
 	m.regions = append(m.regions, r)
@@ -204,7 +243,7 @@ func (m *Manager) newRegionLocked(size int) *region {
 	for _, dev := range m.devices {
 		m.registerLocked(dev, r)
 	}
-	return r
+	return r, nil
 }
 
 // Stats returns a snapshot of the manager's counters.

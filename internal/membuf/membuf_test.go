@@ -272,3 +272,149 @@ func TestPropNoOverlappingBuffers(t *testing.T) {
 func addrOf(p *byte) uintptr {
 	return uintptr(unsafe.Pointer(p))
 }
+
+// --- capacity cap (backpressure) tests ---
+
+func TestCapacityCapExhaustion(t *testing.T) {
+	// One 4 KiB region is all the cap allows: allocations succeed until
+	// the region is full, then TryAlloc reports typed backpressure.
+	m := newTestManager(WithRegionSize(4096), WithSizeClasses([]int{1024}), WithCapacity(4096))
+	var bufs []*Buffer
+	for {
+		b, err := m.TryAlloc(1024)
+		if err != nil {
+			break
+		}
+		bufs = append(bufs, b)
+	}
+	if len(bufs) != 4 {
+		t.Fatalf("allocated %d buffers from a 4x1KiB cap, want 4", len(bufs))
+	}
+	if _, err := m.TryAlloc(1024); err == nil || err != ErrNoMem && !isNoMem(err) {
+		t.Fatalf("alloc past cap: %v, want ErrNoMem", err)
+	}
+	if m.Stats().NoMemFailures == 0 {
+		t.Fatal("NoMemFailures never counted")
+	}
+	// Backpressure clears once the application frees: the pool recycles
+	// without pinning new memory.
+	bufs[0].Free()
+	b, err := m.TryAlloc(1024)
+	if err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+	b.Free()
+	if got := m.Stats().PinnedBytes; got != 4096 {
+		t.Fatalf("pinned %d bytes, want exactly the 4096 cap", got)
+	}
+}
+
+func isNoMem(err error) bool {
+	for ; err != nil; err = unwrap(err) {
+		if err == ErrNoMem {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+func TestCapacityCapDoubleFreeDoesNotFreeCapacity(t *testing.T) {
+	// A double free must not trick the pool into handing the same slot
+	// to two owners under memory pressure.
+	m := newTestManager(WithRegionSize(2048), WithSizeClasses([]int{1024}), WithCapacity(2048))
+	a, err := m.TryAlloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free()
+	a.Free() // double free: counted, ignored
+	if m.Stats().DoubleFrees != 1 {
+		t.Fatalf("DoubleFrees = %d, want 1", m.Stats().DoubleFrees)
+	}
+	b1, err1 := m.TryAlloc(1024)
+	b2, err2 := m.TryAlloc(1024)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("allocs after double free: %v %v", err1, err2)
+	}
+	if &b1.Bytes()[0] == &b2.Bytes()[0] {
+		t.Fatal("double free produced two owners of the same slot")
+	}
+}
+
+func TestCapacityCapUseAfterFreeProtection(t *testing.T) {
+	// Free-protection must hold even at the capacity limit: a buffer
+	// freed while the (simulated) device still holds it is deferred, so
+	// the slot cannot recycle into a new owner mid-DMA.
+	m := newTestManager(WithRegionSize(1024), WithSizeClasses([]int{1024}), WithCapacity(1024))
+	b, err := m.TryAlloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.HoldForIO()
+	b.Free() // deferred: the device still references the memory
+	if _, err := m.TryAlloc(1024); err == nil {
+		t.Fatal("slot recycled while the device still held it")
+	}
+	if m.Stats().DeferredFrees != 1 {
+		t.Fatalf("DeferredFrees = %d, want 1", m.Stats().DeferredFrees)
+	}
+	b.ReleaseFromIO() // DMA done: the deferred free completes now
+	c, err := m.TryAlloc(1024)
+	if err != nil {
+		t.Fatalf("alloc after I/O release: %v", err)
+	}
+	c.Free()
+}
+
+func TestCapacityCapConcurrentChurn(t *testing.T) {
+	// Hammer a tiny capped pool from many goroutines (run under -race):
+	// every goroutine either gets a buffer it exclusively owns or a
+	// typed ErrNoMem — never a torn slot.
+	m := newTestManager(WithRegionSize(4096), WithSizeClasses([]int{512}), WithCapacity(8192))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				b, err := m.TryAlloc(512)
+				if err != nil {
+					continue // backpressure: typed, retry later
+				}
+				// Exclusive ownership: scribble and verify.
+				pat := byte(g)<<4 | byte(i&0xF)
+				for j := range b.Bytes() {
+					b.Bytes()[j] = pat
+				}
+				if rng.Intn(4) == 0 {
+					b.HoldForIO()
+					b.ReleaseFromIO()
+				}
+				for j := range b.Bytes() {
+					if b.Bytes()[j] != pat {
+						t.Errorf("slot torn: byte %d", j)
+						break
+					}
+				}
+				b.Free()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.PinnedBytes > 8192 {
+		t.Fatalf("pinned %d bytes past the 8192 cap", st.PinnedBytes)
+	}
+	if st.LiveBuffers != 0 {
+		t.Fatalf("%d buffers leaked", st.LiveBuffers)
+	}
+}

@@ -22,6 +22,13 @@ type Config struct {
 	// RTO is the initial TCP retransmission timeout (default 20 ms;
 	// short because the simulated fabric has microsecond delays).
 	RTO time.Duration
+	// MaxRetransmits caps how many consecutive times one segment (or
+	// SYN) is retransmitted before the connection gives up with
+	// ErrMaxRetransmits (default 8). Without the cap, a partitioned
+	// peer keeps the connection retrying forever — the silent hang a
+	// kernel-bypass stack must not have, because nobody below it will
+	// time the peer out (§2: failure handling is the library's job).
+	MaxRetransmits int
 	// PerPacketExtra is an additional per-packet processing cost. A
 	// plain Demikernel libOS leaves it zero; the mTCP-style
 	// POSIX-preserving configuration (§6) charges the POSIX emulation
@@ -46,6 +53,9 @@ type Stats struct {
 	NoListener      int64
 	RSTsSent        int64
 	RSTsRcvd        int64
+	// GiveUps counts connections terminated by the retransmission cap
+	// or the connect timeout (dead-peer detections).
+	GiveUps int64
 }
 
 // Errors returned by the stack.
@@ -54,6 +64,14 @@ var (
 	ErrConnClosed     = errors.New("netstack: connection closed")
 	ErrBufferFull     = errors.New("netstack: send buffer full")
 	ErrNotEstablished = errors.New("netstack: not established")
+	// ErrMaxRetransmits is the terminal error of an established
+	// connection whose peer stopped acknowledging: the retransmission
+	// cap was exhausted (dead-peer detection).
+	ErrMaxRetransmits = errors.New("netstack: peer unresponsive (max retransmits exceeded)")
+	// ErrConnectTimeout is the terminal error of a connection attempt
+	// whose SYN (or SYN|ACK) was never answered within the retransmit
+	// budget.
+	ErrConnectTimeout = errors.New("netstack: connection establishment timed out")
 )
 
 type connKey struct {
@@ -99,6 +117,9 @@ func New(model *simclock.CostModel, dev *nic.Device, cfg Config) *Stack {
 	}
 	if cfg.RTO <= 0 {
 		cfg.RTO = 20 * time.Millisecond
+	}
+	if cfg.MaxRetransmits <= 0 {
+		cfg.MaxRetransmits = 8
 	}
 	return &Stack{
 		model:      model,

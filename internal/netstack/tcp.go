@@ -89,6 +89,7 @@ type TCPConn struct {
 	dupAcks        int
 	rto            time.Duration
 	rtoDeadline    time.Time
+	retries        int // consecutive timer-driven retransmits
 	txCost         simclock.Lat
 	finQueued      bool
 	finSent        bool
@@ -320,6 +321,7 @@ func (c *TCPConn) handleSegmentLocked(seg tcpSegment, cost simclock.Lat) {
 			c.rcvNxt = seg.seq + 1
 			c.peerWnd = int(seg.window)
 			c.state = stateEstablished
+			c.retries = 0
 			c.clearTimerLocked()
 			c.sendAckLocked()
 			c.trySendLocked()
@@ -330,6 +332,7 @@ func (c *TCPConn) handleSegmentLocked(seg tcpSegment, cost simclock.Lat) {
 			c.sndUna = seg.ack
 			c.peerWnd = int(seg.window)
 			c.state = stateEstablished
+			c.retries = 0
 			c.clearTimerLocked()
 			if l := c.pendingListener; l != nil && !l.closed {
 				l.backlog = append(l.backlog, c)
@@ -342,6 +345,12 @@ func (c *TCPConn) handleSegmentLocked(seg tcpSegment, cost simclock.Lat) {
 	case stateClosed:
 		return
 	}
+
+	// Any valid segment from the peer proves it is alive: the
+	// retransmission budget tracks dead peers, not slow ones (a closed
+	// receive window answered by probe ACKs must not kill the
+	// connection).
+	c.retries = 0
 
 	c.processAckLocked(seg)
 	c.processDataLocked(seg, cost)
@@ -366,6 +375,7 @@ func (c *TCPConn) processAckLocked(seg tcpSegment) {
 		c.sndBuf = c.sndBuf[:copy(c.sndBuf, c.sndBuf[dataAcked:])]
 		c.sndUna = seg.ack
 		c.dupAcks = 0
+		c.retries = 0 // forward progress: the peer is alive
 		c.rto = c.stack.cfg.RTO
 		// Congestion control: slow start then AIMD (RFC 5681 shape).
 		if c.cwnd < c.ssthresh {
@@ -561,6 +571,25 @@ func (c *TCPConn) trySendLocked() {
 
 // --- timers ---
 
+// giveUpLocked terminates a connection whose retransmission budget is
+// exhausted: SYN-phase failures become ErrConnectTimeout, established
+// ones ErrMaxRetransmits. The error is terminal and observable through
+// Err/Send/Recv, which is how the libOS above turns it into a failed
+// qtoken instead of a hang.
+func (c *TCPConn) giveUpLocked() {
+	s := c.stack
+	s.stats.GiveUps++
+	switch c.state {
+	case stateSynSent, stateSynRcvd:
+		c.err = ErrConnectTimeout
+	default:
+		c.err = ErrMaxRetransmits
+	}
+	c.state = stateClosed
+	c.clearTimerLocked()
+	delete(s.conns, c.key)
+}
+
 func (c *TCPConn) armTimerLocked() {
 	c.rtoDeadline = c.stack.now().Add(c.rto)
 }
@@ -576,6 +605,14 @@ func (s *Stack) tickTimersLocked() {
 		if c.rtoDeadline.IsZero() || now.Before(c.rtoDeadline) {
 			continue
 		}
+		// Retransmission budget: a timer firing MaxRetransmits times in a
+		// row without forward progress means the peer is gone. Surface a
+		// terminal, typed error instead of retrying into the void.
+		if c.retries >= s.cfg.MaxRetransmits {
+			c.giveUpLocked()
+			continue
+		}
+		c.retries++
 		s.stats.Retransmits++
 		mss := s.cfg.MSS
 		switch c.state {

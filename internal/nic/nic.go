@@ -104,6 +104,10 @@ func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Device {
 // MAC returns the device's hardware address.
 func (d *Device) MAC() fabric.MAC { return d.cfg.MAC }
 
+// PortID returns the fabric port this NIC is attached to, the handle
+// chaos schedules use to target the device's link.
+func (d *Device) PortID() int { return d.port.ID() }
+
 // NumRxQueues returns the configured receive-queue count.
 func (d *Device) NumRxQueues() int { return d.cfg.RxQueues }
 

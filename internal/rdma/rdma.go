@@ -189,6 +189,11 @@ type Stats struct {
 	LenNaks         int64
 	AccessNaks      int64
 	QPErrors        int64
+	// IcrcDrops counts inbound frames discarded because the invariant
+	// CRC trailer did not match: corruption on the wire. The dropped
+	// frame leaves a PSN gap, so the next frame moves the QP to the
+	// error state — corruption is never silent.
+	IcrcDrops int64
 }
 
 // qpState is the queue-pair lifecycle.
@@ -237,6 +242,55 @@ func (qp *QP) Connected() bool {
 	qp.dev.mu.Lock()
 	defer qp.dev.mu.Unlock()
 	return qp.state == qpReady
+}
+
+// Errored reports whether the queue pair has entered the error state
+// (sequence break, corrupted frame gap, or peer-side teardown). An
+// errored QP never recovers; libOSes tear it down and dial a new one.
+func (qp *QP) Errored() bool {
+	qp.dev.mu.Lock()
+	defer qp.dev.mu.Unlock()
+	return qp.state == qpError
+}
+
+// Destroy tears the queue pair down: every outstanding work request is
+// flushed to its completion queue with StatusQPError and the QP number
+// is released. LibOS reconnect paths call it before dialing a
+// replacement QP.
+func (qp *QP) Destroy() {
+	d := qp.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if qp.state != qpError {
+		qp.state = qpError
+		qp.flushLocked()
+	}
+	delete(d.qps, qp.num)
+}
+
+// flushLocked completes every outstanding work request with
+// StatusQPError, mirroring how a real RC QP in the error state flushes
+// its send and receive queues. Posted receives complete too, so a libOS
+// waiting on pops learns about the failure instead of hanging.
+func (qp *QP) flushLocked() {
+	for psn, pend := range qp.inflight {
+		delete(qp.inflight, psn)
+		qp.sendCQ.pushLocked(WC{WRID: pend.wrID, QPNum: qp.num, Op: pend.op, Status: StatusQPError, Len: pend.n})
+	}
+	for _, wr := range qp.recvQ {
+		qp.recvCQ.pushLocked(WC{WRID: wr.wrID, QPNum: qp.num, Op: OpRecv, Status: StatusQPError})
+	}
+	qp.recvQ = nil
+}
+
+// errorQPLocked moves qp to the error state and flushes its work queues.
+func (d *Device) errorQPLocked(qp *QP) {
+	if qp.state == qpError {
+		return
+	}
+	qp.state = qpError
+	d.stats.QPErrors++
+	qp.flushLocked()
 }
 
 // PostedRecvs returns the number of currently posted receive buffers.
@@ -299,6 +353,10 @@ func New(model *simclock.CostModel, sw *fabric.Switch, mac fabric.MAC) *Device {
 
 // MAC returns the device address.
 func (d *Device) MAC() fabric.MAC { return d.mac }
+
+// PortID returns the fabric port this device is attached to, the handle
+// chaos schedules use to target the device's link.
+func (d *Device) PortID() int { return d.port.ID() }
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {

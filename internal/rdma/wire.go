@@ -2,6 +2,7 @@ package rdma
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 
 	"demikernel/internal/fabric"
 	"demikernel/internal/simclock"
@@ -32,15 +33,19 @@ const (
 )
 
 // send frames a transport message to mac. The header is:
-// opcode(1) dstQPN(4), followed by an opcode-specific payload.
+// opcode(1) dstQPN(4), followed by an opcode-specific payload and a
+// 4-byte invariant CRC trailer (RoCE's ICRC): the receiver discards any
+// frame whose trailer does not match, so wire corruption surfaces as a
+// PSN gap instead of silently corrupted application data.
 func (d *Device) send(mac fabric.MAC, opcode byte, dstQPN uint32, payload []byte, cost simclock.Lat) {
-	frame := make([]byte, 0, 14+5+len(payload))
+	frame := make([]byte, 0, 14+5+len(payload)+4)
 	frame = append(frame, mac[:]...)
 	frame = append(frame, d.mac[:]...)
 	frame = binary.BigEndian.AppendUint16(frame, etherTypeRDMA)
 	frame = append(frame, opcode)
 	frame = binary.BigEndian.AppendUint32(frame, dstQPN)
 	frame = append(frame, payload...)
+	frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
 	d.port.Send(fabric.Frame{Data: frame, Cost: cost + d.model.NICProcessNS})
 }
 
@@ -60,17 +65,27 @@ func (d *Device) Poll() int {
 
 func (d *Device) handleFrame(f fabric.Frame) {
 	data := f.Data
-	if len(data) < 19 {
+	if len(data) < 19+4 {
 		return
 	}
 	if binary.BigEndian.Uint16(data[12:14]) != etherTypeRDMA {
+		return
+	}
+	// ICRC check: corrupted frames are dropped before any transport
+	// processing. The resulting PSN gap errors the QP on the next valid
+	// frame — exactly how a RoCE NIC reacts to a lossy fabric.
+	crcOff := len(data) - 4
+	if crc32.ChecksumIEEE(data[:crcOff]) != binary.BigEndian.Uint32(data[crcOff:]) {
+		d.mu.Lock()
+		d.stats.IcrcDrops++
+		d.mu.Unlock()
 		return
 	}
 	var srcMAC fabric.MAC
 	copy(srcMAC[:], data[6:12])
 	opcode := data[14]
 	dstQPN := binary.BigEndian.Uint32(data[15:19])
-	body := data[19:]
+	body := data[19:crcOff]
 	cost := f.Cost + d.model.NICProcessNS
 
 	d.mu.Lock()
@@ -133,8 +148,7 @@ func (d *Device) handleConnRespLocked(dstQPN uint32, body []byte) {
 // retries.
 func (d *Device) checkPSNLocked(qp *QP, srcMAC fabric.MAC, psn uint32) bool {
 	if psn != qp.recvPSN {
-		qp.state = qpError
-		d.stats.QPErrors++
+		d.errorQPLocked(qp)
 		d.send(srcMAC, opNak, qp.remoteQPN, nakPayload(psn, nakQPErr), 0)
 		return false
 	}
@@ -151,11 +165,17 @@ func (d *Device) handleSendLocked(srcMAC fabric.MAC, dstQPN uint32, body []byte,
 	if len(body) < 4 {
 		return
 	}
+	psn := binary.BigEndian.Uint32(body[0:4])
 	qp, ok := d.qps[dstQPN]
 	if !ok || qp.state != qpReady {
+		if ok && qp.state == qpError {
+			// Tell the sender immediately instead of letting its
+			// inflight sends age out: its QP errors and its libOS can
+			// start reconnecting.
+			d.send(srcMAC, opNak, qp.remoteQPN, nakPayload(psn, nakQPErr), 0)
+		}
 		return
 	}
-	psn := binary.BigEndian.Uint32(body[0:4])
 	data := body[4:]
 	if !d.checkPSNLocked(qp, srcMAC, psn) {
 		return
@@ -316,7 +336,9 @@ func (d *Device) handleNakLocked(dstQPN uint32, body []byte, cost simclock.Lat) 
 	case nakAccess:
 		status = StatusRemoteAccess
 	case nakQPErr:
-		qp.state = qpError
+		// The peer declared the connection broken: error this side too
+		// and flush everything else still inflight.
+		d.errorQPLocked(qp)
 	}
 	qp.sendCQ.pushLocked(WC{
 		WRID:   pend.wrID,

@@ -212,13 +212,19 @@ func (s *Store) appendLocked(fileID uint32, payload []byte) (simclock.Lat, error
 		return 0, ErrLogFull
 	}
 
+	// Work on a scratch copy of the tail block and commit it (and the
+	// tail offset) only after every device write succeeded. A failed
+	// write — injected error, controller reset — therefore leaves the
+	// in-memory state untouched, and retrying the append rewrites the
+	// same byte range idempotently.
 	var cost simclock.Lat
 	off := s.tail
+	tb := append([]byte(nil), s.tailBlk...)
 	for len(rec) > 0 {
 		blk := off / BlockSize
 		blkOff := off % BlockSize
-		n := copy(s.tailBlk[blkOff:], rec)
-		c := s.dev.Execute(Command{Op: OpWrite, LBA: blk, Data: s.tailBlk})
+		n := copy(tb[blkOff:], rec)
+		c := s.dev.Execute(Command{Op: OpWrite, LBA: blk, Data: tb})
 		if c.Err != nil {
 			return cost, c.Err
 		}
@@ -227,12 +233,13 @@ func (s *Store) appendLocked(fileID uint32, payload []byte) (simclock.Lat, error
 		off += n
 		if off%BlockSize == 0 {
 			// Moved past a block boundary: fresh tail block.
-			for i := range s.tailBlk {
-				s.tailBlk[i] = 0
+			for i := range tb {
+				tb[i] = 0
 			}
 		}
 	}
 	s.tail = off
+	copy(s.tailBlk, tb)
 	return cost, nil
 }
 

@@ -13,6 +13,7 @@ package spdk
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 
 	"demikernel/internal/simclock"
@@ -37,6 +38,10 @@ var (
 	ErrOutOfRange  = errors.New("spdk: LBA out of range")
 	ErrBadLength   = errors.New("spdk: data length must equal one block")
 	ErrDeviceReset = errors.New("spdk: device was reset")
+	// ErrIO is an injected transient media error (chaos testing). Unlike
+	// ErrDeviceReset it carries no queue-wide abort; retrying the same
+	// command usually succeeds.
+	ErrIO = errors.New("spdk: media I/O error")
 )
 
 // Command is one submission-queue entry.
@@ -72,6 +77,9 @@ type Stats struct {
 	QueueFulls int64
 	Errors     int64
 	DMABytes   int64
+	// Chaos counters.
+	Resets         int64 // controller resets (spontaneous or requested)
+	InjectedErrors int64 // commands failed by the injected error rate
 }
 
 // Device is a simulated NVMe namespace with one SQ/CQ pair. All methods
@@ -86,6 +94,11 @@ type Device struct {
 	cq     []Completion
 	nextID uint64
 	stats  Stats
+
+	// Fault injection (chaos testing).
+	rng     *rand.Rand // seeded by SetErrorRate; nil = no injection
+	errRate float64    // probability a command fails with ErrIO
+	downFor int        // commands still failed while the controller re-inits
 }
 
 type sqe struct {
@@ -159,6 +172,23 @@ func (d *Device) Poll(max int) []Completion {
 func (d *Device) processLocked() {
 	for _, e := range d.sq {
 		c := Completion{ID: e.id, Op: e.cmd.Op, LBA: e.cmd.LBA}
+		if d.downFor > 0 {
+			// Controller still re-initialising after a reset: every
+			// command aborts without touching media.
+			d.downFor--
+			c.Err = ErrDeviceReset
+			d.stats.Errors++
+			d.cq = append(d.cq, c)
+			continue
+		}
+		if d.errRate > 0 && d.rng != nil && d.rng.Float64() < d.errRate {
+			// Injected transient media error; the command has no effect.
+			d.stats.InjectedErrors++
+			c.Err = ErrIO
+			d.stats.Errors++
+			d.cq = append(d.cq, c)
+			continue
+		}
 		switch e.cmd.Op {
 		case OpRead:
 			if e.cmd.LBA < 0 || e.cmd.LBA >= d.cfg.NumBlocks {
@@ -217,13 +247,48 @@ func (d *Device) Execute(cmd Command) Completion {
 	}
 }
 
-// Reset clears queues and storage, as a controller reset would.
+// Reset clears queues and storage, as a factory-level namespace format
+// would. (For a media-preserving controller reset, see ControllerReset.)
 func (d *Device) Reset() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.abortInflightLocked()
+	d.blocks = make(map[int][]byte)
+}
+
+// ControllerReset simulates a spontaneous NVMe controller reset: every
+// in-flight command aborts with ErrDeviceReset and the next downFor
+// submitted commands also fail while the controller re-initialises.
+// Media contents are preserved — after recovery, retried commands see
+// the data that was durably written before the reset.
+func (d *Device) ControllerReset(downFor int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Resets++
+	d.abortInflightLocked()
+	if downFor > 0 {
+		d.downFor = downFor
+	}
+}
+
+func (d *Device) abortInflightLocked() {
 	for _, e := range d.sq {
+		d.stats.Errors++
 		d.cq = append(d.cq, Completion{ID: e.id, Op: e.cmd.Op, LBA: e.cmd.LBA, Err: ErrDeviceReset})
 	}
 	d.sq = d.sq[:0]
-	d.blocks = make(map[int][]byte)
+}
+
+// SetErrorRate arms (or, with rate 0, disarms) seeded random command
+// failures: each processed command fails with ErrIO with probability
+// rate. Deterministic for a fixed seed and command sequence.
+func (d *Device) SetErrorRate(rate float64, seed int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.errRate = rate
+	if rate > 0 {
+		d.rng = rand.New(rand.NewSource(seed))
+	} else {
+		d.rng = nil
+	}
 }
