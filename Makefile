@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race chaos bench report clean
+.PHONY: all tier1 vet build test race chaos bench benchsmoke benchall report clean
 
 all: tier1
 
 ## tier1: the gate every PR must keep green — vet, build, full test
-## suite, then a short -race pass over the concurrency-heavy packages
-## (the chaos engine, the user TCP stack, the pinned-memory allocator).
-tier1: vet build test race
+## suite, a short -race pass over the concurrency-heavy packages
+## (the chaos engine, the user TCP stack, the pinned-memory allocator),
+## and a one-iteration smoke of the hot-path benchmark suite so a
+## broken benchmark rig fails the gate, not the nightly bench run.
+tier1: vet build test race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +27,18 @@ race:
 chaos:
 	$(GO) test -run 'TestChaos' -count=1 ./...
 
+## bench: run the hot-path regression suite and write the machine-
+## readable result stream to BENCH_hotpath.json. Compare against the
+## committed baseline to spot allocs/op or B/op regressions.
 bench:
+	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchmem -json . | tee BENCH_hotpath.json
+
+## benchsmoke: one iteration of every hot-path benchmark; part of tier1.
+benchsmoke:
+	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchtime=1x .
+
+## benchall: every benchmark in the repo (E1..E13 experiments + hot path).
+benchall:
 	$(GO) test -bench=. -benchmem .
 
 ## report: regenerate EXPERIMENTS.md's measured tables.

@@ -1,0 +1,64 @@
+package demikernel
+
+// Alloc-count guards for the pooled data path. These are hard
+// regression fences: the thresholds have headroom over the measured
+// steady state (echo RTT measures ~14 allocs/op after pooling, down
+// from ~47 before), so incidental churn does not flake them, but any
+// change that reintroduces per-packet or per-poll allocation trips
+// them immediately.
+
+import (
+	"testing"
+
+	"demikernel/internal/sched"
+)
+
+// TestHotPathAllocsEchoRTT bounds allocations for one full echo round
+// trip (client push → server pop → echo push → client pop) on the
+// manually-pumped rig. The remaining allocations are token state in the
+// completer and SGA headers; payload bytes, TX frames, and RX staging
+// all come from pools.
+func TestHotPathAllocsEchoRTT(t *testing.T) {
+	cli, srv, cqd, sqd, cleanup := hotPathPair(t)
+	defer cleanup()
+	payload := NewSGA(make([]byte, 64))
+	echoRTT(t, cli, srv, cqd, sqd, payload) // warm pools and scratch
+
+	const limit = 24.0
+	allocs := testing.AllocsPerRun(100, func() {
+		echoRTT(t, cli, srv, cqd, sqd, payload)
+	})
+	if allocs > limit {
+		t.Fatalf("echo RTT allocates %.1f objects/op, want <= %.0f", allocs, limit)
+	}
+}
+
+// TestHotPathAllocsIdlePoll requires a steady-state LibOS.Poll over
+// connected-but-idle descriptors to be allocation-free: the poll list
+// is generation-cached and every per-poll scratch buffer is reused.
+func TestHotPathAllocsIdlePoll(t *testing.T) {
+	cli, srv, _, _, cleanup := hotPathPair(t)
+	defer cleanup()
+	cli.Poll()
+	srv.Poll()
+
+	for name, l := range map[string]*LibOS{"client": cli, "server": srv} {
+		if allocs := testing.AllocsPerRun(1000, func() { l.Poll() }); allocs != 0 {
+			t.Errorf("%s idle Poll allocates %.1f objects/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestHotPathAllocsEventLoopTick requires an idle EventLoop tick to be
+// allocation-free: ready-list dispatch does no per-token probing and
+// the acceptor snapshot is cached.
+func TestHotPathAllocsEventLoopTick(t *testing.T) {
+	cli, _, _, _, cleanup := hotPathPair(t)
+	defer cleanup()
+	el := sched.New(cli)
+	el.Tick()
+
+	if allocs := testing.AllocsPerRun(1000, func() { el.Tick() }); allocs != 0 {
+		t.Errorf("idle EventLoop.Tick allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -163,6 +163,15 @@ type LibOS struct {
 	next     QD
 	forwards []*forward
 
+	// Poll-list cache: Poll iterates pollList, a snapshot of every
+	// pumpable queue, rebuilt only when the descriptor table changes
+	// (qdGen != pollGen). Steady-state polling takes the mutex for a
+	// two-word generation check instead of an O(qds) map walk + slice
+	// build per tick.
+	qdGen    uint64
+	pollGen  uint64
+	pollList []queue.IoQueue
+
 	// WaitTimeout bounds Wait/WaitAny/WaitAll spinning. The default
 	// (5s of wall time) exists so a lost completion fails loudly in
 	// tests instead of hanging.
@@ -206,6 +215,7 @@ func (l *LibOS) insert(d *qdesc) QD {
 	qd := l.next
 	l.next++
 	l.qds[qd] = d
+	l.qdGen++ // invalidate the Poll snapshot
 	return qd
 }
 
@@ -360,6 +370,7 @@ func (l *LibOS) Close(qd QD) error {
 	d, ok := l.qds[qd]
 	if ok {
 		delete(l.qds, qd)
+		l.qdGen++ // invalidate the Poll snapshot
 	}
 	l.mu.Unlock()
 	if !ok {
@@ -504,10 +515,18 @@ func (l *LibOS) Pop(qd QD) (queue.QToken, error) {
 func (l *LibOS) Poll() int {
 	n := l.t.Poll()
 	l.mu.Lock()
-	qs := make([]queue.IoQueue, 0, len(l.qds))
-	for _, d := range l.qds {
-		qs = append(qs, d.ioq())
+	if l.pollGen != l.qdGen {
+		// Topology changed: rebuild into a *fresh* slice (a concurrent
+		// Poll may still be iterating the previous snapshot outside the
+		// lock, so the old backing array must not be reused).
+		qs := make([]queue.IoQueue, 0, len(l.qds))
+		for _, d := range l.qds {
+			qs = append(qs, d.ioq())
+		}
+		l.pollList = qs
+		l.pollGen = l.qdGen
 	}
+	qs := l.pollList
 	l.mu.Unlock()
 	for _, q := range qs {
 		n += q.Pump()

@@ -42,6 +42,25 @@ const MinFrameLen = 14
 type Frame struct {
 	Data []byte
 	Cost simclock.Lat
+	// Buf, when non-nil, is the pooled buffer backing Data. Ownership
+	// travels with the frame: whoever holds the frame last (the
+	// receiving stack after ingest, or the fabric/NIC at a drop point)
+	// calls Release exactly once. Heap-backed frames leave it nil.
+	Buf *FrameBuf
+}
+
+// Release returns the frame's pooled backing buffer (if any) to its
+// pool and clears the reference. It is safe on heap-backed frames and
+// safe to call twice on the same Frame value (the second call is a
+// no-op) — but NOT on two copies of the same value; ownership is
+// single-holder by contract.
+func (f *Frame) Release() {
+	if f.Buf != nil {
+		b := f.Buf
+		f.Buf = nil
+		f.Data = nil
+		b.Release()
+	}
 }
 
 // DstMAC returns the destination address of a well-formed frame.
@@ -238,6 +257,7 @@ func (s *Switch) NewPort(ringDepth int) *Port {
 // physical switch would drop runts.
 func (p *Port) Send(f Frame) {
 	if len(f.Data) < MinFrameLen {
+		f.Release()
 		return
 	}
 	s := p.sw
@@ -254,6 +274,7 @@ func (p *Port) Send(f Frame) {
 	if p.down {
 		s.stats.LinkDownDrops++
 		p.stats.LinkDownDrops++
+		f.Release()
 		return
 	}
 
@@ -263,6 +284,7 @@ func (p *Port) Send(f Frame) {
 	if imp.LossRate > 0 && s.rng.Float64() < imp.LossRate {
 		s.stats.InjectedLoss++
 		p.stats.InjectedLoss++
+		f.Release()
 		return
 	}
 	if imp.CorruptRate > 0 && s.rng.Float64() < imp.CorruptRate {
@@ -273,6 +295,7 @@ func (p *Port) Send(f Frame) {
 		s.stats.InjectedDup++
 		dup := f
 		dup.Data = append([]byte(nil), f.Data...)
+		dup.Buf = nil // the copy is heap-backed; ownership of Buf stays with f
 		frames = append(frames, dup)
 	}
 	if imp.ReorderRate > 0 {
@@ -309,6 +332,9 @@ func (s *Switch) corruptLocked(f Frame, p *Port) Frame {
 		i := MinFrameLen + s.rng.Intn(len(data)-MinFrameLen)
 		data[i] ^= 0xFF
 	}
+	// The damaged copy is heap-backed; the sender's pooled buffer (if
+	// any) is done the moment the wire mangles the bits.
+	f.Release()
 	f.Data = data
 	return f
 }
@@ -334,7 +360,8 @@ func (s *Switch) forwardLocked(f Frame, from *Port) {
 			return
 		}
 	}
-	// Broadcast or unknown destination: flood.
+	// Broadcast or unknown destination: flood. Every delivered copy is
+	// heap-backed; the original (possibly pooled) frame is consumed here.
 	s.stats.Flooded++
 	for _, out := range s.ports {
 		if out == from {
@@ -342,8 +369,10 @@ func (s *Switch) forwardLocked(f Frame, from *Port) {
 		}
 		df := f
 		df.Data = append([]byte(nil), f.Data...)
+		df.Buf = nil
 		s.deliverLocked(out, df)
 	}
+	f.Release()
 }
 
 func (s *Switch) deliverLocked(out *Port, f Frame) {
@@ -351,6 +380,7 @@ func (s *Switch) deliverLocked(out *Port, f Frame) {
 		// The destination's link is cut: the frame dies on the wire.
 		s.stats.LinkDownDrops++
 		out.stats.LinkDownDrops++
+		f.Release()
 		return
 	}
 	select {
@@ -359,6 +389,7 @@ func (s *Switch) deliverLocked(out *Port, f Frame) {
 		out.stats.Delivered++
 	default:
 		s.stats.DroppedRxFull++
+		f.Release()
 	}
 }
 

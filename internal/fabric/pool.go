@@ -1,0 +1,211 @@
+package fabric
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the frame pool behind the zero-allocation data
+// path. A kernel-bypass stack that allocates per packet spends its µs
+// budget in the allocator and the GC instead of the wire (§4.5 of the
+// paper puts buffer management squarely in the libOS); the pool recycles
+// frame backing storage across the whole tx→wire→rx pipeline.
+//
+// Ownership contract: a FrameBuf starts with one reference. Exactly one
+// holder owns a Frame at any moment — the sending stack until Port.Send,
+// the switch while the frame is in flight (including the reorder hold
+// slot), the NIC ring after delivery, and finally the receiving stack,
+// which releases it once the payload has been copied out or consumed.
+// Every drop point (runt, link down, injected loss, ring full) releases.
+// Frames whose Buf is nil (heap-backed, e.g. from tests or transports
+// that do not pool) are unaffected: Release is a no-op for them, so the
+// pool is strictly opt-in and never required for correctness.
+
+// frameClasses are the pooled buffer size classes. The largest class
+// covers a full Ethernet+IPv4+TCP frame at the default 1400-byte MSS
+// with headroom; larger requests fall back to dedicated heap buffers
+// (counted as misses, never recycled).
+var frameClasses = [...]int{128, 512, 2048, 16384}
+
+// FrameBuf is a reference-counted, pool-recycled frame backing buffer.
+type FrameBuf struct {
+	pool  *FramePool
+	class int8 // index into frameClasses; -1 = oversized, not recycled
+	refs  atomic.Int32
+	data  []byte // current view (len = requested size)
+	full  []byte // full class-sized backing storage
+}
+
+// Bytes returns the buffer's usable bytes (length = the size requested
+// from Get). The slice is valid until the final reference is released.
+func (b *FrameBuf) Bytes() []byte { return b.data }
+
+// Retain takes an additional reference, for holders that fan a frame out
+// to more than one consumer.
+func (b *FrameBuf) Retain() {
+	if b.refs.Add(1) <= 1 {
+		panic("fabric: Retain on released FrameBuf")
+	}
+}
+
+// Release drops one reference; the storage recycles into the pool when
+// the last reference is gone. Releasing more times than retained is a
+// bug and panics.
+func (b *FrameBuf) Release() {
+	n := b.refs.Add(-1)
+	switch {
+	case n == 0:
+		if b.pool != nil && b.class >= 0 {
+			b.pool.put(b)
+		}
+	case n < 0:
+		panic("fabric: FrameBuf reference count underflow")
+	}
+}
+
+// FramePoolStats is a snapshot of a pool's counters.
+type FramePoolStats struct {
+	// Pooled counts Gets served by recycling a previously released
+	// buffer.
+	Pooled int64
+	// Misses counts Gets that had to allocate fresh storage (cold pool
+	// or oversized request).
+	Misses int64
+	// Recycled counts buffers returned to the pool's free lists.
+	Recycled int64
+}
+
+// FramePool recycles frame buffers by size class. It is safe for
+// concurrent use. The zero value is not usable; call NewFramePool.
+type FramePool struct {
+	classes [len(frameClasses)]sync.Pool
+
+	pooled   atomic.Int64
+	misses   atomic.Int64
+	recycled atomic.Int64
+}
+
+// NewFramePool returns an empty frame pool.
+func NewFramePool() *FramePool { return &FramePool{} }
+
+// DefaultFramePool is the process-wide pool the simulated stacks draw
+// their frame buffers from.
+var DefaultFramePool = NewFramePool()
+
+// classFor returns the index of the smallest class that fits n, or -1.
+func classFor(n int) int {
+	for i, c := range frameClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a buffer whose Bytes() is exactly n bytes, backed by
+// recycled pool storage when available. The caller owns one reference.
+func (p *FramePool) Get(n int) *FrameBuf {
+	ci := classFor(n)
+	if ci < 0 {
+		// Oversized: dedicated heap buffer, never recycled.
+		p.misses.Add(1)
+		mem := make([]byte, n)
+		b := &FrameBuf{pool: p, class: -1, data: mem, full: mem}
+		b.refs.Store(1)
+		return b
+	}
+	var b *FrameBuf
+	if v := p.classes[ci].Get(); v != nil {
+		b = v.(*FrameBuf)
+		p.pooled.Add(1)
+	} else {
+		p.misses.Add(1)
+		mem := make([]byte, frameClasses[ci])
+		b = &FrameBuf{pool: p, class: int8(ci)}
+		b.full = mem
+	}
+	b.data = b.full[:n]
+	b.refs.Store(1)
+	return b
+}
+
+func (p *FramePool) put(b *FrameBuf) {
+	b.data = nil
+	p.recycled.Add(1)
+	p.classes[b.class].Put(b)
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *FramePool) Stats() FramePoolStats {
+	return FramePoolStats{
+		Pooled:   p.pooled.Load(),
+		Misses:   p.misses.Load(),
+		Recycled: p.recycled.Load(),
+	}
+}
+
+// PoolStats returns the counters of the process-wide DefaultFramePool,
+// for observability surfaces (cmd/demi-bench).
+func PoolStats() FramePoolStats { return DefaultFramePool.Stats() }
+
+// --- burst-size observability ---
+
+// BurstBuckets is the number of burst-size histogram buckets. Bucket i
+// (for i < BurstBuckets-1) counts bursts of size in (2^(i-1), 2^i]; the
+// last bucket counts everything larger.
+const BurstBuckets = 9
+
+var burstHist [BurstBuckets]atomic.Int64
+
+// RecordBurstSize records the size of one non-empty receive burst in the
+// process-wide histogram. Devices call it from their rx_burst paths so
+// batching efficiency is observable, not asserted.
+func RecordBurstSize(n int) {
+	if n <= 0 {
+		return
+	}
+	i := bits.Len(uint(n - 1)) // 1→0, 2→1, 4→2, 8→3, ...
+	if i >= BurstBuckets {
+		i = BurstBuckets - 1
+	}
+	burstHist[i].Add(1)
+}
+
+// BurstHistogram returns a snapshot of the burst-size histogram.
+func BurstHistogram() [BurstBuckets]int64 {
+	var out [BurstBuckets]int64
+	for i := range out {
+		out[i] = burstHist[i].Load()
+	}
+	return out
+}
+
+// BurstBucketLabel names histogram bucket i ("1", "2", "≤4", ... ">128").
+func BurstBucketLabel(i int) string {
+	switch {
+	case i == 0:
+		return "1"
+	case i == 1:
+		return "2"
+	case i < BurstBuckets-1:
+		return "≤" + itoa(1<<i)
+	default:
+		return ">" + itoa(1<<(BurstBuckets-2))
+	}
+}
+
+// itoa avoids pulling strconv into the hot-path package for one label.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

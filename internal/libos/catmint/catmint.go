@@ -122,6 +122,11 @@ type Transport struct {
 	pending  map[uint64]*pendingOp // wrID -> op
 	nextWRID uint64
 	eps      []*endpoint
+	// epsSnap caches the endpoint list for Poll; rebuilt (as a fresh
+	// slice, safe against a concurrent Poll still iterating the old
+	// one) only when an endpoint is added.
+	epsSnap  []*endpoint
+	epsDirty bool
 	// stats
 	stagedCopies int64
 	zeroCopyTx   int64
@@ -292,8 +297,22 @@ func (t *Transport) Socket() (core.Endpoint, error) {
 	ep := &endpoint{t: t}
 	t.mu.Lock()
 	t.eps = append(t.eps, ep)
+	t.epsDirty = true
 	t.mu.Unlock()
 	return ep, nil
+}
+
+// pollSnapshot returns the cached endpoint list, rebuilding it only
+// when the set changed, so steady-state polling does not allocate.
+func (t *Transport) pollSnapshot() []*endpoint {
+	t.mu.Lock()
+	if t.epsDirty {
+		t.epsSnap = append(make([]*endpoint, 0, len(t.eps)), t.eps...)
+		t.epsDirty = false
+	}
+	eps := t.epsSnap
+	t.mu.Unlock()
+	return eps
 }
 
 // Poll implements core.Transport: pump the device, stage inbound
@@ -305,9 +324,7 @@ func (t *Transport) Poll() int {
 	// application) posts the receive window and signals readiness, so a
 	// peer that connects and immediately pushes never hits RNR — the
 	// buffer-management burden §2 describes, carried by the libOS.
-	t.mu.Lock()
-	eps := append([]*endpoint(nil), t.eps...)
-	t.mu.Unlock()
+	eps := t.pollSnapshot()
 	for _, ep := range eps {
 		n += ep.stageAccepts()
 	}
@@ -324,9 +341,7 @@ func (t *Transport) Poll() int {
 	// Failure handling: expire dead-peer ops, then drive per-endpoint
 	// recovery (teardown + redial with backoff).
 	n += t.checkDeadlines()
-	t.mu.Lock()
-	eps = append(eps[:0], t.eps...)
-	t.mu.Unlock()
+	eps = t.pollSnapshot() // accepts above may have adopted endpoints
 	for _, ep := range eps {
 		n += ep.checkQP()
 	}
@@ -464,6 +479,7 @@ func (t *Transport) newWRID(op *pendingOp) uint64 {
 func (t *Transport) adopt(ep *endpoint, qpn uint32) {
 	t.mu.Lock()
 	t.eps = append(t.eps, ep)
+	t.epsDirty = true
 	t.byQPN[qpn] = ep
 	t.mu.Unlock()
 }

@@ -35,6 +35,12 @@ type Transport struct {
 	mu   sync.Mutex
 	eps  []*endpoint
 	udps []*udpEndpoint
+	// Cached Poll snapshots, rebuilt (as fresh slices, so a concurrent
+	// Poll iterating the previous snapshot is unaffected) only when an
+	// endpoint is added. Steady-state polling allocates nothing.
+	epsSnap  []*endpoint
+	udpsSnap []*udpEndpoint
+	epsDirty bool
 }
 
 // Config tunes the transport.
@@ -122,11 +128,32 @@ func (t *Transport) Open(string) (queue.IoQueue, error) {
 	return nil, core.ErrNotSupported
 }
 
+// pooledCloneSGA deep-copies a decoded SGA (which aliases the framer's
+// reassembly buffer) into a single pooled frame buffer, sub-sliced per
+// segment. The SGA's Free hook releases the buffer back to the pool, so
+// the steady-state pop path recycles instead of allocating payload
+// storage. Applications that never Free simply leak the buffer to the
+// GC — safe, just unpooled.
+func pooledCloneSGA(s sga.SGA) sga.SGA {
+	fb := fabric.DefaultFramePool.Get(s.Len())
+	buf := fb.Bytes()
+	segs := make([]sga.Segment, len(s.Segments))
+	off := 0
+	for i, seg := range s.Segments {
+		n := copy(buf[off:], seg.Buf)
+		segs[i] = sga.Segment{Buf: buf[off : off+n : off+n]}
+		off += n
+	}
+	return sga.SGA{Segments: segs}.WithFree(fb.Release)
+}
+
 // Socket implements core.Transport.
 func (t *Transport) Socket() (core.Endpoint, error) {
 	ep := &endpoint{t: t}
+	ep.framer.SetClone(pooledCloneSGA)
 	t.mu.Lock()
 	t.eps = append(t.eps, ep)
+	t.epsDirty = true
 	t.mu.Unlock()
 	return ep, nil
 }
@@ -136,8 +163,12 @@ func (t *Transport) Socket() (core.Endpoint, error) {
 func (t *Transport) Poll() int {
 	n := t.stack.Poll()
 	t.mu.Lock()
-	eps := append([]*endpoint(nil), t.eps...)
-	udps := append([]*udpEndpoint(nil), t.udps...)
+	if t.epsDirty {
+		t.epsSnap = append(make([]*endpoint, 0, len(t.eps)), t.eps...)
+		t.udpsSnap = append(make([]*udpEndpoint, 0, len(t.udps)), t.udps...)
+		t.epsDirty = false
+	}
+	eps, udps := t.epsSnap, t.udpsSnap
 	t.mu.Unlock()
 	for _, ep := range eps {
 		n += ep.Pump()
@@ -151,6 +182,7 @@ func (t *Transport) Poll() int {
 func (t *Transport) adopt(ep *endpoint) {
 	t.mu.Lock()
 	t.eps = append(t.eps, ep)
+	t.epsDirty = true
 	t.mu.Unlock()
 }
 
@@ -170,6 +202,11 @@ type endpoint struct {
 	// buffer.
 	txq    []txFrame
 	closed bool
+	// rxScratch is the reused receive-copy buffer drainRx hands to
+	// RecvAppend; the framer copies out of it, so one buffer per
+	// endpoint suffices and the steady-state pop path never allocates
+	// for stream bytes.
+	rxScratch []byte
 }
 
 type txFrame struct {
@@ -220,6 +257,7 @@ func (e *endpoint) Accept() (core.Endpoint, bool, error) {
 		return nil, false, nil
 	}
 	child := &endpoint{t: e.t, conn: conn}
+	child.framer.SetClone(pooledCloneSGA)
 	e.t.adopt(child)
 	return child, true, nil
 }
@@ -300,8 +338,7 @@ func (e *endpoint) Pop(done queue.DoneFunc) {
 		return
 	}
 	if len(e.ready) > 0 {
-		c := e.ready[0]
-		e.ready = e.ready[1:]
+		c := e.popReadyLocked()
 		e.mu.Unlock()
 		done(c)
 		return
@@ -343,7 +380,7 @@ func (e *endpoint) flushTx(conn *netstack.TCPConn) int {
 		sent, err := conn.Send(f.data[f.sent:], f.cost)
 		if err != nil {
 			done, buf := f.done, f.buf
-			e.txq = e.txq[1:]
+			e.popTxqLocked()
 			e.mu.Unlock()
 			if buf != nil {
 				buf.Free()
@@ -359,7 +396,7 @@ func (e *endpoint) flushTx(conn *netstack.TCPConn) int {
 		}
 		done, buf := f.done, f.buf
 		cost := f.cost
-		e.txq = e.txq[1:]
+		e.popTxqLocked()
 		e.mu.Unlock()
 		if buf != nil {
 			buf.Free() // TCP copied the bytes; staging slot recycles
@@ -370,25 +407,41 @@ func (e *endpoint) flushTx(conn *netstack.TCPConn) int {
 	return n
 }
 
+// popTxqLocked dequeues the head tx frame, preserving slice capacity
+// (see popReadyLocked).
+func (e *endpoint) popTxqLocked() {
+	n := copy(e.txq, e.txq[1:])
+	e.txq[n] = txFrame{} // clear so data/buf/done are not retained
+	e.txq = e.txq[:n]
+}
+
 func (e *endpoint) drainRx(conn *netstack.TCPConn) int {
+	// Hold e.mu across the whole drain: RecvAppend fills the endpoint's
+	// reused scratch buffer and the framer copies out of it, so the
+	// steady-state receive path allocates nothing — and two concurrent
+	// pumps can no longer interleave their stream bytes into the framer
+	// out of order. Lock order (e.mu → stack.mu) matches flushTx.
 	n := 0
+	var failErr error
+	e.mu.Lock()
 	for {
-		b, cost, err := conn.Recv(0)
+		b, cost, err := conn.RecvAppend(e.rxScratch[:0], 0)
+		if cap(b) > cap(e.rxScratch) {
+			e.rxScratch = b[:0] // keep the grown scratch for reuse
+		}
 		if err == io.EOF {
-			e.failWaiters(queue.ErrClosed)
-			return n
+			failErr = queue.ErrClosed
+			break
 		}
 		if err != nil || len(b) == 0 {
-			return n
+			break
 		}
-		e.mu.Lock()
 		e.framer.Feed(b)
 		for {
 			s, ok, ferr := e.framer.Next()
 			if ferr != nil {
-				e.mu.Unlock()
-				e.failWaiters(ferr)
-				return n
+				failErr = ferr
+				break
 			}
 			if !ok {
 				break
@@ -396,8 +449,15 @@ func (e *endpoint) drainRx(conn *netstack.TCPConn) int {
 			e.ready = append(e.ready, queue.Completion{Kind: queue.OpPop, SGA: s, Cost: cost})
 			n++
 		}
-		e.mu.Unlock()
+		if failErr != nil {
+			break
+		}
 	}
+	e.mu.Unlock()
+	if failErr != nil {
+		e.failWaiters(failErr)
+	}
+	return n
 }
 
 func (e *endpoint) serveWaiters() {
@@ -408,12 +468,24 @@ func (e *endpoint) serveWaiters() {
 			return
 		}
 		w := e.waiters[0]
-		e.waiters = e.waiters[1:]
-		c := e.ready[0]
-		e.ready = e.ready[1:]
+		n := copy(e.waiters, e.waiters[1:])
+		e.waiters[n] = nil // clear so the closure is not retained
+		e.waiters = e.waiters[:n]
+		c := e.popReadyLocked()
 		e.mu.Unlock()
 		w(c)
 	}
+}
+
+// popReadyLocked dequeues the head completion with a shift-copy so the
+// slice keeps its capacity across pops — the `[1:]` reslice would force
+// append to reallocate every producer/consumer cycle.
+func (e *endpoint) popReadyLocked() queue.Completion {
+	c := e.ready[0]
+	n := copy(e.ready, e.ready[1:])
+	e.ready[n] = queue.Completion{} // clear so the SGA is not retained
+	e.ready = e.ready[:n]
+	return c
 }
 
 // failAll fails every queued pop waiter and every pending push with err:

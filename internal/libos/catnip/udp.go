@@ -18,6 +18,7 @@ func (t *Transport) SocketUDP() (core.Endpoint, error) {
 	ep := &udpEndpoint{t: t}
 	t.mu.Lock()
 	t.udps = append(t.udps, ep)
+	t.epsDirty = true
 	t.mu.Unlock()
 	return ep, nil
 }
@@ -120,8 +121,7 @@ func (e *udpEndpoint) Pop(done queue.DoneFunc) {
 		return
 	}
 	if len(e.ready) > 0 {
-		c := e.ready[0]
-		e.ready = e.ready[1:]
+		c := e.popReadyLocked()
 		e.mu.Unlock()
 		done(c)
 		return
@@ -147,12 +147,16 @@ func (e *udpEndpoint) Pump() int {
 		if !ok {
 			break
 		}
+		// Zero-copy pop: the SGA aliases the datagram's pooled payload;
+		// the consumer's SGA.Free recycles it (Unmarshal aliases its
+		// input, so no byte is copied between wire and application).
 		s, _, err := sga.Unmarshal(d.Payload)
 		comp := queue.Completion{Kind: queue.OpPop, Cost: d.Cost}
 		if err != nil {
+			d.Free()
 			comp.Err = err
 		} else {
-			comp.SGA = s.Clone()
+			comp.SGA = s.WithFree(d.Free)
 		}
 		e.mu.Lock()
 		e.ready = append(e.ready, comp)
@@ -171,12 +175,24 @@ func (e *udpEndpoint) serveWaiters() {
 			return
 		}
 		w := e.waiters[0]
-		e.waiters = e.waiters[1:]
-		c := e.ready[0]
-		e.ready = e.ready[1:]
+		n := copy(e.waiters, e.waiters[1:])
+		e.waiters[n] = nil // clear so the closure is not retained
+		e.waiters = e.waiters[:n]
+		c := e.popReadyLocked()
 		e.mu.Unlock()
 		w(c)
 	}
+}
+
+// popReadyLocked dequeues the head completion, preserving slice capacity
+// so the steady-state pop path does not reallocate (see the endpoint
+// version for rationale).
+func (e *udpEndpoint) popReadyLocked() queue.Completion {
+	c := e.ready[0]
+	n := copy(e.ready, e.ready[1:])
+	e.ready[n] = queue.Completion{}
+	e.ready = e.ready[:n]
+	return c
 }
 
 // Close implements queue.IoQueue.

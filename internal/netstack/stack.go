@@ -105,6 +105,14 @@ type Stack struct {
 	issCounter uint32
 	now        func() time.Time
 	stats      Stats
+
+	// Hot-path scratch, guarded by mu and reused across calls so the
+	// steady-state data path does not allocate: rxBatch is the receive
+	// burst buffer handed to nic.AppendRxBurst, l4buf the transport-header
+	// marshal buffer (its contents are always copied into the outgoing
+	// frame before the next use).
+	rxBatch []fabric.Frame
+	l4buf   []byte
 }
 
 // New creates a stack for dev with the given configuration.
@@ -154,12 +162,18 @@ func (s *Stack) Poll() int {
 	defer s.mu.Unlock()
 	n := 0
 	for {
-		frames := s.dev.RxBurst(0, 64)
-		if len(frames) == 0 {
+		// One burst per pass, appended into the reused scratch slice:
+		// the stack lock is amortised per burst and the steady-state
+		// loop allocates nothing.
+		s.rxBatch = s.dev.AppendRxBurst(s.rxBatch[:0], 0, 64)
+		if len(s.rxBatch) == 0 {
 			break
 		}
-		for _, f := range frames {
-			s.handleFrameLocked(f)
+		for i := range s.rxBatch {
+			s.handleFrameLocked(s.rxBatch[i])
+			// Ingest is copy-out (rcvBuf / pooled datagram payloads), so
+			// the wire frame's pooled storage recycles immediately.
+			s.rxBatch[i].Release()
 			n++
 		}
 	}
@@ -240,16 +254,21 @@ func (s *Stack) sendIPv4Locked(dstIP IPv4Addr, proto uint8, l4 []byte, cost simc
 		src:      s.cfg.IP,
 		dst:      dstIP,
 	}
-	pkt := h.marshal(make([]byte, 0, ipv4HdrLen+len(l4)))
-	pkt = append(pkt, l4...)
 
 	if mac, ok := s.arp[dstIP]; ok {
-		frame := appendEth(make([]byte, 0, ethHdrLen+len(pkt)), mac, s.dev.MAC(), etherTypeIPv4)
-		frame = append(frame, pkt...)
-		s.dev.Tx(frame, cost)
+		// Fast path: assemble Ethernet+IPv4+L4 directly into one pooled
+		// frame buffer. Ownership of the buffer rides the Frame through
+		// NIC, fabric, and the receiving stack.
+		fb := fabric.DefaultFramePool.Get(ethHdrLen + ipv4HdrLen + len(l4))
+		frame := appendEth(fb.Bytes()[:0], mac, s.dev.MAC(), etherTypeIPv4)
+		frame = h.marshal(frame)
+		frame = append(frame, l4...)
+		s.dev.TxFrame(fabric.Frame{Data: frame, Cost: cost, Buf: fb})
 		return
 	}
-	// Queue behind ARP resolution.
+	// Slow path: queue a heap-backed copy behind ARP resolution.
+	pkt := h.marshal(make([]byte, 0, ipv4HdrLen+len(l4)))
+	pkt = append(pkt, l4...)
 	s.arpPending[dstIP] = append(s.arpPending[dstIP], pendingPkt{etherTypeIPv4, pkt, cost})
 	s.stats.ARPRequests++
 	req := arpPacket{
@@ -284,12 +303,29 @@ func (s *Stack) handleIPv4Locked(b []byte, cost simclock.Lat) {
 
 // --- UDP ---
 
-// Datagram is one received UDP datagram.
+// Datagram is one received UDP datagram. Payload may be backed by pooled
+// storage; the consumer calls Free once done with it (Free is a no-op on
+// heap-backed datagrams, so forgetting it degrades to garbage, never to
+// corruption).
 type Datagram struct {
 	SrcIP   IPv4Addr
 	SrcPort uint16
 	Payload []byte
 	Cost    simclock.Lat
+
+	buf *fabric.FrameBuf
+}
+
+// Free recycles the datagram's pooled payload storage. Payload must not
+// be touched afterwards. Safe to call on the zero Datagram and safe to
+// call twice on the same value.
+func (d *Datagram) Free() {
+	if d.buf != nil {
+		b := d.buf
+		d.buf = nil
+		d.Payload = nil
+		b.Release()
+	}
 }
 
 // UDPSock is a bound UDP socket.
@@ -345,8 +381,15 @@ func (s *Stack) handleUDPLocked(h ipv4Header, body []byte, cost simclock.Lat) {
 	if len(sock.rx) >= sock.max {
 		return // receive queue overflow: drop, as UDP does
 	}
-	payload := append([]byte(nil), u.payload...)
-	sock.rx = append(sock.rx, Datagram{SrcIP: h.src, SrcPort: u.srcPort, Payload: payload, Cost: cost})
+	// Copy out of the wire frame into pooled storage: the frame recycles
+	// as soon as Poll finishes the burst, the datagram lives until its
+	// consumer calls Free.
+	fb := fabric.DefaultFramePool.Get(len(u.payload))
+	copy(fb.Bytes(), u.payload)
+	sock.rx = append(sock.rx, Datagram{
+		SrcIP: h.src, SrcPort: u.srcPort,
+		Payload: fb.Bytes(), Cost: cost, buf: fb,
+	})
 }
 
 // Port returns the socket's bound port.
@@ -360,7 +403,8 @@ func (u *UDPSock) SendTo(ip IPv4Addr, port uint16, payload []byte, cost simclock
 	defer s.mu.Unlock()
 	s.stats.UDPSent++
 	d := udpDatagram{srcPort: u.port, dstPort: port, payload: payload}
-	l4 := d.marshal(make([]byte, 0, udpHdrLen+len(payload)), s.cfg.IP, ip)
+	l4 := d.marshal(s.l4buf[:0], s.cfg.IP, ip)
+	s.l4buf = l4 // keep the (possibly grown) scratch for reuse
 	s.sendIPv4Locked(ip, protoUDP, l4, cost+s.model.UserNetStackNS+s.cfg.PerPacketExtra)
 }
 
@@ -377,10 +421,14 @@ func (u *UDPSock) Recv() (Datagram, bool) {
 	return d, true
 }
 
-// Close unbinds the socket.
+// Close unbinds the socket and recycles any queued datagrams.
 func (u *UDPSock) Close() {
 	s := u.stack
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for i := range u.rx {
+		u.rx[i].Free()
+	}
+	u.rx = nil
 	delete(s.udp, u.port)
 }

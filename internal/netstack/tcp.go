@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"demikernel/internal/fabric"
 	"demikernel/internal/simclock"
 )
 
@@ -95,10 +96,12 @@ type TCPConn struct {
 	finSent        bool
 	finAcked       bool
 
-	// Receive side.
+	// Receive side. ooo stashes out-of-order segments in pooled buffers
+	// keyed by sequence number; every exit path (drain, RST, give-up,
+	// orderly close) releases them back to the frame pool.
 	rcvNxt      uint32
 	rcvBuf      []byte
-	ooo         map[uint32][]byte
+	ooo         map[uint32]*fabric.FrameBuf
 	peerFinRcvd bool
 	rxCost      simclock.Lat
 
@@ -137,7 +140,7 @@ func (s *Stack) newConnLocked(key connKey, st tcpState) *TCPConn {
 		ssthresh: 64 * 1024,
 		peerWnd:  s.cfg.MSS, // until the peer advertises
 		rto:      s.cfg.RTO,
-		ooo:      make(map[uint32][]byte),
+		ooo:      make(map[uint32]*fabric.FrameBuf),
 	}
 }
 
@@ -195,26 +198,33 @@ func (c *TCPConn) Send(b []byte, cost simclock.Lat) (int, error) {
 // when no data is ready, and io.EOF once the peer's FIN has been consumed
 // and the buffer is drained.
 func (c *TCPConn) Recv(max int) ([]byte, simclock.Lat, error) {
+	return c.RecvAppend(nil, max)
+}
+
+// RecvAppend is Recv with caller-provided storage: ready bytes are
+// appended to dst (commonly a recycled scratch slice with len 0), so a
+// steady-state receive loop runs without allocating. It returns dst
+// unchanged alongside io.EOF / a terminal error / no-data.
+func (c *TCPConn) RecvAppend(dst []byte, max int) ([]byte, simclock.Lat, error) {
 	s := c.stack
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if c.err != nil {
-		return nil, 0, c.err
+		return dst, 0, c.err
 	}
 	if len(c.rcvBuf) == 0 {
 		if c.peerFinRcvd {
-			return nil, 0, io.EOF
+			return dst, 0, io.EOF
 		}
-		return nil, 0, nil
+		return dst, 0, nil
 	}
 	n := len(c.rcvBuf)
 	if max > 0 && n > max {
 		n = max
 	}
-	out := make([]byte, n)
-	copy(out, c.rcvBuf)
+	dst = append(dst, c.rcvBuf[:n]...)
 	c.rcvBuf = c.rcvBuf[:copy(c.rcvBuf, c.rcvBuf[n:])]
-	return out, c.rxCost, nil
+	return dst, c.rxCost, nil
 }
 
 // Close queues a FIN after any buffered data drains.
@@ -301,7 +311,8 @@ func (s *Stack) sendRSTLocked(dst IPv4Addr, orphan tcpSegment) {
 		ack:   orphan.seq + uint32(len(orphan.payload)) + 1,
 		flags: flagRST | flagACK,
 	}
-	l4 := rst.marshal(make([]byte, 0, tcpHdrLen), s.cfg.IP, dst)
+	l4 := rst.marshal(s.l4buf[:0], s.cfg.IP, dst)
+	s.l4buf = l4
 	s.sendIPv4Locked(dst, protoTCP, l4, 0)
 }
 
@@ -311,6 +322,7 @@ func (c *TCPConn) handleSegmentLocked(seg tcpSegment, cost simclock.Lat) {
 		s.stats.RSTsRcvd++
 		c.err = ErrConnClosed
 		c.state = stateClosed
+		c.releaseOOOLocked()
 		delete(s.conns, c.key)
 		return
 	}
@@ -456,11 +468,15 @@ func (c *TCPConn) processDataLocked(seg tcpSegment, cost simclock.Lat) {
 		}
 		c.drainOutOfOrderLocked()
 	default:
-		// Future segment: stash for reassembly.
+		// Future segment: stash a pooled copy for reassembly. The wire
+		// frame recycles after the burst; the stash lives until the gap
+		// fills (or the connection dies — see releaseOOOLocked).
 		c.stack.stats.OutOfOrderSegs++
 		if len(payload) > 0 {
 			if _, dup := c.ooo[seq]; !dup {
-				c.ooo[seq] = append([]byte(nil), payload...)
+				fb := fabric.DefaultFramePool.Get(len(payload))
+				copy(fb.Bytes(), payload)
+				c.ooo[seq] = fb
 			}
 		}
 		// FIN out of order is recovered by retransmission.
@@ -482,10 +498,11 @@ func (c *TCPConn) acceptDataLocked(payload []byte, cost simclock.Lat) {
 
 func (c *TCPConn) drainOutOfOrderLocked() {
 	for {
-		payload, ok := c.ooo[c.rcvNxt]
+		fb, ok := c.ooo[c.rcvNxt]
 		if !ok {
 			return
 		}
+		payload := fb.Bytes()
 		space := c.stack.cfg.RxWindow - len(c.rcvBuf)
 		if space < len(payload) {
 			return // keep it buffered until the app drains
@@ -493,12 +510,24 @@ func (c *TCPConn) drainOutOfOrderLocked() {
 		delete(c.ooo, c.rcvNxt)
 		c.rcvBuf = append(c.rcvBuf, payload...)
 		c.rcvNxt += uint32(len(payload))
+		fb.Release()
+	}
+}
+
+// releaseOOOLocked recycles every stashed out-of-order segment. Every
+// connection-teardown path calls it so pooled buffers never leak with a
+// dead connection.
+func (c *TCPConn) releaseOOOLocked() {
+	for seq, fb := range c.ooo {
+		delete(c.ooo, seq)
+		fb.Release()
 	}
 }
 
 func (c *TCPConn) maybeFinishLocked() {
 	if c.finSent && c.finAcked && c.peerFinRcvd && c.state != stateClosed {
 		c.state = stateClosed
+		c.releaseOOOLocked()
 		delete(c.stack.conns, c.key)
 	}
 }
@@ -532,7 +561,11 @@ func (c *TCPConn) sendSegmentLocked(seq uint32, payload []byte, flags uint8) {
 		window:  c.advertisedWindowLocked(),
 		payload: payload,
 	}
-	l4 := seg.marshal(make([]byte, 0, tcpHdrLen+len(payload)), s.cfg.IP, c.key.remoteIP)
+	// Marshal into the stack's scratch buffer: sendIPv4Locked copies the
+	// bytes into the outgoing pooled frame before returning, so the
+	// scratch is free again by the next segment.
+	l4 := seg.marshal(s.l4buf[:0], s.cfg.IP, c.key.remoteIP)
+	s.l4buf = l4
 	cost := c.txCost + s.model.UserNetStackNS + s.cfg.PerPacketExtra
 	s.sendIPv4Locked(c.key.remoteIP, protoTCP, l4, cost)
 }
@@ -587,6 +620,7 @@ func (c *TCPConn) giveUpLocked() {
 	}
 	c.state = stateClosed
 	c.clearTimerLocked()
+	c.releaseOOOLocked()
 	delete(s.conns, c.key)
 }
 

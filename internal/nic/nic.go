@@ -123,18 +123,25 @@ func (d *Device) RegisterRegion(id uint64, mem []byte) {
 // Tx transmits one raw Ethernet frame carrying prior accumulated cost.
 // The device charges its per-packet processing plus DMA of the payload.
 func (d *Device) Tx(data []byte, cost simclock.Lat) {
+	d.TxFrame(fabric.Frame{Data: data, Cost: cost})
+}
+
+// TxFrame transmits one frame, pooled backing buffer and all. Ownership
+// of f.Buf transfers to the fabric (and onward to the receiver); the
+// caller must not touch f.Data after the call.
+func (d *Device) TxFrame(f fabric.Frame) {
 	d.mu.Lock()
 	d.stats.TxFrames++
-	d.stats.DMABytes += int64(len(data))
+	d.stats.DMABytes += int64(len(f.Data))
 	d.mu.Unlock()
-	cost += d.model.NICProcessNS + d.model.DMACost(len(data))
-	d.port.Send(fabric.Frame{Data: data, Cost: cost})
+	f.Cost += d.model.NICProcessNS + d.model.DMACost(len(f.Data))
+	d.port.Send(f)
 }
 
 // TxBurst transmits a batch of frames, as DPDK's tx_burst would.
 func (d *Device) TxBurst(frames []fabric.Frame) {
 	for _, f := range frames {
-		d.Tx(f.Data, f.Cost)
+		d.TxFrame(f)
 	}
 }
 
@@ -142,21 +149,33 @@ func (d *Device) TxBurst(frames []fabric.Frame) {
 // rx_burst would. It first drains the wire into the device's rings,
 // applying hardware filters and RSS steering.
 func (d *Device) RxBurst(queue, max int) []fabric.Frame {
+	return d.AppendRxBurst(nil, queue, max)
+}
+
+// AppendRxBurst is RxBurst with caller-provided storage: frames are
+// appended to dst (which may be a recycled slice with len 0), so a
+// steady-state poll loop runs without allocating the burst slice.
+// Ownership of each frame's pooled buffer (Frame.Buf) passes to the
+// caller, who must Release every frame once ingested.
+func (d *Device) AppendRxBurst(dst []fabric.Frame, queue, max int) []fabric.Frame {
 	if queue < 0 || queue >= len(d.rx) {
 		panic(fmt.Sprintf("nic: RxBurst on queue %d of %d", queue, len(d.rx)))
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.drainWireLocked()
-	var out []fabric.Frame
-	for len(out) < max {
+	start := len(dst)
+	for len(dst)-start < max {
 		f, ok := d.rx[queue].pop()
 		if !ok {
 			break
 		}
-		out = append(out, f)
+		dst = append(dst, f)
 	}
-	return out
+	if n := len(dst) - start; n > 0 {
+		fabric.RecordBurstSize(n)
+	}
+	return dst
 }
 
 // drainWireLocked moves frames from the fabric port into receive rings.
@@ -173,12 +192,14 @@ func (d *Device) drainWireLocked() {
 		q, drop := d.classifyLocked(&f)
 		if drop {
 			d.stats.FilterDrops++
+			f.Release()
 			continue
 		}
 		if d.rx[q].push(f) {
 			d.stats.RxFrames++
 		} else {
 			d.stats.RxDropped++
+			f.Release()
 		}
 	}
 }

@@ -6,15 +6,34 @@ import "demikernel/internal/fabric"
 // descriptor ring. The device serialises access with its own lock, so the
 // ring itself needs no synchronisation; it exists to model the bounded
 // descriptor rings of real hardware, including drop-on-full behaviour.
+//
+// Depths are rounded up to the next power of two so index wrap is a mask
+// (a single AND) instead of a modulo — the same trick every hardware
+// descriptor ring and DPDK's rte_ring play, and worth it here because
+// push/pop sit on the per-frame hot path.
 type ring struct {
 	buf  []fabric.Frame
+	mask int // len(buf)-1; len(buf) is a power of two
 	head int // next slot to pop
 	tail int // next slot to push
 	n    int // occupied slots
 }
 
+// nextPow2 returns the smallest power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 func newRing(depth int) *ring {
-	return &ring{buf: make([]fabric.Frame, depth)}
+	depth = nextPow2(depth)
+	return &ring{buf: make([]fabric.Frame, depth), mask: depth - 1}
 }
 
 // push appends a frame; it reports false (dropping the frame) when full.
@@ -23,7 +42,7 @@ func (r *ring) push(f fabric.Frame) bool {
 		return false
 	}
 	r.buf[r.tail] = f
-	r.tail = (r.tail + 1) % len(r.buf)
+	r.tail = (r.tail + 1) & r.mask
 	r.n++
 	return true
 }
@@ -35,7 +54,7 @@ func (r *ring) pop() (fabric.Frame, bool) {
 	}
 	f := r.buf[r.head]
 	r.buf[r.head] = fabric.Frame{}
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & r.mask
 	r.n--
 	return f, true
 }

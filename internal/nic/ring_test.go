@@ -1,0 +1,114 @@
+package nic
+
+import (
+	"testing"
+
+	"demikernel/internal/fabric"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{511, 512}, {512, 512}, {513, 1024}, {2000, 2048},
+	}
+	for _, c := range cases {
+		if got := nextPow2(c.in); got != c.want {
+			t.Errorf("nextPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func frameN(n byte) fabric.Frame {
+	return fabric.Frame{Data: []byte{n}}
+}
+
+func TestRingTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		depth     int
+		wantCap   int
+		pushes    int // frames pushed up front
+		wantOK    int // pushes that should succeed
+		pops      int // pops attempted after the pushes
+		wantPops  int // pops that should succeed
+		thenPush  int // pushes after the pops (exercises wrap)
+		wantPush2 int
+	}{
+		{name: "empty pop", depth: 4, wantCap: 4, pushes: 0, wantOK: 0, pops: 2, wantPops: 0},
+		{name: "fill to full then overflow", depth: 4, wantCap: 4, pushes: 6, wantOK: 4, pops: 4, wantPops: 4},
+		{name: "rounds non-pow2 depth up", depth: 5, wantCap: 8, pushes: 9, wantOK: 8, pops: 8, wantPops: 8},
+		{name: "wraparound reuse", depth: 4, wantCap: 4, pushes: 3, wantOK: 3, pops: 3, wantPops: 3, thenPush: 4, wantPush2: 4},
+		{name: "depth one", depth: 1, wantCap: 1, pushes: 2, wantOK: 1, pops: 1, wantPops: 1, thenPush: 1, wantPush2: 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := newRing(c.depth)
+			if len(r.buf) != c.wantCap {
+				t.Fatalf("newRing(%d): cap %d, want %d", c.depth, len(r.buf), c.wantCap)
+			}
+			if r.mask != c.wantCap-1 {
+				t.Fatalf("mask %d, want %d", r.mask, c.wantCap-1)
+			}
+			ok := 0
+			for i := 0; i < c.pushes; i++ {
+				if r.push(frameN(byte(i))) {
+					ok++
+				}
+			}
+			if ok != c.wantOK {
+				t.Fatalf("pushed %d ok, want %d", ok, c.wantOK)
+			}
+			if r.len() != c.wantOK {
+				t.Fatalf("len %d after pushes, want %d", r.len(), c.wantOK)
+			}
+			got := 0
+			for i := 0; i < c.pops; i++ {
+				f, popped := r.pop()
+				if !popped {
+					continue
+				}
+				// FIFO order: payload byte must match pop order.
+				if f.Data[0] != byte(got) {
+					t.Fatalf("pop %d returned frame %d, want %d", got, f.Data[0], got)
+				}
+				got++
+			}
+			if got != c.wantPops {
+				t.Fatalf("popped %d, want %d", got, c.wantPops)
+			}
+			ok2 := 0
+			for i := 0; i < c.thenPush; i++ {
+				if r.push(frameN(byte(100 + i))) {
+					ok2++
+				}
+			}
+			if ok2 != c.wantPush2 {
+				t.Fatalf("second push round: %d ok, want %d", ok2, c.wantPush2)
+			}
+			// Drain everything; verify FIFO across the wrap.
+			prev := -1
+			for {
+				f, popped := r.pop()
+				if !popped {
+					break
+				}
+				if int(f.Data[0]) <= prev {
+					t.Fatalf("out-of-order pop: %d after %d", f.Data[0], prev)
+				}
+				prev = int(f.Data[0])
+			}
+			if r.len() != 0 {
+				t.Fatalf("len %d after drain, want 0", r.len())
+			}
+		})
+	}
+}
+
+func TestRingPopClearsSlot(t *testing.T) {
+	r := newRing(2)
+	r.push(frameN(1))
+	r.pop()
+	if r.buf[0].Data != nil {
+		t.Fatal("pop left a frame reference in the ring slot")
+	}
+}

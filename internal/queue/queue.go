@@ -14,6 +14,7 @@ package queue
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
@@ -78,15 +79,34 @@ type IoQueue interface {
 	Close() error
 }
 
+// completerShards is the number of token-table shards. Sixteen keeps the
+// modulo a mask-friendly power of two while making same-lock collisions
+// between concurrent completions rare at any realistic thread count.
+const completerShards = 16
+
 // Completer is the token table: it allocates qtokens, records
 // completions, and wakes exactly one waiter per completion (§4.4).
 // It is safe for concurrent use.
+//
+// The table is sharded by token so parallel queues completing on
+// different shards never contend, and completions can optionally be
+// published to a ready list (EnableReadyList) so an event loop dispatches
+// in O(ready) instead of probing every pending token.
 type Completer struct {
+	next    atomic.Uint64
+	wakeups atomic.Int64 // feeds the E5 experiment
+	shards  [completerShards]completerShard
+
+	// Ready list, opt-in: without a consumer it would grow without
+	// bound, so nothing is recorded until EnableReadyList.
+	trackReady atomic.Bool
+	readyMu    sync.Mutex
+	ready      []QToken
+}
+
+type completerShard struct {
 	mu      sync.Mutex
-	next    uint64
 	pending map[QToken]*tokenState
-	// wakeups / delivered feed the E5 experiment.
-	wakeups int64
 }
 
 type tokenState struct {
@@ -97,17 +117,25 @@ type tokenState struct {
 
 // NewCompleter returns an empty token table.
 func NewCompleter() *Completer {
-	return &Completer{pending: make(map[QToken]*tokenState)}
+	c := &Completer{}
+	for i := range c.shards {
+		c.shards[i].pending = make(map[QToken]*tokenState)
+	}
+	return c
+}
+
+func (c *Completer) shard(qt QToken) *completerShard {
+	return &c.shards[uint64(qt)%completerShards]
 }
 
 // NewToken allocates a fresh token in the pending state and returns it
 // along with the DoneFunc that completes it.
 func (c *Completer) NewToken() (QToken, DoneFunc) {
-	c.mu.Lock()
-	c.next++
-	qt := QToken(c.next)
-	c.pending[qt] = &tokenState{}
-	c.mu.Unlock()
+	qt := QToken(c.next.Add(1))
+	sh := c.shard(qt)
+	sh.mu.Lock()
+	sh.pending[qt] = &tokenState{}
+	sh.mu.Unlock()
 	return qt, func(comp Completion) {
 		comp.Token = qt
 		c.complete(qt, comp)
@@ -115,10 +143,11 @@ func (c *Completer) NewToken() (QToken, DoneFunc) {
 }
 
 func (c *Completer) complete(qt QToken, comp Completion) {
-	c.mu.Lock()
-	st, ok := c.pending[qt]
+	sh := c.shard(qt)
+	sh.mu.Lock()
+	st, ok := sh.pending[qt]
 	if !ok || st.done {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return // double completion is an implementation bug; tolerate
 	}
 	st.done = true
@@ -127,29 +156,69 @@ func (c *Completer) complete(qt QToken, comp Completion) {
 	if ch != nil {
 		// A blocking waiter subscribed: hand off and consume the
 		// token. Exactly this one waiter wakes.
-		delete(c.pending, qt)
-		c.wakeups++
+		delete(sh.pending, qt)
+		c.wakeups.Add(1)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if ch != nil {
 		ch <- comp
+		return
 	}
+	// No blocking waiter: publish to the ready list (when an event loop
+	// subscribed) so dispatch finds this token without probing.
+	if c.trackReady.Load() {
+		c.readyMu.Lock()
+		c.ready = append(c.ready, qt)
+		c.readyMu.Unlock()
+	}
+}
+
+// EnableReadyList turns on ready-token tracking. Event loops call it
+// once; completions that arrive without a blocking waiter are then
+// recorded for TakeReady. Idempotent.
+func (c *Completer) EnableReadyList() { c.trackReady.Store(true) }
+
+// TakeReady appends all currently ready (completed, unconsumed, no
+// blocking waiter) tokens to dst and clears the internal list, keeping
+// its backing storage. Tokens may have been consumed by a direct waiter
+// since being recorded; consumers must tolerate ErrUnknownToken.
+func (c *Completer) TakeReady(dst []QToken) []QToken {
+	c.readyMu.Lock()
+	dst = append(dst, c.ready...)
+	c.ready = c.ready[:0]
+	c.readyMu.Unlock()
+	return dst
+}
+
+// Done peeks at a token without consuming it: done reports whether its
+// completion has arrived, exists whether the token is still in the table
+// at all.
+func (c *Completer) Done(qt QToken) (done, exists bool) {
+	sh := c.shard(qt)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.pending[qt]
+	if !ok {
+		return false, false
+	}
+	return st.done, true
 }
 
 // TryWait returns the completion for qt if it has arrived, consuming the
 // token. ok is false while the operation is still outstanding.
 // Unknown or already-consumed tokens return ErrUnknownToken.
 func (c *Completer) TryWait(qt QToken) (Completion, bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st, ok := c.pending[qt]
+	sh := c.shard(qt)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.pending[qt]
 	if !ok {
 		return Completion{}, false, ErrUnknownToken
 	}
 	if !st.done {
 		return Completion{}, false, nil
 	}
-	delete(c.pending, qt)
+	delete(sh.pending, qt)
 	return st.comp, true, nil
 }
 
@@ -159,44 +228,46 @@ func (c *Completer) TryWait(qt QToken) (Completion, bool, error) {
 // epoll's thundering herd. If the completion already arrived, it is
 // delivered immediately through the channel.
 func (c *Completer) WaitChan(qt QToken) (<-chan Completion, error) {
-	c.mu.Lock()
-	st, ok := c.pending[qt]
+	sh := c.shard(qt)
+	sh.mu.Lock()
+	st, ok := sh.pending[qt]
 	if !ok {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, ErrUnknownToken
 	}
 	if st.ch != nil {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, ErrTokenClaimed
 	}
 	ch := make(chan Completion, 1)
 	st.ch = ch
 	if st.done {
-		delete(c.pending, qt)
-		c.wakeups++
-		c.mu.Unlock()
+		delete(sh.pending, qt)
+		c.wakeups.Add(1)
+		sh.mu.Unlock()
 		ch <- st.comp
 		return ch, nil
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	return ch, nil
 }
 
 // Outstanding returns the number of pending, unconsumed tokens.
 func (c *Completer) Outstanding() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.pending)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Wakeups returns the number of blocking-waiter wakeups delivered. Every
 // one of them had a completion attached: by construction there are no
 // wasted wakeups to count.
-func (c *Completer) Wakeups() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.wakeups
-}
+func (c *Completer) Wakeups() int64 { return c.wakeups.Load() }
 
 // MemQueue is an in-memory Demikernel queue: the object behind the plain
 // queue() syscall. Elements pass by reference — pushing and popping never

@@ -59,6 +59,7 @@ func (d *Device) Poll() int {
 			return n
 		}
 		d.handleFrame(f)
+		f.Release() // no-op for rdma's heap frames; keeps the ownership contract uniform
 		n++
 	}
 }

@@ -9,10 +9,18 @@
 // into callback invocations. Because each qtoken is unique to one
 // operation, dispatch needs no readiness scans and no wasted wakeups —
 // the completion already carries the data (§4.4's two fixes to epoll).
+//
+// Dispatch is ready-list driven: the loop subscribes to the completer's
+// ready list (queue.Completer.EnableReadyList) and each Tick drains only
+// the tokens that actually completed — O(ready) work — instead of
+// probing every armed token with TryWait, which made Tick O(pending)
+// and serialized it on the completer lock. One EventLoop per libOS is
+// the supported shape (they share the libOS completer).
 package sched
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"demikernel/internal/core"
 	"demikernel/internal/queue"
@@ -39,9 +47,23 @@ type EventLoop struct {
 	pops      map[queue.QToken]popReg
 	pushes    map[queue.QToken]pushReg
 	acceptors map[core.QD]AcceptHandler
-	stopped   bool
+	// accSnap caches the acceptor list for Tick; rebuilt (as a fresh
+	// slice) only when OnAccept changes the set.
+	accSnap  []acceptorEntry
+	accDirty bool
 
-	dispatched int64
+	// tickMu serializes Tick so the ready-token scratch and leftover
+	// carry-over buffers can be reused allocation-free across ticks.
+	tickMu   sync.Mutex
+	scratch  []queue.QToken
+	leftover []queue.QToken
+
+	dispatched atomic.Int64
+}
+
+type acceptorEntry struct {
+	lqd core.QD
+	h   AcceptHandler
 }
 
 type popReg struct {
@@ -55,8 +77,10 @@ type pushReg struct {
 	handler PushHandler
 }
 
-// New creates an event loop over lib.
+// New creates an event loop over lib and subscribes it to the libOS
+// completer's ready list.
 func New(lib *core.LibOS) *EventLoop {
+	lib.Completer().EnableReadyList()
 	return &EventLoop{
 		lib:       lib,
 		pops:      make(map[queue.QToken]popReg),
@@ -71,6 +95,7 @@ func (el *EventLoop) OnAccept(lqd core.QD, h AcceptHandler) {
 	el.mu.Lock()
 	defer el.mu.Unlock()
 	el.acceptors[lqd] = h
+	el.accDirty = true
 }
 
 // OnPop arms one pop on qd and invokes h with its completion. When rearm
@@ -99,34 +124,33 @@ func (el *EventLoop) Push(qd core.QD, s sga.SGA, cost simclock.Lat, h PushHandle
 	return nil
 }
 
-// Dispatched returns the number of callbacks invoked so far.
-func (el *EventLoop) Dispatched() int64 {
-	el.mu.Lock()
-	defer el.mu.Unlock()
-	return el.dispatched
-}
+// Dispatched returns the number of callbacks invoked so far. Lock-free:
+// the counter is atomic so observability never contends with dispatch.
+func (el *EventLoop) Dispatched() int64 { return el.dispatched.Load() }
 
 // Tick runs one loop iteration: poll the libOS, accept pending
-// connections, and dispatch every completed token. It returns the number
-// of callbacks invoked.
+// connections, and dispatch every completed token from the ready list.
+// It returns the number of callbacks invoked.
 func (el *EventLoop) Tick() int {
+	el.tickMu.Lock()
+	defer el.tickMu.Unlock()
 	el.lib.Poll()
 	n := el.dispatchAccepts()
-	n += el.dispatchPops()
-	n += el.dispatchPushes()
+	n += el.dispatchReady()
 	return n
 }
 
 func (el *EventLoop) dispatchAccepts() int {
 	el.mu.Lock()
-	type acc struct {
-		lqd core.QD
-		h   AcceptHandler
+	if el.accDirty {
+		snap := make([]acceptorEntry, 0, len(el.acceptors))
+		for lqd, h := range el.acceptors {
+			snap = append(snap, acceptorEntry{lqd, h})
+		}
+		el.accSnap = snap
+		el.accDirty = false
 	}
-	var accs []acc
-	for lqd, h := range el.acceptors {
-		accs = append(accs, acc{lqd, h})
-	}
+	accs := el.accSnap
 	el.mu.Unlock()
 
 	n := 0
@@ -137,69 +161,79 @@ func (el *EventLoop) dispatchAccepts() int {
 				break
 			}
 			a.h(conn)
-			el.mu.Lock()
-			el.dispatched++
-			el.mu.Unlock()
+			el.dispatched.Add(1)
 			n++
 		}
 	}
 	return n
 }
 
-func (el *EventLoop) dispatchPops() int {
-	el.mu.Lock()
-	tokens := make([]queue.QToken, 0, len(el.pops))
-	for qt := range el.pops {
-		tokens = append(tokens, qt)
-	}
-	el.mu.Unlock()
+// dispatchReady drains the completer's ready list and dispatches every
+// token the loop has a registration for. Tokens completed for direct
+// waiters (lib.Wait / TryWait callers) surface here too; they are
+// dropped once the waiter consumes them. A token that completed inline
+// inside OnPop/Push before its registration landed is carried over to
+// the next tick (leftover) instead of being lost.
+func (el *EventLoop) dispatchReady() int {
+	comp := el.lib.Completer()
+	el.scratch = append(el.scratch[:0], el.leftover...)
+	el.leftover = el.leftover[:0]
+	el.scratch = comp.TakeReady(el.scratch)
 
 	n := 0
-	for _, qt := range tokens {
-		comp, ok, err := el.lib.TryWait(qt)
-		if err != nil || !ok {
+	for _, qt := range el.scratch {
+		el.mu.Lock()
+		popR, isPop := el.pops[qt]
+		var pushR pushReg
+		isPush := false
+		if !isPop {
+			pushR, isPush = el.pushes[qt]
+		}
+		el.mu.Unlock()
+
+		if !isPop && !isPush {
+			// Not registered with the loop. Either a direct waiter's
+			// token (consumed or about to be — once it leaves the
+			// table, drop it) or an OnPop/Push racing with this tick
+			// whose registration lands in a moment (still in the
+			// table — retry next tick).
+			if _, exists := comp.Done(qt); exists {
+				el.leftover = append(el.leftover, qt)
+			}
+			continue
+		}
+
+		c, ok, err := comp.TryWait(qt)
+		if err != nil {
+			// Consumed behind our back; forget the registration.
+			el.mu.Lock()
+			delete(el.pops, qt)
+			delete(el.pushes, qt)
+			el.mu.Unlock()
+			continue
+		}
+		if !ok {
+			// Ready but no completion yet should not happen; be safe.
+			el.leftover = append(el.leftover, qt)
 			continue
 		}
 		el.mu.Lock()
-		reg, found := el.pops[qt]
 		delete(el.pops, qt)
-		el.dispatched++
-		el.mu.Unlock()
-		if !found {
-			continue
-		}
-		reg.handler(reg.qd, comp)
-		n++
-		if reg.rearm && comp.Err == nil {
-			el.OnPop(reg.qd, true, reg.handler)
-		}
-	}
-	return n
-}
-
-func (el *EventLoop) dispatchPushes() int {
-	el.mu.Lock()
-	tokens := make([]queue.QToken, 0, len(el.pushes))
-	for qt := range el.pushes {
-		tokens = append(tokens, qt)
-	}
-	el.mu.Unlock()
-
-	n := 0
-	for _, qt := range tokens {
-		comp, ok, err := el.lib.TryWait(qt)
-		if err != nil || !ok {
-			continue
-		}
-		el.mu.Lock()
-		reg, found := el.pushes[qt]
 		delete(el.pushes, qt)
-		el.dispatched++
 		el.mu.Unlock()
-		if found && reg.handler != nil {
-			reg.handler(reg.qd, comp)
+		el.dispatched.Add(1)
+		if isPop {
+			popR.handler(popR.qd, c)
+			n++
+			if popR.rearm && c.Err == nil {
+				el.OnPop(popR.qd, true, popR.handler)
+			}
+		} else {
+			if pushR.handler != nil {
+				pushR.handler(pushR.qd, c)
+			}
+			n++
 		}
-		n++
 	}
 	return n
 }

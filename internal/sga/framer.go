@@ -11,7 +11,18 @@ type Framer struct {
 	buf []byte
 	// decoded counts complete SGAs produced, for stats and tests.
 	decoded int64
+	// clone, when set, copies a decoded SGA out of the reassembly
+	// buffer in place of the default SGA.Clone. LibOSes use it to copy
+	// into pooled storage so the pop path recycles instead of
+	// allocating. The input SGA aliases the framer's internal buffer;
+	// the returned SGA must not.
+	clone func(SGA) SGA
 }
+
+// SetClone overrides how decoded SGAs are copied out of the reassembly
+// buffer (default: SGA.Clone). The function receives an SGA aliasing the
+// framer's internal buffer and must return a deep copy.
+func (f *Framer) SetClone(fn func(SGA) SGA) { f.clone = fn }
 
 // Feed appends stream bytes to the framer's reassembly buffer.
 func (f *Framer) Feed(b []byte) {
@@ -34,7 +45,12 @@ func (f *Framer) Next() (SGA, bool, error) {
 		return SGA{}, false, err
 	}
 	// Copy out so the internal buffer can be compacted safely.
-	out := s.Clone()
+	var out SGA
+	if f.clone != nil {
+		out = f.clone(s)
+	} else {
+		out = s.Clone()
+	}
 	f.buf = f.buf[:copy(f.buf, f.buf[n:])]
 	f.decoded++
 	return out, true, nil
