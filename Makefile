@@ -1,15 +1,18 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race chaos bench benchsmoke benchall report clean
+.PHONY: all tier1 vet build test race statsmoke chaos bench benchsmoke benchall report clean
 
 all: tier1
 
 ## tier1: the gate every PR must keep green — vet, build, full test
 ## suite, a short -race pass over the concurrency-heavy packages
-## (the chaos engine, the user TCP stack, the pinned-memory allocator),
-## and a one-iteration smoke of the hot-path benchmark suite so a
-## broken benchmark rig fails the gate, not the nightly bench run.
-tier1: vet build test race benchsmoke
+## (the chaos engine, the user TCP stack, the pinned-memory allocator,
+## the telemetry instruments, and the qtoken completer), a counter-
+## consistency smoke (telemetry must conserve frames: TXed == delivered
+## + every attributed drop, at the fabric, per NIC, and per stack), and
+## a one-iteration smoke of the hot-path benchmark suite so a broken
+## benchmark rig fails the gate, not the nightly bench run.
+tier1: vet build test race statsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +24,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/
+
+## statsmoke: run an impaired echo workload and check that the telemetry
+## counters obey the frame-conservation laws end to end (demi-stat
+## -selftest). A leak anywhere in the datapath bookkeeping fails tier1.
+statsmoke:
+	$(GO) run ./cmd/demi-stat -selftest
 
 ## chaos: just the fault-injection suite (root soak tests + engine).
 chaos:

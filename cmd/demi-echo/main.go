@@ -16,6 +16,7 @@ import (
 	demi "demikernel"
 	"demikernel/internal/apps/echo"
 	"demikernel/internal/metrics"
+	"demikernel/internal/telemetry"
 )
 
 func main() {
@@ -23,6 +24,7 @@ func main() {
 	n := flag.Int("n", 50, "round trips per point")
 	sizesArg := flag.String("sizes", "64,1024,4096,16384", "comma-separated message sizes")
 	seed := flag.Int64("seed", 1, "cluster seed")
+	stats := flag.Bool("stats", false, "print per-layer telemetry counters and qtoken span tables per point")
 	flag.Parse()
 
 	var sizes []int
@@ -42,7 +44,7 @@ func main() {
 	tbl := metrics.NewTable("echo round-trip virtual latency", "libOS", "msg bytes", "p50", "p99")
 	for _, flavor := range flavors {
 		for _, size := range sizes {
-			h, err := measure(flavor, size, *n, *seed)
+			h, err := measure(flavor, size, *n, *seed, *stats)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "demi-echo: %s/%dB: %v\n", flavor, size, err)
 				os.Exit(1)
@@ -53,7 +55,7 @@ func main() {
 	fmt.Println(tbl.String())
 }
 
-func measure(flavor string, size, n int, seed int64) (*metrics.Histogram, error) {
+func measure(flavor string, size, n int, seed int64, stats bool) (*metrics.Histogram, error) {
 	cluster := demi.NewCluster(seed)
 	mk := func(host byte) (*demi.Node, error) {
 		switch flavor {
@@ -90,6 +92,21 @@ func measure(flavor string, size, n int, seed int64) (*metrics.Histogram, error)
 	if err := client.Connect(cluster.AddrOf(srvNode, 7)); err != nil {
 		return nil, err
 	}
+
+	var reg *telemetry.Registry
+	var before telemetry.Snapshot
+	if stats {
+		reg = telemetry.NewRegistry()
+		cluster.Switch.RegisterTelemetry(reg, "fabric")
+		srvNode.RegisterTelemetry(reg, "server")
+		cliNode.RegisterTelemetry(reg, "client")
+		srvNode.Spans().SetName(flavor + " server")
+		cliNode.Spans().SetName(flavor + " client")
+		srvNode.Spans().Enable()
+		cliNode.Spans().Enable()
+		before = reg.Snapshot()
+	}
+
 	payload := make([]byte, size)
 	var h metrics.Histogram
 	for i := 0; i < n; i++ {
@@ -98,6 +115,13 @@ func measure(flavor string, size, n int, seed int64) (*metrics.Histogram, error)
 			return nil, err
 		}
 		h.Record(cost)
+	}
+
+	if stats {
+		fmt.Printf("-- %s / %dB: per-layer counters (delta) --\n", flavor, size)
+		fmt.Print(reg.Snapshot().Diff(before).NonZero().String())
+		fmt.Println(cliNode.Spans().Table().String())
+		fmt.Println(srvNode.Spans().Table().String())
 	}
 	return &h, nil
 }

@@ -17,6 +17,7 @@ import (
 	demi "demikernel"
 	"demikernel/internal/apps/kv"
 	"demikernel/internal/metrics"
+	"demikernel/internal/telemetry"
 	"demikernel/internal/workload"
 )
 
@@ -26,15 +27,16 @@ func main() {
 	valueSize := flag.Int("value", 4096, "value size in bytes (fixed workload)")
 	wl := flag.String("workload", "fixed", "workload: fixed, uniform, or ycsb-b")
 	seed := flag.Int64("seed", 1, "cluster seed")
+	stats := flag.Bool("stats", false, "print per-layer telemetry counters and qtoken span tables")
 	flag.Parse()
 
-	if err := run(*libos, *ops, *valueSize, *wl, *seed); err != nil {
+	if err := run(*libos, *ops, *valueSize, *wl, *seed, *stats); err != nil {
 		fmt.Fprintf(os.Stderr, "demi-kv: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(libos string, ops, valueSize int, wl string, seed int64) error {
+func run(libos string, ops, valueSize int, wl string, seed int64, stats bool) error {
 	cluster := demi.NewCluster(seed)
 	var srvNode, cliNode *demi.Node
 	mk := func(host byte) (*demi.Node, error) {
@@ -71,6 +73,20 @@ func run(libos string, ops, valueSize int, wl string, seed int64) error {
 	client := kv.NewClient(cliNode.LibOS)
 	if err := client.Connect(cluster.AddrOf(srvNode, 6379)); err != nil {
 		return err
+	}
+
+	var reg *telemetry.Registry
+	var before telemetry.Snapshot
+	if stats {
+		reg = telemetry.NewRegistry()
+		cluster.Switch.RegisterTelemetry(reg, "fabric")
+		srvNode.RegisterTelemetry(reg, "server")
+		cliNode.RegisterTelemetry(reg, "client")
+		srvNode.Spans().SetName(libos + " server")
+		cliNode.Spans().SetName(libos + " client")
+		srvNode.Spans().Enable()
+		cliNode.Spans().Enable()
+		before = reg.Snapshot()
 	}
 
 	const keys = 64
@@ -127,5 +143,13 @@ func run(libos string, ops, valueSize int, wl string, seed int64) error {
 	st := server.Stats()
 	fmt.Printf("server: %d connections, %d sets, %d gets, %d bytes stored\n",
 		st.Connections, st.Sets, st.Gets, st.BytesStored)
+
+	if stats {
+		fmt.Println("\n== per-layer counters (delta over the run) ==")
+		fmt.Print(reg.Snapshot().Diff(before).NonZero().String())
+		fmt.Println()
+		fmt.Println(cliNode.Spans().Table().String())
+		fmt.Println(srvNode.Spans().Table().String())
+	}
 	return nil
 }

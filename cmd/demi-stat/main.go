@@ -1,0 +1,277 @@
+// Command demi-stat is the observability dashboard the paper argues a
+// kernel-bypass OS still owes its operators (§2: "OS functionality" does
+// not stop at the data path). It runs an instrumented E1-style echo
+// workload over the catnip libOS and reports, per layer, what the
+// telemetry registry, qtoken span tables, and event tracer saw:
+//
+//   - a before/after diff of every registered counter (fabric, NIC,
+//     netstack, membuf, frame pool, completer, sched),
+//   - per-queue-descriptor push/pop latency percentiles from the qtoken
+//     span tables on both sides of the connection,
+//   - optionally (-trace) a chrome://tracing JSON timeline of device and
+//     protocol events.
+//
+// With -chaos the run executes under fabric impairments, so the
+// dashboard shows retransmits, injected loss, and corruption counters
+// doing real work.
+//
+// With -selftest demi-stat instead audits counter consistency: it runs
+// an impaired echo workload, quiesces, and checks the frame conservation
+// laws that must hold if every layer counts honestly:
+//
+//	fabric: ΣTxFrames + InjectedDup ==
+//	        Delivered + InjectedLoss + LinkDownDrops + DroppedRxFull
+//	NIC:    port.Delivered == RxFrames + RxDropped + FilterDrops
+//	stack:  nic.RxFrames == FramesIn + Σ(ring occupancy)
+//
+// It exits non-zero if any law is violated; `make tier1` runs it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	demi "demikernel"
+	"demikernel/internal/apps/echo"
+	"demikernel/internal/fabric"
+	"demikernel/internal/metrics"
+	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
+)
+
+// echoPair is a connected echo client over a served listener.
+type echoPair struct {
+	client *echo.Client
+}
+
+func (p *echoPair) rtt(payload []byte, appCost simclock.Lat) (simclock.Lat, error) {
+	return p.client.RTT(payload, appCost)
+}
+
+// startEcho brings up the echo server on srvNode:7, backgrounds both
+// nodes' pollers, and connects a client from cliNode. The returned stop
+// functions shut everything down in order.
+func startEcho(c *demi.Cluster, srvNode, cliNode *demi.Node) (*echoPair, []func(), error) {
+	srv := echo.NewServer(srvNode.LibOS)
+	srv.AppCost = c.Model.AppRequestNS
+	if err := srv.Listen(7); err != nil {
+		return nil, nil, err
+	}
+	stopS := srvNode.Background()
+	stopC := cliNode.Background()
+	stopServe := make(chan struct{})
+	go srv.Run(stopServe)
+
+	cli := echo.NewClient(cliNode.LibOS)
+	if err := cli.Connect(c.AddrOf(srvNode, 7)); err != nil {
+		stopC()
+		stopS()
+		close(stopServe)
+		return nil, nil, err
+	}
+	stops := []func(){func() { close(stopServe) }, stopC, stopS}
+	return &echoPair{client: cli}, stops, nil
+}
+
+func main() {
+	n := flag.Int("n", 2000, "number of echo round trips")
+	payload := flag.Int("payload", 64, "echo payload bytes")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	chaos := flag.Bool("chaos", false, "run under fabric impairments (loss/dup/corrupt/reorder)")
+	tracePath := flag.String("trace", "", "write a chrome://tracing JSON timeline to this path")
+	selftest := flag.Bool("selftest", false, "run the counter-consistency audit and exit")
+	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "demi-stat: selftest FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("demi-stat: counter-consistency selftest passed")
+		return
+	}
+	if err := runDashboard(*n, *payload, *seed, *chaos, *tracePath); err != nil {
+		fmt.Fprintf(os.Stderr, "demi-stat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// rig is one instrumented catnip echo pair.
+type rig struct {
+	cluster *demi.Cluster
+	server  *demi.Node
+	client  *demi.Node
+	reg     *telemetry.Registry
+	stops   []func()
+}
+
+func (r *rig) close() {
+	for _, f := range r.stops {
+		f()
+	}
+}
+
+func newRig(seed int64, imp fabric.Impairments) (*rig, *echoPair, error) {
+	c := demi.NewCluster(seed)
+	srvNode := c.NewCatnipNode(demi.NodeConfig{Host: 1, RTO: 2 * time.Millisecond})
+	cliNode := c.NewCatnipNode(demi.NodeConfig{Host: 2, RTO: 2 * time.Millisecond})
+
+	reg := telemetry.NewRegistry()
+	c.Switch.RegisterTelemetry(reg, "fabric")
+	fabric.DefaultFramePool.RegisterTelemetry(reg, "framepool")
+	fabric.RegisterBurstTelemetry(reg, "burst")
+	srvNode.RegisterTelemetry(reg, "server")
+	cliNode.RegisterTelemetry(reg, "client")
+
+	// Span tables on: every push/pop qtoken on either side is timed.
+	srvNode.Spans().SetName("server")
+	cliNode.Spans().SetName("client")
+	srvNode.Spans().Enable()
+	cliNode.Spans().Enable()
+
+	pair, stops, err := startEcho(c, srvNode, cliNode)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &rig{cluster: c, server: srvNode, client: cliNode, reg: reg, stops: stops}
+	// Impairments go live only after the connection is up, so the
+	// handshake is clean and every injected fault lands on data frames.
+	c.Switch.SetImpairments(imp)
+	return r, pair, nil
+}
+
+func runDashboard(n, payload int, seed int64, chaos bool, tracePath string) error {
+	var imp fabric.Impairments
+	if chaos {
+		imp = fabric.Impairments{LossRate: 0.02, DupRate: 0.01, CorruptRate: 0.01, ReorderRate: 0.02}
+	}
+	if tracePath != "" {
+		telemetry.Trace.Reset()
+		telemetry.Trace.Enable()
+		defer telemetry.Trace.Disable()
+	}
+
+	r, pair, err := newRig(seed, imp)
+	if err != nil {
+		return err
+	}
+	defer r.close()
+
+	before := r.reg.Snapshot()
+	buf := make([]byte, payload)
+	var rtt metrics.Histogram
+	for i := 0; i < n; i++ {
+		cost, err := pair.rtt(buf, r.cluster.Model.AppRequestNS)
+		if err != nil {
+			return fmt.Errorf("rtt %d: %w", i, err)
+		}
+		rtt.Record(cost)
+	}
+	after := r.reg.Snapshot()
+
+	s := rtt.Summarize()
+	fmt.Printf("echo run: %d RTTs x %dB over catnip (seed %d, chaos=%v)\n", n, payload, seed, chaos)
+	fmt.Printf("virtual RTT: p50=%v p99=%v mean=%v max=%v\n\n", s.P50, s.P99, s.Mean, s.Max)
+
+	fmt.Println("== per-layer counters (delta over the run) ==")
+	fmt.Print(after.Diff(before).NonZero().String())
+	fmt.Println()
+
+	fmt.Println(r.client.Spans().Table().String())
+	fmt.Println(r.server.Spans().Table().String())
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := telemetry.Trace.ExportChromeJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+			telemetry.Trace.Len(), tracePath)
+	}
+	return nil
+}
+
+// runSelftest runs an impaired echo workload, quiesces the world, and
+// verifies the frame conservation laws across fabric, NIC, and stack.
+func runSelftest(seed int64) error {
+	imp := fabric.Impairments{LossRate: 0.05, DupRate: 0.03, CorruptRate: 0.03, ReorderRate: 0.05}
+	r, pair, err := newRig(seed, imp)
+	if err != nil {
+		return err
+	}
+	defer r.close()
+
+	buf := make([]byte, 64)
+	for i := 0; i < 400; i++ {
+		if _, err := pair.rtt(buf, 0); err != nil {
+			return fmt.Errorf("rtt %d: %w", i, err)
+		}
+	}
+
+	// Quiesce: stop injecting faults, release any frame held by the
+	// reorder buffer, then pump until every in-flight frame has landed
+	// in a counter somewhere (retransmission timers may still fire once;
+	// poll across a few RTO periods).
+	r.cluster.Switch.SetImpairments(fabric.Impairments{})
+	r.cluster.Switch.Flush()
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		r.cluster.Poll()
+		r.cluster.Switch.Flush()
+		time.Sleep(time.Millisecond)
+	}
+
+	sw := r.cluster.Switch
+	fs := sw.Stats()
+	var sumTx int64
+	for id := 0; id < sw.NumPorts(); id++ {
+		sumTx += sw.PortStats(id).TxFrames
+	}
+	// Law 1 — the wire loses nothing silently. Every transmitted frame
+	// (plus every injected duplicate) is either delivered or accounted to
+	// a named drop reason. (Holds exactly on a 2-port switch, where a
+	// flood delivers exactly one copy.)
+	lhs := sumTx + fs.InjectedDup
+	rhs := fs.Delivered + fs.InjectedLoss + fs.LinkDownDrops + fs.DroppedRxFull
+	fmt.Printf("fabric: tx=%d dup=%d | delivered=%d loss=%d linkdown=%d rxfull=%d\n",
+		sumTx, fs.InjectedDup, fs.Delivered, fs.InjectedLoss, fs.LinkDownDrops, fs.DroppedRxFull)
+	if lhs != rhs {
+		return fmt.Errorf("fabric conservation violated: tx+dup=%d != delivered+loss+linkdown+rxfull=%d", lhs, rhs)
+	}
+
+	// Laws 2 and 3 — per node: every frame the fabric delivered to the
+	// NIC's port is in a device counter, and every frame the device
+	// counted as received is either in the stack's FramesIn or still
+	// sitting in a receive ring.
+	for _, node := range []*demi.Node{r.server, r.client} {
+		dev := node.Catnip.Device()
+		// Force a wire drain so port-delivered frames land in NIC counters.
+		dev.QueueDepth(0)
+		ds := dev.Stats()
+		ps := sw.PortStats(dev.PortID())
+		if ps.Delivered != ds.RxFrames+ds.RxDropped+ds.FilterDrops {
+			return fmt.Errorf("nic conservation violated on port %d: delivered=%d != rx=%d+dropped=%d+filtered=%d",
+				dev.PortID(), ps.Delivered, ds.RxFrames, ds.RxDropped, ds.FilterDrops)
+		}
+		node.Poll() // ingest anything the forced drain just ringed
+		ds = dev.Stats()
+		var occ int64
+		for q := 0; q < dev.NumRxQueues(); q++ {
+			occ += int64(dev.RxOccupancy(q))
+		}
+		st := node.Catnip.Stack().Stats()
+		if ds.RxFrames != st.FramesIn+occ {
+			return fmt.Errorf("stack conservation violated on port %d: nic rx=%d != frames_in=%d + ring=%d",
+				dev.PortID(), ds.RxFrames, st.FramesIn, occ)
+		}
+		fmt.Printf("node port %d: delivered=%d rx=%d dropped=%d frames_in=%d ring=%d\n",
+			dev.PortID(), ps.Delivered, ds.RxFrames, ds.RxDropped, st.FramesIn, occ)
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"demikernel/internal/queue"
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // QD is a queue descriptor: what a file descriptor becomes when I/O is
@@ -186,7 +187,7 @@ type forward struct {
 // New creates a libOS over the given transport, charging composed-queue
 // costs against model.
 func New(t Transport, model *simclock.CostModel) *LibOS {
-	return &LibOS{
+	l := &LibOS{
 		t:           t,
 		model:       model,
 		completer:   queue.NewCompleter(),
@@ -194,6 +195,10 @@ func New(t Transport, model *simclock.CostModel) *LibOS {
 		next:        1,
 		WaitTimeout: 5 * time.Second,
 	}
+	// Name the span table after the transport so traces from multiple
+	// libOSes in one process are attributable.
+	l.completer.Spans().SetName(t.Name())
+	return l
 }
 
 // Name returns the underlying libOS name.
@@ -208,6 +213,23 @@ func (l *LibOS) AllocSGA(n int) sga.SGA { return l.t.AllocSGA(n) }
 // Completer exposes the token table (used by experiments and the
 // blocking-wait API).
 func (l *LibOS) Completer() *queue.Completer { return l.completer }
+
+// Spans exposes the per-queue qtoken span table (disabled by default;
+// enable it to collect issue→submit→complete→consume latency series).
+func (l *LibOS) Spans() *telemetry.SpanTable { return l.completer.Spans() }
+
+// RegisterTelemetry lifts the libOS's observable state into a telemetry
+// registry: the completer counters under prefix.completer, and — when
+// the transport itself knows how to register (all in-tree transports
+// do) — the transport's device/stack counters under prefix.
+func (l *LibOS) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	l.completer.RegisterTelemetry(r, prefix+".completer")
+	if tr, ok := l.t.(interface {
+		RegisterTelemetry(*telemetry.Registry, string)
+	}); ok {
+		tr.RegisterTelemetry(r, prefix)
+	}
+}
 
 func (l *LibOS) insert(d *qdesc) QD {
 	l.mu.Lock()
@@ -494,8 +516,9 @@ func (l *LibOS) PushCost(qd QD, s sga.SGA, cost simclock.Lat) (queue.QToken, err
 	if err != nil {
 		return 0, err
 	}
-	qt, done := l.completer.NewToken()
+	qt, done := l.completer.NewTokenFor(int32(qd))
 	d.ioq().Push(s, cost, done)
+	l.completer.MarkSubmit(qt)
 	return qt, nil
 }
 
@@ -505,8 +528,9 @@ func (l *LibOS) Pop(qd QD) (queue.QToken, error) {
 	if err != nil {
 		return 0, err
 	}
-	qt, done := l.completer.NewToken()
+	qt, done := l.completer.NewTokenFor(int32(qd))
 	d.ioq().Pop(done)
+	l.completer.MarkSubmit(qt)
 	return qt, nil
 }
 

@@ -3,12 +3,14 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"strings"
 
 	demi "demikernel"
 	"demikernel/internal/fabric"
 	"demikernel/internal/metrics"
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // rttSamples is the per-point sample count for latency experiments.
@@ -24,6 +26,7 @@ func runE1(seed int64) (*Result, error) {
 	tbl.Note = "virtual latency from the documented cost model; both paths share the wire"
 
 	var kernel4k, bypass4k simclock.Lat
+	var counterTbl *metrics.Table
 	for _, size := range sizes {
 		kr, err := newEchoRig("catnap", seed, 0)
 		if err != nil {
@@ -43,10 +46,40 @@ func runE1(seed int64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// At the representative 4KB point, watch the bypass run through
+		// the telemetry registry: snapshot every layer's counters before
+		// and after, and report the per-layer activity the echo generated.
+		var before telemetry.Snapshot
+		reg := telemetry.NewRegistry()
+		if size == 4096 {
+			br.cluster.Switch.RegisterTelemetry(reg, "fabric")
+			br.srvNode.RegisterTelemetry(reg, "server")
+			br.cliNode.RegisterTelemetry(reg, "client")
+			before = reg.Snapshot()
+		}
 		bh, err := br.measureEcho(size, rttSamples)
 		if err != nil {
 			br.close()
 			return nil, err
+		}
+		if size == 4096 {
+			diff := reg.Snapshot().Diff(before).NonZero()
+			counterTbl = metrics.NewTable("E1: per-layer counters across the 4KB bypass echo run ("+
+				fmt.Sprintf("%d round trips)", rttSamples), "counter", "delta")
+			counterTbl.Note = "telemetry.Registry diff over the measured window; the qtoken span path " +
+				"and this registry are disabled by default and cost zero allocations on the hot path " +
+				"(see hotpath_alloc_test.go and README §Hot-path performance)"
+			for _, smp := range diff.Samples {
+				// Instantaneous depth gauges (in-flight tokens, ring
+				// occupancy, run-queue length) depend on where the
+				// background pollers happen to be when the snapshot
+				// lands; only monotonic activity counters are
+				// deterministic across runs, so only those are reported.
+				if instantaneousGauge(smp.Name) {
+					continue
+				}
+				counterTbl.AddRow(smp.Name, smp.Value)
+			}
 		}
 		br.close()
 
@@ -58,6 +91,9 @@ func runE1(seed int64) (*Result, error) {
 			fmt.Sprintf("%.1f", float64(cliSyscalls)/float64(rttSamples)), "0.0")
 	}
 	res.Tables = append(res.Tables, tbl)
+	if counterTbl != nil {
+		res.Tables = append(res.Tables, counterTbl)
+	}
 
 	res.check("bypass wins at 4KB", bypass4k < kernel4k,
 		"bypass p50 %v < kernel p50 %v", bypass4k, kernel4k)
@@ -65,6 +101,19 @@ func runE1(seed int64) (*Result, error) {
 		float64(kernel4k) >= 1.3*float64(bypass4k),
 		"ratio %.2f", float64(kernel4k)/float64(bypass4k))
 	return res, nil
+}
+
+// instantaneousGauge reports whether a registry sample name is an
+// instantaneous depth reading rather than a monotonic activity counter.
+// Diffs of such gauges depend on background-poller timing, so the E1
+// counter table excludes them to stay deterministic per seed.
+func instantaneousGauge(name string) bool {
+	for _, suffix := range []string{".outstanding", ".ready", ".occupancy", ".pending"} {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 // runE3 reproduces the §3.2 copy claim with the KV store: POSIX copies

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // MAC is an Ethernet hardware address.
@@ -274,6 +275,7 @@ func (p *Port) Send(f Frame) {
 	if p.down {
 		s.stats.LinkDownDrops++
 		p.stats.LinkDownDrops++
+		telemetry.TraceInstant("fabric", "link-down-drop", int32(p.id), int64(len(f.Data)))
 		f.Release()
 		return
 	}
@@ -284,6 +286,7 @@ func (p *Port) Send(f Frame) {
 	if imp.LossRate > 0 && s.rng.Float64() < imp.LossRate {
 		s.stats.InjectedLoss++
 		p.stats.InjectedLoss++
+		telemetry.TraceInstant("fabric", "loss", int32(p.id), int64(len(f.Data)))
 		f.Release()
 		return
 	}
@@ -312,6 +315,14 @@ func (p *Port) Send(f Frame) {
 		if s.rng.Float64() < imp.ReorderRate {
 			s.stats.InjectedReorder++
 			s.held = &heldFrame{frame: f, from: p}
+			// The hold slot stores exactly one frame: an injected
+			// duplicate still goes out now, only the original is held.
+			// (Holding the whole batch used to leak the duplicate — it
+			// was neither forwarded nor counted as dropped, a gap the
+			// demi-stat conservation selftest catches.)
+			for _, fr := range frames[1:] {
+				s.forwardLocked(fr, p)
+			}
 			return
 		}
 	}
@@ -327,6 +338,7 @@ func (p *Port) Send(f Frame) {
 func (s *Switch) corruptLocked(f Frame, p *Port) Frame {
 	s.stats.InjectedCorrupt++
 	p.stats.InjectedCorrupt++
+	telemetry.TraceInstant("fabric", "corrupt", int32(p.id), int64(len(f.Data)))
 	data := append([]byte(nil), f.Data...)
 	if len(data) > MinFrameLen {
 		i := MinFrameLen + s.rng.Intn(len(data)-MinFrameLen)
@@ -389,8 +401,28 @@ func (s *Switch) deliverLocked(out *Port, f Frame) {
 		out.stats.Delivered++
 	default:
 		s.stats.DroppedRxFull++
+		telemetry.TraceInstant("fabric", "rx-full-drop", int32(out.id), int64(len(f.Data)))
 		f.Release()
 	}
+}
+
+// RegisterTelemetry lifts the switch's global counters (and one
+// link-state gauge per port) into a telemetry registry under prefix.
+// The samples read the same mutex-guarded stats Stats() reports, taken
+// at snapshot time.
+func (s *Switch) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	stat := func(read func(Stats) int64) func() int64 {
+		return func() int64 { return read(s.Stats()) }
+	}
+	r.RegisterFunc(prefix+".delivered", stat(func(st Stats) int64 { return st.Delivered }))
+	r.RegisterFunc(prefix+".flooded", stat(func(st Stats) int64 { return st.Flooded }))
+	r.RegisterFunc(prefix+".dropped_rx_full", stat(func(st Stats) int64 { return st.DroppedRxFull }))
+	r.RegisterFunc(prefix+".injected_loss", stat(func(st Stats) int64 { return st.InjectedLoss }))
+	r.RegisterFunc(prefix+".injected_dup", stat(func(st Stats) int64 { return st.InjectedDup }))
+	r.RegisterFunc(prefix+".injected_reorder", stat(func(st Stats) int64 { return st.InjectedReorder }))
+	r.RegisterFunc(prefix+".injected_corrupt", stat(func(st Stats) int64 { return st.InjectedCorrupt }))
+	r.RegisterFunc(prefix+".link_down_drops", stat(func(st Stats) int64 { return st.LinkDownDrops }))
+	r.RegisterFunc(prefix+".ports", func() int64 { return int64(s.NumPorts()) })
 }
 
 // Poll returns the next received frame without blocking.

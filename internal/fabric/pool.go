@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"demikernel/internal/telemetry"
 )
 
 // This file implements the frame pool behind the zero-allocation data
@@ -43,6 +45,17 @@ func (b *FrameBuf) Bytes() []byte { return b.data }
 
 // Retain takes an additional reference, for holders that fan a frame out
 // to more than one consumer.
+//
+// Invariant (audited): Retain is only legal while the caller itself
+// holds a live reference, i.e. while refs >= 1 is guaranteed by the
+// caller's own ownership. Under that contract the count can never be
+// observed at 0 by a legal Retain, so there is no window between the
+// count reaching 0 in Release and the buffer entering the pool in which
+// a correct program can resurrect it. An *illegal* Retain that races
+// that window flips the count 0→1 and is caught deterministically by the
+// panic below (Add returns exactly 1); the concurrent recycle is then
+// moot because the process is already down. TestFrameBufRefsRaceStress
+// pins the legal-use side of this contract under -race.
 func (b *FrameBuf) Retain() {
 	if b.refs.Add(1) <= 1 {
 		panic("fabric: Retain on released FrameBuf")
@@ -51,7 +64,8 @@ func (b *FrameBuf) Retain() {
 
 // Release drops one reference; the storage recycles into the pool when
 // the last reference is gone. Releasing more times than retained is a
-// bug and panics.
+// bug and panics. Exactly one goroutine can observe the count hit 0
+// (atomic decrement), so put runs at most once per lifetime.
 func (b *FrameBuf) Release() {
 	n := b.refs.Add(-1)
 	switch {
@@ -131,6 +145,13 @@ func (p *FramePool) Get(n int) *FrameBuf {
 }
 
 func (p *FramePool) put(b *FrameBuf) {
+	// Defensive fence for the audited Retain/Release invariant: by the
+	// time the last Release reaches here no other holder may exist, so
+	// any non-zero count means an illegal Retain raced the recycle.
+	// Failing loudly here beats recycling a buffer somebody still reads.
+	if b.refs.Load() != 0 {
+		panic("fabric: FrameBuf recycled while still referenced (illegal Retain after final Release)")
+	}
 	b.data = nil
 	p.recycled.Add(1)
 	p.classes[b.class].Put(b)
@@ -148,6 +169,31 @@ func (p *FramePool) Stats() FramePoolStats {
 // PoolStats returns the counters of the process-wide DefaultFramePool,
 // for observability surfaces (cmd/demi-bench).
 func PoolStats() FramePoolStats { return DefaultFramePool.Stats() }
+
+// RegisterTelemetry lifts the pool's counters into a telemetry registry
+// under prefix (e.g. "framepool").
+func (p *FramePool) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	r.RegisterFunc(prefix+".pooled", p.pooled.Load)
+	r.RegisterFunc(prefix+".misses", p.misses.Load)
+	r.RegisterFunc(prefix+".recycled", p.recycled.Load)
+}
+
+// RegisterBurstTelemetry lifts the process-wide RX burst-size histogram
+// into a telemetry registry under prefix, one sample per bucket
+// (prefix.le_N / prefix.gt_N, mirroring BurstBucketLabel).
+func RegisterBurstTelemetry(r *telemetry.Registry, prefix string) {
+	for i := 0; i < BurstBuckets; i++ {
+		i := i
+		label := BurstBucketLabel(i)
+		switch {
+		case i < BurstBuckets-1 && i > 1:
+			label = "le_" + itoa(1<<i)
+		case i == BurstBuckets-1:
+			label = "gt_" + itoa(1<<(BurstBuckets-2))
+		}
+		r.RegisterFunc(prefix+"."+label, burstHist[i].Load)
+	}
+}
 
 // --- burst-size observability ---
 

@@ -20,6 +20,7 @@ import (
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
 	"demikernel/internal/spdk"
+	"demikernel/internal/telemetry"
 )
 
 // Retry policy for transient device failures. Injected media errors
@@ -125,6 +126,14 @@ func (t *Transport) Features() core.Features {
 
 // Device exposes the NVMe device (for stats).
 func (t *Transport) Device() *spdk.Device { return t.dev }
+
+// RegisterTelemetry lifts the transport's counters — the retry-loop
+// absorption count plus the NVMe device's — into a telemetry registry
+// under prefix.
+func (t *Transport) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	t.dev.RegisterTelemetry(r, prefix+".nvme")
+	r.RegisterFunc(prefix+".retries", t.Retries)
+}
 
 // Store exposes the blob store (for recovery tests).
 func (t *Transport) Store() *spdk.Store { return t.store }

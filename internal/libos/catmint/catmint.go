@@ -36,6 +36,7 @@ import (
 	"demikernel/internal/rdma"
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // SlotSize is the fixed message buffer size: the largest framed SGA one
@@ -231,6 +232,17 @@ func (t *Transport) OpTimeouts() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.opTimeouts
+}
+
+// RegisterTelemetry lifts the transport's counters — its own libOS-layer
+// stats plus the RDMA device's — into a telemetry registry under prefix.
+func (t *Transport) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	t.dev.RegisterTelemetry(r, prefix+".rnic")
+	r.RegisterFunc(prefix+".staged_copies", t.StagedCopies)
+	r.RegisterFunc(prefix+".zero_copy_tx", t.ZeroCopyTx)
+	r.RegisterFunc(prefix+".reconnects", t.Reconnects)
+	r.RegisterFunc(prefix+".op_timeouts", t.OpTimeouts)
+	r.RegisterFunc(prefix+".arenas", func() int64 { return int64(t.Arenas()) })
 }
 
 // allocSlot pops a free slot, registering a new arena when the pool is

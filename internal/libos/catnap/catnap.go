@@ -17,6 +17,7 @@ import (
 	"demikernel/internal/queue"
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // Transport is the catnap libOS transport.
@@ -49,6 +50,21 @@ func (t *Transport) Features() core.Features {
 
 // Kernel exposes the underlying kernel (for counters in experiments).
 func (t *Transport) Kernel() *kernel.Kernel { return t.k }
+
+// RegisterTelemetry lifts the kernel's simclock counters and the
+// in-kernel stack's counters into a telemetry registry under prefix.
+func (t *Transport) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	t.k.Stack().RegisterTelemetry(r, prefix+".netstack")
+	ctr := func(read func(simclock.Counters) int64) func() int64 {
+		return func() int64 { return read(t.k.Counters()) }
+	}
+	r.RegisterFunc(prefix+".kernel.syscall_crossings", ctr(func(c simclock.Counters) int64 { return c.SyscallCrossings }))
+	r.RegisterFunc(prefix+".kernel.bytes_copied", ctr(func(c simclock.Counters) int64 { return c.BytesCopied }))
+	r.RegisterFunc(prefix+".kernel.bytes_dma", ctr(func(c simclock.Counters) int64 { return c.BytesDMA }))
+	r.RegisterFunc(prefix+".kernel.packets", ctr(func(c simclock.Counters) int64 { return c.Packets }))
+	r.RegisterFunc(prefix+".kernel.wakeups", ctr(func(c simclock.Counters) int64 { return c.Wakeups }))
+	r.RegisterFunc(prefix+".kernel.wasted_wakeups", ctr(func(c simclock.Counters) int64 { return c.WastedWakeups }))
+}
 
 // AllocSGA implements core.Transport: plain heap memory; there is no
 // device to register with.

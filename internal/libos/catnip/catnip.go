@@ -23,6 +23,7 @@ import (
 	"demikernel/internal/queue"
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // Transport is the catnip libOS transport.
@@ -108,6 +109,14 @@ func (t *Transport) Stack() *netstack.Stack { return t.stack }
 
 // Memory exposes the libOS memory manager (for stats).
 func (t *Transport) Memory() *membuf.Manager { return t.mem }
+
+// RegisterTelemetry lifts the transport's whole vertical — NIC, user
+// stack, and memory manager — into a telemetry registry under prefix.
+func (t *Transport) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	t.dev.RegisterTelemetry(r, prefix+".nic")
+	t.stack.RegisterTelemetry(r, prefix+".netstack")
+	t.mem.RegisterTelemetry(r, prefix+".membuf")
+}
 
 // AllocSGA implements core.Transport: buffers come from device-registered
 // slab regions and free back into them. When a configured memory cap is

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // ErrNoMem is returned by TryAlloc when the optional capacity cap is
@@ -251,6 +252,24 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.stats
+}
+
+// RegisterTelemetry lifts the manager's counters into a telemetry
+// registry under prefix (e.g. "membuf"). Sample funcs snapshot Stats()
+// at read time.
+func (m *Manager) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	stat := func(read func(Stats) int64) func() int64 {
+		return func() int64 { return read(m.Stats()) }
+	}
+	r.RegisterFunc(prefix+".regions", stat(func(s Stats) int64 { return int64(s.Regions) }))
+	r.RegisterFunc(prefix+".pinned_bytes", stat(func(s Stats) int64 { return s.PinnedBytes }))
+	r.RegisterFunc(prefix+".registrations", stat(func(s Stats) int64 { return s.Registrations }))
+	r.RegisterFunc(prefix+".allocs", stat(func(s Stats) int64 { return s.Allocs }))
+	r.RegisterFunc(prefix+".recycled", stat(func(s Stats) int64 { return s.Recycled }))
+	r.RegisterFunc(prefix+".deferred_frees", stat(func(s Stats) int64 { return s.DeferredFrees }))
+	r.RegisterFunc(prefix+".double_frees", stat(func(s Stats) int64 { return s.DoubleFrees }))
+	r.RegisterFunc(prefix+".live_buffers", stat(func(s Stats) int64 { return s.LiveBuffers }))
+	r.RegisterFunc(prefix+".nomem_failures", stat(func(s Stats) int64 { return s.NoMemFailures }))
 }
 
 func (m *Manager) recycle(b *Buffer) {

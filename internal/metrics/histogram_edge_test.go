@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"demikernel/internal/simclock"
+)
+
+// TestPercentileEdges pins the documented nearest-rank contract at its
+// edges: p is clamped to [0, 100], p <= 0 returns the minimum sample,
+// p = 100 the maximum, and an empty histogram returns 0. (Percentile
+// used to accept out-of-range p silently, with rank arithmetic deciding
+// the answer by accident.)
+func TestPercentileEdges(t *testing.T) {
+	fill := func(vals ...int64) *Histogram {
+		var h Histogram
+		for _, v := range vals {
+			h.Record(simclock.Lat(v))
+		}
+		return &h
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		p    float64
+		want simclock.Lat
+	}{
+		{"empty p50", fill(), 50, 0},
+		{"empty p0", fill(), 0, 0},
+		{"empty p100", fill(), 100, 0},
+		{"single p0", fill(42), 0, 42},
+		{"single p50", fill(42), 50, 42},
+		{"single p100", fill(42), 100, 42},
+		{"p0 is min", fill(5, 1, 9), 0, 1},
+		{"p100 is max", fill(5, 1, 9), 100, 9},
+		{"p negative clamps to min", fill(5, 1, 9), -10, 1},
+		{"p above 100 clamps to max", fill(5, 1, 9), 250, 9},
+		{"p NaN clamps to min", fill(5, 1, 9), math.NaN(), 1},
+		// Nearest-rank on 1..10: p50 -> 5th smallest, p99 -> 10th.
+		{"nearest rank p50", fill(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 50, 5},
+		{"nearest rank p99", fill(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 99, 10},
+		{"nearest rank p10", fill(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 10, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Percentile(tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestMeanRounding pins the round-half-up mean. The old implementation
+// used integer division, so a true mean of 1.5 reported as 1 and every
+// summary read slightly fast.
+func TestMeanRounding(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []int64
+		want simclock.Lat
+	}{
+		{"empty", nil, 0},
+		{"single", []int64{7}, 7},
+		{"exact", []int64{2, 4}, 3},
+		{"half rounds up", []int64{1, 2}, 2},       // 1.5 -> 2 (was 1)
+		{"just below half", []int64{1, 1, 2}, 1},   // 1.33 -> 1
+		{"just above half", []int64{1, 2, 2}, 2},   // 1.67 -> 2
+		{"large values", []int64{999, 1000}, 1000}, // 999.5 -> 1000
+	}
+	for _, tc := range cases {
+		var h Histogram
+		for _, v := range tc.vals {
+			h.Record(simclock.Lat(v))
+		}
+		if got := h.Mean(); got != tc.want {
+			t.Errorf("%s: Mean(%v) = %v, want %v", tc.name, tc.vals, got, tc.want)
+		}
+	}
+}
+
+// TestSummarizeEmptyAndSingle: digests at the degenerate sizes.
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	var empty Histogram
+	if s := empty.Summarize(); s != (Summary{}) {
+		t.Fatalf("empty Summarize = %+v, want zero", s)
+	}
+	var one Histogram
+	one.Record(9)
+	s := one.Summarize()
+	if s.Count != 1 || s.Mean != 9 || s.P50 != 9 || s.P99 != 9 || s.Min != 9 || s.Max != 9 {
+		t.Fatalf("single-sample Summarize = %+v", s)
+	}
+}

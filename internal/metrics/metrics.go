@@ -38,11 +38,20 @@ func (h *Histogram) sortSamples() {
 	}
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank. It returns 0 on an empty histogram.
+// Percentile returns the p-th percentile using the nearest-rank method:
+// the smallest sample such that at least p% of samples are <= it. The
+// contract is explicit about the edges: p is clamped to [0, 100], p <= 0
+// returns the minimum sample, p = 100 the maximum, and an empty
+// histogram returns 0.
 func (h *Histogram) Percentile(p float64) simclock.Lat {
 	if len(h.samples) == 0 {
 		return 0
+	}
+	if p < 0 || math.IsNaN(p) {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
 	}
 	h.sortSamples()
 	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
@@ -55,16 +64,18 @@ func (h *Histogram) Percentile(p float64) simclock.Lat {
 	return simclock.Lat(h.samples[rank])
 }
 
-// Mean returns the arithmetic mean.
+// Mean returns the arithmetic mean, rounded half-up to the nearest
+// virtual nanosecond (the old integer division truncated, so a mean of
+// 1.5ns reported as 1ns and every summary read slightly fast).
 func (h *Histogram) Mean() simclock.Lat {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	var sum int64
+	var sum float64
 	for _, s := range h.samples {
-		sum += s
+		sum += float64(s)
 	}
-	return simclock.Lat(sum / int64(len(h.samples)))
+	return simclock.Lat(math.Round(sum / float64(len(h.samples))))
 }
 
 // Min returns the smallest sample.

@@ -30,7 +30,10 @@ func TestHistogramBasics(t *testing.T) {
 	if got := h.Max(); got != 100 {
 		t.Fatalf("Max = %v", got)
 	}
-	if got := h.Mean(); got != 50 {
+	// The exact mean of 1..100 is 50.5; Mean rounds half-up to 51. (The
+	// old integer division truncated to 50, under-reporting every
+	// summary by up to a full nanosecond.)
+	if got := h.Mean(); got != 51 {
 		t.Fatalf("Mean = %v", got)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"demikernel/internal/fabric"
 	"demikernel/internal/nic"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // Config describes one stack instance.
@@ -151,6 +152,31 @@ func (s *Stack) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// RegisterTelemetry lifts the stack's counters into a telemetry registry
+// under prefix (e.g. "netstack"). Sample funcs snapshot Stats() at read
+// time, so registration adds nothing to the data path.
+func (s *Stack) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	stat := func(read func(Stats) int64) func() int64 {
+		return func() int64 { return read(s.Stats()) }
+	}
+	r.RegisterFunc(prefix+".frames_in", stat(func(st Stats) int64 { return st.FramesIn }))
+	r.RegisterFunc(prefix+".arp_requests", stat(func(st Stats) int64 { return st.ARPRequests }))
+	r.RegisterFunc(prefix+".arp_replies", stat(func(st Stats) int64 { return st.ARPReplies }))
+	r.RegisterFunc(prefix+".tcp_segs_sent", stat(func(st Stats) int64 { return st.TCPSegsSent }))
+	r.RegisterFunc(prefix+".tcp_segs_rcvd", stat(func(st Stats) int64 { return st.TCPSegsRcvd }))
+	r.RegisterFunc(prefix+".retransmits", stat(func(st Stats) int64 { return st.Retransmits }))
+	r.RegisterFunc(prefix+".fast_retransmits", stat(func(st Stats) int64 { return st.FastRetransmits }))
+	r.RegisterFunc(prefix+".dup_acks_rcvd", stat(func(st Stats) int64 { return st.DupAcksRcvd }))
+	r.RegisterFunc(prefix+".out_of_order_segs", stat(func(st Stats) int64 { return st.OutOfOrderSegs }))
+	r.RegisterFunc(prefix+".bad_checksums", stat(func(st Stats) int64 { return st.BadChecksums }))
+	r.RegisterFunc(prefix+".udp_sent", stat(func(st Stats) int64 { return st.UDPSent }))
+	r.RegisterFunc(prefix+".udp_rcvd", stat(func(st Stats) int64 { return st.UDPRcvd }))
+	r.RegisterFunc(prefix+".no_listener", stat(func(st Stats) int64 { return st.NoListener }))
+	r.RegisterFunc(prefix+".rsts_sent", stat(func(st Stats) int64 { return st.RSTsSent }))
+	r.RegisterFunc(prefix+".rsts_rcvd", stat(func(st Stats) int64 { return st.RSTsRcvd }))
+	r.RegisterFunc(prefix+".give_ups", stat(func(st Stats) int64 { return st.GiveUps }))
 }
 
 // Poll pumps the data path once: it drains received frames from the NIC,

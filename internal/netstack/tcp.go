@@ -7,6 +7,7 @@ import (
 
 	"demikernel/internal/fabric"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // TCP connection states (a condensed but faithful subset of RFC 793).
@@ -416,6 +417,7 @@ func (c *TCPConn) processAckLocked(seg tcpSegment) {
 func (c *TCPConn) fastRetransmitLocked() {
 	s := c.stack
 	s.stats.FastRetransmits++
+	telemetry.TraceInstant("netstack", "fast-retransmit", int32(c.key.localPort), int64(c.sndUna))
 	mss := s.cfg.MSS
 	flight := int(c.sndNxt - c.sndUna)
 	c.ssthresh = max(flight/2, 2*mss)
@@ -612,6 +614,7 @@ func (c *TCPConn) trySendLocked() {
 func (c *TCPConn) giveUpLocked() {
 	s := c.stack
 	s.stats.GiveUps++
+	telemetry.TraceInstant("netstack", "give-up", int32(c.key.localPort), int64(c.retries))
 	switch c.state {
 	case stateSynSent, stateSynRcvd:
 		c.err = ErrConnectTimeout
@@ -648,6 +651,7 @@ func (s *Stack) tickTimersLocked() {
 		}
 		c.retries++
 		s.stats.Retransmits++
+		telemetry.TraceInstant("netstack", "retransmit", int32(c.key.localPort), int64(c.retries))
 		mss := s.cfg.MSS
 		switch c.state {
 		case stateSynSent:

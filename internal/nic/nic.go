@@ -17,6 +17,7 @@ import (
 
 	"demikernel/internal/fabric"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // Config describes a simulated NIC.
@@ -199,6 +200,7 @@ func (d *Device) drainWireLocked() {
 			d.stats.RxFrames++
 		} else {
 			d.stats.RxDropped++
+			telemetry.TraceInstant("nic", "rx-ring-drop", int32(q), int64(len(f.Data)))
 			f.Release()
 		}
 	}
@@ -266,4 +268,40 @@ func (d *Device) QueueDepth(queue int) int {
 	defer d.mu.Unlock()
 	d.drainWireLocked()
 	return d.rx[queue].len()
+}
+
+// RxOccupancy reports the current occupancy of a receive queue WITHOUT
+// draining the wire first. Telemetry gauges use this: a metrics sample
+// must observe the device, not perturb it (QueueDepth's drain would move
+// frames from the fabric into the rings as a side effect of being read).
+func (d *Device) RxOccupancy(queue int) int {
+	if queue < 0 || queue >= len(d.rx) {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rx[queue].len()
+}
+
+// RegisterTelemetry lifts the device counters into a telemetry registry
+// under prefix (e.g. "nic"). Counter sample funcs snapshot Stats() at
+// read time; per-queue occupancy gauges use the non-draining
+// RxOccupancy so sampling never mutates device state.
+func (d *Device) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	stat := func(read func(Stats) int64) func() int64 {
+		return func() int64 { return read(d.Stats()) }
+	}
+	r.RegisterFunc(prefix+".tx_frames", stat(func(s Stats) int64 { return s.TxFrames }))
+	r.RegisterFunc(prefix+".rx_frames", stat(func(s Stats) int64 { return s.RxFrames }))
+	r.RegisterFunc(prefix+".rx_dropped", stat(func(s Stats) int64 { return s.RxDropped }))
+	r.RegisterFunc(prefix+".filter_drops", stat(func(s Stats) int64 { return s.FilterDrops }))
+	r.RegisterFunc(prefix+".filter_evals", stat(func(s Stats) int64 { return s.FilterEvals }))
+	r.RegisterFunc(prefix+".dma_bytes", stat(func(s Stats) int64 { return s.DMABytes }))
+	r.RegisterFunc(prefix+".regions", stat(func(s Stats) int64 { return s.Regions }))
+	for q := 0; q < d.cfg.RxQueues; q++ {
+		q := q
+		r.RegisterFunc(fmt.Sprintf("%s.rxq%d.occupancy", prefix, q), func() int64 {
+			return int64(d.RxOccupancy(q))
+		})
+	}
 }

@@ -1,0 +1,188 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"demikernel/internal/simclock"
+)
+
+// TestCompleterReadyListEnableOrder is the regression test for the
+// enable-order gap: a completion that arrives BEFORE EnableReadyList
+// used to be invisible to the ready list forever — an event loop that
+// attached to an already-running libOS silently missed it. Now the
+// enable sweeps done-but-unconsumed tokens in.
+func TestCompleterReadyListEnableOrder(t *testing.T) {
+	c := NewCompleter()
+	qt, done := c.NewToken()
+	// Complete FIRST...
+	done(Completion{Kind: OpPop, Cost: simclock.Lat(7)})
+	// ...enable SECOND.
+	c.EnableReadyList()
+
+	ready := c.TakeReady(nil)
+	if len(ready) != 1 || ready[0] != qt {
+		t.Fatalf("ready = %v, want [%v]: pre-enable completion lost", ready, qt)
+	}
+	comp, ok, err := c.TryWait(qt)
+	if err != nil || !ok {
+		t.Fatalf("TryWait after sweep: ok=%v err=%v", ok, err)
+	}
+	if comp.Cost != 7 {
+		t.Fatalf("Cost = %v, want 7", comp.Cost)
+	}
+}
+
+// TestCompleterReadyListNoDoublePublish checks the sweep and a racing
+// completion publish each token exactly once: tokens completed before
+// enable, after enable, and concurrently with enable must each appear
+// exactly one time in the ready list.
+func TestCompleterReadyListNoDoublePublish(t *testing.T) {
+	c := NewCompleter()
+	const n = 200
+	tokens := make([]QToken, n)
+	dones := make([]DoneFunc, n)
+	for i := range tokens {
+		tokens[i], dones[i] = c.NewToken()
+	}
+	// First half completes before enable.
+	for i := 0; i < n/2; i++ {
+		dones[i](Completion{Kind: OpPush})
+	}
+	// Second half completes concurrently with the enable sweep.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := n / 2; i < n; i++ {
+			dones[i](Completion{Kind: OpPush})
+		}
+	}()
+	c.EnableReadyList()
+	wg.Wait()
+
+	seen := make(map[QToken]int)
+	for _, qt := range c.TakeReady(nil) {
+		seen[qt]++
+	}
+	// A racing completion may land after the sweep and before TakeReady;
+	// drain once more for stragglers.
+	for _, qt := range c.TakeReady(nil) {
+		seen[qt]++
+	}
+	if len(seen) != n {
+		t.Fatalf("ready list has %d distinct tokens, want %d", len(seen), n)
+	}
+	for qt, k := range seen {
+		if k != 1 {
+			t.Fatalf("token %v published %d times, want exactly once", qt, k)
+		}
+	}
+}
+
+// TestCompleterReadyListSkipsClaimedTokens: a token with a blocking
+// waiter subscribed must not be swept into the ready list — the waiter's
+// channel is its sole delivery path.
+func TestCompleterReadyListSkipsClaimedTokens(t *testing.T) {
+	c := NewCompleter()
+	qt, done := c.NewToken()
+	ch, err := c.WaitChan(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done(Completion{Kind: OpPop})
+	c.EnableReadyList()
+	if ready := c.TakeReady(nil); len(ready) != 0 {
+		t.Fatalf("ready = %v, want empty: claimed token swept", ready)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("waiter channel never delivered")
+	}
+}
+
+// TestCompleterChannelHandoffRaceStress exercises the complete()→WaitChan
+// handoff that happens outside the shard lock, under -race: many tokens,
+// each with one concurrent completer and one concurrent subscriber, in
+// both orders. Every waiter must receive exactly one completion.
+func TestCompleterChannelHandoffRaceStress(t *testing.T) {
+	c := NewCompleter()
+	const n = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		qt, done := c.NewToken()
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			done(Completion{Kind: OpPop, Cost: simclock.Lat(i)})
+		}(i)
+		go func() {
+			defer wg.Done()
+			// Subscribe, retrying the only legal race (claimed tokens
+			// cannot happen here; unknown cannot happen because the
+			// token is consumed only through this channel).
+			ch, err := c.WaitChan(qt)
+			if err != nil {
+				t.Errorf("WaitChan: %v", err)
+				return
+			}
+			select {
+			case <-ch:
+			case <-time.After(5 * time.Second):
+				t.Error("completion never delivered")
+			}
+		}()
+	}
+	wg.Wait()
+	if out := c.Outstanding(); out != 0 {
+		t.Fatalf("Outstanding = %d after all handoffs, want 0", out)
+	}
+	if w := c.Wakeups(); w != n {
+		t.Fatalf("Wakeups = %d, want %d (exactly one per token)", w, n)
+	}
+}
+
+// TestCompleterSpanStamps checks qtoken span plumbing end to end at the
+// completer level: issue/submit/complete/consume produce one summary per
+// (qd, op) with the op's virtual cost in the histogram.
+func TestCompleterSpanStamps(t *testing.T) {
+	c := NewCompleter()
+	c.Spans().Enable()
+	defer c.Spans().Disable()
+
+	qt, done := c.NewTokenFor(3)
+	c.MarkSubmit(qt)
+	done(Completion{Kind: OpPop, Cost: simclock.Lat(123)})
+	if _, ok, err := c.TryWait(qt); !ok || err != nil {
+		t.Fatalf("TryWait: ok=%v err=%v", ok, err)
+	}
+
+	sums := c.Spans().Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("got %d summaries, want 1: %+v", len(sums), sums)
+	}
+	s := sums[0]
+	if s.QD != 3 || s.Kind != int(OpPop) || s.Ops != 1 || s.Errs != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Lat.P50 != 123 {
+		t.Fatalf("span latency P50 = %v, want 123 (virtual cost)", s.Lat.P50)
+	}
+}
+
+// TestCompleterSpansDisabledNoSidecar: with spans off, tokens must not
+// allocate stamp sidecars (the hot path depends on it).
+func TestCompleterSpansDisabledNoSidecar(t *testing.T) {
+	c := NewCompleter()
+	qt, done := c.NewTokenFor(1)
+	c.MarkSubmit(qt) // must be a cheap no-op
+	done(Completion{Kind: OpPush})
+	if _, ok, err := c.TryWait(qt); !ok || err != nil {
+		t.Fatalf("TryWait: ok=%v err=%v", ok, err)
+	}
+	if sums := c.Spans().Summaries(); len(sums) != 0 {
+		t.Fatalf("spans recorded while disabled: %+v", sums)
+	}
+}

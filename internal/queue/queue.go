@@ -15,9 +15,11 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // QToken identifies one outstanding queue operation. "Each qtoken is
@@ -95,6 +97,7 @@ const completerShards = 16
 type Completer struct {
 	next    atomic.Uint64
 	wakeups atomic.Int64 // feeds the E5 experiment
+	spans   *telemetry.SpanTable
 	shards  [completerShards]completerShard
 
 	// Ready list, opt-in: without a consumer it would grow without
@@ -109,15 +112,34 @@ type completerShard struct {
 	pending map[QToken]*tokenState
 }
 
+// tokenState is the per-token table entry. Layout note: the two flags
+// and the queue descriptor pack into the padding before comp, and the
+// span sidecar is one pointer, so the struct stays in the same heap size
+// class it occupied before telemetry existed — per-op B/op on the hot
+// path is unchanged with spans disabled.
 type tokenState struct {
 	done bool
-	comp Completion
-	ch   chan Completion // non-nil once a blocking waiter subscribed
+	// published marks that the token has already been appended to the
+	// ready list, so the EnableReadyList sweep and a racing complete()
+	// never double-publish it.
+	published bool
+	qd        int32 // owning queue descriptor (-1 when unattributed)
+	comp      Completion
+	ch        chan Completion // non-nil once a blocking waiter subscribed
+	// span carries the wall-clock stage stamps while qtoken spans are
+	// enabled; nil (no allocation) otherwise.
+	span *spanStamps
+}
+
+type spanStamps struct {
+	issueNS  int64
+	submitNS int64
+	doneNS   int64
 }
 
 // NewCompleter returns an empty token table.
 func NewCompleter() *Completer {
-	c := &Completer{}
+	c := &Completer{spans: telemetry.NewSpanTable("completer")}
 	for i := range c.shards {
 		c.shards[i].pending = make(map[QToken]*tokenState)
 	}
@@ -128,18 +150,71 @@ func (c *Completer) shard(qt QToken) *completerShard {
 	return &c.shards[uint64(qt)%completerShards]
 }
 
+// Spans exposes the completer's qtoken span table. Spans are disabled by
+// default; observability surfaces call Spans().Enable() to start
+// stamping operations (see internal/telemetry).
+func (c *Completer) Spans() *telemetry.SpanTable { return c.spans }
+
 // NewToken allocates a fresh token in the pending state and returns it
 // along with the DoneFunc that completes it.
 func (c *Completer) NewToken() (QToken, DoneFunc) {
+	return c.NewTokenFor(-1)
+}
+
+// NewTokenFor is NewToken with queue-descriptor attribution: qd labels
+// the operation's latency series when qtoken spans are enabled (the
+// syscall layer passes the QD; transports that allocate tokens
+// internally use NewToken).
+func (c *Completer) NewTokenFor(qd int32) (QToken, DoneFunc) {
 	qt := QToken(c.next.Add(1))
+	st := &tokenState{qd: qd}
+	if c.spans.Enabled() {
+		st.span = &spanStamps{issueNS: time.Now().UnixNano()}
+	}
 	sh := c.shard(qt)
 	sh.mu.Lock()
-	sh.pending[qt] = &tokenState{}
+	sh.pending[qt] = st
 	sh.mu.Unlock()
 	return qt, func(comp Completion) {
 		comp.Token = qt
 		c.complete(qt, comp)
 	}
+}
+
+// MarkSubmit stamps the device-submit stage of qt's span: the libOS
+// calls it once the operation has been handed to the device-side queue
+// machinery. A no-op (one atomic load) while spans are disabled, and on
+// tokens that completed inline and were already consumed.
+func (c *Completer) MarkSubmit(qt QToken) {
+	if !c.spans.Enabled() {
+		return
+	}
+	now := time.Now().UnixNano()
+	sh := c.shard(qt)
+	sh.mu.Lock()
+	if st, ok := sh.pending[qt]; ok && st.span != nil && st.span.submitNS == 0 {
+		st.span.submitNS = now
+	}
+	sh.mu.Unlock()
+}
+
+// recordSpan folds a consumed token's stage stamps into the span table.
+// Called after the token has left the pending table (or will never be
+// observed again), so st is owned by the caller — no lock is needed.
+func (c *Completer) recordSpan(st *tokenState, consumeNS int64) {
+	if st.span == nil || !c.spans.Enabled() {
+		return
+	}
+	c.spans.Record(telemetry.SpanRecord{
+		QD:        st.qd,
+		Kind:      int(st.comp.Kind),
+		Err:       st.comp.Err != nil,
+		IssueNS:   st.span.issueNS,
+		SubmitNS:  st.span.submitNS,
+		DoneNS:    st.span.doneNS,
+		ConsumeNS: consumeNS,
+		VirtCost:  st.comp.Cost,
+	})
 }
 
 func (c *Completer) complete(qt QToken, comp Completion) {
@@ -152,21 +227,38 @@ func (c *Completer) complete(qt QToken, comp Completion) {
 	}
 	st.done = true
 	st.comp = comp
+	if st.span != nil {
+		st.span.doneNS = time.Now().UnixNano()
+	}
 	ch := st.ch
+	publish := false
 	if ch != nil {
 		// A blocking waiter subscribed: hand off and consume the
 		// token. Exactly this one waiter wakes.
 		delete(sh.pending, qt)
 		c.wakeups.Add(1)
+	} else if c.trackReady.Load() {
+		// Publication is decided (and the token marked) under the shard
+		// lock, so the EnableReadyList sweep — which scans under the
+		// same lock — can never double-publish a token this completion
+		// already claimed, and vice versa.
+		st.published = true
+		publish = true
 	}
 	sh.mu.Unlock()
 	if ch != nil {
+		// The channel handoff deliberately happens outside the shard
+		// lock: the channel has capacity 1 and exactly one completion is
+		// ever delivered per token (the st.done guard above), so the
+		// send cannot block and needs no lock. Delivery through the
+		// channel is also the waiter's consume moment.
+		if st.span != nil {
+			c.recordSpan(st, st.span.doneNS)
+		}
 		ch <- comp
 		return
 	}
-	// No blocking waiter: publish to the ready list (when an event loop
-	// subscribed) so dispatch finds this token without probing.
-	if c.trackReady.Load() {
+	if publish {
 		c.readyMu.Lock()
 		c.ready = append(c.ready, qt)
 		c.readyMu.Unlock()
@@ -175,8 +267,34 @@ func (c *Completer) complete(qt QToken, comp Completion) {
 
 // EnableReadyList turns on ready-token tracking. Event loops call it
 // once; completions that arrive without a blocking waiter are then
-// recorded for TakeReady. Idempotent.
-func (c *Completer) EnableReadyList() { c.trackReady.Store(true) }
+// recorded for TakeReady.
+//
+// Enabling also sweeps tokens that completed *before* the call (or while
+// a waiter subscription raced) into the ready list, so an event loop
+// attached to an already-running libOS cannot permanently miss
+// done-but-unconsumed tokens. Idempotent: the per-token published flag
+// makes the sweep and racing completions publish each token exactly
+// once.
+func (c *Completer) EnableReadyList() {
+	c.trackReady.Store(true)
+	var swept []QToken
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for qt, st := range sh.pending {
+			if st.done && st.ch == nil && !st.published {
+				st.published = true
+				swept = append(swept, qt)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if len(swept) > 0 {
+		c.readyMu.Lock()
+		c.ready = append(c.ready, swept...)
+		c.readyMu.Unlock()
+	}
+}
 
 // TakeReady appends all currently ready (completed, unconsumed, no
 // blocking waiter) tokens to dst and clears the internal list, keeping
@@ -210,15 +328,20 @@ func (c *Completer) Done(qt QToken) (done, exists bool) {
 func (c *Completer) TryWait(qt QToken) (Completion, bool, error) {
 	sh := c.shard(qt)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	st, ok := sh.pending[qt]
 	if !ok {
+		sh.mu.Unlock()
 		return Completion{}, false, ErrUnknownToken
 	}
 	if !st.done {
+		sh.mu.Unlock()
 		return Completion{}, false, nil
 	}
 	delete(sh.pending, qt)
+	sh.mu.Unlock()
+	if st.span != nil {
+		c.recordSpan(st, time.Now().UnixNano())
+	}
 	return st.comp, true, nil
 }
 
@@ -245,6 +368,9 @@ func (c *Completer) WaitChan(qt QToken) (<-chan Completion, error) {
 		delete(sh.pending, qt)
 		c.wakeups.Add(1)
 		sh.mu.Unlock()
+		if st.span != nil {
+			c.recordSpan(st, time.Now().UnixNano())
+		}
 		ch <- st.comp
 		return ch, nil
 	}
@@ -268,6 +394,23 @@ func (c *Completer) Outstanding() int {
 // one of them had a completion attached: by construction there are no
 // wasted wakeups to count.
 func (c *Completer) Wakeups() int64 { return c.wakeups.Load() }
+
+// ReadyLen reports how many tokens currently sit in the ready list (for
+// observability; may include tokens a direct waiter has since consumed).
+func (c *Completer) ReadyLen() int {
+	c.readyMu.Lock()
+	defer c.readyMu.Unlock()
+	return len(c.ready)
+}
+
+// RegisterTelemetry lifts the completer's counters into a telemetry
+// registry under prefix: wakeups delivered, tokens outstanding, and the
+// ready-list depth.
+func (c *Completer) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	r.RegisterFunc(prefix+".wakeups", c.Wakeups)
+	r.RegisterFunc(prefix+".outstanding", func() int64 { return int64(c.Outstanding()) })
+	r.RegisterFunc(prefix+".ready", func() int64 { return int64(c.ReadyLen()) })
+}
 
 // MemQueue is an in-memory Demikernel queue: the object behind the plain
 // queue() syscall. Elements pass by reference — pushing and popping never

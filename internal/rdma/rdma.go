@@ -29,6 +29,7 @@ import (
 
 	"demikernel/internal/fabric"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // Errors returned by verb calls.
@@ -363,6 +364,26 @@ func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// RegisterTelemetry lifts the device counters into a telemetry registry
+// under prefix (e.g. "rnic"). Sample funcs snapshot Stats() at read time.
+func (d *Device) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	stat := func(read func(Stats) int64) func() int64 {
+		return func() int64 { return read(d.Stats()) }
+	}
+	r.RegisterFunc(prefix+".registrations", stat(func(s Stats) int64 { return s.Registrations }))
+	r.RegisterFunc(prefix+".deregistrations", stat(func(s Stats) int64 { return s.Deregistrations }))
+	r.RegisterFunc(prefix+".pinned_bytes", stat(func(s Stats) int64 { return s.PinnedBytes }))
+	r.RegisterFunc(prefix+".sends", stat(func(s Stats) int64 { return s.Sends }))
+	r.RegisterFunc(prefix+".recvs", stat(func(s Stats) int64 { return s.Recvs }))
+	r.RegisterFunc(prefix+".writes", stat(func(s Stats) int64 { return s.Writes }))
+	r.RegisterFunc(prefix+".reads", stat(func(s Stats) int64 { return s.Reads }))
+	r.RegisterFunc(prefix+".rnr_naks", stat(func(s Stats) int64 { return s.RNRNaks }))
+	r.RegisterFunc(prefix+".len_naks", stat(func(s Stats) int64 { return s.LenNaks }))
+	r.RegisterFunc(prefix+".access_naks", stat(func(s Stats) int64 { return s.AccessNaks }))
+	r.RegisterFunc(prefix+".qp_errors", stat(func(s Stats) int64 { return s.QPErrors }))
+	r.RegisterFunc(prefix+".icrc_drops", stat(func(s Stats) int64 { return s.IcrcDrops }))
 }
 
 // AllocPD allocates a protection domain.

@@ -26,6 +26,7 @@ import (
 	"demikernel/internal/queue"
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // PopHandler receives one completed pop.
@@ -127,6 +128,14 @@ func (el *EventLoop) Push(qd core.QD, s sga.SGA, cost simclock.Lat, h PushHandle
 // Dispatched returns the number of callbacks invoked so far. Lock-free:
 // the counter is atomic so observability never contends with dispatch.
 func (el *EventLoop) Dispatched() int64 { return el.dispatched.Load() }
+
+// RegisterTelemetry lifts the loop's counters into a telemetry registry
+// under prefix (e.g. "sched"): total callbacks dispatched and the
+// current armed-but-incomplete registration depth.
+func (el *EventLoop) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	r.RegisterFunc(prefix+".dispatched", el.Dispatched)
+	r.RegisterFunc(prefix+".pending", func() int64 { return int64(el.Pending()) })
+}
 
 // Tick runs one loop iteration: poll the libOS, accept pending
 // connections, and dispatch every completed token from the ready list.

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
 )
 
 // BlockSize is the device's logical block size.
@@ -125,6 +126,22 @@ func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// RegisterTelemetry lifts the device counters into a telemetry registry
+// under prefix (e.g. "nvme"). Sample funcs snapshot Stats() at read time.
+func (d *Device) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	stat := func(read func(Stats) int64) func() int64 {
+		return func() int64 { return read(d.Stats()) }
+	}
+	r.RegisterFunc(prefix+".reads", stat(func(s Stats) int64 { return s.Reads }))
+	r.RegisterFunc(prefix+".writes", stat(func(s Stats) int64 { return s.Writes }))
+	r.RegisterFunc(prefix+".flushes", stat(func(s Stats) int64 { return s.Flushes }))
+	r.RegisterFunc(prefix+".queue_fulls", stat(func(s Stats) int64 { return s.QueueFulls }))
+	r.RegisterFunc(prefix+".errors", stat(func(s Stats) int64 { return s.Errors }))
+	r.RegisterFunc(prefix+".dma_bytes", stat(func(s Stats) int64 { return s.DMABytes }))
+	r.RegisterFunc(prefix+".resets", stat(func(s Stats) int64 { return s.Resets }))
+	r.RegisterFunc(prefix+".injected_errors", stat(func(s Stats) int64 { return s.InjectedErrors }))
 }
 
 // Submit enqueues a command and returns its completion ID. It fails fast
