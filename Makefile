@@ -1,18 +1,21 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race statsmoke chaos bench benchsmoke benchall report clean
+.PHONY: all tier1 vet build test race statsmoke shardsmoke chaos bench benchsmoke benchall report clean
 
 all: tier1
 
 ## tier1: the gate every PR must keep green — vet, build, full test
 ## suite, a short -race pass over the concurrency-heavy packages
 ## (the chaos engine, the user TCP stack, the pinned-memory allocator,
-## the telemetry instruments, and the qtoken completer), a counter-
-## consistency smoke (telemetry must conserve frames: TXed == delivered
-## + every attributed drop, at the fabric, per NIC, and per stack), and
-## a one-iteration smoke of the hot-path benchmark suite so a broken
-## benchmark rig fails the gate, not the nightly bench run.
-tier1: vet build test race statsmoke benchsmoke
+## the telemetry instruments, the qtoken completer, the cross-shard
+## SPSC mesh, and the sharded KV workers), a counter-consistency smoke
+## (telemetry must conserve frames: TXed == delivered + every
+## attributed drop, at the fabric, per NIC, and per stack), a 2-shard
+## KV scaling smoke (the sharded runtime must come up, align, and beat
+## one shard), and a one-iteration smoke of the hot-path benchmark
+## suite so a broken benchmark rig fails the gate, not the nightly
+## bench run.
+tier1: vet build test race statsmoke shardsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +27,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/ ./internal/shard/ ./internal/apps/kv/
+	$(GO) test -race -count=1 -run 'TestChaosShardedKV' .
 
 ## statsmoke: run an impaired echo workload and check that the telemetry
 ## counters obey the frame-conservation laws end to end (demi-stat
@@ -32,15 +36,26 @@ race:
 statsmoke:
 	$(GO) run ./cmd/demi-stat -selftest
 
+## shardsmoke: bring up the sharded runtime at 1 and 2 shards and
+## verify RSS alignment and a speedup; part of tier1. The full curve
+## (1..8 shards, with the 2.5x @ 4-shard regression fence) runs under
+## `make bench`.
+shardsmoke:
+	$(GO) run ./cmd/demi-bench -shards 2 -shardsout /dev/null
+
 ## chaos: just the fault-injection suite (root soak tests + engine).
 chaos:
 	$(GO) test -run 'TestChaos' -count=1 ./...
 
 ## bench: run the hot-path regression suite and write the machine-
-## readable result stream to BENCH_hotpath.json. Compare against the
-## committed baseline to spot allocs/op or B/op regressions.
+## readable result stream to BENCH_hotpath.json, then measure the
+## multi-core scaling curve (1..8 shards) and persist it as
+## BENCH_multishard.json. The curve run fails if 4 shards fall below
+## 2.5x the single-shard virtual throughput. Compare both files
+## against the committed baselines to spot regressions.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchmem -json . | tee BENCH_hotpath.json
+	$(GO) run ./cmd/demi-bench -shards 8 -shardsout BENCH_multishard.json
 
 ## benchsmoke: one iteration of every hot-path benchmark; part of tier1.
 benchsmoke:

@@ -480,4 +480,70 @@ func BenchmarkSGAMarshal(b *testing.B) {
 	_ = buf
 }
 
+// BenchmarkMultiShard_KV drives the RSS-sharded KV server at 1/2/4/8
+// shards with an aligned client and reports, next to the real execution
+// cost per GET, the *virtual* scaling metric the sharded runtime is
+// judged by: vkops/s = served ops / the busiest shard's modeled
+// single-core busy time (see kv.ShardedServer.BusyVirt). Real wall
+// clock cannot show multi-core scaling inside a simulation pinned to
+// whatever cores the host has; the virtual curve is deterministic.
+// `make bench` persists the same curve via `demi-bench -shards 8` into
+// BENCH_multishard.json.
+func BenchmarkMultiShard_KV(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			c := NewCluster(1)
+			srvNode := c.NewShardedCatnipNode(NodeConfig{Host: 1}, n)
+			cliNode := c.NewCatnipNode(NodeConfig{Host: 2})
+			server := kv.NewShardedServer(srvNode.Libs, &c.Model, srvNode.Mesh())
+			const port = 6379
+			if err := server.Listen(port); err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			wg := server.Run(stop)
+			stopCli := cliNode.Background()
+			defer func() { close(stop); wg.Wait(); stopCli() }()
+			client, err := kv.NewShardedClient(cliNode.LibOS, n, func(i int) (QD, error) {
+				return c.DialToShard(cliNode, srvNode, port, i, uint16(4096*i+31))
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+
+			const nkeys = 64
+			keys := make([]string, nkeys)
+			val := make([]byte, 32)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("bench-%03d", i)
+				if _, err := client.Set(keys[i], val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, found, err := client.Get(keys[i%nkeys]); err != nil || !found {
+					b.Fatalf("get: found=%v err=%v", found, err)
+				}
+			}
+			b.StopTimer()
+			ops := server.TotalOps()
+			var maxBusy, forwards int64
+			for i := 0; i < n; i++ {
+				if busy := server.BusyVirt(i); busy > maxBusy {
+					maxBusy = busy
+				}
+				forwards += server.StatsOf(i).ForwardedOut
+			}
+			if forwards != 0 {
+				b.Fatalf("aligned benchmark crossed the mesh %d times", forwards)
+			}
+			if maxBusy > 0 {
+				b.ReportMetric(float64(ops)/(float64(maxBusy)/1e9)/1e3, "vkops/s")
+			}
+		})
+	}
+}
+
 var benchSink sync.Once // silences unused-import pressure in refactors

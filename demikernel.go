@@ -55,8 +55,10 @@ import (
 	"demikernel/internal/nic"
 	"demikernel/internal/queue"
 	"demikernel/internal/sga"
+	"demikernel/internal/shard"
 	"demikernel/internal/simclock"
 	"demikernel/internal/spdk"
+	"demikernel/internal/telemetry"
 )
 
 // Re-exported core types: the Demikernel system-call surface (Figure 3).
@@ -102,7 +104,8 @@ type Cluster struct {
 	Model  CostModel
 	Switch *fabric.Switch
 
-	nodes []*Node
+	nodes        []*Node
+	shardedNodes []*ShardedNode
 }
 
 // Node binds a LibOS to its simulated host identity on the cluster.
@@ -260,6 +263,103 @@ func (c *Cluster) newCatfishOn(dev *spdk.Device) (*Node, error) {
 	return n, nil
 }
 
+// ShardedNode is an N-shard catnip host: one NIC (with N RSS receive
+// queues), one MAC, one IP — and N fully independent libOS shards, each
+// owning one queue, one netstack, one memory manager, and one frame
+// pool. Libs[i] is shard i's complete Demikernel syscall surface; the
+// Mesh carries the rare cross-shard traffic.
+type ShardedNode struct {
+	Set  *catnip.ShardSet
+	Libs []*LibOS
+	MAC  fabric.MAC
+	IP   netstack.IPv4Addr
+}
+
+// NewShardedCatnipNode attaches a sharded catnip host with the given
+// shard count — the paper's §3.1 scale-out shape: "flow-level
+// parallelism... partition[s] connections across cores".
+func (c *Cluster) NewShardedCatnipNode(cfg NodeConfig, shards int) *ShardedNode {
+	set := catnip.NewSharded(&c.Model, c.Switch, catnip.Config{
+		MAC:            c.mac(cfg.Host),
+		IP:             c.ip(cfg.Host),
+		PerPacketExtra: cfg.PerPacketExtra,
+		MemCapacity:    cfg.MemCapacity,
+		RTO:            cfg.RTO,
+		MaxRetransmits: cfg.MaxRetransmits,
+	}, shards)
+	n := &ShardedNode{Set: set, MAC: c.mac(cfg.Host), IP: c.ip(cfg.Host)}
+	for i := 0; i < shards; i++ {
+		n.Libs = append(n.Libs, core.New(set.Shard(i), &c.Model))
+	}
+	c.shardedNodes = append(c.shardedNodes, n)
+	return n
+}
+
+// Size returns the shard count.
+func (n *ShardedNode) Size() int { return len(n.Libs) }
+
+// Mesh returns the cross-shard SPSC message mesh.
+func (n *ShardedNode) Mesh() *shard.Group { return n.Set.Mesh() }
+
+// Poll pumps every shard's data path once.
+func (n *ShardedNode) Poll() int {
+	total := 0
+	for _, l := range n.Libs {
+		total += l.Poll()
+	}
+	return total
+}
+
+// Background starts one polling goroutine per shard (a deployment pins
+// one per core) and returns a function stopping them all.
+func (n *ShardedNode) Background() (stop func()) {
+	stops := make([]func(), 0, len(n.Libs))
+	for _, l := range n.Libs {
+		stops = append(stops, l.Background())
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+}
+
+// FabricPort returns the switch port of the sharded node's NIC (for
+// chaos schedules).
+func (n *ShardedNode) FabricPort() int { return n.Set.Device().PortID() }
+
+// RegisterTelemetry lifts the whole sharded vertical into a registry:
+// the shared NIC under prefix.nic, each shard's stack/membuf/completer
+// under prefix.shard.<i>.*, and the mesh counters as
+// prefix.shard.<i>.xs_*.
+func (n *ShardedNode) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	n.Set.RegisterTelemetry(r, prefix)
+	for i, l := range n.Libs {
+		l.Completer().RegisterTelemetry(r, fmt.Sprintf("%s.shard.%d.completer", prefix, i))
+	}
+}
+
+// DialToShard connects a plain catnip client node to one specific shard
+// of a sharded peer: it searches the ephemeral port range for a source
+// port whose RSS hash (as computed by the server NIC over the inbound
+// flow) selects the target queue, then dials from that port. seed
+// staggers the search start so concurrent dialers pick distinct ports.
+// The caller must keep the server side polling (Background) for the
+// handshake to complete.
+func (c *Cluster) DialToShard(client *Node, srv *ShardedNode, port uint16, target int, seed uint16) (QD, error) {
+	sp := catnip.SourcePortFor(client.IP, srv.IP, port, srv.Size(), target, seed)
+	ep, err := client.Catnip.SocketFrom(sp)
+	if err != nil {
+		return core.InvalidQD, err
+	}
+	qd := client.LibOS.AdoptEndpoint(ep)
+	if err := client.LibOS.Connect(qd, Addr{IP: srv.IP, MAC: srv.MAC, Port: port}); err != nil {
+		client.LibOS.Close(qd)
+		return core.InvalidQD, err
+	}
+	return qd, nil
+}
+
 // FabricPort returns the switch port ID the node's NIC is attached to
 // (catnip and catmint nodes only; -1 otherwise). Chaos schedules use it
 // to target link faults at one host.
@@ -283,6 +383,9 @@ func (c *Cluster) AddrOf(n *Node, port uint16) Addr {
 func (c *Cluster) Poll() int {
 	total := 0
 	for _, n := range c.nodes {
+		total += n.Poll()
+	}
+	for _, n := range c.shardedNodes {
 		total += n.Poll()
 	}
 	return total

@@ -1,0 +1,648 @@
+// Sharded KV: the share-nothing, multi-core shape of the server. One
+// worker per libOS shard owns a disjoint slice of the keyspace and every
+// connection RSS steered to its NIC queue. The GET/PUT hot path takes no
+// lock: the store map, the connection table, and the scratch state are
+// all private to the single worker goroutine that touches them. The only
+// cross-worker traffic is (a) padded atomic stats the control plane may
+// snapshot, and (b) requests that arrive at a shard which does not own
+// the key, which ride the bounded lock-free SPSC mesh to the owner and
+// come back as replies — rare by construction when clients align their
+// source ports with the keyspace partition, but correct always.
+package kv
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"demikernel/internal/core"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/shard"
+	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
+)
+
+// KeyShard maps a key to its owning shard: FNV-1a over the key bytes,
+// mod n. Deterministic and cheap; clients use it to pick the connection
+// (and therefore, via RSS source-port alignment, the core) a request
+// should travel to, and servers use it to detect misdirected requests.
+func KeyShard(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// ShardStats snapshots one worker's counters.
+type ShardStats struct {
+	Gets, Sets, Dels int64
+	NotFound         int64
+	BadRequests      int64
+	Connections      int64
+	ForwardedOut     int64 // requests this shard relayed to the owner
+	ForwardedIn      int64 // requests this shard executed for a sibling
+	ForwardDrops     int64 // forwards abandoned because the mesh stayed full
+	Keys             int64
+	BusyVirtNS       int64 // accumulated virtual busy time (see BusyVirt)
+}
+
+// shardCounters is the cross-thread-visible face of a worker, padded so
+// the control plane snapshotting shard i never bounces shard i+1's hot
+// line.
+type shardCounters struct {
+	gets, sets, dels atomic.Int64
+	notFound         atomic.Int64
+	badRequests      atomic.Int64
+	connections      atomic.Int64
+	forwardedOut     atomic.Int64
+	forwardedIn      atomic.Int64
+	forwardDrops     atomic.Int64
+	keys             atomic.Int64
+	busyVirt         atomic.Int64
+	_                [64 - 8]byte //nolint:unused // pad to a cache line
+}
+
+// fwdReq crosses the mesh from the shard a request landed on to the
+// shard owning its key. conn is meaningful only to the origin and is
+// echoed back verbatim in the reply.
+type fwdReq struct {
+	conn core.QD
+	req  sga.SGA
+	cost simclock.Lat
+}
+
+// fwdResp carries the owner's response back to the origin shard.
+type fwdResp struct {
+	conn core.QD
+	resp sga.SGA
+	cost simclock.Lat
+}
+
+// shardWorker is one share-nothing server shard. Every field below the
+// marker is touched only by the worker's own goroutine.
+type shardWorker struct {
+	idx   int
+	n     int
+	lib   *core.LibOS
+	model *simclock.CostModel
+	group *shard.Group
+	ctr   *shardCounters
+
+	// --- worker-private state: no locks, by construction ---
+	store      map[string]storedVal
+	lqd        core.QD
+	conns      map[core.QD]queue.QToken
+	inbox      []shard.Msg
+	fwdBacklog []shard.Msg // forwards the mesh rejected; retried next step
+}
+
+// ShardedServer runs one KV worker per libOS shard.
+type ShardedServer struct {
+	workers []*shardWorker
+	group   *shard.Group
+}
+
+// maxFwdBacklog bounds how many rejected forwards a worker parks before
+// it starts answering StatusError — backpressure must eventually reach
+// the client instead of growing an unbounded queue.
+const maxFwdBacklog = 256
+
+// NewShardedServer builds an n-shard server, one worker per libOS in
+// libs (libs[i] must wrap shard i's transport). group is the cross-shard
+// mesh; it must have exactly len(libs) workers.
+func NewShardedServer(libs []*core.LibOS, model *simclock.CostModel, group *shard.Group) *ShardedServer {
+	if group.Size() != len(libs) {
+		panic("kv: mesh size does not match shard count")
+	}
+	s := &ShardedServer{group: group}
+	for i, lib := range libs {
+		s.workers = append(s.workers, &shardWorker{
+			idx:   i,
+			n:     len(libs),
+			lib:   lib,
+			model: model,
+			group: group,
+			ctr:   &shardCounters{},
+			store: make(map[string]storedVal),
+			conns: make(map[core.QD]queue.QToken),
+		})
+	}
+	return s
+}
+
+// Listen binds every shard's listener to port. Each shard has its own
+// netstack, so the same port coexists; RSS decides which stack a SYN
+// reaches, which is exactly the accept-distribution policy the paper's
+// sharded servers use.
+func (s *ShardedServer) Listen(port uint16) error {
+	for _, w := range s.workers {
+		qd, err := w.lib.Socket()
+		if err != nil {
+			return err
+		}
+		if err := w.lib.Bind(qd, core.Addr{Port: port}); err != nil {
+			return err
+		}
+		if err := w.lib.Listen(qd); err != nil {
+			return err
+		}
+		w.lqd = qd
+	}
+	return nil
+}
+
+// Step runs one non-blocking iteration of shard i's worker and returns
+// the number of requests it progressed. Single-goroutine benchmark
+// harnesses drive all shards round-robin through this; Run wraps it in
+// one goroutine per shard.
+func (s *ShardedServer) Step(i int) int { return s.workers[i].step() }
+
+// Run starts one goroutine per shard and pumps until stop closes.
+func (s *ShardedServer) Run(stop <-chan struct{}) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for _, w := range s.workers {
+		wg.Add(1)
+		go func(w *shardWorker) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if w.step() == 0 {
+					w.lib.Poll()
+				}
+				runtime.Gosched()
+			}
+		}(w)
+	}
+	return &wg
+}
+
+// StatsOf snapshots shard i's counters.
+func (s *ShardedServer) StatsOf(i int) ShardStats {
+	c := s.workers[i].ctr
+	return ShardStats{
+		Gets:         c.gets.Load(),
+		Sets:         c.sets.Load(),
+		Dels:         c.dels.Load(),
+		NotFound:     c.notFound.Load(),
+		BadRequests:  c.badRequests.Load(),
+		Connections:  c.connections.Load(),
+		ForwardedOut: c.forwardedOut.Load(),
+		ForwardedIn:  c.forwardedIn.Load(),
+		ForwardDrops: c.forwardDrops.Load(),
+		Keys:         c.keys.Load(),
+		BusyVirtNS:   c.busyVirt.Load(),
+	}
+}
+
+// TotalOps sums served requests (GET+SET+DEL) across shards.
+func (s *ShardedServer) TotalOps() int64 {
+	var n int64
+	for i := range s.workers {
+		c := s.workers[i].ctr
+		n += c.gets.Load() + c.sets.Load() + c.dels.Load()
+	}
+	return n
+}
+
+// BusyVirt returns shard i's accumulated virtual busy time in
+// nanoseconds: the modeled single-core cost of everything the shard has
+// executed. In a real deployment each shard is pinned to a core, so
+// aggregate throughput is bounded by the busiest shard; the scaling
+// benchmark computes throughput as TotalOps / max_i(BusyVirt(i)).
+func (s *ShardedServer) BusyVirt(i int) int64 { return s.workers[i].ctr.busyVirt.Load() }
+
+// Len returns the total number of stored keys across shards.
+func (s *ShardedServer) Len() int {
+	n := 0
+	for i := range s.workers {
+		n += int(s.workers[i].ctr.keys.Load())
+	}
+	return n
+}
+
+// Size returns the shard count.
+func (s *ShardedServer) Size() int { return len(s.workers) }
+
+// RegisterTelemetry lifts per-shard KV counters into a registry as
+// prefix.<i>.kv_* so demi-stat can show the per-core op distribution
+// next to the mesh and stack counters.
+func (s *ShardedServer) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	for i, w := range s.workers {
+		p := telemetryPrefix(prefix, i)
+		c := w.ctr
+		r.RegisterFunc(p+".kv_gets", c.gets.Load)
+		r.RegisterFunc(p+".kv_sets", c.sets.Load)
+		r.RegisterFunc(p+".kv_fwd_out", c.forwardedOut.Load)
+		r.RegisterFunc(p+".kv_fwd_in", c.forwardedIn.Load)
+		r.RegisterFunc(p+".kv_keys", c.keys.Load)
+		r.RegisterFunc(p+".kv_busy_virt_ns", c.busyVirt.Load)
+	}
+}
+
+func telemetryPrefix(prefix string, i int) string {
+	// Avoid fmt on a path that may be registered late; small and clear.
+	const digits = "0123456789"
+	if i < 10 {
+		return prefix + "." + digits[i:i+1]
+	}
+	return prefix + "." + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}
+
+// --- worker loop ---
+
+func (w *shardWorker) step() int {
+	n := 0
+	w.acceptNew()
+	n += w.drainMesh()
+	n += w.retryForwards()
+	n += w.serveReady()
+	return n
+}
+
+func (w *shardWorker) acceptNew() {
+	for {
+		conn, ok, err := w.lib.TryAccept(w.lqd)
+		if err != nil || !ok {
+			return
+		}
+		qt, err := w.lib.Pop(conn)
+		if err != nil {
+			continue
+		}
+		w.ctr.connections.Add(1)
+		w.conns[conn] = qt
+	}
+}
+
+// serveReady collects completed pops and serves or forwards each.
+func (w *shardWorker) serveReady() int {
+	served := 0
+	// Iterating the private map while mutating qt entries is safe: only
+	// values change, and dead conns are collected into doomed first.
+	var doomed []core.QD
+	for conn, qt := range w.conns {
+		comp, ok, err := w.lib.TryWait(qt)
+		if err != nil || !ok {
+			continue
+		}
+		if comp.Err != nil {
+			doomed = append(doomed, conn)
+			continue
+		}
+		w.handle(conn, comp)
+		served++
+		qt, err = w.lib.Pop(conn)
+		if err != nil {
+			doomed = append(doomed, conn)
+			continue
+		}
+		w.conns[conn] = qt
+	}
+	for _, conn := range doomed {
+		delete(w.conns, conn)
+		w.lib.Close(conn)
+	}
+	return served
+}
+
+// handle serves one decoded request: locally when this shard owns the
+// key, otherwise over the mesh to the owner.
+func (w *shardWorker) handle(conn core.QD, comp queue.Completion) {
+	owner := w.ownerOf(comp.SGA)
+	if owner == w.idx || owner < 0 {
+		// Local (or malformed — answered locally with ER either way).
+		resp, retain := w.apply(comp.SGA)
+		if !retain {
+			comp.SGA.Free()
+		}
+		w.respond(conn, resp, comp.Cost+w.model.AppRequestNS)
+		w.ctr.busyVirt.Add(int64(w.localServeCost()))
+		return
+	}
+	// Misdirected: relay to the owner. The origin pays the rx/tx stack
+	// work; the owner pays the application compute (charged there).
+	m := shard.Msg{Op: shard.OpForward, Payload: &fwdReq{conn: conn, req: comp.SGA, cost: comp.Cost}}
+	w.ctr.busyVirt.Add(int64(w.relayCost()))
+	if !w.group.Send(w.idx, owner, m) {
+		if len(w.fwdBacklog) >= maxFwdBacklog {
+			w.ctr.forwardDrops.Add(1)
+			comp.SGA.Free()
+			w.respond(conn, sga.New([]byte(StatusError)), comp.Cost)
+			return
+		}
+		m.From = w.idx // Send would have stamped it; keep it for retry
+		w.fwdBacklog = append(w.fwdBacklog, m)
+		return
+	}
+	w.ctr.forwardedOut.Add(1)
+}
+
+// retryForwards replays mesh messages (forwards and replies) that were
+// previously rejected by a full edge ring.
+func (w *shardWorker) retryForwards() int {
+	n := 0
+	for len(w.fwdBacklog) > 0 {
+		m := w.fwdBacklog[0]
+		var to int
+		if m.Op == shard.OpForward {
+			to = w.ownerOf(m.Payload.(*fwdReq).req)
+		} else {
+			to = int(m.Seq) // replies carry their destination in Seq
+		}
+		if !w.group.Send(w.idx, to, m) {
+			break
+		}
+		if m.Op == shard.OpForward {
+			w.ctr.forwardedOut.Add(1)
+		}
+		k := copy(w.fwdBacklog, w.fwdBacklog[1:])
+		w.fwdBacklog[k] = shard.Msg{}
+		w.fwdBacklog = w.fwdBacklog[:k]
+		n++
+	}
+	return n
+}
+
+// drainMesh absorbs cross-shard messages: forwards to execute, replies
+// to deliver.
+func (w *shardWorker) drainMesh() int {
+	if w.group.PendingTo(w.idx) == 0 {
+		return 0
+	}
+	w.inbox = w.group.Recv(w.idx, w.inbox[:0], 64)
+	for _, m := range w.inbox {
+		switch m.Op {
+		case shard.OpForward:
+			f := m.Payload.(*fwdReq)
+			resp, retain := w.apply(f.req)
+			if !retain {
+				f.req.Free()
+			}
+			w.ctr.forwardedIn.Add(1)
+			w.ctr.busyVirt.Add(int64(w.model.AppRequestNS + w.meshHopCost()))
+			// Reply to the origin; its ring is our (w→m.From) edge. A
+			// full reply ring parks in the backlog like a forward.
+			r := shard.Msg{Op: shard.OpReply, Payload: &fwdResp{conn: f.conn, resp: resp, cost: f.cost}}
+			if !w.group.Send(w.idx, m.From, r) {
+				w.fwdBacklogReply(m.From, r)
+			}
+		case shard.OpReply:
+			f := m.Payload.(*fwdResp)
+			w.ctr.busyVirt.Add(int64(w.meshHopCost()))
+			w.respond(f.conn, f.resp, f.cost+w.model.AppRequestNS)
+		}
+	}
+	return len(w.inbox)
+}
+
+// fwdBacklogReply parks a reply that could not be sent. Replies reuse
+// the forward backlog; retryForwards cannot re-route them by key, so
+// they carry their destination in Seq.
+func (w *shardWorker) fwdBacklogReply(to int, m shard.Msg) {
+	m.Seq = uint64(to)
+	m.From = w.idx
+	w.replyBacklogPush(m)
+}
+
+// replyBacklog is small enough to share the forward backlog's slice; a
+// reply is distinguished by its Op.
+func (w *shardWorker) replyBacklogPush(m shard.Msg) {
+	if len(w.fwdBacklog) >= maxFwdBacklog {
+		// Drop: the origin's client will time out and retry. Counted so
+		// the chaos tests can assert this never fires in a healthy run.
+		w.ctr.forwardDrops.Add(1)
+		return
+	}
+	w.fwdBacklog = append(w.fwdBacklog, m)
+}
+
+// ownerOf decodes just enough of a request to find the owning shard.
+// Returns -1 for malformed requests (answered locally).
+func (w *shardWorker) ownerOf(req sga.SGA) int {
+	if len(req.Segments) < 2 {
+		return -1
+	}
+	return KeyShard(string(req.Segments[1].Buf), w.n)
+}
+
+// respond pushes a response and waits for the transport to accept it
+// (store-owned buffers are only borrowed until then).
+func (w *shardWorker) respond(conn core.QD, resp sga.SGA, cost simclock.Lat) {
+	if qt, err := w.lib.PushCost(conn, resp, cost); err == nil {
+		w.lib.Wait(qt)
+	}
+}
+
+// localServeCost is the modeled single-core cost of one fully local
+// request: syscall in/out, user netstack rx/tx, NIC rx/tx, app compute.
+func (w *shardWorker) localServeCost() simclock.Lat {
+	m := w.model
+	return 2*(m.SyscallNS+m.UserNetStackNS+m.NICProcessNS) + m.AppRequestNS
+}
+
+// relayCost is the origin-side cost of a misdirected request: the same
+// stack traversal, but the app compute happens at the owner.
+func (w *shardWorker) relayCost() simclock.Lat {
+	m := w.model
+	return 2*(m.SyscallNS+m.UserNetStackNS+m.NICProcessNS) + w.meshHopCost()
+}
+
+// meshHopCost models one SPSC-ring hop (enqueue + cross-core cache miss
+// on the consumer side) as a syscall-scale event.
+func (w *shardWorker) meshHopCost() simclock.Lat { return w.model.SyscallNS }
+
+// apply executes one decoded request against this worker's private
+// store. It is Server.Apply without the lock: the store is owned by one
+// goroutine, so the zero-copy pointer swap needs no synchronisation.
+func (w *shardWorker) apply(req sga.SGA) (resp sga.SGA, retain bool) {
+	segs := req.Segments
+	if len(segs) < 2 {
+		w.ctr.badRequests.Add(1)
+		return sga.New([]byte(StatusError)), false
+	}
+	op := string(segs[0].Buf)
+	key := string(segs[1].Buf)
+	switch op {
+	case OpGet:
+		sv, ok := w.store[key]
+		w.ctr.gets.Add(1)
+		if !ok {
+			w.ctr.notFound.Add(1)
+			return sga.New([]byte(StatusNotFound)), false
+		}
+		return sga.New([]byte(StatusOK), sv.val), false
+	case OpSet:
+		if len(segs) < 3 {
+			w.ctr.badRequests.Add(1)
+			return sga.New([]byte(StatusError)), false
+		}
+		old, had := w.store[key]
+		w.store[key] = storedVal{val: segs[2].Buf, s: req}
+		w.ctr.sets.Add(1)
+		if had {
+			old.s.Free()
+		} else {
+			w.ctr.keys.Add(1)
+		}
+		return sga.New([]byte(StatusOK)), true
+	case OpDel:
+		old, had := w.store[key]
+		delete(w.store, key)
+		w.ctr.dels.Add(1)
+		if had {
+			old.s.Free()
+			w.ctr.keys.Add(-1)
+			return sga.New([]byte(StatusOK)), false
+		}
+		return sga.New([]byte(StatusNotFound)), false
+	default:
+		w.ctr.badRequests.Add(1)
+		return sga.New([]byte(StatusError)), false
+	}
+}
+
+// --- sharded client ---
+
+// ShardedClient talks to a ShardedServer over one connection per server
+// shard. The dialer (supplied by the facade, which knows the transport's
+// RSS function) must return a connection whose flow lands on the given
+// shard; Get/Set/Del then route each key over the connection of its
+// owning shard, so in steady state no request crosses a server core.
+type ShardedClient struct {
+	lib   *core.LibOS
+	n     int
+	conns []core.QD
+}
+
+// NewShardedClient dials one flow per server shard using dial.
+func NewShardedClient(lib *core.LibOS, n int, dial func(shard int) (core.QD, error)) (*ShardedClient, error) {
+	c := &ShardedClient{lib: lib, n: n}
+	for i := 0; i < n; i++ {
+		qd, err := dial(i)
+		if err != nil {
+			return nil, err
+		}
+		c.conns = append(c.conns, qd)
+	}
+	return c, nil
+}
+
+// connFor picks the connection whose server shard owns key.
+func (c *ShardedClient) connFor(key string) core.QD { return c.conns[KeyShard(key, c.n)] }
+
+// roundTrip pushes req on conn and waits for the response.
+func (c *ShardedClient) roundTrip(conn core.QD, req sga.SGA) (sga.SGA, simclock.Lat, error) {
+	qt, err := c.lib.PushCost(conn, req, 0)
+	if err != nil {
+		return sga.SGA{}, 0, err
+	}
+	pushed, err := c.lib.Wait(qt)
+	if err != nil {
+		return sga.SGA{}, 0, err
+	}
+	if pushed.Err != nil {
+		return sga.SGA{}, 0, pushed.Err
+	}
+	comp, err := c.lib.BlockingPop(conn)
+	if err != nil {
+		return sga.SGA{}, 0, err
+	}
+	if comp.Err != nil {
+		return sga.SGA{}, 0, comp.Err
+	}
+	return comp.SGA, comp.Cost, nil
+}
+
+// Get fetches key from its owning shard.
+func (c *ShardedClient) Get(key string) (val []byte, cost simclock.Lat, found bool, err error) {
+	resp, cost, err := c.roundTrip(c.connFor(key), sga.New([]byte(OpGet), []byte(key)))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	switch string(resp.Segments[0].Buf) {
+	case StatusOK:
+		if resp.NumSegments() < 2 {
+			return nil, cost, false, ErrBadRequest
+		}
+		return resp.Segments[1].Buf, cost, true, nil
+	case StatusNotFound:
+		return nil, cost, false, nil
+	default:
+		return nil, cost, false, ErrBadRequest
+	}
+}
+
+// Set stores key=val on its owning shard.
+func (c *ShardedClient) Set(key string, val []byte) (simclock.Lat, error) {
+	resp, cost, err := c.roundTrip(c.connFor(key), sga.New([]byte(OpSet), []byte(key), val))
+	if err != nil {
+		return 0, err
+	}
+	if string(resp.Segments[0].Buf) != StatusOK {
+		return cost, ErrBadRequest
+	}
+	return cost, nil
+}
+
+// SetOn stores key=val via shard conn's connection regardless of the
+// key's owner — the misdirection the forwarding path exists for. Tests
+// and the scaling benchmark's "unaligned client" mode use it.
+func (c *ShardedClient) SetOn(conn int, key string, val []byte) (simclock.Lat, error) {
+	resp, cost, err := c.roundTrip(c.conns[conn], sga.New([]byte(OpSet), []byte(key), val))
+	if err != nil {
+		return 0, err
+	}
+	if string(resp.Segments[0].Buf) != StatusOK {
+		return cost, ErrBadRequest
+	}
+	return cost, nil
+}
+
+// GetOn fetches key via shard conn's connection regardless of owner.
+func (c *ShardedClient) GetOn(conn int, key string) (val []byte, found bool, err error) {
+	resp, _, err := c.roundTrip(c.conns[conn], sga.New([]byte(OpGet), []byte(key)))
+	if err != nil {
+		return nil, false, err
+	}
+	switch string(resp.Segments[0].Buf) {
+	case StatusOK:
+		if resp.NumSegments() < 2 {
+			return nil, false, ErrBadRequest
+		}
+		return resp.Segments[1].Buf, true, nil
+	case StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, ErrBadRequest
+	}
+}
+
+// Del removes key from its owning shard.
+func (c *ShardedClient) Del(key string) (bool, error) {
+	resp, _, err := c.roundTrip(c.connFor(key), sga.New([]byte(OpDel), []byte(key)))
+	if err != nil {
+		return false, err
+	}
+	return string(resp.Segments[0].Buf) == StatusOK, nil
+}
+
+// Close shuts every per-shard connection.
+func (c *ShardedClient) Close() error {
+	var first error
+	for _, qd := range c.conns {
+		if err := c.lib.Close(qd); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

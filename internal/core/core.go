@@ -144,6 +144,22 @@ type qdesc struct {
 	q    queue.IoQueue
 }
 
+// NeedsPumper is implemented by queues that can cheaply report whether a
+// Pump would do anything. Poll consults it so steady-state idle ticks
+// skip armed-but-quiet queues without taking their locks — the §3.1
+// poll-cost optimisation: the poll loop's cost must not grow with the
+// number of idle connections.
+type NeedsPumper interface {
+	NeedsPump() bool
+}
+
+// pollEntry caches the NeedsPumper type assertion alongside the queue so
+// the per-tick loop performs zero interface assertions.
+type pollEntry struct {
+	q  queue.IoQueue
+	np NeedsPumper // nil when the queue cannot pre-screen pumps
+}
+
 func (d *qdesc) ioq() queue.IoQueue {
 	if d.kind == qdEndpoint {
 		return d.ep
@@ -171,7 +187,7 @@ type LibOS struct {
 	// build per tick.
 	qdGen    uint64
 	pollGen  uint64
-	pollList []queue.IoQueue
+	pollList []pollEntry
 
 	// WaitTimeout bounds Wait/WaitAny/WaitAll spinning. The default
 	// (5s of wall time) exists so a lost completion fails loudly in
@@ -260,6 +276,14 @@ func (l *LibOS) Socket() (QD, error) {
 		return InvalidQD, err
 	}
 	return l.insert(&qdesc{kind: qdEndpoint, ep: ep}), nil
+}
+
+// AdoptEndpoint registers a transport endpoint constructed outside the
+// ordinary Socket path (e.g. a sharded libOS dialing from a chosen
+// source port so RSS lands the flow on a specific peer shard) and
+// returns its queue descriptor.
+func (l *LibOS) AdoptEndpoint(ep Endpoint) QD {
+	return l.insert(&qdesc{kind: qdEndpoint, ep: ep})
 }
 
 // EndpointOf returns the transport endpoint behind a socket queue
@@ -542,18 +566,25 @@ func (l *LibOS) Poll() int {
 	if l.pollGen != l.qdGen {
 		// Topology changed: rebuild into a *fresh* slice (a concurrent
 		// Poll may still be iterating the previous snapshot outside the
-		// lock, so the old backing array must not be reused).
-		qs := make([]queue.IoQueue, 0, len(l.qds))
+		// lock, so the old backing array must not be reused). The
+		// NeedsPumper assertion is resolved here, once per topology
+		// change, not per tick.
+		qs := make([]pollEntry, 0, len(l.qds))
 		for _, d := range l.qds {
-			qs = append(qs, d.ioq())
+			q := d.ioq()
+			np, _ := q.(NeedsPumper)
+			qs = append(qs, pollEntry{q: q, np: np})
 		}
 		l.pollList = qs
 		l.pollGen = l.qdGen
 	}
 	qs := l.pollList
 	l.mu.Unlock()
-	for _, q := range qs {
-		n += q.Pump()
+	for _, e := range qs {
+		if e.np != nil && !e.np.NeedsPump() {
+			continue // armed but quiet: skip without touching its lock
+		}
+		n += e.q.Pump()
 	}
 	return n
 }

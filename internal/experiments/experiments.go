@@ -142,6 +142,13 @@ var All = []Experiment{
 		Run:    runE13,
 	},
 	{
+		ID:     "E14",
+		Title:  "Multi-core scale-out: RSS-sharded workers",
+		Source: "§3.1",
+		Claim:  "kernel-bypass servers scale by flow-level parallelism: RSS partitions connections across cores and nothing on the per-request path is shared",
+		Run:    runE14,
+	},
+	{
 		ID:     "A1",
 		Title:  "Ablation: syscall price",
 		Source: "ablation of §3.2",

@@ -92,12 +92,21 @@ type FramePoolStats struct {
 
 // FramePool recycles frame buffers by size class. It is safe for
 // concurrent use. The zero value is not usable; call NewFramePool.
+//
+// The hot counters are each padded to their own cache line: Get and put
+// run on every frame of every shard, and with the counters adjacent a
+// TX-heavy shard bumping misses would invalidate the line an RX-heavy
+// shard needs for recycled (write-write false sharing). sync.Pool is
+// already per-P sharded internally.
 type FramePool struct {
 	classes [len(frameClasses)]sync.Pool
 
 	pooled   atomic.Int64
+	_        [56]byte //nolint:unused // false-sharing pad
 	misses   atomic.Int64
+	_        [56]byte //nolint:unused // false-sharing pad
 	recycled atomic.Int64
+	_        [56]byte //nolint:unused // false-sharing pad
 }
 
 // NewFramePool returns an empty frame pool.

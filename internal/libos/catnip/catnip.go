@@ -13,6 +13,7 @@ package catnip
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"demikernel/internal/core"
@@ -32,6 +33,11 @@ type Transport struct {
 	dev   *nic.Device
 	stack *netstack.Stack
 	mem   *membuf.Manager
+	// pool supplies pop-path payload buffers. Standalone transports use
+	// the process-wide default; sharded transports get a private pool so
+	// the steady-state buffer recycle path never crosses shard cache
+	// lines.
+	pool *fabric.FramePool
 
 	mu   sync.Mutex
 	eps  []*endpoint
@@ -70,11 +76,23 @@ type Config struct {
 // the fabric switch.
 func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Transport {
 	dev := nic.New(model, sw, nic.Config{MAC: cfg.MAC})
+	return newOnDevice(model, dev, cfg, 0, fabric.DefaultFramePool, nil)
+}
+
+// newOnDevice builds a transport over an existing device, polling the
+// given RX queue and allocating pop buffers from pool. It is the shared
+// constructor between New (one transport owning the whole device) and
+// NewSharded (N transports, one per RSS queue, over one device).
+func newOnDevice(model *simclock.CostModel, dev *nic.Device, cfg Config,
+	rxQueue int, pool *fabric.FramePool, neigh *netstack.NeighborTable) *Transport {
 	stack := netstack.New(model, dev, netstack.Config{
 		IP:             cfg.IP,
 		PerPacketExtra: cfg.PerPacketExtra,
 		RTO:            cfg.RTO,
 		MaxRetransmits: cfg.MaxRetransmits,
+		RxQueue:        rxQueue,
+		Pool:           pool,
+		Neighbors:      neigh,
 	})
 	var opts []membuf.Option
 	if cfg.MemCapacity > 0 {
@@ -82,7 +100,7 @@ func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Transport {
 	}
 	mem := membuf.NewManager(model, opts...)
 	mem.AttachDevice(dev) // transparent registration (§4.5)
-	return &Transport{model: model, dev: dev, stack: stack, mem: mem}
+	return &Transport{model: model, dev: dev, stack: stack, mem: mem, pool: pool}
 }
 
 // Name implements core.Transport.
@@ -142,9 +160,10 @@ func (t *Transport) Open(string) (queue.IoQueue, error) {
 // segment. The SGA's Free hook releases the buffer back to the pool, so
 // the steady-state pop path recycles instead of allocating payload
 // storage. Applications that never Free simply leak the buffer to the
-// GC — safe, just unpooled.
-func pooledCloneSGA(s sga.SGA) sga.SGA {
-	fb := fabric.DefaultFramePool.Get(s.Len())
+// GC — safe, just unpooled. The pool is the transport's own, so in a
+// sharded deployment pop buffers recycle within one shard.
+func (t *Transport) pooledCloneSGA(s sga.SGA) sga.SGA {
+	fb := t.pool.Get(s.Len())
 	buf := fb.Bytes()
 	segs := make([]sga.Segment, len(s.Segments))
 	off := 0
@@ -159,11 +178,25 @@ func pooledCloneSGA(s sga.SGA) sga.SGA {
 // Socket implements core.Transport.
 func (t *Transport) Socket() (core.Endpoint, error) {
 	ep := &endpoint{t: t}
-	ep.framer.SetClone(pooledCloneSGA)
+	ep.framer.SetClone(t.pooledCloneSGA)
 	t.mu.Lock()
 	t.eps = append(t.eps, ep)
 	t.epsDirty = true
 	t.mu.Unlock()
+	return ep, nil
+}
+
+// SocketFrom is Socket with a fixed local source port: when the endpoint
+// later Connects, the stack dials from that port instead of an ephemeral
+// one. A sharded client uses it with nic.RSSQueueFlow to pick a source
+// port whose RSS hash lands the flow on a chosen server shard — the
+// client-side half of the paper's §3.1 flow-to-core partitioning.
+func (t *Transport) SocketFrom(localPort uint16) (core.Endpoint, error) {
+	ep, err := t.Socket()
+	if err != nil {
+		return nil, err
+	}
+	ep.(*endpoint).localPort = localPort
 	return ep, nil
 }
 
@@ -180,6 +213,13 @@ func (t *Transport) Poll() int {
 	eps, udps := t.epsSnap, t.udpsSnap
 	t.mu.Unlock()
 	for _, ep := range eps {
+		// Armed-queue skip: quiet established connections answer a few
+		// atomic loads instead of paying flushTx+drainRx lock traffic.
+		// This is what keeps per-tick poll cost flat as the number of
+		// idle connections grows (§3.1).
+		if !ep.NeedsPump() {
+			continue
+		}
 		n += ep.Pump()
 	}
 	for _, ep := range udps {
@@ -200,13 +240,24 @@ func (t *Transport) adopt(ep *endpoint) {
 type endpoint struct {
 	t *Transport
 
-	mu       sync.Mutex
-	bound    core.Addr
-	listener *netstack.TCPListener
-	conn     *netstack.TCPConn
-	framer   sga.Framer
-	ready    []queue.Completion
-	waiters  []queue.DoneFunc
+	// Lock-free pump pre-screen state (see NeedsPump): connp mirrors
+	// conn, and the counters mirror len(txq)/len(ready)/len(waiters).
+	// All are written under mu but read without it.
+	connp     atomic.Pointer[netstack.TCPConn]
+	txPending atomic.Int32
+	readyLen  atomic.Int32
+	waiterLen atomic.Int32
+
+	mu    sync.Mutex
+	bound core.Addr
+	// localPort, when nonzero, fixes the source port Connect dials from
+	// (set by SocketFrom for shard-targeted flows).
+	localPort uint16
+	listener  *netstack.TCPListener
+	conn      *netstack.TCPConn
+	framer    sga.Framer
+	ready     []queue.Completion
+	waiters   []queue.DoneFunc
 	// txq holds marshaled frames not yet fully accepted by the TCP send
 	// buffer.
 	txq    []txFrame
@@ -266,20 +317,25 @@ func (e *endpoint) Accept() (core.Endpoint, bool, error) {
 		return nil, false, nil
 	}
 	child := &endpoint{t: e.t, conn: conn}
-	child.framer.SetClone(pooledCloneSGA)
+	child.connp.Store(conn)
+	child.framer.SetClone(e.t.pooledCloneSGA)
 	e.t.adopt(child)
 	return child, true, nil
 }
 
 // Connect implements core.Endpoint.
 func (e *endpoint) Connect(addr core.Addr) error {
-	conn, err := e.t.stack.DialTCP(addr.IP, addr.Port)
+	e.mu.Lock()
+	localPort := e.localPort
+	e.mu.Unlock()
+	conn, err := e.t.stack.DialTCPFrom(localPort, addr.IP, addr.Port)
 	if err != nil {
 		return err
 	}
 	e.mu.Lock()
 	e.conn = conn
 	e.mu.Unlock()
+	e.connp.Store(conn)
 	return nil
 }
 
@@ -334,6 +390,7 @@ func (e *endpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 		return
 	}
 	e.txq = append(e.txq, txFrame{data: data, buf: buf, cost: cost, done: done})
+	e.txPending.Store(int32(len(e.txq)))
 	e.mu.Unlock()
 	e.Pump()
 }
@@ -353,8 +410,32 @@ func (e *endpoint) Pop(done queue.DoneFunc) {
 		return
 	}
 	e.waiters = append(e.waiters, done)
+	e.waiterLen.Store(int32(len(e.waiters)))
 	e.mu.Unlock()
 	e.Pump()
+}
+
+// NeedsPump implements core.NeedsPumper with a handful of atomic loads
+// and no locks: an endpoint needs pumping only when it has unsent tx
+// frames or a registered pop waiter that could be served (buffered
+// completions, or stream bytes/FIN/terminal error pending in the TCP
+// receive buffer — all three folded into conn.ReadyHint). With neither,
+// no qtoken is outstanding on this endpoint, so Pump would observably do
+// nothing: idle established connections — the common case in a server
+// with many quiet clients — are skipped by the poll loop without even
+// touching their locks.
+func (e *endpoint) NeedsPump() bool {
+	conn := e.connp.Load()
+	if conn == nil {
+		return false // listener or unconnected socket: stack-driven
+	}
+	if e.txPending.Load() > 0 {
+		return true
+	}
+	if w := e.waiterLen.Load(); w > 0 {
+		return e.readyLen.Load() > 0 || conn.ReadyHint()
+	}
+	return false
 }
 
 // Pump implements queue.IoQueue: it flushes pending frames into the TCP
@@ -422,6 +503,7 @@ func (e *endpoint) popTxqLocked() {
 	n := copy(e.txq, e.txq[1:])
 	e.txq[n] = txFrame{} // clear so data/buf/done are not retained
 	e.txq = e.txq[:n]
+	e.txPending.Store(int32(n))
 }
 
 func (e *endpoint) drainRx(conn *netstack.TCPConn) int {
@@ -462,6 +544,7 @@ func (e *endpoint) drainRx(conn *netstack.TCPConn) int {
 			break
 		}
 	}
+	e.readyLen.Store(int32(len(e.ready)))
 	e.mu.Unlock()
 	if failErr != nil {
 		e.failWaiters(failErr)
@@ -480,6 +563,7 @@ func (e *endpoint) serveWaiters() {
 		n := copy(e.waiters, e.waiters[1:])
 		e.waiters[n] = nil // clear so the closure is not retained
 		e.waiters = e.waiters[:n]
+		e.waiterLen.Store(int32(n))
 		c := e.popReadyLocked()
 		e.mu.Unlock()
 		w(c)
@@ -494,6 +578,7 @@ func (e *endpoint) popReadyLocked() queue.Completion {
 	n := copy(e.ready, e.ready[1:])
 	e.ready[n] = queue.Completion{} // clear so the SGA is not retained
 	e.ready = e.ready[:n]
+	e.readyLen.Store(int32(n))
 	return c
 }
 
@@ -504,8 +589,10 @@ func (e *endpoint) failAll(err error) {
 	e.mu.Lock()
 	ws := e.waiters
 	e.waiters = nil
+	e.waiterLen.Store(0)
 	txq := e.txq
 	e.txq = nil
+	e.txPending.Store(0)
 	e.mu.Unlock()
 	for _, w := range ws {
 		w(queue.Completion{Kind: queue.OpPop, Err: err})
@@ -522,6 +609,7 @@ func (e *endpoint) failWaiters(err error) {
 	e.mu.Lock()
 	ws := e.waiters
 	e.waiters = nil
+	e.waiterLen.Store(0)
 	e.mu.Unlock()
 	for _, w := range ws {
 		w(queue.Completion{Kind: queue.OpPop, Err: err})

@@ -1,0 +1,126 @@
+// Sharded catnip: N independent datapath shards over one multi-queue
+// NIC, the paper's §3.1 scale-out recipe made concrete. RSS on the
+// device steers each flow to one RX queue; each shard owns that queue's
+// netstack instance, its memory manager, its frame pool, and every
+// connection whose flow hashes to it. On the per-packet path nothing is
+// shared between shards — not a lock, not a buffer pool, not a counter
+// cache line. What little inter-shard traffic remains (a request that
+// RSS delivered to a shard which does not own the key, control-plane
+// ops) rides the bounded lock-free SPSC mesh in internal/shard.
+package catnip
+
+import (
+	"fmt"
+
+	"demikernel/internal/fabric"
+	"demikernel/internal/netstack"
+	"demikernel/internal/nic"
+	"demikernel/internal/shard"
+	"demikernel/internal/simclock"
+	"demikernel/internal/telemetry"
+)
+
+// ShardSet is a set of catnip transports sharing one NIC, one MAC, one
+// IP — and nothing else. Shard i polls RX queue i exclusively.
+type ShardSet struct {
+	dev    *nic.Device
+	shards []*Transport
+	group  *shard.Group
+	neigh  *netstack.NeighborTable
+}
+
+// NewSharded attaches an n-shard catnip instance to the fabric switch.
+// The device is configured with n RSS receive queues; shard i gets its
+// own netstack (polling queue i), membuf manager, and frame pool.
+//
+// ARP needs special handling under RSS: ARP frames carry no IP/TCP
+// tuple, so their hash would scatter them across queues and n-1 stacks
+// would answer or miss. A hardware filter steers etherType 0x0806 to
+// queue 0; shard 0 is the designated ARP speaker, and resolutions are
+// published to a neighbor table shared (read-mostly, amortised to the
+// control path) by every sibling stack.
+func NewSharded(model *simclock.CostModel, sw *fabric.Switch, cfg Config, n int) *ShardSet {
+	if n <= 0 {
+		panic("catnip: shard count must be positive")
+	}
+	dev := nic.New(model, sw, nic.Config{MAC: cfg.MAC, RxQueues: n})
+	if n > 1 {
+		dev.AddFilter(nic.HWFilter{
+			// EtherType ARP (0x0806) at the usual offset.
+			Match:  func(f []byte) bool { return len(f) >= 14 && f[12] == 0x08 && f[13] == 0x06 },
+			Action: nic.ActionSteer,
+			Queue:  0,
+		})
+	}
+	neigh := netstack.NewNeighborTable()
+	s := &ShardSet{
+		dev:   dev,
+		group: shard.NewGroup(n, 0),
+		neigh: neigh,
+	}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, newOnDevice(model, dev, cfg, i, fabric.NewFramePool(), neigh))
+	}
+	return s
+}
+
+// Size returns the shard count.
+func (s *ShardSet) Size() int { return len(s.shards) }
+
+// Shard returns shard i's transport; each shard is a complete
+// core.Transport and is wrapped in its own core.LibOS by the facade.
+func (s *ShardSet) Shard(i int) *Transport { return s.shards[i] }
+
+// Device returns the shared multi-queue NIC.
+func (s *ShardSet) Device() *nic.Device { return s.dev }
+
+// Mesh returns the cross-shard SPSC message mesh. Shard worker i is the
+// sole sender on rows (i→*) and sole receiver on columns (*→i).
+func (s *ShardSet) Mesh() *shard.Group { return s.group }
+
+// Neighbors returns the shared ARP resolution table.
+func (s *ShardSet) Neighbors() *netstack.NeighborTable { return s.neigh }
+
+// QueueOfFlow reports which shard RSS will deliver a flow to — the same
+// computation the device performs per frame, exposed so clients can pick
+// source ports that land their flow on a chosen shard and servers can
+// partition their keyspace to match.
+func (s *ShardSet) QueueOfFlow(srcIP, dstIP netstack.IPv4Addr, srcPort, dstPort uint16) int {
+	return nic.RSSQueueFlow(srcIP, dstIP, srcPort, dstPort, len(s.shards))
+}
+
+// SourcePortFor searches the ephemeral range for a source port whose
+// flow (localIP:port → remoteIP:remotePort) RSS-hashes to the target
+// queue on a peer with peerShards receive queues. It starts the probe at
+// a caller-supplied seed so concurrent dialers spread out. Panics only
+// if no port in the range maps to the target — impossible for any
+// non-degenerate hash with a 16k-port search space.
+func SourcePortFor(localIP, remoteIP netstack.IPv4Addr, remotePort uint16, peerShards, targetQueue int, seed uint16) uint16 {
+	if peerShards <= 1 {
+		return 0 // any ephemeral port works; let the stack pick
+	}
+	const base, span = 49152, 16384
+	for off := 0; off < span; off++ {
+		p := base + (uint32(seed)+uint32(off))%span
+		// Hash is computed with the *receiver's* orientation: at the
+		// server NIC the frame's source is our local tuple.
+		if nic.RSSQueueFlow(localIP, remoteIP, uint16(p), remotePort, peerShards) == targetQueue {
+			return uint16(p)
+		}
+	}
+	panic(fmt.Sprintf("catnip: no source port maps to shard %d/%d", targetQueue, peerShards))
+}
+
+// RegisterTelemetry lifts every shard's vertical (NIC shared, stack and
+// membuf per shard) plus the cross-shard mesh counters into a registry:
+// prefix.nic.*, prefix.shard.<i>.netstack.*, prefix.shard.<i>.membuf.*,
+// prefix.shard.<i>.xs_*.
+func (s *ShardSet) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	s.dev.RegisterTelemetry(r, prefix+".nic")
+	for i, t := range s.shards {
+		p := fmt.Sprintf("%s.shard.%d", prefix, i)
+		t.stack.RegisterTelemetry(r, p+".netstack")
+		t.mem.RegisterTelemetry(r, p+".membuf")
+	}
+	s.group.RegisterTelemetry(r, prefix+".shard")
+}

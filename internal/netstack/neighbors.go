@@ -1,0 +1,51 @@
+package netstack
+
+import (
+	"sync"
+
+	"demikernel/internal/fabric"
+)
+
+// NeighborTable is an IP→MAC resolution table shared by the stacks of a
+// sharded libOS. RSS hashes ARP traffic by source MAC, which would strand
+// replies on whichever queue the sender's MAC happens to hash to; a
+// sharded deployment instead steers ARP to shard 0 with a hardware
+// filter (see catnip's sharded mode) and publishes what shard 0 learns
+// here, where every sibling stack can read it.
+//
+// This is deliberately the only cross-shard state in the receive path,
+// and it sits on the *miss* path only: each stack caches resolutions in
+// its private ARP map, so steady-state packet processing never touches
+// the shared table (§3.1: share-nothing on the data path, shared state
+// only for rare control-plane work).
+type NeighborTable struct {
+	mu sync.RWMutex
+	m  map[IPv4Addr]fabric.MAC
+}
+
+// NewNeighborTable returns an empty shared neighbor table.
+func NewNeighborTable() *NeighborTable {
+	return &NeighborTable{m: make(map[IPv4Addr]fabric.MAC)}
+}
+
+// Learn records (or refreshes) a resolution.
+func (t *NeighborTable) Learn(ip IPv4Addr, mac fabric.MAC) {
+	t.mu.Lock()
+	t.m[ip] = mac
+	t.mu.Unlock()
+}
+
+// Lookup returns the MAC for ip, if known.
+func (t *NeighborTable) Lookup(ip IPv4Addr) (fabric.MAC, bool) {
+	t.mu.RLock()
+	mac, ok := t.m[ip]
+	t.mu.RUnlock()
+	return mac, ok
+}
+
+// Len reports how many resolutions the table holds.
+func (t *NeighborTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}

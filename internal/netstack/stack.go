@@ -35,6 +35,18 @@ type Config struct {
 	// POSIX-preserving configuration (§6) charges the POSIX emulation
 	// tax here.
 	PerPacketExtra simclock.Lat
+	// RxQueue is the NIC receive queue this stack polls (default 0).
+	// A sharded libOS runs one stack per queue; RSS keeps each flow's
+	// segments arriving on the queue whose stack owns the connection.
+	RxQueue int
+	// Pool supplies frame and staging buffers (default: the process-wide
+	// fabric.DefaultFramePool). Sharded deployments pass a per-shard pool
+	// so buffer recycling never crosses shard cache lines.
+	Pool *fabric.FramePool
+	// Neighbors, when non-nil, is a resolution table shared with sibling
+	// shard stacks: learns are published to it and misses consult it
+	// before falling back to an ARP request. See NeighborTable.
+	Neighbors *NeighborTable
 }
 
 // Stats counts stack events.
@@ -95,8 +107,10 @@ type Stack struct {
 	dev   *nic.Device
 	cfg   Config
 
+	pool *fabric.FramePool // cfg.Pool or fabric.DefaultFramePool
+
 	mu         sync.Mutex
-	arp        map[IPv4Addr]fabric.MAC
+	arp        map[IPv4Addr]fabric.MAC // private cache; misses consult cfg.Neighbors
 	arpPending map[IPv4Addr][]pendingPkt
 	conns      map[connKey]*TCPConn
 	listeners  map[uint16]*TCPListener
@@ -130,10 +144,15 @@ func New(model *simclock.CostModel, dev *nic.Device, cfg Config) *Stack {
 	if cfg.MaxRetransmits <= 0 {
 		cfg.MaxRetransmits = 8
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = fabric.DefaultFramePool
+	}
 	return &Stack{
 		model:      model,
 		dev:        dev,
 		cfg:        cfg,
+		pool:       pool,
 		arp:        make(map[IPv4Addr]fabric.MAC),
 		arpPending: make(map[IPv4Addr][]pendingPkt),
 		conns:      make(map[connKey]*TCPConn),
@@ -187,11 +206,22 @@ func (s *Stack) Poll() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
+	// Sharded mode: resolutions learned by the ARP-owning sibling shard
+	// land in the shared table; flush any sends parked behind them. This
+	// is a miss-path check — arpPending is empty in steady state.
+	if s.cfg.Neighbors != nil && len(s.arpPending) > 0 {
+		for ip := range s.arpPending {
+			if mac, ok := s.cfg.Neighbors.Lookup(ip); ok {
+				s.arp[ip] = mac
+				s.flushARPPendingLocked(ip)
+			}
+		}
+	}
 	for {
 		// One burst per pass, appended into the reused scratch slice:
 		// the stack lock is amortised per burst and the steady-state
 		// loop allocates nothing.
-		s.rxBatch = s.dev.AppendRxBurst(s.rxBatch[:0], 0, 64)
+		s.rxBatch = s.dev.AppendRxBurst(s.rxBatch[:0], s.cfg.RxQueue, 64)
 		if len(s.rxBatch) == 0 {
 			break
 		}
@@ -230,8 +260,13 @@ func (s *Stack) handleARPLocked(b []byte) {
 	if !ok {
 		return
 	}
-	// Learn the sender in all cases (gratuitous/learning behaviour).
+	// Learn the sender in all cases (gratuitous/learning behaviour), and
+	// publish to the shared shard table when one is attached — sibling
+	// shards never see ARP frames (the filter steers them here).
 	s.arp[p.senderIP] = p.senderHW
+	if s.cfg.Neighbors != nil {
+		s.cfg.Neighbors.Learn(p.senderIP, p.senderHW)
+	}
 	s.flushARPPendingLocked(p.senderIP)
 	switch p.op {
 	case arpOpRequest:
@@ -281,11 +316,18 @@ func (s *Stack) sendIPv4Locked(dstIP IPv4Addr, proto uint8, l4 []byte, cost simc
 		dst:      dstIP,
 	}
 
-	if mac, ok := s.arp[dstIP]; ok {
+	mac, ok := s.arp[dstIP]
+	if !ok && s.cfg.Neighbors != nil {
+		// Shared-table miss path: a sibling shard may have resolved it.
+		if mac, ok = s.cfg.Neighbors.Lookup(dstIP); ok {
+			s.arp[dstIP] = mac // cache privately; next send skips the table
+		}
+	}
+	if ok {
 		// Fast path: assemble Ethernet+IPv4+L4 directly into one pooled
 		// frame buffer. Ownership of the buffer rides the Frame through
 		// NIC, fabric, and the receiving stack.
-		fb := fabric.DefaultFramePool.Get(ethHdrLen + ipv4HdrLen + len(l4))
+		fb := s.pool.Get(ethHdrLen + ipv4HdrLen + len(l4))
 		frame := appendEth(fb.Bytes()[:0], mac, s.dev.MAC(), etherTypeIPv4)
 		frame = h.marshal(frame)
 		frame = append(frame, l4...)
@@ -410,7 +452,7 @@ func (s *Stack) handleUDPLocked(h ipv4Header, body []byte, cost simclock.Lat) {
 	// Copy out of the wire frame into pooled storage: the frame recycles
 	// as soon as Poll finishes the burst, the datagram lives until its
 	// consumer calls Free.
-	fb := fabric.DefaultFramePool.Get(len(u.payload))
+	fb := s.pool.Get(len(u.payload))
 	copy(fb.Bytes(), u.payload)
 	sock.rx = append(sock.rx, Datagram{
 		SrcIP: h.src, SrcPort: u.srcPort,

@@ -3,6 +3,7 @@ package netstack
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"demikernel/internal/fabric"
@@ -110,14 +111,44 @@ type TCPConn struct {
 	pendingListener *TCPListener
 
 	err error
+
+	// readyHint mirrors Readable() into a lock-free flag: it is updated
+	// (under the stack lock) wherever read-readiness can change, and read
+	// without any lock by idle pollers deciding whether an endpoint needs
+	// a pump at all. A false hint is always eventually corrected by the
+	// same Poll that makes the connection readable, so skipping on false
+	// never strands data — it only skips the stack-lock acquisition.
+	readyHint atomic.Bool
 }
+
+// updateReadyLocked refreshes the lock-free readiness hint. Call at
+// every point where rcvBuf, peerFinRcvd, or err transitions.
+func (c *TCPConn) updateReadyLocked() {
+	c.readyHint.Store(len(c.rcvBuf) > 0 || c.peerFinRcvd || c.err != nil)
+}
+
+// ReadyHint reports the last published read-readiness without taking the
+// stack lock. See readyHint for the staleness contract.
+func (c *TCPConn) ReadyHint() bool { return c.readyHint.Load() }
 
 // DialTCP starts an active open to ip:port. The returned connection is in
 // SYN-SENT; poll the stack until Established reports true.
 func (s *Stack) DialTCP(ip IPv4Addr, port uint16) (*TCPConn, error) {
+	return s.DialTCPFrom(0, ip, port)
+}
+
+// DialTCPFrom is DialTCP with an explicit local port (0 picks an
+// ephemeral one). Sharded clients use it to choose a source port whose
+// RSS hash steers the *server-side* flow onto a particular shard's
+// receive queue (nic.RSSQueueFlow computes the mapping) — the
+// connection-placement half of share-nothing partitioning.
+func (s *Stack) DialTCPFrom(localPort uint16, ip IPv4Addr, port uint16) (*TCPConn, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	local := s.ephemeralLocked()
+	local := localPort
+	if local == 0 {
+		local = s.ephemeralLocked()
+	}
 	key := connKey{localPort: local, remoteIP: ip, remotePort: port}
 	if _, dup := s.conns[key]; dup {
 		return nil, fmt.Errorf("%w: %v", ErrPortInUse, key)
@@ -225,6 +256,7 @@ func (c *TCPConn) RecvAppend(dst []byte, max int) ([]byte, simclock.Lat, error) 
 	}
 	dst = append(dst, c.rcvBuf[:n]...)
 	c.rcvBuf = c.rcvBuf[:copy(c.rcvBuf, c.rcvBuf[n:])]
+	c.updateReadyLocked()
 	return dst, c.rxCost, nil
 }
 
@@ -324,6 +356,7 @@ func (c *TCPConn) handleSegmentLocked(seg tcpSegment, cost simclock.Lat) {
 		c.err = ErrConnClosed
 		c.state = stateClosed
 		c.releaseOOOLocked()
+		c.updateReadyLocked()
 		delete(s.conns, c.key)
 		return
 	}
@@ -368,6 +401,7 @@ func (c *TCPConn) handleSegmentLocked(seg tcpSegment, cost simclock.Lat) {
 	c.processAckLocked(seg)
 	c.processDataLocked(seg, cost)
 	c.maybeFinishLocked()
+	c.updateReadyLocked()
 }
 
 func (c *TCPConn) processAckLocked(seg tcpSegment) {
@@ -476,7 +510,7 @@ func (c *TCPConn) processDataLocked(seg tcpSegment, cost simclock.Lat) {
 		c.stack.stats.OutOfOrderSegs++
 		if len(payload) > 0 {
 			if _, dup := c.ooo[seq]; !dup {
-				fb := fabric.DefaultFramePool.Get(len(payload))
+				fb := c.stack.pool.Get(len(payload))
 				copy(fb.Bytes(), payload)
 				c.ooo[seq] = fb
 			}
@@ -624,6 +658,7 @@ func (c *TCPConn) giveUpLocked() {
 	c.state = stateClosed
 	c.clearTimerLocked()
 	c.releaseOOOLocked()
+	c.updateReadyLocked()
 	delete(s.conns, c.key)
 }
 

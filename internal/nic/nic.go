@@ -8,12 +8,19 @@
 // kernel-bypass accelerators in this category, applications must supply
 // their own I/O stack" — that stack is package netstack, and the libOS
 // that ties them together is internal/libos/catnip.
+//
+// Locking is partitioned so that N shard workers can poll N receive
+// queues concurrently without contending on a device-wide lock: each
+// receive ring has its own (cache-line padded) mutex, the wire drain is
+// guarded by a separate TryLock'd mutex so exactly one poller moves
+// frames from the fabric into the rings while the rest go straight to
+// their own ring, and the counters are atomics.
 package nic
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"demikernel/internal/fabric"
 	"demikernel/internal/simclock"
@@ -60,17 +67,41 @@ type HWFilter struct {
 	Queue  int
 }
 
+// rxQueue is one receive ring plus its own lock, padded out to a cache
+// line so two shards hammering adjacent queues never share a line for
+// the lock word (classic false sharing; §3.1's "never share state across
+// cores" applies to the metadata too).
+type rxQueue struct {
+	mu   sync.Mutex
+	ring *ring
+	_    [64 - 16]byte //nolint:unused // false-sharing pad
+}
+
 // Device is a simulated kernel-bypass NIC attached to a fabric switch.
-// All methods are safe for concurrent use.
+// All methods are safe for concurrent use; per-queue RxBurst calls from
+// distinct goroutines proceed in parallel.
 type Device struct {
 	model *simclock.CostModel
 	cfg   Config
 	port  *fabric.Port
 
-	mu      sync.Mutex
-	rx      []*ring
-	filters []HWFilter
-	stats   Stats
+	// drainMu serialises moving frames from the fabric port into the
+	// receive rings. Pollers TryLock it: whoever wins drains for
+	// everyone, the rest skip straight to popping their own ring.
+	drainMu sync.Mutex
+
+	filterMu sync.RWMutex
+	filters  []HWFilter
+
+	rx []*rxQueue
+
+	txFrames    atomic.Int64
+	rxFrames    atomic.Int64
+	rxDropped   atomic.Int64
+	filterDrops atomic.Int64
+	filterEvals atomic.Int64
+	dmaBytes    atomic.Int64
+	regions     atomic.Int64
 }
 
 // New creates a NIC with cfg attached to sw. It announces its MAC to the
@@ -95,9 +126,9 @@ func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Device {
 		cfg:   cfg,
 		port:  sw.NewPort(portDepth),
 	}
-	d.rx = make([]*ring, cfg.RxQueues)
+	d.rx = make([]*rxQueue, cfg.RxQueues)
 	for i := range d.rx {
-		d.rx[i] = newRing(cfg.RingDepth)
+		d.rx[i] = &rxQueue{ring: newRing(cfg.RingDepth)}
 	}
 	return d
 }
@@ -116,9 +147,7 @@ func (d *Device) NumRxQueues() int { return d.cfg.RxQueues }
 // that a DMA-able region exists. (A real NIC would program its IOMMU
 // mapping here.)
 func (d *Device) RegisterRegion(id uint64, mem []byte) {
-	d.mu.Lock()
-	d.stats.Regions++
-	d.mu.Unlock()
+	d.regions.Add(1)
 }
 
 // Tx transmits one raw Ethernet frame carrying prior accumulated cost.
@@ -129,12 +158,12 @@ func (d *Device) Tx(data []byte, cost simclock.Lat) {
 
 // TxFrame transmits one frame, pooled backing buffer and all. Ownership
 // of f.Buf transfers to the fabric (and onward to the receiver); the
-// caller must not touch f.Data after the call.
+// caller must not touch f.Data after the call. The TX path is lock-free
+// on the device: counters are atomics and the fabric port does its own
+// synchronisation, so shards transmit concurrently without rendezvous.
 func (d *Device) TxFrame(f fabric.Frame) {
-	d.mu.Lock()
-	d.stats.TxFrames++
-	d.stats.DMABytes += int64(len(f.Data))
-	d.mu.Unlock()
+	d.txFrames.Add(1)
+	d.dmaBytes.Add(int64(len(f.Data)))
 	f.Cost += d.model.NICProcessNS + d.model.DMACost(len(f.Data))
 	d.port.Send(f)
 }
@@ -158,21 +187,29 @@ func (d *Device) RxBurst(queue, max int) []fabric.Frame {
 // steady-state poll loop runs without allocating the burst slice.
 // Ownership of each frame's pooled buffer (Frame.Buf) passes to the
 // caller, who must Release every frame once ingested.
+//
+// Concurrent calls on different queues do not serialise against each
+// other: one caller at a time performs the wire drain (TryLock), and
+// each queue's ring has its own lock.
 func (d *Device) AppendRxBurst(dst []fabric.Frame, queue, max int) []fabric.Frame {
 	if queue < 0 || queue >= len(d.rx) {
 		panic(fmt.Sprintf("nic: RxBurst on queue %d of %d", queue, len(d.rx)))
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.drainWireLocked()
+	if d.drainMu.TryLock() {
+		d.drainWireLocked()
+		d.drainMu.Unlock()
+	}
+	q := d.rx[queue]
+	q.mu.Lock()
 	start := len(dst)
 	for len(dst)-start < max {
-		f, ok := d.rx[queue].pop()
+		f, ok := q.ring.pop()
 		if !ok {
 			break
 		}
 		dst = append(dst, f)
 	}
+	q.mu.Unlock()
 	if n := len(dst) - start; n > 0 {
 		fabric.RecordBurstSize(n)
 	}
@@ -180,6 +217,7 @@ func (d *Device) AppendRxBurst(dst []fabric.Frame, queue, max int) []fabric.Fram
 }
 
 // drainWireLocked moves frames from the fabric port into receive rings.
+// Caller holds drainMu.
 func (d *Device) drainWireLocked() {
 	for {
 		f, ok := d.port.Poll()
@@ -188,53 +226,105 @@ func (d *Device) drainWireLocked() {
 		}
 		// Hardware receive processing + DMA into host memory.
 		f.Cost += d.model.NICProcessNS + d.model.DMACost(len(f.Data))
-		d.stats.DMABytes += int64(len(f.Data))
+		d.dmaBytes.Add(int64(len(f.Data)))
 
-		q, drop := d.classifyLocked(&f)
+		qi, drop := d.classify(&f)
 		if drop {
-			d.stats.FilterDrops++
+			d.filterDrops.Add(1)
 			f.Release()
 			continue
 		}
-		if d.rx[q].push(f) {
-			d.stats.RxFrames++
+		q := d.rx[qi]
+		q.mu.Lock()
+		pushed := q.ring.push(f)
+		q.mu.Unlock()
+		if pushed {
+			d.rxFrames.Add(1)
 		} else {
-			d.stats.RxDropped++
-			telemetry.TraceInstant("nic", "rx-ring-drop", int32(q), int64(len(f.Data)))
+			d.rxDropped.Add(1)
+			telemetry.TraceInstant("nic", "rx-ring-drop", int32(qi), int64(len(f.Data)))
 			f.Release()
 		}
 	}
 }
 
-// classifyLocked runs the hardware filter table, then RSS.
-func (d *Device) classifyLocked(f *fabric.Frame) (queue int, drop bool) {
+// classify runs the hardware filter table, then RSS.
+func (d *Device) classify(f *fabric.Frame) (queue int, drop bool) {
+	d.filterMu.RLock()
 	for _, flt := range d.filters {
-		d.stats.FilterEvals++
+		d.filterEvals.Add(1)
 		f.Cost += d.model.OffloadedFilterCost()
 		if flt.Match(f.Data) {
-			if flt.Action == ActionDrop {
+			action, q := flt.Action, flt.Queue
+			d.filterMu.RUnlock()
+			if action == ActionDrop {
 				return 0, true
 			}
-			return flt.Queue % len(d.rx), false
+			return q % len(d.rx), false
 		}
 	}
+	d.filterMu.RUnlock()
 	return d.rss(f.Data), false
 }
 
 // AddFilter installs a hardware filter and returns its table index.
 // Filters run in installation order; the first match wins.
 func (d *Device) AddFilter(f HWFilter) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.filterMu.Lock()
+	defer d.filterMu.Unlock()
 	d.filters = append(d.filters, f)
 	return len(d.filters) - 1
 }
 
 // ClearFilters removes all hardware filters.
 func (d *Device) ClearFilters() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.filterMu.Lock()
+	defer d.filterMu.Unlock()
 	d.filters = nil
+}
+
+// FNV-1a constants for the inline flow hash below.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// RSSHashFlow is the device's RSS hash as a pure function of the flow
+// 4-tuple: FNV-1a over the 12 bytes (srcIP, dstIP, srcPort, dstPort) in
+// on-the-wire order, exactly as rss() reads them out of an IPv4 frame.
+// It stands in for a Toeplitz hash; the properties that matter are a
+// stable flow→queue mapping and that software (a sharded libOS choosing
+// a source port so the *reply* lands on a particular worker's queue —
+// §3.1's share-nothing partitioning) can compute the same mapping the
+// hardware applies.
+func RSSHashFlow(srcIP, dstIP [4]byte, srcPort, dstPort uint16) uint32 {
+	h := uint32(fnvOffset32)
+	hashByte := func(b byte) {
+		h ^= uint32(b)
+		h *= fnvPrime32
+	}
+	hashByte(srcIP[0])
+	hashByte(srcIP[1])
+	hashByte(srcIP[2])
+	hashByte(srcIP[3])
+	hashByte(dstIP[0])
+	hashByte(dstIP[1])
+	hashByte(dstIP[2])
+	hashByte(dstIP[3])
+	hashByte(byte(srcPort >> 8))
+	hashByte(byte(srcPort))
+	hashByte(byte(dstPort >> 8))
+	hashByte(byte(dstPort))
+	return h
+}
+
+// RSSQueueFlow maps a flow 4-tuple onto one of queues receive queues,
+// matching the device's classify() steering bit-for-bit.
+func RSSQueueFlow(srcIP, dstIP [4]byte, srcPort, dstPort uint16, queues int) int {
+	if queues <= 1 {
+		return 0
+	}
+	return int(RSSHashFlow(srcIP, dstIP, srcPort, dstPort) % uint32(queues))
 }
 
 // rss hashes the flow identity of a frame onto a receive queue. For IPv4
@@ -242,32 +332,49 @@ func (d *Device) ClearFilters() {
 // bytes of the transport header (ports); otherwise it hashes the source
 // MAC. This stands in for a Toeplitz hash: the property that matters is a
 // stable flow→queue mapping.
+//
+// The hash is inlined FNV-1a rather than hash/fnv: the stdlib hasher is
+// an interface value that escapes, which would put one heap allocation
+// on every received frame. The reduction is an unsigned modulo —
+// int(h.Sum32()) % n, the previous form, yields a negative index on
+// 32-bit ints for half the hash space.
 func (d *Device) rss(data []byte) int {
-	h := fnv.New32a()
+	h := uint32(fnvOffset32)
 	const ethHdr = 14
 	if len(data) >= ethHdr+24 && data[12] == 0x08 && data[13] == 0x00 {
-		h.Write(data[ethHdr+12 : ethHdr+20]) // src+dst IPv4
-		h.Write(data[ethHdr+20 : ethHdr+24]) // ports
+		for _, b := range data[ethHdr+12 : ethHdr+24] { // src+dst IPv4, ports
+			h ^= uint32(b)
+			h *= fnvPrime32
+		}
 	} else {
-		h.Write(data[6:12])
+		for _, b := range data[6:12] { // src MAC
+			h ^= uint32(b)
+			h *= fnvPrime32
+		}
 	}
-	return int(h.Sum32()) % len(d.rx)
+	return int(h % uint32(len(d.rx)))
 }
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		TxFrames:    d.txFrames.Load(),
+		RxFrames:    d.rxFrames.Load(),
+		RxDropped:   d.rxDropped.Load(),
+		FilterDrops: d.filterDrops.Load(),
+		FilterEvals: d.filterEvals.Load(),
+		DMABytes:    d.dmaBytes.Load(),
+		Regions:     d.regions.Load(),
+	}
 }
 
 // QueueDepth reports the current occupancy of a receive queue, after
 // draining the wire. Useful in tests and the steering experiment.
 func (d *Device) QueueDepth(queue int) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.drainMu.Lock()
 	d.drainWireLocked()
-	return d.rx[queue].len()
+	d.drainMu.Unlock()
+	return d.RxOccupancy(queue)
 }
 
 // RxOccupancy reports the current occupancy of a receive queue WITHOUT
@@ -278,9 +385,11 @@ func (d *Device) RxOccupancy(queue int) int {
 	if queue < 0 || queue >= len(d.rx) {
 		return 0
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.rx[queue].len()
+	q := d.rx[queue]
+	q.mu.Lock()
+	n := q.ring.len()
+	q.mu.Unlock()
+	return n
 }
 
 // RegisterTelemetry lifts the device counters into a telemetry registry

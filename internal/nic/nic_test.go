@@ -155,6 +155,119 @@ func TestRSSStableFlowMapping(t *testing.T) {
 	}
 }
 
+// ipv4Frame builds a minimal eth+IPv4+ports frame for a flow 4-tuple,
+// laid out exactly as the device's RSS classifier reads it.
+func ipv4Frame(dst, src fabric.MAC, srcIP, dstIP [4]byte, srcPort, dstPort uint16) []byte {
+	f := make([]byte, 0, 14+24)
+	f = append(f, dst[:]...)
+	f = append(f, src[:]...)
+	f = append(f, 0x08, 0x00)
+	ip := make([]byte, 24)
+	copy(ip[12:16], srcIP[:])
+	copy(ip[16:20], dstIP[:])
+	ip[20] = byte(srcPort >> 8)
+	ip[21] = byte(srcPort)
+	ip[22] = byte(dstPort >> 8)
+	ip[23] = byte(dstPort)
+	return append(f, ip...)
+}
+
+// TestRSSDistribution checks that the RSS hash spreads a realistic flow
+// population (one server ip:port, many client ephemeral ports) evenly
+// across the queues: every queue must land within ±50% of its fair
+// share. This is the regression fence for the classifier skew audit —
+// the old int(h.Sum32()) % n reduction could go negative on 32-bit ints
+// and the per-frame hash allocation hid behind an interface.
+func TestRSSDistribution(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 7)
+	for _, queues := range []int{2, 4, 8} {
+		d := New(&model, sw, Config{MAC: macB, RxQueues: queues})
+		srcIP := [4]byte{10, 0, 0, 1}
+		dstIP := [4]byte{10, 0, 0, 2}
+		const flows = 4096
+		counts := make([]int, queues)
+		for p := 0; p < flows; p++ {
+			f := ipv4Frame(macB, macA, srcIP, dstIP, uint16(20000+p), 7777)
+			counts[d.rss(f)]++
+		}
+		fair := flows / queues
+		for q, n := range counts {
+			if n < fair/2 || n > fair*2 {
+				t.Fatalf("queues=%d: queue %d got %d of %d flows (fair share %d): skewed RSS",
+					queues, q, n, flows, fair)
+			}
+		}
+	}
+}
+
+// TestRSSQueueFlowMatchesDevice verifies that the exported pure mapping
+// (what a sharded libOS uses to pick source ports) agrees bit-for-bit
+// with where the device actually steers the frame.
+func TestRSSQueueFlowMatchesDevice(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 7)
+	d := New(&model, sw, Config{MAC: macB, RxQueues: 8})
+	srcIP := [4]byte{192, 168, 1, 10}
+	dstIP := [4]byte{192, 168, 1, 20}
+	for p := uint16(1000); p < 1512; p++ {
+		f := ipv4Frame(macB, macA, srcIP, dstIP, p, 9999)
+		want := RSSQueueFlow(srcIP, dstIP, p, 9999, 8)
+		if got := d.rss(f); got != want {
+			t.Fatalf("port %d: device steers to queue %d, RSSQueueFlow says %d", p, got, want)
+		}
+	}
+	// Single queue always maps to 0.
+	if RSSQueueFlow(srcIP, dstIP, 1, 2, 1) != 0 {
+		t.Fatal("RSSQueueFlow with 1 queue must return 0")
+	}
+}
+
+// TestConcurrentQueuePolling exercises the per-ring locking: four
+// goroutines each poll their own queue while a fifth transmits. Run
+// under -race this is the fence for the shard-concurrency restructure.
+func TestConcurrentQueuePolling(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 7)
+	a := New(&model, sw, Config{MAC: macA})
+	b := New(&model, sw, Config{MAC: macB, RxQueues: 4})
+
+	const frames = 2048
+	done := make(chan int, 4)
+	for q := 0; q < 4; q++ {
+		go func(q int) {
+			got := 0
+			var burst []fabric.Frame
+			for i := 0; i < 100000 && got < frames; i++ {
+				burst = b.AppendRxBurst(burst[:0], q, 64)
+				for _, f := range burst {
+					got++
+					f.Release()
+				}
+			}
+			done <- got
+		}(q)
+	}
+	srcIP := [4]byte{10, 0, 0, 1}
+	dstIP := [4]byte{10, 0, 0, 2}
+	for i := 0; i < frames; i++ {
+		// Slow the producer slightly relative to ring capacity by
+		// spreading ports; drops are fine, conservation is checked below.
+		a.Tx(ipv4Frame(macB, macA, srcIP, dstIP, uint16(i), 7777), 0)
+	}
+	total := 0
+	for q := 0; q < 4; q++ {
+		total += <-done
+	}
+	st := b.Stats()
+	if int64(total) != st.RxFrames-int64(b.RxOccupancy(0)+b.RxOccupancy(1)+b.RxOccupancy(2)+b.RxOccupancy(3)) {
+		t.Fatalf("conservation: polled %d, device says RxFrames=%d RxDropped=%d", total, st.RxFrames, st.RxDropped)
+	}
+	if st.RxFrames+st.RxDropped != frames {
+		t.Fatalf("RxFrames(%d)+RxDropped(%d) != %d transmitted", st.RxFrames, st.RxDropped, frames)
+	}
+}
+
 func TestRegisterRegionCounts(t *testing.T) {
 	a, _, _ := pair(t)
 	a.RegisterRegion(1, make([]byte, 64))

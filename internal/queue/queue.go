@@ -86,6 +86,10 @@ type IoQueue interface {
 // between concurrent completions rare at any realistic thread count.
 const completerShards = 16
 
+// maxFreeStates bounds each shard's tokenState freelist so a burst of
+// outstanding tokens does not pin memory forever; overflow goes to GC.
+const maxFreeStates = 1024
+
 // Completer is the token table: it allocates qtokens, records
 // completions, and wakes exactly one waiter per completion (§4.4).
 // It is safe for concurrent use.
@@ -94,9 +98,19 @@ const completerShards = 16
 // different shards never contend, and completions can optionally be
 // published to a ready list (EnableReadyList) so an event loop dispatches
 // in O(ready) instead of probing every pending token.
+//
+// The publish path is allocation-free in steady state: token states are
+// recycled through per-shard freelists, and each state carries its own
+// pre-bound DoneFunc, so NewToken → done → TryWait costs 0 allocs/op
+// once the freelists are warm (the BenchmarkHotPath_Completer fence).
+// Hot atomics and the shard array entries are padded to cache-line size
+// so shards running on different cores never write-share a line.
 type Completer struct {
-	next    atomic.Uint64
-	wakeups atomic.Int64 // feeds the E5 experiment
+	next atomic.Uint64
+	_    [56]byte //nolint:unused // pad: next is written on every NewToken
+	// wakeups feeds the E5 experiment.
+	wakeups atomic.Int64
+	_       [56]byte //nolint:unused // pad
 	spans   *telemetry.SpanTable
 	shards  [completerShards]completerShard
 
@@ -110,14 +124,28 @@ type Completer struct {
 type completerShard struct {
 	mu      sync.Mutex
 	pending map[QToken]*tokenState
+	free    []*tokenState // recycled token states (LIFO for cache warmth)
+	// pad the 40 bytes above out to a 64-byte cache line so adjacent
+	// shards in the array never write-share a line.
+	_ [24]byte //nolint:unused
 }
 
-// tokenState is the per-token table entry. Layout note: the two flags
-// and the queue descriptor pack into the padding before comp, and the
-// span sidecar is one pointer, so the struct stays in the same heap size
-// class it occupied before telemetry existed — per-op B/op on the hot
-// path is unchanged with spans disabled.
+// tokenState is the per-token table entry. States are recycled through
+// the owning shard's freelist: the back-pointers (c, home) and the
+// doneFn closure are bound once at first allocation and reused across
+// every token the state subsequently represents, which is what makes the
+// completion publish path allocation-free. While a state sits on the
+// freelist its qt is zero, so a DoneFunc invoked twice for the same
+// operation (a contract violation — IoQueue implementations must call
+// done exactly once) is dropped rather than corrupting a live token.
 type tokenState struct {
+	c    *Completer      // immutable after first allocation
+	home *completerShard // immutable: states never migrate shards
+	// doneFn is the reusable completion closure handed out by
+	// NewTokenFor; it resolves the current qt under the shard lock.
+	doneFn DoneFunc
+
+	qt   QToken // current token, 0 while on the freelist
 	done bool
 	// published marks that the token has already been appended to the
 	// ready list, so the EnableReadyList sweep and a racing complete()
@@ -165,20 +193,50 @@ func (c *Completer) NewToken() (QToken, DoneFunc) {
 // the operation's latency series when qtoken spans are enabled (the
 // syscall layer passes the QD; transports that allocate tokens
 // internally use NewToken).
+//
+// Steady state performs no allocation: the token state (including its
+// DoneFunc closure) comes from the shard's freelist.
 func (c *Completer) NewTokenFor(qd int32) (QToken, DoneFunc) {
-	qt := QToken(c.next.Add(1))
-	st := &tokenState{qd: qd}
+	qt := QToken(c.next.Add(1)) // starts at 1: qt 0 means "on freelist"
+	sh := c.shard(qt)
+	sh.mu.Lock()
+	var st *tokenState
+	if n := len(sh.free); n > 0 {
+		st = sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+	} else {
+		st = &tokenState{c: c, home: sh}
+		st.doneFn = func(comp Completion) { st.c.completeState(st, comp) }
+	}
+	st.qt = qt
+	st.qd = qd
 	if c.spans.Enabled() {
 		st.span = &spanStamps{issueNS: time.Now().UnixNano()}
 	}
-	sh := c.shard(qt)
-	sh.mu.Lock()
 	sh.pending[qt] = st
 	sh.mu.Unlock()
-	return qt, func(comp Completion) {
-		comp.Token = qt
-		c.complete(qt, comp)
+	return qt, st.doneFn
+}
+
+// recycle scrubs a consumed token state and returns it to its home
+// shard's freelist. Callers must have copied everything they need out of
+// st first (comp, span) — after this call the state may immediately be
+// reissued as a new token.
+func (c *Completer) recycle(st *tokenState) {
+	sh := st.home
+	sh.mu.Lock()
+	st.qt = 0
+	st.done = false
+	st.published = false
+	st.qd = 0
+	st.comp = Completion{}
+	st.ch = nil
+	st.span = nil
+	if len(sh.free) < maxFreeStates {
+		sh.free = append(sh.free, st)
 	}
+	sh.mu.Unlock()
 }
 
 // MarkSubmit stamps the device-submit stage of qt's span: the libOS
@@ -217,14 +275,20 @@ func (c *Completer) recordSpan(st *tokenState, consumeNS int64) {
 	})
 }
 
-func (c *Completer) complete(qt QToken, comp Completion) {
-	sh := c.shard(qt)
+// completeState records a completion directly against its token state —
+// no map lookup; the DoneFunc closure owns the pointer. A stale call
+// (state already consumed and back on the freelist, qt == 0) or a double
+// completion (st.done) is a contract violation by the invoking IoQueue
+// and is dropped.
+func (c *Completer) completeState(st *tokenState, comp Completion) {
+	sh := st.home
 	sh.mu.Lock()
-	st, ok := sh.pending[qt]
-	if !ok || st.done {
+	qt := st.qt
+	if qt == 0 || st.done {
 		sh.mu.Unlock()
-		return // double completion is an implementation bug; tolerate
+		return // stale/double completion is an implementation bug; tolerate
 	}
+	comp.Token = qt
 	st.done = true
 	st.comp = comp
 	if st.span != nil {
@@ -251,10 +315,12 @@ func (c *Completer) complete(qt QToken, comp Completion) {
 		// lock: the channel has capacity 1 and exactly one completion is
 		// ever delivered per token (the st.done guard above), so the
 		// send cannot block and needs no lock. Delivery through the
-		// channel is also the waiter's consume moment.
+		// channel is also the waiter's consume moment. The state is
+		// recycled before the send — comp is a local copy.
 		if st.span != nil {
 			c.recordSpan(st, st.span.doneNS)
 		}
+		c.recycle(st)
 		ch <- comp
 		return
 	}
@@ -339,10 +405,12 @@ func (c *Completer) TryWait(qt QToken) (Completion, bool, error) {
 	}
 	delete(sh.pending, qt)
 	sh.mu.Unlock()
+	comp := st.comp
 	if st.span != nil {
 		c.recordSpan(st, time.Now().UnixNano())
 	}
-	return st.comp, true, nil
+	c.recycle(st)
+	return comp, true, nil
 }
 
 // WaitChan subscribes the calling thread to qt's completion. The channel
@@ -368,10 +436,12 @@ func (c *Completer) WaitChan(qt QToken) (<-chan Completion, error) {
 		delete(sh.pending, qt)
 		c.wakeups.Add(1)
 		sh.mu.Unlock()
+		comp := st.comp
 		if st.span != nil {
 			c.recordSpan(st, time.Now().UnixNano())
 		}
-		ch <- st.comp
+		c.recycle(st)
+		ch <- comp
 		return ch, nil
 	}
 	sh.mu.Unlock()
