@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race statsmoke shardsmoke chaos bench benchsmoke benchall report clean
+.PHONY: all tier1 vet build test race statsmoke shardsmoke lifecyclesoak chaos bench benchsmoke benchall report clean
 
 all: tier1
 
@@ -8,14 +8,19 @@ all: tier1
 ## suite, a short -race pass over the concurrency-heavy packages
 ## (the chaos engine, the user TCP stack, the pinned-memory allocator,
 ## the telemetry instruments, the qtoken completer, the cross-shard
-## SPSC mesh, and the sharded KV workers), a counter-consistency smoke
+## SPSC mesh, the sharded KV workers, the failover backoff machinery,
+## and the simulated drift clock), a counter-consistency smoke
 ## (telemetry must conserve frames: TXed == delivered + every
-## attributed drop, at the fabric, per NIC, and per stack), a 2-shard
-## KV scaling smoke (the sharded runtime must come up, align, and beat
-## one shard), and a one-iteration smoke of the hot-path benchmark
+## attributed drop, at the fabric, per NIC, and per stack — including
+## across a crash/restart, the crash-time RxFlushed bucket folded in),
+## a 2-shard KV scaling smoke (the sharded runtime must come up,
+## align, and beat one shard), a crash/restart soak (the lifecycle
+## tests repeated under -race: typed errors only, listener re-binding,
+## failover recovery, frame conservation across the incarnation
+## boundary), and a one-iteration smoke of the hot-path benchmark
 ## suite so a broken benchmark rig fails the gate, not the nightly
 ## bench run.
-tier1: vet build test race statsmoke shardsmoke benchsmoke
+tier1: vet build test race statsmoke shardsmoke lifecyclesoak benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -27,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/ ./internal/shard/ ./internal/apps/kv/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/ ./internal/shard/ ./internal/apps/kv/ ./internal/apps/failover/ ./internal/simclock/ ./internal/libos/catnip/
 	$(GO) test -race -count=1 -run 'TestChaosShardedKV' .
 
 ## statsmoke: run an impaired echo workload and check that the telemetry
@@ -43,9 +48,16 @@ statsmoke:
 shardsmoke:
 	$(GO) run ./cmd/demi-bench -shards 2 -shardsout /dev/null
 
+## lifecyclesoak: the crash/restart gauntlet, repeated under the race
+## detector — node death mid-connection, client failover across the
+## outage, and the sharded-KV chaos schedule (loss → asymmetric
+## partition → crash → restart → heal). Part of tier1.
+lifecyclesoak:
+	$(GO) test -race -count=2 -run 'TestCrashRestartMidConnection|TestKVFailoverAcrossCrash|TestChaosShardedKVCrashRestart' .
+
 ## chaos: just the fault-injection suite (root soak tests + engine).
 chaos:
-	$(GO) test -run 'TestChaos' -count=1 ./...
+	$(GO) test -run 'TestChaos|TestCrashRestart|TestKVFailover' -count=1 ./...
 
 ## bench: run the hot-path regression suite and write the machine-
 ## readable result stream to BENCH_hotpath.json, then measure the

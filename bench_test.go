@@ -33,11 +33,11 @@ func benchEchoRig(b *testing.B, flavor string, extra Lat) (*echo.Client, func())
 	mk := func(host byte) *Node {
 		switch flavor {
 		case "catnip":
-			return c.NewCatnipNode(NodeConfig{Host: host, PerPacketExtra: extra})
+			return c.MustSpawn(Catnip, WithConfig(NodeConfig{Host: host, PerPacketExtra: extra}))
 		case "catnap":
-			return c.NewCatnapNode(NodeConfig{Host: host, PerPacketExtra: extra})
+			return c.MustSpawn(Catnap, WithConfig(NodeConfig{Host: host, PerPacketExtra: extra}))
 		case "catmint":
-			return c.NewCatmintNode(NodeConfig{Host: host})
+			return c.MustSpawn(Catmint, WithHost(host))
 		default:
 			b.Fatalf("flavor %q", flavor)
 			return nil
@@ -88,11 +88,11 @@ func BenchmarkE2_Taxonomy(b *testing.B) {
 			var node *Node
 			switch flavor {
 			case "catnap":
-				node = c.NewCatnapNode(NodeConfig{Host: 1})
+				node = c.MustSpawn(Catnap, WithHost(1))
 			case "catnip":
-				node = c.NewCatnipNode(NodeConfig{Host: 1})
+				node = c.MustSpawn(Catnip, WithHost(1))
 			case "catmint":
-				node = c.NewCatmintNode(NodeConfig{Host: 1})
+				node = c.MustSpawn(Catmint, WithHost(1))
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -114,9 +114,9 @@ func BenchmarkE3_ZeroCopy(b *testing.B) {
 			c := NewCluster(1)
 			var srvNode, cliNode *Node
 			if flavor == "catnap" {
-				srvNode, cliNode = c.NewCatnapNode(NodeConfig{Host: 1}), c.NewCatnapNode(NodeConfig{Host: 2})
+				srvNode, cliNode = c.MustSpawn(Catnap, WithHost(1)), c.MustSpawn(Catnap, WithHost(2))
 			} else {
-				srvNode, cliNode = c.NewCatnipNode(NodeConfig{Host: 1}), c.NewCatnipNode(NodeConfig{Host: 2})
+				srvNode, cliNode = c.MustSpawn(Catnip, WithHost(1)), c.MustSpawn(Catnip, WithHost(2))
 			}
 			srv := kv.NewServer(srvNode.LibOS, &c.Model)
 			if err := srv.Listen(6379); err != nil {
@@ -493,8 +493,8 @@ func BenchmarkMultiShard_KV(b *testing.B) {
 	for _, n := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
 			c := NewCluster(1)
-			srvNode := c.NewShardedCatnipNode(NodeConfig{Host: 1}, n)
-			cliNode := c.NewCatnipNode(NodeConfig{Host: 2})
+			srvNode := c.MustSpawn(Catnip, WithHost(1), WithShards(n)).Sharded
+			cliNode := c.MustSpawn(Catnip, WithHost(2))
 			server := kv.NewShardedServer(srvNode.Libs, &c.Model, srvNode.Mesh())
 			const port = 6379
 			if err := server.Listen(port); err != nil {

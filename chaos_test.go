@@ -92,16 +92,16 @@ func chaosSoakNet(t *testing.T, flavor string) {
 	var srvNode, cliNode *Node
 	switch flavor {
 	case "catnip":
-		srvNode = c.NewCatnipNode(NodeConfig{Host: 1})
+		srvNode = c.MustSpawn(Catnip, WithHost(1))
 		// Short retransmission budget so a partitioned connection gives
 		// up inside the fault window instead of riding it out.
-		cliNode = c.NewCatnipNode(NodeConfig{Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4})
+		cliNode = c.MustSpawn(Catnip, WithConfig(NodeConfig{Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4}))
 	case "catmint":
-		srvNode = c.NewCatmintNode(NodeConfig{Host: 1})
-		cliNode = c.NewCatmintNode(NodeConfig{
+		srvNode = c.MustSpawn(Catmint, WithHost(1))
+		cliNode = c.MustSpawn(Catmint, WithConfig(NodeConfig{
 			Host: 2, OpTimeout: 10 * time.Millisecond,
 			MaxReconnects: 40, ReconnectBackoff: time.Millisecond,
-		})
+		}))
 	}
 	cliNode.WaitTimeout = 200 * time.Millisecond
 
@@ -225,10 +225,10 @@ func chaosSoakNet(t *testing.T, flavor string) {
 func TestChaosShardedKV(t *testing.T) {
 	const shards = 4
 	c := NewCluster(44)
-	srvNode := c.NewShardedCatnipNode(NodeConfig{Host: 1}, shards)
+	srvNode := c.MustSpawn(Catnip, WithHost(1), WithShards(shards)).Sharded
 	// Short retransmission budget so partitioned connections give up
 	// inside the fault window instead of riding it out.
-	cliNode := c.NewCatnipNode(NodeConfig{Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4})
+	cliNode := c.MustSpawn(Catnip, WithConfig(NodeConfig{Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4}))
 	cliNode.WaitTimeout = 200 * time.Millisecond
 
 	server := kv.NewShardedServer(srvNode.Libs, &c.Model, srvNode.Mesh())
@@ -429,7 +429,7 @@ func TestChaosShardedKV(t *testing.T) {
 // record must read back intact — including across a restart.
 func chaosSoakCatfish(t *testing.T) {
 	c := NewCluster(43)
-	node, err := c.NewCatfishNode(0)
+	node, err := c.Spawn(Catfish, WithBlocks(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -490,7 +490,7 @@ func chaosSoakCatfish(t *testing.T) {
 	verify(node, "same-process")
 
 	// Restart: recover the log from the same device and re-verify.
-	node2, err := c.NewCatfishNodeOn(dev)
+	node2, err := c.Spawn(Catfish, WithDisk(dev))
 	if err != nil {
 		t.Fatalf("recovery after chaos run: %v", err)
 	}
@@ -502,8 +502,8 @@ func chaosSoakCatfish(t *testing.T) {
 // hang-free failure handling §2 says nobody below the libOS will provide.
 func TestChaosTCPGiveUp(t *testing.T) {
 	c := NewCluster(301)
-	srv := c.NewCatnipNode(NodeConfig{Host: 1})
-	cli := c.NewCatnipNode(NodeConfig{Host: 2, RTO: time.Millisecond, MaxRetransmits: 3})
+	srv := c.MustSpawn(Catnip, WithHost(1))
+	cli := c.MustSpawn(Catnip, WithConfig(NodeConfig{Host: 2, RTO: time.Millisecond, MaxRetransmits: 3}))
 	cqd, lqd, _, cleanup := chaosConnect(t, c, cli, srv, 80)
 	defer cleanup()
 
@@ -575,11 +575,11 @@ func TestChaosTCPGiveUp(t *testing.T) {
 // endpoint, no application-level reconnect.
 func TestChaosCatmintReconnect(t *testing.T) {
 	c := NewCluster(302)
-	srv := c.NewCatmintNode(NodeConfig{Host: 1})
-	cli := c.NewCatmintNode(NodeConfig{
+	srv := c.MustSpawn(Catmint, WithHost(1))
+	cli := c.MustSpawn(Catmint, WithConfig(NodeConfig{
 		Host: 2, OpTimeout: 10 * time.Millisecond,
 		MaxReconnects: 40, ReconnectBackoff: time.Millisecond,
-	})
+	}))
 	cqd, lqd, sqd, cleanup := chaosConnect(t, c, cli, srv, 7)
 	defer cleanup()
 	echoOnce(t, cli, cqd, srv, sqd, "healthy before the flap")
@@ -688,7 +688,7 @@ func TestChaosCatmintReconnect(t *testing.T) {
 // budget zeroed the application sees the typed device error.
 func TestChaosCatfishResetRetry(t *testing.T) {
 	c := NewCluster(303)
-	node, err := c.NewCatfishNode(0)
+	node, err := c.Spawn(Catfish, WithBlocks(0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,11 +60,11 @@ func measure(flavor string, size, n int, seed int64, stats bool) (*metrics.Histo
 	mk := func(host byte) (*demi.Node, error) {
 		switch flavor {
 		case "catnip":
-			return cluster.NewCatnipNode(demi.NodeConfig{Host: host}), nil
+			return cluster.MustSpawn(demi.Catnip, demi.WithHost(host)), nil
 		case "catnap":
-			return cluster.NewCatnapNode(demi.NodeConfig{Host: host}), nil
+			return cluster.MustSpawn(demi.Catnap, demi.WithHost(host)), nil
 		case "catmint":
-			return cluster.NewCatmintNode(demi.NodeConfig{Host: host}), nil
+			return cluster.MustSpawn(demi.Catmint, demi.WithHost(host)), nil
 		default:
 			return nil, fmt.Errorf("unknown libOS %q", flavor)
 		}

@@ -11,20 +11,28 @@
 //   - optionally (-trace) a chrome://tracing JSON timeline of device and
 //     protocol events.
 //
-// With -chaos the run executes under fabric impairments, so the
-// dashboard shows retransmits, injected loss, and corruption counters
-// doing real work.
+// With -chaos the run executes under fabric impairments AND a scheduled
+// mid-run crash/restart of the server node (the client rides it out via
+// redial-and-replay failover), so the dashboard shows retransmits,
+// injected loss, corruption counters, the lifecycle.* crash/restart
+// counters, and a timeline of every fired chaos event.
 //
 // With -selftest demi-stat instead audits counter consistency: it runs
-// an impaired echo workload, quiesces, and checks the frame conservation
-// laws that must hold if every layer counts honestly:
+// an impaired echo workload — including a full crash/restart of the
+// server halfway through — quiesces, and checks the frame conservation
+// laws that must hold if every layer counts honestly, even across a
+// stack incarnation boundary:
 //
 //	fabric: ΣTxFrames + InjectedDup ==
 //	        Delivered + InjectedLoss + LinkDownDrops + DroppedRxFull
 //	NIC:    port.Delivered == RxFrames + RxDropped + FilterDrops
-//	stack:  nic.RxFrames == FramesIn + Σ(ring occupancy)
+//	stack:  nic.RxFrames == ΣFramesIn (all incarnations)
+//	        + Σ(ring occupancy) + RxFlushed
 //
-// It exits non-zero if any law is violated; `make tier1` runs it.
+// (RxFlushed counts ring frames the device reclaimed on behalf of a
+// crashed stack — the safe-sharing cleanup a kernel used to do when a
+// bypass process died.) It exits non-zero if any law is violated;
+// `make tier1` runs it.
 //
 // With -shards N the workload is the RSS-sharded KV server instead of
 // the echo pair: the dashboard shows the per-shard datapath (ops, mesh
@@ -38,11 +46,14 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"strings"
 	"time"
 
 	demi "demikernel"
 	"demikernel/internal/apps/echo"
+	"demikernel/internal/apps/failover"
 	"demikernel/internal/apps/kv"
+	"demikernel/internal/chaos"
 	"demikernel/internal/fabric"
 	"demikernel/internal/metrics"
 	"demikernel/internal/simclock"
@@ -131,8 +142,11 @@ func (r *rig) close() {
 
 func newRig(seed int64, imp fabric.Impairments) (*rig, *echoPair, error) {
 	c := demi.NewCluster(seed)
-	srvNode := c.NewCatnipNode(demi.NodeConfig{Host: 1, RTO: 2 * time.Millisecond})
-	cliNode := c.NewCatnipNode(demi.NodeConfig{Host: 2, RTO: 2 * time.Millisecond})
+	srvNode := c.MustSpawn(demi.Catnip, demi.WithConfig(demi.NodeConfig{Host: 1, RTO: 2 * time.Millisecond}))
+	cliNode := c.MustSpawn(demi.Catnip, demi.WithConfig(demi.NodeConfig{Host: 2, RTO: 2 * time.Millisecond}))
+	// A silent peer (crashed after ACKing a request) is only detectable
+	// through the wait deadline; keep it tight so failover engages fast.
+	cliNode.WaitTimeout = 250 * time.Millisecond
 
 	reg := telemetry.NewRegistry()
 	c.Switch.RegisterTelemetry(reg, "fabric")
@@ -158,9 +172,9 @@ func newRig(seed int64, imp fabric.Impairments) (*rig, *echoPair, error) {
 	return r, pair, nil
 }
 
-func runDashboard(n, payload int, seed int64, chaos bool, tracePath string) error {
+func runDashboard(n, payload int, seed int64, underChaos bool, tracePath string) error {
 	var imp fabric.Impairments
-	if chaos {
+	if underChaos {
 		imp = fabric.Impairments{LossRate: 0.02, DupRate: 0.01, CorruptRate: 0.01, ReorderRate: 0.02}
 	}
 	if tracePath != "" {
@@ -175,6 +189,26 @@ func runDashboard(n, payload int, seed int64, chaos bool, tracePath string) erro
 	}
 	defer r.close()
 
+	// Under -chaos the server dies and comes back mid-run; the client's
+	// failover policy rides it out, and the engine's fired-event log
+	// becomes the lifecycle timeline rendered below. The engine steps on
+	// its own goroutine: the workload loop blocks inside failover while
+	// the server is down, and the restart must fire regardless.
+	var eng *chaos.Engine
+	var engDone chan struct{}
+	if underChaos {
+		pair.client.EnableFailover(failover.Policy{
+			MaxAttempts: 60, Base: 2 * time.Millisecond, Max: 40 * time.Millisecond, Jitter: 0.5, Seed: seed,
+		})
+		eng = chaos.New(seed)
+		eng.NodeCrashRestart(30*time.Millisecond, 25*time.Millisecond, "server", r.server)
+		engDone = make(chan struct{})
+		go func() {
+			defer close(engDone)
+			eng.Run(60*time.Millisecond, time.Millisecond)
+		}()
+	}
+
 	before := r.reg.Snapshot()
 	buf := make([]byte, payload)
 	var rtt metrics.Histogram
@@ -185,15 +219,22 @@ func runDashboard(n, payload int, seed int64, chaos bool, tracePath string) erro
 		}
 		rtt.Record(cost)
 	}
+	if eng != nil {
+		<-engDone
+	}
 	after := r.reg.Snapshot()
 
 	s := rtt.Summarize()
-	fmt.Printf("echo run: %d RTTs x %dB over catnip (seed %d, chaos=%v)\n", n, payload, seed, chaos)
+	fmt.Printf("echo run: %d RTTs x %dB over catnip (seed %d, chaos=%v)\n", n, payload, seed, underChaos)
 	fmt.Printf("virtual RTT: p50=%v p99=%v mean=%v max=%v\n\n", s.P50, s.P99, s.Mean, s.Max)
 
 	fmt.Println("== per-layer counters (delta over the run) ==")
 	fmt.Print(after.Diff(before).NonZero().String())
 	fmt.Println()
+
+	if eng != nil {
+		printLifecycle(eng, after)
+	}
 
 	fmt.Println(r.client.Spans().Table().String())
 	fmt.Println(r.server.Spans().Table().String())
@@ -213,8 +254,25 @@ func runDashboard(n, payload int, seed int64, chaos bool, tracePath string) erro
 	return nil
 }
 
-// runSelftest runs an impaired echo workload, quiesces the world, and
-// verifies the frame conservation laws across fabric, NIC, and stack.
+// printLifecycle renders the chaos engine's fired-event timeline plus
+// every lifecycle.* counter from the final snapshot — the operator's
+// view of who died, when, and how cleanly it came back.
+func printLifecycle(eng *chaos.Engine, snap telemetry.Snapshot) {
+	fmt.Println("== chaos lifecycle timeline ==")
+	for _, ev := range eng.FiredEvents() {
+		fmt.Printf("  t=%-10v %s (fired at %v)\n", ev.At, ev.Name, ev.FiredAt.Round(time.Millisecond))
+	}
+	for _, sm := range snap.Samples {
+		if strings.Contains(sm.Name, ".lifecycle.") && sm.Value != 0 {
+			fmt.Printf("  %-40s %d\n", sm.Name, sm.Value)
+		}
+	}
+	fmt.Println()
+}
+
+// runSelftest runs an impaired echo workload — killing and restarting
+// the server halfway — quiesces the world, and verifies the frame
+// conservation laws across fabric, NIC, and stack incarnations.
 func runSelftest(seed int64) error {
 	imp := fabric.Impairments{LossRate: 0.05, DupRate: 0.03, CorruptRate: 0.03, ReorderRate: 0.05}
 	r, pair, err := newRig(seed, imp)
@@ -223,11 +281,33 @@ func runSelftest(seed int64) error {
 	}
 	defer r.close()
 
+	// The client must survive the server's death below.
+	pair.client.EnableFailover(failover.Policy{
+		MaxAttempts: 60, Base: 2 * time.Millisecond, Max: 40 * time.Millisecond, Jitter: 0.5, Seed: seed,
+	})
+
 	buf := make([]byte, 64)
 	for i := 0; i < 400; i++ {
+		if i == 200 {
+			// Kill the server mid-workload: rings flush, qtokens abort,
+			// the link drops. Then bring it back and let the client's
+			// failover redial. The conservation laws below must balance
+			// across the incarnation boundary.
+			if _, err := r.server.Crash(); err != nil {
+				return fmt.Errorf("crash: %w", err)
+			}
+			time.Sleep(5 * time.Millisecond)
+			if err := r.server.Restart(); err != nil {
+				return fmt.Errorf("restart: %w", err)
+			}
+		}
 		if _, err := pair.rtt(buf, 0); err != nil {
 			return fmt.Errorf("rtt %d: %w", i, err)
 		}
+	}
+	recon, replays := pair.client.FailoverStats()
+	if recon == 0 || replays == 0 {
+		return fmt.Errorf("failover never engaged across the crash (reconnects=%d replays=%d)", recon, replays)
 	}
 
 	// Quiesce: stop injecting faults, release any frame held by the
@@ -281,13 +361,17 @@ func runSelftest(seed int64) error {
 		for q := 0; q < dev.NumRxQueues(); q++ {
 			occ += int64(dev.RxOccupancy(q))
 		}
-		st := node.Catnip.Stack().Stats()
-		if ds.RxFrames != st.FramesIn+occ {
-			return fmt.Errorf("stack conservation violated on port %d: nic rx=%d != frames_in=%d + ring=%d",
-				dev.PortID(), ds.RxFrames, st.FramesIn, occ)
+		// Cumulative across incarnations: a crashed-and-restarted stack
+		// folds its dead predecessors' counters into StackStats, and the
+		// frames the device flushed on the dead stack's behalf are in
+		// RxFlushed — both sides of the crash stay on the books.
+		st := node.Catnip.StackStats()
+		if ds.RxFrames != st.FramesIn+occ+ds.RxFlushed {
+			return fmt.Errorf("stack conservation violated on port %d: nic rx=%d != frames_in=%d + ring=%d + flushed=%d",
+				dev.PortID(), ds.RxFrames, st.FramesIn, occ, ds.RxFlushed)
 		}
-		fmt.Printf("node port %d: delivered=%d rx=%d dropped=%d frames_in=%d ring=%d\n",
-			dev.PortID(), ps.Delivered, ds.RxFrames, ds.RxDropped, st.FramesIn, occ)
+		fmt.Printf("node port %d: delivered=%d rx=%d dropped=%d frames_in=%d ring=%d flushed=%d\n",
+			dev.PortID(), ps.Delivered, ds.RxFrames, ds.RxDropped, st.FramesIn, occ, ds.RxFlushed)
 	}
 	return nil
 }
@@ -324,8 +408,8 @@ func aggregateShards(s telemetry.Snapshot) telemetry.Snapshot {
 // aggregate of every shard.<i>.* counter.
 func runSharded(seed int64, shards, ops int) error {
 	c := demi.NewCluster(seed)
-	srvNode := c.NewShardedCatnipNode(demi.NodeConfig{Host: 1}, shards)
-	cliNode := c.NewCatnipNode(demi.NodeConfig{Host: 2})
+	srvNode := c.MustSpawn(demi.Catnip, demi.WithHost(1), demi.WithShards(shards)).Sharded
+	cliNode := c.MustSpawn(demi.Catnip, demi.WithHost(2))
 
 	reg := telemetry.NewRegistry()
 	c.Switch.RegisterTelemetry(reg, "fabric")

@@ -21,8 +21,8 @@
 // # Quick start
 //
 //	cluster := demikernel.NewCluster(1)
-//	server := cluster.NewCatnipNode(demikernel.NodeConfig{Host: 1})
-//	client := cluster.NewCatnipNode(demikernel.NodeConfig{Host: 2})
+//	server := cluster.MustSpawn(demikernel.Catnip, demikernel.WithHost(1))
+//	client := cluster.MustSpawn(demikernel.Catnip, demikernel.WithHost(2))
 //
 //	// Server: socket / bind / listen / accept — Figure 3's control path.
 //	sqd, _ := server.Socket()
@@ -91,6 +91,14 @@ var (
 	// ErrWaitTimeout is the sentinel wrapped by every Wait/Accept/Connect
 	// deadline error; match it with errors.Is.
 	ErrWaitTimeout = core.ErrWaitTimeout
+	// ErrPeerDead is the typed verdict that a connection's remote libOS
+	// is gone (crash, exhausted retransmit budget, RST). Failover
+	// clients match it with errors.Is and redial.
+	ErrPeerDead = core.ErrPeerDead
+	// ErrLocalReset is the typed error every qtoken pending at
+	// Node.Crash time completes with: the local stack died underneath
+	// the operation.
+	ErrLocalReset = core.ErrLocalReset
 )
 
 // NewSGA builds a scatter-gather array over the given segments without
@@ -109,6 +117,10 @@ type Cluster struct {
 }
 
 // Node binds a LibOS to its simulated host identity on the cluster.
+// Sharded catnip nodes are Nodes too: LibOS is shard 0's syscall
+// surface and Sharded carries the full shard set, so the lifecycle
+// methods (Crash, Restart) and the polling helpers work uniformly over
+// both shapes.
 type Node struct {
 	*LibOS
 	MAC fabric.MAC
@@ -116,12 +128,23 @@ type Node struct {
 
 	// Kernel is non-nil on catnap nodes (for counters).
 	Kernel *kernel.Kernel
-	// Catnip is non-nil on catnip nodes (for device/stack access).
+	// Catnip is non-nil on catnip nodes (for device/stack access). On a
+	// sharded node it is shard 0's transport.
 	Catnip *catnip.Transport
 	// Catmint is non-nil on catmint nodes.
 	Catmint *catmint.Transport
 	// Catfish is non-nil on catfish nodes.
 	Catfish *catfish.Transport
+	// Sharded is non-nil when the node was spawned with WithShards: the
+	// N-shard catnip runtime behind this host identity.
+	Sharded *ShardedNode
+	// Clock is non-nil when the node was spawned WithLifecycle: the
+	// node's private virtual wall clock, skewable by the chaos engine's
+	// ClockSkew fault (every protocol timer on this node reads it).
+	Clock *simclock.DriftClock
+
+	cluster *Cluster
+	host    byte
 }
 
 // NodeConfig identifies a host within a cluster.
@@ -184,83 +207,257 @@ func (c *Cluster) newKernelNIC(host byte) *nic.Device {
 	return nic.New(&c.Model, c.Switch, nic.Config{MAC: c.mac(host)})
 }
 
+// Kind names a library OS a Cluster can spawn. The same application
+// code runs over every kind (§4.1); the kind decides which simulated
+// device the node's queues are backed by.
+type Kind string
+
+// The four library OSes of the paper's Figure 2.
+const (
+	// Catnip is the DPDK-class kind: kernel-bypass NIC + user TCP stack.
+	Catnip Kind = "catnip"
+	// Catnap is the legacy kind: same wire, kernel socket costs.
+	Catnap Kind = "catnap"
+	// Catmint is the RDMA kind.
+	Catmint Kind = "catmint"
+	// Catfish is the storage kind (simulated SPDK NVMe).
+	Catfish Kind = "catfish"
+)
+
+// spawnSpec accumulates functional options for Spawn.
+type spawnSpec struct {
+	cfg       NodeConfig
+	hostSet   bool
+	shards    int
+	reg       *telemetry.Registry
+	prefix    string
+	lifecycle bool
+	blocks    int
+	disk      *spdk.Device
+}
+
+// SpawnOption configures one Spawn call.
+type SpawnOption func(*spawnSpec)
+
+// WithHost names the node's host identity (MAC 02:00:00:00:00:<h>, IP
+// 10.0.0.<h>). It overrides any Host carried by WithConfig.
+func WithHost(h byte) SpawnOption {
+	return func(s *spawnSpec) { s.cfg.Host = h; s.hostSet = true }
+}
+
+// WithConfig carries the long tail of per-node knobs (RTO, retransmit
+// budgets, RDMA windows, memory caps...). A later WithHost still wins
+// for the host identity.
+func WithConfig(cfg NodeConfig) SpawnOption {
+	return func(s *spawnSpec) {
+		host, set := s.cfg.Host, s.hostSet
+		s.cfg = cfg
+		if set {
+			s.cfg.Host = host
+		}
+	}
+}
+
+// WithShards spawns the catnip node as an n-shard share-nothing runtime
+// (one RSS queue, netstack, completer, and frame pool per shard). The
+// returned Node's LibOS is shard 0; Node.Sharded carries the full set.
+// Only meaningful for the Catnip kind.
+func WithShards(n int) SpawnOption {
+	return func(s *spawnSpec) { s.shards = n }
+}
+
+// WithTelemetry registers the node's whole vertical (NIC, stack(s),
+// membuf, lifecycle counters) in reg under "host<N>" as it is spawned.
+func WithTelemetry(reg *telemetry.Registry) SpawnOption {
+	return func(s *spawnSpec) { s.reg = reg }
+}
+
+// WithTelemetryPrefix overrides the registration prefix used by
+// WithTelemetry.
+func WithTelemetryPrefix(prefix string) SpawnOption {
+	return func(s *spawnSpec) { s.prefix = prefix }
+}
+
+// WithLifecycle gives the node a private skewable virtual wall clock
+// (Node.Clock) that every protocol timer on the node reads — the hook
+// the chaos engine's ClockSkew fault drives. Crash and Restart work on
+// every catnip node regardless; WithLifecycle only adds the clock.
+func WithLifecycle() SpawnOption {
+	return func(s *spawnSpec) { s.lifecycle = true }
+}
+
+// WithBlocks sets the capacity (in blocks) of the fresh NVMe namespace
+// a Catfish node is spawned over (0 = default).
+func WithBlocks(n int) SpawnOption {
+	return func(s *spawnSpec) { s.blocks = n }
+}
+
+// WithDisk spawns the Catfish node over an existing device, recovering
+// any log it carries (restart scenarios). Overrides WithBlocks.
+func WithDisk(dev *spdk.Device) SpawnOption {
+	return func(s *spawnSpec) { s.disk = dev }
+}
+
+// Spawn attaches a node running the given library OS to the cluster —
+// the one construction surface behind which every per-kind constructor
+// now lives. Typical calls:
+//
+//	srv, _ := c.Spawn(demikernel.Catnip, demikernel.WithHost(1))
+//	kv8, _ := c.Spawn(demikernel.Catnip, demikernel.WithHost(1), demikernel.WithShards(8))
+//	old, _ := c.Spawn(demikernel.Catnap, demikernel.WithHost(3))
+//	dsk, _ := c.Spawn(demikernel.Catfish, demikernel.WithBlocks(1<<16))
+//
+// Spawn fails only for an unknown kind, an option that the kind cannot
+// honor, or a catfish device whose log cannot be recovered.
+func (c *Cluster) Spawn(kind Kind, opts ...SpawnOption) (*Node, error) {
+	var sp spawnSpec
+	for _, o := range opts {
+		o(&sp)
+	}
+	if sp.shards > 0 && kind != Catnip {
+		return nil, fmt.Errorf("demikernel: WithShards is %w for %s nodes", core.ErrNotSupported, kind)
+	}
+	cfg := sp.cfg
+	n := &Node{
+		MAC:     c.mac(cfg.Host),
+		IP:      c.ip(cfg.Host),
+		cluster: c,
+		host:    cfg.Host,
+	}
+	var clock func() time.Time
+	if sp.lifecycle {
+		n.Clock = simclock.NewDriftClock()
+		clock = n.Clock.Now
+	}
+	switch kind {
+	case Catnip:
+		ccfg := catnip.Config{
+			MAC:            c.mac(cfg.Host),
+			IP:             c.ip(cfg.Host),
+			PerPacketExtra: cfg.PerPacketExtra,
+			MemCapacity:    cfg.MemCapacity,
+			RTO:            cfg.RTO,
+			MaxRetransmits: cfg.MaxRetransmits,
+			Clock:          clock,
+		}
+		if sp.shards > 0 {
+			set := catnip.NewSharded(&c.Model, c.Switch, ccfg, sp.shards)
+			sn := &ShardedNode{Set: set, MAC: n.MAC, IP: n.IP, Clock: n.Clock, cluster: c}
+			for i := 0; i < sp.shards; i++ {
+				sn.Libs = append(sn.Libs, core.New(set.Shard(i), &c.Model))
+			}
+			n.Sharded = sn
+			n.LibOS = sn.Libs[0]
+			n.Catnip = set.Shard(0)
+			sn.node = n
+			c.shardedNodes = append(c.shardedNodes, sn)
+		} else {
+			t := catnip.New(&c.Model, c.Switch, ccfg)
+			n.LibOS = core.New(t, &c.Model)
+			n.Catnip = t
+			c.nodes = append(c.nodes, n)
+		}
+	case Catnap:
+		dev := c.newKernelNIC(cfg.Host)
+		k := kernel.New(&c.Model, dev, c.ip(cfg.Host))
+		n.LibOS = core.New(catnap.New(&c.Model, k), &c.Model)
+		n.Kernel = k
+		c.nodes = append(c.nodes, n)
+	case Catmint:
+		t := catmint.New(&c.Model, c.Switch, catmint.Config{
+			MAC:              c.mac(cfg.Host),
+			PostedRecvs:      cfg.PostedRecvs,
+			OpTimeout:        cfg.OpTimeout,
+			MaxReconnects:    cfg.MaxReconnects,
+			ReconnectBackoff: cfg.ReconnectBackoff,
+		})
+		n.LibOS = core.New(t, &c.Model)
+		n.Catmint = t
+		c.nodes = append(c.nodes, n)
+	case Catfish:
+		dev := sp.disk
+		if dev == nil {
+			dev = spdk.New(&c.Model, spdk.Config{NumBlocks: sp.blocks})
+		}
+		t, err := catfish.New(&c.Model, dev)
+		if err != nil {
+			return nil, err
+		}
+		n.LibOS = core.New(t, &c.Model)
+		n.Catfish = t
+		n.MAC, n.IP = fabric.MAC{}, netstack.IPv4Addr{}
+		c.nodes = append(c.nodes, n)
+	default:
+		return nil, fmt.Errorf("demikernel: unknown libOS kind %q", kind)
+	}
+	if sp.reg != nil {
+		prefix := sp.prefix
+		if prefix == "" {
+			prefix = fmt.Sprintf("host%d", cfg.Host)
+		}
+		n.RegisterTelemetry(sp.reg, prefix)
+	}
+	return n, nil
+}
+
+// MustSpawn is Spawn, panicking on error — for tests, examples, and
+// other rigs where a failed spawn is programmer error.
+func (c *Cluster) MustSpawn(kind Kind, opts ...SpawnOption) *Node {
+	n, err := c.Spawn(kind, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// RegisterTelemetry lifts the node's whole vertical into a registry
+// under prefix, whatever the node's kind or shard shape.
+func (n *Node) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	if n.Sharded != nil {
+		n.Sharded.RegisterTelemetry(r, prefix)
+		return
+	}
+	n.LibOS.RegisterTelemetry(r, prefix)
+}
+
 // NewCatnipNode attaches a DPDK-libOS node: simulated NIC + user-level
 // TCP stack + transparent memory registration.
+//
+// Deprecated: use Spawn(Catnip, WithConfig(cfg)). Kept as a thin
+// delegating wrapper; behavior is unchanged.
 func (c *Cluster) NewCatnipNode(cfg NodeConfig) *Node {
-	t := catnip.New(&c.Model, c.Switch, catnip.Config{
-		MAC:            c.mac(cfg.Host),
-		IP:             c.ip(cfg.Host),
-		PerPacketExtra: cfg.PerPacketExtra,
-		MemCapacity:    cfg.MemCapacity,
-		RTO:            cfg.RTO,
-		MaxRetransmits: cfg.MaxRetransmits,
-	})
-	n := &Node{
-		LibOS:  core.New(t, &c.Model),
-		MAC:    c.mac(cfg.Host),
-		IP:     c.ip(cfg.Host),
-		Catnip: t,
-	}
-	c.nodes = append(c.nodes, n)
-	return n
+	return c.MustSpawn(Catnip, WithConfig(cfg))
 }
 
 // NewCatnapNode attaches a kernel-libOS node: same wire, but every I/O
 // pays the legacy kernel costs.
+//
+// Deprecated: use Spawn(Catnap, WithConfig(cfg)).
 func (c *Cluster) NewCatnapNode(cfg NodeConfig) *Node {
-	dev := c.newKernelNIC(cfg.Host)
-	k := kernel.New(&c.Model, dev, c.ip(cfg.Host))
-	t := catnap.New(&c.Model, k)
-	n := &Node{
-		LibOS:  core.New(t, &c.Model),
-		MAC:    c.mac(cfg.Host),
-		IP:     c.ip(cfg.Host),
-		Kernel: k,
-	}
-	c.nodes = append(c.nodes, n)
-	return n
+	return c.MustSpawn(Catnap, WithConfig(cfg))
 }
 
 // NewCatmintNode attaches an RDMA-libOS node.
+//
+// Deprecated: use Spawn(Catmint, WithConfig(cfg)).
 func (c *Cluster) NewCatmintNode(cfg NodeConfig) *Node {
-	t := catmint.New(&c.Model, c.Switch, catmint.Config{
-		MAC:              c.mac(cfg.Host),
-		PostedRecvs:      cfg.PostedRecvs,
-		OpTimeout:        cfg.OpTimeout,
-		MaxReconnects:    cfg.MaxReconnects,
-		ReconnectBackoff: cfg.ReconnectBackoff,
-	})
-	n := &Node{
-		LibOS:   core.New(t, &c.Model),
-		MAC:     c.mac(cfg.Host),
-		IP:      c.ip(cfg.Host),
-		Catmint: t,
-	}
-	c.nodes = append(c.nodes, n)
-	return n
+	return c.MustSpawn(Catmint, WithConfig(cfg))
 }
 
 // NewCatfishNode attaches a storage-libOS node over a fresh simulated
 // NVMe namespace with the given capacity in blocks (0 for the default).
+//
+// Deprecated: use Spawn(Catfish, WithBlocks(numBlocks)).
 func (c *Cluster) NewCatfishNode(numBlocks int) (*Node, error) {
-	dev := spdk.New(&c.Model, spdk.Config{NumBlocks: numBlocks})
-	return c.newCatfishOn(dev)
+	return c.Spawn(Catfish, WithBlocks(numBlocks))
 }
 
 // NewCatfishNodeOn attaches a storage-libOS node to an existing device,
 // recovering any log it carries (restart scenarios).
+//
+// Deprecated: use Spawn(Catfish, WithDisk(dev)).
 func (c *Cluster) NewCatfishNodeOn(dev *spdk.Device) (*Node, error) {
-	return c.newCatfishOn(dev)
-}
-
-func (c *Cluster) newCatfishOn(dev *spdk.Device) (*Node, error) {
-	t, err := catfish.New(&c.Model, dev)
-	if err != nil {
-		return nil, err
-	}
-	n := &Node{LibOS: core.New(t, &c.Model), Catfish: t}
-	c.nodes = append(c.nodes, n)
-	return n, nil
+	return c.Spawn(Catfish, WithDisk(dev))
 }
 
 // ShardedNode is an N-shard catnip host: one NIC (with N RSS receive
@@ -273,26 +470,26 @@ type ShardedNode struct {
 	Libs []*LibOS
 	MAC  fabric.MAC
 	IP   netstack.IPv4Addr
+	// Clock is non-nil when spawned WithLifecycle: the node-wide
+	// skewable clock every shard's protocol timers read.
+	Clock *simclock.DriftClock
+
+	cluster *Cluster
+	node    *Node
 }
+
+// Node returns the unified Node wrapper for this sharded host (LibOS =
+// shard 0), the handle Spawn hands out.
+func (n *ShardedNode) Node() *Node { return n.node }
 
 // NewShardedCatnipNode attaches a sharded catnip host with the given
 // shard count — the paper's §3.1 scale-out shape: "flow-level
 // parallelism... partition[s] connections across cores".
+//
+// Deprecated: use Spawn(Catnip, WithConfig(cfg), WithShards(shards));
+// the returned Node's Sharded field is this value.
 func (c *Cluster) NewShardedCatnipNode(cfg NodeConfig, shards int) *ShardedNode {
-	set := catnip.NewSharded(&c.Model, c.Switch, catnip.Config{
-		MAC:            c.mac(cfg.Host),
-		IP:             c.ip(cfg.Host),
-		PerPacketExtra: cfg.PerPacketExtra,
-		MemCapacity:    cfg.MemCapacity,
-		RTO:            cfg.RTO,
-		MaxRetransmits: cfg.MaxRetransmits,
-	}, shards)
-	n := &ShardedNode{Set: set, MAC: c.mac(cfg.Host), IP: c.ip(cfg.Host)}
-	for i := 0; i < shards; i++ {
-		n.Libs = append(n.Libs, core.New(set.Shard(i), &c.Model))
-	}
-	c.shardedNodes = append(c.shardedNodes, n)
-	return n
+	return c.MustSpawn(Catnip, WithConfig(cfg), WithShards(shards)).Sharded
 }
 
 // Size returns the shard count.
@@ -372,6 +569,91 @@ func (n *Node) FabricPort() int {
 	}
 	return -1
 }
+
+// Poll pumps the node's data path once — every shard of a sharded node,
+// the single libOS otherwise.
+func (n *Node) Poll() int {
+	if n.Sharded != nil {
+		return n.Sharded.Poll()
+	}
+	return n.LibOS.Poll()
+}
+
+// Background starts the node's polling goroutines (one per shard) and
+// returns a function stopping them all.
+func (n *Node) Background() (stop func()) {
+	if n.Sharded != nil {
+		return n.Sharded.Background()
+	}
+	return n.LibOS.Background()
+}
+
+// Crash kills the node the way a process death does (§3: with kernel
+// bypass, the TCP state machine, the pinned buffers, and the pending
+// qtokens all live in the dying process — so all of them die here):
+//
+//   - the node's fabric link goes down, so the wire stops delivering to
+//     the corpse (frames already in flight are dropped at the switch,
+//     counted as LinkDownDrops);
+//   - the stack (every shard's, on a sharded node) is shut down in
+//     place: connections become terminal, listener backlogs die, pooled
+//     buffers held by reassembly and datagram queues are released;
+//   - every pending qtoken completes immediately with a typed error
+//     satisfying errors.Is(err, ErrLocalReset) — nothing hangs;
+//   - the NIC receive rings are flushed, releasing frames the dead
+//     stack never ingested back to their pools (counted in the nic
+//     rx_flushed telemetry bucket, which the frame-conservation
+//     selftest folds into its law).
+//
+// Crash returns the number of qtokens aborted plus ring frames
+// reclaimed. It is idempotent and supported on catnip nodes (sharded or
+// not); other kinds return ErrNotSupported.
+func (n *Node) Crash() (int, error) {
+	if n.Catnip == nil {
+		return 0, fmt.Errorf("demikernel: Crash is %w on this node kind", core.ErrNotSupported)
+	}
+	n.cluster.Switch.SetLinkState(n.FabricPort(), false)
+	if n.Sharded != nil {
+		return n.Sharded.Set.Crash(), nil
+	}
+	aborted := n.Catnip.Crash()
+	aborted += n.Catnip.Device().FlushRings()
+	return aborted, nil
+}
+
+// Restart reconstitutes a crashed node on the same device, MAC, and IP:
+// the fabric link comes back up, every shard gets a fresh netstack,
+// shared neighbor entries learned by the dead incarnation are
+// generation-invalidated, the application's listening queues are
+// re-armed on the fresh stack (LibrettOS-style dynamic re-binding — no
+// application restart), and a gratuitous ARP announces the reborn node.
+// Established connections stay dead: peers must redial, exactly like
+// clients of a restarted server in the real world.
+func (n *Node) Restart() error {
+	if n.Catnip == nil {
+		return fmt.Errorf("demikernel: Restart is %w on this node kind", core.ErrNotSupported)
+	}
+	n.cluster.Switch.SetLinkState(n.FabricPort(), true)
+	if n.Sharded != nil {
+		return n.Sharded.Set.Restart()
+	}
+	return n.Catnip.Restart()
+}
+
+// Crashed reports whether the node is currently down.
+func (n *Node) Crashed() bool {
+	return n.Catnip != nil && n.Catnip.Crashed()
+}
+
+// Crash crashes the sharded host — all shards at once, plus link
+// detach and ring reclamation. See Node.Crash for the semantics.
+func (n *ShardedNode) Crash() (int, error) { return n.node.Crash() }
+
+// Restart reconstitutes the crashed sharded host. See Node.Restart.
+func (n *ShardedNode) Restart() error { return n.node.Restart() }
+
+// Crashed reports whether the sharded host is currently down.
+func (n *ShardedNode) Crashed() bool { return n.Set.Crashed() }
 
 // AddrOf returns the address of node's port, usable from any libOS.
 func (c *Cluster) AddrOf(n *Node, port uint16) Addr {

@@ -67,8 +67,8 @@ func connectNodes(t *testing.T, cluster *Cluster, cli, srv *Node, port uint16) (
 
 func TestEchoOverCatnip(t *testing.T) {
 	c := NewCluster(1)
-	srv := c.NewCatnipNode(NodeConfig{Host: 1})
-	cli := c.NewCatnipNode(NodeConfig{Host: 2})
+	srv := c.MustSpawn(Catnip, WithHost(1))
+	cli := c.MustSpawn(Catnip, WithHost(2))
 	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
 	defer cleanup()
 	echoOnce(t, cli, cqd, srv, sqd, "dpdk-class path")
@@ -76,8 +76,8 @@ func TestEchoOverCatnip(t *testing.T) {
 
 func TestEchoOverCatnap(t *testing.T) {
 	c := NewCluster(2)
-	srv := c.NewCatnapNode(NodeConfig{Host: 1})
-	cli := c.NewCatnapNode(NodeConfig{Host: 2})
+	srv := c.MustSpawn(Catnap, WithHost(1))
+	cli := c.MustSpawn(Catnap, WithHost(2))
 	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
 	defer cleanup()
 	echoOnce(t, cli, cqd, srv, sqd, "kernel path")
@@ -90,8 +90,8 @@ func TestEchoOverCatnap(t *testing.T) {
 
 func TestEchoOverCatmint(t *testing.T) {
 	c := NewCluster(3)
-	srv := c.NewCatmintNode(NodeConfig{Host: 1})
-	cli := c.NewCatmintNode(NodeConfig{Host: 2})
+	srv := c.MustSpawn(Catmint, WithHost(1))
+	cli := c.MustSpawn(Catmint, WithHost(2))
 	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 7)
 	defer cleanup()
 	echoOnce(t, cli, cqd, srv, sqd, "rdma path")
@@ -102,8 +102,8 @@ func TestCrossLibOSInterop(t *testing.T) {
 	// and DPDK libOSes, so a catnap client talks to a catnip server:
 	// the paper's portability story, across stacks.
 	c := NewCluster(4)
-	srv := c.NewCatnipNode(NodeConfig{Host: 1})
-	cli := c.NewCatnapNode(NodeConfig{Host: 2})
+	srv := c.MustSpawn(Catnip, WithHost(1))
+	cli := c.MustSpawn(Catnap, WithHost(2))
 	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
 	defer cleanup()
 	echoOnce(t, cli, cqd, srv, sqd, "cross-libOS")
@@ -111,8 +111,8 @@ func TestCrossLibOSInterop(t *testing.T) {
 
 func TestMultiSegmentSGAPreserved(t *testing.T) {
 	c := NewCluster(5)
-	srv := c.NewCatnipNode(NodeConfig{Host: 1})
-	cli := c.NewCatnipNode(NodeConfig{Host: 2})
+	srv := c.MustSpawn(Catnip, WithHost(1))
+	cli := c.MustSpawn(Catnip, WithHost(2))
 	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
 	defer cleanup()
 
@@ -136,8 +136,8 @@ func TestMultiSegmentSGAPreserved(t *testing.T) {
 
 func TestWaitAnyAcrossConnections(t *testing.T) {
 	c := NewCluster(6)
-	srv := c.NewCatnipNode(NodeConfig{Host: 1})
-	cli := c.NewCatnipNode(NodeConfig{Host: 2})
+	srv := c.MustSpawn(Catnip, WithHost(1))
+	cli := c.MustSpawn(Catnip, WithHost(2))
 	stopS := srv.Background()
 	stopC := cli.Background()
 	defer stopC()
@@ -192,7 +192,7 @@ func TestWaitAnyAcrossConnections(t *testing.T) {
 
 func TestWaitAllMemoryQueues(t *testing.T) {
 	c := NewCluster(7)
-	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	n := c.MustSpawn(Catnip, WithHost(1))
 	q1 := n.Queue()
 	q2 := n.Queue()
 	t1, _ := n.Push(q1, NewSGA([]byte("a")))
@@ -210,7 +210,7 @@ func TestWaitAllMemoryQueues(t *testing.T) {
 
 func TestComposedQueueSyscalls(t *testing.T) {
 	c := NewCluster(8)
-	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	n := c.MustSpawn(Catnip, WithHost(1))
 	base := n.Queue()
 	fqd, err := n.Filter(base, func(s SGA) bool { return s.Len() > 3 })
 	if err != nil {
@@ -240,7 +240,7 @@ func TestComposedQueueSyscalls(t *testing.T) {
 
 func TestSortQueueSyscall(t *testing.T) {
 	c := NewCluster(9)
-	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	n := c.MustSpawn(Catnip, WithHost(1))
 	base := n.Queue()
 	sqd, err := n.Sort(base, func(a, b SGA) bool { return a.Bytes()[0] < b.Bytes()[0] })
 	if err != nil {
@@ -269,7 +269,7 @@ func TestSortQueueSyscall(t *testing.T) {
 
 func TestQConnectForwarding(t *testing.T) {
 	c := NewCluster(10)
-	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	n := c.MustSpawn(Catnip, WithHost(1))
 	in := n.Queue()
 	out := n.Queue()
 	if err := n.QConnect(in, out); err != nil {
@@ -289,7 +289,7 @@ func TestQConnectForwarding(t *testing.T) {
 
 func TestCatfishFileQueues(t *testing.T) {
 	c := NewCluster(11)
-	node, err := c.NewCatfishNode(0)
+	node, err := c.Spawn(Catfish, WithBlocks(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestCatfishFileQueues(t *testing.T) {
 func TestCatfishDurability(t *testing.T) {
 	c := NewCluster(12)
 	disk := c.NewDisk(0)
-	node1, err := c.NewCatfishNodeOn(disk)
+	node1, err := c.Spawn(Catfish, WithDisk(disk))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestCatfishDurability(t *testing.T) {
 	node1.BlockingPush(qd, NewSGA([]byte("survives"), []byte(" restarts")))
 
 	// "Restart": a fresh libOS over the same device recovers the log.
-	node2, err := c.NewCatfishNodeOn(disk)
+	node2, err := c.Spawn(Catfish, WithDisk(disk))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,9 +347,9 @@ func TestCatfishDurability(t *testing.T) {
 
 func TestFeaturesTaxonomy(t *testing.T) {
 	c := NewCluster(13)
-	catnipNode := c.NewCatnipNode(NodeConfig{Host: 1})
-	catnapNode := c.NewCatnapNode(NodeConfig{Host: 2})
-	catmintNode := c.NewCatmintNode(NodeConfig{Host: 3})
+	catnipNode := c.MustSpawn(Catnip, WithHost(1))
+	catnapNode := c.MustSpawn(Catnap, WithHost(2))
+	catmintNode := c.MustSpawn(Catmint, WithHost(3))
 	if !catnipNode.Features().KernelBypass {
 		t.Fatal("catnip must be kernel-bypass")
 	}
@@ -369,7 +369,7 @@ func TestFeaturesTaxonomy(t *testing.T) {
 
 func TestBadDescriptorsRejected(t *testing.T) {
 	c := NewCluster(14)
-	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	n := c.MustSpawn(Catnip, WithHost(1))
 	if _, err := n.Push(QD(999), NewSGA([]byte("x"))); !errors.Is(err, ErrBadQD) {
 		t.Fatalf("err = %v", err)
 	}
@@ -386,7 +386,7 @@ func TestBadDescriptorsRejected(t *testing.T) {
 
 func TestWaitChanExactlyOneWaiter(t *testing.T) {
 	c := NewCluster(15)
-	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	n := c.MustSpawn(Catnip, WithHost(1))
 	q := n.Queue()
 	qt, err := n.Pop(q)
 	if err != nil {
@@ -410,7 +410,7 @@ func TestWaitChanExactlyOneWaiter(t *testing.T) {
 
 func TestAllocSGAFreeProtection(t *testing.T) {
 	c := NewCluster(16)
-	n := c.NewCatnipNode(NodeConfig{Host: 1})
+	n := c.MustSpawn(Catnip, WithHost(1))
 	s := n.AllocSGA(128)
 	if s.Len() != 128 {
 		t.Fatalf("len = %d", s.Len())
@@ -427,8 +427,8 @@ func TestAllocSGAFreeProtection(t *testing.T) {
 
 func TestPropagatedCostsOverCatnip(t *testing.T) {
 	c := NewCluster(17)
-	srv := c.NewCatnipNode(NodeConfig{Host: 1})
-	cli := c.NewCatnipNode(NodeConfig{Host: 2})
+	srv := c.MustSpawn(Catnip, WithHost(1))
+	cli := c.MustSpawn(Catnip, WithHost(2))
 	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
 	defer cleanup()
 

@@ -23,8 +23,8 @@ import (
 
 func main() {
 	cluster := demi.NewCluster(11)
-	srvNode := cluster.NewCatnipNode(demi.NodeConfig{Host: 1})
-	cliNode := cluster.NewCatnipNode(demi.NodeConfig{Host: 2})
+	srvNode := cluster.MustSpawn(demi.Catnip, demi.WithHost(1))
+	cliNode := cluster.MustSpawn(demi.Catnip, demi.WithHost(2))
 	defer cliNode.Background()()
 
 	// --- server: pure callbacks ---

@@ -23,11 +23,11 @@ func main() {
 	cluster := demi.NewCluster(7)
 	var srvNode, cliNode *demi.Node
 	if *posix {
-		srvNode = cluster.NewCatnapNode(demi.NodeConfig{Host: 1})
-		cliNode = cluster.NewCatnapNode(demi.NodeConfig{Host: 2})
+		srvNode = cluster.MustSpawn(demi.Catnap, demi.WithHost(1))
+		cliNode = cluster.MustSpawn(demi.Catnap, demi.WithHost(2))
 	} else {
-		srvNode = cluster.NewCatnipNode(demi.NodeConfig{Host: 1})
-		cliNode = cluster.NewCatnipNode(demi.NodeConfig{Host: 2})
+		srvNode = cluster.MustSpawn(demi.Catnip, demi.WithHost(1))
+		cliNode = cluster.MustSpawn(demi.Catnip, demi.WithHost(2))
 	}
 
 	server := kv.NewServer(srvNode.LibOS, &cluster.Model)

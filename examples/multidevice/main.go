@@ -49,13 +49,13 @@ func main() {
 	}
 	flavors := []flavor{
 		{"catnap (legacy kernel)", func(c *demi.Cluster, h byte) *demi.Node {
-			return c.NewCatnapNode(demi.NodeConfig{Host: h})
+			return c.MustSpawn(demi.Catnap, demi.WithHost(h))
 		}},
 		{"catnip (DPDK-class)", func(c *demi.Cluster, h byte) *demi.Node {
-			return c.NewCatnipNode(demi.NodeConfig{Host: h})
+			return c.MustSpawn(demi.Catnip, demi.WithHost(h))
 		}},
 		{"catmint (RDMA-class)", func(c *demi.Cluster, h byte) *demi.Node {
-			return c.NewCatmintNode(demi.NodeConfig{Host: h})
+			return c.MustSpawn(demi.Catmint, demi.WithHost(h))
 		}},
 	}
 	fmt.Println("one application, three library OSes:")

@@ -13,7 +13,7 @@ import (
 
 func main() {
 	cluster := demi.NewCluster(3)
-	node := cluster.NewCatnipNode(demi.NodeConfig{Host: 1})
+	node := cluster.MustSpawn(demi.Catnip, demi.WithHost(1))
 
 	// Raw ingress queue: a mix of telemetry readings, some corrupt.
 	ingress := node.Queue()

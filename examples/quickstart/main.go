@@ -14,7 +14,7 @@ func main() {
 	// A cluster holds the simulated world; a catnip node is a host with
 	// a kernel-bypass NIC, a user-level stack, and the Demikernel API.
 	cluster := demi.NewCluster(1)
-	node := cluster.NewCatnipNode(demi.NodeConfig{Host: 1})
+	node := cluster.MustSpawn(demi.Catnip, demi.WithHost(1))
 
 	// queue() — a plain memory queue (control path).
 	qd := node.Queue()

@@ -16,7 +16,7 @@ func main() {
 	disk := cluster.NewDisk(0) // a simulated NVMe namespace
 
 	// First boot: write a tiny write-ahead log.
-	node, err := cluster.NewCatfishNodeOn(disk)
+	node, err := cluster.Spawn(demi.Catfish, demi.WithDisk(disk))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func main() {
 
 	// "Restart": a brand-new libOS instance on the same device. The
 	// log-structured store rebuilds its index by scanning the log.
-	node2, err := cluster.NewCatfishNodeOn(disk)
+	node2, err := cluster.Spawn(demi.Catfish, demi.WithDisk(disk))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,8 +18,8 @@ func TestKVSurvivesLossyFabric(t *testing.T) {
 	// The user-level TCP stack under catnip must mask 8% loss and 10%
 	// reordering from the application entirely.
 	c := NewCluster(201)
-	srv := c.NewCatnipNode(NodeConfig{Host: 1})
-	cli := c.NewCatnipNode(NodeConfig{Host: 2})
+	srv := c.MustSpawn(Catnip, WithHost(1))
+	cli := c.MustSpawn(Catnip, WithHost(2))
 	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
 	defer cleanup()
 
@@ -50,8 +50,8 @@ func TestRDMAQPErrorOnLossyFabric(t *testing.T) {
 	// corruption — and the error must reach the application as a failed
 	// operation, not a hang.
 	c := NewCluster(202)
-	srv := c.NewCatmintNode(NodeConfig{Host: 1})
-	cli := c.NewCatmintNode(NodeConfig{Host: 2})
+	srv := c.MustSpawn(Catmint, WithHost(1))
+	cli := c.MustSpawn(Catmint, WithHost(2))
 	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 7)
 	defer cleanup()
 
@@ -89,7 +89,7 @@ func TestRDMAQPErrorOnLossyFabric(t *testing.T) {
 
 func TestCatfishSurvivesFullDisk(t *testing.T) {
 	c := NewCluster(203)
-	node, err := c.NewCatfishNode(4) // 4 blocks = 16 KiB namespace
+	node, err := c.Spawn(Catfish, WithBlocks(4)) // 4 blocks = 16 KiB namespace
 	if err != nil {
 		t.Fatal(err)
 	}

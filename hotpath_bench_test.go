@@ -20,8 +20,8 @@ import (
 func hotPathPair(tb testing.TB) (cli, srv *LibOS, cqd, sqd QD, cleanup func()) {
 	tb.Helper()
 	c := NewCluster(1)
-	srvNode := c.NewCatnipNode(NodeConfig{Host: 1})
-	cliNode := c.NewCatnipNode(NodeConfig{Host: 2})
+	srvNode := c.MustSpawn(Catnip, WithHost(1))
+	cliNode := c.MustSpawn(Catnip, WithHost(2))
 
 	lqd, err := srvNode.Socket()
 	if err != nil {

@@ -8,7 +8,10 @@ package echo
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"demikernel/internal/apps/failover"
 	"demikernel/internal/core"
 	"demikernel/internal/queue"
 	"demikernel/internal/sga"
@@ -127,10 +130,17 @@ func (s *Server) Run(stop <-chan struct{}) {
 	}
 }
 
-// Client measures echo round trips.
+// Client measures echo round trips. With EnableFailover it redials the
+// saved address and replays the echo when the peer dies mid-flight
+// (echo is trivially idempotent).
 type Client struct {
-	lib *core.LibOS
-	qd  core.QD
+	lib  *core.LibOS
+	qd   core.QD
+	addr core.Addr
+	pol  *failover.Policy
+
+	reconnects atomic.Int64
+	replays    atomic.Int64
 }
 
 // NewClient creates an echo client on lib.
@@ -138,7 +148,15 @@ func NewClient(lib *core.LibOS) *Client {
 	return &Client{lib: lib}
 }
 
-// Connect dials the echo server.
+// EnableFailover arms redial-and-replay with pol.
+func (c *Client) EnableFailover(pol failover.Policy) { c.pol = &pol }
+
+// FailoverStats reports redials and replays performed so far.
+func (c *Client) FailoverStats() (reconnects, replays int64) {
+	return c.reconnects.Load(), c.replays.Load()
+}
+
+// Connect dials the echo server and remembers the address for redials.
 func (c *Client) Connect(addr core.Addr) error {
 	qd, err := c.lib.Socket()
 	if err != nil {
@@ -148,12 +166,42 @@ func (c *Client) Connect(addr core.Addr) error {
 		return err
 	}
 	c.qd = qd
+	c.addr = addr
 	return nil
 }
 
 // RTT sends payload and returns the virtual cost accumulated by the
-// response — the simulated round-trip latency.
+// response — the simulated round-trip latency. Under an armed failover
+// policy a dead peer triggers backoff, redial, and replay.
 func (c *Client) RTT(payload []byte, appCost simclock.Lat) (simclock.Lat, error) {
+	cost, err := c.rtt(payload, appCost)
+	if err == nil || c.pol == nil || !failover.Retriable(err) {
+		return cost, err
+	}
+	bo := failover.NewBackoff(*c.pol)
+	for {
+		d, ok := bo.Next()
+		if !ok {
+			return 0, err
+		}
+		time.Sleep(d)
+		if rerr := c.redial(); rerr != nil {
+			if failover.Retriable(rerr) {
+				err = rerr
+				continue
+			}
+			return 0, rerr
+		}
+		c.reconnects.Add(1)
+		c.replays.Add(1)
+		cost, err = c.rtt(payload, appCost)
+		if err == nil || !failover.Retriable(err) {
+			return cost, err
+		}
+	}
+}
+
+func (c *Client) rtt(payload []byte, appCost simclock.Lat) (simclock.Lat, error) {
 	qt, err := c.lib.PushCost(c.qd, sga.New(payload), appCost)
 	if err != nil {
 		return 0, err
@@ -174,6 +222,23 @@ func (c *Client) RTT(payload []byte, appCost simclock.Lat) (simclock.Lat, error)
 	}
 	defer comp.SGA.Free()
 	return comp.Cost, nil
+}
+
+// redial abandons the dead connection and dials the saved address anew.
+// Dial-first, close-second: a failed redial must leave the old (dead
+// but valid) QD in place so subsequent errors stay typed and retriable.
+func (c *Client) redial() error {
+	qd, err := c.lib.Socket()
+	if err != nil {
+		return err
+	}
+	if err := c.lib.Connect(qd, c.addr); err != nil {
+		c.lib.Close(qd) //nolint:errcheck
+		return err
+	}
+	c.lib.Close(c.qd) //nolint:errcheck // the old QD is already dead
+	c.qd = qd
+	return nil
 }
 
 // QD exposes the client's connection descriptor so experiments can push

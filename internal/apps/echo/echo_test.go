@@ -13,11 +13,11 @@ func newPair(t *testing.T, flavor string, seed int64) (*Server, *Client, *demi.C
 	mk := func(host byte) *demi.Node {
 		switch flavor {
 		case "catnip":
-			return c.NewCatnipNode(demi.NodeConfig{Host: host})
+			return c.MustSpawn(demi.Catnip, demi.WithHost(host))
 		case "catnap":
-			return c.NewCatnapNode(demi.NodeConfig{Host: host})
+			return c.MustSpawn(demi.Catnap, demi.WithHost(host))
 		case "catmint":
-			return c.NewCatmintNode(demi.NodeConfig{Host: host})
+			return c.MustSpawn(demi.Catmint, demi.WithHost(host))
 		default:
 			t.Fatalf("unknown flavor %q", flavor)
 			return nil

@@ -1,0 +1,122 @@
+// Package failover is the client-side half of surviving a server death
+// in a kernel-bypass world. The paper's §3 observation cuts both ways:
+// when a bypass server crashes, the kernel sends no FIN and no RST on
+// its behalf — the peer's first signal is its own retransmission budget
+// expiring with a typed error. A client that wants availability must
+// therefore supply what the OS used to: detect the death (typed errors,
+// never hangs), back off with jitter so a thousand rebuffed clients do
+// not stampede the reborn server, redial, and replay the idempotent
+// operation that was in flight.
+//
+// The package is deliberately tiny and application-agnostic: a Policy
+// (how many attempts, how the backoff grows, how much jitter), a
+// Backoff iterator seeded for reproducible chaos runs, and Retriable —
+// the single predicate deciding whether an error means "the peer died,
+// try again" versus "the request itself is wrong, give up".
+package failover
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/queue"
+)
+
+// Policy configures redial-and-replay behavior.
+type Policy struct {
+	// MaxAttempts bounds redial attempts per operation; 0 disables
+	// failover entirely (errors surface to the caller unchanged).
+	MaxAttempts int
+	// Base is the first backoff delay; it doubles per attempt.
+	Base time.Duration
+	// Max caps the grown backoff.
+	Max time.Duration
+	// Jitter in [0,1] randomizes each delay within ±Jitter/2 of itself,
+	// decorrelating reconnect storms (a cluster of clients rebuffed by
+	// the same crash must not retry in lockstep).
+	Jitter float64
+	// Seed drives the jitter; chaos tests pin it for reproducibility.
+	Seed int64
+}
+
+// DefaultPolicy is tuned for the simulator's compressed timescales:
+// enough attempts to ride out a multi-RTO outage, millisecond backoffs.
+func DefaultPolicy() Policy {
+	return Policy{MaxAttempts: 25, Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Jitter: 0.5, Seed: 1}
+}
+
+// Backoff iterates a policy's jittered exponential delays. Safe for use
+// by one operation at a time; create one per retry loop (Reset reuses).
+type Backoff struct {
+	pol     Policy
+	mu      sync.Mutex
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff returns a fresh iterator over pol's delays.
+func NewBackoff(pol Policy) *Backoff {
+	return &Backoff{pol: pol, rng: rand.New(rand.NewSource(pol.Seed))}
+}
+
+// Next returns the next delay and true, or 0 and false once the
+// policy's attempts are exhausted.
+func (b *Backoff) Next() (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.attempt >= b.pol.MaxAttempts {
+		return 0, false
+	}
+	// Clamp the shift so a long retry campaign cannot overflow the
+	// doubling into a negative (and therefore cap-evading) duration.
+	shift := uint(b.attempt)
+	if shift > 30 {
+		shift = 30
+	}
+	d := b.pol.Base << shift
+	if b.pol.Max > 0 && (d > b.pol.Max || d <= 0) {
+		d = b.pol.Max
+	}
+	if b.pol.Jitter > 0 {
+		// Scale into [1-J/2, 1+J/2): full decorrelation without ever
+		// collapsing the delay to zero.
+		f := 1 + b.pol.Jitter*(b.rng.Float64()-0.5)
+		d = time.Duration(float64(d) * f)
+	}
+	b.attempt++
+	return d, true
+}
+
+// Attempts reports how many delays have been handed out since Reset.
+func (b *Backoff) Attempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// Reset rewinds the iterator (a successful operation forgives history).
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}
+
+// Retriable reports whether err signals a dead, reset, or silent peer —
+// the class of failures a redial-and-replay can cure. ErrWaitTimeout is
+// included deliberately: when a bypass server dies after ACKing the
+// request but before responding, the client's TCP layer has nothing in
+// flight to retransmit and so never detects the death — the wait
+// deadline expiring is the only liveness signal left, and replaying an
+// idempotent operation against a merely-slow server is harmless.
+// Application-level errors (malformed request, server ER status) and
+// programming errors (bad QD) are not retriable: replaying them
+// reproduces them.
+func Retriable(err error) bool {
+	return err != nil && (errors.Is(err, core.ErrPeerDead) ||
+		errors.Is(err, core.ErrLocalReset) ||
+		errors.Is(err, core.ErrWaitTimeout) ||
+		errors.Is(err, queue.ErrClosed))
+}

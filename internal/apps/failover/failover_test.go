@@ -1,0 +1,98 @@
+package failover
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/queue"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := NewBackoff(Policy{MaxAttempts: 6, Base: time.Millisecond, Max: 4 * time.Millisecond, Seed: 1})
+	want := []time.Duration{1, 2, 4, 4, 4, 4} // ms: doubling, then capped
+	for i, w := range want {
+		d, ok := b.Next()
+		if !ok {
+			t.Fatalf("iterator dried up at attempt %d", i)
+		}
+		if d != w*time.Millisecond {
+			t.Fatalf("delay %d = %v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("iterator outlived MaxAttempts")
+	}
+	if b.Attempts() != 6 {
+		t.Fatalf("Attempts = %d, want 6", b.Attempts())
+	}
+	b.Reset()
+	if d, ok := b.Next(); !ok || d != time.Millisecond {
+		t.Fatalf("post-Reset Next = %v, %v", d, ok)
+	}
+}
+
+// Jitter must decorrelate without ever collapsing a delay to zero: each
+// delay lands in [1-J/2, 1+J/2) of its nominal value.
+func TestBackoffJitterBounds(t *testing.T) {
+	pol := Policy{MaxAttempts: 200, Base: 10 * time.Millisecond, Max: 10 * time.Millisecond, Jitter: 0.5, Seed: 7}
+	b := NewBackoff(pol)
+	lo := time.Duration(float64(10*time.Millisecond) * 0.75)
+	hi := time.Duration(float64(10*time.Millisecond) * 1.25)
+	varied := false
+	var prev time.Duration
+	for i := 0; i < 200; i++ {
+		d, ok := b.Next()
+		if !ok {
+			t.Fatal("iterator dried up early")
+		}
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		if i > 0 && d != prev {
+			varied = true
+		}
+		prev = d
+	}
+	if !varied {
+		t.Fatal("jitter never varied the delay")
+	}
+}
+
+func TestBackoffIsSeededDeterministic(t *testing.T) {
+	pol := DefaultPolicy()
+	a, b := NewBackoff(pol), NewBackoff(pol)
+	for i := 0; i < pol.MaxAttempts; i++ {
+		da, _ := a.Next()
+		db, _ := b.Next()
+		if da != db {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestRetriableClassification(t *testing.T) {
+	for _, err := range []error{
+		core.ErrPeerDead,
+		core.ErrLocalReset,
+		core.ErrWaitTimeout, // the silent-peer liveness signal
+		queue.ErrClosed,
+		fmt.Errorf("wrapped: %w", core.ErrPeerDead),
+	} {
+		if !Retriable(err) {
+			t.Errorf("Retriable(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{
+		nil,
+		errors.New("bad request"),
+		core.ErrNotSupported,
+		core.ErrBadQD,
+	} {
+		if Retriable(err) {
+			t.Errorf("Retriable(%v) = true, want false", err)
+		}
+	}
+}

@@ -24,7 +24,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"demikernel/internal/apps/failover"
 	"demikernel/internal/core"
 	"demikernel/internal/queue"
 	"demikernel/internal/sga"
@@ -286,10 +289,19 @@ func (s *Server) Len() int {
 	return len(s.store)
 }
 
-// Client is a KV client over one Demikernel libOS.
+// Client is a KV client over one Demikernel libOS. With EnableFailover
+// it survives server death: a retriable typed error (ErrPeerDead,
+// ErrLocalReset) triggers jittered-exponential backoff, a redial of the
+// saved address, and a replay of the in-flight idempotent operation —
+// the availability loop the kernel's connection repair used to hide.
 type Client struct {
-	lib *core.LibOS
-	qd  core.QD
+	lib  *core.LibOS
+	qd   core.QD
+	addr core.Addr
+	pol  *failover.Policy
+
+	reconnects atomic.Int64
+	replays    atomic.Int64
 }
 
 // NewClient creates a client on lib.
@@ -297,7 +309,17 @@ func NewClient(lib *core.LibOS) *Client {
 	return &Client{lib: lib}
 }
 
-// Connect dials the server.
+// EnableFailover arms redial-and-replay with pol. Call before or after
+// Connect; GET/SET/DEL are idempotent, so replay is safe.
+func (c *Client) EnableFailover(pol failover.Policy) { c.pol = &pol }
+
+// FailoverStats reports how many redials succeeded and how many
+// operations were replayed onto a fresh connection.
+func (c *Client) FailoverStats() (reconnects, replays int64) {
+	return c.reconnects.Load(), c.replays.Load()
+}
+
+// Connect dials the server and remembers the address for redials.
 func (c *Client) Connect(addr core.Addr) error {
 	qd, err := c.lib.Socket()
 	if err != nil {
@@ -307,11 +329,42 @@ func (c *Client) Connect(addr core.Addr) error {
 		return err
 	}
 	c.qd = qd
+	c.addr = addr
 	return nil
 }
 
-// roundTrip pushes a request and waits for its response.
+// roundTrip pushes a request and waits for its response, redialing and
+// replaying through the failover policy when the peer dies mid-flight.
 func (c *Client) roundTrip(req sga.SGA, appCost simclock.Lat) (sga.SGA, simclock.Lat, error) {
+	resp, cost, err := c.attempt(req, appCost)
+	if err == nil || c.pol == nil || !failover.Retriable(err) {
+		return resp, cost, err
+	}
+	bo := failover.NewBackoff(*c.pol)
+	for {
+		d, ok := bo.Next()
+		if !ok {
+			return sga.SGA{}, 0, err // attempts exhausted: last typed error
+		}
+		time.Sleep(d)
+		if rerr := c.redial(); rerr != nil {
+			if failover.Retriable(rerr) {
+				err = rerr
+				continue // server still down; keep backing off
+			}
+			return sga.SGA{}, 0, rerr
+		}
+		c.reconnects.Add(1)
+		c.replays.Add(1)
+		resp, cost, err = c.attempt(req, appCost)
+		if err == nil || !failover.Retriable(err) {
+			return resp, cost, err
+		}
+	}
+}
+
+// attempt performs one push/pop round trip on the current connection.
+func (c *Client) attempt(req sga.SGA, appCost simclock.Lat) (sga.SGA, simclock.Lat, error) {
 	qt, err := c.lib.PushCost(c.qd, req, appCost)
 	if err != nil {
 		return sga.SGA{}, 0, err
@@ -334,6 +387,25 @@ func (c *Client) roundTrip(req sga.SGA, appCost simclock.Lat) (sga.SGA, simclock
 		return sga.SGA{}, 0, comp.Err
 	}
 	return comp.SGA, comp.Cost, nil
+}
+
+// redial abandons the dead connection and dials the saved address anew.
+// The swap is dial-first: the old QD is closed only once a replacement
+// exists, so a failed redial (server still down) leaves the client
+// holding a QD whose errors stay typed and retriable — never a stale
+// closed descriptor that would surface non-retriable ErrBadQD.
+func (c *Client) redial() error {
+	qd, err := c.lib.Socket()
+	if err != nil {
+		return err
+	}
+	if err := c.lib.Connect(qd, c.addr); err != nil {
+		c.lib.Close(qd) //nolint:errcheck
+		return err
+	}
+	c.lib.Close(c.qd) //nolint:errcheck // the old QD is already dead
+	c.qd = qd
+	return nil
 }
 
 // Get fetches key; found is false on StatusNotFound.

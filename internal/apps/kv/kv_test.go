@@ -23,11 +23,11 @@ func newHarness(t *testing.T, flavor string, seed int64) *harness {
 	mk := func(host byte) *demi.Node {
 		switch flavor {
 		case "catnip":
-			return c.NewCatnipNode(demi.NodeConfig{Host: host})
+			return c.MustSpawn(demi.Catnip, demi.WithHost(host))
 		case "catnap":
-			return c.NewCatnapNode(demi.NodeConfig{Host: host})
+			return c.MustSpawn(demi.Catnap, demi.WithHost(host))
 		case "catmint":
-			return c.NewCatmintNode(demi.NodeConfig{Host: host})
+			return c.MustSpawn(demi.Catmint, demi.WithHost(host))
 		default:
 			t.Fatalf("unknown flavor %q", flavor)
 			return nil
@@ -155,7 +155,7 @@ func TestKVManyKeys(t *testing.T) {
 
 func TestApplyMalformedRequests(t *testing.T) {
 	c := demi.NewCluster(26)
-	node := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	node := c.MustSpawn(demi.Catnip, demi.WithHost(1))
 	srv := NewServer(node.LibOS, &c.Model)
 
 	resp, retain := srv.Apply(sga.New([]byte("GET"))) // missing key
@@ -179,7 +179,7 @@ func TestApplyZeroCopySetRetains(t *testing.T) {
 	// The SET request's value segment must be stored by reference: the
 	// paper's pointer-swap discipline, not a copy.
 	c := demi.NewCluster(27)
-	node := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	node := c.MustSpawn(demi.Catnip, demi.WithHost(1))
 	srv := NewServer(node.LibOS, &c.Model)
 
 	val := []byte("owned-by-store")
@@ -205,7 +205,7 @@ func TestApplyZeroCopySetRetains(t *testing.T) {
 
 func TestSetOverwriteFreesOldBuffer(t *testing.T) {
 	c := demi.NewCluster(28)
-	node := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	node := c.MustSpawn(demi.Catnip, demi.WithHost(1))
 	srv := NewServer(node.LibOS, &c.Model)
 
 	freed := 0

@@ -14,7 +14,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"demikernel/internal/apps/failover"
 	"demikernel/internal/core"
 	"demikernel/internal/queue"
 	"demikernel/internal/sga"
@@ -518,15 +520,28 @@ func (w *shardWorker) apply(req sga.SGA) (resp sga.SGA, retain bool) {
 // RSS function) must return a connection whose flow lands on the given
 // shard; Get/Set/Del then route each key over the connection of its
 // owning shard, so in steady state no request crosses a server core.
+//
+// With EnableFailover, a dead peer on any per-shard connection triggers
+// jittered backoff and a redial of that shard only — the redial dialer
+// receives the attempt number so it can vary the source-port seed and
+// avoid colliding with the dead connection's 4-tuple in TIME_WAIT-less
+// bypass stacks.
 type ShardedClient struct {
 	lib   *core.LibOS
 	n     int
 	conns []core.QD
+
+	pol      *failover.Policy
+	redialFn func(shard, attempt int) (core.QD, error)
+	attempts []int
+
+	reconnects atomic.Int64
+	replays    atomic.Int64
 }
 
 // NewShardedClient dials one flow per server shard using dial.
 func NewShardedClient(lib *core.LibOS, n int, dial func(shard int) (core.QD, error)) (*ShardedClient, error) {
-	c := &ShardedClient{lib: lib, n: n}
+	c := &ShardedClient{lib: lib, n: n, attempts: make([]int, n)}
 	for i := 0; i < n; i++ {
 		qd, err := dial(i)
 		if err != nil {
@@ -537,11 +552,52 @@ func NewShardedClient(lib *core.LibOS, n int, dial func(shard int) (core.QD, err
 	return c, nil
 }
 
-// connFor picks the connection whose server shard owns key.
-func (c *ShardedClient) connFor(key string) core.QD { return c.conns[KeyShard(key, c.n)] }
+// EnableFailover arms per-shard redial-and-replay: on a retriable typed
+// error the owning shard's connection is redialed via dial (attempt
+// starts at 1 and increments per redial of that shard, letting the
+// dialer rotate source-port seeds) and the operation replays.
+func (c *ShardedClient) EnableFailover(pol failover.Policy, dial func(shard, attempt int) (core.QD, error)) {
+	c.pol = &pol
+	c.redialFn = dial
+}
 
-// roundTrip pushes req on conn and waits for the response.
-func (c *ShardedClient) roundTrip(conn core.QD, req sga.SGA) (sga.SGA, simclock.Lat, error) {
+// FailoverStats reports redials and replays across all shards.
+func (c *ShardedClient) FailoverStats() (reconnects, replays int64) {
+	return c.reconnects.Load(), c.replays.Load()
+}
+
+// roundTrip pushes req on shard i's connection and waits for the
+// response, redialing that shard and replaying under an armed policy.
+func (c *ShardedClient) roundTrip(i int, req sga.SGA) (sga.SGA, simclock.Lat, error) {
+	resp, cost, err := c.attempt(c.conns[i], req)
+	if err == nil || c.pol == nil || c.redialFn == nil || !failover.Retriable(err) {
+		return resp, cost, err
+	}
+	bo := failover.NewBackoff(*c.pol)
+	for {
+		d, ok := bo.Next()
+		if !ok {
+			return sga.SGA{}, 0, err
+		}
+		time.Sleep(d)
+		if rerr := c.redialShard(i); rerr != nil {
+			if failover.Retriable(rerr) {
+				err = rerr
+				continue
+			}
+			return sga.SGA{}, 0, rerr
+		}
+		c.reconnects.Add(1)
+		c.replays.Add(1)
+		resp, cost, err = c.attempt(c.conns[i], req)
+		if err == nil || !failover.Retriable(err) {
+			return resp, cost, err
+		}
+	}
+}
+
+// attempt performs one push/pop round trip on conn.
+func (c *ShardedClient) attempt(conn core.QD, req sga.SGA) (sga.SGA, simclock.Lat, error) {
 	qt, err := c.lib.PushCost(conn, req, 0)
 	if err != nil {
 		return sga.SGA{}, 0, err
@@ -563,9 +619,25 @@ func (c *ShardedClient) roundTrip(conn core.QD, req sga.SGA) (sga.SGA, simclock.
 	return comp.SGA, comp.Cost, nil
 }
 
+// redialShard replaces shard i's dead connection with a fresh one. The
+// swap is dial-first: the dead QD is closed only once its replacement
+// exists, so a redial that fails (server still down) leaves the shard
+// holding a QD whose errors remain typed and retriable rather than a
+// stale closed descriptor surfacing non-retriable ErrBadQD.
+func (c *ShardedClient) redialShard(i int) error {
+	c.attempts[i]++
+	qd, err := c.redialFn(i, c.attempts[i])
+	if err != nil {
+		return err
+	}
+	c.lib.Close(c.conns[i]) //nolint:errcheck // the old QD is already dead
+	c.conns[i] = qd
+	return nil
+}
+
 // Get fetches key from its owning shard.
 func (c *ShardedClient) Get(key string) (val []byte, cost simclock.Lat, found bool, err error) {
-	resp, cost, err := c.roundTrip(c.connFor(key), sga.New([]byte(OpGet), []byte(key)))
+	resp, cost, err := c.roundTrip(KeyShard(key, c.n), sga.New([]byte(OpGet), []byte(key)))
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -584,7 +656,7 @@ func (c *ShardedClient) Get(key string) (val []byte, cost simclock.Lat, found bo
 
 // Set stores key=val on its owning shard.
 func (c *ShardedClient) Set(key string, val []byte) (simclock.Lat, error) {
-	resp, cost, err := c.roundTrip(c.connFor(key), sga.New([]byte(OpSet), []byte(key), val))
+	resp, cost, err := c.roundTrip(KeyShard(key, c.n), sga.New([]byte(OpSet), []byte(key), val))
 	if err != nil {
 		return 0, err
 	}
@@ -598,7 +670,7 @@ func (c *ShardedClient) Set(key string, val []byte) (simclock.Lat, error) {
 // key's owner — the misdirection the forwarding path exists for. Tests
 // and the scaling benchmark's "unaligned client" mode use it.
 func (c *ShardedClient) SetOn(conn int, key string, val []byte) (simclock.Lat, error) {
-	resp, cost, err := c.roundTrip(c.conns[conn], sga.New([]byte(OpSet), []byte(key), val))
+	resp, cost, err := c.roundTrip(conn, sga.New([]byte(OpSet), []byte(key), val))
 	if err != nil {
 		return 0, err
 	}
@@ -610,7 +682,7 @@ func (c *ShardedClient) SetOn(conn int, key string, val []byte) (simclock.Lat, e
 
 // GetOn fetches key via shard conn's connection regardless of owner.
 func (c *ShardedClient) GetOn(conn int, key string) (val []byte, found bool, err error) {
-	resp, _, err := c.roundTrip(c.conns[conn], sga.New([]byte(OpGet), []byte(key)))
+	resp, _, err := c.roundTrip(conn, sga.New([]byte(OpGet), []byte(key)))
 	if err != nil {
 		return nil, false, err
 	}
@@ -629,7 +701,7 @@ func (c *ShardedClient) GetOn(conn int, key string) (val []byte, found bool, err
 
 // Del removes key from its owning shard.
 func (c *ShardedClient) Del(key string) (bool, error) {
-	resp, _, err := c.roundTrip(c.connFor(key), sga.New([]byte(OpDel), []byte(key)))
+	resp, _, err := c.roundTrip(KeyShard(key, c.n), sga.New([]byte(OpDel), []byte(key)))
 	if err != nil {
 		return false, err
 	}

@@ -22,8 +22,8 @@ type shardedHarness struct {
 func newShardedHarness(t *testing.T, shards int, seed int64) *shardedHarness {
 	t.Helper()
 	c := demi.NewCluster(seed)
-	srvNode := c.NewShardedCatnipNode(demi.NodeConfig{Host: 1}, shards)
-	cliNode := c.NewCatnipNode(demi.NodeConfig{Host: 2})
+	srvNode := c.MustSpawn(demi.Catnip, demi.WithHost(1), demi.WithShards(shards)).Sharded
+	cliNode := c.MustSpawn(demi.Catnip, demi.WithHost(2))
 
 	server := NewShardedServer(srvNode.Libs, &c.Model, srvNode.Mesh())
 	const port = 6379

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"demikernel/internal/fabric"
+	"demikernel/internal/simclock"
 	"demikernel/internal/spdk"
 )
 
@@ -41,6 +42,25 @@ type Event struct {
 	At     time.Duration // offset from Start at which to fire
 	Name   string        // human-readable label, recorded in Fired
 	Inject func()        // the fault; runs exactly once
+}
+
+// FiredEvent records one event that has fired: its name, the offset it
+// was scheduled for, and the offset at which the engine actually
+// observed it due (>= At; the gap is polling-loop slack). demi-stat's
+// -chaos view renders these as a lifecycle timeline.
+type FiredEvent struct {
+	Name    string
+	At      time.Duration // scheduled offset
+	FiredAt time.Duration // observed offset when Step fired it
+}
+
+// Lifecycle is the crash/restart surface of a node, as seen by the
+// engine. demikernel.Node and demikernel.ShardedNode both satisfy it;
+// the indirection keeps this package free of a dependency on the root
+// package. Crash returns how many pending operations it aborted.
+type Lifecycle interface {
+	Crash() (int, error)
+	Restart() error
 }
 
 // Engine schedules and fires fault events. It is safe for concurrent
@@ -56,6 +76,7 @@ type Engine struct {
 	start   time.Time
 	next    int
 	fired   []string
+	firedEv []FiredEvent
 }
 
 // New returns an engine whose random choices derive from seed.
@@ -112,6 +133,11 @@ func (e *Engine) Step() int {
 	for e.next < len(e.events) && e.events[e.next].At <= elapsed {
 		due = append(due, e.events[e.next])
 		e.fired = append(e.fired, e.events[e.next].Name)
+		e.firedEv = append(e.firedEv, FiredEvent{
+			Name:    e.events[e.next].Name,
+			At:      e.events[e.next].At,
+			FiredAt: elapsed,
+		})
 		e.next++
 	}
 	e.mu.Unlock()
@@ -133,6 +159,14 @@ func (e *Engine) Fired() []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return append([]string(nil), e.fired...)
+}
+
+// FiredEvents returns the fired events with their scheduled and observed
+// offsets, in firing order — the raw material for a chaos timeline.
+func (e *Engine) FiredEvents() []FiredEvent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]FiredEvent(nil), e.firedEv...)
 }
 
 // Run starts the schedule and steps it every tick until total has
@@ -211,5 +245,55 @@ func (e *Engine) IOErrorRate(at time.Duration, dev *spdk.Device, rate float64) *
 	seed := e.seed ^ 0x10E44A7E // decorrelate from other engine draws
 	return e.At(at, fmt.Sprintf("nvme-errors(rate=%g)", rate), func() {
 		dev.SetErrorRate(rate, seed)
+	})
+}
+
+// --- typed helpers: node lifecycle faults ---
+
+// NodeCrashRestart schedules a whole-node death and rebirth: at `at` the
+// node crashes (its links drop, its stack dies in place, every pending
+// qtoken completes with the typed crash error — no FIN, no RST, nothing
+// on the wire), and at `at+downFor` it restarts on the same device, MAC,
+// and IP with listeners re-armed. This is the paper's §3 scenario made
+// schedulable: with kernel bypass all protocol state lives in the dying
+// process, so the blast radius is exactly what Crash aborts plus what
+// peers discover through their own retransmission budgets.
+func (e *Engine) NodeCrashRestart(at, downFor time.Duration, name string, n Lifecycle) *Engine {
+	e.At(at, fmt.Sprintf("node-crash(%s)", name), func() {
+		n.Crash() //nolint:errcheck // abort count is observable via telemetry
+	})
+	return e.At(at+downFor, fmt.Sprintf("node-restart(%s)", name), func() {
+		n.Restart() //nolint:errcheck // Restart on a live node is a no-op error
+	})
+}
+
+// AsymmetricPartition schedules a one-way fabric break: frames from port
+// `from` to port `to` are silently dropped (counted in AsymDrops) while
+// the reverse direction keeps flowing — the gray failure that defeats
+// naive liveness checks, because `to` still hears `from` and believes
+// the path healthy. If healAfter > 0 the partition heals at
+// at+healAfter; otherwise it persists until healed by another event.
+func (e *Engine) AsymmetricPartition(at, healAfter time.Duration, sw *fabric.Switch, from, to int) *Engine {
+	e.At(at, fmt.Sprintf("asym-partition(%d->%d)", from, to), func() {
+		sw.SetOneWayBlock(from, to, true)
+	})
+	if healAfter > 0 {
+		e.At(at+healAfter, fmt.Sprintf("asym-heal(%d->%d)", from, to), func() {
+			sw.SetOneWayBlock(from, to, false)
+		})
+	}
+	return e
+}
+
+// ClockSkew schedules skewing one node's virtual wall clock: from `at`
+// on, the clock runs fast or slow by ppm parts-per-million and jumps by
+// offset. Every protocol timer on the node (RTO backoff, dead-peer
+// budgets) reads this clock, so positive ppm fires timers early
+// (spurious retransmits) and negative ppm late (slow failure detection).
+// Schedule a second ClockSkew with (0, 0) to discipline the clock again;
+// virtual time stays continuous across the change.
+func (e *Engine) ClockSkew(at time.Duration, clock *simclock.DriftClock, ppm float64, offset time.Duration) *Engine {
+	return e.At(at, fmt.Sprintf("clock-skew(ppm=%g,offset=%s)", ppm, offset), func() {
+		clock.SetSkew(ppm, offset)
 	})
 }

@@ -51,6 +51,23 @@ var (
 	// ErrTimeout is the historical name of ErrWaitTimeout, kept so
 	// errors.Is(err, ErrTimeout) continues to hold.
 	ErrTimeout = ErrWaitTimeout
+
+	// ErrPeerDead reports that the remote endpoint of a connection is
+	// gone: its libOS crashed, its retransmit budget ran out, or it reset
+	// the connection. The paper's §3 warning made concrete — when a
+	// kernel-bypass application dies, its TCP state dies with it, and the
+	// *peer* libOS is the only OS left to diagnose the death. Transports
+	// wrap their own diagnosis (netstack.ErrMaxRetransmits, a TCP RST,
+	// catmint's QP loss) with this sentinel so applications can drive
+	// failover with a single errors.Is check.
+	ErrPeerDead = errors.New("demikernel: peer is dead")
+
+	// ErrLocalReset reports that the *local* libOS stack was torn down
+	// underneath the operation (Node.Crash, controller reset). Every
+	// qtoken pending at crash time completes with this error — nothing
+	// hangs, nothing leaks; the OS role of cleaning up after a dead
+	// process (§3, Figure 2) reproduced in userspace.
+	ErrLocalReset = errors.New("demikernel: local stack reset")
 )
 
 // timeoutErr wraps ErrWaitTimeout with the operation that expired.
@@ -627,11 +644,32 @@ func (l *LibOS) TryWait(qt queue.QToken) (queue.Completion, bool, error) {
 	return l.completer.TryWait(qt)
 }
 
+// deadlineFor resolves the explicit-deadline-vs-config precedence for
+// the Wait family: an explicit non-zero deadline wins; the zero
+// time.Time means "no explicit deadline", falling back to the global
+// WaitTimeout knob measured from now. The returned duration is only
+// used to label the timeout error.
+func (l *LibOS) deadlineFor(deadline time.Time) (time.Time, time.Duration) {
+	if deadline.IsZero() {
+		return time.Now().Add(l.WaitTimeout), l.WaitTimeout
+	}
+	return deadline, time.Until(deadline)
+}
+
 // Wait polls the data path until qt completes and returns its completion.
 // Because "wait directly returns the data from the operation", a pop's
-// SGA arrives here with no further call (§4.4).
+// SGA arrives here with no further call (§4.4). The wait is bounded by
+// the libOS-wide WaitTimeout knob; use WaitDeadline for a per-call bound.
 func (l *LibOS) Wait(qt queue.QToken) (queue.Completion, error) {
-	deadline := time.Now().Add(l.WaitTimeout)
+	return l.WaitDeadline(qt, time.Time{})
+}
+
+// WaitDeadline is Wait with an explicit deadline. A non-zero deadline
+// takes precedence over the global WaitTimeout; the zero time falls back
+// to it. Expiry is reported wrapped in ErrWaitTimeout, so existing
+// errors.Is(err, ErrWaitTimeout) call sites need no change.
+func (l *LibOS) WaitDeadline(qt queue.QToken, deadline time.Time) (queue.Completion, error) {
+	dl, budget := l.deadlineFor(deadline)
 	for {
 		c, ok, err := l.completer.TryWait(qt)
 		if err != nil {
@@ -640,8 +678,8 @@ func (l *LibOS) Wait(qt queue.QToken) (queue.Completion, error) {
 		if ok {
 			return c, nil
 		}
-		if time.Now().After(deadline) {
-			return queue.Completion{}, timeoutErr("wait", l.WaitTimeout)
+		if time.Now().After(dl) {
+			return queue.Completion{}, timeoutErr("wait", budget)
 		}
 		l.Poll()
 		runtime.Gosched()
@@ -650,9 +688,15 @@ func (l *LibOS) Wait(qt queue.QToken) (queue.Completion, error) {
 
 // WaitAny polls until any of the tokens completes; it returns the index
 // of the winner and its completion. It is the queue-native replacement
-// for an epoll loop (§4.4).
+// for an epoll loop (§4.4). Bounded by WaitTimeout; see WaitAnyDeadline.
 func (l *LibOS) WaitAny(qts []queue.QToken) (int, queue.Completion, error) {
-	deadline := time.Now().Add(l.WaitTimeout)
+	return l.WaitAnyDeadline(qts, time.Time{})
+}
+
+// WaitAnyDeadline is WaitAny with an explicit deadline (zero time falls
+// back to the WaitTimeout knob; expiry wraps ErrWaitTimeout).
+func (l *LibOS) WaitAnyDeadline(qts []queue.QToken, deadline time.Time) (int, queue.Completion, error) {
+	dl, budget := l.deadlineFor(deadline)
 	for {
 		for i, qt := range qts {
 			c, ok, err := l.completer.TryWait(qt)
@@ -663,8 +707,8 @@ func (l *LibOS) WaitAny(qts []queue.QToken) (int, queue.Completion, error) {
 				return i, c, nil
 			}
 		}
-		if time.Now().After(deadline) {
-			return -1, queue.Completion{}, timeoutErr("wait-any", l.WaitTimeout)
+		if time.Now().After(dl) {
+			return -1, queue.Completion{}, timeoutErr("wait-any", budget)
 		}
 		l.Poll()
 		runtime.Gosched()
@@ -672,12 +716,18 @@ func (l *LibOS) WaitAny(qts []queue.QToken) (int, queue.Completion, error) {
 }
 
 // WaitAll polls until every token completes, returning completions in
-// token order.
+// token order. Bounded by WaitTimeout; see WaitAllDeadline.
 func (l *LibOS) WaitAll(qts []queue.QToken) ([]queue.Completion, error) {
+	return l.WaitAllDeadline(qts, time.Time{})
+}
+
+// WaitAllDeadline is WaitAll with an explicit deadline (zero time falls
+// back to the WaitTimeout knob; expiry wraps ErrWaitTimeout).
+func (l *LibOS) WaitAllDeadline(qts []queue.QToken, deadline time.Time) ([]queue.Completion, error) {
 	out := make([]queue.Completion, len(qts))
 	donemask := make([]bool, len(qts))
 	remaining := len(qts)
-	deadline := time.Now().Add(l.WaitTimeout)
+	dl, budget := l.deadlineFor(deadline)
 	for remaining > 0 {
 		progressed := false
 		for i, qt := range qts {
@@ -698,8 +748,8 @@ func (l *LibOS) WaitAll(qts []queue.QToken) ([]queue.Completion, error) {
 		if remaining == 0 {
 			break
 		}
-		if !progressed && time.Now().After(deadline) {
-			return nil, timeoutErr("wait-all", l.WaitTimeout)
+		if !progressed && time.Now().After(dl) {
+			return nil, timeoutErr("wait-all", budget)
 		}
 		l.Poll()
 		runtime.Gosched()

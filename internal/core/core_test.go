@@ -12,7 +12,7 @@ import (
 
 func newNode(t *testing.T, seed int64) *demi.Node {
 	t.Helper()
-	return demi.NewCluster(seed).NewCatnipNode(demi.NodeConfig{Host: 1})
+	return demi.NewCluster(seed).MustSpawn(demi.Catnip, demi.WithHost(1))
 }
 
 func TestWaitUnknownToken(t *testing.T) {
@@ -73,7 +73,7 @@ func TestEndpointOfNonEndpoint(t *testing.T) {
 
 func TestCreateAliasesOpenOnStorage(t *testing.T) {
 	c := demi.NewCluster(116)
-	n, err := c.NewCatfishNode(0)
+	n, err := c.Spawn(demi.Catfish, demi.WithBlocks(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,14 +215,14 @@ func TestConnectTimeoutWrapsSentinel(t *testing.T) {
 	// kernel stack keeps retrying SYNs below the libOS, so the generic
 	// wait deadline is the backstop there.)
 	c := demi.NewCluster(121)
-	n := c.NewCatnapNode(demi.NodeConfig{Host: 1})
+	n := c.MustSpawn(demi.Catnap, demi.WithHost(1))
 	n.WaitTimeout = 30 * time.Millisecond
 	qd, err := n.Socket()
 	if err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	err = n.Connect(qd, demi.Addr{IP: c.NewCatnapNode(demi.NodeConfig{Host: 9}).IP, Port: 1})
+	err = n.Connect(qd, demi.Addr{IP: c.MustSpawn(demi.Catnap, demi.WithHost(9)).IP, Port: 1})
 	if !errors.Is(err, core.ErrWaitTimeout) {
 		t.Fatalf("connect to silent host: %v does not wrap ErrWaitTimeout", err)
 	}

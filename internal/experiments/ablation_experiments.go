@@ -59,11 +59,11 @@ func echoOverModel(flavor string, seed int64, model simclock.CostModel, size, n 
 func newNodeOn(c *demi.Cluster, flavor string, cfg demi.NodeConfig) (*demi.Node, error) {
 	switch flavor {
 	case "catnip":
-		return c.NewCatnipNode(cfg), nil
+		return c.MustSpawn(demi.Catnip, demi.WithConfig(cfg)), nil
 	case "catnap":
-		return c.NewCatnapNode(cfg), nil
+		return c.MustSpawn(demi.Catnap, demi.WithConfig(cfg)), nil
 	case "catmint":
-		return c.NewCatmintNode(cfg), nil
+		return c.MustSpawn(demi.Catmint, demi.WithConfig(cfg)), nil
 	default:
 		return nil, fmt.Errorf("unknown libOS flavor %q", flavor)
 	}

@@ -22,11 +22,11 @@ func runE2(seed int64) (*Result, error) {
 	res := &Result{}
 	c := demi.NewCluster(seed)
 	nodes := map[string]*demi.Node{
-		"catnap":  c.NewCatnapNode(demi.NodeConfig{Host: 1}),
-		"catnip":  c.NewCatnipNode(demi.NodeConfig{Host: 2}),
-		"catmint": c.NewCatmintNode(demi.NodeConfig{Host: 3}),
+		"catnap":  c.MustSpawn(demi.Catnap, demi.WithHost(1)),
+		"catnip":  c.MustSpawn(demi.Catnip, demi.WithHost(2)),
+		"catmint": c.MustSpawn(demi.Catmint, demi.WithHost(3)),
 	}
-	catfishNode, err := c.NewCatfishNode(0)
+	catfishNode, err := c.Spawn(demi.Catfish, demi.WithBlocks(0))
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +78,7 @@ func runE7(seed int64) (*Result, error) {
 
 	// LibOS pool (catmint arenas).
 	c := demi.NewCluster(seed)
-	node := c.NewCatmintNode(demi.NodeConfig{Host: 1})
+	node := c.MustSpawn(demi.Catmint, demi.WithHost(1))
 	var sgas []demi.SGA
 	for i := 0; i < nMessages; i++ {
 		sgas = append(sgas, node.AllocSGA(msgSize))

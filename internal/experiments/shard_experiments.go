@@ -33,8 +33,8 @@ type ShardScalePoint struct {
 // connection (forcing the mesh-forward slow path).
 func RunShardScale(seed int64, shards, setsGets int, aligned bool) (ShardScalePoint, error) {
 	c := demi.NewCluster(seed)
-	srvNode := c.NewShardedCatnipNode(demi.NodeConfig{Host: 1}, shards)
-	cliNode := c.NewCatnipNode(demi.NodeConfig{Host: 2})
+	srvNode := c.MustSpawn(demi.Catnip, demi.WithHost(1), demi.WithShards(shards)).Sharded
+	cliNode := c.MustSpawn(demi.Catnip, demi.WithHost(2))
 
 	server := kv.NewShardedServer(srvNode.Libs, &c.Model, srvNode.Mesh())
 	const port = 6379

@@ -34,7 +34,7 @@ func runE12(seed int64) (*Result, error) {
 
 		// Demikernel storage libOS: push = durable append to the log.
 		c := demi.NewCluster(seed)
-		node, err := c.NewCatfishNode(1 << 16)
+		node, err := c.Spawn(demi.Catfish, demi.WithBlocks(1 << 16))
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +91,7 @@ func runE12(seed int64) (*Result, error) {
 	// Read-back verification: records survive and read through both
 	// paths.
 	c := demi.NewCluster(seed + 1)
-	node, err := c.NewCatfishNode(1 << 16)
+	node, err := c.Spawn(demi.Catfish, demi.WithBlocks(1 << 16))
 	if err != nil {
 		return nil, err
 	}

@@ -107,6 +107,11 @@ type Stats struct {
 	InjectedReorder int64
 	InjectedCorrupt int64
 	LinkDownDrops   int64
+	// AsymDrops counts frames dropped by a one-way (asymmetric) block:
+	// the direction of a partition where A still reaches B but B's
+	// replies die on the wire (SetOneWayBlock). Zero unless a schedule
+	// injects an asymmetric partition.
+	AsymDrops int64
 }
 
 // PortStats counts per-port fabric events, so experiments can verify that
@@ -117,6 +122,7 @@ type PortStats struct {
 	InjectedLoss    int64 // tx frames dropped by this port's impairments
 	InjectedCorrupt int64 // tx frames corrupted by this port's impairments
 	LinkDownDrops   int64 // frames dropped because this link was down
+	AsymDrops       int64 // tx frames dropped by a one-way block out of this port
 }
 
 // Switch is a learning Ethernet switch. Ports attach with NewPort; frames
@@ -134,6 +140,10 @@ type Switch struct {
 	rng    *rand.Rand
 	held   *heldFrame // one-slot reorder buffer
 	stats  Stats
+	// oneWay holds directional blocks: oneWay[{from,to}] drops frames
+	// transmitted by port `from` whose destination MAC resolves to port
+	// `to`. Nil (the common case) costs one nil-map check per forward.
+	oneWay map[[2]int]bool
 }
 
 type heldFrame struct {
@@ -181,6 +191,36 @@ func (s *Switch) SetLinkState(id int, up bool) {
 	if p := s.portLocked(id); p != nil {
 		p.down = !up
 	}
+}
+
+// SetOneWayBlock installs (blocked=true) or clears (blocked=false) a
+// directional drop: frames transmitted by port `from` whose destination
+// resolves to port `to` die on the wire, counted in AsymDrops. The
+// reverse direction is untouched — this is the asymmetric partition of
+// the chaos schedule, where A's requests still reach B but B's replies
+// never come home. Flood copies honor the block too.
+func (s *Switch) SetOneWayBlock(from, to int, blocked bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if blocked {
+		if s.oneWay == nil {
+			s.oneWay = make(map[[2]int]bool)
+		}
+		s.oneWay[[2]int{from, to}] = true
+		return
+	}
+	delete(s.oneWay, [2]int{from, to})
+	if len(s.oneWay) == 0 {
+		s.oneWay = nil
+	}
+}
+
+// blockedLocked reports whether the from→to direction is blocked.
+func (s *Switch) blockedLocked(from, to *Port) bool {
+	if s.oneWay == nil || from == nil || to == nil {
+		return false
+	}
+	return s.oneWay[[2]int{from.id, to.id}]
 }
 
 // LinkUp reports the administrative link state of a port.
@@ -368,6 +408,13 @@ func (s *Switch) forwardLocked(f Frame, from *Port) {
 	dst := f.DstMAC()
 	if !dst.IsBroadcast() {
 		if out, ok := s.macTab[dst]; ok {
+			if s.blockedLocked(from, out) {
+				s.stats.AsymDrops++
+				from.stats.AsymDrops++
+				telemetry.TraceInstant("fabric", "asym-drop", int32(from.id), int64(len(f.Data)))
+				f.Release()
+				return
+			}
 			s.deliverLocked(out, f)
 			return
 		}
@@ -377,6 +424,11 @@ func (s *Switch) forwardLocked(f Frame, from *Port) {
 	s.stats.Flooded++
 	for _, out := range s.ports {
 		if out == from {
+			continue
+		}
+		if s.blockedLocked(from, out) {
+			s.stats.AsymDrops++
+			from.stats.AsymDrops++
 			continue
 		}
 		df := f
@@ -422,6 +474,7 @@ func (s *Switch) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	r.RegisterFunc(prefix+".injected_reorder", stat(func(st Stats) int64 { return st.InjectedReorder }))
 	r.RegisterFunc(prefix+".injected_corrupt", stat(func(st Stats) int64 { return st.InjectedCorrupt }))
 	r.RegisterFunc(prefix+".link_down_drops", stat(func(st Stats) int64 { return st.LinkDownDrops }))
+	r.RegisterFunc(prefix+".asym_drops", stat(func(st Stats) int64 { return st.AsymDrops }))
 	r.RegisterFunc(prefix+".ports", func() int64 { return int64(s.NumPorts()) })
 }
 

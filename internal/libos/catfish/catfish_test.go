@@ -12,7 +12,7 @@ import (
 func node(t *testing.T, seed int64) (*demi.Cluster, *demi.Node) {
 	t.Helper()
 	c := demi.NewCluster(seed)
-	n, err := c.NewCatfishNode(0)
+	n, err := c.Spawn(demi.Catfish, demi.WithBlocks(0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,8 +12,8 @@ import (
 func pair(t *testing.T, seed int64, postedRecvs int) (*demi.Cluster, *demi.Node, *demi.Node, func()) {
 	t.Helper()
 	c := demi.NewCluster(seed)
-	srv := c.NewCatmintNode(demi.NodeConfig{Host: 1, PostedRecvs: postedRecvs})
-	cli := c.NewCatmintNode(demi.NodeConfig{Host: 2, PostedRecvs: postedRecvs})
+	srv := c.MustSpawn(demi.Catmint, demi.WithConfig(demi.NodeConfig{Host: 1, PostedRecvs: postedRecvs}))
+	cli := c.MustSpawn(demi.Catmint, demi.WithConfig(demi.NodeConfig{Host: 2, PostedRecvs: postedRecvs}))
 	stop1 := srv.Background()
 	stop2 := cli.Background()
 	return c, srv, cli, func() { stop2(); stop1() }

@@ -11,8 +11,8 @@ import (
 func pair(t *testing.T, seed int64) (*demi.Cluster, *demi.Node, *demi.Node, func()) {
 	t.Helper()
 	c := demi.NewCluster(seed)
-	srv := c.NewCatnapNode(demi.NodeConfig{Host: 1})
-	cli := c.NewCatnapNode(demi.NodeConfig{Host: 2})
+	srv := c.MustSpawn(demi.Catnap, demi.WithHost(1))
+	cli := c.MustSpawn(demi.Catnap, demi.WithHost(2))
 	stop1 := srv.Background()
 	stop2 := cli.Background()
 	return c, srv, cli, func() { stop2(); stop1() }
@@ -76,8 +76,8 @@ func TestSameWireAsBypass(t *testing.T) {
 	// TCP is the shared wire format (the §4.1 portability story at the
 	// protocol level).
 	c := demi.NewCluster(52)
-	srv := c.NewCatnipNode(demi.NodeConfig{Host: 1})
-	cli := c.NewCatnapNode(demi.NodeConfig{Host: 2})
+	srv := c.MustSpawn(demi.Catnip, demi.WithHost(1))
+	cli := c.MustSpawn(demi.Catnap, demi.WithHost(2))
 	stop1 := srv.Background()
 	defer stop1()
 	stop2 := cli.Background()

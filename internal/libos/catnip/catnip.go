@@ -11,6 +11,8 @@
 package catnip
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -31,13 +33,37 @@ import (
 type Transport struct {
 	model *simclock.CostModel
 	dev   *nic.Device
-	stack *netstack.Stack
-	mem   *membuf.Manager
+	// stackp holds the live netstack instance. It is an atomic pointer
+	// because Restart swaps in a fresh stack while pollers may be
+	// loading it; everything protocol-level lives behind it.
+	stackp atomic.Pointer[netstack.Stack]
+	mem    *membuf.Manager
 	// pool supplies pop-path payload buffers. Standalone transports use
 	// the process-wide default; sharded transports get a private pool so
 	// the steady-state buffer recycle path never crosses shard cache
 	// lines.
 	pool *fabric.FramePool
+
+	// Rebuild parameters, saved so Restart can construct a fresh stack
+	// bound to the same device, queue, and shared neighbor table.
+	cfg     Config
+	rxQueue int
+	neigh   *netstack.NeighborTable
+
+	// crashed gates the whole data path: Poll checks it with ONE atomic
+	// load and returns immediately while the transport is down. That
+	// load is the entire steady-state cost of the lifecycle subsystem
+	// when no fault is active.
+	crashed atomic.Bool
+
+	// prevStats accumulates the counters of dead stack incarnations so
+	// StackStats (and telemetry) stay cumulative across crash/restart —
+	// without it the frame-conservation selftest would see NIC counters
+	// keep climbing while stack counters reset to zero.
+	statsMu   sync.Mutex
+	prevStats netstack.Stats
+	crashes   int64 // completed Crash calls (lifecycle telemetry)
+	restarts  int64 // completed Restart calls
 
 	mu   sync.Mutex
 	eps  []*endpoint
@@ -70,6 +96,10 @@ type Config struct {
 	// MaxRetransmits overrides the stack's consecutive-retransmit cap
 	// before a connection gives up. Zero keeps the netstack default.
 	MaxRetransmits int
+	// Clock, when non-nil, replaces time.Now as the stack's timer clock.
+	// The lifecycle facade plugs a simclock.DriftClock in here so the
+	// chaos engine can skew this node's notion of time.
+	Clock func() time.Time
 }
 
 // New attaches a catnip instance (NIC + user stack + memory manager) to
@@ -85,7 +115,24 @@ func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Transport {
 // NewSharded (N transports, one per RSS queue, over one device).
 func newOnDevice(model *simclock.CostModel, dev *nic.Device, cfg Config,
 	rxQueue int, pool *fabric.FramePool, neigh *netstack.NeighborTable) *Transport {
-	stack := netstack.New(model, dev, netstack.Config{
+	stack := buildStack(model, dev, cfg, rxQueue, pool, neigh)
+	var opts []membuf.Option
+	if cfg.MemCapacity > 0 {
+		opts = append(opts, membuf.WithCapacity(cfg.MemCapacity))
+	}
+	mem := membuf.NewManager(model, opts...)
+	mem.AttachDevice(dev) // transparent registration (§4.5)
+	t := &Transport{model: model, dev: dev, mem: mem, pool: pool,
+		cfg: cfg, rxQueue: rxQueue, neigh: neigh}
+	t.stackp.Store(stack)
+	return t
+}
+
+// buildStack constructs the netstack instance for a transport; Restart
+// uses it to give a crashed transport a fresh stack on the same device.
+func buildStack(model *simclock.CostModel, dev *nic.Device, cfg Config,
+	rxQueue int, pool *fabric.FramePool, neigh *netstack.NeighborTable) *netstack.Stack {
+	return netstack.New(model, dev, netstack.Config{
 		IP:             cfg.IP,
 		PerPacketExtra: cfg.PerPacketExtra,
 		RTO:            cfg.RTO,
@@ -93,14 +140,8 @@ func newOnDevice(model *simclock.CostModel, dev *nic.Device, cfg Config,
 		RxQueue:        rxQueue,
 		Pool:           pool,
 		Neighbors:      neigh,
+		Clock:          cfg.Clock,
 	})
-	var opts []membuf.Option
-	if cfg.MemCapacity > 0 {
-		opts = append(opts, membuf.WithCapacity(cfg.MemCapacity))
-	}
-	mem := membuf.NewManager(model, opts...)
-	mem.AttachDevice(dev) // transparent registration (§4.5)
-	return &Transport{model: model, dev: dev, stack: stack, mem: mem, pool: pool}
 }
 
 // Name implements core.Transport.
@@ -122,18 +163,48 @@ func (t *Transport) Features() core.Features {
 // Device exposes the underlying NIC (for hardware filter offload).
 func (t *Transport) Device() *nic.Device { return t.dev }
 
-// Stack exposes the user-level network stack (for stats).
-func (t *Transport) Stack() *netstack.Stack { return t.stack }
+// Stack exposes the current user-level network stack (for stats). After
+// a Restart this is the fresh incarnation; see StackStats for counters
+// cumulative across incarnations.
+func (t *Transport) Stack() *netstack.Stack { return t.stackp.Load() }
+
+// StackStats returns the stack counters summed across every incarnation
+// of this transport: the live stack plus everything folded in at each
+// Crash. Conservation laws are stated against these.
+func (t *Transport) StackStats() netstack.Stats {
+	t.statsMu.Lock()
+	prev := t.prevStats
+	t.statsMu.Unlock()
+	return prev.Add(t.Stack().Stats())
+}
 
 // Memory exposes the libOS memory manager (for stats).
 func (t *Transport) Memory() *membuf.Manager { return t.mem }
 
 // RegisterTelemetry lifts the transport's whole vertical — NIC, user
-// stack, and memory manager — into a telemetry registry under prefix.
+// stack, and memory manager — into a telemetry registry under prefix,
+// plus the lifecycle counters under prefix.lifecycle.*. Netstack
+// counters are registered through StackStats so they survive restarts.
 func (t *Transport) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	t.dev.RegisterTelemetry(r, prefix+".nic")
-	t.stack.RegisterTelemetry(r, prefix+".netstack")
+	netstack.RegisterStatsTelemetry(r, prefix+".netstack", t.StackStats)
 	t.mem.RegisterTelemetry(r, prefix+".membuf")
+	t.RegisterLifecycleTelemetry(r, prefix+".lifecycle")
+}
+
+// RegisterLifecycleTelemetry registers just the crash/restart counters
+// under prefix (prefix.crashes, prefix.restarts).
+func (t *Transport) RegisterLifecycleTelemetry(r *telemetry.Registry, prefix string) {
+	r.RegisterFunc(prefix+".crashes", func() int64 {
+		t.statsMu.Lock()
+		defer t.statsMu.Unlock()
+		return t.crashes
+	})
+	r.RegisterFunc(prefix+".restarts", func() int64 {
+		t.statsMu.Lock()
+		defer t.statsMu.Unlock()
+		return t.restarts
+	})
 }
 
 // AllocSGA implements core.Transport: buffers come from device-registered
@@ -200,10 +271,40 @@ func (t *Transport) SocketFrom(localPort uint16) (core.Endpoint, error) {
 	return ep, nil
 }
 
+// wrapConnErr types a netstack terminal error with the core lifecycle
+// sentinel, preserving the original for errors.Is: exhausted retransmit
+// budgets, SYN timeouts, and peer RSTs all mean "the peer is dead" to
+// the application driving failover, while crash-injected errors are
+// already typed. Healthy (nil) errors pass through without allocating.
+func wrapConnErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, core.ErrPeerDead) || errors.Is(err, core.ErrLocalReset) {
+		return err // already lifecycle-typed
+	}
+	if errors.Is(err, netstack.ErrMaxRetransmits) ||
+		errors.Is(err, netstack.ErrConnectTimeout) ||
+		errors.Is(err, netstack.ErrConnClosed) {
+		return fmt.Errorf("%w: %w", core.ErrPeerDead, err)
+	}
+	return err
+}
+
+// errCrashed is the terminal error injected into every connection and
+// qtoken pending when the local stack is crashed. One value for all
+// victims: the crash path allocates nothing per operation.
+var errCrashed = fmt.Errorf("catnip: stack crashed: %w", core.ErrLocalReset)
+
 // Poll implements core.Transport: it pumps the user stack and every
-// endpoint's framing/dispatch machinery.
+// endpoint's framing/dispatch machinery. While the transport is crashed
+// the whole body is skipped behind one atomic load — the only cost the
+// lifecycle subsystem adds to a healthy data path.
 func (t *Transport) Poll() int {
-	n := t.stack.Poll()
+	if t.crashed.Load() {
+		return 0
+	}
+	n := t.Stack().Poll()
 	t.mu.Lock()
 	if t.epsDirty {
 		t.epsSnap = append(make([]*endpoint, 0, len(t.eps)), t.eps...)
@@ -262,6 +363,11 @@ type endpoint struct {
 	// buffer.
 	txq    []txFrame
 	closed bool
+	// dead, when non-nil, is the lifecycle-typed terminal error stamped
+	// on this endpoint by a stack crash: every subsequent operation
+	// fails with it immediately. Listener endpoints are exempt — they
+	// are re-armed on Restart instead.
+	dead error
 	// rxScratch is the reused receive-copy buffer drainRx hands to
 	// RecvAppend; the framer copies out of it, so one buffer per
 	// endpoint suffices and the steady-state pop path never allocates
@@ -296,7 +402,7 @@ func (e *endpoint) LocalAddr() core.Addr {
 func (e *endpoint) Listen() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	l, err := e.t.stack.ListenTCP(e.bound.Port)
+	l, err := e.t.Stack().ListenTCP(e.bound.Port)
 	if err != nil {
 		return err
 	}
@@ -327,8 +433,12 @@ func (e *endpoint) Accept() (core.Endpoint, bool, error) {
 func (e *endpoint) Connect(addr core.Addr) error {
 	e.mu.Lock()
 	localPort := e.localPort
+	dead := e.dead
 	e.mu.Unlock()
-	conn, err := e.t.stack.DialTCPFrom(localPort, addr.IP, addr.Port)
+	if dead != nil {
+		return dead
+	}
+	conn, err := e.t.Stack().DialTCPFrom(localPort, addr.IP, addr.Port)
 	if err != nil {
 		return err
 	}
@@ -354,11 +464,15 @@ func (e *endpoint) Connected() bool {
 func (e *endpoint) Err() error {
 	e.mu.Lock()
 	conn := e.conn
+	dead := e.dead
 	e.mu.Unlock()
+	if dead != nil {
+		return dead
+	}
 	if conn == nil {
 		return nil
 	}
-	return conn.Err()
+	return wrapConnErr(conn.Err())
 }
 
 // Push implements queue.IoQueue: the SGA is framed and handed to the TCP
@@ -367,6 +481,12 @@ func (e *endpoint) Err() error {
 // buffer (§3.2's zero-copy path).
 func (e *endpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 	e.mu.Lock()
+	if e.dead != nil {
+		dead := e.dead
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPush, Err: dead})
+		return
+	}
 	if e.closed || e.conn == nil {
 		e.mu.Unlock()
 		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
@@ -383,10 +503,14 @@ func (e *endpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 	}
 	data := s.AppendMarshal(buf.Bytes()[:0])
 	e.mu.Lock()
-	if e.closed || e.conn == nil {
+	if e.dead != nil || e.closed || e.conn == nil {
+		err := queue.ErrClosed
+		if e.dead != nil {
+			err = e.dead
+		}
 		e.mu.Unlock()
 		buf.Free()
-		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
+		done(queue.Completion{Kind: queue.OpPush, Err: err})
 		return
 	}
 	e.txq = append(e.txq, txFrame{data: data, buf: buf, cost: cost, done: done})
@@ -398,6 +522,12 @@ func (e *endpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 // Pop implements queue.IoQueue.
 func (e *endpoint) Pop(done queue.DoneFunc) {
 	e.mu.Lock()
+	if e.dead != nil && len(e.ready) == 0 {
+		dead := e.dead
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: dead})
+		return
+	}
 	if e.closed {
 		e.mu.Unlock()
 		done(queue.Completion{Kind: queue.OpPop, Err: queue.ErrClosed})
@@ -455,7 +585,7 @@ func (e *endpoint) Pump() int {
 		// The stack declared the connection dead (max retransmits /
 		// connect timeout). Every outstanding qtoken must complete with
 		// the typed error rather than hang until the Wait deadline.
-		e.failAll(err)
+		e.failAll(wrapConnErr(err))
 	}
 	e.serveWaiters()
 	return n
@@ -475,7 +605,7 @@ func (e *endpoint) flushTx(conn *netstack.TCPConn) int {
 			if buf != nil {
 				buf.Free()
 			}
-			done(queue.Completion{Kind: queue.OpPush, Err: err})
+			done(queue.Completion{Kind: queue.OpPush, Err: wrapConnErr(err)})
 			e.mu.Lock()
 			continue
 		}

@@ -12,8 +12,8 @@ import (
 func pair(t *testing.T, seed int64) (*demi.Cluster, *demi.Node, *demi.Node, func()) {
 	t.Helper()
 	c := demi.NewCluster(seed)
-	srv := c.NewCatnipNode(demi.NodeConfig{Host: 1})
-	cli := c.NewCatnipNode(demi.NodeConfig{Host: 2})
+	srv := c.MustSpawn(demi.Catnip, demi.WithHost(1))
+	cli := c.MustSpawn(demi.Catnip, demi.WithHost(2))
 	stop1 := srv.Background()
 	stop2 := cli.Background()
 	return c, srv, cli, func() { stop2(); stop1() }

@@ -1,0 +1,230 @@
+// Node lifecycle for the catnip libOS: Crash drops the stack the way a
+// process death does — instantly, rudely, with no FIN and no goodbye —
+// and Restart reconstitutes it on the same device, MAC, and IP.
+//
+// This is the paper's §3 warning reproduced as a mechanism: with
+// kernel bypass, the TCP state machine, the pinned buffers, and the
+// pending qtokens all live in the dying process. The kernel keeps
+// nothing, so the *simulation* must model what is lost (connections,
+// in-flight operations) and what must be reclaimed (pooled frames,
+// device rings) — and LibrettOS-style recovery means the application's
+// listening queues re-bind to the reborn stack without the application
+// re-running its setup.
+package catnip
+
+import (
+	"errors"
+
+	"demikernel/internal/queue"
+	"demikernel/internal/telemetry"
+)
+
+// ErrNotCrashed is returned by Restart when the transport is running.
+var ErrNotCrashed = errors.New("catnip: restart of a running stack")
+
+// Crash tears the transport down as a process crash would: the netstack
+// is shut down in place (connections terminal, OOO pooled buffers
+// released, listeners unbound, queued datagrams recycled), every
+// endpoint's pending qtokens complete immediately with the typed
+// crash error (errors.Is(err, core.ErrLocalReset)), un-popped pooled
+// pop payloads are released back to their pool, and the poll path is
+// gated off behind the crashed flag. Nothing is transmitted — peers
+// discover the death through their own retransmission budgets.
+//
+// Crash returns the number of qtokens it aborted. It is idempotent;
+// repeated calls return 0.
+func (t *Transport) Crash() int {
+	if !t.crashed.CompareAndSwap(false, true) {
+		return 0
+	}
+	telemetry.TraceInstant("lifecycle", "crash", int32(t.rxQueue), 0)
+	t.Stack().Shutdown(errCrashed)
+	t.statsMu.Lock()
+	t.crashes++
+	t.statsMu.Unlock()
+	t.mu.Lock()
+	eps := append([]*endpoint(nil), t.eps...)
+	udps := append([]*udpEndpoint(nil), t.udps...)
+	t.mu.Unlock()
+	n := 0
+	for _, ep := range eps {
+		n += ep.kill(errCrashed)
+	}
+	for _, ep := range udps {
+		n += ep.kill(errCrashed)
+	}
+	return n
+}
+
+// Crashed reports whether the transport is currently down.
+func (t *Transport) Crashed() bool { return t.crashed.Load() }
+
+// Restart brings a crashed transport back on the same device, MAC, and
+// IP: the dead incarnation's counters are folded into the cumulative
+// base, a fresh netstack is swapped in, listener endpoints are re-armed
+// on it (the application's existing listening QDs keep working — the
+// LibrettOS dynamic re-binding recovery), bound UDP sockets are
+// rebound, and a gratuitous ARP announces the reborn node. Established
+// data endpoints stay dead with their typed error, exactly like stale
+// file descriptors after exec: the peer must redial.
+func (t *Transport) Restart() error {
+	if !t.crashed.Load() {
+		return ErrNotCrashed
+	}
+	old := t.Stack()
+	t.statsMu.Lock()
+	t.prevStats = t.prevStats.Add(old.Stats())
+	t.restarts++
+	t.statsMu.Unlock()
+	fresh := buildStack(t.model, t.dev, t.cfg, t.rxQueue, t.pool, t.neigh)
+	t.stackp.Store(fresh)
+	t.mu.Lock()
+	eps := append([]*endpoint(nil), t.eps...)
+	udps := append([]*udpEndpoint(nil), t.udps...)
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.rearm()
+	}
+	for _, ep := range udps {
+		ep.revive()
+	}
+	// Un-gate the poll path only once the fresh stack is fully armed.
+	t.crashed.Store(false)
+	telemetry.TraceInstant("lifecycle", "restart", int32(t.rxQueue), 0)
+	fresh.AnnounceARP()
+	return nil
+}
+
+// Crashes and Restarts report the cumulative lifecycle counts (for
+// telemetry assertions in tests).
+func (t *Transport) Lifetimes() (crashes, restarts int64) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.crashes, t.restarts
+}
+
+// Crash tears down every shard of the set the way a whole-process crash
+// does: each shard's stack dies in place and every pending qtoken
+// completes with the typed crash error. The shared NIC's receive rings
+// are then flushed — frames the dead stacks never ingested go back to
+// their pools, counted in nic RxFlushed; this is the device-side
+// resource reclamation of Beadle et al.'s safe sharing, performed here
+// by the simulated device model on behalf of the dead client. Returns
+// the number of qtokens aborted plus frames flushed.
+func (s *ShardSet) Crash() int {
+	n := 0
+	for _, t := range s.shards {
+		n += t.Crash()
+	}
+	n += s.dev.FlushRings()
+	return n
+}
+
+// Crashed reports whether the set is down (true iff shard 0 is down;
+// shards crash and restart together).
+func (s *ShardSet) Crashed() bool { return s.shards[0].Crashed() }
+
+// Restart reconstitutes every shard on the same device, MAC, and IP.
+// The shared neighbor table is generation-invalidated first, so no
+// resolution learned by the dead incarnation can shadow the reborn one
+// (the stale-ARP black hole the NeighborTable generations exist for);
+// then each shard gets a fresh stack, re-armed listeners, and announces
+// itself with a gratuitous ARP.
+func (s *ShardSet) Restart() error {
+	s.neigh.InvalidateAll()
+	for _, t := range s.shards {
+		if err := t.Restart(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kill stamps the endpoint with the crash error: every pending qtoken
+// (pop waiters and staged pushes) completes with err, staging buffers
+// free, and un-popped pooled pop payloads are released — the frame-
+// conservation half of dying cleanly. Data endpoints become terminal
+// (e.dead); listener endpoints stay revivable for rearm. Returns the
+// number of qtokens aborted.
+func (e *endpoint) kill(err error) int {
+	e.mu.Lock()
+	isListener := e.listener != nil
+	ready := e.ready
+	e.ready = nil
+	e.readyLen.Store(0)
+	ws := e.waiters
+	e.waiters = nil
+	e.waiterLen.Store(0)
+	txq := e.txq
+	e.txq = nil
+	e.txPending.Store(0)
+	e.conn = nil
+	if !isListener {
+		e.dead = err
+	}
+	e.mu.Unlock()
+	e.connp.Store(nil)
+	for i := range ready {
+		ready[i].SGA.Free() // un-popped pooled clones go home
+	}
+	for _, w := range ws {
+		w(queue.Completion{Kind: queue.OpPop, Err: err})
+	}
+	for i := range txq {
+		if txq[i].buf != nil {
+			txq[i].buf.Free()
+		}
+		txq[i].done(queue.Completion{Kind: queue.OpPush, Err: err})
+	}
+	return len(ws) + len(txq)
+}
+
+// rearm re-binds a listener endpoint onto the (fresh) current stack so
+// the application's listening QD survives the crash.
+func (e *endpoint) rearm() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.listener == nil || e.closed {
+		return
+	}
+	if l, err := e.t.Stack().ListenTCP(e.bound.Port); err == nil {
+		e.listener = l
+	}
+}
+
+// kill is the datagram flavor: waiters fail, pooled datagram payloads
+// release, and the endpoint goes dead until revive.
+func (e *udpEndpoint) kill(err error) int {
+	e.mu.Lock()
+	ready := e.ready
+	e.ready = nil
+	ws := e.waiters
+	e.waiters = nil
+	e.sock = nil // the stack shutdown already recycled its queue
+	e.dead = err
+	e.mu.Unlock()
+	for i := range ready {
+		ready[i].SGA.Free()
+	}
+	for _, w := range ws {
+		w(queue.Completion{Kind: queue.OpPop, Err: err})
+	}
+	return len(ws)
+}
+
+// revive rebinds the datagram socket on the fresh stack at its original
+// port (explicitly bound sockets keep their port; connected-UDP sockets
+// get a fresh ephemeral one) and clears the dead stamp.
+func (e *udpEndpoint) revive() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.dead = nil
+	if e.sock == nil {
+		if err := e.ensureSockLocked(e.bound.Port); err != nil {
+			e.dead = err
+		}
+	}
+}

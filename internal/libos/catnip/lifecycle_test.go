@@ -1,0 +1,222 @@
+package catnip_test
+
+// Lifecycle unit tests: Crash must abort every pending qtoken with the
+// typed local-reset error (nothing hangs, nothing leaks), Restart must
+// re-arm the application's listening queues on the fresh stack without
+// the application re-running its setup, and the device must account for
+// every ring frame the dead stack never ingested. These are the §3
+// obligations of a kernel-bypass node in miniature.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	demi "demikernel"
+	"demikernel/internal/core"
+	"demikernel/internal/libos/catnip"
+)
+
+func TestCrashAbortsPendingQTokensTyped(t *testing.T) {
+	c, srv, cli, cleanup := pair(t, 51)
+	defer cleanup()
+	_, sqd := connect(t, c, srv, cli, 80)
+
+	// A pop with no data coming: the crash is the only thing that can
+	// complete it, and it must do so with the typed error, not a hang.
+	qt, err := srv.Pop(sqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aborted, err := srv.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aborted == 0 {
+		t.Fatal("Crash aborted nothing despite a pending pop")
+	}
+	if !srv.Crashed() {
+		t.Fatal("Crashed() = false after Crash")
+	}
+	comp, err := srv.Wait(qt)
+	if err != nil {
+		t.Fatalf("Wait on an aborted qtoken errored at the API layer: %v", err)
+	}
+	if !errors.Is(comp.Err, core.ErrLocalReset) {
+		t.Fatalf("aborted completion error = %v, want ErrLocalReset", comp.Err)
+	}
+
+	// Idempotent: the second crash of a corpse finds nothing to abort.
+	again, err := srv.Crash()
+	if err != nil || again != 0 {
+		t.Fatalf("second Crash = %d, %v; want 0, nil", again, err)
+	}
+}
+
+func TestRestartOfRunningStackRefused(t *testing.T) {
+	_, srv, _, cleanup := pair(t, 52)
+	defer cleanup()
+	if err := srv.Restart(); !errors.Is(err, catnip.ErrNotCrashed) {
+		t.Fatalf("Restart of a running node = %v, want ErrNotCrashed", err)
+	}
+}
+
+func TestLifecycleUnsupportedOffCatnip(t *testing.T) {
+	c := demi.NewCluster(53)
+	n := c.MustSpawn(demi.Catnap, demi.WithHost(1))
+	if _, err := n.Crash(); !errors.Is(err, core.ErrNotSupported) {
+		t.Fatalf("Crash on catnap = %v, want ErrNotSupported", err)
+	}
+	if err := n.Restart(); !errors.Is(err, core.ErrNotSupported) {
+		t.Fatalf("Restart on catnap = %v, want ErrNotSupported", err)
+	}
+}
+
+// The LibrettOS recovery property: the application's listening QD —
+// created once, before the crash — keeps accepting after Restart, on
+// the reborn stack, with no application-side rebind.
+func TestListenerRearmsAcrossRestart(t *testing.T) {
+	c := demi.NewCluster(54)
+	srv := c.MustSpawn(demi.Catnip, demi.WithHost(1))
+	cli := c.MustSpawn(demi.Catnip, demi.WithConfig(demi.NodeConfig{
+		Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4,
+	}))
+	defer srv.Background()()
+	defer cli.Background()()
+
+	lqd, err := srv.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bind(lqd, demi.Addr{Port: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(lqd); err != nil {
+		t.Fatal(err)
+	}
+	cqd, _ := cli.Socket()
+	if err := cli.Connect(cqd, c.AddrOf(srv, 80)); err != nil {
+		t.Fatal(err)
+	}
+	sqd, err := srv.Accept(lqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.BlockingPush(cqd, demi.NewSGA([]byte("ping"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.BlockingPop(sqd); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := srv.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Crashed() {
+		t.Fatal("Crashed() = true after Restart")
+	}
+	if cr, rs := srv.Catnip.Lifetimes(); cr != 1 || rs != 1 {
+		t.Fatalf("Lifetimes = %d, %d; want 1, 1", cr, rs)
+	}
+
+	// Fresh dial to the same port, accepted on the ORIGINAL lqd.
+	cqd2, _ := cli.Socket()
+	if err := cli.Connect(cqd2, c.AddrOf(srv, 80)); err != nil {
+		t.Fatalf("dial to the reborn node: %v", err)
+	}
+	sqd2, err := srv.Accept(lqd)
+	if err != nil {
+		t.Fatalf("pre-crash listening QD refused to accept: %v", err)
+	}
+	msg := demi.NewSGA([]byte("reborn"))
+	if _, err := cli.BlockingPush(cqd2, msg); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := srv.BlockingPop(sqd2)
+	if err != nil || comp.Err != nil {
+		t.Fatalf("pop on the reborn stack: %v %v", err, comp.Err)
+	}
+	if !bytes.Equal(comp.SGA.Bytes(), []byte("reborn")) {
+		t.Fatalf("payload corrupted across restart: %q", comp.SGA.Bytes())
+	}
+}
+
+// Frame conservation at the moment of death: frames sitting in the NIC
+// receive rings when the stack dies are flushed back to their pools and
+// counted in RxFlushed, so nic.RxFrames == stack.FramesIn (cumulative)
+// + ring occupancy + nic.RxFlushed holds across the crash.
+func TestCrashReclaimsRingFrames(t *testing.T) {
+	c := demi.NewCluster(55)
+	srv := c.MustSpawn(demi.Catnip, demi.WithHost(1))
+	cli := c.MustSpawn(demi.Catnip, demi.WithHost(2))
+	stopCli := cli.Background()
+	defer stopCli()
+	stopSrv := srv.Background()
+
+	lqd, _ := srv.Socket()
+	if err := srv.Bind(lqd, demi.Addr{Port: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(lqd); err != nil {
+		t.Fatal(err)
+	}
+	cqd, _ := cli.Socket()
+	if err := cli.Connect(cqd, c.AddrOf(srv, 80)); err != nil {
+		t.Fatal(err)
+	}
+	sqd, err := srv.Accept(lqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.BlockingPush(cqd, demi.NewSGA([]byte("warm"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.BlockingPop(sqd); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stop the server's poller so the next pushes strand in its rings,
+	// exactly where a crash would find them.
+	stopSrv()
+	for i := 0; i < 8; i++ {
+		if _, err := cli.Push(cqd, demi.NewSGA(bytes.Repeat([]byte{byte(i)}, 200))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev := srv.Catnip.Device()
+	occupancy := func() int64 {
+		var occ int64
+		for q := 0; q < dev.NumRxQueues(); q++ {
+			occ += int64(dev.RxOccupancy(q))
+		}
+		return occ
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for occupancy() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no frame ever stranded in the server's RX rings")
+		}
+		c.Switch.Flush()
+		dev.QueueDepth(0) // force a wire drain so delivered frames ring
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := srv.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	ds := dev.Stats()
+	if ds.RxFlushed == 0 {
+		t.Fatal("crash flushed no ring frames despite stranded RX")
+	}
+	if occ := occupancy(); occ != 0 {
+		t.Fatalf("ring occupancy = %d after crash, want 0", occ)
+	}
+	if st := srv.Catnip.StackStats(); ds.RxFrames != st.FramesIn+ds.RxFlushed {
+		t.Fatalf("conservation violated across crash: rx=%d != frames_in=%d + flushed=%d",
+			ds.RxFrames, st.FramesIn, ds.RxFlushed)
+	}
+}

@@ -119,8 +119,9 @@ func (s *ShardSet) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	s.dev.RegisterTelemetry(r, prefix+".nic")
 	for i, t := range s.shards {
 		p := fmt.Sprintf("%s.shard.%d", prefix, i)
-		t.stack.RegisterTelemetry(r, p+".netstack")
+		netstack.RegisterStatsTelemetry(r, p+".netstack", t.StackStats)
 		t.mem.RegisterTelemetry(r, p+".membuf")
+		t.RegisterLifecycleTelemetry(r, p+".lifecycle")
 	}
 	s.group.RegisterTelemetry(r, prefix+".shard")
 }

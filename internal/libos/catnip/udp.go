@@ -37,6 +37,10 @@ type udpEndpoint struct {
 	ready    []queue.Completion
 	waiters  []queue.DoneFunc
 	closed   bool
+	// dead, when non-nil, is the lifecycle-typed error stamped by a
+	// stack crash; cleared when Restart rebinds the socket on the fresh
+	// stack.
+	dead error
 }
 
 // Bind implements core.Endpoint.
@@ -51,7 +55,7 @@ func (e *udpEndpoint) ensureSockLocked(port uint16) error {
 	if e.sock != nil {
 		return nil
 	}
-	u, err := e.t.stack.OpenUDP(port)
+	u, err := e.t.Stack().OpenUDP(port)
 	if err != nil {
 		return err
 	}
@@ -93,13 +97,23 @@ func (e *udpEndpoint) Connected() bool {
 	return e.havePeer
 }
 
-// Err implements core.Endpoint; datagram sockets are connectionless and
-// carry no terminal transport failure.
-func (e *udpEndpoint) Err() error { return nil }
+// Err implements core.Endpoint; datagram sockets are connectionless, so
+// the only terminal failure they can carry is a local stack crash.
+func (e *udpEndpoint) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dead
+}
 
 // Push implements queue.IoQueue: one SGA becomes one datagram.
 func (e *udpEndpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 	e.mu.Lock()
+	if e.dead != nil {
+		dead := e.dead
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPush, Err: dead})
+		return
+	}
 	if e.closed || !e.havePeer || e.sock == nil {
 		e.mu.Unlock()
 		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
@@ -115,6 +129,12 @@ func (e *udpEndpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 // Pop implements queue.IoQueue.
 func (e *udpEndpoint) Pop(done queue.DoneFunc) {
 	e.mu.Lock()
+	if e.dead != nil {
+		dead := e.dead
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: dead})
+		return
+	}
 	if e.closed {
 		e.mu.Unlock()
 		done(queue.Completion{Kind: queue.OpPop, Err: queue.ErrClosed})

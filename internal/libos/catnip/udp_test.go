@@ -96,8 +96,8 @@ func TestUDPPushWithoutPeerFails(t *testing.T) {
 func TestUDPOnOtherLibOSesUnsupported(t *testing.T) {
 	c := demi.NewCluster(94)
 	for _, n := range []*demi.Node{
-		c.NewCatnapNode(demi.NodeConfig{Host: 1}),
-		c.NewCatmintNode(demi.NodeConfig{Host: 2}),
+		c.MustSpawn(demi.Catnap, demi.WithHost(1)),
+		c.MustSpawn(demi.Catmint, demi.WithHost(2)),
 	} {
 		if _, err := n.SocketUDP(); !errors.Is(err, core.ErrNotSupported) {
 			t.Fatalf("%s: err = %v", n.Name(), err)

@@ -18,34 +18,78 @@ import (
 // its private ARP map, so steady-state packet processing never touches
 // the shared table (§3.1: share-nothing on the data path, shared state
 // only for rare control-plane work).
+//
+// Entries are generation-tagged: InvalidateAll bumps the table
+// generation, making every entry learned under an older generation
+// invisible to Lookup without touching the map. A restarted node calls
+// it so a resolution learned from the *dead* incarnation of a stack
+// cannot shadow the reborn one — without invalidation the table never
+// expires and a stale neighbor black-holes the restarted node until its
+// gratuitous ARP happens to win the race.
 type NeighborTable struct {
-	mu sync.RWMutex
-	m  map[IPv4Addr]fabric.MAC
+	mu  sync.RWMutex
+	m   map[IPv4Addr]neighborEntry
+	gen uint64
+}
+
+type neighborEntry struct {
+	mac fabric.MAC
+	gen uint64
 }
 
 // NewNeighborTable returns an empty shared neighbor table.
 func NewNeighborTable() *NeighborTable {
-	return &NeighborTable{m: make(map[IPv4Addr]fabric.MAC)}
+	return &NeighborTable{m: make(map[IPv4Addr]neighborEntry)}
 }
 
-// Learn records (or refreshes) a resolution.
+// Learn records (or refreshes) a resolution, stamped with the current
+// table generation.
 func (t *NeighborTable) Learn(ip IPv4Addr, mac fabric.MAC) {
 	t.mu.Lock()
-	t.m[ip] = mac
+	t.m[ip] = neighborEntry{mac: mac, gen: t.gen}
 	t.mu.Unlock()
 }
 
-// Lookup returns the MAC for ip, if known.
+// Lookup returns the MAC for ip, if known under the current generation.
+// Entries from before the last InvalidateAll are treated as misses.
 func (t *NeighborTable) Lookup(ip IPv4Addr) (fabric.MAC, bool) {
 	t.mu.RLock()
-	mac, ok := t.m[ip]
+	e, ok := t.m[ip]
+	gen := t.gen
 	t.mu.RUnlock()
-	return mac, ok
+	if !ok || e.gen != gen {
+		return fabric.MAC{}, false
+	}
+	return e.mac, true
 }
 
-// Len reports how many resolutions the table holds.
+// InvalidateAll advances the table generation, logically expiring every
+// current entry in O(1). Stale map slots are overwritten by the next
+// Learn for their IP.
+func (t *NeighborTable) InvalidateAll() {
+	t.mu.Lock()
+	t.gen++
+	t.mu.Unlock()
+}
+
+// Generation returns the current table generation (the number of
+// InvalidateAll calls so far).
+func (t *NeighborTable) Generation() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gen
+}
+
+// Len reports how many live (current-generation) resolutions the table
+// holds.
 func (t *NeighborTable) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.m)
+	n := 0
+	for _, e := range t.m {
+		if e.gen == t.gen {
+			n++
+		}
+	}
+	return n
 }

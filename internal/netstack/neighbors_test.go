@@ -1,0 +1,51 @@
+package netstack
+
+import (
+	"testing"
+
+	"demikernel/internal/fabric"
+)
+
+// The regression this guards: the shared neighbor table used to have no
+// expiry at all, so a MAC learned from a dead incarnation of a node
+// shadowed the reborn one forever (a permanent black hole that only a
+// lucky gratuitous-ARP race could clear). Generations make invalidation
+// O(1) and total.
+func TestNeighborTableGenerationInvalidation(t *testing.T) {
+	tbl := NewNeighborTable()
+	ip := IPv4Addr{10, 0, 0, 7}
+	mac := fabric.MAC{2, 0, 0, 0, 0, 7}
+
+	if _, ok := tbl.Lookup(ip); ok {
+		t.Fatal("empty table resolved an IP")
+	}
+	tbl.Learn(ip, mac)
+	if got, ok := tbl.Lookup(ip); !ok || got != mac {
+		t.Fatalf("Lookup = %v, %v", got, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+
+	gen := tbl.Generation()
+	tbl.InvalidateAll()
+	if tbl.Generation() != gen+1 {
+		t.Fatalf("generation did not advance: %d -> %d", gen, tbl.Generation())
+	}
+	if _, ok := tbl.Lookup(ip); ok {
+		t.Fatal("stale-generation entry survived InvalidateAll")
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("Len after invalidation = %d", tbl.Len())
+	}
+
+	// Re-learning under the new generation resurrects the mapping.
+	mac2 := fabric.MAC{2, 0, 0, 0, 0, 9}
+	tbl.Learn(ip, mac2)
+	if got, ok := tbl.Lookup(ip); !ok || got != mac2 {
+		t.Fatalf("post-invalidation Lookup = %v, %v", got, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len after relearn = %d", tbl.Len())
+	}
+}

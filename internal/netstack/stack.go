@@ -47,6 +47,13 @@ type Config struct {
 	// shard stacks: learns are published to it and misses consult it
 	// before falling back to an ARP request. See NeighborTable.
 	Neighbors *NeighborTable
+	// Clock, when non-nil, replaces time.Now as the stack's notion of
+	// wall time for RTO timers. The chaos engine plugs a
+	// simclock.DriftClock in here to model per-node clock skew: a
+	// fast-running clock fires retransmission timers early, a slow one
+	// late — the paper's point that protocol timekeeping now lives in
+	// the library, where nothing keeps node clocks honest.
+	Clock func() time.Time
 }
 
 // Stats counts stack events.
@@ -69,6 +76,31 @@ type Stats struct {
 	// GiveUps counts connections terminated by the retransmission cap
 	// or the connect timeout (dead-peer detections).
 	GiveUps int64
+}
+
+// Add returns the field-wise sum of two stats snapshots. The lifecycle
+// layer uses it to keep conservation counters cumulative across a
+// crash/restart: frames ingested by a dead stack incarnation still
+// happened, and the demi-stat selftest must see them.
+func (a Stats) Add(b Stats) Stats {
+	return Stats{
+		FramesIn:        a.FramesIn + b.FramesIn,
+		ARPRequests:     a.ARPRequests + b.ARPRequests,
+		ARPReplies:      a.ARPReplies + b.ARPReplies,
+		TCPSegsSent:     a.TCPSegsSent + b.TCPSegsSent,
+		TCPSegsRcvd:     a.TCPSegsRcvd + b.TCPSegsRcvd,
+		Retransmits:     a.Retransmits + b.Retransmits,
+		FastRetransmits: a.FastRetransmits + b.FastRetransmits,
+		DupAcksRcvd:     a.DupAcksRcvd + b.DupAcksRcvd,
+		OutOfOrderSegs:  a.OutOfOrderSegs + b.OutOfOrderSegs,
+		BadChecksums:    a.BadChecksums + b.BadChecksums,
+		UDPSent:         a.UDPSent + b.UDPSent,
+		UDPRcvd:         a.UDPRcvd + b.UDPRcvd,
+		NoListener:      a.NoListener + b.NoListener,
+		RSTsSent:        a.RSTsSent + b.RSTsSent,
+		RSTsRcvd:        a.RSTsRcvd + b.RSTsRcvd,
+		GiveUps:         a.GiveUps + b.GiveUps,
+	}
 }
 
 // Errors returned by the stack.
@@ -148,6 +180,10 @@ func New(model *simclock.CostModel, dev *nic.Device, cfg Config) *Stack {
 	if pool == nil {
 		pool = fabric.DefaultFramePool
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 	return &Stack{
 		model:      model,
 		dev:        dev,
@@ -159,12 +195,76 @@ func New(model *simclock.CostModel, dev *nic.Device, cfg Config) *Stack {
 		listeners:  make(map[uint16]*TCPListener),
 		udp:        make(map[uint16]*UDPSock),
 		nextPort:   49152,
-		now:        time.Now,
+		now:        clock,
 	}
 }
 
 // IP returns the stack's address.
 func (s *Stack) IP() IPv4Addr { return s.cfg.IP }
+
+// Shutdown terminates the whole stack instantly, as a process crash
+// would: every connection (including handshakes parked in a listener
+// backlog) becomes terminal with cause, every stashed out-of-order
+// pooled buffer is released, every listener unbound, every queued UDP
+// datagram recycled, and every send parked behind ARP resolution
+// discarded. Nothing is transmitted — a crashed libOS sends no FIN, no
+// RST; the *peer's* retransmission budget is what detects the death
+// (§3: the state needed for orderly teardown died with the process, so
+// the simulation must reproduce the messy version).
+//
+// Shutdown is idempotent. The stack stays usable only as a tombstone:
+// the owning transport replaces it on Restart.
+func (s *Stack) Shutdown(cause error) {
+	if cause == nil {
+		cause = ErrConnClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, c := range s.conns {
+		c.err = cause
+		c.state = stateClosed
+		c.clearTimerLocked()
+		c.releaseOOOLocked()
+		c.updateReadyLocked()
+		delete(s.conns, key)
+	}
+	for port, l := range s.listeners {
+		l.closed = true
+		l.backlog = nil // backlog conns were terminated via s.conns above
+		delete(s.listeners, port)
+	}
+	for port, u := range s.udp {
+		for i := range u.rx {
+			u.rx[i].Free()
+		}
+		u.rx = nil
+		delete(s.udp, port)
+	}
+	// Sends parked behind ARP are heap-backed copies; just drop them.
+	for ip := range s.arpPending {
+		delete(s.arpPending, ip)
+	}
+}
+
+// AnnounceARP broadcasts a gratuitous ARP (an unsolicited reply naming
+// ourselves), refreshing every peer's cache after a restart so the
+// reborn stack is reachable without waiting for a request. Real stacks
+// do exactly this on address (re)configuration.
+func (s *Stack) AnnounceARP() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.ARPReplies++
+	ann := arpPacket{
+		op:       arpOpReply,
+		senderHW: s.dev.MAC(),
+		senderIP: s.cfg.IP,
+		targetHW: fabric.Broadcast,
+		targetIP: s.cfg.IP,
+	}
+	frame := appendEth(nil, fabric.Broadcast, s.dev.MAC(), etherTypeARP)
+	frame = ann.marshal(frame)
+	s.dev.Tx(frame, 0)
+}
 
 // Stats returns a snapshot of the stack's counters.
 func (s *Stack) Stats() Stats {
@@ -177,8 +277,16 @@ func (s *Stack) Stats() Stats {
 // under prefix (e.g. "netstack"). Sample funcs snapshot Stats() at read
 // time, so registration adds nothing to the data path.
 func (s *Stack) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	RegisterStatsTelemetry(r, prefix, s.Stats)
+}
+
+// RegisterStatsTelemetry registers the standard netstack counter names
+// against an arbitrary stats source. A lifecycle-aware libOS passes a
+// source that sums the live stack with its dead predecessors, so
+// counters survive a crash/restart instead of resetting.
+func RegisterStatsTelemetry(r *telemetry.Registry, prefix string, src func() Stats) {
 	stat := func(read func(Stats) int64) func() int64 {
-		return func() int64 { return read(s.Stats()) }
+		return func() int64 { return read(src()) }
 	}
 	r.RegisterFunc(prefix+".frames_in", stat(func(st Stats) int64 { return st.FramesIn }))
 	r.RegisterFunc(prefix+".arp_requests", stat(func(st Stats) int64 { return st.ARPRequests }))

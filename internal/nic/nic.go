@@ -43,6 +43,7 @@ type Stats struct {
 	FilterEvals int64 // hardware filter evaluations
 	DMABytes    int64
 	Regions     int64 // memory regions registered via membuf
+	RxFlushed   int64 // ring frames discarded by FlushRings (node crash)
 }
 
 // FilterAction tells the device what to do with a frame matching a
@@ -102,6 +103,7 @@ type Device struct {
 	filterEvals atomic.Int64
 	dmaBytes    atomic.Int64
 	regions     atomic.Int64
+	rxFlushed   atomic.Int64
 }
 
 // New creates a NIC with cfg attached to sw. It announces its MAC to the
@@ -365,7 +367,45 @@ func (d *Device) Stats() Stats {
 		FilterEvals: d.filterEvals.Load(),
 		DMABytes:    d.dmaBytes.Load(),
 		Regions:     d.regions.Load(),
+		RxFlushed:   d.rxFlushed.Load(),
 	}
+}
+
+// FlushRings empties every receive ring, releasing pooled frames back to
+// their pools, and returns the number of frames discarded. It first
+// performs a normal wire drain so frames already delivered by the fabric
+// are classified and counted as RxFrames, then flushes the rings,
+// counting each discarded frame in RxFlushed — the device-side half of a
+// node crash: when a kernel-bypass application dies, the frames its
+// stack never ingested must still be reclaimed, or the pool leaks (§3:
+// the OS can no longer clean up after the dead process; here the
+// simulated device model does it on the stack's behalf at Crash time).
+//
+// The stack-level conservation law picks up the new bucket:
+//
+//	nic.RxFrames == Σ stack.FramesIn + Σ ring occupancy + nic.RxFlushed
+func (d *Device) FlushRings() int {
+	d.drainMu.Lock()
+	d.drainWireLocked()
+	d.drainMu.Unlock()
+	n := 0
+	for _, q := range d.rx {
+		q.mu.Lock()
+		for {
+			f, ok := q.ring.pop()
+			if !ok {
+				break
+			}
+			f.Release()
+			n++
+		}
+		q.mu.Unlock()
+	}
+	if n > 0 {
+		d.rxFlushed.Add(int64(n))
+		telemetry.TraceInstant("nic", "rx-flush", int32(d.port.ID()), int64(n))
+	}
+	return n
 }
 
 // QueueDepth reports the current occupancy of a receive queue, after
@@ -407,6 +447,7 @@ func (d *Device) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	r.RegisterFunc(prefix+".filter_evals", stat(func(s Stats) int64 { return s.FilterEvals }))
 	r.RegisterFunc(prefix+".dma_bytes", stat(func(s Stats) int64 { return s.DMABytes }))
 	r.RegisterFunc(prefix+".regions", stat(func(s Stats) int64 { return s.Regions }))
+	r.RegisterFunc(prefix+".rx_flushed", stat(func(s Stats) int64 { return s.RxFlushed }))
 	for q := 0; q < d.cfg.RxQueues; q++ {
 		q := q
 		r.RegisterFunc(fmt.Sprintf("%s.rxq%d.occupancy", prefix, q), func() int64 {

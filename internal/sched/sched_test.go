@@ -13,7 +13,7 @@ import (
 
 func TestEventLoopMemoryQueues(t *testing.T) {
 	c := demi.NewCluster(81)
-	node := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	node := c.MustSpawn(demi.Catnip, demi.WithHost(1))
 	el := sched.New(node.LibOS)
 
 	q := node.Queue()
@@ -38,7 +38,7 @@ func TestEventLoopMemoryQueues(t *testing.T) {
 
 func TestEventLoopRearm(t *testing.T) {
 	c := demi.NewCluster(82)
-	node := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	node := c.MustSpawn(demi.Catnip, demi.WithHost(1))
 	el := sched.New(node.LibOS)
 	q := node.Queue()
 	count := 0
@@ -60,7 +60,7 @@ func TestEventLoopRearm(t *testing.T) {
 
 func TestEventLoopPushCallback(t *testing.T) {
 	c := demi.NewCluster(83)
-	node := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	node := c.MustSpawn(demi.Catnip, demi.WithHost(1))
 	el := sched.New(node.LibOS)
 	q := node.Queue()
 	pushed := false
@@ -79,8 +79,8 @@ func TestEventLoopPushCallback(t *testing.T) {
 // request loop, request handler pushes the response.
 func TestMemcachedShapeServer(t *testing.T) {
 	c := demi.NewCluster(84)
-	srvNode := c.NewCatnipNode(demi.NodeConfig{Host: 1})
-	cliNode := c.NewCatnipNode(demi.NodeConfig{Host: 2})
+	srvNode := c.MustSpawn(demi.Catnip, demi.WithHost(1))
+	cliNode := c.MustSpawn(demi.Catnip, demi.WithHost(2))
 	stopCli := cliNode.Background()
 	defer stopCli()
 
@@ -138,7 +138,7 @@ func TestMemcachedShapeServer(t *testing.T) {
 
 func TestEventLoopMultipleQueues(t *testing.T) {
 	c := demi.NewCluster(85)
-	node := c.NewCatnipNode(demi.NodeConfig{Host: 1})
+	node := c.MustSpawn(demi.Catnip, demi.WithHost(1))
 	el := sched.New(node.LibOS)
 	q1, q2 := node.Queue(), node.Queue()
 	var from1, from2 int

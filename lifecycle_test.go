@@ -1,0 +1,360 @@
+package demikernel
+
+// Lifecycle tests: crash and restart of live stacks, observed from the
+// surviving side. The paper's §3 argument is that kernel bypass removes
+// the OS from the death notification business — no FIN, no RST, no
+// cleanup on behalf of the corpse. These tests require the replacements
+// this repo builds instead: typed errors (never hangs) at the peer,
+// LibrettOS-style listener re-binding at the reborn node, client-side
+// redial-and-replay, and frame conservation across the incarnation
+// boundary.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"demikernel/internal/apps/failover"
+	"demikernel/internal/apps/kv"
+	"demikernel/internal/chaos"
+	"demikernel/internal/fabric"
+)
+
+// TestCrashRestartMidConnection kills a server with a connection
+// established and operations pending on both sides. The client must see
+// only typed errors; after Restart the original listening QD must accept
+// a fresh dial and carry data.
+func TestCrashRestartMidConnection(t *testing.T) {
+	c := NewCluster(61)
+	srvNode := c.MustSpawn(Catnip, WithHost(1))
+	cliNode := c.MustSpawn(Catnip, WithConfig(NodeConfig{
+		Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4,
+	}))
+	cliNode.WaitTimeout = 200 * time.Millisecond
+	cqd, lqd, sqd, cleanup := chaosConnect(t, c, cliNode, srvNode, 7070)
+	defer cleanup()
+
+	// Prove the connection is live.
+	if _, err := cliNode.BlockingPush(cqd, NewSGA([]byte("ping"))); err != nil {
+		t.Fatal(err)
+	}
+	if comp, err := srvNode.BlockingPop(sqd); err != nil || comp.Err != nil {
+		t.Fatalf("pre-crash pop: %v %v", err, comp.Err)
+	}
+
+	// Arm a pop on each side, then kill the server.
+	cqt, err := cliNode.Pop(cqd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srvNode.Pop(sqd); err != nil {
+		t.Fatal(err)
+	}
+	aborted, err := srvNode.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aborted == 0 {
+		t.Fatal("crash aborted nothing despite a pending server pop")
+	}
+
+	// The client pushes into the void: its retransmission budget is the
+	// only death detector left, and it must expire with a typed error.
+	if _, err := cliNode.Push(cqd, NewSGA([]byte("lost"))); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := cliNode.Wait(cqt)
+	switch {
+	case err != nil && !typedErr(err):
+		t.Fatalf("client wait failed with untyped error: %v", err)
+	case err == nil && comp.Err != nil && !typedErr(comp.Err):
+		t.Fatalf("client pop completed with untyped error: %v", comp.Err)
+	case err == nil && comp.Err == nil:
+		t.Fatal("client pop succeeded against a dead server")
+	}
+
+	// Rebirth: same MAC, same IP, same listening QD.
+	if err := srvNode.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	cqd2, err := cliNode.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cliNode.Connect(cqd2, c.AddrOf(srvNode, 7070)); err != nil {
+		t.Fatalf("redial after restart: %v", err)
+	}
+	sqd2, err := srvNode.Accept(lqd)
+	if err != nil {
+		t.Fatalf("pre-crash listener refused a post-restart dial: %v", err)
+	}
+	if _, err := cliNode.BlockingPush(cqd2, NewSGA([]byte("again"))); err != nil {
+		t.Fatal(err)
+	}
+	comp, err = srvNode.BlockingPop(sqd2)
+	if err != nil || comp.Err != nil {
+		t.Fatalf("post-restart pop: %v %v", err, comp.Err)
+	}
+	if !bytes.Equal(comp.SGA.Bytes(), []byte("again")) {
+		t.Fatalf("post-restart payload = %q", comp.SGA.Bytes())
+	}
+}
+
+// TestKVFailoverAcrossCrash drives the single-connection KV client
+// through a server death: with failover armed, the operation in flight
+// when the server dies must be transparently replayed onto the reborn
+// server — the caller never sees the crash.
+func TestKVFailoverAcrossCrash(t *testing.T) {
+	c := NewCluster(62)
+	srvNode := c.MustSpawn(Catnip, WithHost(1))
+	cliNode := c.MustSpawn(Catnip, WithConfig(NodeConfig{
+		Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4,
+	}))
+	cliNode.WaitTimeout = 200 * time.Millisecond
+
+	srv := kv.NewServer(srvNode.LibOS, &c.Model)
+	if err := srv.Listen(6379); err != nil {
+		t.Fatal(err)
+	}
+	defer srvNode.Background()()
+	defer cliNode.Background()()
+	stop := make(chan struct{})
+	defer close(stop)
+	go srv.Run(stop)
+
+	cli := kv.NewClient(cliNode.LibOS)
+	pol := failover.DefaultPolicy()
+	pol.MaxAttempts = 60
+	cli.EnableFailover(pol)
+	if err := cli.Connect(c.AddrOf(srvNode, 6379)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := srvNode.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		if err := srvNode.Restart(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// This Set spans the outage: detect, back off, redial, replay.
+	if _, err := cli.Set("k", []byte("v2")); err != nil {
+		t.Fatalf("failover did not absorb the crash: %v", err)
+	}
+	recon, replays := cli.FailoverStats()
+	if recon == 0 || replays == 0 {
+		t.Fatalf("FailoverStats = %d, %d; the crash should have forced both", recon, replays)
+	}
+	got, _, found, err := cli.Get("k")
+	if err != nil || !found || !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("post-failover Get = %q, %v, %v", got, found, err)
+	}
+}
+
+// TestChaosShardedKVCrashRestart is the full gauntlet the issue asks
+// for: loss, then an asymmetric partition, then a crash of the node
+// owning all four KV shards, then restart and heal — against a sharded
+// KV server with a failover-armed RSS-aligned client. Requirements: no
+// untyped error ever surfaces, the client fully recovers, every
+// successful read returns the value written, and the frame-conservation
+// laws (including the crash-time RxFlushed bucket) hold at the end.
+func TestChaosShardedKVCrashRestart(t *testing.T) {
+	const shards = 4
+	const port = 6380
+	c := NewCluster(45)
+	srvNode := c.MustSpawn(Catnip, WithHost(1), WithShards(shards)).Sharded
+	cliNode := c.MustSpawn(Catnip, WithConfig(NodeConfig{
+		Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4,
+	}))
+	cliNode.WaitTimeout = 250 * time.Millisecond
+
+	server := kv.NewShardedServer(srvNode.Libs, &c.Model, srvNode.Mesh())
+	if err := server.Listen(port); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	wg := server.Run(stop)
+	var stopSrvOnce sync.Once
+	stopServer := func() { stopSrvOnce.Do(func() { close(stop); wg.Wait() }) }
+	defer stopServer()
+	stopCliBg := cliNode.Background()
+	var stopCliOnce sync.Once
+	stopClient := func() { stopCliOnce.Do(stopCliBg) }
+	defer stopClient()
+
+	// RSS-aligned dial; the redial flavor rotates the source-port seed
+	// by attempt so a replacement flow never collides with its corpse.
+	cli, err := kv.NewShardedClient(cliNode.LibOS, shards, func(i int) (QD, error) {
+		return c.DialToShard(cliNode, srvNode, port, i, uint16(4000*i+11))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := failover.DefaultPolicy()
+	pol.MaxAttempts = 80
+	pol.Max = 40 * time.Millisecond
+	cli.EnableFailover(pol, func(shard, attempt int) (QD, error) {
+		return c.DialToShard(cliNode, srvNode, port, shard, uint16(4000*shard+11+attempt*131))
+	})
+
+	// The schedule: loss, one-way partition (client→server dies while
+	// server→client flows — the gray failure), whole-node crash, rebirth.
+	eng := chaos.New(45).
+		ImpairAll(0, c.Switch, fabric.Impairments{LossRate: 0.03}).
+		ImpairAll(20*time.Millisecond, c.Switch, fabric.Impairments{}).
+		AsymmetricPartition(25*time.Millisecond, 15*time.Millisecond, c.Switch,
+			cliNode.FabricPort(), srvNode.Set.Device().PortID()).
+		NodeCrashRestart(55*time.Millisecond, 20*time.Millisecond, "kv", srvNode)
+	// The engine runs on its own goroutine: the workload loop below can
+	// block inside failover backoff, and the restart event must fire on
+	// schedule regardless.
+	engDone := make(chan struct{})
+	go func() {
+		eng.Run(100*time.Millisecond, time.Millisecond)
+		close(engDone)
+	}()
+	done := func() bool {
+		select {
+		case <-engDone:
+			return true
+		default:
+			return false
+		}
+	}
+
+	expected := make(map[string][]byte)
+	var successes, failures, postHealOK int
+	deadline := time.Now().Add(20 * time.Second)
+	for i := 0; postHealOK < 20; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("no recovery: %d successes, %d typed failures, %d post-heal",
+				successes, failures, postHealOK)
+		}
+		key := fmt.Sprintf("cr-k%02d", i%16)
+		val := bytes.Repeat([]byte{byte(i)}, 32+i%97)
+		if _, err := cli.Set(key, val); err != nil {
+			if !typedErr(err) {
+				t.Fatalf("set %d failed with untyped error: %v", i, err)
+			}
+			failures++
+			continue
+		}
+		expected[key] = val
+		got, _, found, err := cli.Get(key)
+		if err != nil {
+			if !typedErr(err) {
+				t.Fatalf("get %d failed with untyped error: %v", i, err)
+			}
+			failures++
+			continue
+		}
+		if !found || !bytes.Equal(got, expected[key]) {
+			t.Fatalf("iteration %d: corrupted response for %q: got %d bytes, want %d",
+				i, key, len(got), len(expected[key]))
+		}
+		successes++
+		if done() {
+			postHealOK++
+		}
+	}
+
+	// The schedule must have fired completely and in order.
+	evs := eng.FiredEvents()
+	if len(evs) != 6 {
+		t.Fatalf("schedule fired %d/6 events: %v", len(evs), eng.Fired())
+	}
+	for _, ev := range evs {
+		if ev.FiredAt < ev.At {
+			t.Fatalf("event %q fired before its offset: %+v", ev.Name, ev)
+		}
+	}
+	if evs[4].Name != "node-crash(kv)" || evs[5].Name != "node-restart(kv)" {
+		t.Fatalf("lifecycle events missing or misordered: %v", eng.Fired())
+	}
+
+	// The faults must have bitten on the wire and in the client stack.
+	st := c.Switch.Stats()
+	if st.InjectedLoss == 0 {
+		t.Fatal("no frames were lost despite LossRate")
+	}
+	if st.AsymDrops == 0 {
+		t.Fatal("the one-way partition never dropped a frame")
+	}
+	// (LinkDownDrops is not asserted: whether any frame hits the downed
+	// link depends on where the client's backoff sleeps fall inside the
+	// 20ms crash window — the law below still accounts for the bucket.)
+	recon, replays := cli.FailoverStats()
+	if recon == 0 || replays == 0 {
+		t.Fatalf("FailoverStats = %d, %d; the crash should have forced redials and replays", recon, replays)
+	}
+	if crashes, restarts := srvNode.Set.Shard(0).Lifetimes(); crashes != 1 || restarts != 1 {
+		t.Fatalf("Lifetimes = %d, %d; want 1, 1", crashes, restarts)
+	}
+	if srvNode.Crashed() {
+		t.Fatal("server still reports crashed after the schedule completed")
+	}
+
+	// The reborn node must not be shadowed by a stale neighbor entry.
+	if gen := srvNode.Set.Neighbors().Generation(); gen == 0 {
+		t.Fatal("restart never generation-invalidated the shared neighbor table")
+	}
+
+	// Quiesce, then read the conservation laws.
+	c.Switch.SetImpairments(fabric.Impairments{})
+	c.Switch.Flush()
+	qdeadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(qdeadline) {
+		c.Poll()
+		c.Switch.Flush()
+		time.Sleep(time.Millisecond)
+	}
+	stopServer()
+	stopClient()
+
+	// Law 1 — the wire loses nothing silently.
+	sw := c.Switch
+	fs := sw.Stats()
+	var sumTx int64
+	for id := 0; id < sw.NumPorts(); id++ {
+		sumTx += sw.PortStats(id).TxFrames
+	}
+	if lhs, rhs := sumTx+fs.InjectedDup, fs.Delivered+fs.InjectedLoss+fs.LinkDownDrops+fs.DroppedRxFull+fs.AsymDrops; lhs != rhs {
+		t.Fatalf("fabric conservation violated: tx+dup=%d != delivered+loss+linkdown+rxfull+asym=%d", lhs, rhs)
+	}
+
+	// Law 2 — every frame delivered to the shared NIC port is accounted.
+	dev := srvNode.Set.Device()
+	dev.QueueDepth(0) // force a wire drain so delivered frames ring first
+	ds := dev.Stats()
+	ps := sw.PortStats(dev.PortID())
+	if ps.Delivered != ds.RxFrames+ds.RxDropped+ds.FilterDrops {
+		t.Fatalf("nic conservation violated: delivered=%d != rx=%d+dropped=%d+filtered=%d",
+			ps.Delivered, ds.RxFrames, ds.RxDropped, ds.FilterDrops)
+	}
+
+	// Law 3 — across the incarnation boundary: every frame the NIC
+	// received is in some incarnation's FramesIn, still in a ring, or in
+	// the crash-time RxFlushed bucket.
+	srvNode.Poll() // ingest anything the forced drain just ringed
+	ds = dev.Stats()
+	var occ int64
+	for q := 0; q < dev.NumRxQueues(); q++ {
+		occ += int64(dev.RxOccupancy(q))
+	}
+	var framesIn int64
+	for i := 0; i < srvNode.Size(); i++ {
+		framesIn += srvNode.Set.Shard(i).StackStats().FramesIn
+	}
+	if ds.RxFrames != framesIn+occ+ds.RxFlushed {
+		t.Fatalf("stack conservation violated across crash: nic rx=%d != sum frames_in=%d + rings=%d + flushed=%d",
+			ds.RxFrames, framesIn, occ, ds.RxFlushed)
+	}
+}

@@ -1,0 +1,91 @@
+package demikernel
+
+// Spawn API tests: the unified construction surface must honor its
+// options, reject nonsense kinds and kind/option mismatches with errors
+// (not panics), and the deprecated per-kind constructors must remain
+// exact thin wrappers over it.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/telemetry"
+)
+
+func TestSpawnHonorsOptions(t *testing.T) {
+	c := NewCluster(71)
+	reg := telemetry.NewRegistry()
+	n := c.MustSpawn(Catnip,
+		WithConfig(NodeConfig{RTO: 3 * time.Millisecond, MaxRetransmits: 2}),
+		WithHost(7), // later WithHost wins over WithConfig's Host
+		WithTelemetry(reg),
+		WithLifecycle(),
+	)
+	if n.Catnip == nil || n.Sharded != nil {
+		t.Fatalf("spawned the wrong shape: %+v", n)
+	}
+	if n.IP != c.ip(7) || n.MAC != c.mac(7) {
+		t.Fatalf("WithHost lost to WithConfig: ip=%v mac=%v", n.IP, n.MAC)
+	}
+	if n.Clock == nil {
+		t.Fatal("WithLifecycle attached no drift clock")
+	}
+	if len(reg.Snapshot().Samples) == 0 {
+		t.Fatal("WithTelemetry registered nothing")
+	}
+
+	sharded := c.MustSpawn(Catnip, WithHost(8), WithShards(4))
+	if sharded.Sharded == nil || sharded.Sharded.Size() != 4 {
+		t.Fatalf("WithShards(4) produced %+v", sharded.Sharded)
+	}
+	if sharded.Catnip != sharded.Sharded.Set.Shard(0) {
+		t.Fatal("sharded node's Catnip is not shard 0")
+	}
+}
+
+func TestSpawnRejectsBadRequests(t *testing.T) {
+	c := NewCluster(72)
+	if _, err := c.Spawn(Kind("catzilla"), WithHost(1)); err == nil {
+		t.Fatal("unknown kind spawned")
+	}
+	if _, err := c.Spawn(Catmint, WithHost(1), WithShards(2)); !errors.Is(err, core.ErrNotSupported) {
+		t.Fatalf("WithShards on catmint = %v, want ErrNotSupported", err)
+	}
+}
+
+// The deprecated constructors must be behaviorally identical to the
+// Spawn calls they forward to — same shapes, same identities.
+func TestDeprecatedConstructorsDelegate(t *testing.T) {
+	c := NewCluster(73)
+
+	nip := c.NewCatnipNode(NodeConfig{Host: 1})
+	if nip.Catnip == nil || nip.IP != c.ip(1) {
+		t.Fatalf("NewCatnipNode shape: %+v", nip)
+	}
+	nap := c.NewCatnapNode(NodeConfig{Host: 2})
+	if nap.Kernel == nil {
+		t.Fatal("NewCatnapNode spawned no kernel")
+	}
+	mint := c.NewCatmintNode(NodeConfig{Host: 3})
+	if mint.Catmint == nil {
+		t.Fatal("NewCatmintNode spawned no RDMA transport")
+	}
+	fish, err := c.NewCatfishNode(64)
+	if err != nil || fish.Catfish == nil {
+		t.Fatalf("NewCatfishNode: %v %+v", err, fish)
+	}
+	sharded := c.NewShardedCatnipNode(NodeConfig{Host: 4}, 2)
+	if sharded == nil || sharded.Size() != 2 {
+		t.Fatalf("NewShardedCatnipNode shape: %+v", sharded)
+	}
+
+	// And a wrapper-spawned node still has the full lifecycle surface.
+	if _, err := nip.Crash(); err != nil {
+		t.Fatalf("Crash on wrapper-spawned node: %v", err)
+	}
+	if err := nip.Restart(); err != nil {
+		t.Fatalf("Restart on wrapper-spawned node: %v", err)
+	}
+}

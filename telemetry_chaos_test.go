@@ -21,8 +21,8 @@ import (
 
 func TestSpanAttributionUnderChaos(t *testing.T) {
 	c := NewCluster(777)
-	srv := c.NewCatnipNode(NodeConfig{Host: 1})
-	cli := c.NewCatnipNode(NodeConfig{Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4})
+	srv := c.MustSpawn(Catnip, WithHost(1))
+	cli := c.MustSpawn(Catnip, WithConfig(NodeConfig{Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4}))
 	cli.WaitTimeout = 200 * time.Millisecond
 
 	cqd, lqd, sqd, cleanup := chaosConnect(t, c, cli, srv, 7)
