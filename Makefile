@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race statsmoke shardsmoke lifecyclesoak chaos bench benchsmoke benchall report clean
+.PHONY: all tier1 vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak chaos bench benchsmoke benchall report clean
 
 all: tier1
 
@@ -20,7 +20,7 @@ all: tier1
 ## boundary), and a one-iteration smoke of the hot-path benchmark
 ## suite so a broken benchmark rig fails the gate, not the nightly
 ## bench run.
-tier1: vet build test race statsmoke shardsmoke lifecyclesoak benchsmoke
+tier1: vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/ ./internal/shard/ ./internal/apps/kv/ ./internal/apps/failover/ ./internal/simclock/ ./internal/libos/catnip/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/ ./internal/shard/ ./internal/apps/kv/ ./internal/apps/failover/ ./internal/simclock/ ./internal/libos/catnip/ ./internal/tenant/ ./internal/nic/
 	$(GO) test -race -count=1 -run 'TestChaosShardedKV' .
 
 ## statsmoke: run an impaired echo workload and check that the telemetry
@@ -54,6 +54,18 @@ shardsmoke:
 ## partition → crash → restart → heal). Part of tier1.
 lifecyclesoak:
 	$(GO) test -race -count=2 -run 'TestCrashRestartMidConnection|TestKVFailoverAcrossCrash|TestChaosShardedKVCrashRestart' .
+
+## tenantsoak: the multi-tenant isolation gauntlet, under the race
+## detector — three tenants on one shared NIC, one hostile (flood →
+## quota leak → crash mid-burst); victims' KV ops must all succeed
+## with p99 within 2x of the quiet baseline, per-tenant frame
+## conservation must hold across the crash, and the dead tenant's
+## quota must reclaim to zero. Followed by a short run of the
+## demi-stat -tenants dashboard, which re-asserts containment.
+## Part of tier1.
+tenantsoak:
+	$(GO) test -race -count=1 -run 'TestHostileTenantSoak|TestTenantCrashSparesNeighbors' .
+	$(GO) run ./cmd/demi-stat -tenants -n 300
 
 ## chaos: just the fault-injection suite (root soak tests + engine).
 chaos:

@@ -102,6 +102,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a chrome://tracing JSON timeline to this path")
 	selftest := flag.Bool("selftest", false, "run the counter-consistency audit and exit")
 	shards := flag.Int("shards", 0, "run the sharded-KV dashboard over this many catnip shards")
+	tenants := flag.Bool("tenants", false, "run the multi-tenant NIC dashboard (victims + a hostile tenant)")
 	flag.Parse()
 
 	if *selftest {
@@ -114,6 +115,13 @@ func main() {
 	}
 	if *shards > 0 {
 		if err := runSharded(*seed, *shards, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "demi-stat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tenants {
+		if err := runTenants(*seed, *n); err != nil {
 			fmt.Fprintf(os.Stderr, "demi-stat: %v\n", err)
 			os.Exit(1)
 		}

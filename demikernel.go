@@ -59,6 +59,7 @@ import (
 	"demikernel/internal/simclock"
 	"demikernel/internal/spdk"
 	"demikernel/internal/telemetry"
+	"demikernel/internal/tenant"
 )
 
 // Re-exported core types: the Demikernel system-call surface (Figure 3).
@@ -81,6 +82,11 @@ type (
 	CostModel = simclock.CostModel
 	// Lat is a virtual latency in nanoseconds.
 	Lat = simclock.Lat
+	// TenantID names one tenant sharing a NIC (see WithTenant).
+	TenantID = tenant.ID
+	// TenantPolicy is a tenant's resource contract: frame/memory quotas,
+	// TX weight and rate limit, and steering bounds (see WithTenant).
+	TenantPolicy = tenant.Policy
 )
 
 // Re-exported errors.
@@ -114,6 +120,12 @@ type Cluster struct {
 
 	nodes        []*Node
 	shardedNodes []*ShardedNode
+
+	// Multi-tenant plane, created lazily by the first WithTenant spawn:
+	// one shared NIC whose queue groups partition among tenants, and the
+	// registry fixing each tenant's resource contract at bind time.
+	tenants   *tenant.Registry
+	sharedNIC *nic.Device
 }
 
 // Node binds a LibOS to its simulated host identity on the cluster.
@@ -142,6 +154,9 @@ type Node struct {
 	// node's private virtual wall clock, skewable by the chaos engine's
 	// ClockSkew fault (every protocol timer on this node reads it).
 	Clock *simclock.DriftClock
+	// Tenant is non-nil when the node was spawned WithTenant: its
+	// identity, policy, and frame-quota ledger on the shared NIC.
+	Tenant *tenant.Tenant
 
 	cluster *Cluster
 	host    byte
@@ -234,6 +249,10 @@ type spawnSpec struct {
 	lifecycle bool
 	blocks    int
 	disk      *spdk.Device
+
+	hasTenant    bool
+	tenantID     tenant.ID
+	tenantPolicy tenant.Policy
 }
 
 // SpawnOption configures one Spawn call.
@@ -286,6 +305,26 @@ func WithLifecycle() SpawnOption {
 	return func(s *spawnSpec) { s.lifecycle = true }
 }
 
+// WithTenant spawns the catnip node as one tenant of the cluster's
+// shared NIC instead of giving it a dedicated device — the paper's §3/§7
+// protection scenario: untrusting applications on one kernel-bypass
+// NIC, isolated by the control plane, not by trust.
+//
+// At spawn time the tenant is registered under id with pol fixed for
+// its lifetime, a queue group on the shared NIC is claimed (one queue
+// per shard), the tenant's frame pools are tagged with its ID and
+// charged against its quota ledger, and its TX path joins the NIC's
+// weighted-deficit-round-robin scheduler. Zero-valued policy fields
+// mean unbounded/default; empty steering bounds default to exactly the
+// node's own MAC/IP. Only meaningful for the Catnip kind.
+func WithTenant(id string, pol TenantPolicy) SpawnOption {
+	return func(s *spawnSpec) {
+		s.hasTenant = true
+		s.tenantID = tenant.ID(id)
+		s.tenantPolicy = pol
+	}
+}
+
 // WithBlocks sets the capacity (in blocks) of the fresh NVMe namespace
 // a Catfish node is spawned over (0 = default).
 func WithBlocks(n int) SpawnOption {
@@ -317,6 +356,9 @@ func (c *Cluster) Spawn(kind Kind, opts ...SpawnOption) (*Node, error) {
 	if sp.shards > 0 && kind != Catnip {
 		return nil, fmt.Errorf("demikernel: WithShards is %w for %s nodes", core.ErrNotSupported, kind)
 	}
+	if sp.hasTenant && kind != Catnip {
+		return nil, fmt.Errorf("demikernel: WithTenant on %s nodes: %w", kind, core.ErrNotSupported)
+	}
 	cfg := sp.cfg
 	n := &Node{
 		MAC:     c.mac(cfg.Host),
@@ -340,8 +382,34 @@ func (c *Cluster) Spawn(kind Kind, opts ...SpawnOption) (*Node, error) {
 			MaxRetransmits: cfg.MaxRetransmits,
 			Clock:          clock,
 		}
+		var grp *nic.QueueGroup
+		if sp.hasTenant {
+			ten, g, err := c.spawnTenant(&sp, n, clock)
+			if err != nil {
+				return nil, err
+			}
+			n.Tenant, grp = ten, g
+			if ccfg.MemCapacity == 0 {
+				ccfg.MemCapacity = ten.Policy.MemBytes
+			}
+			// Every frame pool this tenant's shards create is tagged with
+			// the tenant ID (so misuse panics name the culprit) and
+			// charged against the tenant's ledger (so a leak exhausts the
+			// leaker, not the device).
+			id, ledger := string(ten.ID), ten.Ledger
+			ccfg.PoolFactory = func() *fabric.FramePool {
+				p := fabric.NewFramePool()
+				p.SetOwner(id, ledger)
+				return p
+			}
+		}
 		if sp.shards > 0 {
-			set := catnip.NewSharded(&c.Model, c.Switch, ccfg, sp.shards)
+			var set *catnip.ShardSet
+			if grp != nil {
+				set = catnip.NewShardedOn(&c.Model, grp, ccfg, sp.shards)
+			} else {
+				set = catnip.NewSharded(&c.Model, c.Switch, ccfg, sp.shards)
+			}
 			sn := &ShardedNode{Set: set, MAC: n.MAC, IP: n.IP, Clock: n.Clock, cluster: c}
 			for i := 0; i < sp.shards; i++ {
 				sn.Libs = append(sn.Libs, core.New(set.Shard(i), &c.Model))
@@ -352,7 +420,12 @@ func (c *Cluster) Spawn(kind Kind, opts ...SpawnOption) (*Node, error) {
 			sn.node = n
 			c.shardedNodes = append(c.shardedNodes, sn)
 		} else {
-			t := catnip.New(&c.Model, c.Switch, ccfg)
+			var t *catnip.Transport
+			if grp != nil {
+				t = catnip.NewOnGroup(&c.Model, grp, ccfg)
+			} else {
+				t = catnip.New(&c.Model, c.Switch, ccfg)
+			}
 			n.LibOS = core.New(t, &c.Model)
 			n.Catnip = t
 			c.nodes = append(c.nodes, n)
@@ -398,6 +471,72 @@ func (c *Cluster) Spawn(kind Kind, opts ...SpawnOption) (*Node, error) {
 		n.RegisterTelemetry(sp.reg, prefix)
 	}
 	return n, nil
+}
+
+// Tenants returns the cluster's tenant registry, creating it on first
+// use. Every WithTenant spawn registers here; `demi-stat -tenants`
+// reads quota occupancy from the same ledgers.
+func (c *Cluster) Tenants() *tenant.Registry {
+	if c.tenants == nil {
+		c.tenants = tenant.NewRegistry()
+	}
+	return c.tenants
+}
+
+// SharedNIC returns the cluster's one multi-tenant NIC, creating it on
+// first use: a 32-queue device on the fabric from which WithTenant
+// spawns claim contiguous queue groups. Its MAC is a device identity
+// only — tenants answer on their own MACs via group ownership.
+func (c *Cluster) SharedNIC() *nic.Device {
+	if c.sharedNIC == nil {
+		c.sharedNIC = nic.New(&c.Model, c.Switch, nic.Config{
+			MAC:      fabric.MAC{0x02, 0, 0, 0, 0xff, 0},
+			RxQueues: 32,
+		})
+	}
+	return c.sharedNIC
+}
+
+// spawnTenant registers the tenant identity and claims its queue group
+// on the shared NIC — the bind-time half of isolation: every check that
+// could cost per-frame (steering bounds, quota tagging, TX weight) is
+// fixed here, before the first packet.
+func (c *Cluster) spawnTenant(sp *spawnSpec, n *Node, clock func() time.Time) (*tenant.Tenant, *nic.QueueGroup, error) {
+	pol := sp.tenantPolicy
+	// An empty steering bound means "exactly yourself": the node's own
+	// MAC and IP, all ports. Wider bounds must be granted explicitly.
+	if len(pol.MACs) == 0 {
+		pol.MACs = []fabric.MAC{n.MAC}
+	}
+	if len(pol.IPs) == 0 {
+		pol.IPs = [][4]byte{[4]byte(n.IP)}
+	}
+	ten, err := c.Tenants().Register(sp.tenantID, pol)
+	if err != nil {
+		return nil, nil, fmt.Errorf("demikernel: spawn tenant %q: %w", sp.tenantID, err)
+	}
+	queues := sp.shards
+	if queues <= 0 {
+		queues = 1
+	}
+	grp, err := c.SharedNIC().NewQueueGroup(string(sp.tenantID), queues, nic.GroupConfig{
+		MAC: n.MAC,
+		IP:  [4]byte(n.IP),
+		Bounds: nic.SteeringBounds{
+			MACs:   pol.MACs,
+			IPs:    pol.IPs,
+			PortLo: pol.PortLo,
+			PortHi: pol.PortHi,
+		},
+		TxWeight:     pol.TxWeight,
+		TxRateBps:    pol.TxRateBps,
+		TxBurstBytes: pol.TxBurstBytes,
+		Clock:        clock,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("demikernel: spawn tenant %q: %w", sp.tenantID, err)
+	}
+	return ten, grp, nil
 }
 
 // MustSpawn is Spawn, panicking on error — for tests, examples, and
@@ -612,12 +751,25 @@ func (n *Node) Crash() (int, error) {
 	if n.Catnip == nil {
 		return 0, fmt.Errorf("demikernel: Crash is %w on this node kind", core.ErrNotSupported)
 	}
-	n.cluster.Switch.SetLinkState(n.FabricPort(), false)
-	if n.Sharded != nil {
-		return n.Sharded.Set.Crash(), nil
+	if n.Tenant == nil {
+		// A tenant node shares its NIC — and therefore its fabric link —
+		// with other tenants, so the link must stay up; only a dedicated
+		// device's link dies with its owner.
+		n.cluster.Switch.SetLinkState(n.FabricPort(), false)
 	}
-	aborted := n.Catnip.Crash()
-	aborted += n.Catnip.Device().FlushRings()
+	var aborted int
+	if n.Sharded != nil {
+		aborted = n.Sharded.Set.Crash()
+	} else {
+		aborted = n.Catnip.Crash()
+		aborted += n.Catnip.FlushRx()
+	}
+	if n.Tenant != nil {
+		// Device-side reclamation of the dead tenant's quota: whatever
+		// frame bytes the corpse still held (leaked, queued, in flight)
+		// return to the ledger so the NIC's memory is whole again.
+		n.Tenant.Ledger.Reclaim()
+	}
 	return aborted, nil
 }
 
@@ -633,7 +785,9 @@ func (n *Node) Restart() error {
 	if n.Catnip == nil {
 		return fmt.Errorf("demikernel: Restart is %w on this node kind", core.ErrNotSupported)
 	}
-	n.cluster.Switch.SetLinkState(n.FabricPort(), true)
+	if n.Tenant == nil {
+		n.cluster.Switch.SetLinkState(n.FabricPort(), true)
+	}
 	if n.Sharded != nil {
 		return n.Sharded.Set.Restart()
 	}

@@ -98,6 +98,10 @@ func (s *Server) Step() int {
 		if qt, err := s.lib.PushCost(p.conn, comp.SGA, comp.Cost+s.AppCost); err == nil {
 			s.lib.Wait(qt)
 		}
+		// The push staged its own copy; the popped SGA's pooled clone
+		// must recycle, or each request stays charged against the
+		// serving tenant's frame quota forever.
+		comp.SGA.Free()
 		served++
 		s.mu.Lock()
 		s.echoed++

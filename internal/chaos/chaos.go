@@ -267,6 +267,43 @@ func (e *Engine) NodeCrashRestart(at, downFor time.Duration, name string, n Life
 	})
 }
 
+// HostileTenantFaults bundles the misbehaviours of one tenant sharing a
+// NIC with victims — the paper's protection scenario turned adversarial.
+// Flood should saturate the tenant's TX path (the WDRR scheduler and the
+// tenant's rate limit must contain it); Leak should acquire pooled
+// frames and never release them (the tenant's quota ledger must absorb
+// it); Node is the tenant node, crashed mid-rampage so device-side
+// reclamation is exercised with maximum state outstanding.
+type HostileTenantFaults struct {
+	Flood func() // saturate the tenant's own TX path
+	Leak  func() // acquire pooled frames and withhold Release
+	Node  Lifecycle
+}
+
+// HostileTenant schedules the full rampage of one co-located tenant:
+// flood at `at`, leak at `at+stagger`, crash mid-burst at `at+2*stagger`
+// (reclaiming the leaked quota device-side), and — when downFor > 0 —
+// restart at `at+2*stagger+downFor`. Victim tenants on the same NIC
+// must ride it out behind their queue groups, TX weights, and quotas;
+// the hostile-tenant soak test asserts exactly that.
+func (e *Engine) HostileTenant(at, stagger, downFor time.Duration, name string, h HostileTenantFaults) *Engine {
+	if h.Flood != nil {
+		e.At(at, fmt.Sprintf("hostile-flood(%s)", name), h.Flood)
+	}
+	if h.Leak != nil {
+		e.At(at+stagger, fmt.Sprintf("hostile-leak(%s)", name), h.Leak)
+	}
+	e.At(at+2*stagger, fmt.Sprintf("hostile-crash(%s)", name), func() {
+		h.Node.Crash() //nolint:errcheck // reclamation is observable via the ledger
+	})
+	if downFor > 0 {
+		e.At(at+2*stagger+downFor, fmt.Sprintf("hostile-restart(%s)", name), func() {
+			h.Node.Restart() //nolint:errcheck // Restart on a live node is a no-op error
+		})
+	}
+	return e
+}
+
 // AsymmetricPartition schedules a one-way fabric break: frames from port
 // `from` to port `to` are silently dropped (counted in AsymDrops) while
 // the reverse direction keeps flowing — the gray failure that defeats

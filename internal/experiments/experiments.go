@@ -149,6 +149,13 @@ var All = []Experiment{
 		Run:    runE14,
 	},
 	{
+		ID:     "E15",
+		Title:  "Multi-tenant NIC protection",
+		Source: "§3, §7",
+		Claim:  "untrusting applications share one kernel-bypass NIC; the control plane — flow steering, TX scheduling, and memory quotas — enforces isolation the data path no longer can",
+		Run:    runE15,
+	},
+	{
 		ID:     "A1",
 		Title:  "Ablation: syscall price",
 		Source: "ablation of §3.2",

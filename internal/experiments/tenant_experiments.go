@@ -1,0 +1,309 @@
+package experiments
+
+// E15 — multi-tenant NIC protection (§3, §7): untrusting applications
+// share one kernel-bypass device, and the control plane — not mutual
+// trust — keeps them apart. Two measurements:
+//
+//  1. Victim tail latency with and without a hostile co-tenant that
+//     floods its TX path and leaks pooled frames against its quota.
+//     Isolation working means the victims' virtual p99 barely moves.
+//  2. WDRR weight enforcement under TX contention: three backlogged
+//     tenants with weights 1:1:1 and 4:2:1; the scheduler must hand
+//     out link share in weight proportion.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	demi "demikernel"
+	"demikernel/internal/apps/echo"
+	"demikernel/internal/fabric"
+	"demikernel/internal/metrics"
+	"demikernel/internal/nic"
+)
+
+// TenantAttackPoint summarises one victim's service quality in the
+// quiet and under-attack halves of a hostile-tenant run.
+type TenantAttackPoint struct {
+	Victim            string
+	QuietP50, QuietP99 demi.Lat
+	HotP50, HotP99     demi.Lat
+	HostileThrottled   int64 // frames dropped at the hostile tenant's rate cap
+	HostileReclaimedOK bool  // ledger returned to zero after the crash
+}
+
+// RunTenantAttack measures victim echo latency on a shared NIC while a
+// hostile co-tenant floods, leaks, and finally crashes. ops round trips
+// are driven per victim in each half.
+func RunTenantAttack(seed int64, ops int) ([]TenantAttackPoint, error) {
+	c := demi.NewCluster(seed)
+	vicA := c.MustSpawn(demi.Catnip, demi.WithHost(1), demi.WithTenant("vic-a", demi.TenantPolicy{
+		TxWeight: 2, FrameQuotaBytes: 8 << 20,
+	}))
+	vicB := c.MustSpawn(demi.Catnip, demi.WithHost(2), demi.WithTenant("vic-b", demi.TenantPolicy{
+		TxWeight: 2, FrameQuotaBytes: 8 << 20,
+	}))
+	mal := c.MustSpawn(demi.Catnip, demi.WithHost(3), demi.WithTenant("mal", demi.TenantPolicy{
+		TxWeight: 1, FrameQuotaBytes: 2 << 20, TxRateBps: 4 << 20, TxBurstBytes: 64 << 10,
+	}))
+	cliA := c.MustSpawn(demi.Catnip, demi.WithHost(4))
+	cliB := c.MustSpawn(demi.Catnip, demi.WithHost(5))
+	sink := c.MustSpawn(demi.Catnip, demi.WithHost(6))
+
+	pairA, err := newTenantEchoPair(c, vicA, cliA)
+	if err != nil {
+		return nil, err
+	}
+	defer pairA.close()
+	pairB, err := newTenantEchoPair(c, vicB, cliB)
+	if err != nil {
+		return nil, err
+	}
+	defer pairB.close()
+	defer mal.Background()()
+	defer sink.Background()()
+
+	buf := make([]byte, 64)
+	var quietA, quietB, hotA, hotB metrics.Histogram
+	run := func(ha, hb *metrics.Histogram) error {
+		for i := 0; i < ops; i++ {
+			la, err := pairA.client.RTT(buf, 0)
+			if err != nil {
+				return fmt.Errorf("victim A rtt: %w", err)
+			}
+			lb, err := pairB.client.RTT(buf, 0)
+			if err != nil {
+				return fmt.Errorf("victim B rtt: %w", err)
+			}
+			ha.Record(la)
+			hb.Record(lb)
+		}
+		return nil
+	}
+	if err := run(&quietA, &quietB); err != nil {
+		return nil, err
+	}
+
+	// The rampage: flood toward the bystander sink from a background
+	// goroutine, leak 400 pooled frames, then crash mid-burst.
+	floodStop := make(chan struct{})
+	var floodWG sync.WaitGroup
+	fqd, err := mal.SocketUDP()
+	if err != nil {
+		return nil, err
+	}
+	if err := mal.Bind(fqd, demi.Addr{Port: 7777}); err != nil {
+		return nil, err
+	}
+	if err := mal.Connect(fqd, c.AddrOf(sink, 9)); err != nil {
+		return nil, err
+	}
+	floodWG.Add(1)
+	go func() {
+		defer floodWG.Done()
+		for {
+			select {
+			case <-floodStop:
+				return
+			default:
+			}
+			ok := true
+			for j := 0; j < 32; j++ {
+				if _, err := mal.BlockingPush(fqd, demi.NewSGA(bytes.Repeat([]byte{0xAB}, 1024))); err != nil {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 400; i++ {
+		mal.Catnip.Pool().Get(1500) // leaked against the hostile quota
+	}
+	if err := run(&hotA, &hotB); err != nil {
+		close(floodStop)
+		floodWG.Wait()
+		return nil, err
+	}
+	if _, err := mal.Crash(); err != nil {
+		close(floodStop)
+		floodWG.Wait()
+		return nil, err
+	}
+	close(floodStop)
+	floodWG.Wait()
+
+	mf, mb := mal.Tenant.Ledger.Outstanding()
+	throttled := mal.Catnip.Group().Stats().ThrottleDrops
+	qa, qb := quietA.Summarize(), quietB.Summarize()
+	ha, hb := hotA.Summarize(), hotB.Summarize()
+	return []TenantAttackPoint{
+		{Victim: "vic-a", QuietP50: qa.P50, QuietP99: qa.P99, HotP50: ha.P50, HotP99: ha.P99,
+			HostileThrottled: throttled, HostileReclaimedOK: mf == 0 && mb == 0},
+		{Victim: "vic-b", QuietP50: qb.P50, QuietP99: qb.P99, HotP50: hb.P50, HotP99: hb.P99,
+			HostileThrottled: throttled, HostileReclaimedOK: mf == 0 && mb == 0},
+	}, nil
+}
+
+// tenantEchoPair is a connected echo pair over two already-spawned
+// nodes (the package echoRig spawns its own whole-device nodes; tenant
+// nodes need WithTenant options, so they arrive pre-built).
+type tenantEchoPair struct {
+	client *echo.Client
+	stops  []func()
+}
+
+func (p *tenantEchoPair) close() {
+	for _, f := range p.stops {
+		f()
+	}
+}
+
+func newTenantEchoPair(c *demi.Cluster, srvNode, cliNode *demi.Node) (*tenantEchoPair, error) {
+	srv := echo.NewServer(srvNode.LibOS)
+	srv.AppCost = c.Model.AppRequestNS
+	if err := srv.Listen(7); err != nil {
+		return nil, err
+	}
+	stopS := srvNode.Background()
+	stopC := cliNode.Background()
+	stopServe := make(chan struct{})
+	go srv.Run(stopServe)
+	cli := echo.NewClient(cliNode.LibOS)
+	if err := cli.Connect(c.AddrOf(srvNode, 7)); err != nil {
+		stopC()
+		stopS()
+		close(stopServe)
+		return nil, err
+	}
+	return &tenantEchoPair{
+		client: cli,
+		stops:  []func(){func() { close(stopServe) }, stopC, stopS},
+	}, nil
+}
+
+// RunTenantWDRR measures TX link share under deterministic contention:
+// three tenant queue groups on one device, every ring backlogged behind
+// an exhausted token bucket on a frozen clock, then one refill and a
+// fixed pump budget. The bytes each tenant got out are its share.
+func RunTenantWDRR(seed int64, weights [3]int) ([3]int64, error) {
+	c := demi.NewCluster(seed)
+	dev := nic.New(&c.Model, c.Switch, nic.Config{MAC: fabric.MAC{0x02, 0xE1, 0x50, 0, 0, 1}, RxQueues: 3})
+
+	// A controllable clock: frozen during the fill so no tokens refill,
+	// then advanced once to fund exactly one contended pump.
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	var groups [3]*nic.QueueGroup
+	for i := range groups {
+		g, err := dev.NewQueueGroup(fmt.Sprintf("t%d", i), 1, nic.GroupConfig{
+			MAC:   fabric.MAC{0x02, 0xE1, 0x50, 0, 1, byte(i)},
+			IP:    [4]byte{10, 0, 15, byte(i + 1)},
+			Bounds: nic.SteeringBounds{
+				MACs: []fabric.MAC{{0x02, 0xE1, 0x50, 0, 1, byte(i)}},
+				IPs:  [][4]byte{{10, 0, 15, byte(i + 1)}},
+			},
+			TxWeight: weights[i],
+			// 64 KB burst funds the fill's head; 6.4 MB/s refills one
+			// more 64 KB budget per 10 ms of (frozen) virtual time.
+			TxRateBps:    64 << 10 * 100,
+			TxBurstBytes: 64 << 10,
+			Clock:        clock,
+		})
+		if err != nil {
+			return [3]int64{}, err
+		}
+		groups[i] = g
+	}
+
+	// Backlog every ring: 200 x 1000 B frames per tenant. The first
+	// ~64 KB of each drains against the initial burst; the rest waits.
+	frame := make([]byte, 1000)
+	for i, g := range groups {
+		frame[5] = byte(i)
+		for f := 0; f < 200; f++ {
+			g.TxFrame(fabric.Frame{Data: append([]byte(nil), frame...)})
+		}
+	}
+	var before [3]int64
+	for i, g := range groups {
+		before[i] = g.Stats().TxBytes
+	}
+
+	// Refill every bucket (clamped at burst) and run one pump: a fixed
+	// 64 KB budget the three backlogged tenants must share by weight.
+	advance(time.Second)
+	groups[0].RxBurst(0, 1)
+
+	var share [3]int64
+	for i, g := range groups {
+		share[i] = g.Stats().TxBytes - before[i]
+	}
+	return share, nil
+}
+
+func runE15(seed int64) (*Result, error) {
+	res := &Result{}
+
+	const ops = 300
+	points, err := RunTenantAttack(seed, ops)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Victim service quality with a hostile co-tenant (virtual time)",
+		"victim", "quiet p50", "quiet p99", "attacked p50", "attacked p99", "p99 ratio")
+	for _, p := range points {
+		ratio := float64(p.HotP99) / float64(p.QuietP99)
+		tbl.AddRow(p.Victim, p.QuietP50, p.QuietP99, p.HotP50, p.HotP99, fmt.Sprintf("%.2fx", ratio))
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	shareEven, err := RunTenantWDRR(seed, [3]int{1, 1, 1})
+	if err != nil {
+		return nil, err
+	}
+	shareSkew, err := RunTenantWDRR(seed, [3]int{4, 2, 1})
+	if err != nil {
+		return nil, err
+	}
+	wtbl := metrics.NewTable("WDRR TX share under contention (one 64 KB pump, all rings backlogged)",
+		"weights", "tenant 0", "tenant 1", "tenant 2")
+	wtbl.AddRow("1:1:1", shareEven[0], shareEven[1], shareEven[2])
+	wtbl.AddRow("4:2:1", shareSkew[0], shareSkew[1], shareSkew[2])
+	res.Tables = append(res.Tables, wtbl)
+
+	for _, p := range points {
+		ratio := float64(p.HotP99) / float64(p.QuietP99)
+		res.check(fmt.Sprintf("victim %s p99 within 2x under attack", p.Victim), ratio <= 2.0,
+			"quiet p99 %v vs attacked p99 %v (%.2fx, ceiling 2x)", p.QuietP99, p.HotP99, ratio)
+	}
+	res.check("hostile flood throttled at its own rate cap", points[0].HostileThrottled > 0,
+		"%d frames dropped at the hostile tenant's staging ring", points[0].HostileThrottled)
+	res.check("hostile quota reclaimed to zero after crash", points[0].HostileReclaimedOK,
+		"ledger outstanding frames/bytes both zero after device-side reclaim")
+
+	evenOK := true
+	total := shareEven[0] + shareEven[1] + shareEven[2]
+	for _, s := range shareEven {
+		if f := float64(s) / float64(total); f < 0.23 || f > 0.43 {
+			evenOK = false
+		}
+	}
+	res.check("equal weights share the link equally", evenOK,
+		"1:1:1 shares = %d / %d / %d bytes", shareEven[0], shareEven[1], shareEven[2])
+	skewOK := shareSkew[0] > shareSkew[1] && shareSkew[1] > shareSkew[2] &&
+		float64(shareSkew[0]) >= 1.5*float64(shareSkew[1]) &&
+		float64(shareSkew[1]) >= 1.5*float64(shareSkew[2])
+	res.check("4:2:1 weights yield ordered ~2x-spaced shares", skewOK,
+		"4:2:1 shares = %d / %d / %d bytes", shareSkew[0], shareSkew[1], shareSkew[2])
+	return res, nil
+}

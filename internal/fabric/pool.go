@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,23 @@ import (
 // (counted as misses, never recycled).
 var frameClasses = [...]int{128, 512, 2048, 16384}
 
+// Accountant charges pooled frame storage to some resource account —
+// the hook the multi-tenant plane (internal/tenant's Ledger) plugs in.
+// ChargeFrame is called once per Get with the class-rounded byte size
+// and may refuse (Get then returns nil); CreditFrame is called once
+// when the final reference is released. Both run on the per-frame hot
+// path and must be lock-free.
+type Accountant interface {
+	ChargeFrame(bytes int) bool
+	CreditFrame(bytes int)
+}
+
+// ErrNoMem is the typed backpressure error surfaced when a pool's
+// accountant refuses a charge — the frame-plane twin of
+// membuf.ErrNoMem: one tenant exhausting its frame quota gets this
+// while every other tenant's pool keeps allocating.
+var ErrNoMem = errors.New("fabric: frame quota exhausted")
+
 // FrameBuf is a reference-counted, pool-recycled frame backing buffer.
 type FrameBuf struct {
 	pool  *FramePool
@@ -37,6 +55,23 @@ type FrameBuf struct {
 	refs  atomic.Int32
 	data  []byte // current view (len = requested size)
 	full  []byte // full class-sized backing storage
+}
+
+// Owner names the tenant owning the buffer's pool ("" when unowned).
+func (b *FrameBuf) Owner() string {
+	if b.pool == nil {
+		return ""
+	}
+	return b.pool.owner
+}
+
+// ownerSuffix tags a panic message with the offending tenant. Only the
+// failure path pays the formatting.
+func (b *FrameBuf) ownerSuffix() string {
+	if o := b.Owner(); o != "" {
+		return " [pool owner: " + o + "]"
+	}
+	return ""
 }
 
 // Bytes returns the buffer's usable bytes (length = the size requested
@@ -58,7 +93,7 @@ func (b *FrameBuf) Bytes() []byte { return b.data }
 // pins the legal-use side of this contract under -race.
 func (b *FrameBuf) Retain() {
 	if b.refs.Add(1) <= 1 {
-		panic("fabric: Retain on released FrameBuf")
+		panic("fabric: Retain on released FrameBuf" + b.ownerSuffix())
 	}
 }
 
@@ -70,11 +105,11 @@ func (b *FrameBuf) Release() {
 	n := b.refs.Add(-1)
 	switch {
 	case n == 0:
-		if b.pool != nil && b.class >= 0 {
-			b.pool.put(b)
+		if b.pool != nil {
+			b.pool.onFinalRelease(b)
 		}
 	case n < 0:
-		panic("fabric: FrameBuf reference count underflow")
+		panic("fabric: FrameBuf reference count underflow (double release)" + b.ownerSuffix())
 	}
 }
 
@@ -88,6 +123,9 @@ type FramePoolStats struct {
 	Misses int64
 	// Recycled counts buffers returned to the pool's free lists.
 	Recycled int64
+	// QuotaDenied counts Gets refused by the pool's accountant (the
+	// owning tenant was over its frame quota).
+	QuotaDenied int64
 }
 
 // FramePool recycles frame buffers by size class. It is safe for
@@ -101,16 +139,37 @@ type FramePoolStats struct {
 type FramePool struct {
 	classes [len(frameClasses)]sync.Pool
 
+	// owner/acct attribute the pool to a tenant (SetOwner, config
+	// time). acct==nil — the single-tenant default — costs the hot
+	// path one predictable nil check.
+	owner string
+	acct  Accountant
+
 	pooled   atomic.Int64
 	_        [56]byte //nolint:unused // false-sharing pad
 	misses   atomic.Int64
 	_        [56]byte //nolint:unused // false-sharing pad
 	recycled atomic.Int64
 	_        [56]byte //nolint:unused // false-sharing pad
+
+	quotaDenied atomic.Int64
 }
 
 // NewFramePool returns an empty frame pool.
 func NewFramePool() *FramePool { return &FramePool{} }
+
+// SetOwner tags the pool with the owning tenant's name (surfaced in
+// Retain/Release violation panics, naming the offender) and optionally
+// attaches an accountant charging the tenant's frame quota. Call before
+// the pool is shared with the data path; not safe concurrently with
+// Get/Release.
+func (p *FramePool) SetOwner(owner string, acct Accountant) {
+	p.owner = owner
+	p.acct = acct
+}
+
+// Owner returns the pool's owner tag ("" when unowned).
+func (p *FramePool) Owner() string { return p.owner }
 
 // DefaultFramePool is the process-wide pool the simulated stacks draw
 // their frame buffers from.
@@ -128,8 +187,18 @@ func classFor(n int) int {
 
 // Get returns a buffer whose Bytes() is exactly n bytes, backed by
 // recycled pool storage when available. The caller owns one reference.
+//
+// When the pool has an accountant (multi-tenant mode) and the charge is
+// refused, Get returns nil: the owning tenant is over its frame quota.
+// Callers on the data path treat nil as a drop-with-backpressure (the
+// typed error for it is ErrNoMem); pools without an accountant never
+// return nil.
 func (p *FramePool) Get(n int) *FrameBuf {
 	ci := classFor(n)
+	if p.acct != nil && !p.acct.ChargeFrame(chargeSize(ci, n)) {
+		p.quotaDenied.Add(1)
+		return nil
+	}
 	if ci < 0 {
 		// Oversized: dedicated heap buffer, never recycled.
 		p.misses.Add(1)
@@ -153,13 +222,35 @@ func (p *FramePool) Get(n int) *FrameBuf {
 	return b
 }
 
+// chargeSize is the accounted size of a buffer in class ci: the full
+// class-rounded backing size (that is what the tenant really pins), or
+// the raw request for oversized heap buffers.
+func chargeSize(ci, n int) int {
+	if ci >= 0 {
+		return frameClasses[ci]
+	}
+	return n
+}
+
+// onFinalRelease runs exactly once per buffer lifetime, when the last
+// reference is gone: the tenant's account is credited and class-backed
+// storage recycles (oversized buffers go to the GC, as before).
+func (p *FramePool) onFinalRelease(b *FrameBuf) {
+	if p.acct != nil {
+		p.acct.CreditFrame(chargeSize(int(b.class), len(b.full)))
+	}
+	if b.class >= 0 {
+		p.put(b)
+	}
+}
+
 func (p *FramePool) put(b *FrameBuf) {
 	// Defensive fence for the audited Retain/Release invariant: by the
 	// time the last Release reaches here no other holder may exist, so
 	// any non-zero count means an illegal Retain raced the recycle.
 	// Failing loudly here beats recycling a buffer somebody still reads.
 	if b.refs.Load() != 0 {
-		panic("fabric: FrameBuf recycled while still referenced (illegal Retain after final Release)")
+		panic("fabric: FrameBuf recycled while still referenced (illegal Retain after final Release)" + b.ownerSuffix())
 	}
 	b.data = nil
 	p.recycled.Add(1)
@@ -169,9 +260,10 @@ func (p *FramePool) put(b *FrameBuf) {
 // Stats returns a snapshot of the pool's counters.
 func (p *FramePool) Stats() FramePoolStats {
 	return FramePoolStats{
-		Pooled:   p.pooled.Load(),
-		Misses:   p.misses.Load(),
-		Recycled: p.recycled.Load(),
+		Pooled:      p.pooled.Load(),
+		Misses:      p.misses.Load(),
+		Recycled:    p.recycled.Load(),
+		QuotaDenied: p.quotaDenied.Load(),
 	}
 }
 
@@ -185,6 +277,7 @@ func (p *FramePool) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	r.RegisterFunc(prefix+".pooled", p.pooled.Load)
 	r.RegisterFunc(prefix+".misses", p.misses.Load)
 	r.RegisterFunc(prefix+".recycled", p.recycled.Load)
+	r.RegisterFunc(prefix+".quota_denied", p.quotaDenied.Load)
 }
 
 // RegisterBurstTelemetry lifts the process-wide RX burst-size histogram

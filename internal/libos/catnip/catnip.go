@@ -33,6 +33,12 @@ import (
 type Transport struct {
 	model *simclock.CostModel
 	dev   *nic.Device
+	// group, when non-nil, is the tenant queue group this transport is
+	// bound to: a slice of a shared NIC instead of a whole device. port
+	// is whichever of the two the stack actually drives — the data path
+	// is identical either way (netstack.Device is satisfied by both).
+	group *nic.QueueGroup
+	port  netstack.Device
 	// stackp holds the live netstack instance. It is an atomic pointer
 	// because Restart swaps in a fresh stack while pollers may be
 	// loading it; everything protocol-level lives behind it.
@@ -100,13 +106,39 @@ type Config struct {
 	// The lifecycle facade plugs a simclock.DriftClock in here so the
 	// chaos engine can skew this node's notion of time.
 	Clock func() time.Time
+	// PoolFactory, when non-nil, supplies the frame pool each transport
+	// (or shard) allocates from. The multi-tenant facade passes a
+	// factory that tags the pool with the tenant's ID and wires its
+	// quota ledger in as the pool accountant.
+	PoolFactory func() *fabric.FramePool
+}
+
+// newPool makes one transport-private frame pool per the config.
+func (cfg Config) newPool() *fabric.FramePool {
+	if cfg.PoolFactory != nil {
+		return cfg.PoolFactory()
+	}
+	return fabric.NewFramePool()
 }
 
 // New attaches a catnip instance (NIC + user stack + memory manager) to
 // the fabric switch.
 func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Transport {
 	dev := nic.New(model, sw, nic.Config{MAC: cfg.MAC})
-	return newOnDevice(model, dev, cfg, 0, fabric.DefaultFramePool, nil)
+	pool := fabric.DefaultFramePool
+	if cfg.PoolFactory != nil {
+		pool = cfg.PoolFactory()
+	}
+	return newOnDevice(model, dev, cfg, 0, pool, nil)
+}
+
+// NewOnGroup builds a transport bound to a tenant's queue group on a
+// shared NIC: the stack transmits through the group's scheduled TX
+// queue, polls the group's first receive queue, and registers staging
+// memory through the group. Everything above the device binding is
+// identical to a whole-NIC transport.
+func NewOnGroup(model *simclock.CostModel, grp *nic.QueueGroup, cfg Config) *Transport {
+	return newOnPort(model, grp.Device(), grp, cfg, 0, cfg.newPool(), nil)
 }
 
 // newOnDevice builds a transport over an existing device, polling the
@@ -115,14 +147,28 @@ func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Transport {
 // NewSharded (N transports, one per RSS queue, over one device).
 func newOnDevice(model *simclock.CostModel, dev *nic.Device, cfg Config,
 	rxQueue int, pool *fabric.FramePool, neigh *netstack.NeighborTable) *Transport {
-	stack := buildStack(model, dev, cfg, rxQueue, pool, neigh)
+	return newOnPort(model, dev, nil, cfg, rxQueue, pool, neigh)
+}
+
+// newOnPort is the constructor behind every transport shape: group nil
+// means the transport owns (a queue of) the whole device; non-nil means
+// it owns a queue of the tenant's slice.
+func newOnPort(model *simclock.CostModel, dev *nic.Device, group *nic.QueueGroup, cfg Config,
+	rxQueue int, pool *fabric.FramePool, neigh *netstack.NeighborTable) *Transport {
+	var port netstack.Device = dev
+	var sink membuf.RegistrationSink = dev
+	if group != nil {
+		port = group
+		sink = group
+	}
+	stack := buildStack(model, port, cfg, rxQueue, pool, neigh)
 	var opts []membuf.Option
 	if cfg.MemCapacity > 0 {
 		opts = append(opts, membuf.WithCapacity(cfg.MemCapacity))
 	}
 	mem := membuf.NewManager(model, opts...)
-	mem.AttachDevice(dev) // transparent registration (§4.5)
-	t := &Transport{model: model, dev: dev, mem: mem, pool: pool,
+	mem.AttachDevice(sink) // transparent registration (§4.5)
+	t := &Transport{model: model, dev: dev, group: group, port: port, mem: mem, pool: pool,
 		cfg: cfg, rxQueue: rxQueue, neigh: neigh}
 	t.stackp.Store(stack)
 	return t
@@ -130,7 +176,7 @@ func newOnDevice(model *simclock.CostModel, dev *nic.Device, cfg Config,
 
 // buildStack constructs the netstack instance for a transport; Restart
 // uses it to give a crashed transport a fresh stack on the same device.
-func buildStack(model *simclock.CostModel, dev *nic.Device, cfg Config,
+func buildStack(model *simclock.CostModel, dev netstack.Device, cfg Config,
 	rxQueue int, pool *fabric.FramePool, neigh *netstack.NeighborTable) *netstack.Stack {
 	return netstack.New(model, dev, netstack.Config{
 		IP:             cfg.IP,
@@ -163,6 +209,25 @@ func (t *Transport) Features() core.Features {
 // Device exposes the underlying NIC (for hardware filter offload).
 func (t *Transport) Device() *nic.Device { return t.dev }
 
+// Group exposes the tenant queue group the transport is bound to, or
+// nil when it owns the whole device.
+func (t *Transport) Group() *nic.QueueGroup { return t.group }
+
+// Pool exposes the transport's frame pool (for tests and the chaos
+// engine's hostile-tenant leak fault, which hoards frames from it).
+func (t *Transport) Pool() *fabric.FramePool { return t.pool }
+
+// FlushRx reclaims frames parked in the transport's receive rings: the
+// whole device's rings for a dedicated NIC, or only the tenant's own
+// queue range on a shared one (a tenant crash must never discard a
+// neighbour's frames). Returns the number of frames released.
+func (t *Transport) FlushRx() int {
+	if t.group != nil {
+		return t.group.FlushRings()
+	}
+	return t.dev.FlushRings()
+}
+
 // Stack exposes the current user-level network stack (for stats). After
 // a Restart this is the fresh incarnation; see StackStats for counters
 // cumulative across incarnations.
@@ -186,7 +251,13 @@ func (t *Transport) Memory() *membuf.Manager { return t.mem }
 // plus the lifecycle counters under prefix.lifecycle.*. Netstack
 // counters are registered through StackStats so they survive restarts.
 func (t *Transport) RegisterTelemetry(r *telemetry.Registry, prefix string) {
-	t.dev.RegisterTelemetry(r, prefix+".nic")
+	if t.group != nil {
+		// Tenant transport: the NIC-level view is the tenant's own queue
+		// group, not the shared device (whose counters mix every tenant).
+		t.group.RegisterTelemetry(r, prefix+".nic")
+	} else {
+		t.dev.RegisterTelemetry(r, prefix+".nic")
+	}
 	netstack.RegisterStatsTelemetry(r, prefix+".netstack", t.StackStats)
 	t.mem.RegisterTelemetry(r, prefix+".membuf")
 	t.RegisterLifecycleTelemetry(r, prefix+".lifecycle")
@@ -235,7 +306,15 @@ func (t *Transport) Open(string) (queue.IoQueue, error) {
 // sharded deployment pop buffers recycle within one shard.
 func (t *Transport) pooledCloneSGA(s sga.SGA) sga.SGA {
 	fb := t.pool.Get(s.Len())
-	buf := fb.Bytes()
+	var buf []byte
+	if fb != nil {
+		buf = fb.Bytes()
+	} else {
+		// Tenant frame quota exhausted: fall back to an unpooled heap
+		// clone. The pop still succeeds — the over-quota tenant loses
+		// recycling, not correctness — and the GC reclaims the copy.
+		buf = make([]byte, s.Len())
+	}
 	segs := make([]sga.Segment, len(s.Segments))
 	off := 0
 	for i, seg := range s.Segments {
@@ -243,7 +322,11 @@ func (t *Transport) pooledCloneSGA(s sga.SGA) sga.SGA {
 		segs[i] = sga.Segment{Buf: buf[off : off+n : off+n]}
 		off += n
 	}
-	return sga.SGA{Segments: segs}.WithFree(fb.Release)
+	out := sga.SGA{Segments: segs}
+	if fb != nil {
+		return out.WithFree(fb.Release)
+	}
+	return out
 }
 
 // Socket implements core.Transport.

@@ -76,7 +76,7 @@ func (t *Transport) Restart() error {
 	t.prevStats = t.prevStats.Add(old.Stats())
 	t.restarts++
 	t.statsMu.Unlock()
-	fresh := buildStack(t.model, t.dev, t.cfg, t.rxQueue, t.pool, t.neigh)
+	fresh := buildStack(t.model, t.port, t.cfg, t.rxQueue, t.pool, t.neigh)
 	t.stackp.Store(fresh)
 	t.mu.Lock()
 	eps := append([]*endpoint(nil), t.eps...)
@@ -116,7 +116,14 @@ func (s *ShardSet) Crash() int {
 	for _, t := range s.shards {
 		n += t.Crash()
 	}
-	n += s.dev.FlushRings()
+	if s.qg != nil {
+		// Tenant crash on a shared NIC: flush only the tenant's own
+		// queue range (and its pending TX) — neighbours keep their
+		// frames and their link.
+		n += s.qg.FlushRings()
+	} else {
+		n += s.dev.FlushRings()
+	}
 	return n
 }
 

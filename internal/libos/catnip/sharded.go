@@ -23,7 +23,10 @@ import (
 // ShardSet is a set of catnip transports sharing one NIC, one MAC, one
 // IP — and nothing else. Shard i polls RX queue i exclusively.
 type ShardSet struct {
-	dev    *nic.Device
+	dev *nic.Device
+	// qg, when non-nil, is the tenant queue group the set is bound to:
+	// the shards own a slice of a shared NIC instead of a whole device.
+	qg     *nic.QueueGroup
 	shards []*Transport
 	group  *shard.Group
 	neigh  *netstack.NeighborTable
@@ -59,7 +62,36 @@ func NewSharded(model *simclock.CostModel, sw *fabric.Switch, cfg Config, n int)
 		neigh: neigh,
 	}
 	for i := 0; i < n; i++ {
-		s.shards = append(s.shards, newOnDevice(model, dev, cfg, i, fabric.NewFramePool(), neigh))
+		s.shards = append(s.shards, newOnDevice(model, dev, cfg, i, cfg.newPool(), neigh))
+	}
+	return s
+}
+
+// NewShardedOn attaches an n-shard catnip instance to a tenant queue
+// group on a shared NIC: shard i polls the group's i-th queue. n must
+// equal the group's queue count — the share-nothing contract is one
+// shard per owned queue, no more, no fewer.
+//
+// No ARP hardware filter is installed here: on a multi-tenant device
+// the classification table already steers each tenant's ARP traffic to
+// that tenant's first queue, so shard 0 is the ARP speaker exactly as
+// in the whole-device layout.
+func NewShardedOn(model *simclock.CostModel, grp *nic.QueueGroup, cfg Config, n int) *ShardSet {
+	if n <= 0 {
+		panic("catnip: shard count must be positive")
+	}
+	if n != grp.NumRxQueues() {
+		panic(fmt.Sprintf("catnip: %d shards over a %d-queue group", n, grp.NumRxQueues()))
+	}
+	neigh := netstack.NewNeighborTable()
+	s := &ShardSet{
+		dev:   grp.Device(),
+		qg:    grp,
+		group: shard.NewGroup(n, 0),
+		neigh: neigh,
+	}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, newOnPort(model, grp.Device(), grp, cfg, i, cfg.newPool(), neigh))
 	}
 	return s
 }
@@ -73,6 +105,10 @@ func (s *ShardSet) Shard(i int) *Transport { return s.shards[i] }
 
 // Device returns the shared multi-queue NIC.
 func (s *ShardSet) Device() *nic.Device { return s.dev }
+
+// Group returns the tenant queue group the set is bound to, or nil when
+// the set owns the whole device.
+func (s *ShardSet) Group() *nic.QueueGroup { return s.qg }
 
 // Mesh returns the cross-shard SPSC message mesh. Shard worker i is the
 // sole sender on rows (i→*) and sole receiver on columns (*→i).
@@ -116,7 +152,11 @@ func SourcePortFor(localIP, remoteIP netstack.IPv4Addr, remotePort uint16, peerS
 // prefix.nic.*, prefix.shard.<i>.netstack.*, prefix.shard.<i>.membuf.*,
 // prefix.shard.<i>.xs_*.
 func (s *ShardSet) RegisterTelemetry(r *telemetry.Registry, prefix string) {
-	s.dev.RegisterTelemetry(r, prefix+".nic")
+	if s.qg != nil {
+		s.qg.RegisterTelemetry(r, prefix+".nic")
+	} else {
+		s.dev.RegisterTelemetry(r, prefix+".nic")
+	}
 	for i, t := range s.shards {
 		p := fmt.Sprintf("%s.shard.%d", prefix, i)
 		netstack.RegisterStatsTelemetry(r, p+".netstack", t.StackStats)

@@ -7,10 +7,21 @@ import (
 	"time"
 
 	"demikernel/internal/fabric"
-	"demikernel/internal/nic"
 	"demikernel/internal/simclock"
 	"demikernel/internal/telemetry"
 )
+
+// Device is the poll-mode NIC surface the stack drives: transmit a
+// frame, poll a receive queue, know its own MAC. *nic.Device satisfies
+// it, and so does *nic.QueueGroup — a multi-tenant stack binds to its
+// tenant's slice of a shared NIC exactly as a single-tenant stack binds
+// to a whole device, with no branch anywhere on the data path.
+type Device interface {
+	MAC() fabric.MAC
+	Tx(data []byte, cost simclock.Lat)
+	TxFrame(f fabric.Frame)
+	AppendRxBurst(dst []fabric.Frame, queue, max int) []fabric.Frame
+}
 
 // Config describes one stack instance.
 type Config struct {
@@ -76,6 +87,14 @@ type Stats struct {
 	// GiveUps counts connections terminated by the retransmission cap
 	// or the connect timeout (dead-peer detections).
 	GiveUps int64
+	// TxQuotaDrops counts outgoing packets dropped because the frame
+	// pool refused the allocation (tenant frame quota exhausted). TCP
+	// recovers by retransmission; UDP senders simply lose the datagram —
+	// quota exhaustion behaves like any other packet loss.
+	TxQuotaDrops int64
+	// RxQuotaDrops counts received UDP datagrams dropped because pooled
+	// copy-out storage was refused by the quota.
+	RxQuotaDrops int64
 }
 
 // Add returns the field-wise sum of two stats snapshots. The lifecycle
@@ -100,6 +119,8 @@ func (a Stats) Add(b Stats) Stats {
 		RSTsSent:        a.RSTsSent + b.RSTsSent,
 		RSTsRcvd:        a.RSTsRcvd + b.RSTsRcvd,
 		GiveUps:         a.GiveUps + b.GiveUps,
+		TxQuotaDrops:    a.TxQuotaDrops + b.TxQuotaDrops,
+		RxQuotaDrops:    a.RxQuotaDrops + b.RxQuotaDrops,
 	}
 }
 
@@ -136,7 +157,7 @@ type pendingPkt struct {
 // Poll, which the owning libOS pumps from its wait loop.
 type Stack struct {
 	model *simclock.CostModel
-	dev   *nic.Device
+	dev   Device
 	cfg   Config
 
 	pool *fabric.FramePool // cfg.Pool or fabric.DefaultFramePool
@@ -163,7 +184,7 @@ type Stack struct {
 }
 
 // New creates a stack for dev with the given configuration.
-func New(model *simclock.CostModel, dev *nic.Device, cfg Config) *Stack {
+func New(model *simclock.CostModel, dev Device, cfg Config) *Stack {
 	if cfg.MSS <= 0 {
 		cfg.MSS = 1400
 	}
@@ -304,6 +325,8 @@ func RegisterStatsTelemetry(r *telemetry.Registry, prefix string, src func() Sta
 	r.RegisterFunc(prefix+".rsts_sent", stat(func(st Stats) int64 { return st.RSTsSent }))
 	r.RegisterFunc(prefix+".rsts_rcvd", stat(func(st Stats) int64 { return st.RSTsRcvd }))
 	r.RegisterFunc(prefix+".give_ups", stat(func(st Stats) int64 { return st.GiveUps }))
+	r.RegisterFunc(prefix+".tx_quota_drops", stat(func(st Stats) int64 { return st.TxQuotaDrops }))
+	r.RegisterFunc(prefix+".rx_quota_drops", stat(func(st Stats) int64 { return st.RxQuotaDrops }))
 }
 
 // Poll pumps the data path once: it drains received frames from the NIC,
@@ -436,6 +459,14 @@ func (s *Stack) sendIPv4Locked(dstIP IPv4Addr, proto uint8, l4 []byte, cost simc
 		// frame buffer. Ownership of the buffer rides the Frame through
 		// NIC, fabric, and the receiving stack.
 		fb := s.pool.Get(ethHdrLen + ipv4HdrLen + len(l4))
+		if fb == nil {
+			// Frame quota exhausted: the packet is dropped here, exactly
+			// where a real NIC driver fails a descriptor allocation. TCP's
+			// retransmission machinery turns this into backpressure on the
+			// over-quota tenant; nothing blocks, nothing panics.
+			s.stats.TxQuotaDrops++
+			return
+		}
 		frame := appendEth(fb.Bytes()[:0], mac, s.dev.MAC(), etherTypeIPv4)
 		frame = h.marshal(frame)
 		frame = append(frame, l4...)
@@ -561,6 +592,12 @@ func (s *Stack) handleUDPLocked(h ipv4Header, body []byte, cost simclock.Lat) {
 	// as soon as Poll finishes the burst, the datagram lives until its
 	// consumer calls Free.
 	fb := s.pool.Get(len(u.payload))
+	if fb == nil {
+		// Quota exhausted: the datagram is lost, as UDP permits. The
+		// tenant hoarding its own pool starves itself, not the wire.
+		s.stats.RxQuotaDrops++
+		return
+	}
 	copy(fb.Bytes(), u.payload)
 	sock.rx = append(sock.rx, Datagram{
 		SrcIP: h.src, SrcPort: u.srcPort,

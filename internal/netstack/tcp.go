@@ -510,9 +510,14 @@ func (c *TCPConn) processDataLocked(seg tcpSegment, cost simclock.Lat) {
 		c.stack.stats.OutOfOrderSegs++
 		if len(payload) > 0 {
 			if _, dup := c.ooo[seq]; !dup {
-				fb := c.stack.pool.Get(len(payload))
-				copy(fb.Bytes(), payload)
-				c.ooo[seq] = fb
+				if fb := c.stack.pool.Get(len(payload)); fb != nil {
+					copy(fb.Bytes(), payload)
+					c.ooo[seq] = fb
+				} else {
+					// Quota exhausted: drop the stash; retransmission
+					// refills the gap once the tenant frees frames.
+					c.stack.stats.RxQuotaDrops++
+				}
 			}
 		}
 		// FIN out of order is recovered by retransmission.

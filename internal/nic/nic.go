@@ -41,6 +41,7 @@ type Stats struct {
 	RxDropped   int64 // descriptor ring full
 	FilterDrops int64 // frames dropped by a hardware filter
 	FilterEvals int64 // hardware filter evaluations
+	SteerDrops  int64 // frames owned by no tenant queue group (multi-tenant NICs)
 	DMABytes    int64
 	Regions     int64 // memory regions registered via membuf
 	RxFlushed   int64 // ring frames discarded by FlushRings (node crash)
@@ -91,16 +92,32 @@ type Device struct {
 	// everyone, the rest skip straight to popping their own ring.
 	drainMu sync.Mutex
 
-	filterMu sync.RWMutex
-	filters  []HWFilter
+	// mu guards classification-plane *mutations* only: the master
+	// filter list, the queue-group set, and group steering rules. The
+	// RX data path never takes it — every mutation compiles a fresh
+	// immutable classTable and publishes it through the class pointer
+	// (copy-on-write), so steady-state classification is a single
+	// atomic load. This replaces the former filterMu.RLock-per-frame:
+	// an RLock is a shared-cacheline RMW on every received frame, which
+	// is exactly the cross-core traffic a multi-queue NIC exists to
+	// avoid.
+	mu        sync.Mutex
+	filters   []HWFilter // master copy; snapshot lives in class
+	groups    []*QueueGroup
+	nextQueue int // next unclaimed rx queue index (groups claim ranges)
+
+	class atomic.Pointer[classTable]
 
 	rx []*rxQueue
+
+	sched *txScheduler
 
 	txFrames    atomic.Int64
 	rxFrames    atomic.Int64
 	rxDropped   atomic.Int64
 	filterDrops atomic.Int64
 	filterEvals atomic.Int64
+	steerDrops  atomic.Int64
 	dmaBytes    atomic.Int64
 	regions     atomic.Int64
 	rxFlushed   atomic.Int64
@@ -132,6 +149,8 @@ func New(model *simclock.CostModel, sw *fabric.Switch, cfg Config) *Device {
 	for i := range d.rx {
 		d.rx[i] = &rxQueue{ring: newRing(cfg.RingDepth)}
 	}
+	d.sched = newTxScheduler()
+	d.class.Store(&classTable{})
 	return d
 }
 
@@ -219,8 +238,12 @@ func (d *Device) AppendRxBurst(dst []fabric.Frame, queue, max int) []fabric.Fram
 }
 
 // drainWireLocked moves frames from the fabric port into receive rings.
-// Caller holds drainMu.
+// Caller holds drainMu. The classification table is loaded once per
+// drain — zero locks however many frames arrive; a table mutation
+// racing the drain applies from the next drain on, exactly as a real
+// NIC applies filter-table writes asynchronously to its RX pipeline.
 func (d *Device) drainWireLocked() {
+	t := d.class.Load()
 	for {
 		f, ok := d.port.Poll()
 		if !ok {
@@ -230,59 +253,96 @@ func (d *Device) drainWireLocked() {
 		f.Cost += d.model.NICProcessNS + d.model.DMACost(len(f.Data))
 		d.dmaBytes.Add(int64(len(f.Data)))
 
-		qi, drop := d.classify(&f)
-		if drop {
+		qi, verdict := d.classify(t, &f)
+		switch verdict {
+		case classDropFilter:
 			d.filterDrops.Add(1)
 			f.Release()
 			continue
+		case classDropUnowned:
+			d.steerDrops.Add(1)
+			telemetry.TraceInstant("nic", "steer-drop", int32(d.port.ID()), int64(len(f.Data)))
+			f.Release()
+			continue
 		}
+		g := t.queueOwner(qi)
 		q := d.rx[qi]
 		q.mu.Lock()
 		pushed := q.ring.push(f)
 		q.mu.Unlock()
 		if pushed {
 			d.rxFrames.Add(1)
+			if g != nil {
+				g.rxFrames.Add(1)
+			}
 		} else {
 			d.rxDropped.Add(1)
+			if g != nil {
+				g.rxDropped.Add(1)
+			}
 			telemetry.TraceInstant("nic", "rx-ring-drop", int32(qi), int64(len(f.Data)))
 			f.Release()
 		}
 	}
 }
 
-// classify runs the hardware filter table, then RSS.
-func (d *Device) classify(f *fabric.Frame) (queue int, drop bool) {
-	d.filterMu.RLock()
-	for _, flt := range d.filters {
+// classification verdicts.
+type classVerdict int8
+
+const (
+	classOK          classVerdict = iota
+	classDropFilter               // dropped by a hardware filter
+	classDropUnowned              // no tenant queue group owns the frame
+)
+
+// classify steers one frame using the immutable snapshot t: device-wide
+// hardware filters first (first match wins), then — on a multi-tenant
+// device — queue-group ownership (dst MAC, or ARP target IP for
+// broadcasts) and the owning group's steering rules, and finally RSS.
+// On a device with queue groups a frame owned by nobody is dropped:
+// isolation means no tenant's ring is a dumping ground for stray
+// traffic.
+func (d *Device) classify(t *classTable, f *fabric.Frame) (queue int, verdict classVerdict) {
+	for i := range t.filters {
+		flt := &t.filters[i]
 		d.filterEvals.Add(1)
 		f.Cost += d.model.OffloadedFilterCost()
 		if flt.Match(f.Data) {
-			action, q := flt.Action, flt.Queue
-			d.filterMu.RUnlock()
-			if action == ActionDrop {
-				return 0, true
+			if flt.Action == ActionDrop {
+				return 0, classDropFilter
 			}
-			return q % len(d.rx), false
+			return flt.Queue % len(d.rx), classOK
 		}
 	}
-	d.filterMu.RUnlock()
-	return d.rss(f.Data), false
+	if t.hasGroups {
+		g := t.ownerOf(f.Data)
+		if g == nil {
+			return 0, classDropUnowned
+		}
+		return g.steer(d, f), classOK
+	}
+	return d.rss(f.Data), classOK
 }
 
 // AddFilter installs a hardware filter and returns its table index.
-// Filters run in installation order; the first match wins.
+// Filters run in installation order; the first match wins. The update
+// is copy-on-write: a fresh classification snapshot is compiled and
+// published atomically, so concurrent RX bursts never block on it.
 func (d *Device) AddFilter(f HWFilter) int {
-	d.filterMu.Lock()
-	defer d.filterMu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.filters = append(d.filters, f)
+	d.publishLocked()
 	return len(d.filters) - 1
 }
 
-// ClearFilters removes all hardware filters.
+// ClearFilters removes all device-wide hardware filters (group steering
+// rules are per-group state and unaffected).
 func (d *Device) ClearFilters() {
-	d.filterMu.Lock()
-	defer d.filterMu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.filters = nil
+	d.publishLocked()
 }
 
 // FNV-1a constants for the inline flow hash below.
@@ -341,6 +401,13 @@ func RSSQueueFlow(srcIP, dstIP [4]byte, srcPort, dstPort uint16, queues int) int
 // int(h.Sum32()) % n, the previous form, yields a negative index on
 // 32-bit ints for half the hash space.
 func (d *Device) rss(data []byte) int {
+	return int(rssHash(data) % uint32(len(d.rx)))
+}
+
+// rssHash is the raw flow hash rss() reduces: queue groups reduce the
+// same hash modulo their own queue count, so a group of n queues sees
+// the same flow→queue spreading a dedicated n-queue device would.
+func rssHash(data []byte) uint32 {
 	h := uint32(fnvOffset32)
 	const ethHdr = 14
 	if len(data) >= ethHdr+24 && data[12] == 0x08 && data[13] == 0x00 {
@@ -354,7 +421,7 @@ func (d *Device) rss(data []byte) int {
 			h *= fnvPrime32
 		}
 	}
-	return int(h % uint32(len(d.rx)))
+	return h
 }
 
 // Stats returns a snapshot of the device counters.
@@ -365,6 +432,7 @@ func (d *Device) Stats() Stats {
 		RxDropped:   d.rxDropped.Load(),
 		FilterDrops: d.filterDrops.Load(),
 		FilterEvals: d.filterEvals.Load(),
+		SteerDrops:  d.steerDrops.Load(),
 		DMABytes:    d.dmaBytes.Load(),
 		Regions:     d.regions.Load(),
 		RxFlushed:   d.rxFlushed.Load(),
@@ -388,23 +456,38 @@ func (d *Device) FlushRings() int {
 	d.drainMu.Lock()
 	d.drainWireLocked()
 	d.drainMu.Unlock()
+	t := d.class.Load()
 	n := 0
-	for _, q := range d.rx {
-		q.mu.Lock()
-		for {
-			f, ok := q.ring.pop()
-			if !ok {
-				break
+	for qi := range d.rx {
+		if flushed := d.flushQueue(qi); flushed > 0 {
+			if g := t.queueOwner(qi); g != nil {
+				g.rxFlushed.Add(int64(flushed))
 			}
-			f.Release()
-			n++
+			n += flushed
 		}
-		q.mu.Unlock()
 	}
 	if n > 0 {
 		d.rxFlushed.Add(int64(n))
 		telemetry.TraceInstant("nic", "rx-flush", int32(d.port.ID()), int64(n))
 	}
+	return n
+}
+
+// flushQueue empties one receive ring, releasing pooled frames, and
+// returns the count discarded. Callers account rxFlushed.
+func (d *Device) flushQueue(qi int) int {
+	q := d.rx[qi]
+	n := 0
+	q.mu.Lock()
+	for {
+		f, ok := q.ring.pop()
+		if !ok {
+			break
+		}
+		f.Release()
+		n++
+	}
+	q.mu.Unlock()
 	return n
 }
 
@@ -445,6 +528,7 @@ func (d *Device) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	r.RegisterFunc(prefix+".rx_dropped", stat(func(s Stats) int64 { return s.RxDropped }))
 	r.RegisterFunc(prefix+".filter_drops", stat(func(s Stats) int64 { return s.FilterDrops }))
 	r.RegisterFunc(prefix+".filter_evals", stat(func(s Stats) int64 { return s.FilterEvals }))
+	r.RegisterFunc(prefix+".steer_drops", stat(func(s Stats) int64 { return s.SteerDrops }))
 	r.RegisterFunc(prefix+".dma_bytes", stat(func(s Stats) int64 { return s.DMABytes }))
 	r.RegisterFunc(prefix+".regions", stat(func(s Stats) int64 { return s.Regions }))
 	r.RegisterFunc(prefix+".rx_flushed", stat(func(s Stats) int64 { return s.RxFlushed }))

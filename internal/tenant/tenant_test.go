@@ -1,0 +1,109 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestLedgerCharges(t *testing.T) {
+	l := NewLedger(10_000, 4)
+	for i := 0; i < 4; i++ {
+		if !l.ChargeFrame(2048) {
+			t.Fatalf("charge %d refused under quota", i)
+		}
+	}
+	if l.ChargeFrame(128) {
+		t.Fatal("frame-count cap not enforced")
+	}
+	if l.Denials() != 1 {
+		t.Fatalf("denials = %d, want 1", l.Denials())
+	}
+	l.CreditFrame(2048)
+	if !l.ChargeFrame(1024) {
+		t.Fatal("charge refused after credit freed a slot")
+	}
+	f, b := l.Outstanding()
+	if f != 4 || b != 3*2048+1024 {
+		t.Fatalf("outstanding = %d frames / %d bytes", f, b)
+	}
+}
+
+func TestLedgerByteCap(t *testing.T) {
+	l := NewLedger(4096, 0)
+	if !l.ChargeFrame(4096) {
+		t.Fatal("exact-cap charge refused")
+	}
+	if l.ChargeFrame(1) {
+		t.Fatal("byte cap not enforced")
+	}
+	// The refused charge must not leave a phantom frame behind.
+	if f, _ := l.Outstanding(); f != 1 {
+		t.Fatalf("outstanding frames = %d after refused charge, want 1", f)
+	}
+}
+
+func TestLedgerReclaimClampsLateCredits(t *testing.T) {
+	l := NewLedger(0, 0)
+	for i := 0; i < 5; i++ {
+		l.ChargeFrame(512)
+	}
+	frames, bytes := l.Reclaim()
+	if frames != 5 || bytes != 5*512 {
+		t.Fatalf("reclaimed %d/%d, want 5/2560", frames, bytes)
+	}
+	if f, b := l.Outstanding(); f != 0 || b != 0 {
+		t.Fatalf("outstanding %d/%d after reclaim, want 0/0", f, b)
+	}
+	// A straggler release arriving after the crash reclaim must clamp,
+	// not go negative (a negative balance would mask a later leak).
+	l.CreditFrame(512)
+	if f, b := l.Outstanding(); f != 0 || b != 0 {
+		t.Fatalf("late credit drove ledger negative: %d/%d", f, b)
+	}
+	if c, rf, _ := l.Reclaims(); c != 1 || rf != 5 {
+		t.Fatalf("reclaim counters = %d/%d, want 1/5", c, rf)
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger(0, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if l.ChargeFrame(128) {
+					l.CreditFrame(128)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f, b := l.Outstanding(); f != 0 || b != 0 {
+		t.Fatalf("outstanding %d/%d after balanced concurrent traffic", f, b)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	a, err := r.Register("a", Policy{FrameQuotaBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("a", Policy{}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate register: err = %v, want ErrDuplicate", err)
+	}
+	if _, err := r.Register("b", Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Get("a")
+	if !ok || got != a {
+		t.Fatal("Get(a) did not return the registered tenant")
+	}
+	list := r.List()
+	if len(list) != 2 || list[0].ID != "a" || list[1].ID != "b" {
+		t.Fatalf("List() = %v, want registration order a,b", list)
+	}
+}
