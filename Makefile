@@ -32,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/ ./internal/shard/ ./internal/apps/kv/ ./internal/apps/failover/ ./internal/simclock/ ./internal/libos/catnip/ ./internal/tenant/ ./internal/nic/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/ ./internal/shard/ ./internal/apps/kv/ ./internal/apps/failover/ ./internal/simclock/ ./internal/libos/catnip/ ./internal/tenant/ ./internal/nic/ ./internal/uring/
 	$(GO) test -race -count=1 -run 'TestChaosShardedKV' .
 
 ## statsmoke: run an impaired echo workload and check that the telemetry
@@ -50,10 +50,13 @@ shardsmoke:
 
 ## lifecyclesoak: the crash/restart gauntlet, repeated under the race
 ## detector — node death mid-connection, client failover across the
-## outage, and the sharded-KV chaos schedule (loss → asymmetric
-## partition → crash → restart → heal). Part of tier1.
+## outage, the sharded-KV chaos schedule (loss → asymmetric
+## partition → crash → restart → heal), and the SQ/CQ ring flush
+## (every ring op pending at crash time resolves to one typed
+## ErrLocalReset CQE; frames conserved across the incarnation
+## boundary). Part of tier1.
 lifecyclesoak:
-	$(GO) test -race -count=2 -run 'TestCrashRestartMidConnection|TestKVFailoverAcrossCrash|TestChaosShardedKVCrashRestart' .
+	$(GO) test -race -count=2 -run 'TestCrashRestartMidConnection|TestKVFailoverAcrossCrash|TestChaosShardedKVCrashRestart|TestRingCrashRestart|TestShardedRingSmoke' .
 
 ## tenantsoak: the multi-tenant isolation gauntlet, under the race
 ## detector — three tenants on one shared NIC, one hostile (flood →
@@ -79,11 +82,12 @@ chaos:
 ## against the committed baselines to spot regressions.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchmem -json . | tee BENCH_hotpath.json
+	$(GO) test -run xxx -bench 'BenchmarkURing' -benchmem -json . | tee BENCH_uring.json
 	$(GO) run ./cmd/demi-bench -shards 8 -shardsout BENCH_multishard.json
 
 ## benchsmoke: one iteration of every hot-path benchmark; part of tier1.
 benchsmoke:
-	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchtime=1x .
+	$(GO) test -run xxx -bench 'BenchmarkHotPath|BenchmarkURing' -benchtime=1x .
 
 ## benchall: every benchmark in the repo (E1..E13 experiments + hot path).
 benchall:

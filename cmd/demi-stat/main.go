@@ -60,23 +60,35 @@ import (
 	"demikernel/internal/telemetry"
 )
 
-// echoPair is a connected echo client over a served listener.
+// echoPair is a connected echo client over a served listener. With
+// ringBatch > 0 round trips travel the syscall-free SQ/CQ rings,
+// ringBatch at a time, instead of the per-op token path.
 type echoPair struct {
-	client *echo.Client
+	client    *echo.Client
+	server    *echo.Server
+	ringBatch int
 }
 
 func (p *echoPair) rtt(payload []byte, appCost simclock.Lat) (simclock.Lat, error) {
+	if p.ringBatch > 0 {
+		return p.client.RTTBatch(payload, appCost, p.ringBatch)
+	}
 	return p.client.RTT(payload, appCost)
 }
 
 // startEcho brings up the echo server on srvNode:7, backgrounds both
-// nodes' pollers, and connects a client from cliNode. The returned stop
-// functions shut everything down in order.
-func startEcho(c *demi.Cluster, srvNode, cliNode *demi.Node) (*echoPair, []func(), error) {
+// nodes' pollers, and connects a client from cliNode. With ringBatch >
+// 0 both sides attach SQ/CQ ring pairs and the data path goes
+// syscall-free. The returned stop functions shut everything down in
+// order.
+func startEcho(c *demi.Cluster, srvNode, cliNode *demi.Node, ringBatch int) (*echoPair, []func(), error) {
 	srv := echo.NewServer(srvNode.LibOS)
 	srv.AppCost = c.Model.AppRequestNS
 	if err := srv.Listen(7); err != nil {
 		return nil, nil, err
+	}
+	if ringBatch > 0 {
+		srv.EnableRing(ringCap)
 	}
 	stopS := srvNode.Background()
 	stopC := cliNode.Background()
@@ -90,9 +102,15 @@ func startEcho(c *demi.Cluster, srvNode, cliNode *demi.Node) (*echoPair, []func(
 		close(stopServe)
 		return nil, nil, err
 	}
+	if ringBatch > 0 {
+		cli.EnableRing(ringCap)
+	}
 	stops := []func(){func() { close(stopServe) }, stopC, stopS}
-	return &echoPair{client: cli}, stops, nil
+	return &echoPair{client: cli, server: srv, ringBatch: ringBatch}, stops, nil
 }
+
+// ringCap is the SQ/CQ capacity demi-stat attaches in -ring mode.
+const ringCap = 64
 
 func main() {
 	n := flag.Int("n", 2000, "number of echo round trips")
@@ -103,7 +121,13 @@ func main() {
 	selftest := flag.Bool("selftest", false, "run the counter-consistency audit and exit")
 	shards := flag.Int("shards", 0, "run the sharded-KV dashboard over this many catnip shards")
 	tenants := flag.Bool("tenants", false, "run the multi-tenant NIC dashboard (victims + a hostile tenant)")
+	ringBatch := flag.Int("ring", 0, "run the echo workload over SQ/CQ rings, this many round trips per batch")
 	flag.Parse()
+
+	if *ringBatch > 0 && *chaos {
+		fmt.Fprintln(os.Stderr, "demi-stat: -ring and -chaos are mutually exclusive (ring batches carry no failover)")
+		os.Exit(2)
+	}
 
 	if *selftest {
 		if err := runSelftest(*seed); err != nil {
@@ -127,7 +151,7 @@ func main() {
 		}
 		return
 	}
-	if err := runDashboard(*n, *payload, *seed, *chaos, *tracePath); err != nil {
+	if err := runDashboard(*n, *payload, *seed, *chaos, *tracePath, *ringBatch); err != nil {
 		fmt.Fprintf(os.Stderr, "demi-stat: %v\n", err)
 		os.Exit(1)
 	}
@@ -148,7 +172,7 @@ func (r *rig) close() {
 	}
 }
 
-func newRig(seed int64, imp fabric.Impairments) (*rig, *echoPair, error) {
+func newRig(seed int64, imp fabric.Impairments, ringBatch int) (*rig, *echoPair, error) {
 	c := demi.NewCluster(seed)
 	srvNode := c.MustSpawn(demi.Catnip, demi.WithConfig(demi.NodeConfig{Host: 1, RTO: 2 * time.Millisecond}))
 	cliNode := c.MustSpawn(demi.Catnip, demi.WithConfig(demi.NodeConfig{Host: 2, RTO: 2 * time.Millisecond}))
@@ -169,7 +193,7 @@ func newRig(seed int64, imp fabric.Impairments) (*rig, *echoPair, error) {
 	srvNode.Spans().Enable()
 	cliNode.Spans().Enable()
 
-	pair, stops, err := startEcho(c, srvNode, cliNode)
+	pair, stops, err := startEcho(c, srvNode, cliNode, ringBatch)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -180,7 +204,7 @@ func newRig(seed int64, imp fabric.Impairments) (*rig, *echoPair, error) {
 	return r, pair, nil
 }
 
-func runDashboard(n, payload int, seed int64, underChaos bool, tracePath string) error {
+func runDashboard(n, payload int, seed int64, underChaos bool, tracePath string, ringBatch int) error {
 	var imp fabric.Impairments
 	if underChaos {
 		imp = fabric.Impairments{LossRate: 0.02, DupRate: 0.01, CorruptRate: 0.01, ReorderRate: 0.02}
@@ -191,7 +215,7 @@ func runDashboard(n, payload int, seed int64, underChaos bool, tracePath string)
 		defer telemetry.Trace.Disable()
 	}
 
-	r, pair, err := newRig(seed, imp)
+	r, pair, err := newRig(seed, imp, ringBatch)
 	if err != nil {
 		return err
 	}
@@ -220,7 +244,11 @@ func runDashboard(n, payload int, seed int64, underChaos bool, tracePath string)
 	before := r.reg.Snapshot()
 	buf := make([]byte, payload)
 	var rtt metrics.Histogram
-	for i := 0; i < n; i++ {
+	step := 1
+	if ringBatch > 0 {
+		step = ringBatch
+	}
+	for i := 0; i < n; i += step {
 		cost, err := pair.rtt(buf, r.cluster.Model.AppRequestNS)
 		if err != nil {
 			return fmt.Errorf("rtt %d: %w", i, err)
@@ -233,8 +261,16 @@ func runDashboard(n, payload int, seed int64, underChaos bool, tracePath string)
 	after := r.reg.Snapshot()
 
 	s := rtt.Summarize()
-	fmt.Printf("echo run: %d RTTs x %dB over catnip (seed %d, chaos=%v)\n", n, payload, seed, underChaos)
+	if ringBatch > 0 {
+		fmt.Printf("echo run: %d RTTs x %dB over catnip rings (seed %d, batch %d)\n", n, payload, seed, ringBatch)
+	} else {
+		fmt.Printf("echo run: %d RTTs x %dB over catnip (seed %d, chaos=%v)\n", n, payload, seed, underChaos)
+	}
 	fmt.Printf("virtual RTT: p50=%v p99=%v mean=%v max=%v\n\n", s.P50, s.P99, s.Mean, s.Max)
+
+	if ringBatch > 0 {
+		printRings(map[string]*demi.LibOS{"client": r.client.LibOS, "server": r.server.LibOS})
+	}
 
 	fmt.Println("== per-layer counters (delta over the run) ==")
 	fmt.Print(after.Diff(before).NonZero().String())
@@ -262,6 +298,27 @@ func runDashboard(n, payload int, seed int64, underChaos bool, tracePath string)
 	return nil
 }
 
+// printRings renders per-pair SQ/CQ ring state for each libOS: counters
+// plus live occupancy — the operator's view of whether an app is
+// keeping up with its completion queue or a poller is falling behind
+// its submission queue.
+func printRings(libs map[string]*demi.LibOS) {
+	tbl := metrics.NewTable("SQ/CQ ring pairs",
+		"side", "pair", "cap", "sq occ", "cq occ", "sq posted", "sq drained", "cq posted", "cq harvested", "outstanding")
+	for _, side := range []string{"client", "server"} {
+		l, ok := libs[side]
+		if !ok {
+			continue
+		}
+		for i, p := range l.Rings() {
+			cnt := p.CountersSnapshot()
+			tbl.AddRow(side, i, p.Cap(), p.SQLen(), p.CQLen(),
+				cnt.SQPosted, cnt.SQDrained, cnt.CQPosted, cnt.CQHarvested, cnt.Outstanding)
+		}
+	}
+	fmt.Println(tbl.String())
+}
+
 // printLifecycle renders the chaos engine's fired-event timeline plus
 // every lifecycle.* counter from the final snapshot — the operator's
 // view of who died, when, and how cleanly it came back.
@@ -283,7 +340,7 @@ func printLifecycle(eng *chaos.Engine, snap telemetry.Snapshot) {
 // conservation laws across fabric, NIC, and stack incarnations.
 func runSelftest(seed int64) error {
 	imp := fabric.Impairments{LossRate: 0.05, DupRate: 0.03, CorruptRate: 0.03, ReorderRate: 0.05}
-	r, pair, err := newRig(seed, imp)
+	r, pair, err := newRig(seed, imp, 0)
 	if err != nil {
 		return err
 	}
@@ -460,7 +517,7 @@ func runSharded(seed int64, shards, ops int) error {
 	fmt.Printf("sharded KV run: %d SET+GET pairs over %d catnip shards (seed %d)\n\n", ops, shards, seed)
 
 	tbl := metrics.NewTable("Per-shard datapath (cumulative)",
-		"shard", "conns", "gets", "sets", "fwd out", "fwd in", "keys", "busy (virt ms)", "frames in", "xs sent")
+		"shard", "conns", "gets", "sets", "fwd out", "fwd in", "keys", "busy (virt ms)", "frames in", "xs sent", "ring occ")
 	var maxBusy int64
 	for i := 0; i < shards; i++ {
 		s := server.StatsOf(i)
@@ -469,8 +526,14 @@ func runSharded(seed int64, shards, ops int) error {
 		if s.BusyVirtNS > maxBusy {
 			maxBusy = s.BusyVirtNS
 		}
+		// Live SQ+CQ occupancy across the shard's attached ring pairs: a
+		// nonzero residue after quiesce means an app stopped harvesting.
+		ringOcc := 0
+		for _, p := range srvNode.Libs[i].Rings() {
+			ringOcc += p.SQLen() + p.CQLen()
+		}
 		tbl.AddRow(i, s.Connections, s.Gets, s.Sets, s.ForwardedOut, s.ForwardedIn, s.Keys,
-			fmt.Sprintf("%.3f", float64(s.BusyVirtNS)/1e6), st.FramesIn, xs.Sent)
+			fmt.Sprintf("%.3f", float64(s.BusyVirtNS)/1e6), st.FramesIn, xs.Sent, ringOcc)
 	}
 	fmt.Println(tbl.String())
 	if maxBusy > 0 {

@@ -51,11 +51,11 @@ func runTenants(seed int64, ops int) error {
 		{mal.Tenant, mal.Catnip.Group()},
 	}
 
-	pairA, stopsA, err := startEcho(c, vicA, cliA)
+	pairA, stopsA, err := startEcho(c, vicA, cliA, 0)
 	if err != nil {
 		return err
 	}
-	pairB, stopsB, err := startEcho(c, vicB, cliB)
+	pairB, stopsB, err := startEcho(c, vicB, cliB, 0)
 	if err != nil {
 		return err
 	}

@@ -760,9 +760,20 @@ func (n *Node) Crash() (int, error) {
 	var aborted int
 	if n.Sharded != nil {
 		aborted = n.Sharded.Set.Crash()
+		// Flush submission rings after the transports die: in-flight ring
+		// ops have already posted their typed-error CQEs, so the flush
+		// only converts posted-but-undrained SQEs (and rewrites anything
+		// unharvested at harvest time) — each pending op resolves to
+		// exactly one ErrLocalReset CQE.
+		for _, l := range n.Sharded.Libs {
+			fs, fc := l.FlushRings(core.ErrLocalReset)
+			aborted += fs + fc
+		}
 	} else {
 		aborted = n.Catnip.Crash()
 		aborted += n.Catnip.FlushRx()
+		fs, fc := n.LibOS.FlushRings(core.ErrLocalReset)
+		aborted += fs + fc
 	}
 	if n.Tenant != nil {
 		// Device-side reclamation of the dead tenant's quota: whatever

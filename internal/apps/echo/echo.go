@@ -16,6 +16,7 @@ import (
 	"demikernel/internal/queue"
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
+	"demikernel/internal/uring"
 )
 
 // Server echoes every popped element back on its connection.
@@ -28,6 +29,12 @@ type Server struct {
 	lqd    core.QD
 	conns  map[core.QD]queue.QToken
 	echoed int64
+
+	// Ring-path state (nil until EnableRing; see ring.go).
+	ring     *uring.Pair
+	sqes     []uring.SQE
+	cqes     []uring.CQE
+	inflight map[core.QD][]sga.SGA
 }
 
 // NewServer creates an echo server on lib.
@@ -59,7 +66,12 @@ func (s *Server) Echoed() int64 {
 }
 
 // Step runs one non-blocking iteration and returns requests served.
+// After EnableRing it travels the syscall-free ring path instead of the
+// per-op token path.
 func (s *Server) Step() int {
+	if s.ring != nil {
+		return s.stepRing()
+	}
 	for {
 		conn, ok, err := s.lib.TryAccept(s.lqd)
 		if err != nil || !ok {
@@ -145,6 +157,13 @@ type Client struct {
 
 	reconnects atomic.Int64
 	replays    atomic.Int64
+
+	// Ring-path state (nil until EnableRing; see ring.go).
+	ring    *uring.Pair
+	rsqes   []uring.SQE
+	rcqes   []uring.CQE
+	ringReq sga.SGA
+	ringGen uint64
 }
 
 // NewClient creates an echo client on lib.

@@ -32,6 +32,7 @@ import (
 	"demikernel/internal/queue"
 	"demikernel/internal/sga"
 	"demikernel/internal/simclock"
+	"demikernel/internal/uring"
 )
 
 // Ops and statuses.
@@ -60,6 +61,13 @@ type Stats struct {
 type storedVal struct {
 	val []byte
 	s   sga.SGA // retained popped SGA backing val; freed on overwrite
+
+	// Ring-path bookkeeping (see ring.go): a GET response pushed through
+	// the ring references val zero-copy while the push is in flight, so
+	// an overwrite/delete must defer the free until the last reference
+	// drains. Guarded by Server.mu.
+	refs int32
+	dead bool
 }
 
 // Server is a KV server over one Demikernel libOS.
@@ -68,11 +76,17 @@ type Server struct {
 	model *simclock.CostModel
 
 	mu     sync.Mutex
-	store  map[string]storedVal
+	store  map[string]*storedVal
 	stats  Stats
 	lqd    core.QD
 	conns  map[core.QD]queue.QToken // outstanding pop per connection
 	closed bool
+
+	// Ring-path state (nil until EnableRing; see ring.go).
+	ring     *uring.Pair
+	sqes     []uring.SQE
+	cqes     []uring.CQE
+	inflight map[core.QD][]*storedVal // per-push GET reference, FIFO
 }
 
 // NewServer creates a server on lib; per-request application compute is
@@ -81,7 +95,7 @@ func NewServer(lib *core.LibOS, model *simclock.CostModel) *Server {
 	return &Server{
 		lib:   lib,
 		model: model,
-		store: make(map[string]storedVal),
+		store: make(map[string]*storedVal),
 		conns: make(map[core.QD]queue.QToken),
 	}
 }
@@ -114,8 +128,12 @@ func (s *Server) Stats() Stats {
 // Step runs one non-blocking server iteration: accept new connections,
 // collect completed pops, serve requests, re-arm pops. It returns the
 // number of requests served. Callers pump it from their event loop; Run
-// wraps it in a goroutine.
+// wraps it in a goroutine. After EnableRing it travels the syscall-free
+// ring path instead of the per-op token path.
 func (s *Server) Step() int {
+	if s.ring != nil {
+		return s.stepRing()
+	}
 	s.acceptNew()
 	return s.serveReady()
 }
@@ -216,10 +234,20 @@ func (s *Server) handle(conn core.QD, comp queue.Completion) {
 // buffers (a SET stores the value segment in place — the zero-copy
 // pointer swap).
 func (s *Server) Apply(req sga.SGA) (resp sga.SGA, retain bool) {
+	resp, retain, _ = s.apply(req, false)
+	return resp, retain
+}
+
+// apply is Apply plus the ring-path zero-copy discipline. With ring set,
+// a GET response takes a reference on the stored value (released by the
+// harvest loop once the push completes), and an overwrite/delete whose
+// buffer is still referenced by an in-flight response tombstones it
+// instead of freeing it out from under the transport.
+func (s *Server) apply(req sga.SGA, ring bool) (resp sga.SGA, retain bool, ref *storedVal) {
 	segs := req.Segments
 	if len(segs) < 2 {
 		s.count(func(st *Stats) { st.BadRequests++ })
-		return sga.New([]byte(StatusError)), false
+		return sga.New([]byte(StatusError)), false, nil
 	}
 	op := string(segs[0].Buf)
 	key := string(segs[1].Buf)
@@ -231,48 +259,81 @@ func (s *Server) Apply(req sga.SGA) (resp sga.SGA, retain bool) {
 		if !ok {
 			s.stats.NotFound++
 		}
+		if ok && ring {
+			sv.refs++
+			ref = sv
+		}
 		s.mu.Unlock()
 		if !ok {
-			return sga.New([]byte(StatusNotFound)), false
+			return sga.New([]byte(StatusNotFound)), false, nil
 		}
 		// Zero-copy: the stored buffer itself is the response segment.
-		return sga.New([]byte(StatusOK), sv.val), false
+		return sga.New([]byte(StatusOK), sv.val), false, ref
 	case OpSet:
 		if len(segs) < 3 {
 			s.count(func(st *Stats) { st.BadRequests++ })
-			return sga.New([]byte(StatusError)), false
+			return sga.New([]byte(StatusError)), false, nil
 		}
 		val := segs[2].Buf
 		s.mu.Lock()
 		old, had := s.store[key]
-		s.store[key] = storedVal{val: val, s: req}
+		s.store[key] = &storedVal{val: val, s: req}
 		s.stats.Sets++
 		s.stats.BytesStored += int64(len(val))
+		freeOld := false
 		if had {
 			s.stats.BytesStored -= int64(len(old.val))
+			if old.refs > 0 {
+				old.dead = true // in-flight GET still reads it; free later
+			} else {
+				freeOld = true
+			}
 		}
 		s.mu.Unlock()
-		if had {
+		if freeOld {
 			old.s.Free() // the swapped-out buffer goes back to the pool
 		}
-		return sga.New([]byte(StatusOK)), true
+		return sga.New([]byte(StatusOK)), true, nil
 	case OpDel:
 		s.mu.Lock()
 		old, had := s.store[key]
 		delete(s.store, key)
 		s.stats.Dels++
+		freeOld := false
 		if had {
 			s.stats.BytesStored -= int64(len(old.val))
+			if old.refs > 0 {
+				old.dead = true
+			} else {
+				freeOld = true
+			}
 		}
 		s.mu.Unlock()
-		if had {
+		if freeOld {
 			old.s.Free()
-			return sga.New([]byte(StatusOK)), false
 		}
-		return sga.New([]byte(StatusNotFound)), false
+		if had {
+			return sga.New([]byte(StatusOK)), false, nil
+		}
+		return sga.New([]byte(StatusNotFound)), false, nil
 	default:
 		s.count(func(st *Stats) { st.BadRequests++ })
-		return sga.New([]byte(StatusError)), false
+		return sga.New([]byte(StatusError)), false, nil
+	}
+}
+
+// releaseRef drops one in-flight-response reference on a stored value,
+// freeing its buffer if it was tombstoned while referenced.
+func (s *Server) releaseRef(sv *storedVal) {
+	if sv == nil {
+		return
+	}
+	s.mu.Lock()
+	sv.refs--
+	freeIt := sv.dead && sv.refs == 0
+	s.mu.Unlock()
+	if freeIt {
+		sv.s.Free()
 	}
 }
 
@@ -302,6 +363,12 @@ type Client struct {
 
 	reconnects atomic.Int64
 	replays    atomic.Int64
+
+	// Ring-path state (nil until EnableRing; see ring.go).
+	ring    *uring.Pair
+	rsqes   []uring.SQE
+	rcqes   []uring.CQE
+	ringGen uint64
 }
 
 // NewClient creates a client on lib.
@@ -363,8 +430,13 @@ func (c *Client) roundTrip(req sga.SGA, appCost simclock.Lat) (sga.SGA, simclock
 	}
 }
 
-// attempt performs one push/pop round trip on the current connection.
+// attempt performs one push/pop round trip on the current connection,
+// via the ring pair when EnableRing has armed one (the failover loop in
+// roundTrip wraps both paths identically).
 func (c *Client) attempt(req sga.SGA, appCost simclock.Lat) (sga.SGA, simclock.Lat, error) {
+	if c.ring != nil {
+		return c.attemptRing(req, appCost)
+	}
 	qt, err := c.lib.PushCost(c.qd, req, appCost)
 	if err != nil {
 		return sga.SGA{}, 0, err

@@ -1,0 +1,194 @@
+package kv
+
+import (
+	"errors"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+	"demikernel/internal/uring"
+)
+
+// Ring mode: the KV server and client post operations through an SQ/CQ
+// ring pair instead of calling Push/Pop/Wait per op. The zero-copy
+// discipline survives the switch: GET responses still push the stored
+// buffer in place, protected by a per-value reference count so an
+// overwrite cannot recycle a frame the transport is still reading
+// (the legacy path gets this for free by waiting on each push inline).
+
+// ErrRingDisabled is returned by ring-path calls before EnableRing.
+var ErrRingDisabled = errors.New("kv: ring mode not enabled")
+
+// ringPopDepth is how many pops the server keeps armed per connection
+// (the per-connection pipeline depth; one would serialize pipelined
+// clients to one request per poll).
+const ringPopDepth = 8
+
+func popTag(conn core.QD) uint64  { return uint64(conn) << 1 }
+func pushTag(conn core.QD) uint64 { return uint64(conn)<<1 | 1 }
+
+// EnableRing switches the server's data path onto an SQ/CQ ring pair of
+// the given capacity attached to its libOS. Call once, before serving.
+func (s *Server) EnableRing(capacity int) {
+	s.ring = s.lib.AttachRing(capacity)
+	s.sqes = make([]uring.SQE, 0, s.ring.Cap())
+	s.cqes = make([]uring.CQE, s.ring.Cap())
+	s.inflight = make(map[core.QD][]*storedVal)
+}
+
+// Ring returns the server's ring pair (nil before EnableRing).
+func (s *Server) Ring() *uring.Pair { return s.ring }
+
+// stepRing is Step over the ring path: accept → submit pops, harvest →
+// apply each request and push its response, all batched through the
+// rings. Single-threaded on the app side, per the ring contract.
+func (s *Server) stepRing() int {
+	for {
+		conn, ok, err := s.lib.TryAccept(s.lqd)
+		if err != nil || !ok {
+			break
+		}
+		s.count(func(st *Stats) { st.Connections++ })
+		depth := ringPopDepth
+		if c := s.ring.Cap() / 4; c < depth {
+			depth = max(c, 1)
+		}
+		for i := 0; i < depth; i++ {
+			s.sqes = append(s.sqes, uring.SQE{Op: queue.OpPop, QD: int32(conn), Tag: popTag(conn)})
+		}
+	}
+	s.flushSQ()
+
+	served := 0
+	n := s.lib.HarvestCQ(s.ring, s.cqes)
+	for i := 0; i < n; i++ {
+		c := &s.cqes[i]
+		conn := core.QD(c.Tag >> 1)
+		isPush := c.Tag&1 == 1
+		if c.Err != nil {
+			// Connection failed (or the node crashed): drop every
+			// in-flight response reference and the descriptor.
+			for _, ref := range s.inflight[conn] {
+				s.releaseRef(ref)
+			}
+			delete(s.inflight, conn)
+			s.lib.Close(conn) //nolint:errcheck // may already be gone
+			*c = uring.CQE{}
+			continue
+		}
+		if isPush {
+			// Response delivered: the transport has copied the bytes
+			// out, so the stored value it referenced (if any) may
+			// release. Per-conn pushes complete FIFO.
+			if held := s.inflight[conn]; len(held) > 0 {
+				s.releaseRef(held[0])
+				held[0] = nil
+				if len(held) == 1 {
+					s.inflight[conn] = held[:0]
+				} else {
+					s.inflight[conn] = held[1:]
+				}
+			}
+			*c = uring.CQE{}
+			continue
+		}
+		// Request arrived: apply it and stage response + re-armed pop.
+		resp, retain, ref := s.apply(c.SGA, true)
+		if !retain {
+			c.SGA.Free()
+		}
+		s.inflight[conn] = append(s.inflight[conn], ref)
+		s.sqes = append(s.sqes,
+			uring.SQE{Op: queue.OpPush, QD: int32(conn), Tag: pushTag(conn), SGA: resp, Cost: c.Cost + s.model.AppRequestNS},
+			uring.SQE{Op: queue.OpPop, QD: int32(conn), Tag: popTag(conn)})
+		served++
+		*c = uring.CQE{}
+	}
+	s.flushSQ()
+	return served
+}
+
+// flushSQ submits whatever is staged, keeping the unaccepted suffix for
+// the next step (ring full = backpressure, never a drop).
+func (s *Server) flushSQ() {
+	if len(s.sqes) == 0 {
+		return
+	}
+	n, err := s.lib.SubmitBatch(s.ring, s.sqes)
+	if err != nil {
+		// Pair reset underneath us (node crash): the staged ops' conns
+		// are dead; references unwind through the error CQEs above.
+		s.sqes = s.sqes[:0]
+		return
+	}
+	s.sqes = s.sqes[:copy(s.sqes, s.sqes[n:])]
+}
+
+// EnableRing switches the client's round trips onto an SQ/CQ ring pair
+// of the given capacity. Get/Set/Del and the failover loop are
+// unchanged; only the submission path underneath them moves.
+func (c *Client) EnableRing(capacity int) {
+	c.ring = c.lib.AttachRing(capacity)
+	c.rsqes = make([]uring.SQE, 0, 2)
+	c.rcqes = make([]uring.CQE, c.ring.Cap())
+}
+
+// Ring returns the client's ring pair (nil before EnableRing).
+func (c *Client) Ring() *uring.Pair { return c.ring }
+
+// attemptRing performs one push/pop round trip through the ring. Tags
+// carry a per-attempt generation so stragglers from a timed-out earlier
+// attempt are recognized and dropped instead of being mistaken for the
+// current response.
+func (c *Client) attemptRing(req sga.SGA, appCost simclock.Lat) (sga.SGA, simclock.Lat, error) {
+	c.ringGen++
+	gen := c.ringGen << 32
+	sq := append(c.rsqes[:0],
+		uring.SQE{Op: queue.OpPush, QD: int32(c.qd), Tag: gen | 1, SGA: req, Cost: appCost},
+		uring.SQE{Op: queue.OpPop, QD: int32(c.qd), Tag: gen})
+	var (
+		resp     sga.SGA
+		cost     simclock.Lat
+		firstErr error
+	)
+	got := 0
+	for got < 2 {
+		if len(sq) > 0 {
+			n, err := c.lib.SubmitBatch(c.ring, sq)
+			if err != nil {
+				return sga.SGA{}, 0, err
+			}
+			sq = sq[n:]
+		}
+		n, err := c.lib.WaitAnyRing(c.ring, c.rcqes, time.Time{})
+		if err != nil {
+			resp.Free()
+			return sga.SGA{}, 0, err
+		}
+		for i := 0; i < n; i++ {
+			cq := &c.rcqes[i]
+			if cq.Tag&^uint64(0xffffffff) != gen {
+				cq.SGA.Free() // straggler from an abandoned earlier attempt
+				*cq = uring.CQE{}
+				continue
+			}
+			got++
+			if cq.Err != nil {
+				if firstErr == nil {
+					firstErr = cq.Err
+				}
+			} else if cq.Kind == queue.OpPop {
+				resp, cost = cq.SGA, cq.Cost
+			}
+			*cq = uring.CQE{}
+		}
+	}
+	c.rsqes = c.rsqes[:0]
+	if firstErr != nil {
+		resp.Free()
+		return sga.SGA{}, 0, firstErr
+	}
+	return resp, cost, nil
+}

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"testing"
+
+	demi "demikernel"
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+)
+
+// BenchmarkWaitAnyFanIn fences the WaitAny dispatch cost at high fan-in:
+// 1024 outstanding pop tokens on a composed (filter-over-memory) queue,
+// one completion delivered per iteration. The AnyWaiter subscription
+// makes each wait O(n) once plus O(1) per completion; the previous
+// implementation rescanned all n tokens with TryWait on every poll
+// iteration, so this benchmark regresses hard if that scan ever comes
+// back.
+func BenchmarkWaitAnyFanIn(b *testing.B) {
+	const fanIn = 1024
+	n := demi.NewCluster(4242).MustSpawn(demi.Catnip, demi.WithHost(1))
+
+	qmem := n.Queue()
+	qf, err := n.Filter(qmem, func(sga.SGA) bool { return true })
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	tokens := make([]queue.QToken, fanIn)
+	for i := range tokens {
+		qt, err := n.Pop(qf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tokens[i] = qt
+	}
+	payload := sga.New([]byte("x"))
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptok, err := n.Push(qmem, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		widx, c, err := n.WaitAny(tokens)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.SGA.Free()
+		if _, _, err := n.TryWait(ptok); err != nil {
+			b.Fatal(err)
+		}
+		// Re-arm the consumed pop so fan-in stays constant.
+		qt, err := n.Pop(qf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tokens[widx] = qt
+	}
+}

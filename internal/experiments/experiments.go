@@ -156,6 +156,13 @@ var All = []Experiment{
 		Run:    runE15,
 	},
 	{
+		ID:     "E16",
+		Title:  "Syscall-free submission: SQ/CQ rings vs per-op calls",
+		Source: "§3.2, §4.4",
+		Claim:  "the OS control plane leaves the data path entirely: apps post batches of operations and harvest completions through shared-memory rings, with zero libOS calls per op in steady state",
+		Run:    runE16,
+	},
+	{
 		ID:     "A1",
 		Title:  "Ablation: syscall price",
 		Source: "ablation of §3.2",

@@ -49,6 +49,9 @@ type Transport struct {
 	// the steady-state buffer recycle path never crosses shard cache
 	// lines.
 	pool *fabric.FramePool
+	// clonePool recycles pop-SGA headers (segment slice + free closure)
+	// so pooledCloneSGA allocates nothing in steady state; see cloneHdr.
+	clonePool sync.Pool
 
 	// Rebuild parameters, saved so Restart can construct a fresh stack
 	// bound to the same device, queue, and shared neighbor table.
@@ -297,13 +300,27 @@ func (t *Transport) Open(string) (queue.IoQueue, error) {
 	return nil, core.ErrNotSupported
 }
 
+// cloneHdr is the recycled header of one pooled pop SGA: the segment
+// storage (inline up to 8 segments, covering every app in this repo)
+// and the Free closure are allocated once and then cycle through
+// clonePool, so after pooledCloneSGA's first few calls the steady-state
+// pop path performs zero allocations — payload bytes recycle through
+// the frame pool, headers through clonePool, and nothing reaches the
+// garbage collector.
+type cloneHdr struct {
+	t      *Transport
+	fb     *fabric.FrameBuf // nil when the clone fell back to heap bytes
+	inline [8]sga.Segment
+	free   func()
+}
+
 // pooledCloneSGA deep-copies a decoded SGA (which aliases the framer's
 // reassembly buffer) into a single pooled frame buffer, sub-sliced per
-// segment. The SGA's Free hook releases the buffer back to the pool, so
-// the steady-state pop path recycles instead of allocating payload
-// storage. Applications that never Free simply leak the buffer to the
-// GC — safe, just unpooled. The pool is the transport's own, so in a
-// sharded deployment pop buffers recycle within one shard.
+// segment. The SGA's Free hook releases the buffer back to the pool and
+// the header back to clonePool, so the steady-state pop path recycles
+// instead of allocating. Applications that never Free simply leak both
+// to the GC — safe, just unpooled. The pool is the transport's own, so
+// in a sharded deployment pop buffers recycle within one shard.
 func (t *Transport) pooledCloneSGA(s sga.SGA) sga.SGA {
 	fb := t.pool.Get(s.Len())
 	var buf []byte
@@ -315,18 +332,32 @@ func (t *Transport) pooledCloneSGA(s sga.SGA) sga.SGA {
 		// recycling, not correctness — and the GC reclaims the copy.
 		buf = make([]byte, s.Len())
 	}
-	segs := make([]sga.Segment, len(s.Segments))
+	h, _ := t.clonePool.Get().(*cloneHdr)
+	if h == nil {
+		h = &cloneHdr{t: t}
+		h.free = func() {
+			if h.fb != nil {
+				h.fb.Release()
+				h.fb = nil
+			}
+			h.inline = [8]sga.Segment{} // drop payload refs before pooling
+			h.t.clonePool.Put(h)
+		}
+	}
+	h.fb = fb
+	segs := h.inline[:0]
+	if len(s.Segments) > len(h.inline) {
+		// Over the inline capacity (rare: MaxSegments-wide SGAs); take
+		// a one-off slice and let the GC have it.
+		segs = make([]sga.Segment, 0, len(s.Segments))
+	}
 	off := 0
-	for i, seg := range s.Segments {
+	for _, seg := range s.Segments {
 		n := copy(buf[off:], seg.Buf)
-		segs[i] = sga.Segment{Buf: buf[off : off+n : off+n]}
+		segs = append(segs, sga.Segment{Buf: buf[off : off+n : off+n]})
 		off += n
 	}
-	out := sga.SGA{Segments: segs}
-	if fb != nil {
-		return out.WithFree(fb.Release)
-	}
-	return out
+	return sga.SGA{Segments: segs}.WithFree(h.free)
 }
 
 // Socket implements core.Transport.
@@ -602,6 +633,46 @@ func (e *endpoint) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 	e.Pump()
 }
 
+// PushBatched implements queue.BatchIoQueue: Push without the trailing
+// Pump. The SQ drain path stages a whole burst of pushes this way, then
+// the transport poll that follows flushes them through one coalesced
+// flushTx — MSS-sized segments instead of one small segment per push.
+func (e *endpoint) PushBatched(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
+	e.mu.Lock()
+	if e.dead != nil {
+		dead := e.dead
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPush, Err: dead})
+		return
+	}
+	if e.closed || e.conn == nil {
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPush, Err: queue.ErrClosed})
+		return
+	}
+	e.mu.Unlock()
+	buf, err := e.t.mem.TryAlloc(s.MarshalledSize())
+	if err != nil {
+		done(queue.Completion{Kind: queue.OpPush, Err: err})
+		return
+	}
+	data := s.AppendMarshal(buf.Bytes()[:0])
+	e.mu.Lock()
+	if e.dead != nil || e.closed || e.conn == nil {
+		err := queue.ErrClosed
+		if e.dead != nil {
+			err = e.dead
+		}
+		e.mu.Unlock()
+		buf.Free()
+		done(queue.Completion{Kind: queue.OpPush, Err: err})
+		return
+	}
+	e.txq = append(e.txq, txFrame{data: data, buf: buf, cost: cost, done: done})
+	e.txPending.Store(int32(len(e.txq)))
+	e.mu.Unlock()
+}
+
 // Pop implements queue.IoQueue.
 func (e *endpoint) Pop(done queue.DoneFunc) {
 	e.mu.Lock()
@@ -626,6 +697,32 @@ func (e *endpoint) Pop(done queue.DoneFunc) {
 	e.waiterLen.Store(int32(len(e.waiters)))
 	e.mu.Unlock()
 	e.Pump()
+}
+
+// PopBatched implements queue.BatchIoQueue: Pop without the trailing
+// Pump; the burst issuer's follow-up poll serves it.
+func (e *endpoint) PopBatched(done queue.DoneFunc) {
+	e.mu.Lock()
+	if e.dead != nil && len(e.ready) == 0 {
+		dead := e.dead
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: dead})
+		return
+	}
+	if e.closed {
+		e.mu.Unlock()
+		done(queue.Completion{Kind: queue.OpPop, Err: queue.ErrClosed})
+		return
+	}
+	if len(e.ready) > 0 {
+		c := e.popReadyLocked()
+		e.mu.Unlock()
+		done(c)
+		return
+	}
+	e.waiters = append(e.waiters, done)
+	e.waiterLen.Store(int32(len(e.waiters)))
+	e.mu.Unlock()
 }
 
 // NeedsPump implements core.NeedsPumper with a handful of atomic loads
@@ -674,22 +771,33 @@ func (e *endpoint) Pump() int {
 	return n
 }
 
+// txDone is a completed (or failed) tx frame recorded under e.mu and
+// fired after it is released, so a burst of completed pushes costs one
+// lock round trip instead of one per frame.
+type txDone struct {
+	done queue.DoneFunc
+	buf  *membuf.Buffer
+	cost simclock.Lat
+	err  error
+}
+
 func (e *endpoint) flushTx(conn *netstack.TCPConn) int {
+	// Completed frames collect on the stack and fire after the single
+	// unlock below; 32 slots covers the largest ring drain burst without
+	// spilling to the heap.
+	var firedArr [32]txDone
+	fired := firedArr[:0]
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	n := 0
 	for len(e.txq) > 0 {
 		f := &e.txq[0]
-		sent, err := conn.Send(f.data[f.sent:], f.cost)
+		// Buffered send: the whole staged burst coalesces into MSS-sized
+		// segments at the single FlushSend below, so 32 small pushes cost
+		// ~2 segments of per-segment work, not 32.
+		sent, err := conn.SendBuffered(f.data[f.sent:], f.cost)
 		if err != nil {
-			done, buf := f.done, f.buf
+			fired = append(fired, txDone{done: f.done, buf: f.buf, err: wrapConnErr(err)})
 			e.popTxqLocked()
-			e.mu.Unlock()
-			if buf != nil {
-				buf.Free()
-			}
-			done(queue.Completion{Kind: queue.OpPush, Err: wrapConnErr(err)})
-			e.mu.Lock()
 			continue
 		}
 		f.sent += sent
@@ -697,15 +805,24 @@ func (e *endpoint) flushTx(conn *netstack.TCPConn) int {
 		if f.sent < len(f.data) {
 			break // TCP send buffer full; retry on a later pump
 		}
-		done, buf := f.done, f.buf
-		cost := f.cost
+		fired = append(fired, txDone{done: f.done, buf: f.buf, cost: f.cost})
 		e.popTxqLocked()
-		e.mu.Unlock()
-		if buf != nil {
-			buf.Free() // TCP copied the bytes; staging slot recycles
+	}
+	if n > 0 {
+		conn.FlushSend()
+	}
+	e.mu.Unlock()
+	for i := range fired {
+		d := &fired[i]
+		if d.buf != nil {
+			d.buf.Free() // TCP copied the bytes; staging slot recycles
 		}
-		done(queue.Completion{Kind: queue.OpPush, Cost: cost})
-		e.mu.Lock()
+		if d.err != nil {
+			d.done(queue.Completion{Kind: queue.OpPush, Err: d.err})
+		} else {
+			d.done(queue.Completion{Kind: queue.OpPush, Cost: d.cost})
+		}
+		*d = txDone{}
 	}
 	return n
 }

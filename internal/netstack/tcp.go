@@ -226,6 +226,42 @@ func (c *TCPConn) Send(b []byte, cost simclock.Lat) (int, error) {
 	return n, nil
 }
 
+// SendBuffered queues bytes like Send but defers segmentation until
+// FlushSend, so a burst of application writes coalesces into MSS-sized
+// segments instead of one undersized segment per write. Retransmission
+// and flow control are unchanged — sndBuf remains the source of truth.
+func (c *TCPConn) SendBuffered(b []byte, cost simclock.Lat) (int, error) {
+	s := c.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.err != nil {
+		return 0, c.err
+	}
+	if c.state == stateClosed || c.finQueued {
+		return 0, ErrConnClosed
+	}
+	space := sndBufMax - len(c.sndBuf)
+	if space <= 0 {
+		return 0, nil
+	}
+	n := len(b)
+	if n > space {
+		n = space
+	}
+	c.sndBuf = append(c.sndBuf, b[:n]...)
+	c.txCost = cost
+	return n, nil
+}
+
+// FlushSend emits whatever SendBuffered queued, as far as the
+// congestion and flow-control windows allow.
+func (c *TCPConn) FlushSend() {
+	s := c.stack
+	s.mu.Lock()
+	c.trySendLocked()
+	s.mu.Unlock()
+}
+
 // Recv pops up to max in-order received bytes. It returns (nil, 0, nil)
 // when no data is ready, and io.EOF once the peer's FIN has been consumed
 // and the buffer is drained.

@@ -1,0 +1,79 @@
+package queue
+
+import "sync"
+
+// AnyWaiter is a one-shot subscription to "any of these tokens": the
+// waiter subscribes each token once, then each completion pings the
+// waiter in O(1) instead of the waiter rescanning its whole token slice
+// every poll iteration. WaitAnyDeadline's old loop was O(n) tokens ×
+// P poll iterations; with an AnyWaiter it is O(n) once (subscribe) plus
+// O(1) per completion — the difference the 1024-token
+// BenchmarkWaitAnyFanIn fences.
+//
+// A completed token is *not* consumed by the ping; the waiter collects
+// it with TryWait, exactly like the ready-list path. Waiters are
+// single-owner (one goroutine calls Take), but pings arrive from
+// completing goroutines, hence the mutex.
+type AnyWaiter struct {
+	mu    sync.Mutex
+	ready []QToken
+}
+
+// NewAnyWaiter returns an empty waiter.
+func (c *Completer) NewAnyWaiter() *AnyWaiter { return &AnyWaiter{} }
+
+// push records one completed token (called by completeState).
+func (w *AnyWaiter) push(qt QToken) {
+	w.mu.Lock()
+	w.ready = append(w.ready, qt)
+	w.mu.Unlock()
+}
+
+// Take removes and returns one pinged token, or ok=false when none is
+// pending. A returned token may have been consumed by a racing direct
+// waiter since the ping; callers must tolerate ErrUnknownToken from the
+// follow-up TryWait. Stale pings from a previous owner of a recycled
+// waiter may also surface — callers only act on tokens they subscribed,
+// so membership-check before consuming.
+func (w *AnyWaiter) Take() (QToken, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.ready); n > 0 {
+		qt := w.ready[0]
+		copy(w.ready, w.ready[1:])
+		w.ready = w.ready[:n-1]
+		return qt, true
+	}
+	return 0, false
+}
+
+// SubscribeAny attaches w to qt. It returns done=true when the token
+// has already completed (the caller should TryWait it immediately — no
+// ping will fire), and ErrUnknownToken when the token is not pending.
+// A token supports one AnyWaiter at a time; re-subscribing replaces the
+// previous waiter.
+func (c *Completer) SubscribeAny(w *AnyWaiter, qt QToken) (done bool, err error) {
+	sh := c.shard(qt)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.pending[qt]
+	if !ok {
+		return false, ErrUnknownToken
+	}
+	if st.done {
+		return true, nil
+	}
+	st.notify = w
+	return false, nil
+}
+
+// UnsubscribeAny detaches w from qt if (and only if) w is still the
+// token's registered waiter. Safe on consumed or unknown tokens.
+func (c *Completer) UnsubscribeAny(w *AnyWaiter, qt QToken) {
+	sh := c.shard(qt)
+	sh.mu.Lock()
+	if st, ok := sh.pending[qt]; ok && st.notify == w {
+		st.notify = nil
+	}
+	sh.mu.Unlock()
+}

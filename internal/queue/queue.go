@@ -81,6 +81,17 @@ type IoQueue interface {
 	Close() error
 }
 
+// BatchIoQueue is the optional batched face of an IoQueue: PushBatched
+// and PopBatched stage the operation without advancing the queue's
+// machinery, so a caller issuing a burst (the SQ drain path) can stage
+// every operation first and pay the pump — TX segmentation, RX sweep —
+// once for the whole burst instead of once per op. The caller owns
+// making progress afterwards (a transport Poll suffices).
+type BatchIoQueue interface {
+	PushBatched(s sga.SGA, cost simclock.Lat, done DoneFunc)
+	PopBatched(done DoneFunc)
+}
+
 // completerShards is the number of token-table shards. Sixteen keeps the
 // modulo a mask-friendly power of two while making same-lock collisions
 // between concurrent completions rare at any realistic thread count.
@@ -154,6 +165,9 @@ type tokenState struct {
 	qd        int32 // owning queue descriptor (-1 when unattributed)
 	comp      Completion
 	ch        chan Completion // non-nil once a blocking waiter subscribed
+	// notify, when non-nil, is an any-of waiter to ping on completion
+	// (WaitAny's O(1)-per-completion dispatch; see anywaiter.go).
+	notify *AnyWaiter
 	// span carries the wall-clock stage stamps while qtoken spans are
 	// enabled; nil (no allocation) otherwise.
 	span *spanStamps
@@ -232,6 +246,7 @@ func (c *Completer) recycle(st *tokenState) {
 	st.qd = 0
 	st.comp = Completion{}
 	st.ch = nil
+	st.notify = nil
 	st.span = nil
 	if len(sh.free) < maxFreeStates {
 		sh.free = append(sh.free, st)
@@ -295,6 +310,7 @@ func (c *Completer) completeState(st *tokenState, comp Completion) {
 		st.span.doneNS = time.Now().UnixNano()
 	}
 	ch := st.ch
+	notify := st.notify
 	publish := false
 	if ch != nil {
 		// A blocking waiter subscribed: hand off and consume the
@@ -328,6 +344,12 @@ func (c *Completer) completeState(st *tokenState, comp Completion) {
 		c.readyMu.Lock()
 		c.ready = append(c.ready, qt)
 		c.readyMu.Unlock()
+	}
+	if notify != nil {
+		// Outside the shard lock (the waiter has its own mutex and no
+		// lock ordering with shards). The token stays pending: the
+		// waiter consumes it with TryWait.
+		notify.push(qt)
 	}
 }
 

@@ -9,6 +9,11 @@ package sga
 // A Framer is not safe for concurrent use; each connection owns one.
 type Framer struct {
 	buf []byte
+	// segScratch is reused segment-header storage for decoding: the
+	// decoded SGA only lives until clone copies it out, so one scratch
+	// slice serves every frame and the steady-state pop path stops
+	// allocating a []Segment per message.
+	segScratch []Segment
 	// decoded counts complete SGAs produced, for stats and tests.
 	decoded int64
 	// clone, when set, copies a decoded SGA out of the reassembly
@@ -37,13 +42,14 @@ func (f *Framer) Feed(b []byte) {
 // the same error (a stream with corrupt framing cannot be re-synchronised,
 // matching TCP stream semantics).
 func (f *Framer) Next() (SGA, bool, error) {
-	s, n, err := Unmarshal(f.buf)
+	s, n, err := UnmarshalInto(f.buf, f.segScratch)
 	if err == ErrShortBuffer {
 		return SGA{}, false, nil
 	}
 	if err != nil {
 		return SGA{}, false, err
 	}
+	f.segScratch = s.Segments[:0]
 	// Copy out so the internal buffer can be compacted safely.
 	var out SGA
 	if f.clone != nil {

@@ -212,6 +212,15 @@ func (s SGA) Marshal() []byte {
 // returns ErrShortBuffer (callers doing stream reassembly should then wait
 // for more bytes; see Framer).
 func Unmarshal(b []byte) (SGA, int, error) {
+	return UnmarshalInto(b, nil)
+}
+
+// UnmarshalInto is Unmarshal with caller-provided segment storage: the
+// decoded segment headers are appended to segs[:0], so a caller that
+// decodes in a loop (Framer) reuses one scratch slice instead of
+// allocating per frame. The returned SGA's Segments alias segs's
+// backing array (grown if needed) and its Bufs alias b.
+func UnmarshalInto(b []byte, segs []Segment) (SGA, int, error) {
 	if len(b) < headerLen {
 		return SGA{}, 0, ErrShortBuffer
 	}
@@ -227,7 +236,7 @@ func Unmarshal(b []byte) (SGA, int, error) {
 	if len(b) < need {
 		return SGA{}, 0, ErrShortBuffer
 	}
-	s := SGA{Segments: make([]Segment, numSegs)}
+	segs = segs[:0]
 	off := headerLen
 	remaining := int(payloadLen)
 	for i := 0; i < int(numSegs); i++ {
@@ -236,12 +245,12 @@ func Unmarshal(b []byte) (SGA, int, error) {
 		if segLen > remaining || segLen > MaxSegmentLen {
 			return SGA{}, 0, fmt.Errorf("%w: segment %d length %d", ErrCorruptFrame, i, segLen)
 		}
-		s.Segments[i] = Segment{Buf: b[off : off+segLen : off+segLen]}
+		segs = append(segs, Segment{Buf: b[off : off+segLen : off+segLen]})
 		off += segLen
 		remaining -= segLen
 	}
 	if remaining != 0 {
 		return SGA{}, 0, fmt.Errorf("%w: %d unaccounted payload bytes", ErrCorruptFrame, remaining)
 	}
-	return s, off, nil
+	return SGA{Segments: segs}, off, nil
 }

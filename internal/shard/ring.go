@@ -21,16 +21,29 @@ import "sync/atomic"
 const cacheLine = 64
 
 // Ring is a bounded lock-free SPSC ring. Exactly one goroutine may call
-// Push (the producer) and exactly one may call Pop (the consumer); the
-// Group mesh enforces this by dedicating one ring per (from, to) pair.
+// Push/PushN (the producer) and exactly one may call Pop/PopN (the
+// consumer); the Group mesh enforces this by dedicating one ring per
+// (from, to) pair.
+//
+// Each side keeps a private snapshot of the peer's index (cachedTail on
+// the consumer line, cachedHead on the producer line) and refreshes it
+// from the shared atomic only when the snapshot says the ring looks
+// full/empty. In steady state a push or pop therefore touches no
+// cache line the peer writes — the cross-core coherence traffic is one
+// refresh per wraparound's worth of elements, not one per element.
 type Ring[T any] struct {
 	buf  []T
 	mask uint64
-	_    [cacheLine]byte     //nolint:unused // pad
-	head atomic.Uint64       // next slot to pop; written only by the consumer
-	_    [cacheLine - 8]byte //nolint:unused // pad
-	tail atomic.Uint64       // next slot to push; written only by the producer
-	_    [cacheLine - 8]byte //nolint:unused // pad
+	_    [cacheLine]byte //nolint:unused // pad
+	head atomic.Uint64   // next slot to pop; written only by the consumer
+	// cachedTail is the consumer's private snapshot of tail; it shares
+	// the consumer's line, never the producer's.
+	cachedTail uint64
+	_          [cacheLine - 16]byte //nolint:unused // pad
+	tail       atomic.Uint64        // next slot to push; written only by the producer
+	// cachedHead is the producer's private snapshot of head.
+	cachedHead uint64
+	_          [cacheLine - 16]byte //nolint:unused // pad
 }
 
 // NewRing returns an SPSC ring holding up to capacity elements
@@ -48,25 +61,81 @@ func NewRing[T any](capacity int) *Ring[T] {
 // Producer-side only.
 func (r *Ring[T]) Push(v T) bool {
 	tail := r.tail.Load()
-	if tail-r.head.Load() > r.mask {
-		return false // full
+	if tail-r.cachedHead > r.mask {
+		r.cachedHead = r.head.Load()
+		if tail-r.cachedHead > r.mask {
+			return false // full
+		}
 	}
 	r.buf[tail&r.mask] = v
 	r.tail.Store(tail + 1) // release: the element write happens-before
 	return true
 }
 
+// PushN appends as many elements of vs as fit and returns how many it
+// accepted (a prefix of vs). One release store publishes the whole
+// batch, so the consumer sees it at the cost of a single fence.
+// Producer-side only.
+func (r *Ring[T]) PushN(vs []T) int {
+	tail := r.tail.Load()
+	free := r.mask + 1 - (tail - r.cachedHead)
+	if uint64(len(vs)) > free {
+		r.cachedHead = r.head.Load()
+		free = r.mask + 1 - (tail - r.cachedHead)
+	}
+	n := len(vs)
+	if uint64(n) > free {
+		n = int(free)
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(tail+uint64(i))&r.mask] = vs[i]
+	}
+	if n > 0 {
+		r.tail.Store(tail + uint64(n))
+	}
+	return n
+}
+
 // Pop removes and returns the oldest element. Consumer-side only.
 func (r *Ring[T]) Pop() (T, bool) {
 	var zero T
 	head := r.head.Load()
-	if head == r.tail.Load() {
-		return zero, false // empty
+	if head == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if head == r.cachedTail {
+			return zero, false // empty
+		}
 	}
 	v := r.buf[head&r.mask]
 	r.buf[head&r.mask] = zero // drop the reference for GC
 	r.head.Store(head + 1)
 	return v, true
+}
+
+// PopN removes up to len(dst) oldest elements into dst and returns how
+// many it delivered. Like PushN, the whole batch retires with one
+// release store of head. Consumer-side only.
+func (r *Ring[T]) PopN(dst []T) int {
+	var zero T
+	head := r.head.Load()
+	avail := r.cachedTail - head
+	if uint64(len(dst)) > avail {
+		r.cachedTail = r.tail.Load()
+		avail = r.cachedTail - head
+	}
+	n := len(dst)
+	if uint64(n) > avail {
+		n = int(avail)
+	}
+	for i := 0; i < n; i++ {
+		idx := (head + uint64(i)) & r.mask
+		dst[i] = r.buf[idx]
+		r.buf[idx] = zero // drop the reference for GC
+	}
+	if n > 0 {
+		r.head.Store(head + uint64(n))
+	}
+	return n
 }
 
 // Len reports the current occupancy (approximate under concurrency).

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRingPushNPopNBasics exercises the batch operations single-threaded
+// around the full and empty boundaries, where the cached peer indices
+// must refresh instead of reporting a stale full/empty verdict.
+func TestRingPushNPopNBasics(t *testing.T) {
+	r := NewRing[int](8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", r.Cap())
+	}
+
+	// Fill past the cached view: a fresh ring accepts exactly Cap.
+	in := make([]int, 12)
+	for i := range in {
+		in[i] = i
+	}
+	if n := r.PushN(in); n != 8 {
+		t.Fatalf("PushN on empty ring accepted %d, want 8", n)
+	}
+	if n := r.PushN(in); n != 0 {
+		t.Fatalf("PushN on full ring accepted %d, want 0", n)
+	}
+
+	// Drain two, then the producer's cached head must refresh so the
+	// freed slots are visible.
+	dst := make([]int, 2)
+	if n := r.PopN(dst); n != 2 || dst[0] != 0 || dst[1] != 1 {
+		t.Fatalf("PopN = %d (%v), want 2 ([0 1])", n, dst)
+	}
+	if n := r.PushN(in[:5]); n != 2 {
+		t.Fatalf("PushN after partial drain accepted %d, want 2", n)
+	}
+
+	// Drain everything; order must be FIFO across the wrap.
+	out := make([]int, 16)
+	n := r.PopN(out)
+	if n != 8 {
+		t.Fatalf("PopN drained %d, want 8", n)
+	}
+	want := []int{2, 3, 4, 5, 6, 7, 0, 1}
+	for i, v := range want {
+		if out[i] != v {
+			t.Fatalf("out[%d] = %d, want %d (out=%v)", i, out[i], v, out[:n])
+		}
+	}
+	if n := r.PopN(out); n != 0 {
+		t.Fatalf("PopN on empty ring delivered %d, want 0", n)
+	}
+}
+
+// TestRingMixedSingleAndBatch interleaves Push/Pop with PushN/PopN so the
+// cached indices are exercised by both granularities on the same ring.
+func TestRingMixedSingleAndBatch(t *testing.T) {
+	r := NewRing[int](4)
+	if !r.Push(1) || !r.Push(2) {
+		t.Fatal("single pushes refused on empty ring")
+	}
+	if n := r.PushN([]int{3, 4, 5}); n != 2 {
+		t.Fatalf("PushN accepted %d, want 2", n)
+	}
+	if v, ok := r.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = %d,%v want 1,true", v, ok)
+	}
+	dst := make([]int, 4)
+	if n := r.PopN(dst); n != 3 || dst[0] != 2 || dst[1] != 3 || dst[2] != 4 {
+		t.Fatalf("PopN = %d (%v), want 3 ([2 3 4])", n, dst[:n])
+	}
+}
+
+// TestRingSPSCStressBatch is the -race stress for the batch path: one
+// producer thread pushing with mixed batch sizes against one consumer
+// thread popping with mixed batch sizes, on a tiny ring so both sides
+// spend most of the run bouncing off the full/empty boundaries (where
+// the cached peer index must refresh) and wrap the index space many
+// times. The consumer asserts the values arrive as an exact FIFO
+// sequence: any lost, duplicated, or reordered element fails the run,
+// and the race detector checks the memory ordering claims.
+func TestRingSPSCStressBatch(t *testing.T) {
+	const total = 50_000
+	r := NewRing[uint64](8) // tiny: maximizes boundary churn and wraps
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]uint64, 7)
+		next := uint64(0)
+		for next < total {
+			// Vary batch size 1..7; occasionally use the single-element
+			// path so both code paths interleave on one ring.
+			bs := int(next%7) + 1
+			if next%13 == 0 {
+				if r.Push(next) {
+					next++
+				} else {
+					runtime.Gosched() // full: let the consumer drain
+				}
+				continue
+			}
+			if next+uint64(bs) > total {
+				bs = int(total - next)
+			}
+			for i := 0; i < bs; i++ {
+				buf[i] = next + uint64(i)
+			}
+			pushed := r.PushN(buf[:bs])
+			next += uint64(pushed)
+			if pushed == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	buf := make([]uint64, 5)
+	want := uint64(0)
+	for want < total {
+		if want%11 == 0 {
+			if v, ok := r.Pop(); ok {
+				if v != want {
+					t.Fatalf("popped %d, want %d", v, want)
+				}
+				want++
+			} else {
+				runtime.Gosched() // empty: let the producer refill
+			}
+			continue
+		}
+		n := r.PopN(buf[:int(want%5)+1])
+		for i := 0; i < n; i++ {
+			if buf[i] != want {
+				t.Fatalf("popped %d, want %d", buf[i], want)
+			}
+			want++
+		}
+		if n == 0 {
+			runtime.Gosched()
+		}
+	}
+	<-done
+	if v, ok := r.Pop(); ok {
+		t.Fatalf("ring not empty after stress: got %d", v)
+	}
+}

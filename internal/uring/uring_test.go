@@ -1,0 +1,246 @@
+package uring
+
+import (
+	"errors"
+	"testing"
+
+	"demikernel/internal/queue"
+	"demikernel/internal/sga"
+	"demikernel/internal/telemetry"
+)
+
+// drive plays the libOS role for a pair against one MemQueue: drain the
+// SQ in a burst and issue every op with a slab DoneFunc. MemQueue
+// completes inline, so after drive returns the CQ holds the results.
+func drive(t *testing.T, p *Pair, mq *queue.MemQueue) int {
+	t.Helper()
+	var scratch [64]SQE
+	total := 0
+	for {
+		n := p.DrainSQ(scratch[:])
+		if n == 0 {
+			return total
+		}
+		total += n
+		for i := 0; i < n; i++ {
+			e := scratch[i]
+			done := p.Arm(e)
+			switch e.Op {
+			case queue.OpPush:
+				mq.Push(e.SGA, e.Cost, done)
+			case queue.OpPop:
+				mq.Pop(done)
+			default:
+				t.Fatalf("unknown op %v", e.Op)
+			}
+		}
+	}
+}
+
+func payload(s string) sga.SGA {
+	return sga.SGA{Segments: []sga.Segment{{Buf: []byte(s)}}}
+}
+
+func TestPairSubmitHarvestRoundTrip(t *testing.T) {
+	p := NewPair(8)
+	mq := queue.NewMemQueue(16)
+
+	// Two pushes and two pops, batch-submitted with distinct tags.
+	sqes := []SQE{
+		{Op: queue.OpPush, QD: 3, Tag: 100, SGA: payload("alpha")},
+		{Op: queue.OpPush, QD: 3, Tag: 101, SGA: payload("beta")},
+		{Op: queue.OpPop, QD: 3, Tag: 200},
+		{Op: queue.OpPop, QD: 3, Tag: 201},
+	}
+	if n := p.SubmitN(sqes); n != 4 {
+		t.Fatalf("SubmitN = %d, want 4", n)
+	}
+	if got := p.Outstanding(); got != 4 {
+		t.Fatalf("Outstanding = %d, want 4", got)
+	}
+	if n := drive(t, p, mq); n != 4 {
+		t.Fatalf("drained %d SQEs, want 4", n)
+	}
+
+	var cqes [8]CQE
+	n := p.Harvest(cqes[:])
+	if n != 4 {
+		t.Fatalf("Harvest = %d, want 4", n)
+	}
+	byTag := map[uint64]CQE{}
+	for _, c := range cqes[:n] {
+		byTag[c.Tag] = c
+	}
+	for _, tag := range []uint64{100, 101, 200, 201} {
+		c, ok := byTag[tag]
+		if !ok {
+			t.Fatalf("no CQE for tag %d", tag)
+		}
+		if c.Err != nil {
+			t.Fatalf("tag %d: err = %v", tag, c.Err)
+		}
+	}
+	if got := string(byTag[200].SGA.Segments[0].Buf); got != "alpha" {
+		t.Fatalf("pop tag 200 = %q, want alpha", got)
+	}
+	if got := string(byTag[201].SGA.Segments[0].Buf); got != "beta" {
+		t.Fatalf("pop tag 201 = %q, want beta", got)
+	}
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding after harvest = %d, want 0", got)
+	}
+}
+
+func TestPairReservationBackpressure(t *testing.T) {
+	p := NewPair(4) // rounds to 4
+	mq := queue.NewMemQueue(16)
+
+	// Fill every reservation with pops that will not complete (queue
+	// empty, pops park as waiters).
+	for i := 0; i < p.Cap(); i++ {
+		if !p.Submit(SQE{Op: queue.OpPop, QD: 1, Tag: uint64(i)}) {
+			t.Fatalf("Submit %d refused with reservations free", i)
+		}
+	}
+	if p.Submit(SQE{Op: queue.OpPop, QD: 1, Tag: 99}) {
+		t.Fatal("Submit accepted past capacity")
+	}
+	if p.sqFullSpins.Load() == 0 {
+		t.Fatal("sq_full_spins not counted on refused submit")
+	}
+	drive(t, p, mq)
+
+	// Complete one parked pop; its reservation frees only at harvest.
+	mq.Push(payload("x"), 0, func(queue.Completion) {})
+	var cqes [4]CQE
+	if n := p.Harvest(cqes[:]); n != 1 {
+		t.Fatalf("Harvest = %d, want 1", n)
+	}
+	cqes[0].SGA.Free()
+	if !p.Submit(SQE{Op: queue.OpPop, QD: 1, Tag: 100}) {
+		t.Fatal("Submit refused after harvest freed a reservation")
+	}
+}
+
+func TestPairResetFlushesBothRings(t *testing.T) {
+	p := NewPair(8)
+	mq := queue.NewMemQueue(16)
+	boom := errors.New("local reset")
+
+	// One completed-but-unharvested CQE...
+	mq.Push(payload("pre"), 0, func(queue.Completion) {})
+	p.Submit(SQE{Op: queue.OpPop, QD: 1, Tag: 1})
+	drive(t, p, mq)
+	// ...one armed-and-parked op (pop on empty queue)...
+	p.Submit(SQE{Op: queue.OpPop, QD: 1, Tag: 2})
+	drive(t, p, mq)
+	// ...and two posted-but-undrained SQEs.
+	p.Submit(SQE{Op: queue.OpPush, QD: 1, Tag: 3, SGA: payload("z")})
+	p.Submit(SQE{Op: queue.OpPop, QD: 1, Tag: 4})
+
+	fsq, fcq := p.Reset(boom)
+	if fsq != 2 {
+		t.Fatalf("flushed SQEs = %d, want 2", fsq)
+	}
+	if fcq != 1 {
+		t.Fatalf("pending CQEs at flush = %d, want 1", fcq)
+	}
+
+	// The parked op completes late (the transport kills it on crash in
+	// real life); its CQE must still resolve to the reset error.
+	mq.Close() // parked pop completes with ErrClosed
+
+	var cqes [8]CQE
+	n := p.Harvest(cqes[:])
+	if n != 4 {
+		t.Fatalf("Harvest after reset = %d, want 4 (tags 1-4)", n)
+	}
+	seen := map[uint64]bool{}
+	for _, c := range cqes[:n] {
+		if !errors.Is(c.Err, boom) {
+			t.Fatalf("tag %d: err = %v, want reset error", c.Tag, c.Err)
+		}
+		if len(c.SGA.Segments) != 0 {
+			t.Fatalf("tag %d: payload survived reset harvest", c.Tag)
+		}
+		seen[c.Tag] = true
+	}
+	for tag := uint64(1); tag <= 4; tag++ {
+		if !seen[tag] {
+			t.Fatalf("tag %d never resolved", tag)
+		}
+	}
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d, want 0", p.Outstanding())
+	}
+
+	// The pair is poisoned: no new submissions, Reset is idempotent.
+	if p.Submit(SQE{Op: queue.OpPop, QD: 1, Tag: 9}) {
+		t.Fatal("Submit accepted after reset")
+	}
+	if !errors.Is(p.ResetErr(), boom) {
+		t.Fatalf("ResetErr = %v", p.ResetErr())
+	}
+	if fsq, fcq := p.Reset(boom); fsq != 0 || fcq != 0 {
+		t.Fatalf("second Reset flushed %d/%d, want 0/0", fsq, fcq)
+	}
+}
+
+func TestPairDoubleCompletionDropped(t *testing.T) {
+	p := NewPair(4)
+	p.Submit(SQE{Op: queue.OpPop, QD: 1, Tag: 7})
+	var scratch [4]SQE
+	if n := p.DrainSQ(scratch[:]); n != 1 {
+		t.Fatalf("drained %d, want 1", n)
+	}
+	done := p.Arm(scratch[0])
+	done(queue.Completion{Kind: queue.OpPop, SGA: payload("a")})
+	done(queue.Completion{Kind: queue.OpPop, SGA: payload("stale")})
+	if got := p.cqPosted.Load(); got != 1 {
+		t.Fatalf("cq_posted = %d, want 1 (stale completion must drop)", got)
+	}
+	var cqes [4]CQE
+	if n := p.Harvest(cqes[:]); n != 1 || cqes[0].Tag != 7 {
+		t.Fatalf("Harvest = %d tag %d, want 1 tag 7", n, cqes[0].Tag)
+	}
+}
+
+func TestPairTelemetryAndSpans(t *testing.T) {
+	p := NewPair(8)
+	mq := queue.NewMemQueue(16)
+	reg := telemetry.NewRegistry()
+	p.RegisterTelemetry(reg, "uring")
+	spans := telemetry.NewSpanTable("test")
+	spans.Enable()
+	p.SetSpans(spans)
+
+	mq.Push(payload("s"), 0, func(queue.Completion) {})
+	p.Submit(SQE{Op: queue.OpPop, QD: 5, Tag: 1})
+	drive(t, p, mq)
+	var cqes [4]CQE
+	if n := p.Harvest(cqes[:]); n != 1 {
+		t.Fatalf("Harvest = %d, want 1", n)
+	}
+	cqes[0].SGA.Free()
+
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"uring.sq_posted":        1,
+		"uring.sq_drained":       1,
+		"uring.cq_posted":        1,
+		"uring.cq_harvested":     1,
+		"uring.outstanding":      0,
+		"uring.drain_batch.le_1": 1,
+	}
+	for name, v := range want {
+		got, ok := snap.Get(name)
+		if !ok || got != v {
+			t.Fatalf("%s = %d (ok=%v), want %d", name, got, ok, v)
+		}
+	}
+
+	sums := spans.Summaries()
+	if len(sums) != 1 || sums[0].QD != 5 || sums[0].Ops != 1 {
+		t.Fatalf("span summaries = %+v, want one op on qd 5", sums)
+	}
+}

@@ -1,0 +1,332 @@
+package demikernel
+
+// Ring-path lifecycle tests: the syscall-free SQ/CQ data path under
+// node crash and restart. The paper's §3 argument — no OS means no
+// death notification — applies doubly to shared-memory rings: nothing
+// but the libOS can resolve SQEs a dead stack will never drain. These
+// tests require that every ring operation pending at crash time
+// resolves to exactly one typed ErrLocalReset CQE, that submission is
+// refused afterwards, that a restarted node carries fresh rings, and
+// that frames are conserved across the incarnation boundary.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"demikernel/internal/fabric"
+	"demikernel/internal/queue"
+	"demikernel/internal/uring"
+)
+
+// ringConnect builds a connected catnip pair, keeping the Node handles
+// so the test can Crash and Restart the server. Background polling is
+// used only for the TCP handshake.
+func ringConnect(t *testing.T, c *Cluster, cliNode, srvNode *Node, port uint16) (cqd, lqd, sqd QD) {
+	t.Helper()
+	lqd, err := srvNode.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := c.AddrOf(srvNode, port)
+	if err := srvNode.Bind(lqd, addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := srvNode.Listen(lqd); err != nil {
+		t.Fatal(err)
+	}
+	cqd, err = cliNode.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := srvNode.Background()
+	if err := cliNode.Connect(cqd, addr); err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	sqd, err = srvNode.Accept(lqd)
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	stop()
+	return cqd, lqd, sqd
+}
+
+// ringEcho drives one push+pop round trip from the client ring against
+// a manually-pumped server ring and returns the echoed payload.
+func ringEcho(t *testing.T, cli, srv *Node, cp, sp *uring.Pair, cqd, sqd QD, payload []byte) []byte {
+	t.Helper()
+	if n, err := srv.SubmitBatch(sp, []uring.SQE{{Op: queue.OpPop, QD: int32(sqd), Tag: 0}}); err != nil || n != 1 {
+		t.Fatalf("server pop submit: n=%d err=%v", n, err)
+	}
+	if n, err := cli.SubmitBatch(cp, []uring.SQE{
+		{Op: queue.OpPush, QD: int32(cqd), Tag: 1, SGA: NewSGA(payload)},
+		{Op: queue.OpPop, QD: int32(cqd), Tag: 2},
+	}); err != nil || n != 2 {
+		t.Fatalf("client submit: n=%d err=%v", n, err)
+	}
+	scq := make([]uring.CQE, 4)
+	ccq := make([]uring.CQE, 4)
+	var echoed []byte
+	deadline := time.Now().Add(2 * time.Second)
+	got := 0
+	for got < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("ring echo made no progress")
+		}
+		cli.Poll()
+		srv.Poll()
+		for _, cq := range scq[:srv.HarvestCQ(sp, scq)] {
+			if cq.Err != nil {
+				t.Fatalf("server CQE error: %v", cq.Err)
+			}
+			if cq.Kind == queue.OpPop {
+				if n, err := srv.SubmitBatch(sp, []uring.SQE{
+					{Op: queue.OpPush, QD: int32(sqd), Tag: 3, SGA: cq.SGA, Cost: cq.Cost},
+				}); err != nil || n != 1 {
+					t.Fatalf("server echo submit: n=%d err=%v", n, err)
+				}
+			}
+		}
+		for _, cq := range ccq[:cli.HarvestCQ(cp, ccq)] {
+			if cq.Err != nil {
+				t.Fatalf("client CQE error: %v", cq.Err)
+			}
+			if cq.Kind == queue.OpPop {
+				echoed = append(echoed[:0], cq.SGA.Bytes()...)
+				cq.SGA.Free()
+			}
+			got++
+		}
+	}
+	return echoed
+}
+
+// TestRingCrashRestart kills a node with ring operations pending in
+// every pre-crash state — a CQE posted but unharvested and SQEs posted
+// but undrained — and requires each to resolve to exactly one typed
+// ErrLocalReset CQE, submission to be refused afterwards, a fresh ring
+// to work after Restart, and the frame-conservation laws to hold across
+// the incarnation boundary.
+func TestRingCrashRestart(t *testing.T) {
+	c := NewCluster(71)
+	srvNode := c.MustSpawn(Catnip, WithHost(1))
+	cliNode := c.MustSpawn(Catnip, WithConfig(NodeConfig{
+		Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4,
+	}))
+	cliNode.WaitTimeout = 200 * time.Millisecond
+	cqd, lqd, sqd := ringConnect(t, c, cliNode, srvNode, 7171)
+
+	cp := cliNode.AttachRing(16)
+	sp := srvNode.AttachRing(16)
+
+	// Prove the ring path is live end to end.
+	if got := ringEcho(t, cliNode, srvNode, cp, sp, cqd, sqd, []byte("ping")); !bytes.Equal(got, []byte("ping")) {
+		t.Fatalf("pre-crash ring echo = %q", got)
+	}
+
+	// Stage a CQE that will sit unharvested at crash time: the server
+	// arms a pop, the client's ring push lands, both sides poll until
+	// the completion is on the server CQ — and nobody harvests it.
+	if n, err := srvNode.SubmitBatch(sp, []uring.SQE{{Op: queue.OpPop, QD: int32(sqd), Tag: 10}}); err != nil || n != 1 {
+		t.Fatalf("server pop submit: n=%d err=%v", n, err)
+	}
+	if n, err := cliNode.SubmitBatch(cp, []uring.SQE{
+		{Op: queue.OpPush, QD: int32(cqd), Tag: 11, SGA: NewSGA([]byte("doomed"))},
+	}); err != nil || n != 1 {
+		t.Fatalf("client push submit: n=%d err=%v", n, err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sp.CQLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("staged pop never completed")
+		}
+		cliNode.Poll()
+		srvNode.Poll()
+	}
+	// Drain the client's push CQE so the client ring is quiescent.
+	ccq := make([]uring.CQE, 4)
+	for n := 0; n == 0; n = cliNode.HarvestCQ(cp, ccq) {
+		cliNode.Poll()
+	}
+
+	// Stage two SQEs that will sit undrained: posted to the SQ with no
+	// Poll on the server side before the crash.
+	if n, err := srvNode.SubmitBatch(sp, []uring.SQE{
+		{Op: queue.OpPop, QD: int32(sqd), Tag: 12},
+		{Op: queue.OpPop, QD: int32(sqd), Tag: 13},
+	}); err != nil || n != 2 {
+		t.Fatalf("staging undrained SQEs: n=%d err=%v", n, err)
+	}
+
+	aborted, err := srvNode.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aborted < 3 {
+		t.Fatalf("crash aborted %d ops, want >= 3 (2 SQ-flushed + 1 CQ-rewritten)", aborted)
+	}
+
+	// Every pending ring op resolves to exactly one typed CQE: the
+	// unharvested completion is rewritten at harvest, the two undrained
+	// SQEs were converted at flush.
+	scq := make([]uring.CQE, 16)
+	n := srvNode.HarvestCQ(sp, scq)
+	if n != 3 {
+		t.Fatalf("post-crash harvest = %d CQEs, want 3", n)
+	}
+	for i := 0; i < n; i++ {
+		if !errors.Is(scq[i].Err, ErrLocalReset) {
+			t.Fatalf("post-crash CQE %d: err = %v, want ErrLocalReset", i, scq[i].Err)
+		}
+	}
+	cnt := sp.CountersSnapshot()
+	if cnt.SQFlushed != 2 || cnt.CQFlushed != 1 {
+		t.Fatalf("flush counters sq=%d cq=%d, want 2/1", cnt.SQFlushed, cnt.CQFlushed)
+	}
+
+	// The dead pair refuses new submissions with the typed reset error.
+	if _, err := srvNode.SubmitBatch(sp, []uring.SQE{{Op: queue.OpPop, QD: int32(sqd), Tag: 14}}); !errors.Is(err, ErrLocalReset) {
+		t.Fatalf("submit after crash = %v, want ErrLocalReset", err)
+	}
+
+	// Rebirth: fresh ring pair on the same node, same listening QD.
+	if err := srvNode.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	cqd2, err := cliNode.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := srvNode.Background()
+	if err := cliNode.Connect(cqd2, c.AddrOf(srvNode, 7171)); err != nil {
+		stop()
+		t.Fatalf("redial after restart: %v", err)
+	}
+	sqd2, err := srvNode.Accept(lqd)
+	if err != nil {
+		stop()
+		t.Fatalf("pre-crash listener refused a post-restart dial: %v", err)
+	}
+	stop()
+	sp2 := srvNode.AttachRing(16)
+	if got := ringEcho(t, cliNode, srvNode, cp, sp2, cqd2, sqd2, []byte("again")); !bytes.Equal(got, []byte("again")) {
+		t.Fatalf("post-restart ring echo = %q", got)
+	}
+
+	// Quiesce, then read the conservation laws across the incarnation
+	// boundary (same laws as the chaos lifecycle soak).
+	c.Switch.SetImpairments(fabric.Impairments{})
+	c.Switch.Flush()
+	qdeadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(qdeadline) {
+		c.Poll()
+		c.Switch.Flush()
+		time.Sleep(time.Millisecond)
+	}
+
+	sw := c.Switch
+	fs := sw.Stats()
+	var sumTx int64
+	for id := 0; id < sw.NumPorts(); id++ {
+		sumTx += sw.PortStats(id).TxFrames
+	}
+	if lhs, rhs := sumTx+fs.InjectedDup, fs.Delivered+fs.InjectedLoss+fs.LinkDownDrops+fs.DroppedRxFull+fs.AsymDrops; lhs != rhs {
+		t.Fatalf("fabric conservation violated: tx+dup=%d != delivered+loss+linkdown+rxfull+asym=%d", lhs, rhs)
+	}
+	dev := srvNode.Catnip.Device()
+	dev.QueueDepth(0)
+	ds := dev.Stats()
+	ps := sw.PortStats(dev.PortID())
+	if ps.Delivered != ds.RxFrames+ds.RxDropped+ds.FilterDrops {
+		t.Fatalf("nic conservation violated: delivered=%d != rx=%d+dropped=%d+filtered=%d",
+			ps.Delivered, ds.RxFrames, ds.RxDropped, ds.FilterDrops)
+	}
+	srvNode.Poll()
+	ds = dev.Stats()
+	var occ int64
+	for q := 0; q < dev.NumRxQueues(); q++ {
+		occ += int64(dev.RxOccupancy(q))
+	}
+	framesIn := srvNode.Catnip.StackStats().FramesIn
+	if ds.RxFrames != framesIn+occ+ds.RxFlushed {
+		t.Fatalf("stack conservation violated across crash: nic rx=%d != sum frames_in=%d + rings=%d + flushed=%d",
+			ds.RxFrames, framesIn, occ, ds.RxFlushed)
+	}
+}
+
+// TestShardedRingSmoke attaches one ring pair per shard of a 2-shard
+// node and drives an operation through each, proving the ring drain
+// hook works per shard worker, not just on single-shard nodes.
+func TestShardedRingSmoke(t *testing.T) {
+	c := NewCluster(72)
+	srvNode := c.MustSpawn(Catnip, WithHost(1), WithShards(2))
+	cliNode := c.MustSpawn(Catnip, WithHost(2))
+	sh := srvNode.Sharded
+	if sh == nil || len(sh.Libs) != 2 {
+		t.Fatalf("expected a 2-shard node, got %+v", sh)
+	}
+
+	stopS := srvNode.Background()
+	defer stopS()
+	stopC := cliNode.Background()
+	defer stopC()
+
+	// Every shard's own netstack listens on the same port; RSS decides
+	// which shard a SYN reaches, so the dial must come from a source
+	// port that hashes to the target shard.
+	const port = 7200
+	lqds := make([]QD, 2)
+	for shardID := 0; shardID < 2; shardID++ {
+		lib := sh.Libs[shardID]
+		lqd, err := lib.Socket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Bind(lqd, Addr{Port: port}); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Listen(lqd); err != nil {
+			t.Fatal(err)
+		}
+		lqds[shardID] = lqd
+	}
+
+	for shardID := 0; shardID < 2; shardID++ {
+		lib := sh.Libs[shardID]
+		lqd := lqds[shardID]
+		cqd, err := c.DialToShard(cliNode, sh, port, shardID, uint16(shardID))
+		if err != nil {
+			t.Fatalf("shard %d dial: %v", shardID, err)
+		}
+		sqd, err := lib.Accept(lqd)
+		if err != nil {
+			t.Fatalf("shard %d accept: %v", shardID, err)
+		}
+
+		// Ring pair on the shard's own libOS: its worker loop (running
+		// via Background) must drain the SQ and complete the ops.
+		sp := lib.AttachRing(8)
+		if n, err := lib.SubmitBatch(sp, []uring.SQE{{Op: queue.OpPop, QD: int32(sqd), Tag: 1}}); err != nil || n != 1 {
+			t.Fatalf("shard %d pop submit: n=%d err=%v", shardID, n, err)
+		}
+		payload := []byte("shard-hello")
+		if _, err := cliNode.BlockingPush(cqd, NewSGA(payload)); err != nil {
+			t.Fatalf("shard %d push: %v", shardID, err)
+		}
+		cqes := make([]uring.CQE, 4)
+		n, err := lib.WaitAnyRing(sp, cqes, time.Now().Add(2*time.Second))
+		if err != nil {
+			t.Fatalf("shard %d ring wait: %v", shardID, err)
+		}
+		if n != 1 || cqes[0].Err != nil || !bytes.Equal(cqes[0].SGA.Bytes(), payload) {
+			t.Fatalf("shard %d ring pop: n=%d err=%v payload=%q", shardID, n, cqes[0].Err, cqes[0].SGA.Bytes())
+		}
+		cqes[0].SGA.Free()
+		cliNode.Close(cqd)
+		lib.Close(sqd)
+		lib.Close(lqds[shardID])
+	}
+}

@@ -1,0 +1,219 @@
+package demikernel
+
+// BenchmarkURing_* measures the syscall-free ring data path against the
+// same manually-pumped catnip echo rig BenchmarkHotPath_EchoRTT uses
+// for the per-op token path. The client posts batches of push+pop SQEs
+// to its submission ring and harvests tagged CQEs; the server echoes
+// through its own ring pair. No calls into the libOS happen per
+// operation — Poll drains the SQs — so ns/op falls as the batch
+// amortizes the transport sweeps, and allocs/op is exactly zero.
+// `make bench` persists the results as BENCH_uring.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"demikernel/internal/queue"
+	"demikernel/internal/uring"
+)
+
+// ringHeldCap bounds the server-side FIFO of popped payloads awaiting
+// their echo-push completion; 256 covers the largest benchmark batch
+// with room for pipelining.
+const ringHeldCap = 256
+
+// ringEchoRig is the manually-pumped ring-path echo pair: one ring pair
+// per side, descriptor QDs from hotPathPair, and reusable scratch for
+// every submit/harvest so the steady state allocates nothing.
+type ringEchoRig struct {
+	cli, srv *LibOS
+	cqd, sqd QD
+	cp, sp   *uring.Pair
+
+	csq  []uring.SQE // client submission staging
+	ccq  []uring.CQE // client harvest scratch
+	ssq  []uring.SQE // server submission staging
+	scq  []uring.CQE // server harvest scratch
+	held [ringHeldCap]SGA
+	hh   int // held head
+	ht   int // held tail
+
+	cleanup func()
+}
+
+func newRingEchoRig(tb testing.TB) *ringEchoRig {
+	tb.Helper()
+	cli, srv, cqd, sqd, cleanup := hotPathPair(tb)
+	r := &ringEchoRig{
+		cli: cli, srv: srv, cqd: cqd, sqd: sqd,
+		cp:      cli.AttachRing(ringHeldCap),
+		sp:      srv.AttachRing(ringHeldCap),
+		cleanup: cleanup,
+	}
+	r.csq = make([]uring.SQE, 0, 2*ringHeldCap)
+	r.ccq = make([]uring.CQE, ringHeldCap)
+	r.ssq = make([]uring.SQE, 0, 2*ringHeldCap)
+	r.scq = make([]uring.CQE, ringHeldCap)
+	// Arm a window of server pops; each request re-arms one, so the
+	// window is the server's pipeline depth. One pop per request would
+	// serialize the whole batch to one request per poll.
+	for i := 0; i < 64; i++ {
+		r.ssq = append(r.ssq, uring.SQE{Op: queue.OpPop, QD: int32(sqd), Tag: 0})
+	}
+	r.flushServer(tb)
+	return r
+}
+
+func (r *ringEchoRig) flushServer(tb testing.TB) {
+	tb.Helper()
+	for len(r.ssq) > 0 {
+		n, err := r.srv.SubmitBatch(r.sp, r.ssq)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		r.ssq = r.ssq[:copy(r.ssq, r.ssq[n:])]
+		if n == 0 {
+			r.srv.Poll()
+		}
+	}
+}
+
+// serviceServer plays the echo server: harvest the server CQ, push each
+// popped payload back (tag 1) with a re-armed pop (tag 0), and free
+// payloads whose echo push has completed.
+func (r *ringEchoRig) serviceServer(tb testing.TB) {
+	tb.Helper()
+	n := r.srv.HarvestCQ(r.sp, r.scq)
+	for i := 0; i < n; i++ {
+		c := &r.scq[i]
+		if c.Err != nil {
+			tb.Fatal(c.Err)
+		}
+		if c.Tag == 1 { // echo delivered; FIFO head is its payload
+			r.held[r.hh%ringHeldCap].Free()
+			r.held[r.hh%ringHeldCap] = SGA{}
+			r.hh++
+			*c = uring.CQE{}
+			continue
+		}
+		r.held[r.ht%ringHeldCap] = c.SGA
+		r.ht++
+		r.ssq = append(r.ssq,
+			uring.SQE{Op: queue.OpPush, QD: int32(r.sqd), Tag: 1, SGA: c.SGA, Cost: c.Cost},
+			uring.SQE{Op: queue.OpPop, QD: int32(r.sqd), Tag: 0})
+		*c = uring.CQE{}
+	}
+	r.flushServer(tb)
+}
+
+// roundTrips drives batch pipelined echo RTTs: 2*batch SQEs posted to
+// the client ring up front, then both nodes polled and both rings
+// harvested until every completion lands. The held-payload FIFO frees
+// each pooled clone only after its echo push completes.
+func (r *ringEchoRig) roundTrips(tb testing.TB, payload SGA, batch int) {
+	tb.Helper()
+	sq := r.csq[:0]
+	for i := 0; i < batch; i++ {
+		sq = append(sq,
+			uring.SQE{Op: queue.OpPush, QD: int32(r.cqd), Tag: uint64(i)<<1 | 1, SGA: payload},
+			uring.SQE{Op: queue.OpPop, QD: int32(r.cqd), Tag: uint64(i) << 1})
+	}
+	want := len(sq)
+	got := 0
+	for got < want || len(sq) > 0 {
+		if len(sq) > 0 {
+			n, err := r.cli.SubmitBatch(r.cp, sq)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			sq = sq[n:]
+		}
+		r.cli.Poll() // drain client SQ, TX the requests
+		r.srv.Poll() // RX requests; pop CQEs land on the server ring
+		r.serviceServer(tb)
+		r.srv.Poll() // drain server SQ, TX the echoes
+		r.cli.Poll() // RX echoes; pop CQEs land on the client ring
+		n := r.cli.HarvestCQ(r.cp, r.ccq)
+		for i := 0; i < n; i++ {
+			c := &r.ccq[i]
+			if c.Err != nil {
+				tb.Fatal(c.Err)
+			}
+			if c.Kind == queue.OpPop {
+				c.SGA.Free()
+			}
+			*c = uring.CQE{}
+			got++
+		}
+	}
+	// Drain the server's trailing push completions so held payloads
+	// recycle before the next call.
+	for r.hh != r.ht {
+		r.cli.Poll()
+		r.srv.Poll()
+		r.serviceServer(tb)
+	}
+	r.csq = r.csq[:0]
+}
+
+// BenchmarkURing_EchoRTT is the ring-path counterpart of
+// BenchmarkHotPath_EchoRTT/64B: ns/op is per round trip, with batch
+// round trips in flight on the rings at once. batch=1 isolates the
+// ring-vs-token submission cost; batch=8/32 show the amortization the
+// shared-memory rings exist for.
+func BenchmarkURing_EchoRTT(b *testing.B) {
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("64B/batch%d", batch), func(b *testing.B) {
+			r := newRingEchoRig(b)
+			defer r.cleanup()
+			payload := NewSGA(make([]byte, 64))
+			r.roundTrips(b, payload, batch) // warm pools and scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				r.roundTrips(b, payload, batch)
+			}
+		})
+	}
+}
+
+// BenchmarkURing_SubmitHarvest isolates the ring crossing itself —
+// SubmitN, drain, slab completion, Harvest — over an in-memory queue
+// with no netstack underneath: the cost of the "syscall" that is no
+// longer a syscall.
+// The 1 alloc/op here is MemQueue's element bookkeeping, not the ring:
+// the network ring path is alloc-free (see TestHotPathAllocsRingEchoRTT).
+func BenchmarkURing_SubmitHarvest(b *testing.B) {
+	c := NewCluster(1)
+	n := c.MustSpawn(Catnip, WithHost(1))
+	qd := n.Queue()
+	p := n.AttachRing(64)
+	cqes := make([]uring.CQE, 64)
+	payload := NewSGA(make([]byte, 64))
+	sqes := []uring.SQE{
+		{Op: queue.OpPush, QD: int32(qd), Tag: 1, SGA: payload},
+		{Op: queue.OpPop, QD: int32(qd), Tag: 2},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nn, err := n.SubmitBatch(p, sqes); err != nil || nn != 2 {
+			b.Fatalf("submit: n=%d err=%v", nn, err)
+		}
+		got := 0
+		for got < 2 {
+			n.Poll()
+			h := n.HarvestCQ(p, cqes)
+			for j := 0; j < h; j++ {
+				if cqes[j].Err != nil {
+					b.Fatal(cqes[j].Err)
+				}
+				if cqes[j].Kind == queue.OpPop {
+					cqes[j].SGA.Free()
+				}
+				cqes[j] = uring.CQE{}
+			}
+			got += h
+		}
+	}
+}
