@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak chaos bench benchsmoke benchall report clean
+.PHONY: all tier1 vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak httpsoak chaos bench benchsmoke benchall report clean
 
 all: tier1
 
@@ -17,10 +17,12 @@ all: tier1
 ## align, and beat one shard), a crash/restart soak (the lifecycle
 ## tests repeated under -race: typed errors only, listener re-binding,
 ## failover recovery, frame conservation across the incarnation
-## boundary), and a one-iteration smoke of the hot-path benchmark
-## suite so a broken benchmark rig fails the gate, not the nightly
-## bench run.
-tier1: vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak benchsmoke
+## boundary), an HTTP workload soak (production-shaped traffic with
+## slow readers and a mid-run crash/restart; stalled readers must
+## become TCP backpressure, not unbounded buffering), and a
+## one-iteration smoke of the hot-path benchmark suite so a broken
+## benchmark rig fails the gate, not the nightly bench run.
+tier1: vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak httpsoak benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +34,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/ ./internal/shard/ ./internal/apps/kv/ ./internal/apps/failover/ ./internal/simclock/ ./internal/libos/catnip/ ./internal/tenant/ ./internal/nic/ ./internal/uring/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/netstack/ ./internal/membuf/ ./internal/telemetry/ ./internal/queue/ ./internal/shard/ ./internal/apps/kv/ ./internal/apps/failover/ ./internal/apps/httpd/ ./internal/simclock/ ./internal/libos/catnip/ ./internal/tenant/ ./internal/nic/ ./internal/uring/ ./internal/workload/
 	$(GO) test -race -count=1 -run 'TestChaosShardedKV' .
 
 ## statsmoke: run an impaired echo workload and check that the telemetry
@@ -56,7 +58,7 @@ shardsmoke:
 ## ErrLocalReset CQE; frames conserved across the incarnation
 ## boundary). Part of tier1.
 lifecyclesoak:
-	$(GO) test -race -count=2 -run 'TestCrashRestartMidConnection|TestKVFailoverAcrossCrash|TestChaosShardedKVCrashRestart|TestRingCrashRestart|TestShardedRingSmoke' .
+	$(GO) test -race -count=2 -run 'TestCrashRestartMidConnection|TestKVFailoverAcrossCrash|TestChaosShardedKVCrashRestart|TestRingCrashRestart|TestShardedRingSmoke|TestHTTPCrashRestartKeepAlive|TestHTTPHalfCloseFlush' .
 
 ## tenantsoak: the multi-tenant isolation gauntlet, under the race
 ## detector — three tenants on one shared NIC, one hostile (flood →
@@ -70,6 +72,19 @@ tenantsoak:
 	$(GO) test -race -count=1 -run 'TestHostileTenantSoak|TestTenantCrashSparesNeighbors' .
 	$(GO) run ./cmd/demi-stat -tenants -n 300
 
+## httpsoak: the HTTP/1.1 workload gauntlet, under the race detector —
+## the production-shaped soak (Zipf popularity, keep-alive churn, slow
+## readers, a mid-run crash/restart of the 2-shard server, exact
+## request accounting) plus the slow-client stall/recover tests on both
+## data paths (per-op tokens and SQ/CQ rings): a stalled reader must
+## park the bounded rx ready list (rx_ready_stalls) and turn into TCP
+## backpressure, then drain cleanly once the reader resumes. Followed
+## by a short run of the demi-stat -http dashboard, which re-asserts
+## the same on the CLI surface. Part of tier1.
+httpsoak:
+	$(GO) test -race -count=1 -run 'TestHTTPProductionSoak|TestHTTPSlowClientStallAndRecover|TestHTTPRingSlowClient' .
+	$(GO) run ./cmd/demi-stat -http -n 600
+
 ## chaos: just the fault-injection suite (root soak tests + engine).
 chaos:
 	$(GO) test -run 'TestChaos|TestCrashRestart|TestKVFailover' -count=1 ./...
@@ -78,16 +93,21 @@ chaos:
 ## readable result stream to BENCH_hotpath.json, then measure the
 ## multi-core scaling curve (1..8 shards) and persist it as
 ## BENCH_multishard.json. The curve run fails if 4 shards fall below
-## 2.5x the single-shard virtual throughput. Compare both files
-## against the committed baselines to spot regressions.
+## 2.5x the single-shard virtual throughput. Finally measure the HTTP
+## server on both data paths (demi-http -bench) and persist
+## BENCH_http.json; that run fails unless the ring path sustains >=2x
+## the per-op requests/sec at some batch >= 8 with zero steady-state
+## allocations per request. Compare the files against the committed
+## baselines to spot regressions.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchmem -json . | tee BENCH_hotpath.json
 	$(GO) test -run xxx -bench 'BenchmarkURing' -benchmem -json . | tee BENCH_uring.json
 	$(GO) run ./cmd/demi-bench -shards 8 -shardsout BENCH_multishard.json
+	$(GO) run ./cmd/demi-http -bench -out BENCH_http.json
 
 ## benchsmoke: one iteration of every hot-path benchmark; part of tier1.
 benchsmoke:
-	$(GO) test -run xxx -bench 'BenchmarkHotPath|BenchmarkURing' -benchtime=1x .
+	$(GO) test -run xxx -bench 'BenchmarkHotPath|BenchmarkURing|BenchmarkHTTP' -benchtime=1x .
 
 ## benchall: every benchmark in the repo (E1..E13 experiments + hot path).
 benchall:

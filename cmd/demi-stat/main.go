@@ -122,6 +122,8 @@ func main() {
 	shards := flag.Int("shards", 0, "run the sharded-KV dashboard over this many catnip shards")
 	tenants := flag.Bool("tenants", false, "run the multi-tenant NIC dashboard (victims + a hostile tenant)")
 	ringBatch := flag.Int("ring", 0, "run the echo workload over SQ/CQ rings, this many round trips per batch")
+	httpView := flag.Bool("http", false, "run the HTTP/1.1 workload dashboard (httpd counters + latency tail)")
+	httpRing := flag.Int("httpring", 0, "with -http: serve over SQ/CQ rings of this capacity instead of per-op tokens")
 	flag.Parse()
 
 	if *ringBatch > 0 && *chaos {
@@ -139,6 +141,13 @@ func main() {
 	}
 	if *shards > 0 {
 		if err := runSharded(*seed, *shards, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "demi-stat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *httpView {
+		if err := runHTTP(*seed, *n, *httpRing); err != nil {
 			fmt.Fprintf(os.Stderr, "demi-stat: %v\n", err)
 			os.Exit(1)
 		}

@@ -182,6 +182,12 @@ type NodeConfig struct {
 	RTO time.Duration
 	// MaxRetransmits overrides the TCP give-up budget (catnip only).
 	MaxRetransmits int
+	// RxReadyCap bounds buffered-but-unharvested pop completions per
+	// endpoint; past it the receive drain parks and the TCP advertised
+	// window closes toward the peer, so a slow reader stalls its sender
+	// instead of growing an unbounded backlog (catnip only, 0 =
+	// unbounded).
+	RxReadyCap int
 
 	// OpTimeout bounds how long an RDMA operation may stay in flight
 	// before the peer is declared dead (catmint only; negative
@@ -380,6 +386,7 @@ func (c *Cluster) Spawn(kind Kind, opts ...SpawnOption) (*Node, error) {
 			MemCapacity:    cfg.MemCapacity,
 			RTO:            cfg.RTO,
 			MaxRetransmits: cfg.MaxRetransmits,
+			RxReadyCap:     cfg.RxReadyCap,
 			Clock:          clock,
 		}
 		var grp *nic.QueueGroup

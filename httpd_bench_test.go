@@ -1,0 +1,226 @@
+package demikernel
+
+// BenchmarkHTTP_* measures the httpd server on the same manually-pumped
+// single-goroutine rigs the hot-path suite uses — no Run goroutine, no
+// Background pollers — so ns/op and allocs/op are deterministic. Two
+// data paths share one rig shape: the legacy per-op token path (one
+// push + one pop token per GET) and the SQ/CQ ring path (a batch of
+// push+pop SQEs per sweep). TestHotPathAllocsHTTPRingServe is the
+// 0-alloc fence over the ring serve loop: steady-state HTTP — parse,
+// route, range resolution, pooled response build, ring harvest — must
+// not malloc.
+
+import (
+	"fmt"
+	"testing"
+
+	"demikernel/internal/apps/httpd"
+	"demikernel/internal/queue"
+	"demikernel/internal/uring"
+	"demikernel/internal/workload"
+)
+
+const httpBenchPort = 8080
+
+// httpBenchRig is a connected httpd server/client pair pumped only by
+// the calling goroutine: the server's Step and both libOS Polls run
+// inline, never in the background.
+type httpBenchRig struct {
+	cli    *LibOS
+	srvLib *LibOS
+	srv    *httpd.Server
+	cqd    QD
+	req    SGA // prebuilt "GET /obj/00000 HTTP/1.1" request, reused
+
+	ring *uring.Pair // client ring (ring rig only)
+	sq   []uring.SQE
+	cq   []uring.CQE
+
+	cleanup func()
+}
+
+func newHTTPBenchRig(tb testing.TB, ringCap int) *httpBenchRig {
+	tb.Helper()
+	c := NewCluster(7)
+	srvNode := c.MustSpawn(Catnip, WithHost(1))
+	cliNode := c.MustSpawn(Catnip, WithHost(2))
+
+	objs := workload.HTTPObjects(4, workload.FixedSize(64), 7)
+	tree := httpd.NewTree()
+	for _, o := range objs {
+		tree.Add(o.Path, o.Body)
+	}
+	srv := httpd.NewServer(srvNode.LibOS, tree)
+	if err := srv.Listen(httpBenchPort); err != nil {
+		tb.Fatal(err)
+	}
+	if ringCap > 0 {
+		srv.EnableRing(ringCap)
+	}
+
+	cqd, err := cliNode.Socket()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// The TCP handshake needs both sides progressing; background-pump
+	// the server during setup only.
+	stop := srvNode.Background()
+	if err := cliNode.Connect(cqd, c.AddrOf(srvNode, httpBenchPort)); err != nil {
+		stop()
+		tb.Fatal(err)
+	}
+	stop()
+
+	r := &httpBenchRig{
+		cli:    cliNode.LibOS,
+		srvLib: srvNode.LibOS,
+		srv:    srv,
+		cqd:    cqd,
+		req:    NewSGA([]byte("GET " + workload.HTTPObjectPath(0) + " HTTP/1.1\r\n\r\n")),
+		cleanup: func() {
+			cliNode.Close(cqd)
+		},
+	}
+	if ringCap > 0 {
+		r.ring = cliNode.AttachRing(ringCap)
+		r.sq = make([]uring.SQE, 0, 2*ringCap)
+		r.cq = make([]uring.CQE, ringCap)
+	}
+	// Let the server accept the connection.
+	for i := 0; r.srv.Conns() == 0; i++ {
+		r.cli.Poll()
+		r.srvLib.Poll()
+		r.srv.Step()
+		if i > 1_000_000 {
+			tb.Fatal("httpd bench rig: accept made no progress")
+		}
+	}
+	return r
+}
+
+// pump advances both sides one sweep: client TX, server RX+serve,
+// server TX, client RX.
+func (r *httpBenchRig) pump() {
+	r.cli.Poll()
+	r.srvLib.Poll()
+	r.srv.Step()
+	r.srvLib.Poll()
+	r.cli.Poll()
+}
+
+// getOnce performs one GET over the per-op token path: arm the client
+// pop, push the prebuilt request, pump until both complete, free the
+// response.
+func (r *httpBenchRig) getOnce(tb testing.TB) {
+	pqt, err := r.cli.Pop(r.cqd)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	qt, err := r.cli.Push(r.cqd, r.req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if c, ok, werr := r.cli.TryWait(pqt); werr != nil {
+			tb.Fatal(werr)
+		} else if ok {
+			if c.Err != nil {
+				tb.Fatal(c.Err)
+			}
+			c.SGA.Free()
+			break
+		}
+		r.pump()
+		if i > 1_000_000 {
+			tb.Fatal("per-op GET made no progress")
+		}
+	}
+	if _, ok, err := r.cli.TryWait(qt); err != nil || !ok {
+		tb.Fatalf("request push not complete: ok=%v err=%v", ok, err)
+	}
+}
+
+// getBatch performs `batch` pipelined GETs over the ring path: 2*batch
+// SQEs posted up front, pump-and-harvest until every response pop CQE
+// lands, freeing each response SGA.
+func (r *httpBenchRig) getBatch(tb testing.TB, batch int) {
+	sq := r.sq[:0]
+	for i := 0; i < batch; i++ {
+		sq = append(sq,
+			uring.SQE{Op: queue.OpPush, QD: int32(r.cqd), Tag: uint64(i)<<1 | 1, SGA: r.req},
+			uring.SQE{Op: queue.OpPop, QD: int32(r.cqd), Tag: uint64(i) << 1})
+	}
+	want := 2 * batch
+	got := 0
+	for it := 0; got < want || len(sq) > 0; it++ {
+		if len(sq) > 0 {
+			n, err := r.cli.SubmitBatch(r.ring, sq)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			sq = sq[n:]
+		}
+		r.pump()
+		n := r.cli.HarvestCQ(r.ring, r.cq)
+		for i := 0; i < n; i++ {
+			c := &r.cq[i]
+			if c.Err != nil {
+				tb.Fatal(c.Err)
+			}
+			if c.Tag&1 == 0 { // response pop
+				c.SGA.Free()
+			}
+			got++
+			*c = uring.CQE{}
+		}
+		if it > 1_000_000 {
+			tb.Fatal("ring GET batch made no progress")
+		}
+	}
+}
+
+// BenchmarkHTTP_PerOp is one GET per iteration over per-op tokens: two
+// libOS calls plus token waits per request.
+func BenchmarkHTTP_PerOp(b *testing.B) {
+	r := newHTTPBenchRig(b, 0)
+	defer r.cleanup()
+	r.getOnce(b) // warm pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.getOnce(b)
+	}
+}
+
+// BenchmarkHTTP_RingBatch is `batch` pipelined GETs per iteration over
+// the SQ/CQ rings; ns/op divided by the batch size gives per-request
+// cost, which falls as the batch amortizes the transport sweeps.
+func BenchmarkHTTP_RingBatch(b *testing.B) {
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			r := newHTTPBenchRig(b, 256)
+			defer r.cleanup()
+			r.getBatch(b, batch) // warm pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.getBatch(b, batch)
+			}
+		})
+	}
+}
+
+// TestHotPathAllocsHTTPRingServe fences the steady-state ring serve
+// loop at zero heap allocations: after warmup, a full batch of GETs —
+// request parse, route lookup, pooled response build, ring
+// submit/harvest on both sides — must not malloc.
+func TestHotPathAllocsHTTPRingServe(t *testing.T) {
+	r := newHTTPBenchRig(t, 256)
+	defer r.cleanup()
+	for i := 0; i < 50; i++ {
+		r.getBatch(t, 8)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { r.getBatch(t, 8) }); allocs != 0 {
+		t.Fatalf("ring HTTP serve loop allocates: %.1f allocs/run (want 0)", allocs)
+	}
+}

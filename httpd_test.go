@@ -1,0 +1,574 @@
+package demikernel
+
+// End-to-end tests for the HTTP/1.1 server on catnip queues: keep-alive
+// request handling, ranged reads, pipelining, Connection: close, idle
+// reaping, half-close, and — the point of this PR — slow-client TCP
+// backpressure. The slow-client tests exercise the full forcing chain
+// (app pop rate → bounded endpoint ready list → shrinking advertised
+// window → sender stall) and only recover because of the window-update
+// ACK and zero-window persist-probe fixes in the user TCP stack; with
+// either reverted, they hang at the stall and fail.
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"demikernel/internal/apps/failover"
+	"demikernel/internal/apps/httpd"
+	"demikernel/internal/telemetry"
+	"demikernel/internal/workload"
+)
+
+const httpdPort = 8080
+
+// httpdRig is one served httpd instance over a two-node catnip cluster:
+// server on host 1 (pumped by Server.Run in a goroutine), client on
+// host 2 (self-polled by its blocking calls).
+type httpdRig struct {
+	c       *Cluster
+	srvNode *Node
+	cliNode *Node
+	srv     *httpd.Server
+	objs    []workload.HTTPObject
+	addr    Addr
+	stop    chan struct{}
+}
+
+func newHTTPDRig(t *testing.T, seed int64, nobj, objSize int, cliCfg NodeConfig) *httpdRig {
+	t.Helper()
+	c := NewCluster(seed)
+	srvNode := c.MustSpawn(Catnip, WithHost(1))
+	if cliCfg.Host == 0 {
+		cliCfg.Host = 2
+	}
+	cliNode := c.MustSpawn(Catnip, WithConfig(cliCfg))
+
+	objs := workload.HTTPObjects(nobj, workload.FixedSize(objSize), seed)
+	tree := httpd.NewTree()
+	for _, o := range objs {
+		tree.Add(o.Path, o.Body)
+	}
+	srv := httpd.NewServer(srvNode.LibOS, tree)
+	if err := srv.Listen(httpdPort); err != nil {
+		t.Fatal(err)
+	}
+	return &httpdRig{
+		c: c, srvNode: srvNode, cliNode: cliNode, srv: srv, objs: objs,
+		addr: c.AddrOf(srvNode, httpdPort),
+	}
+}
+
+func (r *httpdRig) start() {
+	r.stop = make(chan struct{})
+	go r.srv.Run(r.stop)
+}
+
+func (r *httpdRig) shutdown() {
+	if r.stop != nil {
+		close(r.stop)
+		r.stop = nil
+	}
+}
+
+func (r *httpdRig) dial(t *testing.T) *httpd.Client {
+	t.Helper()
+	cl := httpd.NewClient(r.cliNode.LibOS)
+	if err := cl.Connect(r.addr); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// waitCond polls both nodes until cond holds or the deadline passes.
+func (r *httpdRig) waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		r.cliNode.Poll()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHTTPServeBasics covers the response matrix over one keep-alive
+// connection: 200 with a body, HEAD without one, 404, satisfiable and
+// unsatisfiable ranges, and Connection: close teardown.
+func TestHTTPServeBasics(t *testing.T) {
+	r := newHTTPDRig(t, 81, 4, 1024, NodeConfig{})
+	r.start()
+	defer r.shutdown()
+	cl := r.dial(t)
+
+	resp, err := cl.Get(r.objs[1].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !bytes.Equal(resp.Body, r.objs[1].Body) || resp.Close {
+		t.Fatalf("GET: status=%d len=%d close=%v", resp.Status, len(resp.Body), resp.Close)
+	}
+
+	resp, err = cl.Head(r.objs[2].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || len(resp.Body) != 0 {
+		t.Fatalf("HEAD: status=%d len=%d, want 200 with no body", resp.Status, len(resp.Body))
+	}
+
+	resp, err = cl.Get("/no/such/object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Fatalf("missing object: status=%d, want 404", resp.Status)
+	}
+
+	resp, err = cl.GetRange(r.objs[0].Path, "bytes=100-199")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 206 || !bytes.Equal(resp.Body, r.objs[0].Body[100:200]) {
+		t.Fatalf("range: status=%d len=%d", resp.Status, len(resp.Body))
+	}
+
+	resp, err = cl.GetRange(r.objs[0].Path, "bytes=-64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 206 || !bytes.Equal(resp.Body, r.objs[0].Body[1024-64:]) {
+		t.Fatalf("suffix range: status=%d len=%d", resp.Status, len(resp.Body))
+	}
+
+	resp, err = cl.GetRange(r.objs[0].Path, "bytes=4096-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 416 || len(resp.Body) != 0 {
+		t.Fatalf("unsatisfiable range: status=%d len=%d, want 416 empty", resp.Status, len(resp.Body))
+	}
+
+	if got := r.srv.Conns(); got != 1 {
+		t.Fatalf("one keep-alive connection should be live, got %d", got)
+	}
+
+	// Connection: close answers the request, announces close, and tears
+	// the connection down once the response flushes.
+	resp, err = cl.GetClose(r.objs[3].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !resp.Close || !bytes.Equal(resp.Body, r.objs[3].Body) {
+		t.Fatalf("GET close: status=%d close=%v", resp.Status, resp.Close)
+	}
+	r.waitCond(t, "connection teardown", func() bool { return r.srv.Conns() == 0 })
+
+	st := r.srv.Stats()
+	if st.Requests != 7 || st.R200 != 3 || st.Heads != 1 || st.R206 != 2 || st.R404 != 1 || st.R416 != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.ConnsAccepted != 1 || st.ConnsClosed != 1 {
+		t.Fatalf("conn accounting: %+v", st)
+	}
+}
+
+// TestHTTPPipelined sends many requests in ONE push; the server must
+// parse them all out of however few pops they arrive as and answer each
+// in order.
+func TestHTTPPipelined(t *testing.T) {
+	r := newHTTPDRig(t, 82, 8, 512, NodeConfig{})
+	r.start()
+	defer r.shutdown()
+	cl := r.dial(t)
+
+	idx := []int{3, 1, 3, 0, 7, 5, 1, 2, 6, 4}
+	paths := make([]string, len(idx))
+	for i, j := range idx {
+		paths[i] = r.objs[j].Path
+	}
+	resps, err := cl.GetPipelined(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != len(paths) {
+		t.Fatalf("got %d responses, want %d", len(resps), len(paths))
+	}
+	for i, resp := range resps {
+		if resp.Status != 200 || !bytes.Equal(resp.Body, r.objs[idx[i]].Body) {
+			t.Fatalf("response %d: status=%d len=%d", i, resp.Status, len(resp.Body))
+		}
+	}
+	if st := r.srv.Stats(); st.Requests != int64(len(paths)) {
+		t.Fatalf("served %d requests, want %d", st.Requests, len(paths))
+	}
+}
+
+// TestHTTPMalformed400 pushes an unparseable head; the server answers a
+// close-marked 400 and drops the connection.
+func TestHTTPMalformed400(t *testing.T) {
+	r := newHTTPDRig(t, 83, 1, 256, NodeConfig{})
+	r.start()
+	defer r.shutdown()
+
+	cqd, err := r.cliNode.Socket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.cliNode.Connect(cqd, r.addr); err != nil {
+		t.Fatal(err)
+	}
+	cl := httpd.NewClient(r.cliNode.LibOS)
+	cl.Adopt(cqd, r.addr)
+	if _, err := r.cliNode.BlockingPush(cqd, NewSGA([]byte("PUT /x HTTP/1.1\r\n\r\n"))); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 400 || !resp.Close {
+		t.Fatalf("malformed request: status=%d close=%v, want 400 close", resp.Status, resp.Close)
+	}
+	r.waitCond(t, "400 teardown", func() bool { return r.srv.Conns() == 0 })
+	if st := r.srv.Stats(); st.R400 != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestHTTPIdleReap injects a fake clock, lets a keep-alive connection go
+// quiet past IdleTimeout, and requires the server to reap it.
+func TestHTTPIdleReap(t *testing.T) {
+	r := newHTTPDRig(t, 84, 1, 256, NodeConfig{})
+	var fakeSec atomic.Int64
+	fakeSec.Store(1_000)
+	r.srv.IdleTimeout = time.Second
+	r.srv.Now = func() time.Time { return time.Unix(fakeSec.Load(), 0) }
+	r.start()
+	defer r.shutdown()
+	cl := r.dial(t)
+
+	if resp, err := cl.Get(r.objs[0].Path); err != nil || resp.Status != 200 {
+		t.Fatalf("warmup GET: %v status=%d", err, resp.Status)
+	}
+	if got := r.srv.Conns(); got != 1 {
+		t.Fatalf("conns=%d, want 1", got)
+	}
+	fakeSec.Store(1_002) // two idle virtual seconds later
+	r.waitCond(t, "idle reap", func() bool { return r.srv.Conns() == 0 })
+	if st := r.srv.Stats(); st.IdleReaped != 1 {
+		t.Fatalf("idle_reaped=%d, want 1", st.IdleReaped)
+	}
+	// The reaped connection is really gone: the next request fails.
+	r.cliNode.WaitTimeout = 200 * time.Millisecond
+	if _, err := cl.Get(r.objs[0].Path); err == nil {
+		t.Fatal("GET on a reaped connection succeeded")
+	}
+}
+
+// TestHTTPHalfCloseFlush: the client sends two large requests and sends
+// FIN without reading. A small RxReadyCap keeps the responses from
+// draining, so the server's second push cannot complete when its pop
+// fails with the typed ErrClosed — the half-close case. The server must
+// record it and keep flushing instead of dropping the owed response.
+func TestHTTPHalfCloseFlush(t *testing.T) {
+	r := newHTTPDRig(t, 85, 1, 200*1024, NodeConfig{Host: 2, RxReadyCap: 2})
+	r.start()
+	defer r.shutdown()
+	cl := r.dial(t)
+
+	if err := cl.SendRequest(r.objs[0].Path, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SendRequest(r.objs[0].Path, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r.waitCond(t, "half-close detection", func() bool { return r.srv.Stats().HalfCloses >= 1 })
+	if st := r.srv.Stats(); st.Requests != 2 || st.R200 != 2 {
+		t.Fatalf("both requests should have been served: %+v", st)
+	}
+}
+
+// TestHTTPSlowClientStallAndRecover is the headline regression test: a
+// client with a small bounded ready list issues far more requests than
+// the stack can buffer and refuses to read. The stall must propagate
+// app → endpoint → TCP window → server (rx_ready_stalls on the client,
+// backlog pauses on the server), and — once the client starts reading —
+// every response must still arrive intact. Recovery rides on the TCP
+// window-update ACK and persist-probe fixes; without them this test
+// deadlocks at the stall.
+func TestHTTPSlowClientStallAndRecover(t *testing.T) {
+	r := newHTTPDRig(t, 86, 4, 8192, NodeConfig{Host: 2, RxReadyCap: 4})
+	r.start()
+	defer r.shutdown()
+	cl := r.dial(t)
+
+	const n = 160
+	for i := 0; i < n; i++ {
+		if err := cl.SendRequest(r.objs[i%4].Path, false); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	// Stall phase: no reads at all. Responses back up in the client's
+	// TCP receive buffer, the advertised window closes, the server's
+	// sends stall, and its response backlog hits the pause threshold.
+	r.waitCond(t, "server backlog pause", func() bool {
+		return r.srv.Stats().Backlogs >= 1
+	})
+
+	// Slow-read phase: the first pops pump the parked drain, which
+	// immediately hits the bounded ready list — the rx_ready_stalls
+	// counter must record the park.
+	for i := 0; i < 8; i++ {
+		resp, err := cl.ReadResponse()
+		if err != nil {
+			t.Fatalf("slow read %d: %v", i, err)
+		}
+		if resp.Status != 200 || !bytes.Equal(resp.Body, r.objs[i%4].Body) {
+			t.Fatalf("slow response %d: status=%d len=%d", i, resp.Status, len(resp.Body))
+		}
+	}
+	if r.cliNode.Catnip.RxStalls() < 1 {
+		t.Fatal("bounded ready list never parked the drain (rx_ready_stalls = 0)")
+	}
+
+	// Recovery phase: read everything; each pop reopens ready-list space
+	// and, through the resumed drain, the TCP window.
+	for i := 8; i < n; i++ {
+		resp, err := cl.ReadResponse()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if resp.Status != 200 || !bytes.Equal(resp.Body, r.objs[i%4].Body) {
+			t.Fatalf("response %d: status=%d len=%d", i, resp.Status, len(resp.Body))
+		}
+	}
+	if st := r.srv.Stats(); st.Requests != n || st.R200 != n {
+		t.Fatalf("served %d/%d: %+v", st.R200, n, st)
+	}
+	if got := r.srv.Conns(); got != 1 {
+		t.Fatalf("connection should have survived the stall, conns=%d", got)
+	}
+}
+
+// TestHTTPRingServe runs the same server over the syscall-free SQ/CQ
+// ring path: legacy clients keep working against it, and a ring client
+// drives full batches through with GetBatch.
+func TestHTTPRingServe(t *testing.T) {
+	r := newHTTPDRig(t, 88, 8, 1024, NodeConfig{})
+	r.srv.EnableRing(64)
+	r.start()
+	defer r.shutdown()
+	cl := r.dial(t)
+
+	resp, err := cl.Get(r.objs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !bytes.Equal(resp.Body, r.objs[0].Body) {
+		t.Fatalf("ring-server GET: status=%d len=%d", resp.Status, len(resp.Body))
+	}
+
+	paths := make([]string, 8)
+	for i := range paths {
+		paths[i] = r.objs[i].Path
+	}
+	resps, err := cl.GetPipelined(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rp := range resps {
+		if rp.Status != 200 || !bytes.Equal(rp.Body, r.objs[i].Body) {
+			t.Fatalf("pipelined %d over ring server: status=%d", i, rp.Status)
+		}
+	}
+
+	cl.EnableRing(64)
+	ok2xx, _, err := cl.GetBatch(paths, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok2xx != len(paths) {
+		t.Fatalf("ring batch: %d/%d responses 2xx", ok2xx, len(paths))
+	}
+	if st := r.srv.Stats(); st.Requests != int64(1+8+8) {
+		t.Fatalf("requests=%d, want 17", st.Requests)
+	}
+}
+
+// TestHTTPRingSlowClient runs the slow-reader scenario against the
+// ring-mode server: pops stay armed per connection, the backlog pause
+// must close the window instead of buffering, and the batch API drains
+// the stall.
+func TestHTTPRingSlowClient(t *testing.T) {
+	r := newHTTPDRig(t, 89, 2, 8192, NodeConfig{Host: 2, RxReadyCap: 4})
+	r.srv.EnableRing(64)
+	r.start()
+	defer r.shutdown()
+	cl := r.dial(t)
+
+	const n = 160
+	for i := 0; i < n; i++ {
+		if err := cl.SendRequest(r.objs[i%2].Path, false); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	r.waitCond(t, "ring server backlog pause", func() bool {
+		return r.srv.Stats().Backlogs >= 1
+	})
+	for i := 0; i < n; i++ {
+		resp, err := cl.ReadResponse()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if resp.Status != 200 || !bytes.Equal(resp.Body, r.objs[i%2].Body) {
+			t.Fatalf("response %d: status=%d len=%d", i, resp.Status, len(resp.Body))
+		}
+	}
+	if r.cliNode.Catnip.RxStalls() < 1 {
+		t.Fatal("bounded ready list never parked the drain (rx_ready_stalls = 0)")
+	}
+	if st := r.srv.Stats(); st.Requests != n {
+		t.Fatalf("served %d, want %d", st.Requests, n)
+	}
+}
+
+// TestHTTPCrashRestartKeepAlive kills the server mid keep-alive session
+// (pipelined requests before and after), requires the client's armed
+// failover policy to redial and replay onto the restarted incarnation,
+// and closes with the frame-conservation laws across the boundary.
+func TestHTTPCrashRestartKeepAlive(t *testing.T) {
+	r := newHTTPDRig(t, 87, 4, 2048, NodeConfig{Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 4})
+	r.cliNode.WaitTimeout = 200 * time.Millisecond
+	r.start()
+	defer r.shutdown()
+	cl := r.dial(t)
+	cl.EnableFailover(failover.DefaultPolicy())
+
+	paths := make([]string, 4)
+	for i := range paths {
+		paths[i] = r.objs[i].Path
+	}
+	resps, err := cl.GetPipelined(paths)
+	if err != nil || len(resps) != 4 {
+		t.Fatalf("pre-crash pipeline: %d responses, err=%v", len(resps), err)
+	}
+	for i, rp := range resps {
+		if rp.Status != 200 || !bytes.Equal(rp.Body, r.objs[i].Body) {
+			t.Fatalf("pre-crash response %d: status=%d", i, rp.Status)
+		}
+	}
+
+	if _, err := r.srvNode.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srvNode.Restart(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same Server keeps pumping the same LibOS; its pre-crash
+	// listener must accept the failover client's redial.
+	resp, err := cl.Get(r.objs[2].Path)
+	if err != nil {
+		t.Fatalf("post-restart GET: %v", err)
+	}
+	if resp.Status != 200 || !bytes.Equal(resp.Body, r.objs[2].Body) {
+		t.Fatalf("post-restart GET: status=%d", resp.Status)
+	}
+	reconnects, replays := cl.FailoverStats()
+	if reconnects < 1 || replays < 1 {
+		t.Fatalf("failover did not engage: reconnects=%d replays=%d", reconnects, replays)
+	}
+	resps, err = cl.GetPipelined(paths)
+	if err != nil || len(resps) != 4 {
+		t.Fatalf("post-restart pipeline: %d responses, err=%v", len(resps), err)
+	}
+	for i, rp := range resps {
+		if rp.Status != 200 || !bytes.Equal(rp.Body, r.objs[i].Body) {
+			t.Fatalf("post-restart response %d: status=%d", i, rp.Status)
+		}
+	}
+
+	// Quiesce, then assert the conservation laws across the incarnation
+	// boundary: the fabric, the NIC, and the stack each account for
+	// every frame.
+	r.shutdown()
+	qdeadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(qdeadline) {
+		r.c.Poll()
+		r.c.Switch.Flush()
+		time.Sleep(time.Millisecond)
+	}
+	sw := r.c.Switch
+	fs := sw.Stats()
+	var sumTx int64
+	for id := 0; id < sw.NumPorts(); id++ {
+		sumTx += sw.PortStats(id).TxFrames
+	}
+	if lhs, rhs := sumTx+fs.InjectedDup, fs.Delivered+fs.InjectedLoss+fs.LinkDownDrops+fs.DroppedRxFull+fs.AsymDrops; lhs != rhs {
+		t.Fatalf("fabric conservation violated: tx+dup=%d != delivered+drops=%d", lhs, rhs)
+	}
+	dev := r.srvNode.Catnip.Device()
+	ds := dev.Stats()
+	ps := sw.PortStats(dev.PortID())
+	if ps.Delivered != ds.RxFrames+ds.RxDropped+ds.FilterDrops {
+		t.Fatalf("nic conservation violated: delivered=%d != rx=%d+dropped=%d+filtered=%d",
+			ps.Delivered, ds.RxFrames, ds.RxDropped, ds.FilterDrops)
+	}
+	r.srvNode.Poll()
+	ds = dev.Stats()
+	var occ int64
+	for q := 0; q < dev.NumRxQueues(); q++ {
+		occ += int64(dev.RxOccupancy(q))
+	}
+	framesIn := r.srvNode.Catnip.StackStats().FramesIn
+	if ds.RxFrames != framesIn+occ+ds.RxFlushed {
+		t.Fatalf("stack conservation violated across crash: nic rx=%d != frames_in=%d + rings=%d + flushed=%d",
+			ds.RxFrames, framesIn, occ, ds.RxFlushed)
+	}
+}
+
+// TestHTTPTelemetry checks the httpd.* counter family and the per-route
+// latency table plumb through the registry.
+func TestHTTPTelemetry(t *testing.T) {
+	r := newHTTPDRig(t, 90, 2, 512, NodeConfig{})
+	reg := telemetry.NewRegistry()
+	r.srv.RegisterTelemetry(reg, "httpd")
+	r.srv.EnableLatency()
+	r.start()
+	defer r.shutdown()
+	cl := r.dial(t)
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		if resp, err := cl.Get(r.objs[i%2].Path); err != nil || resp.Status != 200 {
+			t.Fatalf("GET %d: %v status=%d", i, err, resp.Status)
+		}
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.Get("httpd.requests"); !ok || v != n {
+		t.Fatalf("httpd.requests=%d ok=%v, want %d", v, ok, n)
+	}
+	if v, _ := snap.Get("httpd.resp_200"); v != n {
+		t.Fatalf("httpd.resp_200=%d, want %d", v, n)
+	}
+	if v, _ := snap.Get("httpd.bytes_out"); v <= int64(n*512) {
+		t.Fatalf("httpd.bytes_out=%d, want > %d (bodies + headers)", v, n*512)
+	}
+	h := r.srv.RouteHistogram("obj")
+	if h == nil || h.Count() != n {
+		t.Fatalf("route histogram missing or short: %+v", h)
+	}
+	if h.Percentile(99) <= 0 {
+		t.Fatalf("p99 latency = %v, want > 0", h.Percentile(99))
+	}
+	if tbl := r.srv.LatencyTable(); tbl == nil {
+		t.Fatal("latency table is nil")
+	}
+}

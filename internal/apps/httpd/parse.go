@@ -1,0 +1,245 @@
+package httpd
+
+// Zero-copy HTTP/1.1 request parsing. A request popped off a catnip
+// queue arrives as segments of raw bytes; the parser works in place —
+// the returned path aliases the input — and the steady-state path
+// allocates nothing. Only what the synthetic web workload needs is
+// implemented: GET/HEAD, Connection, and single-interval Range headers;
+// anything outside that envelope is a clean 400, never a panic.
+
+import (
+	"bytes"
+	"errors"
+)
+
+// maxRequestBytes bounds how many bytes of a single request's head the
+// server will buffer before giving up on the connection — the classic
+// slowloris guard.
+const maxRequestBytes = 8192
+
+var (
+	errMalformed = errors.New("httpd: malformed request")
+	errTooLarge  = errors.New("httpd: request head too large")
+
+	crlf2       = []byte("\r\n\r\n")
+	methodGET   = []byte("GET")
+	methodHEAD  = []byte("HEAD")
+	httpVersion = []byte("HTTP/1.1")
+	bytesPrefix = []byte("bytes=")
+)
+
+// Range header interval kinds.
+const (
+	rangeNone   = iota
+	rangeFromTo // bytes=a-b (inclusive)
+	rangeFrom   // bytes=a-
+	rangeSuffix // bytes=-n (final n bytes)
+)
+
+// request is one parsed request. path aliases the parse buffer and is
+// only valid until the buffer is recycled.
+type request struct {
+	head    bool // HEAD (GET otherwise)
+	close   bool // Connection: close
+	path    []byte
+	rngKind int
+	rngFrom int64
+	rngTo   int64
+}
+
+// parseRequest parses the first request in buf. consumed == 0 means the
+// request is still incomplete (wait for more bytes); a non-nil error
+// means the connection is unsalvageable (respond 400 and close).
+func parseRequest(buf []byte) (req request, consumed int, err error) {
+	end := bytes.Index(buf, crlf2)
+	if end < 0 {
+		if len(buf) > maxRequestBytes {
+			return request{}, 0, errTooLarge
+		}
+		return request{}, 0, nil
+	}
+	head := buf[:end]
+	consumed = end + len(crlf2)
+
+	// Request line: METHOD SP path SP HTTP/1.1
+	eol := bytes.IndexByte(head, '\r')
+	if eol < 0 {
+		eol = len(head)
+	}
+	line := head[:eol]
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 {
+		return request{}, 0, errMalformed
+	}
+	method := line[:sp]
+	rest := line[sp+1:]
+	sp = bytes.IndexByte(rest, ' ')
+	if sp < 0 {
+		return request{}, 0, errMalformed
+	}
+	req.path = rest[:sp]
+	if !bytes.Equal(rest[sp+1:], httpVersion) {
+		return request{}, 0, errMalformed
+	}
+	switch {
+	case bytes.Equal(method, methodGET):
+	case bytes.Equal(method, methodHEAD):
+		req.head = true
+	default:
+		return request{}, 0, errMalformed
+	}
+	if len(req.path) == 0 || req.path[0] != '/' {
+		return request{}, 0, errMalformed
+	}
+
+	// Header fields: only Connection and Range matter to the server;
+	// everything else is skipped without validation.
+	hdrs := head
+	if eol+2 <= len(head) {
+		hdrs = head[eol+2:]
+	} else {
+		hdrs = nil
+	}
+	for len(hdrs) > 0 {
+		nl := bytes.IndexByte(hdrs, '\r')
+		var hline []byte
+		if nl < 0 {
+			hline, hdrs = hdrs, nil
+		} else {
+			hline = hdrs[:nl]
+			if nl+2 <= len(hdrs) {
+				hdrs = hdrs[nl+2:]
+			} else {
+				hdrs = nil
+			}
+		}
+		colon := bytes.IndexByte(hline, ':')
+		if colon < 0 {
+			return request{}, 0, errMalformed
+		}
+		name, val := hline[:colon], trimSpaces(hline[colon+1:])
+		switch {
+		case foldEq(name, "connection"):
+			if foldEq(val, "close") {
+				req.close = true
+			}
+		case foldEq(name, "range"):
+			kind, from, to, ok := parseRange(val)
+			if ok {
+				req.rngKind, req.rngFrom, req.rngTo = kind, from, to
+			}
+			// A malformed Range header is ignored (RFC 9110 §14.2):
+			// the response degrades to a full 200.
+		}
+	}
+	return req, consumed, nil
+}
+
+// parseRange parses a single-interval "bytes=" range specifier.
+func parseRange(val []byte) (kind int, from, to int64, ok bool) {
+	if len(val) < len(bytesPrefix) || !foldEqBytes(val[:len(bytesPrefix)], bytesPrefix) {
+		return rangeNone, 0, 0, false
+	}
+	spec := val[len(bytesPrefix):]
+	dash := bytes.IndexByte(spec, '-')
+	if dash < 0 {
+		return rangeNone, 0, 0, false
+	}
+	left, right := spec[:dash], spec[dash+1:]
+	switch {
+	case len(left) == 0 && len(right) > 0: // bytes=-n
+		n, ok := parseDecimal(right)
+		if !ok {
+			return rangeNone, 0, 0, false
+		}
+		return rangeSuffix, 0, n, true
+	case len(left) > 0 && len(right) == 0: // bytes=a-
+		a, ok := parseDecimal(left)
+		if !ok {
+			return rangeNone, 0, 0, false
+		}
+		return rangeFrom, a, 0, true
+	case len(left) > 0 && len(right) > 0: // bytes=a-b
+		a, okA := parseDecimal(left)
+		b, okB := parseDecimal(right)
+		if !okA || !okB || b < a {
+			return rangeNone, 0, 0, false
+		}
+		return rangeFromTo, a, b, true
+	}
+	return rangeNone, 0, 0, false
+}
+
+// parseDecimal parses an unsigned decimal without allocating.
+func parseDecimal(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}
+
+// trimSpaces strips leading/trailing spaces and tabs in place.
+func trimSpaces(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// foldEq reports ASCII case-insensitive equality of b against the
+// lower-case literal s, without allocating.
+func foldEq(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// foldEqBytes is foldEq over a lower-case byte-slice literal.
+func foldEqBytes(b, lower []byte) bool {
+	if len(b) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// routeOf extracts the first path segment for per-route telemetry:
+// "/obj/00042" → "obj", "/" → "/".
+func routeOf(path []byte) []byte {
+	if len(path) <= 1 {
+		return path
+	}
+	p := path[1:]
+	if i := bytes.IndexByte(p, '/'); i >= 0 {
+		p = p[:i]
+	}
+	return p
+}

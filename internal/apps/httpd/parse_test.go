@@ -1,0 +1,178 @@
+package httpd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseRequestBasics(t *testing.T) {
+	buf := []byte("GET /obj/00001 HTTP/1.1\r\nHost: demi\r\n\r\n")
+	req, n, err := parseRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d, want %d", n, len(buf))
+	}
+	if string(req.path) != "/obj/00001" || req.head || req.close || req.rngKind != rangeNone {
+		t.Fatalf("bad parse: %+v", req)
+	}
+}
+
+func TestParseRequestPipelined(t *testing.T) {
+	one := "GET /a HTTP/1.1\r\n\r\n"
+	buf := []byte(one + "HEAD /b HTTP/1.1\r\nConnection: close\r\n\r\n")
+	req1, n1, err := parseRequest(buf)
+	if err != nil || string(req1.path) != "/a" {
+		t.Fatalf("first: %+v err=%v", req1, err)
+	}
+	req2, n2, err := parseRequest(buf[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req2.head || !req2.close || string(req2.path) != "/b" {
+		t.Fatalf("second: %+v", req2)
+	}
+	if n1+n2 != len(buf) {
+		t.Fatalf("consumed %d, want %d", n1+n2, len(buf))
+	}
+}
+
+func TestParseRequestIncomplete(t *testing.T) {
+	buf := []byte("GET /a HTTP/1.1\r\nHost: d")
+	if _, n, err := parseRequest(buf); n != 0 || err != nil {
+		t.Fatalf("incomplete head: n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+func TestParseRequestTooLarge(t *testing.T) {
+	buf := []byte("GET /a HTTP/1.1\r\nX: " + strings.Repeat("y", maxRequestBytes))
+	if _, _, err := parseRequest(buf); err == nil {
+		t.Fatal("oversized head accepted")
+	}
+}
+
+func TestParseRequestMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"PUT /a HTTP/1.1\r\n\r\n",         // unsupported method
+		"GET /a HTTP/1.0\r\n\r\n",         // unsupported version
+		"GET a HTTP/1.1\r\n\r\n",          // path without leading slash
+		"GET /a\r\n\r\n",                  // missing version
+		"GET /a HTTP/1.1\r\nnope\r\n\r\n", // header without colon
+	} {
+		if _, _, err := parseRequest([]byte(bad)); err == nil {
+			t.Fatalf("accepted malformed request %q", bad)
+		}
+	}
+}
+
+func TestParseRequestHeaderFolding(t *testing.T) {
+	buf := []byte("GET /a HTTP/1.1\r\nCONNECTION:   Close \r\nRANGE: BYTES=5-9\r\n\r\n")
+	req, _, err := parseRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req.close {
+		t.Fatal("case-folded Connection: close missed")
+	}
+	if req.rngKind != rangeFromTo || req.rngFrom != 5 || req.rngTo != 9 {
+		t.Fatalf("case-folded Range missed: %+v", req)
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in       string
+		kind     int
+		from, to int64
+	}{
+		{"bytes=0-99", rangeFromTo, 0, 99},
+		{"bytes=100-", rangeFrom, 100, 0},
+		{"bytes=-500", rangeSuffix, 0, 500},
+		{"bytes=9-5", rangeNone, 0, 0},  // inverted
+		{"chunks=0-5", rangeNone, 0, 0}, // wrong unit
+		{"bytes=a-b", rangeNone, 0, 0},  // not numbers
+	}
+	for _, c := range cases {
+		kind, from, to, ok := parseRange([]byte(c.in))
+		if c.kind == rangeNone {
+			if ok {
+				t.Errorf("%q: accepted, want rejected", c.in)
+			}
+			continue
+		}
+		if !ok || kind != c.kind || from != c.from || to != c.to {
+			t.Errorf("%q: (%d,%d,%d,%v), want (%d,%d,%d)", c.in, kind, from, to, ok, c.kind, c.from, c.to)
+		}
+	}
+}
+
+func TestResolveRange(t *testing.T) {
+	mk := func(kind int, from, to int64) request {
+		return request{rngKind: kind, rngFrom: from, rngTo: to}
+	}
+	if from, to, ok := resolveRange(mk(rangeFromTo, 10, 1000), 100); !ok || from != 10 || to != 99 {
+		t.Fatalf("overlong to not clamped: %d-%d ok=%v", from, to, ok)
+	}
+	if _, _, ok := resolveRange(mk(rangeFromTo, 100, 200), 100); ok {
+		t.Fatal("from past end accepted")
+	}
+	if from, to, ok := resolveRange(mk(rangeSuffix, 0, 30), 100); !ok || from != 70 || to != 99 {
+		t.Fatalf("suffix: %d-%d ok=%v", from, to, ok)
+	}
+	if from, to, ok := resolveRange(mk(rangeSuffix, 0, 500), 100); !ok || from != 0 || to != 99 {
+		t.Fatalf("overlong suffix: %d-%d ok=%v", from, to, ok)
+	}
+	if _, _, ok := resolveRange(mk(rangeSuffix, 0, 0), 100); ok {
+		t.Fatal("zero suffix accepted")
+	}
+}
+
+func TestRouteOf(t *testing.T) {
+	for in, want := range map[string]string{
+		"/obj/00042": "obj",
+		"/index":     "index",
+		"/":          "/",
+	} {
+		if got := string(routeOf([]byte(in))); got != want {
+			t.Errorf("routeOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseResponseHead(t *testing.T) {
+	head := []byte("HTTP/1.1 206 Partial Content\r\nContent-Range: bytes 0-4/100\r\nContent-Length: 5\r\nConnection: close\r\n\r\n")
+	status, n, connClose, err := parseResponseHead(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 206 || n != 5 || !connClose {
+		t.Fatalf("status=%d len=%d close=%v", status, n, connClose)
+	}
+}
+
+func TestParseAllocFree(t *testing.T) {
+	buf := []byte("GET /obj/00001 HTTP/1.1\r\nConnection: keep-alive\r\nRange: bytes=0-99\r\n\r\n")
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := parseRequest(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("parseRequest allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestTreeAccounting(t *testing.T) {
+	tr := NewTree()
+	tr.Add("/a", bytes.Repeat([]byte("x"), 10))
+	tr.Add("/b", bytes.Repeat([]byte("y"), 5))
+	tr.Add("/a", bytes.Repeat([]byte("z"), 3)) // replace
+	if tr.Len() != 2 || tr.Bytes() != 8 {
+		t.Fatalf("len=%d bytes=%d, want 2, 8", tr.Len(), tr.Bytes())
+	}
+	if b, ok := tr.Lookup([]byte("/a")); !ok || len(b) != 3 {
+		t.Fatalf("lookup /a: %d bytes ok=%v", len(b), ok)
+	}
+}

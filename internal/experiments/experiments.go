@@ -163,6 +163,13 @@ var All = []Experiment{
 		Run:    runE16,
 	},
 	{
+		ID:     "E17",
+		Title:  "A real web workload on the bypass path: HTTP/1.1 over catnip queues",
+		Source: "§2, §4",
+		Claim:  "applications run directly on kernel-bypass queues, but the libOS still owes them the OS's end of TCP: a client that stops reading must become flow-control backpressure — bounded buffering and a reopenable window — not unbounded memory or a dead connection",
+		Run:    runE17,
+	},
+	{
 		ID:     "A1",
 		Title:  "Ablation: syscall price",
 		Source: "ablation of §3.2",

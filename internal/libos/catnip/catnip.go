@@ -74,6 +74,11 @@ type Transport struct {
 	crashes   int64 // completed Crash calls (lifecycle telemetry)
 	restarts  int64 // completed Restart calls
 
+	// rxStalls counts drain parks under RxReadyCap: each increment is
+	// one transition of an endpoint into the "reader too slow, stop
+	// draining" state. The operator's signal that clients are stalling.
+	rxStalls atomic.Int64
+
 	mu   sync.Mutex
 	eps  []*endpoint
 	udps []*udpEndpoint
@@ -114,6 +119,14 @@ type Config struct {
 	// factory that tags the pool with the tenant's ID and wires its
 	// quota ledger in as the pool accountant.
 	PoolFactory func() *fabric.FramePool
+	// RxReadyCap bounds how many popped-but-unharvested completions an
+	// endpoint buffers before its receive drain parks. Past the cap,
+	// stream bytes stay in the TCP receive buffer, the advertised
+	// window shrinks toward zero, and the peer's sender stalls — so a
+	// slow or stalled reader exerts end-to-end flow control instead of
+	// growing an unbounded ready list. Zero means unbounded (the
+	// historical behavior).
+	RxReadyCap int
 }
 
 // newPool makes one transport-private frame pool per the config.
@@ -264,7 +277,12 @@ func (t *Transport) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	netstack.RegisterStatsTelemetry(r, prefix+".netstack", t.StackStats)
 	t.mem.RegisterTelemetry(r, prefix+".membuf")
 	t.RegisterLifecycleTelemetry(r, prefix+".lifecycle")
+	r.RegisterFunc(prefix+".rx_ready_stalls", t.rxStalls.Load)
 }
+
+// RxStalls reports how many times an endpoint's receive drain parked on
+// a full ready list (see Config.RxReadyCap).
+func (t *Transport) RxStalls() int64 { return t.rxStalls.Load() }
 
 // RegisterLifecycleTelemetry registers just the crash/restart counters
 // under prefix (prefix.crashes, prefix.restarts).
@@ -462,6 +480,10 @@ type endpoint struct {
 	txPending atomic.Int32
 	readyLen  atomic.Int32
 	waiterLen atomic.Int32
+	// rxStalled is set while drainRx is parked on a full ready list
+	// (RxReadyCap). NeedsPump uses it to resume the drain once the app
+	// has harvested the backlog down to half the cap.
+	rxStalled atomic.Bool
 
 	mu    sync.Mutex
 	bound core.Addr
@@ -742,6 +764,12 @@ func (e *endpoint) NeedsPump() bool {
 	if e.txPending.Load() > 0 {
 		return true
 	}
+	if e.rxStalled.Load() && e.readyLen.Load() <= int32(e.t.cfg.RxReadyCap/2) {
+		// Parked drain with the backlog half-harvested: pump to refill
+		// the ready list and re-open the advertised window (hysteresis
+		// keeps a merely-slow reader from thrashing stall/resume).
+		return true
+	}
 	if w := e.waiterLen.Load(); w > 0 {
 		return e.readyLen.Load() > 0 || conn.ReadyHint()
 	}
@@ -844,8 +872,21 @@ func (e *endpoint) drainRx(conn *netstack.TCPConn) int {
 	// out of order. Lock order (e.mu → stack.mu) matches flushTx.
 	n := 0
 	var failErr error
+	readyCap := e.t.cfg.RxReadyCap
 	e.mu.Lock()
 	for {
+		if readyCap > 0 && len(e.ready) >= readyCap {
+			// Reader too slow: park the drain with the bytes still in
+			// the TCP receive buffer. The stack's shrinking advertised
+			// window now pushes the stall back to the peer's sender —
+			// flow control end to end instead of an unbounded backlog.
+			if !e.rxStalled.Swap(true) {
+				e.t.rxStalls.Add(1)
+			}
+			e.readyLen.Store(int32(len(e.ready)))
+			e.mu.Unlock()
+			return n
+		}
 		b, cost, err := conn.RecvAppend(e.rxScratch[:0], 0)
 		if cap(b) > cap(e.rxScratch) {
 			e.rxScratch = b[:0] // keep the grown scratch for reuse
@@ -874,9 +915,16 @@ func (e *endpoint) drainRx(conn *netstack.TCPConn) int {
 			break
 		}
 	}
-	e.readyLen.Store(int32(len(e.ready)))
+	e.rxStalled.Store(false)
+	readyLeft := len(e.ready)
+	e.readyLen.Store(int32(readyLeft))
 	e.mu.Unlock()
-	if failErr != nil {
+	if failErr != nil && readyLeft == 0 {
+		// Fail waiters only once every buffered completion has been
+		// handed out: an EOF that lands in the same drain as the final
+		// request bytes must not reorder itself ahead of them. The
+		// condition is persistent (RecvAppend keeps returning it), so a
+		// later pump delivers it once the ready list drains dry.
 		e.failWaiters(failErr)
 	}
 	return n

@@ -20,8 +20,9 @@ var (
 )
 
 type world struct {
-	sw   *fabric.Switch
-	a, b *Stack
+	sw         *fabric.Switch
+	a, b       *Stack
+	devA, devB *nic.Device
 }
 
 func newWorld(t *testing.T, cfgA, cfgB Config) *world {
@@ -33,9 +34,11 @@ func newWorld(t *testing.T, cfgA, cfgB Config) *world {
 	cfgA.IP = ipA
 	cfgB.IP = ipB
 	return &world{
-		sw: sw,
-		a:  New(&model, devA, cfgA),
-		b:  New(&model, devB, cfgB),
+		sw:   sw,
+		a:    New(&model, devA, cfgA),
+		b:    New(&model, devB, cfgB),
+		devA: devA,
+		devB: devB,
 	}
 }
 

@@ -106,6 +106,11 @@ type TCPConn struct {
 	ooo         map[uint32]*fabric.FrameBuf
 	peerFinRcvd bool
 	rxCost      simclock.Lat
+	// advWnd is the receive window advertised in the most recent segment
+	// we sent. RecvAppend compares against it to decide when an
+	// application drain has reopened the window enough that the (possibly
+	// stalled) sender must be told with a window-update ACK.
+	advWnd int
 
 	// pendingListener receives the connection on handshake completion.
 	pendingListener *TCPListener
@@ -292,6 +297,25 @@ func (c *TCPConn) RecvAppend(dst []byte, max int) ([]byte, simclock.Lat, error) 
 	}
 	dst = append(dst, c.rcvBuf[:n]...)
 	c.rcvBuf = c.rcvBuf[:copy(c.rcvBuf, c.rcvBuf[n:])]
+	// The drain may have made room for out-of-order segments that were
+	// parked because the reassembly buffer was full; deliver them now
+	// instead of waiting for the sender's RTO to retransmit them.
+	before := c.rcvNxt
+	c.drainOutOfOrderLocked()
+	// Window update: a sender stalled on a zero (or shrunken) advertised
+	// window has nothing in flight to elicit an ACK, so unless we tell it
+	// the window reopened it only discovers via a retransmission timeout.
+	// Receiver-side SWS avoidance: announce only when the window grew by
+	// at least an MSS or half the receive buffer since our last
+	// advertisement (RFC 1122 4.2.3.3), or when the re-drain advanced
+	// rcvNxt (the parked data must be ACKed regardless).
+	if c.state == stateEstablished {
+		opened := int(c.advertisedWindowLocked()) - c.advWnd
+		threshold := min(c.stack.cfg.MSS, c.stack.cfg.RxWindow/2)
+		if before != c.rcvNxt || opened >= threshold {
+			c.sendAckLocked()
+		}
+	}
 	c.updateReadyLocked()
 	return dst, c.rxCost, nil
 }
@@ -638,6 +662,7 @@ func (c *TCPConn) sendSegmentLocked(seq uint32, payload []byte, flags uint8) {
 		window:  c.advertisedWindowLocked(),
 		payload: payload,
 	}
+	c.advWnd = int(seg.window)
 	// Marshal into the stack's scratch buffer: sendIPv4Locked copies the
 	// bytes into the outgoing pooled frame before returning, so the
 	// scratch is free again by the next segment.
@@ -675,6 +700,16 @@ func (c *TCPConn) trySendLocked() {
 		c.sendSegmentLocked(c.sndNxt, nil, flagFIN|flagACK)
 		c.sndNxt++
 		c.finSent = true
+		c.armTimerLocked()
+	}
+	// Persist timer: data is queued but the peer window blocks it and no
+	// timer is running. This happens when the peer closed its window
+	// *after* everything in flight was ACKed (which cleared the timer) —
+	// with nothing in flight there is no retransmission to recover a lost
+	// window-update ACK, so without a probe the connection deadlocks
+	// silently. Arm the timer; tickTimersLocked sends the one-byte
+	// zero-window probe when it fires.
+	if len(c.sndBuf) > int(c.sndNxt-c.sndUna) && c.rtoDeadline.IsZero() {
 		c.armTimerLocked()
 	}
 }

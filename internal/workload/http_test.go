@@ -1,0 +1,85 @@
+package workload
+
+import "testing"
+
+func TestHTTPObjectsDeterministic(t *testing.T) {
+	a := HTTPObjects(10, FixedSize(64), 7)
+	b := HTTPObjects(10, FixedSize(64), 7)
+	if len(a) != 10 {
+		t.Fatalf("got %d objects", len(a))
+	}
+	for i := range a {
+		if a[i].Path != b[i].Path || string(a[i].Body) != string(b[i].Body) {
+			t.Fatalf("object %d differs across same-seed builds", i)
+		}
+		if a[i].Path != HTTPObjectPath(i) {
+			t.Fatalf("object %d path %q, want %q", i, a[i].Path, HTTPObjectPath(i))
+		}
+	}
+}
+
+func TestPathSetZipfSkew(t *testing.T) {
+	const n = 1000
+	ps := NewPathSet(n, NewZipfKeys(n, 1.2, 11))
+	counts := make(map[string]int)
+	for i := 0; i < 20_000; i++ {
+		p := ps.Next()
+		counts[p]++
+	}
+	// Zipf 1.2: the hottest object dominates; a uniform draw would give
+	// each path ~20 hits.
+	if counts[HTTPObjectPath(0)] < 2000 {
+		t.Fatalf("hottest object drew %d of 20000, want heavy skew", counts[HTTPObjectPath(0)])
+	}
+}
+
+func TestPathSetDrawAllocFree(t *testing.T) {
+	ps := NewPathSet(100, NewUniformKeys(100, 3))
+	if allocs := testing.AllocsPerRun(100, func() { _ = ps.Next() }); allocs > 0 {
+		t.Errorf("PathSet.Next allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestOpenLoopMonotoneAndCalibrated(t *testing.T) {
+	ol := NewOpenLoop(1e6, 5) // 1M/s → mean gap 1000ns
+	prev := int64(-1)
+	var last int64
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		ts := ol.Next()
+		if ts <= prev {
+			t.Fatalf("arrival %d not strictly increasing: %d after %d", i, ts, prev)
+		}
+		prev, last = ts, ts
+	}
+	mean := float64(last) / n
+	if mean < 900 || mean > 1100 {
+		t.Fatalf("mean inter-arrival %.1fns, want ~1000ns", mean)
+	}
+}
+
+func TestChurnAndStallRates(t *testing.T) {
+	ch := NewChurn(0.1, 9)
+	closes := 0
+	for i := 0; i < 10_000; i++ {
+		if ch.ShouldClose() {
+			closes++
+		}
+	}
+	if closes < 800 || closes > 1200 {
+		t.Fatalf("churn fired %d/10000, want ~1000", closes)
+	}
+	st := NewStallSchedule(0.25, 16, 10)
+	stalls := 0
+	for i := 0; i < 10_000; i++ {
+		if n := st.NextStall(); n != 0 {
+			if n != 16 {
+				t.Fatalf("stall length %d, want 16", n)
+			}
+			stalls++
+		}
+	}
+	if stalls < 2200 || stalls > 2800 {
+		t.Fatalf("stalls fired %d/10000, want ~2500", stalls)
+	}
+}
