@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak httpsoak chaos bench benchsmoke benchall report clean
+.PHONY: all tier1 vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak httpsoak storagesoak chaos bench benchsmoke benchall report clean
 
 all: tier1
 
@@ -22,7 +22,7 @@ all: tier1
 ## become TCP backpressure, not unbounded buffering), and a
 ## one-iteration smoke of the hot-path benchmark suite so a broken
 ## benchmark rig fails the gate, not the nightly bench run.
-tier1: vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak httpsoak benchsmoke
+tier1: vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak httpsoak storagesoak benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -85,6 +85,22 @@ httpsoak:
 	$(GO) test -race -count=1 -run 'TestHTTPProductionSoak|TestHTTPSlowClientStallAndRecover|TestHTTPRingSlowClient' .
 	$(GO) run ./cmd/demi-stat -http -n 600
 
+## storagesoak: the storage-pushdown gauntlet, under the race detector —
+## the pushdown engine tests (depth-N traversals, hop-budget and
+## runtime-validation kills, the mid-traversal DeviceReset abort with
+## its single typed completion), the blob-store recovery suite (torn
+## tails, CRC mismatches, chaos resets, injected I/O errors), the
+## decoder-agreement property tests (device IndexStep vs host fallback,
+## byte-identical on thousands of corrupt blocks), and the root chaos
+## test that resets the controller mid-traversal over a live catfish
+## node. Followed by a short run of the demi-stat -storage dashboard,
+## which audits the crossing/leak invariants on the CLI surface.
+## Part of tier1.
+storagesoak:
+	$(GO) test -race -count=1 ./internal/spdk/ ./internal/offload/ ./internal/libos/catfish/
+	$(GO) test -race -count=1 -run 'TestChaosPushdownResetMidTraversal' .
+	$(GO) run ./cmd/demi-stat -storage -n 300 -depth 4
+
 ## chaos: just the fault-injection suite (root soak tests + engine).
 chaos:
 	$(GO) test -run 'TestChaos|TestCrashRestart|TestKVFailover' -count=1 ./...
@@ -97,17 +113,21 @@ chaos:
 ## server on both data paths (demi-http -bench) and persist
 ## BENCH_http.json; that run fails unless the ring path sustains >=2x
 ## the per-op requests/sec at some batch >= 8 with zero steady-state
-## allocations per request. Compare the files against the committed
-## baselines to spot regressions.
+## allocations per request. The storage run persists BENCH_storage.json
+## and fails in-bench unless a depth>=4 pushdown GET crosses the device
+## boundary at least 3x less often than the host traversal, with zero
+## steady-state allocations per GET. Compare the files against the
+## committed baselines to spot regressions.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchmem -json . | tee BENCH_hotpath.json
 	$(GO) test -run xxx -bench 'BenchmarkURing' -benchmem -json . | tee BENCH_uring.json
+	$(GO) test -run xxx -bench 'BenchmarkStorage' -benchmem -json . | tee BENCH_storage.json
 	$(GO) run ./cmd/demi-bench -shards 8 -shardsout BENCH_multishard.json
 	$(GO) run ./cmd/demi-http -bench -out BENCH_http.json
 
 ## benchsmoke: one iteration of every hot-path benchmark; part of tier1.
 benchsmoke:
-	$(GO) test -run xxx -bench 'BenchmarkHotPath|BenchmarkURing|BenchmarkHTTP' -benchtime=1x .
+	$(GO) test -run xxx -bench 'BenchmarkHotPath|BenchmarkURing|BenchmarkHTTP|BenchmarkStorage' -benchtime=1x .
 
 ## benchall: every benchmark in the repo (E1..E13 experiments + hot path).
 benchall:

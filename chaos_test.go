@@ -18,8 +18,10 @@ import (
 	"demikernel/internal/apps/kv"
 	"demikernel/internal/chaos"
 	"demikernel/internal/fabric"
+	"demikernel/internal/libos/catfish"
 	"demikernel/internal/libos/catmint"
 	"demikernel/internal/netstack"
+	"demikernel/internal/offload"
 	"demikernel/internal/queue"
 	"demikernel/internal/spdk"
 )
@@ -449,7 +451,15 @@ func chaosSoakCatfish(t *testing.T) {
 	for i := 0; i < records; i++ {
 		eng.Step()
 		rec := append([]byte(fmt.Sprintf("rec-%04d:", i)), bytes.Repeat([]byte{byte(i)}, 100+i)...)
-		comp, err := node.BlockingPush(qd, NewSGA(rec))
+		s := NewSGA(rec)
+		if i%2 == 0 {
+			// Alternate pooled staging buffers (AllocSGA) so the soak
+			// exercises the pool's consume-on-durable-push ownership
+			// under faults; the leak assert below holds it to zero.
+			s = node.Catfish.AllocSGA(len(rec))
+			copy(s.Segments[0].Buf, rec)
+		}
+		comp, err := node.BlockingPush(qd, s)
 		if err != nil || comp.Err != nil {
 			t.Fatalf("push %d not absorbed by the retry budget: %v %v", i, err, comp.Err)
 		}
@@ -495,6 +505,13 @@ func chaosSoakCatfish(t *testing.T) {
 		t.Fatalf("recovery after chaos run: %v", err)
 	}
 	verify(node2, "post-restart")
+
+	// Leak assert: every pooled staging buffer the soak allocated
+	// (AllocSGA-staged pushes) was consumed by its durable append —
+	// even the ones whose first attempts died to injected faults.
+	if out := node.Catfish.Pool().Outstanding(); out != 0 {
+		t.Fatalf("%d pooled SGA buffers leaked across the chaos soak", out)
+	}
 }
 
 // TestChaosTCPGiveUp partitions a catnip client mid-connection and
@@ -740,5 +757,125 @@ func TestChaosCatfishResetRetry(t *testing.T) {
 		if string(comp.SGA.Bytes()) != want {
 			t.Fatalf("popped %q, want %q", comp.SGA.Bytes(), want)
 		}
+	}
+}
+
+// TestChaosPushdownResetMidTraversal resets the NVMe controller while a
+// pushdown index traversal is in flight on the device. The contract: the
+// application's Pop sees exactly one typed error completion (never a
+// hang, never a partial value), the hop budget is accounted, and nothing
+// leaks — no in-flight traversal, no pooled buffer.
+func TestChaosPushdownResetMidTraversal(t *testing.T) {
+	c := NewCluster(307)
+	node, err := c.Spawn(Catfish, WithBlocks(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := node.Catfish
+	dev := tr.Device()
+
+	var pairs []spdk.KV
+	for i := 0; i < 64; i++ {
+		pairs = append(pairs, spdk.KV{
+			Key: []byte(fmt.Sprintf("user:%03d", i)),
+			Val: []byte(fmt.Sprintf("profile-%d", i)),
+		})
+	}
+	idx, err := tr.BuildIndex(pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Depth < 4 {
+		t.Fatalf("index depth = %d, want a deep traversal to interrupt", idx.Depth)
+	}
+	lq, err := tr.OpenLookup(idx, offload.IndexLookup(), catfish.LookupConfig{Pushdown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(key string) (string, error) {
+		s := tr.AllocSGA(len(key))
+		copy(s.Segments[0].Buf, key)
+		lq.Push(s, 0, func(queue.Completion) {})
+		var res queue.Completion
+		got := false
+		lq.Pop(func(qc queue.Completion) { res = qc; got = true })
+		for i := 0; !got; i++ {
+			tr.Poll()
+			if i > 100000 {
+				t.Fatal("lookup hung — the one forbidden outcome")
+			}
+		}
+		if res.Err != nil {
+			return "", res.Err
+		}
+		v := string(res.SGA.Bytes())
+		res.SGA.Free()
+		return v, nil
+	}
+
+	// Healthy baseline.
+	if v, err := get("user:031"); err != nil || v != "profile-31" {
+		t.Fatalf("baseline get: %q, %v", v, err)
+	}
+
+	// Interrupt a traversal: push, advance two device-side hops, then
+	// fire the reset on the chaos schedule while the next read is queued.
+	s := tr.AllocSGA(8)
+	copy(s.Segments[0].Buf, "user:031")
+	lq.Push(s, 0, func(queue.Completion) {})
+	dev.Pump()
+	dev.Pump()
+	if st := dev.PushdownStats(); st.Inflight != 1 {
+		t.Fatalf("inflight = %d mid-traversal, want 1", st.Inflight)
+	}
+	eng := chaos.New(307)
+	eng.ControllerReset(0, dev, 2)
+	eng.Start()
+	eng.Step()
+
+	var res queue.Completion
+	got := false
+	lq.Pop(func(qc queue.Completion) { res = qc; got = true })
+	for i := 0; !got; i++ {
+		tr.Poll()
+		if i > 100000 {
+			t.Fatal("aborted traversal never surfaced its error completion")
+		}
+	}
+	if !errors.Is(res.Err, spdk.ErrDeviceReset) {
+		t.Fatalf("err = %v, want the typed ErrDeviceReset", res.Err)
+	}
+	st := dev.PushdownStats()
+	if st.ResetAborts != 1 {
+		t.Fatalf("reset_aborts = %d, want 1", st.ResetAborts)
+	}
+	if st.Inflight != 0 {
+		t.Fatalf("inflight = %d after the abort, want 0 (leaked traversal)", st.Inflight)
+	}
+
+	// The controller re-initialises (downFor spends on the next
+	// commands); lookups resume and hit the same index.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := get("user:031")
+		if err == nil {
+			if v != "profile-31" {
+				t.Fatalf("post-reset value %q", v)
+			}
+			break
+		}
+		if !errors.Is(err, spdk.ErrDeviceReset) {
+			t.Fatalf("post-reset lookup failed with %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("device never recovered")
+		}
+	}
+	if out := tr.Pool().Outstanding(); out != 0 {
+		t.Fatalf("%d pooled buffers leaked across the reset", out)
+	}
+	if st := dev.PushdownStats(); st.Inflight != 0 {
+		t.Fatalf("inflight = %d at exit", st.Inflight)
 	}
 }

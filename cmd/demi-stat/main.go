@@ -124,6 +124,8 @@ func main() {
 	ringBatch := flag.Int("ring", 0, "run the echo workload over SQ/CQ rings, this many round trips per batch")
 	httpView := flag.Bool("http", false, "run the HTTP/1.1 workload dashboard (httpd counters + latency tail)")
 	httpRing := flag.Int("httpring", 0, "with -http: serve over SQ/CQ rings of this capacity instead of per-op tokens")
+	storageView := flag.Bool("storage", false, "run the storage-pushdown dashboard (crossings/GET, spdk.pushdown.* counters, invariant audit)")
+	storageDepth := flag.Int("depth", 4, "with -storage: index depth for the lookup workload")
 	flag.Parse()
 
 	if *ringBatch > 0 && *chaos {
@@ -141,6 +143,13 @@ func main() {
 	}
 	if *shards > 0 {
 		if err := runSharded(*seed, *shards, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "demi-stat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *storageView {
+		if err := runStorage(*seed, *n, *storageDepth); err != nil {
 			fmt.Fprintf(os.Stderr, "demi-stat: %v\n", err)
 			os.Exit(1)
 		}

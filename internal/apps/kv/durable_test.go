@@ -1,0 +1,93 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"demikernel/internal/libos/catfish"
+	"demikernel/internal/simclock"
+	"demikernel/internal/spdk"
+)
+
+func durableFixture(t *testing.T, pushdown bool) (*DurableStore, *catfish.Transport) {
+	t.Helper()
+	model := simclock.Datacenter2019()
+	dev := spdk.New(&model, spdk.Config{})
+	tr, err := catfish.New(&model, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []spdk.KV
+	for i := 0; i < 64; i++ {
+		pairs = append(pairs, spdk.KV{
+			Key: []byte(fmt.Sprintf("user:%03d", i)),
+			Val: []byte(fmt.Sprintf("profile-%d", i)),
+		})
+	}
+	ds, err := Load(tr, pairs, DurableConfig{Pushdown: pushdown, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, tr
+}
+
+func TestDurableStoreGet(t *testing.T) {
+	for _, pushdown := range []bool{true, false} {
+		name := "host"
+		if pushdown {
+			name = "pushdown"
+		}
+		t.Run(name, func(t *testing.T) {
+			ds, tr := durableFixture(t, pushdown)
+			defer ds.Close()
+			if ds.Index().Depth < 4 {
+				t.Fatalf("index depth = %d, want >= 4 at fanout 2 with 64 keys", ds.Index().Depth)
+			}
+			for i := 0; i < 64; i++ {
+				v, cost, found, err := ds.Get([]byte(fmt.Sprintf("user:%03d", i)))
+				if err != nil || !found {
+					t.Fatalf("get %d: found=%v err=%v", i, found, err)
+				}
+				if !bytes.Equal(v, []byte(fmt.Sprintf("profile-%d", i))) {
+					t.Fatalf("get %d: %q", i, v)
+				}
+				if cost == 0 {
+					t.Fatal("no cost charged")
+				}
+			}
+			if _, _, found, err := ds.Get([]byte("user:999")); err != nil || found {
+				t.Fatalf("miss: found=%v err=%v", found, err)
+			}
+			if out := tr.Pool().Outstanding(); out != 0 {
+				t.Fatalf("%d pooled buffers leaked", out)
+			}
+		})
+	}
+}
+
+// The headline contract: with pushdown a GET is one crossing regardless
+// of index depth; the host path pays one crossing per hop.
+func TestDurableStoreCrossings(t *testing.T) {
+	pd, _ := durableFixture(t, true)
+	defer pd.Close()
+	host, _ := durableFixture(t, false)
+	defer host.Close()
+
+	const gets = 16
+	for i := 0; i < gets; i++ {
+		key := []byte(fmt.Sprintf("user:%03d", i*4))
+		v1, _, _, err1 := pd.Get(key)
+		v2, _, _, err2 := host.Get(key)
+		if err1 != nil || err2 != nil || !bytes.Equal(v1, v2) {
+			t.Fatalf("key %q: %q/%v vs %q/%v", key, v1, err1, v2, err2)
+		}
+	}
+	levels := int64(pd.Index().Levels)
+	if c := pd.Queue().Stats().Crossings; c != gets {
+		t.Fatalf("pushdown crossings = %d, want %d (1 per GET)", c, gets)
+	}
+	if c := host.Queue().Stats().Crossings; c != gets*levels {
+		t.Fatalf("host crossings = %d, want %d (%d hops per GET)", c, gets*levels, levels)
+	}
+}

@@ -170,6 +170,13 @@ var All = []Experiment{
 		Run:    runE17,
 	},
 	{
+		ID:     "E18",
+		Title:  "Storage pushdown: BPF-style compute in the NVMe completion path",
+		Source: "§4.2, §5.3",
+		Claim:  "the OS keeps protection while applications push logic to the device: a sandboxed lookup runs in the completion path, so a depth-N index GET costs one app↔libOS crossing instead of N+1, with a CPU fallback that returns byte-identical results",
+		Run:    runE18,
+	},
+	{
 		ID:     "A1",
 		Title:  "Ablation: syscall price",
 		Source: "ablation of §3.2",

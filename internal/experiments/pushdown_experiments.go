@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	demi "demikernel"
+	"demikernel/internal/libos/catfish"
+	"demikernel/internal/metrics"
+	"demikernel/internal/offload"
+	"demikernel/internal/queue"
+	"demikernel/internal/simclock"
+	"demikernel/internal/spdk"
+)
+
+// runE18 measures storage pushdown: BPF-style compute in the NVMe
+// completion path. A depth-N index lookup is the worst case for the
+// kernel-bypass storage interface — every hop is a device round trip
+// that exists only to compute the next LBA. Pushing the step function
+// into the device's completion path collapses the traversal to a single
+// app↔libOS crossing at any depth; the CPU fallback (the paper's
+// "default to using the CPU if necessary") pays one crossing per hop.
+func runE18(seed int64) (*Result, error) {
+	res := &Result{}
+	depths := []int{1, 2, 4, 8}
+
+	tbl := metrics.NewTable("E18: depth-N GET, app-level traversal vs device pushdown",
+		"index depth", "keys", "host crossings/GET", "pushdown crossings/GET",
+		"crossing ratio", "host p50", "pushdown p50", "latency ratio")
+
+	type outcome struct {
+		depth                int
+		hostCross, pushCross float64
+		hostP50, pushP50     simclock.Lat
+		valuesAgree          bool
+		resubmitsPerGet      float64
+		hopsSavedPerGet      float64
+		inflightAfter        int64
+		expectedHops         int
+	}
+	var outcomes []outcome
+
+	for _, depth := range depths {
+		nKeys := 1 << (depth + 1) // fanout 2: 2^(d+1) keys build depth d
+		var pairs []spdk.KV
+		for i := 0; i < nKeys; i++ {
+			pairs = append(pairs, spdk.KV{
+				Key: []byte(fmt.Sprintf("key-%05d", i)),
+				Val: []byte(fmt.Sprintf("value-%d", i)),
+			})
+		}
+
+		type rig struct {
+			tr *catfish.Transport
+			q  *catfish.LookupQueue
+		}
+		open := func(pushdown bool, seedOff int64) (*rig, *spdk.Index, error) {
+			c := demi.NewCluster(seed + seedOff)
+			node, err := c.Spawn(demi.Catfish, demi.WithBlocks(0))
+			if err != nil {
+				return nil, nil, err
+			}
+			tr := node.Catfish
+			idx, err := tr.BuildIndex(pairs, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			q, err := tr.OpenLookup(idx, offload.IndexLookup(), catfish.LookupConfig{Pushdown: pushdown})
+			if err != nil {
+				return nil, nil, err
+			}
+			return &rig{tr: tr, q: q}, idx, nil
+		}
+		pd, idx, err := open(true, 0)
+		if err != nil {
+			return nil, err
+		}
+		host, _, err := open(false, 1)
+		if err != nil {
+			return nil, err
+		}
+		if idx.Depth != depth {
+			return nil, fmt.Errorf("E18: built depth %d, want %d", idx.Depth, depth)
+		}
+
+		get := func(r *rig, key []byte) ([]byte, simclock.Lat, error) {
+			s := r.tr.AllocSGA(len(key))
+			copy(s.Segments[0].Buf, key)
+			r.q.Push(s, 0, func(queue.Completion) {})
+			var c queue.Completion
+			got := false
+			r.q.Pop(func(qc queue.Completion) { c = qc; got = true })
+			for i := 0; !got; i++ {
+				r.tr.Poll()
+				if i > 1_000_000 {
+					return nil, 0, fmt.Errorf("E18: lookup hung")
+				}
+			}
+			if c.Err != nil {
+				return nil, 0, c.Err
+			}
+			v := append([]byte(nil), c.SGA.Bytes()...)
+			c.SGA.Free()
+			return v, c.Cost, nil
+		}
+
+		var pdH, hostH metrics.Histogram
+		agree := true
+		for i := 0; i < nKeys; i++ {
+			key := []byte(fmt.Sprintf("key-%05d", i))
+			v1, c1, err := get(pd, key)
+			if err != nil {
+				return nil, err
+			}
+			v2, c2, err := get(host, key)
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(v1, v2) || !bytes.Equal(v1, pairs[i].Val) {
+				agree = false
+			}
+			pdH.Record(c1)
+			hostH.Record(c2)
+		}
+
+		gets := float64(nKeys)
+		ps := pd.q.Stats()
+		hs := host.q.Stats()
+		devStats := pd.tr.Device().PushdownStats()
+		o := outcome{
+			depth:           depth,
+			hostCross:       float64(hs.Crossings) / gets,
+			pushCross:       float64(ps.Crossings) / gets,
+			hostP50:         hostH.Percentile(50),
+			pushP50:         pdH.Percentile(50),
+			valuesAgree:     agree,
+			resubmitsPerGet: float64(devStats.Resubmits) / gets,
+			hopsSavedPerGet: float64(devStats.HopsSaved) / gets,
+			inflightAfter:   devStats.Inflight,
+			expectedHops:    depth + 1,
+		}
+		outcomes = append(outcomes, o)
+		tbl.AddRow(depth, nKeys, o.hostCross, o.pushCross,
+			fmt.Sprintf("%.1fx", o.hostCross/o.pushCross),
+			o.hostP50, o.pushP50, metrics.Ratio(o.hostP50, o.pushP50))
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	// Telemetry view of the deepest run: the spdk.pushdown.* counters
+	// are the evidence that hops happened device-side.
+	deepest := outcomes[len(outcomes)-1]
+	tbl2 := metrics.NewTable("E18: spdk.pushdown.* accounting at depth 8",
+		"metric", "per GET", "meaning")
+	tbl2.AddRow("resubmits", deepest.resubmitsPerGet, "device-internal reads that never crossed to the host")
+	tbl2.AddRow("hops_saved", deepest.hopsSavedPerGet, "host round trips avoided vs app-level traversal")
+	tbl2.AddRow("inflight", float64(deepest.inflightAfter), "traversals still device-side after drain (must be 0)")
+	res.Tables = append(res.Tables, tbl2)
+
+	for _, o := range outcomes {
+		res.check(fmt.Sprintf("depth %d: pushdown GET is 1 crossing", o.depth),
+			o.pushCross == 1, "crossings/GET = %.2f", o.pushCross)
+		res.check(fmt.Sprintf("depth %d: host traversal pays depth+1 crossings", o.depth),
+			o.hostCross == float64(o.expectedHops), "crossings/GET = %.2f, want %d", o.hostCross, o.expectedHops)
+		res.check(fmt.Sprintf("depth %d: values byte-identical across modes", o.depth),
+			o.valuesAgree, "pushdown == host == expected")
+		if o.depth >= 4 {
+			res.check(fmt.Sprintf("depth %d: >=3x fewer crossings with pushdown", o.depth),
+				o.hostCross >= 3*o.pushCross, "%.2f vs %.2f", o.hostCross, o.pushCross)
+			res.check(fmt.Sprintf("depth %d: pushdown lowers GET latency", o.depth),
+				o.pushP50 < o.hostP50, "%v vs %v", o.pushP50, o.hostP50)
+		}
+	}
+	deep := outcomes[len(outcomes)-1]
+	res.check("hops happen device-side (resubmits = depth per GET)",
+		deep.resubmitsPerGet == float64(deep.depth), "%.2f resubmits/GET at depth %d", deep.resubmitsPerGet, deep.depth)
+	res.check("no traversal leaked", deep.inflightAfter == 0, "inflight = %d", deep.inflightAfter)
+	return res, nil
+}

@@ -40,27 +40,37 @@ type Transport struct {
 	model *simclock.CostModel
 	dev   *spdk.Device
 	store *spdk.Store
+	pool  BufPool // size-classed SGA buffer pool (pool.go)
 
 	mu           sync.Mutex
 	fqs          []*fileQueue
+	lqs          []*LookupQueue
 	maxRetries   int
 	retryBackoff time.Duration
 	retries      int64 // transient failures absorbed by the retry loop
 }
 
-// New opens (recovering if necessary) a catfish instance on dev.
+// New opens (recovering if necessary) a catfish instance on dev. The
+// recovery scan itself runs under the transient-failure retry loop: a
+// controller reset mid-scan is a retried open, never a silently
+// truncated log.
 func New(model *simclock.CostModel, dev *spdk.Device) (*Transport, error) {
-	store, _, err := spdk.NewStore(dev)
+	t := &Transport{
+		model:        model,
+		dev:          dev,
+		maxRetries:   DefaultMaxRetries,
+		retryBackoff: DefaultRetryBackoff,
+	}
+	_, err := t.retry(func() (simclock.Lat, error) {
+		var c simclock.Lat
+		var e error
+		t.store, c, e = spdk.NewStore(dev)
+		return c, e
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Transport{
-		model:        model,
-		dev:          dev,
-		store:        store,
-		maxRetries:   DefaultMaxRetries,
-		retryBackoff: DefaultRetryBackoff,
-	}, nil
+	return t, nil
 }
 
 // SetRetryPolicy overrides the transient-failure retry budget (chaos
@@ -128,18 +138,26 @@ func (t *Transport) Features() core.Features {
 func (t *Transport) Device() *spdk.Device { return t.dev }
 
 // RegisterTelemetry lifts the transport's counters — the retry-loop
-// absorption count plus the NVMe device's — into a telemetry registry
-// under prefix.
+// absorption count, the SGA buffer pool's, and the NVMe device's
+// (including its pushdown engine) — into a telemetry registry under
+// prefix.
 func (t *Transport) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	t.dev.RegisterTelemetry(r, prefix+".nvme")
+	t.pool.RegisterTelemetry(r, prefix+".pool")
 	r.RegisterFunc(prefix+".retries", t.Retries)
 }
 
 // Store exposes the blob store (for recovery tests).
 func (t *Transport) Store() *spdk.Store { return t.store }
 
-// AllocSGA implements core.Transport.
-func (t *Transport) AllocSGA(n int) sga.SGA { return sga.New(make([]byte, n)) }
+// Pool exposes the SGA buffer pool (for leak asserts).
+func (t *Transport) Pool() *BufPool { return &t.pool }
+
+// AllocSGA implements core.Transport: buffers come from the size-classed
+// pool and return to it through the SGA's free hook. The libOS frees a
+// pushed SGA once its record is durably appended (the marshalled copy is
+// on media); applications free popped SGAs when done with them.
+func (t *Transport) AllocSGA(n int) sga.SGA { return t.pool.Get(n).SGA() }
 
 // Socket implements core.Transport; catfish has no network path.
 func (t *Transport) Socket() (core.Endpoint, error) {
@@ -172,14 +190,23 @@ func (t *Transport) Open(path string) (queue.IoQueue, error) {
 	return fq, nil
 }
 
-// Poll implements core.Transport.
+// Poll implements core.Transport: pump the device (driving Execute
+// waiters and in-flight pushdown traversals one hop per tick) and serve
+// every queue's waiters.
 func (t *Transport) Poll() int {
+	n := t.dev.Pump()
+	// Snapshot the slice headers only: queues are append-only, so the
+	// captured prefix stays valid (and the poll tick allocation-free)
+	// even if a concurrent Open grows the slice.
 	t.mu.Lock()
-	fqs := append([]*fileQueue(nil), t.fqs...)
+	fqs := t.fqs
+	lqs := t.lqs
 	t.mu.Unlock()
-	n := 0
 	for _, fq := range fqs {
 		n += fq.Pump()
+	}
+	for _, lq := range lqs {
+		n += lq.Pump()
 	}
 	return n
 }
@@ -212,6 +239,10 @@ func (q *fileQueue) Push(s sga.SGA, cost simclock.Lat, done queue.DoneFunc) {
 		done(queue.Completion{Kind: queue.OpPush, Err: err})
 		return
 	}
+	// The record is durable: the staging SGA is consumed, so pooled
+	// buffers (AllocSGA) recycle here. A failed push leaves ownership
+	// with the application, which may retry with the same SGA.
+	s.Free()
 	done(queue.Completion{Kind: queue.OpPush, Cost: cost + c})
 	q.Pump() // a waiter may be satisfiable now
 }

@@ -1,0 +1,308 @@
+package catfish
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"demikernel/internal/offload"
+	"demikernel/internal/queue"
+	"demikernel/internal/simclock"
+	"demikernel/internal/spdk"
+)
+
+func newTransport(t *testing.T) (*Transport, *spdk.Device) {
+	t.Helper()
+	model := simclock.Datacenter2019()
+	dev := spdk.New(&model, spdk.Config{})
+	tr, err := New(&model, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, dev
+}
+
+func testPairs(n int) []spdk.KV {
+	var kvs []spdk.KV
+	for i := 0; i < n; i++ {
+		kvs = append(kvs, spdk.KV{
+			Key: []byte(fmt.Sprintf("key-%04d", i)),
+			Val: []byte(fmt.Sprintf("value-%d", i)),
+		})
+	}
+	return kvs
+}
+
+// get runs one Push+Pop round trip against a lookup queue.
+func get(t *testing.T, tr *Transport, q *LookupQueue, key []byte) ([]byte, error) {
+	t.Helper()
+	ks := tr.AllocSGA(len(key))
+	copy(ks.Segments[0].Buf, key)
+	var pushErr error
+	q.Push(ks, 0, func(c queue.Completion) { pushErr = c.Err })
+	if pushErr != nil {
+		t.Fatal(pushErr)
+	}
+	var res queue.Completion
+	got := false
+	q.Pop(func(c queue.Completion) { res = c; got = true })
+	for i := 0; !got; i++ {
+		tr.Poll()
+		if i > 10000 {
+			t.Fatal("lookup never completed")
+		}
+	}
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	v := append([]byte(nil), res.SGA.Bytes()...)
+	res.SGA.Free()
+	return v, nil
+}
+
+func openLookup(t *testing.T, tr *Transport, kvs []spdk.KV, cfg LookupConfig) (*LookupQueue, *spdk.Index) {
+	t.Helper()
+	idx, err := tr.BuildIndex(kvs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tr.OpenLookup(idx, offload.IndexLookup(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, idx
+}
+
+// The central equivalence: pushdown and host-fallback modes return
+// byte-identical results for every key, but pushdown crosses once per
+// GET while fallback crosses once per hop.
+func TestLookupQueueModesAgree(t *testing.T) {
+	kvs := testPairs(32) // depth 4 at fanout 2
+	tr1, dev1 := newTransport(t)
+	pd, idx := openLookup(t, tr1, kvs, LookupConfig{Pushdown: true})
+	tr2, _ := newTransport(t)
+	host, idx2 := openLookup(t, tr2, kvs, LookupConfig{Pushdown: false})
+	if idx.Levels != idx2.Levels {
+		t.Fatalf("index shapes differ: %d vs %d levels", idx.Levels, idx2.Levels)
+	}
+
+	probes := append(testPairs(32), spdk.KV{Key: []byte("nope"), Val: nil}, spdk.KV{Key: []byte("zzzz"), Val: nil})
+	for _, kv := range probes {
+		v1, err1 := get(t, tr1, pd, kv.Key)
+		v2, err2 := get(t, tr2, host, kv.Key)
+		if !errors.Is(err1, err2) && !errors.Is(err2, err1) {
+			t.Fatalf("key %q: pushdown err %v != host err %v", kv.Key, err1, err2)
+		}
+		if !bytes.Equal(v1, v2) {
+			t.Fatalf("key %q: pushdown %q != host %q", kv.Key, v1, v2)
+		}
+	}
+
+	n := int64(len(probes))
+	ps, hs := pd.Stats(), host.Stats()
+	if ps.Lookups != n || hs.Lookups != n {
+		t.Fatalf("lookups = %d/%d, want %d", ps.Lookups, hs.Lookups, n)
+	}
+	if ps.Crossings != n {
+		t.Fatalf("pushdown crossings = %d, want exactly 1 per GET (%d)", ps.Crossings, n)
+	}
+	if want := n * int64(idx.Levels); hs.Crossings > want || hs.Crossings < n*int64(1) {
+		t.Fatalf("host crossings = %d, want up to %d (one per hop)", hs.Crossings, want)
+	}
+	// The 32 hits each took Levels hops host-side.
+	if hs.Crossings < 32*int64(idx.Levels) {
+		t.Fatalf("host crossings = %d, want >= %d", hs.Crossings, 32*idx.Levels)
+	}
+	if st := dev1.PushdownStats(); st.Inflight != 0 {
+		t.Fatalf("inflight = %d after drain", st.Inflight)
+	}
+	// No storage buffers leaked by either mode.
+	if out := tr1.Pool().Outstanding(); out != 0 {
+		t.Fatalf("pushdown transport leaks %d pooled buffers", out)
+	}
+	if out := tr2.Pool().Outstanding(); out != 0 {
+		t.Fatalf("host transport leaks %d pooled buffers", out)
+	}
+}
+
+func TestLookupQueueMissIsTyped(t *testing.T) {
+	tr, _ := newTransport(t)
+	q, _ := openLookup(t, tr, testPairs(8), LookupConfig{Pushdown: true})
+	if _, err := get(t, tr, q, []byte("absent")); !errors.Is(err, spdk.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLookupQueueClosedAndUninstall(t *testing.T) {
+	tr, dev := newTransport(t)
+	q, idx := openLookup(t, tr, testPairs(8), LookupConfig{Pushdown: true})
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var res queue.Completion
+	q.Pop(func(c queue.Completion) { res = c })
+	if !errors.Is(res.Err, queue.ErrClosed) {
+		t.Fatalf("pop after close: %v", res.Err)
+	}
+	// The pushdown slot was uninstalled with the queue.
+	err := dev.SubmitLookup(0, idx.Root, []byte("k"), func(spdk.LookupResult) {})
+	if !errors.Is(err, spdk.ErrNoProg) {
+		t.Fatalf("slot not uninstalled: %v", err)
+	}
+}
+
+// A controller reset mid-traversal surfaces exactly one typed error on
+// the Pop side; the queue and its pool stay leak-free.
+func TestLookupQueueResetMidTraversal(t *testing.T) {
+	tr, dev := newTransport(t)
+	q, _ := openLookup(t, tr, testPairs(32), LookupConfig{Pushdown: true})
+
+	key := tr.AllocSGA(8)
+	copy(key.Segments[0].Buf, "key-0000")
+	q.Push(key, 0, func(queue.Completion) {})
+	dev.Pump() // one hop in
+	dev.ControllerReset(0)
+
+	var res queue.Completion
+	got := false
+	q.Pop(func(c queue.Completion) { res = c; got = true })
+	for i := 0; !got; i++ {
+		tr.Poll()
+		if i > 10000 {
+			t.Fatal("typed error completion never surfaced")
+		}
+	}
+	if !errors.Is(res.Err, spdk.ErrDeviceReset) {
+		t.Fatalf("err = %v, want ErrDeviceReset", res.Err)
+	}
+	st := dev.PushdownStats()
+	if st.ResetAborts != 1 || st.Inflight != 0 {
+		t.Fatalf("resetAborts/inflight = %d/%d", st.ResetAborts, st.Inflight)
+	}
+	if out := tr.Pool().Outstanding(); out != 0 {
+		t.Fatalf("%d pooled buffers leaked across the reset", out)
+	}
+}
+
+func TestBufPoolRecyclesByClass(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts nondeterministically under -race")
+	}
+	var p BufPool
+	b := p.Get(100)
+	if len(b.Bytes()) != 100 {
+		t.Fatalf("len = %d", len(b.Bytes()))
+	}
+	b.Release()
+	b2 := p.Get(64) // same 128-byte class: must come from the free list
+	st := p.Stats()
+	if st.Pooled != 1 || st.Recycled != 1 {
+		t.Fatalf("pooled/recycled = %d/%d, want 1/1", st.Pooled, st.Recycled)
+	}
+	if st.Outstanding != 1 {
+		t.Fatalf("outstanding = %d", st.Outstanding)
+	}
+	b2.Release()
+
+	// Oversized requests fall back to dedicated buffers.
+	big := p.Get(1 << 20)
+	big.Release()
+	if st := p.Stats(); st.Outstanding != 0 {
+		t.Fatalf("outstanding = %d after full release", st.Outstanding)
+	}
+}
+
+func TestBufPoolDoubleReleasePanics(t *testing.T) {
+	var p BufPool
+	b := p.Get(10)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestBufPoolSGAFreeReleases(t *testing.T) {
+	var p BufPool
+	b := p.Get(32)
+	s := b.SGA()
+	copy(s.Segments[0].Buf, "payload")
+	s.Free()
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after SGA free", p.Outstanding())
+	}
+	// SGA frees are idempotent per copy; the underlying buffer release
+	// must still happen exactly once.
+	s.Free()
+}
+
+// AllocSGA + durable push: the libOS consumes the staging buffer once
+// the record is on media, so the pool gauge returns to zero without the
+// app ever freeing it.
+func TestAllocSGAConsumedByDurablePush(t *testing.T) {
+	tr, _ := newTransport(t)
+	fq, err := tr.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s := tr.AllocSGA(64)
+		copy(s.Segments[0].Buf, fmt.Sprintf("record-%d", i))
+		var pushErr error
+		fq.Push(s, 0, func(c queue.Completion) { pushErr = c.Err })
+		if pushErr != nil {
+			t.Fatal(pushErr)
+		}
+	}
+	if out := tr.Pool().Outstanding(); out != 0 {
+		t.Fatalf("outstanding = %d after 10 durable pushes, want 0", out)
+	}
+	st := tr.Pool().Stats()
+	if st.Pooled == 0 {
+		t.Fatal("staging buffers never recycled")
+	}
+	// The records are intact (the pool freed staging copies, not data).
+	var rec queue.Completion
+	fq.Pop(func(c queue.Completion) { rec = c })
+	if rec.Err != nil || string(rec.SGA.Bytes()[:8]) != "record-0" {
+		t.Fatalf("pop: %q, %v", rec.SGA.Bytes(), rec.Err)
+	}
+}
+
+// The steady-state GET through the whole catfish face is allocation
+// free: pooled key staging, pooled value buffers, recycled results.
+func TestLookupQueueSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc fences are not meaningful under -race (sync.Pool drops Puts)")
+	}
+	tr, _ := newTransport(t)
+	q, _ := openLookup(t, tr, testPairs(8), LookupConfig{Pushdown: true})
+	key := []byte("key-0003")
+	var popDone queue.DoneFunc
+	var res queue.Completion
+	got := false
+	popDone = func(c queue.Completion) { res = c; got = true }
+	pushDone := func(c queue.Completion) {}
+	run := func() {
+		got = false
+		ks := tr.AllocSGA(len(key))
+		copy(ks.Segments[0].Buf, key)
+		q.Push(ks, 0, pushDone)
+		q.Pop(popDone)
+		for !got {
+			tr.Poll()
+		}
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		res.SGA.Free()
+	}
+	run() // warm every pool
+	avg := testing.AllocsPerRun(200, run)
+	if avg != 0 {
+		t.Fatalf("steady-state GET allocates %v/op, want 0", avg)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package catfish
+
+const raceEnabled = false

@@ -1,0 +1,142 @@
+package catfish
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"demikernel/internal/sga"
+	"demikernel/internal/telemetry"
+)
+
+// This file implements the storage-side buffer pool behind AllocSGA and
+// the lookup-queue value path, mirroring fabric.FramePool: size-classed
+// sync.Pool recycling so the steady-state storage data path allocates
+// nothing per op.
+//
+// Ownership contract: a PooledBuf starts with exactly one owner. An SGA
+// built over it carries the release as its free hook; whoever consumes
+// the SGA frees it — the libOS after a durable push (the marshalled copy
+// is on media; the staging buffer is dead), or the application after
+// using a popped value. Releasing twice is a bug and panics, exactly as
+// FramePool does. Outstanding() exposes the live-buffer gauge the chaos
+// soak leak-asserts against.
+
+// bufClasses are the pooled size classes. Storage records cluster around
+// small keys/values and whole blocks; the largest class covers a 4x
+// block-size marshalled record, larger requests fall back to dedicated
+// heap buffers (misses, never recycled).
+var bufClasses = [...]int{128, 512, 4096, 16384}
+
+// PooledBuf is one recycled buffer plus the pre-bound SGA plumbing that
+// makes re-use allocation-free.
+type PooledBuf struct {
+	pool     *BufPool
+	class    int8 // index into bufClasses; -1 = oversized, not recycled
+	released atomic.Bool
+	data     []byte
+	full     []byte
+	segs     [1]sga.Segment
+	release  func()
+}
+
+// Bytes returns the buffer's usable bytes (length = requested size).
+func (b *PooledBuf) Bytes() []byte { return b.data }
+
+// SGA returns a single-segment SGA over the buffer whose Free releases
+// it back to the pool. Allocation-free: the segment header and release
+// closure are part of the PooledBuf and recycle with it.
+func (b *PooledBuf) SGA() sga.SGA {
+	b.segs[0] = sga.Segment{Buf: b.data}
+	return sga.SGA{Segments: b.segs[:]}.WithFree(b.release)
+}
+
+// Release returns the buffer to its pool. Releasing twice panics: a
+// double free would hand the same storage to two owners.
+func (b *PooledBuf) Release() {
+	if b.released.Swap(true) {
+		panic("catfish: PooledBuf released twice")
+	}
+	b.pool.outstanding.Add(-1)
+	if b.class >= 0 {
+		b.data = nil
+		b.pool.recycled.Add(1)
+		b.pool.classes[b.class].Put(b)
+	}
+}
+
+// BufPoolStats is a snapshot of a pool's counters.
+type BufPoolStats struct {
+	Pooled      int64 // Gets served from recycled storage
+	Misses      int64 // Gets that allocated fresh storage
+	Recycled    int64 // buffers returned to the free lists
+	Outstanding int64 // live buffers (gauge); 0 when nothing leaks
+}
+
+// BufPool recycles storage buffers by size class. Safe for concurrent
+// use; the zero value is ready.
+type BufPool struct {
+	classes [len(bufClasses)]sync.Pool
+
+	pooled      atomic.Int64
+	misses      atomic.Int64
+	recycled    atomic.Int64
+	outstanding atomic.Int64
+}
+
+// Get returns a buffer of exactly n usable bytes, recycled when a
+// buffer of its size class is free. The caller owns the single
+// reference.
+func (p *BufPool) Get(n int) *PooledBuf {
+	ci := classFor(n)
+	p.outstanding.Add(1)
+	if ci < 0 {
+		p.misses.Add(1)
+		mem := make([]byte, n)
+		b := &PooledBuf{pool: p, class: -1, data: mem, full: mem}
+		b.release = b.Release
+		return b
+	}
+	var b *PooledBuf
+	if v := p.classes[ci].Get(); v != nil {
+		b = v.(*PooledBuf)
+		p.pooled.Add(1)
+	} else {
+		p.misses.Add(1)
+		b = &PooledBuf{pool: p, class: int8(ci), full: make([]byte, bufClasses[ci])}
+		b.release = b.Release
+	}
+	b.data = b.full[:n]
+	b.released.Store(false)
+	return b
+}
+
+func classFor(n int) int {
+	for i, c := range bufClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *BufPool) Stats() BufPoolStats {
+	return BufPoolStats{
+		Pooled:      p.pooled.Load(),
+		Misses:      p.misses.Load(),
+		Recycled:    p.recycled.Load(),
+		Outstanding: p.outstanding.Load(),
+	}
+}
+
+// Outstanding returns the live-buffer gauge (allocated minus released).
+func (p *BufPool) Outstanding() int64 { return p.outstanding.Load() }
+
+// RegisterTelemetry lifts the pool's counters into a telemetry registry
+// under prefix.
+func (p *BufPool) RegisterTelemetry(r *telemetry.Registry, prefix string) {
+	r.RegisterFunc(prefix+".pooled", p.pooled.Load)
+	r.RegisterFunc(prefix+".misses", p.misses.Load)
+	r.RegisterFunc(prefix+".recycled", p.recycled.Load)
+	r.RegisterFunc(prefix+".outstanding", p.outstanding.Load)
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package catfish
+
+// raceEnabled gates test assertions that cannot hold under the race
+// detector: sync.Pool deliberately drops a fraction of Puts when built
+// with -race (to widen the interleaving space), so deterministic
+// recycling and zero-alloc fences are only meaningful without it.
+const raceEnabled = true

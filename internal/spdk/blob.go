@@ -63,6 +63,11 @@ type Store struct {
 	// tailBlk caches the partially written tail block so appends are
 	// read-modify-write-free.
 	tailBlk []byte
+	// hiBlk is the lowest LBA handed out to raw-block allocations
+	// (AllocBlocks): the log grows up from 0, raw blocks grow down from
+	// the top. Raw allocations are derived state (the block index is
+	// rebuilt at open), so recovery resets hiBlk to the namespace top.
+	hiBlk int
 }
 
 // NewStore opens (and recovers) the store on dev. A fresh device yields an
@@ -79,15 +84,26 @@ func NewStore(dev *Device) (*Store, simclock.Lat, error) {
 	return s, cost, err
 }
 
-// recover scans the log forward, rebuilding the index.
+// recover scans the log forward, rebuilding the index. A device error
+// mid-scan (controller reset, injected media error) is returned rather
+// than silently treated as the end of the log — a truncated recovery
+// would orphan durable records — so the caller can retry; each attempt
+// starts from a clean slate.
 func (s *Store) recover() (simclock.Lat, error) {
+	s.byName = make(map[string]*File)
+	s.byID = make(map[uint32]*File)
+	s.nextID = 0
+	s.hiBlk = s.dev.NumBlocks()
 	var cost simclock.Lat
 	off := 0
 	for {
 		hdr, c, err := s.readBytes(off, recordHdrLen)
 		cost += c
-		if err != nil {
+		if errors.Is(err, ErrOutOfRange) {
 			break // ran off the namespace: log ends here
+		}
+		if err != nil {
+			return cost, err // device error: the scan must be retried
 		}
 		if binary.BigEndian.Uint32(hdr[0:4]) != recordMagic {
 			break
@@ -97,8 +113,11 @@ func (s *Store) recover() (simclock.Lat, error) {
 		wantCRC := binary.BigEndian.Uint32(hdr[12:16])
 		payload, c2, err := s.readBytes(off+recordHdrLen, plen)
 		cost += c2
+		if err != nil && !errors.Is(err, ErrOutOfRange) {
+			return cost, err
+		}
 		if err != nil || crc32.ChecksumIEEE(payload) != wantCRC {
-			break
+			break // torn or corrupt record: the log ends before it
 		}
 		if fileID == 0 {
 			s.indexCreate(string(payload))
@@ -113,11 +132,32 @@ func (s *Store) recover() (simclock.Lat, error) {
 	if blk < s.dev.NumBlocks() {
 		c := s.dev.Execute(Command{Op: OpRead, LBA: blk})
 		cost += c.Cost
-		if c.Err == nil {
-			copy(s.tailBlk, c.Data)
+		if c.Err != nil {
+			return cost, c.Err
 		}
+		copy(s.tailBlk, c.Data)
 	}
 	return cost, nil
+}
+
+// AllocBlocks reserves n contiguous raw blocks from the top of the
+// namespace, below any previous reservation, and returns the first LBA.
+// The record log and raw allocations share the namespace from opposite
+// ends; ErrLogFull when they would meet. Reservations are not persisted:
+// they hold derived state (the block-resident index) that is rebuilt at
+// open time.
+func (s *Store) AllocBlocks(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("spdk/blob: bad allocation size %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo := s.hiBlk - n
+	if lo*BlockSize < s.tail {
+		return 0, ErrLogFull
+	}
+	s.hiBlk = lo
+	return lo, nil
 }
 
 func (s *Store) indexCreate(name string) *File {
@@ -208,7 +248,8 @@ func (s *Store) appendLocked(fileID uint32, payload []byte) (simclock.Lat, error
 	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
 	rec = append(rec, payload...)
 
-	if s.tail+len(rec) > s.dev.NumBlocks()*BlockSize {
+	if s.tail+len(rec) > s.hiBlk*BlockSize {
+		// The log may not grow into the raw-block region (AllocBlocks).
 		return 0, ErrLogFull
 	}
 

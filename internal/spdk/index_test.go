@@ -1,0 +1,150 @@
+package spdk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// hostTraverse walks the index on the host, one Execute per node — the
+// reference traversal the pushdown engine must match.
+func hostTraverse(t *testing.T, d *Device, idx *Index, key []byte) ([]byte, int, bool) {
+	t.Helper()
+	lba := idx.Root
+	for hops := 1; hops <= MaxHopBudget; hops++ {
+		c := d.Execute(Command{Op: OpRead, LBA: lba})
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		switch s := IndexStep(key, c.Data); s.Kind {
+		case StepNext:
+			lba = s.NextLBA
+		case StepDone:
+			return s.Value, hops, true
+		case StepMiss:
+			return nil, hops, false
+		default:
+			t.Fatalf("corrupt verdict at LBA %d", lba)
+		}
+	}
+	t.Fatal("traversal did not terminate")
+	return nil, 0, false
+}
+
+func TestIndexBuildShapes(t *testing.T) {
+	d := newDev(Config{})
+	for _, tc := range []struct {
+		keys, fanout, levels int
+	}{
+		{1, 2, 1},   // single leaf is its own root
+		{2, 2, 1},   // still one leaf
+		{3, 2, 2},   // two leaves, one root
+		{8, 2, 3},   // 4 leaves, 2 inner, root
+		{16, 2, 4},  // full depth-3 binary shape
+		{64, 8, 2},  // 8 leaves at fanout 8
+		{100, 8, 3}, // 13 leaves, 2 inner, root
+	} {
+		var kvs []KV
+		for i := 0; i < tc.keys; i++ {
+			kvs = append(kvs, KV{Key: []byte(fmt.Sprintf("k%05d", i)), Val: []byte(fmt.Sprintf("v%d", i))})
+		}
+		idx, err := BuildIndex(d, seqAlloc(1000), kvs, tc.fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx.Levels != tc.levels || idx.Depth != tc.levels-1 {
+			t.Fatalf("%d keys fanout %d: levels = %d, want %d", tc.keys, tc.fanout, idx.Levels, tc.levels)
+		}
+		if idx.NumKeys != tc.keys || idx.BuildCost == 0 {
+			t.Fatalf("NumKeys = %d BuildCost = %v", idx.NumKeys, idx.BuildCost)
+		}
+		// Every key resolves in exactly Levels hops.
+		for i := 0; i < tc.keys; i++ {
+			v, hops, ok := hostTraverse(t, d, idx, []byte(fmt.Sprintf("k%05d", i)))
+			if !ok || !bytes.Equal(v, []byte(fmt.Sprintf("v%d", i))) {
+				t.Fatalf("%d keys: key %d -> %q ok=%v", tc.keys, i, v, ok)
+			}
+			if hops != idx.Levels {
+				t.Fatalf("%d keys: key %d took %d hops, want %d", tc.keys, i, hops, idx.Levels)
+			}
+		}
+		// Misses on both flanks and in between.
+		for _, miss := range []string{"a", "k00000x", "z"} {
+			if _, _, ok := hostTraverse(t, d, idx, []byte(miss)); ok {
+				t.Fatalf("ghost hit for %q", miss)
+			}
+		}
+	}
+}
+
+func TestIndexDuplicateKeysLastWins(t *testing.T) {
+	d := newDev(Config{})
+	kvs := []KV{
+		{Key: []byte("a"), Val: []byte("old")},
+		{Key: []byte("b"), Val: []byte("b1")},
+		{Key: []byte("a"), Val: []byte("new")},
+	}
+	idx, err := BuildIndex(d, seqAlloc(500), kvs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumKeys != 2 {
+		t.Fatalf("NumKeys = %d, want 2 after dedupe", idx.NumKeys)
+	}
+	v, _, ok := hostTraverse(t, d, idx, []byte("a"))
+	if !ok || string(v) != "new" {
+		t.Fatalf("a -> %q ok=%v, want the last value", v, ok)
+	}
+}
+
+func TestIndexBuildRejects(t *testing.T) {
+	d := newDev(Config{})
+	if _, err := BuildIndex(d, seqAlloc(0), nil, 2); !errors.Is(err, ErrIndexEmpty) {
+		t.Fatalf("empty: err = %v", err)
+	}
+	big := KV{Key: bytes.Repeat([]byte("k"), 10), Val: make([]byte, BlockSize)}
+	if _, err := BuildIndex(d, seqAlloc(0), []KV{big}, 1); !errors.Is(err, ErrIndexEntryTooBig) {
+		t.Fatalf("oversized entry: err = %v", err)
+	}
+	long := KV{Key: make([]byte, MaxKeyLen+1), Val: []byte("v")}
+	if _, err := BuildIndex(d, seqAlloc(0), []KV{long}, 1); !errors.Is(err, ErrIndexEntryTooBig) {
+		t.Fatalf("long key: err = %v", err)
+	}
+	allocFail := func(n int) (int, error) { return 0, ErrLogFull }
+	if _, err := BuildIndex(d, allocFail, []KV{{Key: []byte("k"), Val: []byte("v")}}, 2); !errors.Is(err, ErrLogFull) {
+		t.Fatalf("alloc failure: err = %v", err)
+	}
+}
+
+func TestIndexStepRejectsDamage(t *testing.T) {
+	d := newDev(Config{})
+	idx, _ := buildTestIndex(t, d, 1)
+	c := d.Execute(Command{Op: OpRead, LBA: idx.Root})
+	if c.Err != nil {
+		t.Fatal(c.Err)
+	}
+	good := append([]byte(nil), c.Data...)
+	if s := IndexStep([]byte("key-0000"), good); s.Kind == StepCorrupt {
+		t.Fatal("pristine node rejected")
+	}
+	// Damage every byte of the header region in turn; magic, level, or
+	// entry-count corruption must never pass.
+	for off := 0; off < 4; off++ {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0xFF
+		if s := IndexStep([]byte("key-0000"), bad); s.Kind != StepCorrupt {
+			t.Fatalf("bad magic byte %d accepted: kind %d", off, s.Kind)
+		}
+	}
+	// Truncated block.
+	if s := IndexStep([]byte("key-0000"), good[:4]); s.Kind != StepCorrupt {
+		t.Fatal("truncated block accepted")
+	}
+	// Entry count beyond the packed data walks off the block.
+	bad := append([]byte(nil), good...)
+	bad[6], bad[7] = 0xFF, 0xFF
+	if s := IndexStep([]byte("key-0000"), bad); s.Kind != StepCorrupt {
+		t.Fatal("inflated nKeys accepted")
+	}
+}

@@ -8,6 +8,13 @@
 // accelerator-specific log-structured layout the paper sketches in §5.3
 // lives on top, in blob.go, and the storage libOS (internal/libos/catfish)
 // exposes it through Demikernel file queues.
+//
+// Completions are continuation-carrying: a submitter may attach a
+// callback that the device invokes when the command completes, instead of
+// surfacing the completion through the shared CQ. That is the mechanism
+// behind both the synchronous Execute convenience and the storage
+// pushdown engine (pushdown.go), which chains reads entirely inside the
+// device without ever crossing back to the host.
 package spdk
 
 import (
@@ -92,9 +99,33 @@ type Device struct {
 	mu     sync.Mutex
 	blocks map[int][]byte
 	sq     []sqe
-	cq     []Completion
 	nextID uint64
 	stats  Stats
+
+	// CQ ring: completions without a continuation accumulate in cq and
+	// are drained by Poll from cqHead. The backing array is reused: once
+	// fully drained it rewinds to the front instead of reallocating.
+	cq     []Completion
+	cqHead int
+
+	// Completed continuation-carrying entries, staged under mu and
+	// dispatched outside it (a continuation may resubmit, which retakes
+	// the lock). conts/spare ping-pong so the steady state allocates
+	// nothing.
+	conts []pendingCont
+	spare []pendingCont
+
+	// execFree recycles Execute's wait state.
+	execFree []*execState
+
+	// blockFree recycles the one-block staging buffers of
+	// device-internal (pushdown) reads, which never escape to the host.
+	// A plain freelist under mu: unlike a sync.Pool it recycles without
+	// boxing the slice header, keeping the hop path allocation-free.
+	blockFree [][]byte
+
+	// pd is the storage-pushdown engine state (pushdown.go).
+	pd pushdownState
 
 	// Fault injection (chaos testing).
 	rng     *rand.Rand // seeded by SetErrorRate; nil = no injection
@@ -105,6 +136,24 @@ type Device struct {
 type sqe struct {
 	id  uint64
 	cmd Command
+	// done, when non-nil, receives the completion instead of the CQ.
+	done func(Completion)
+	// internal marks a pushdown-engine read: the block stays device-side
+	// (no host DMA charged) in a pooled staging buffer that the engine
+	// recycles after inspecting it.
+	internal bool
+}
+
+type pendingCont struct {
+	fn func(Completion)
+	c  Completion
+}
+
+// execState is the pooled wait state behind Execute. The buffered
+// channel lets any goroutine's pump deliver the completion.
+type execState struct {
+	ch chan Completion
+	fn func(Completion)
 }
 
 // New creates a device.
@@ -142,14 +191,29 @@ func (d *Device) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	r.RegisterFunc(prefix+".dma_bytes", stat(func(s Stats) int64 { return s.DMABytes }))
 	r.RegisterFunc(prefix+".resets", stat(func(s Stats) int64 { return s.Resets }))
 	r.RegisterFunc(prefix+".injected_errors", stat(func(s Stats) int64 { return s.InjectedErrors }))
+	d.registerPushdownTelemetry(r, prefix+".pushdown")
 }
 
 // Submit enqueues a command and returns its completion ID. It fails fast
 // with ErrQueueFull when the submission queue is at depth, as a polled
-// NVMe driver would observe.
+// NVMe driver would observe. The completion surfaces through Poll.
 func (d *Device) Submit(cmd Command) (uint64, error) {
+	return d.submit(cmd, nil, false)
+}
+
+// SubmitFunc enqueues a command whose completion is delivered to done —
+// from whichever goroutine next pumps the device — instead of the CQ.
+func (d *Device) SubmitFunc(cmd Command, done func(Completion)) (uint64, error) {
+	return d.submit(cmd, done, false)
+}
+
+func (d *Device) submit(cmd Command, done func(Completion), internal bool) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.submitLocked(cmd, done, internal)
+}
+
+func (d *Device) submitLocked(cmd Command, done func(Completion), internal bool) (uint64, error) {
 	if len(d.sq) >= d.cfg.QueueDepth {
 		d.stats.QueueFulls++
 		return 0, ErrQueueFull
@@ -159,7 +223,7 @@ func (d *Device) Submit(cmd Command) (uint64, error) {
 	}
 	d.nextID++
 	id := d.nextID
-	e := sqe{id: id, cmd: cmd}
+	e := sqe{id: id, cmd: cmd, done: done, internal: internal}
 	if cmd.Op == OpWrite {
 		// The device DMAs the buffer at submission; keep a copy so the
 		// caller may reuse its buffer immediately (completion-side
@@ -171,19 +235,77 @@ func (d *Device) Submit(cmd Command) (uint64, error) {
 }
 
 // Poll processes pending submissions and returns up to max completions
-// (0 means all).
+// (0 means all). The returned slice aliases the device's completion
+// ring and is valid only until the next Poll — the rx_burst contract:
+// consume or copy before polling again.
 func (d *Device) Poll(max int) []Completion {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.processLocked()
-	n := len(d.cq)
+	n := len(d.cq) - d.cqHead
 	if max > 0 && n > max {
 		n = max
 	}
-	out := make([]Completion, n)
-	copy(out, d.cq)
-	d.cq = d.cq[:copy(d.cq, d.cq[n:])]
+	out := d.cq[d.cqHead : d.cqHead+n]
+	d.cqHead += n
+	if d.cqHead == len(d.cq) {
+		// Fully drained: rewind the ring, reusing the backing array.
+		d.cq = d.cq[:0]
+		d.cqHead = 0
+	}
+	conts := d.takeContsLocked()
+	d.mu.Unlock()
+	d.dispatch(conts)
 	return out
+}
+
+// Pump processes pending submissions and dispatches continuation-
+// carrying completions, leaving CQ completions queued for Poll. It
+// returns the number of continuations dispatched. LibOS poll loops call
+// it to drive Execute waiters and in-flight pushdown traversals.
+func (d *Device) Pump() int {
+	d.mu.Lock()
+	if len(d.sq) > 0 {
+		d.processLocked()
+	}
+	conts := d.takeContsLocked()
+	d.mu.Unlock()
+	return d.dispatch(conts)
+}
+
+// takeContsLocked detaches the staged continuation batch, installing the
+// spare buffer (if free) so processing can continue while the batch is
+// dispatched outside the lock.
+func (d *Device) takeContsLocked() []pendingCont {
+	if len(d.conts) == 0 {
+		return nil
+	}
+	out := d.conts
+	if d.spare != nil {
+		d.conts = d.spare[:0]
+		d.spare = nil
+	} else {
+		d.conts = nil
+	}
+	return out
+}
+
+// dispatch invokes a batch of continuations and returns the batch to the
+// spare slot for reuse.
+func (d *Device) dispatch(conts []pendingCont) int {
+	if len(conts) == 0 {
+		return 0
+	}
+	for i := range conts {
+		conts[i].fn(conts[i].c)
+		conts[i] = pendingCont{}
+	}
+	n := len(conts)
+	d.mu.Lock()
+	if d.spare == nil {
+		d.spare = conts[:0]
+	}
+	d.mu.Unlock()
+	return n
 }
 
 func (d *Device) processLocked() {
@@ -195,7 +317,7 @@ func (d *Device) processLocked() {
 			d.downFor--
 			c.Err = ErrDeviceReset
 			d.stats.Errors++
-			d.cq = append(d.cq, c)
+			d.completeLocked(e, c)
 			continue
 		}
 		if d.errRate > 0 && d.rng != nil && d.rng.Float64() < d.errRate {
@@ -203,7 +325,7 @@ func (d *Device) processLocked() {
 			d.stats.InjectedErrors++
 			c.Err = ErrIO
 			d.stats.Errors++
-			d.cq = append(d.cq, c)
+			d.completeLocked(e, c)
 			continue
 		}
 		switch e.cmd.Op {
@@ -212,14 +334,32 @@ func (d *Device) processLocked() {
 				c.Err = ErrOutOfRange
 			} else {
 				d.stats.Reads++
-				d.stats.DMABytes += BlockSize
-				blk, ok := d.blocks[e.cmd.LBA]
-				data := make([]byte, BlockSize)
-				if ok {
+				blk := d.blocks[e.cmd.LBA]
+				if e.internal {
+					// Pushdown-internal read: the block stays on the
+					// device (no host DMA) in a pooled staging buffer
+					// the engine recycles after inspection.
+					var data []byte
+					if n := len(d.blockFree); n > 0 {
+						data = d.blockFree[n-1]
+						d.blockFree = d.blockFree[:n-1]
+					} else {
+						data = make([]byte, BlockSize)
+					}
+					if len(blk) > 0 {
+						copy(data, blk)
+					} else {
+						clear(data)
+					}
+					c.Data = data
+					c.Cost = d.model.NVMeReadNS
+				} else {
+					d.stats.DMABytes += BlockSize
+					data := make([]byte, BlockSize)
 					copy(data, blk)
+					c.Data = data
+					c.Cost = d.model.NVMeReadNS + d.model.DMACost(BlockSize)
 				}
-				c.Data = data
-				c.Cost = d.model.NVMeReadNS + d.model.DMACost(BlockSize)
 			}
 		case OpWrite:
 			if e.cmd.LBA < 0 || e.cmd.LBA >= d.cfg.NumBlocks {
@@ -237,61 +377,107 @@ func (d *Device) processLocked() {
 		if c.Err != nil {
 			d.stats.Errors++
 		}
-		d.cq = append(d.cq, c)
+		d.completeLocked(e, c)
 	}
 	d.sq = d.sq[:0]
 }
 
-// Execute submits cmd and polls until its completion arrives, returning
-// it. It is the synchronous convenience used by the blob layer; other
-// completions that surface first are queued back in order.
+// completeLocked routes one finished command: continuation-carrying
+// entries stage for out-of-lock dispatch, the rest join the CQ ring.
+func (d *Device) completeLocked(e sqe, c Completion) {
+	if e.done != nil {
+		d.conts = append(d.conts, pendingCont{fn: e.done, c: c})
+		return
+	}
+	d.cq = append(d.cq, c)
+}
+
+// recycleBlock returns a pushdown staging buffer to the freelist. Safe
+// on nil (aborted commands carry no data).
+func (d *Device) recycleBlock(b []byte) {
+	if len(b) != BlockSize {
+		return
+	}
+	d.mu.Lock()
+	d.blockFree = append(d.blockFree, b)
+	d.mu.Unlock()
+}
+
+// Execute submits cmd and pumps the device until its completion arrives,
+// returning it. It is the synchronous convenience used by the blob
+// layer. The completion travels by continuation, so foreign completions
+// are never scanned or re-queued.
 func (d *Device) Execute(cmd Command) Completion {
-	id, err := d.Submit(cmd)
-	if err != nil {
+	st := d.getExecState()
+	if _, err := d.submit(cmd, st.fn, false); err != nil {
+		d.putExecState(st)
 		return Completion{Op: cmd.Op, LBA: cmd.LBA, Err: err}
 	}
 	for {
-		d.mu.Lock()
-		d.processLocked()
-		for i, c := range d.cq {
-			if c.ID == id {
-				d.cq = append(d.cq[:i], d.cq[i+1:]...)
-				d.mu.Unlock()
-				return c
-			}
+		select {
+		case c := <-st.ch:
+			d.putExecState(st)
+			return c
+		default:
 		}
-		d.mu.Unlock()
+		d.Pump()
 	}
+}
+
+func (d *Device) getExecState() *execState {
+	d.mu.Lock()
+	if n := len(d.execFree); n > 0 {
+		st := d.execFree[n-1]
+		d.execFree = d.execFree[:n-1]
+		d.mu.Unlock()
+		return st
+	}
+	d.mu.Unlock()
+	st := &execState{ch: make(chan Completion, 1)}
+	st.fn = func(c Completion) { st.ch <- c }
+	return st
+}
+
+func (d *Device) putExecState(st *execState) {
+	d.mu.Lock()
+	d.execFree = append(d.execFree, st)
+	d.mu.Unlock()
 }
 
 // Reset clears queues and storage, as a factory-level namespace format
 // would. (For a media-preserving controller reset, see ControllerReset.)
 func (d *Device) Reset() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.abortInflightLocked()
 	d.blocks = make(map[int][]byte)
+	conts := d.takeContsLocked()
+	d.mu.Unlock()
+	d.dispatch(conts)
 }
 
 // ControllerReset simulates a spontaneous NVMe controller reset: every
 // in-flight command aborts with ErrDeviceReset and the next downFor
 // submitted commands also fail while the controller re-initialises.
 // Media contents are preserved — after recovery, retried commands see
-// the data that was durably written before the reset.
+// the data that was durably written before the reset. In-flight pushdown
+// traversals surface exactly one typed error completion each (their
+// aborted read's continuation runs like any other).
 func (d *Device) ControllerReset(downFor int) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.stats.Resets++
 	d.abortInflightLocked()
 	if downFor > 0 {
 		d.downFor = downFor
 	}
+	conts := d.takeContsLocked()
+	d.mu.Unlock()
+	d.dispatch(conts)
 }
 
 func (d *Device) abortInflightLocked() {
 	for _, e := range d.sq {
 		d.stats.Errors++
-		d.cq = append(d.cq, Completion{ID: e.id, Op: e.cmd.Op, LBA: e.cmd.LBA, Err: ErrDeviceReset})
+		d.completeLocked(e, Completion{ID: e.id, Op: e.cmd.Op, LBA: e.cmd.LBA, Err: ErrDeviceReset})
 	}
 	d.sq = d.sq[:0]
 }

@@ -1,0 +1,182 @@
+package demikernel
+
+// BenchmarkStoragePushdown* is the storage-pushdown regression suite:
+// depth-N GETs through the catfish lookup face with the step function
+// either pushed into the NVMe completion path or run on the host CPU.
+// Like BenchmarkHotPath*, every rig is single-goroutine and manually
+// pumped so allocs/op are deterministic; `make bench` writes the result
+// stream to BENCH_storage.json.
+//
+// Two fences run inside the benchmark bodies (b.Fatalf on violation):
+//
+//   - at depth >= 4, pushdown must cross the device boundary at least
+//     3x less often than the host traversal;
+//   - the steady-state pushdown GET allocates nothing.
+
+import (
+	"fmt"
+	"testing"
+
+	"demikernel/internal/libos/catfish"
+	"demikernel/internal/offload"
+	"demikernel/internal/queue"
+	"demikernel/internal/spdk"
+)
+
+// storageRig is a catfish transport with a depth-N index and an open
+// lookup face.
+type storageRig struct {
+	tr   *catfish.Transport
+	q    *catfish.LookupQueue
+	idx  *spdk.Index
+	keys [][]byte
+}
+
+func newStorageRig(tb testing.TB, depth int, pushdown bool) *storageRig {
+	tb.Helper()
+	c := NewCluster(9)
+	node, err := c.Spawn(Catfish, WithBlocks(0))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr := node.Catfish
+	n := 1 << (depth + 1) // fanout 2: 2^(depth+1) keys build depth N
+	var pairs []spdk.KV
+	var keys [][]byte
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		pairs = append(pairs, spdk.KV{Key: k, Val: []byte(fmt.Sprintf("value-%d", i))})
+		keys = append(keys, k)
+	}
+	idx, err := tr.BuildIndex(pairs, 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if idx.Depth != depth {
+		tb.Fatalf("index depth = %d, want %d", idx.Depth, depth)
+	}
+	q, err := tr.OpenLookup(idx, offload.IndexLookup(), catfish.LookupConfig{Pushdown: pushdown})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &storageRig{tr: tr, q: q, idx: idx, keys: keys}
+}
+
+// get runs one Push+Pop GET round trip; prealloc'd done funcs keep the
+// measurement loop allocation-free.
+func (r *storageRig) get(tb testing.TB, key []byte, popDone queue.DoneFunc) {
+	s := r.tr.AllocSGA(len(key))
+	copy(s.Segments[0].Buf, key)
+	r.q.Push(s, 0, benchPushDone)
+	r.q.Pop(popDone)
+	for i := 0; benchPopPending; i++ {
+		r.tr.Poll()
+		if i > 1_000_000 {
+			tb.Fatal("GET made no progress")
+		}
+	}
+}
+
+var (
+	benchPushDone   = func(queue.Completion) {}
+	benchPopPending bool
+)
+
+func benchStorageGet(b *testing.B, depth int, pushdown bool) {
+	rig := newStorageRig(b, depth, pushdown)
+	var res queue.Completion
+	popDone := queue.DoneFunc(func(c queue.Completion) { res = c; benchPopPending = false })
+	get := func(i int) {
+		benchPopPending = true
+		rig.get(b, rig.keys[i%len(rig.keys)], popDone)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		res.SGA.Free()
+	}
+	get(0) // warm every pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		get(i)
+	}
+	b.StopTimer()
+
+	st := rig.q.Stats()
+	crossPerGet := float64(st.Crossings) / float64(st.Lookups)
+	b.ReportMetric(crossPerGet, "crossings/GET")
+	b.ReportMetric(float64(rig.idx.Levels), "hops/GET")
+
+	// Crossing fence: pushdown is exactly 1 per GET; the host path pays
+	// one per hop. At depth >= 4 that is a >= 5x gap — fence at 3x.
+	if pushdown {
+		if crossPerGet != 1 {
+			b.Fatalf("pushdown crossings/GET = %.2f, want exactly 1", crossPerGet)
+		}
+		if depth >= 4 {
+			hostPerGet := float64(depth + 1)
+			if hostPerGet < 3*crossPerGet {
+				b.Fatalf("crossing fence: host %.1f vs pushdown %.1f is below 3x", hostPerGet, crossPerGet)
+			}
+		}
+	} else if crossPerGet != float64(depth+1) {
+		b.Fatalf("host crossings/GET = %.2f, want %d", crossPerGet, depth+1)
+	}
+	if inflight := rig.tr.Device().PushdownStats().Inflight; inflight != 0 {
+		b.Fatalf("leaked %d traversals", inflight)
+	}
+	if out := rig.tr.Pool().Outstanding(); out != 0 {
+		b.Fatalf("leaked %d pooled buffers", out)
+	}
+
+	// Zero-alloc fence for the steady-state pushdown GET.
+	if pushdown {
+		if avg := testing.AllocsPerRun(100, func() { get(1) }); avg != 0 {
+			b.Fatalf("steady-state GET allocates %v/op, want 0", avg)
+		}
+	}
+}
+
+func BenchmarkStoragePushdown(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth%d/pushdown", depth), func(b *testing.B) {
+			benchStorageGet(b, depth, true)
+		})
+		b.Run(fmt.Sprintf("depth%d/host", depth), func(b *testing.B) {
+			benchStorageGet(b, depth, false)
+		})
+	}
+}
+
+// BenchmarkStoragePushdownAppend measures the legacy record-append path
+// with pooled staging SGAs, guarding the satellite change (AllocSGA is
+// pool-backed now) against regressions.
+func BenchmarkStoragePushdownAppend(b *testing.B) {
+	c := NewCluster(9)
+	node, err := c.Spawn(Catfish, WithBlocks(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := node.Catfish
+	fq, err := tr.Open("/bench/log")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pushErr error
+	done := queue.DoneFunc(func(cpl queue.Completion) { pushErr = cpl.Err })
+	payload := []byte("benchmark-record-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.AllocSGA(len(payload))
+		copy(s.Segments[0].Buf, payload)
+		fq.Push(s, 0, done)
+		if pushErr != nil {
+			b.Fatal(pushErr)
+		}
+	}
+	b.StopTimer()
+	if out := tr.Pool().Outstanding(); out != 0 {
+		b.Fatalf("leaked %d pooled buffers", out)
+	}
+}
