@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak httpsoak storagesoak chaos bench benchsmoke benchall report clean
+.PHONY: all tier1 vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak httpsoak storagesoak reshardsoak chaos bench benchsmoke benchall report clean
 
 all: tier1
 
@@ -22,7 +22,7 @@ all: tier1
 ## become TCP backpressure, not unbounded buffering), and a
 ## one-iteration smoke of the hot-path benchmark suite so a broken
 ## benchmark rig fails the gate, not the nightly bench run.
-tier1: vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak httpsoak storagesoak benchsmoke
+tier1: vet build test race statsmoke shardsmoke lifecyclesoak tenantsoak httpsoak storagesoak reshardsoak benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -101,6 +101,16 @@ storagesoak:
 	$(GO) test -race -count=1 -run 'TestChaosPushdownResetMidTraversal' .
 	$(GO) run ./cmd/demi-stat -storage -n 300 -depth 4
 
+## reshardsoak: the elastic-resharding and live-switching gauntlet,
+## under the race detector — grow 4→8 and shrink 8→2 under client load
+## with zero failed requests, reshard 2→4→3 through loss, an asymmetric
+## partition, and a crash/restart (request + frame conservation across
+## generations), and a catnap↔catnip switch with an established
+## connection carrying in-flight bytes through both transitions.
+## Part of tier1.
+reshardsoak:
+	$(GO) test -race -count=1 -run 'TestReshardUnderLoad|TestChaosReshardUnderCrashRestart|TestSwitchKindLive' .
+
 ## chaos: just the fault-injection suite (root soak tests + engine).
 chaos:
 	$(GO) test -run 'TestChaos|TestCrashRestart|TestKVFailover' -count=1 ./...
@@ -116,18 +126,21 @@ chaos:
 ## allocations per request. The storage run persists BENCH_storage.json
 ## and fails in-bench unless a depth>=4 pushdown GET crosses the device
 ## boundary at least 3x less often than the host traversal, with zero
-## steady-state allocations per GET. Compare the files against the
-## committed baselines to spot regressions.
+## steady-state allocations per GET. The reshard run persists
+## BENCH_reshard.json and fails in-bench unless client p99 during a
+## live 4→8 reshard stays within 3x of steady-state p99. Compare the
+## files against the committed baselines to spot regressions.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchmem -json . | tee BENCH_hotpath.json
 	$(GO) test -run xxx -bench 'BenchmarkURing' -benchmem -json . | tee BENCH_uring.json
 	$(GO) test -run xxx -bench 'BenchmarkStorage' -benchmem -json . | tee BENCH_storage.json
+	$(GO) test -run xxx -bench 'BenchmarkReshard' -benchmem -json . | tee BENCH_reshard.json
 	$(GO) run ./cmd/demi-bench -shards 8 -shardsout BENCH_multishard.json
 	$(GO) run ./cmd/demi-http -bench -out BENCH_http.json
 
 ## benchsmoke: one iteration of every hot-path benchmark; part of tier1.
 benchsmoke:
-	$(GO) test -run xxx -bench 'BenchmarkHotPath|BenchmarkURing|BenchmarkHTTP|BenchmarkStorage' -benchtime=1x .
+	$(GO) test -run xxx -bench 'BenchmarkHotPath|BenchmarkURing|BenchmarkHTTP|BenchmarkStorage|BenchmarkReshard' -benchtime=1x .
 
 ## benchall: every benchmark in the repo (E1..E13 experiments + hot path).
 benchall:

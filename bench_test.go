@@ -505,7 +505,7 @@ func BenchmarkMultiShard_KV(b *testing.B) {
 			stopCli := cliNode.Background()
 			defer func() { close(stop); wg.Wait(); stopCli() }()
 			client, err := kv.NewShardedClient(cliNode.LibOS, n, func(i int) (QD, error) {
-				return c.DialToShard(cliNode, srvNode, port, i, uint16(4096*i+31))
+				return c.Router().DialShard(cliNode, srvNode, port, i, uint16(4096*i+31))
 			})
 			if err != nil {
 				b.Fatal(err)

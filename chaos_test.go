@@ -253,7 +253,7 @@ func TestChaosShardedKV(t *testing.T) {
 	// SourcePortFor keeps every choice aligned with its target shard.
 	dial := func(attempt int) (*kv.ShardedClient, error) {
 		return kv.NewShardedClient(cliNode.LibOS, shards, func(i int) (QD, error) {
-			return c.DialToShard(cliNode, srvNode, port, i, uint16(3000*i+7+attempt*131))
+			return c.Router().DialShard(cliNode, srvNode, port, i, uint16(3000*i+7+attempt*131))
 		})
 	}
 	cli, err := dial(0)

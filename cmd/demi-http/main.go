@@ -104,7 +104,7 @@ func runDriver(seed int64, total int) error {
 	var seedCtr uint16
 	dial := func(shard int) (*httpd.Client, error) {
 		seedCtr += 8
-		qd, err := c.DialToShard(cliNode, sh, httpPort, shard, seedCtr)
+		qd, err := c.Router().DialShard(cliNode, sh, httpPort, shard, seedCtr)
 		if err != nil {
 			return nil, err
 		}

@@ -39,6 +39,13 @@
 // traffic, per-stack frames, virtual busy time) and rolls every
 // shard.<i>.* counter up into a shard.*.* aggregate, so a skewed
 // partition or a chatty mesh is visible at a glance.
+//
+// With -reshard the workload is an elastic KV node that grows 2→4
+// shards and shrinks back to 2 live, under client load: the dashboard
+// snapshots the generation gauges (kv_gen / kv_active / kv_migrating),
+// the NIC steering state (rss_queues, pinned_flows), and the per-shard
+// key and migration ledgers at each generation, so an operator can
+// watch ownership hand off — and verify the migrate ledger balances.
 package main
 
 import (
@@ -125,6 +132,7 @@ func main() {
 	httpView := flag.Bool("http", false, "run the HTTP/1.1 workload dashboard (httpd counters + latency tail)")
 	httpRing := flag.Int("httpring", 0, "with -http: serve over SQ/CQ rings of this capacity instead of per-op tokens")
 	storageView := flag.Bool("storage", false, "run the storage-pushdown dashboard (crossings/GET, spdk.pushdown.* counters, invariant audit)")
+	reshardView := flag.Bool("reshard", false, "run the elastic-resharding dashboard (live 2→4→2 reshard under load, generation + steering gauges)")
 	storageDepth := flag.Int("depth", 4, "with -storage: index depth for the lookup workload")
 	flag.Parse()
 
@@ -143,6 +151,13 @@ func main() {
 	}
 	if *shards > 0 {
 		if err := runSharded(*seed, *shards, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "demi-stat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *reshardView {
+		if err := runReshard(*seed, *n); err != nil {
 			fmt.Fprintf(os.Stderr, "demi-stat: %v\n", err)
 			os.Exit(1)
 		}
@@ -512,7 +527,7 @@ func runSharded(seed int64, shards, ops int) error {
 	defer stopCli()
 
 	cli, err := kv.NewShardedClient(cliNode.LibOS, shards, func(i int) (demi.QD, error) {
-		return c.DialToShard(cliNode, srvNode, port, i, uint16(4096*i+11))
+		return c.Router().DialShard(cliNode, srvNode, port, i, uint16(4096*i+11))
 	})
 	if err != nil {
 		return err

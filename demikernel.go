@@ -42,6 +42,7 @@ package demikernel
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"demikernel/internal/core"
@@ -158,8 +159,12 @@ type Node struct {
 	// identity, policy, and frame-quota ledger on the shared NIC.
 	Tenant *tenant.Tenant
 
-	cluster *Cluster
-	host    byte
+	cluster   *Cluster
+	host      byte
+	kind      Kind
+	cfg       NodeConfig // spawn-time knobs, kept for SwitchKind rebuilds
+	gen       atomic.Uint64
+	resharder Resharder
 }
 
 // NodeConfig identifies a host within a cluster.
@@ -250,6 +255,7 @@ type spawnSpec struct {
 	cfg       NodeConfig
 	hostSet   bool
 	shards    int
+	capacity  int
 	reg       *telemetry.Registry
 	prefix    string
 	lifecycle bool
@@ -289,6 +295,15 @@ func WithConfig(cfg NodeConfig) SpawnOption {
 // Only meaningful for the Catnip kind.
 func WithShards(n int) SpawnOption {
 	return func(s *spawnSpec) { s.shards = n }
+}
+
+// WithShardCapacity provisions headroom for elastic resharding: the
+// device gets cap receive queues and cap full shard verticals, but only
+// WithShards(n) of them are active at spawn. Reshard can then move the
+// active width anywhere in [1, cap] live. cap below the shard count is
+// ignored. Only meaningful with WithShards on a non-tenant Catnip node.
+func WithShardCapacity(cap int) SpawnOption {
+	return func(s *spawnSpec) { s.capacity = cap }
 }
 
 // WithTelemetry registers the node's whole vertical (NIC, stack(s),
@@ -412,13 +427,19 @@ func (c *Cluster) Spawn(kind Kind, opts ...SpawnOption) (*Node, error) {
 		}
 		if sp.shards > 0 {
 			var set *catnip.ShardSet
-			if grp != nil {
+			switch {
+			case grp != nil:
+				if sp.capacity > sp.shards {
+					return nil, fmt.Errorf("demikernel: WithShardCapacity on a tenant node: %w", core.ErrNotSupported)
+				}
 				set = catnip.NewShardedOn(&c.Model, grp, ccfg, sp.shards)
-			} else {
+			case sp.capacity > sp.shards:
+				set = catnip.NewShardedElastic(&c.Model, c.Switch, ccfg, sp.shards, sp.capacity)
+			default:
 				set = catnip.NewSharded(&c.Model, c.Switch, ccfg, sp.shards)
 			}
 			sn := &ShardedNode{Set: set, MAC: n.MAC, IP: n.IP, Clock: n.Clock, cluster: c}
-			for i := 0; i < sp.shards; i++ {
+			for i := 0; i < set.Capacity(); i++ {
 				sn.Libs = append(sn.Libs, core.New(set.Shard(i), &c.Model))
 			}
 			n.Sharded = sn
@@ -470,6 +491,8 @@ func (c *Cluster) Spawn(kind Kind, opts ...SpawnOption) (*Node, error) {
 	default:
 		return nil, fmt.Errorf("demikernel: unknown libOS kind %q", kind)
 	}
+	n.kind = kind
+	n.cfg = cfg
 	if sp.reg != nil {
 		prefix := sp.prefix
 		if prefix == "" {
@@ -566,46 +589,6 @@ func (n *Node) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	n.LibOS.RegisterTelemetry(r, prefix)
 }
 
-// NewCatnipNode attaches a DPDK-libOS node: simulated NIC + user-level
-// TCP stack + transparent memory registration.
-//
-// Deprecated: use Spawn(Catnip, WithConfig(cfg)). Kept as a thin
-// delegating wrapper; behavior is unchanged.
-func (c *Cluster) NewCatnipNode(cfg NodeConfig) *Node {
-	return c.MustSpawn(Catnip, WithConfig(cfg))
-}
-
-// NewCatnapNode attaches a kernel-libOS node: same wire, but every I/O
-// pays the legacy kernel costs.
-//
-// Deprecated: use Spawn(Catnap, WithConfig(cfg)).
-func (c *Cluster) NewCatnapNode(cfg NodeConfig) *Node {
-	return c.MustSpawn(Catnap, WithConfig(cfg))
-}
-
-// NewCatmintNode attaches an RDMA-libOS node.
-//
-// Deprecated: use Spawn(Catmint, WithConfig(cfg)).
-func (c *Cluster) NewCatmintNode(cfg NodeConfig) *Node {
-	return c.MustSpawn(Catmint, WithConfig(cfg))
-}
-
-// NewCatfishNode attaches a storage-libOS node over a fresh simulated
-// NVMe namespace with the given capacity in blocks (0 for the default).
-//
-// Deprecated: use Spawn(Catfish, WithBlocks(numBlocks)).
-func (c *Cluster) NewCatfishNode(numBlocks int) (*Node, error) {
-	return c.Spawn(Catfish, WithBlocks(numBlocks))
-}
-
-// NewCatfishNodeOn attaches a storage-libOS node to an existing device,
-// recovering any log it carries (restart scenarios).
-//
-// Deprecated: use Spawn(Catfish, WithDisk(dev)).
-func (c *Cluster) NewCatfishNodeOn(dev *spdk.Device) (*Node, error) {
-	return c.Spawn(Catfish, WithDisk(dev))
-}
-
 // ShardedNode is an N-shard catnip host: one NIC (with N RSS receive
 // queues), one MAC, one IP — and N fully independent libOS shards, each
 // owning one queue, one netstack, one memory manager, and one frame
@@ -628,18 +611,9 @@ type ShardedNode struct {
 // shard 0), the handle Spawn hands out.
 func (n *ShardedNode) Node() *Node { return n.node }
 
-// NewShardedCatnipNode attaches a sharded catnip host with the given
-// shard count — the paper's §3.1 scale-out shape: "flow-level
-// parallelism... partition[s] connections across cores".
-//
-// Deprecated: use Spawn(Catnip, WithConfig(cfg), WithShards(shards));
-// the returned Node's Sharded field is this value.
-func (c *Cluster) NewShardedCatnipNode(cfg NodeConfig, shards int) *ShardedNode {
-	return c.MustSpawn(Catnip, WithConfig(cfg), WithShards(shards)).Sharded
-}
-
-// Size returns the shard count.
-func (n *ShardedNode) Size() int { return len(n.Libs) }
+// Size returns the ACTIVE shard count (equal to the provisioned count
+// unless the node was spawned WithShardCapacity and resharded).
+func (n *ShardedNode) Size() int { return n.Set.Size() }
 
 // Mesh returns the cross-shard SPSC message mesh.
 func (n *ShardedNode) Mesh() *shard.Group { return n.Set.Mesh() }
@@ -680,27 +654,6 @@ func (n *ShardedNode) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	for i, l := range n.Libs {
 		l.Completer().RegisterTelemetry(r, fmt.Sprintf("%s.shard.%d.completer", prefix, i))
 	}
-}
-
-// DialToShard connects a plain catnip client node to one specific shard
-// of a sharded peer: it searches the ephemeral port range for a source
-// port whose RSS hash (as computed by the server NIC over the inbound
-// flow) selects the target queue, then dials from that port. seed
-// staggers the search start so concurrent dialers pick distinct ports.
-// The caller must keep the server side polling (Background) for the
-// handshake to complete.
-func (c *Cluster) DialToShard(client *Node, srv *ShardedNode, port uint16, target int, seed uint16) (QD, error) {
-	sp := catnip.SourcePortFor(client.IP, srv.IP, port, srv.Size(), target, seed)
-	ep, err := client.Catnip.SocketFrom(sp)
-	if err != nil {
-		return core.InvalidQD, err
-	}
-	qd := client.LibOS.AdoptEndpoint(ep)
-	if err := client.LibOS.Connect(qd, Addr{IP: srv.IP, MAC: srv.MAC, Port: port}); err != nil {
-		client.LibOS.Close(qd)
-		return core.InvalidQD, err
-	}
-	return qd, nil
 }
 
 // FabricPort returns the switch port ID the node's NIC is attached to

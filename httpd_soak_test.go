@@ -74,7 +74,7 @@ func TestHTTPProductionSoak(t *testing.T) {
 	dial := func(shard int) *httpd.Client {
 		t.Helper()
 		seedCtr += 8
-		qd, err := c.DialToShard(cliNode, sh, port, shard, seedCtr)
+		qd, err := c.Router().DialShard(cliNode, sh, port, shard, seedCtr)
 		if err != nil {
 			t.Fatalf("dial shard %d: %v", shard, err)
 		}

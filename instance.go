@@ -1,0 +1,313 @@
+// The unified Instance API: one handle over every node shape the
+// cluster can spawn — single-libOS nodes and sharded runtimes alike —
+// plus the two live-reconfiguration verbs this layer exists for:
+//
+//   - Reshard(ctx, m): elastic repartition of a sharded catnip runtime
+//     from its current active width to m, live under load. The device
+//     plane re-steers RSS and pins surviving flows (catnip.Resteer),
+//     the application plane (registered via SetResharder) migrates its
+//     keyspace over the mesh with generation-tagged ownership, and
+//     clients ride through on failover redials.
+//
+//   - SwitchKind(k): live migration of the node between the kernel
+//     libOS (catnap) and the bypass libOS (catnip) — the LibrettOS
+//     idea in Demikernel terms. Both transports drive the SAME
+//     netstack over the SAME device, so established TCP connections
+//     and armed listeners move as pointer handoffs; only the
+//     per-packet cost profile and the syscall surface change.
+package demikernel
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/kernel"
+	"demikernel/internal/libos/catnap"
+	"demikernel/internal/libos/catnip"
+	"demikernel/internal/telemetry"
+)
+
+// Instance is the unified surface of a spawned node: polling, chaos
+// lifecycle, topology introspection, and live reconfiguration. Both
+// *Node (which Spawn returns) and *ShardedNode satisfy it, so rigs that
+// orchestrate mixed fleets hold one type.
+type Instance interface {
+	// Poll pumps the instance's data path once.
+	Poll() int
+	// Background starts the instance's polling goroutines.
+	Background() (stop func())
+	// Crash kills the instance as a process death would; Restart
+	// reconstitutes it on the same device, MAC, and IP.
+	Crash() (int, error)
+	Restart() error
+	Crashed() bool
+	// FabricPort is the switch port of the instance's NIC (-1 if none).
+	FabricPort() int
+	// Kind reports the library OS currently backing the instance.
+	Kind() Kind
+	// Shards reports the ACTIVE shard width (1 for unsharded nodes).
+	Shards() int
+	// Generation counts completed reshards.
+	Generation() uint64
+	// Reshard repartitions a sharded runtime to m active shards.
+	Reshard(ctx context.Context, m int) error
+	// SwitchKind migrates the node onto another library OS live.
+	SwitchKind(k Kind) error
+	// RegisterTelemetry lifts the instance's vertical into a registry.
+	RegisterTelemetry(r *telemetry.Registry, prefix string)
+}
+
+var (
+	_ Instance = (*Node)(nil)
+	_ Instance = (*ShardedNode)(nil)
+)
+
+// Resharder is the application-plane hook Reshard drives: the app
+// (e.g. kv.ShardedServer) repartitions its own state when the shard
+// width changes. BeginReshard publishes the new generation; Stable
+// reports the handoff drained.
+type Resharder interface {
+	BeginReshard(m int) error
+	Stable() bool
+}
+
+// SetResharder registers the application-plane participant of this
+// node's reshards. Without one, Reshard only re-steers the device plane.
+func (n *Node) SetResharder(r Resharder) { n.resharder = r }
+
+// Kind reports the library OS currently backing the node. It changes
+// when SwitchKind succeeds.
+func (n *Node) Kind() Kind { return n.kind }
+
+// Shards reports the node's active shard width (1 when unsharded).
+func (n *Node) Shards() int {
+	if n.Sharded != nil {
+		return n.Sharded.Set.Size()
+	}
+	return 1
+}
+
+// Generation counts this node's completed reshards.
+func (n *Node) Generation() uint64 { return n.gen.Load() }
+
+// Reshard repartitions the sharded catnip runtime to m active shards,
+// live under load: the application plane (SetResharder) starts its
+// generation-tagged keyspace handoff, the device plane pins surviving
+// flows and flips the RSS width, and the call blocks until the handoff
+// drains or ctx expires. m may grow or shrink the active set anywhere
+// within the provisioned capacity (WithShardCapacity). Unsharded and
+// tenant nodes return ErrNotSupported.
+func (n *Node) Reshard(ctx context.Context, m int) error {
+	if n.Sharded == nil {
+		return fmt.Errorf("demikernel: Reshard on an unsharded node: %w", core.ErrNotSupported)
+	}
+	if n.Tenant != nil {
+		return fmt.Errorf("demikernel: Reshard on a tenant node: %w", core.ErrNotSupported)
+	}
+	set := n.Sharded.Set
+	if m < 1 || m > set.Capacity() {
+		return fmt.Errorf("demikernel: reshard to %d shards outside [1,%d]", m, set.Capacity())
+	}
+	// Application plane first: by the time RSS lands a flow on a newly
+	// activated shard, the keyspace routing already knows the new
+	// generation and forwards misplaced requests.
+	if r := n.resharder; r != nil {
+		if err := r.BeginReshard(m); err != nil {
+			return err
+		}
+	}
+	if err := set.Resteer(m); err != nil {
+		return err
+	}
+	n.gen.Add(1)
+	if r := n.resharder; r != nil {
+		for !r.Stable() {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(100 * time.Microsecond):
+			}
+		}
+	}
+	return nil
+}
+
+// SwitchKind migrates the node onto another library OS without dropping
+// established connections: both catnap and catnip drive the same
+// netstack object over the same simulated device, so the TCP state
+// machines, listener backlogs, and timers stay in place while the
+// transport above them is swapped and the per-packet cost profile flips
+// between the kernel and bypass columns of the cost model. Queue
+// descriptors keep their numbers; parked pops and staged pushes travel
+// with them. A gratuitous ARP announces the (unchanged) binding, as a
+// real migration would. Supported between Catnap and Catnip on
+// unsharded, non-tenant nodes; everything else is ErrNotSupported.
+func (n *Node) SwitchKind(k Kind) error {
+	if k == n.kind {
+		return nil
+	}
+	if n.Sharded != nil {
+		return fmt.Errorf("demikernel: SwitchKind on a sharded node: %w", core.ErrNotSupported)
+	}
+	if n.Tenant != nil {
+		return fmt.Errorf("demikernel: SwitchKind on a tenant node: %w", core.ErrNotSupported)
+	}
+	switch {
+	case n.kind == Catnap && k == Catnip:
+		return n.promoteToCatnip()
+	case n.kind == Catnip && k == Catnap:
+		return n.demoteToCatnap()
+	}
+	return fmt.Errorf("demikernel: SwitchKind %s→%s: %w", n.kind, k, core.ErrNotSupported)
+}
+
+// promoteToCatnip moves a catnap node onto the bypass path: the kernel's
+// stack and device are adopted wholesale by a fresh catnip transport,
+// every socket FD is detached from the kernel and rebuilt as a catnip
+// endpoint, and the stack's per-packet tax drops to the user-level
+// profile.
+func (n *Node) promoteToCatnip() error {
+	c := n.cluster
+	kern := n.Kernel
+	dev, stack := kern.Device(), kern.Stack()
+	nt := catnip.NewOnStack(&c.Model, dev, catnip.Config{
+		MAC:            n.MAC,
+		IP:             n.IP,
+		PerPacketExtra: n.cfg.PerPacketExtra,
+		MemCapacity:    n.cfg.MemCapacity,
+		RxReadyCap:     n.cfg.RxReadyCap,
+	}, stack)
+	if err := n.swapOnto(nt); err != nil {
+		return err
+	}
+	stack.SetPerPacketExtra(n.cfg.PerPacketExtra)
+	n.Catnip, n.Kernel = nt, nil
+	n.kind = Catnip
+	stack.AnnounceARP()
+	return nil
+}
+
+// demoteToCatnap moves a catnip node back under kernel management: a
+// fresh kernel adopts the running stack and device, socket state is
+// wrapped in file descriptors, and the per-packet tax rises to the
+// kernel profile.
+func (n *Node) demoteToCatnap() error {
+	c := n.cluster
+	old := n.Catnip
+	if old.HasUDP() {
+		return fmt.Errorf("demikernel: SwitchKind with open UDP sockets: %w", core.ErrNotSupported)
+	}
+	dev, stack := old.Device(), old.Stack()
+	kern := kernel.NewOnStack(&c.Model, dev, stack)
+	nt := catnap.New(&c.Model, kern)
+	if err := n.swapOnto(nt); err != nil {
+		return err
+	}
+	stack.SetPerPacketExtra(kernel.KernelPerPacketExtra(&c.Model) + n.cfg.PerPacketExtra)
+	n.Kernel, n.Catnip = kern, nil
+	n.kind = Catnap
+	stack.AnnounceARP()
+	return nil
+}
+
+// swapOnto migrates every socket descriptor from the node's current
+// transport onto nt via the Export/Adopt pair, then installs nt as the
+// libOS transport. In-flight qtokens need no quiescing: undelivered
+// completions and parked waiters travel inside each PortState, and
+// operations racing the swap observe the old endpoint closed-in-place
+// and fail with the retriable queue.ErrClosed.
+func (n *Node) swapOnto(nt core.Transport) error {
+	exp, ok := n.LibOS.Transport().(core.PortExporter)
+	if !ok {
+		return fmt.Errorf("demikernel: %s cannot export endpoints: %w", n.kind, core.ErrNotSupported)
+	}
+	ad, ok := nt.(core.PortAdopter)
+	if !ok {
+		return fmt.Errorf("demikernel: %s cannot adopt endpoints: %w", nt.Name(), core.ErrNotSupported)
+	}
+	n.LibOS.SwapTransport(nt, func(old core.Endpoint) core.Endpoint {
+		st, ok := exp.Export(old)
+		if !ok {
+			return nil
+		}
+		ne, err := ad.Adopt(st)
+		if err != nil {
+			return nil
+		}
+		return ne
+	})
+	return nil
+}
+
+// --- ShardedNode's Instance surface (delegating to its Node) ---
+
+// Kind reports the library OS backing the sharded runtime (Catnip).
+func (n *ShardedNode) Kind() Kind { return Catnip }
+
+// Shards reports the ACTIVE shard width.
+func (n *ShardedNode) Shards() int { return n.Set.Size() }
+
+// Capacity reports the provisioned shard width (WithShardCapacity).
+func (n *ShardedNode) Capacity() int { return n.Set.Capacity() }
+
+// Generation counts completed reshards.
+func (n *ShardedNode) Generation() uint64 { return n.node.gen.Load() }
+
+// Reshard repartitions the runtime to m active shards. See Node.Reshard.
+func (n *ShardedNode) Reshard(ctx context.Context, m int) error { return n.node.Reshard(ctx, m) }
+
+// SetResharder registers the application-plane reshard participant.
+func (n *ShardedNode) SetResharder(r Resharder) { n.node.SetResharder(r) }
+
+// SwitchKind is not supported on sharded runtimes.
+func (n *ShardedNode) SwitchKind(k Kind) error {
+	return fmt.Errorf("demikernel: SwitchKind on a sharded node: %w", core.ErrNotSupported)
+}
+
+// --- Router ---
+
+// Router resolves client connections onto the shards of a sharded peer,
+// correctly across reshard generations: every placement decision reads
+// the server's CURRENT active width, so a client that routes through it
+// after a reshard lands on live shards only.
+type Router struct {
+	c *Cluster
+}
+
+// Router returns the cluster's shard-aware dialing surface. It replaces
+// the removed Cluster.DialToShard / catnip.SourcePortFor pair as the
+// public API: those placed flows against a fixed shard count, which a
+// reshard silently invalidates.
+func (c *Cluster) Router() *Router { return &Router{c: c} }
+
+// SourcePort searches the ephemeral range for a client source port
+// whose flow lands on shard target of srv under srv's current
+// generation. seed staggers the search start so concurrent dialers
+// pick distinct ports.
+func (r *Router) SourcePort(client *Node, srv *ShardedNode, port uint16, target int, seed uint16) uint16 {
+	return catnip.SourcePortFor(client.IP, srv.IP, port, srv.Shards(), target, seed)
+}
+
+// DialShard connects a plain catnip client node to one specific shard
+// of a sharded peer, computing the source port against the server's
+// current active width. The caller must keep the server side polling
+// (Background) for the handshake to complete. target must name an
+// active shard.
+func (r *Router) DialShard(client *Node, srv *ShardedNode, port uint16, target int, seed uint16) (QD, error) {
+	if target < 0 || target >= srv.Shards() {
+		return core.InvalidQD, fmt.Errorf("demikernel: dial to shard %d of %d active", target, srv.Shards())
+	}
+	sp := r.SourcePort(client, srv, port, target, seed)
+	ep, err := client.Catnip.SocketFrom(sp)
+	if err != nil {
+		return core.InvalidQD, err
+	}
+	qd := client.LibOS.AdoptEndpoint(ep)
+	if err := client.LibOS.Connect(qd, Addr{IP: srv.IP, MAC: srv.MAC, Port: port}); err != nil {
+		client.LibOS.Close(qd)
+		return core.InvalidQD, err
+	}
+	return qd, nil
+}

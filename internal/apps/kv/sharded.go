@@ -50,6 +50,8 @@ type ShardStats struct {
 	ForwardedOut     int64 // requests this shard relayed to the owner
 	ForwardedIn      int64 // requests this shard executed for a sibling
 	ForwardDrops     int64 // forwards abandoned because the mesh stayed full
+	MigratedOut      int64 // records shipped out during reshards
+	MigratedIn       int64 // records received during reshards
 	Keys             int64
 	BusyVirtNS       int64 // accumulated virtual busy time (see BusyVirt)
 }
@@ -65,18 +67,25 @@ type shardCounters struct {
 	forwardedOut     atomic.Int64
 	forwardedIn      atomic.Int64
 	forwardDrops     atomic.Int64
+	migratedOut      atomic.Int64
+	migratedIn       atomic.Int64
 	keys             atomic.Int64
 	busyVirt         atomic.Int64
 	_                [64 - 8]byte //nolint:unused // pad to a cache line
 }
 
-// fwdReq crosses the mesh from the shard a request landed on to the
-// shard owning its key. conn is meaningful only to the origin and is
-// echoed back verbatim in the reply.
+// fwdReq crosses the mesh from the shard a request landed on toward the
+// shard owning its key — possibly via an intermediate hop during a
+// reshard. conn is meaningful only to the origin shard; origin names it
+// so a multi-hop chain's executor can reply directly. final marks the
+// hop authoritative: the receiver executes unconditionally instead of
+// forwarding on a miss.
 type fwdReq struct {
-	conn core.QD
-	req  sga.SGA
-	cost simclock.Lat
+	conn   core.QD
+	origin int
+	final  bool
+	req    sga.SGA
+	cost   simclock.Lat
 }
 
 // fwdResp carries the owner's response back to the origin shard.
@@ -90,10 +99,11 @@ type fwdResp struct {
 // marker is touched only by the worker's own goroutine.
 type shardWorker struct {
 	idx   int
-	n     int
+	n     int // provisioned worker count (mesh size), not the active partition width
 	lib   *core.LibOS
 	model *simclock.CostModel
 	group *shard.Group
+	srv   *ShardedServer
 	ctr   *shardCounters
 
 	// --- worker-private state: no locks, by construction ---
@@ -102,12 +112,22 @@ type shardWorker struct {
 	conns      map[core.QD]queue.QToken
 	inbox      []shard.Msg
 	fwdBacklog []shard.Msg // forwards the mesh rejected; retried next step
+
+	// Reshard sweep state (see reshard.go).
+	gen     uint64
+	migKeys []string
+	migDone bool
 }
 
-// ShardedServer runs one KV worker per libOS shard.
+// ShardedServer runs one KV worker per libOS shard. The keyspace is
+// partitioned over the ACTIVE shard count published in topo; workers
+// beyond it are provisioned headroom that an elastic reshard can grow
+// into (they drain the mesh but own no keys and hold no flows).
 type ShardedServer struct {
-	workers []*shardWorker
-	group   *shard.Group
+	workers    []*shardWorker
+	group      *shard.Group
+	topo       atomic.Pointer[Topology]
+	migPending atomic.Int32
 }
 
 // maxFwdBacklog bounds how many rejected forwards a worker parks before
@@ -119,10 +139,22 @@ const maxFwdBacklog = 256
 // libs (libs[i] must wrap shard i's transport). group is the cross-shard
 // mesh; it must have exactly len(libs) workers.
 func NewShardedServer(libs []*core.LibOS, model *simclock.CostModel, group *shard.Group) *ShardedServer {
+	return NewShardedServerElastic(libs, model, group, len(libs))
+}
+
+// NewShardedServerElastic builds a server with len(libs) provisioned
+// workers but only the first `active` participating in the keyspace
+// partition — the application half of an elastic shard set. BeginReshard
+// moves the active width anywhere in [1, len(libs)] live.
+func NewShardedServerElastic(libs []*core.LibOS, model *simclock.CostModel, group *shard.Group, active int) *ShardedServer {
 	if group.Size() != len(libs) {
 		panic("kv: mesh size does not match shard count")
 	}
+	if active < 1 || active > len(libs) {
+		panic("kv: active shard count outside provisioned range")
+	}
 	s := &ShardedServer{group: group}
+	s.topo.Store(&Topology{Gen: 0, Old: active, New: active})
 	for i, lib := range libs {
 		s.workers = append(s.workers, &shardWorker{
 			idx:   i,
@@ -130,6 +162,7 @@ func NewShardedServer(libs []*core.LibOS, model *simclock.CostModel, group *shar
 			lib:   lib,
 			model: model,
 			group: group,
+			srv:   s,
 			ctr:   &shardCounters{},
 			store: make(map[string]storedVal),
 			conns: make(map[core.QD]queue.QToken),
@@ -201,6 +234,8 @@ func (s *ShardedServer) StatsOf(i int) ShardStats {
 		ForwardedOut: c.forwardedOut.Load(),
 		ForwardedIn:  c.forwardedIn.Load(),
 		ForwardDrops: c.forwardDrops.Load(),
+		MigratedOut:  c.migratedOut.Load(),
+		MigratedIn:   c.migratedIn.Load(),
 		Keys:         c.keys.Load(),
 		BusyVirtNS:   c.busyVirt.Load(),
 	}
@@ -246,9 +281,19 @@ func (s *ShardedServer) RegisterTelemetry(r *telemetry.Registry, prefix string) 
 		r.RegisterFunc(p+".kv_sets", c.sets.Load)
 		r.RegisterFunc(p+".kv_fwd_out", c.forwardedOut.Load)
 		r.RegisterFunc(p+".kv_fwd_in", c.forwardedIn.Load)
+		r.RegisterFunc(p+".kv_migrated_out", c.migratedOut.Load)
+		r.RegisterFunc(p+".kv_migrated_in", c.migratedIn.Load)
 		r.RegisterFunc(p+".kv_keys", c.keys.Load)
 		r.RegisterFunc(p+".kv_busy_virt_ns", c.busyVirt.Load)
 	}
+	r.RegisterFunc(prefix+".kv_gen", func() int64 { return int64(s.Generation()) })
+	r.RegisterFunc(prefix+".kv_active", func() int64 { return int64(s.Active()) })
+	r.RegisterFunc(prefix+".kv_migrating", func() int64 {
+		if s.Stable() {
+			return 0
+		}
+		return 1
+	})
 }
 
 func telemetryPrefix(prefix string, i int) string {
@@ -263,10 +308,12 @@ func telemetryPrefix(prefix string, i int) string {
 // --- worker loop ---
 
 func (w *shardWorker) step() int {
+	w.pollTopology()
 	n := 0
 	w.acceptNew()
 	n += w.drainMesh()
 	n += w.retryForwards()
+	n += w.stepMigration()
 	n += w.serveReady()
 	return n
 }
@@ -317,29 +364,48 @@ func (w *shardWorker) serveReady() int {
 	return served
 }
 
-// handle serves one decoded request: locally when this shard owns the
-// key, otherwise over the mesh to the owner.
+// handle serves one decoded request from a connection: it enters the
+// topology-aware dispatch as a fresh, non-final request originated here.
 func (w *shardWorker) handle(conn core.QD, comp queue.Completion) {
-	owner := w.ownerOf(comp.SGA)
-	if owner == w.idx || owner < 0 {
-		// Local (or malformed — answered locally with ER either way).
-		resp, retain := w.apply(comp.SGA)
-		if !retain {
-			comp.SGA.Free()
+	w.dispatch(&fwdReq{conn: conn, origin: w.idx, req: comp.SGA, cost: comp.Cost}, false)
+}
+
+// dispatch routes one request — fresh off a connection (offMesh false)
+// or relayed by a sibling — per the current topology: execute here, or
+// send it one hop closer to the key's current holder.
+func (w *shardWorker) dispatch(f *fwdReq, offMesh bool) {
+	serveLocal, next, final := true, 0, false
+	if key, ok := requestKey(f.req); ok && !f.final {
+		serveLocal, next, final = w.route(key)
+	} // malformed or marked final: executed here unconditionally
+	if serveLocal {
+		if f.origin == w.idx && !offMesh {
+			// Fully local: the classic one-core fast path.
+			resp, retain := w.apply(f.req)
+			if !retain {
+				f.req.Free()
+			}
+			w.respond(f.conn, resp, f.cost+w.model.AppRequestNS)
+			w.ctr.busyVirt.Add(int64(w.localServeCost()))
+			return
 		}
-		w.respond(conn, resp, comp.Cost+w.model.AppRequestNS)
-		w.ctr.busyVirt.Add(int64(w.localServeCost()))
+		w.executeForward(f)
 		return
 	}
-	// Misdirected: relay to the owner. The origin pays the rx/tx stack
-	// work; the owner pays the application compute (charged there).
-	m := shard.Msg{Op: shard.OpForward, Payload: &fwdReq{conn: conn, req: comp.SGA, cost: comp.Cost}}
-	w.ctr.busyVirt.Add(int64(w.relayCost()))
-	if !w.group.Send(w.idx, owner, m) {
+	// Misdirected: relay toward the holder. The origin pays the rx/tx
+	// stack work; the executor pays the application compute.
+	f.final = final
+	m := shard.Msg{Op: shard.OpForward, Payload: f}
+	if offMesh {
+		w.ctr.busyVirt.Add(int64(w.meshHopCost()))
+	} else {
+		w.ctr.busyVirt.Add(int64(w.relayCost()))
+	}
+	if !w.group.Send(w.idx, next, m) {
 		if len(w.fwdBacklog) >= maxFwdBacklog {
 			w.ctr.forwardDrops.Add(1)
-			comp.SGA.Free()
-			w.respond(conn, sga.New([]byte(StatusError)), comp.Cost)
+			f.req.Free()
+			w.deliver(f, sga.New([]byte(StatusError)))
 			return
 		}
 		m.From = w.idx // Send would have stamped it; keep it for retry
@@ -349,34 +415,78 @@ func (w *shardWorker) handle(conn core.QD, comp queue.Completion) {
 	w.ctr.forwardedOut.Add(1)
 }
 
+// executeForward applies a relayed request here and delivers the
+// response to its origin shard.
+func (w *shardWorker) executeForward(f *fwdReq) {
+	resp, retain := w.apply(f.req)
+	if !retain {
+		f.req.Free()
+	}
+	if f.origin != w.idx {
+		w.ctr.forwardedIn.Add(1)
+	}
+	w.ctr.busyVirt.Add(int64(w.model.AppRequestNS + w.meshHopCost()))
+	w.deliver(f, resp)
+}
+
+// deliver routes a response to the request's origin: straight onto the
+// connection when the origin is this worker, over the mesh otherwise. A
+// full reply ring parks in the backlog like a forward.
+func (w *shardWorker) deliver(f *fwdReq, resp sga.SGA) {
+	if f.origin == w.idx {
+		w.respond(f.conn, resp, f.cost+w.model.AppRequestNS)
+		return
+	}
+	r := shard.Msg{Op: shard.OpReply, Payload: &fwdResp{conn: f.conn, resp: resp, cost: f.cost}}
+	if !w.group.Send(w.idx, f.origin, r) {
+		w.fwdBacklogReply(f.origin, r)
+	}
+}
+
 // retryForwards replays mesh messages (forwards and replies) that were
-// previously rejected by a full edge ring.
+// previously rejected by a full edge ring. Forwards re-route from
+// scratch: the topology may have moved under a parked request, possibly
+// all the way to "this shard now holds it".
 func (w *shardWorker) retryForwards() int {
 	n := 0
 	for len(w.fwdBacklog) > 0 {
 		m := w.fwdBacklog[0]
-		var to int
 		if m.Op == shard.OpForward {
-			to = w.ownerOf(m.Payload.(*fwdReq).req)
-		} else {
-			to = int(m.Seq) // replies carry their destination in Seq
-		}
-		if !w.group.Send(w.idx, to, m) {
-			break
-		}
-		if m.Op == shard.OpForward {
+			f := m.Payload.(*fwdReq)
+			serveLocal, next, final := true, 0, false
+			if key, ok := requestKey(f.req); ok && !f.final {
+				serveLocal, next, final = w.route(key)
+			}
+			if serveLocal {
+				w.popBacklogHead()
+				w.executeForward(f)
+				n++
+				continue
+			}
+			f.final = final
+			if !w.group.Send(w.idx, next, m) {
+				break
+			}
 			w.ctr.forwardedOut.Add(1)
+		} else {
+			if !w.group.Send(w.idx, int(m.Seq), m) { // replies carry their destination in Seq
+				break
+			}
 		}
-		k := copy(w.fwdBacklog, w.fwdBacklog[1:])
-		w.fwdBacklog[k] = shard.Msg{}
-		w.fwdBacklog = w.fwdBacklog[:k]
+		w.popBacklogHead()
 		n++
 	}
 	return n
 }
 
-// drainMesh absorbs cross-shard messages: forwards to execute, replies
-// to deliver.
+func (w *shardWorker) popBacklogHead() {
+	k := copy(w.fwdBacklog, w.fwdBacklog[1:])
+	w.fwdBacklog[k] = shard.Msg{}
+	w.fwdBacklog = w.fwdBacklog[:k]
+}
+
+// drainMesh absorbs cross-shard messages: forwards to route or execute,
+// replies to deliver, migrate records to adopt.
 func (w *shardWorker) drainMesh() int {
 	if w.group.PendingTo(w.idx) == 0 {
 		return 0
@@ -385,23 +495,24 @@ func (w *shardWorker) drainMesh() int {
 	for _, m := range w.inbox {
 		switch m.Op {
 		case shard.OpForward:
-			f := m.Payload.(*fwdReq)
-			resp, retain := w.apply(f.req)
-			if !retain {
-				f.req.Free()
-			}
-			w.ctr.forwardedIn.Add(1)
-			w.ctr.busyVirt.Add(int64(w.model.AppRequestNS + w.meshHopCost()))
-			// Reply to the origin; its ring is our (w→m.From) edge. A
-			// full reply ring parks in the backlog like a forward.
-			r := shard.Msg{Op: shard.OpReply, Payload: &fwdResp{conn: f.conn, resp: resp, cost: f.cost}}
-			if !w.group.Send(w.idx, m.From, r) {
-				w.fwdBacklogReply(m.From, r)
-			}
+			w.dispatch(m.Payload.(*fwdReq), true)
 		case shard.OpReply:
 			f := m.Payload.(*fwdResp)
 			w.ctr.busyVirt.Add(int64(w.meshHopCost()))
 			w.respond(f.conn, f.resp, f.cost+w.model.AppRequestNS)
+		case shard.OpMigrate:
+			r := m.Payload.(*migRec)
+			w.ctr.busyVirt.Add(int64(w.meshHopCost()))
+			w.ctr.migratedIn.Add(1)
+			if _, exists := w.store[r.key]; exists {
+				// An authoritative write for this key already landed here
+				// (it must have trailed the migrate on some path that
+				// raced ahead); the stored value is newer. Drop the copy.
+				r.val.s.Free()
+				continue
+			}
+			w.store[r.key] = r.val
+			w.ctr.keys.Add(1)
 		}
 	}
 	return len(w.inbox)
@@ -428,13 +539,13 @@ func (w *shardWorker) replyBacklogPush(m shard.Msg) {
 	w.fwdBacklog = append(w.fwdBacklog, m)
 }
 
-// ownerOf decodes just enough of a request to find the owning shard.
-// Returns -1 for malformed requests (answered locally).
-func (w *shardWorker) ownerOf(req sga.SGA) int {
+// requestKey decodes just enough of a request to find its key; ok is
+// false for malformed requests (answered locally with an error).
+func requestKey(req sga.SGA) (string, bool) {
 	if len(req.Segments) < 2 {
-		return -1
+		return "", false
 	}
-	return KeyShard(string(req.Segments[1].Buf), w.n)
+	return string(req.Segments[1].Buf), true
 }
 
 // respond pushes a response and waits for the transport to accept it
@@ -527,16 +638,32 @@ func (w *shardWorker) apply(req sga.SGA) (resp sga.SGA, retain bool) {
 // avoid colliding with the dead connection's 4-tuple in TIME_WAIT-less
 // bypass stacks.
 type ShardedClient struct {
-	lib   *core.LibOS
-	n     int
-	conns []core.QD
+	lib *core.LibOS
+
+	// mu guards the elastic width: n, conns, and attempts all change
+	// under Resize, which may race in-flight operations on another
+	// goroutine. Operations snapshot (index, conn) under RLock and
+	// clamp stale shard indices to the current width — a misdirected
+	// request stays correct because the server mesh forwards it.
+	mu       sync.RWMutex
+	n        int
+	conns    []core.QD
+	attempts []int
 
 	pol      *failover.Policy
 	redialFn func(shard, attempt int) (core.QD, error)
-	attempts []int
 
 	reconnects atomic.Int64
 	replays    atomic.Int64
+}
+
+// connAt resolves a (possibly stale) shard index against the current
+// width: the returned j is i clamped to [0,n), alongside its live QD.
+func (c *ShardedClient) connAt(i int) (core.QD, int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	j := i % c.n
+	return c.conns[j], j
 }
 
 // NewShardedClient dials one flow per server shard using dial.
@@ -569,7 +696,8 @@ func (c *ShardedClient) FailoverStats() (reconnects, replays int64) {
 // roundTrip pushes req on shard i's connection and waits for the
 // response, redialing that shard and replaying under an armed policy.
 func (c *ShardedClient) roundTrip(i int, req sga.SGA) (sga.SGA, simclock.Lat, error) {
-	resp, cost, err := c.attempt(c.conns[i], req)
+	conn, j := c.connAt(i)
+	resp, cost, err := c.attempt(conn, req)
 	if err == nil || c.pol == nil || c.redialFn == nil || !failover.Retriable(err) {
 		return resp, cost, err
 	}
@@ -580,7 +708,10 @@ func (c *ShardedClient) roundTrip(i int, req sga.SGA) (sga.SGA, simclock.Lat, er
 			return sga.SGA{}, 0, err
 		}
 		time.Sleep(d)
-		if rerr := c.redialShard(i); rerr != nil {
+		// Re-resolve every iteration: a concurrent Resize may have
+		// shrunk the width, retiring the shard this op was aimed at.
+		conn, j = c.connAt(i)
+		if rerr := c.redialShard(j); rerr != nil {
 			if failover.Retriable(rerr) {
 				err = rerr
 				continue
@@ -589,7 +720,8 @@ func (c *ShardedClient) roundTrip(i int, req sga.SGA) (sga.SGA, simclock.Lat, er
 		}
 		c.reconnects.Add(1)
 		c.replays.Add(1)
-		resp, cost, err = c.attempt(c.conns[i], req)
+		conn, _ = c.connAt(j)
+		resp, cost, err = c.attempt(conn, req)
 		if err == nil || !failover.Retriable(err) {
 			return resp, cost, err
 		}
@@ -625,19 +757,44 @@ func (c *ShardedClient) attempt(conn core.QD, req sga.SGA) (sga.SGA, simclock.La
 // holding a QD whose errors remain typed and retriable rather than a
 // stale closed descriptor surfacing non-retriable ErrBadQD.
 func (c *ShardedClient) redialShard(i int) error {
+	c.mu.Lock()
+	if i >= c.n {
+		// Resized out from under us; the caller re-resolves.
+		c.mu.Unlock()
+		return nil
+	}
 	c.attempts[i]++
-	qd, err := c.redialFn(i, c.attempts[i])
+	attempt := c.attempts[i]
+	c.mu.Unlock()
+	qd, err := c.redialFn(i, attempt)
 	if err != nil {
 		return err
 	}
-	c.lib.Close(c.conns[i]) //nolint:errcheck // the old QD is already dead
+	c.mu.Lock()
+	if i >= c.n {
+		// Shrunk while the dial was in flight: the fresh connection has
+		// no slot; drop it and let the caller re-resolve the index.
+		c.mu.Unlock()
+		c.lib.Close(qd) //nolint:errcheck // surplus dial
+		return nil
+	}
+	old := c.conns[i]
 	c.conns[i] = qd
+	c.mu.Unlock()
+	c.lib.Close(old) //nolint:errcheck // the old QD is already dead
 	return nil
+}
+
+// owner hashes key over the client's current shard width.
+func (c *ShardedClient) owner(key string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return KeyShard(key, c.n)
 }
 
 // Get fetches key from its owning shard.
 func (c *ShardedClient) Get(key string) (val []byte, cost simclock.Lat, found bool, err error) {
-	resp, cost, err := c.roundTrip(KeyShard(key, c.n), sga.New([]byte(OpGet), []byte(key)))
+	resp, cost, err := c.roundTrip(c.owner(key), sga.New([]byte(OpGet), []byte(key)))
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -656,7 +813,7 @@ func (c *ShardedClient) Get(key string) (val []byte, cost simclock.Lat, found bo
 
 // Set stores key=val on its owning shard.
 func (c *ShardedClient) Set(key string, val []byte) (simclock.Lat, error) {
-	resp, cost, err := c.roundTrip(KeyShard(key, c.n), sga.New([]byte(OpSet), []byte(key), val))
+	resp, cost, err := c.roundTrip(c.owner(key), sga.New([]byte(OpSet), []byte(key), val))
 	if err != nil {
 		return 0, err
 	}
@@ -701,15 +858,53 @@ func (c *ShardedClient) GetOn(conn int, key string) (val []byte, found bool, err
 
 // Del removes key from its owning shard.
 func (c *ShardedClient) Del(key string) (bool, error) {
-	resp, _, err := c.roundTrip(KeyShard(key, c.n), sga.New([]byte(OpDel), []byte(key)))
+	resp, _, err := c.roundTrip(c.owner(key), sga.New([]byte(OpDel), []byte(key)))
 	if err != nil {
 		return false, err
 	}
 	return string(resp.Segments[0].Buf) == StatusOK, nil
 }
 
+// Resize re-partitions the client onto n server shards: new shards are
+// dialed, surplus connections closed, and subsequent Get/Set/Del calls
+// hash keys over the new width. Safe to call lazily after a server
+// reshard — a stale client stays correct in the meantime because the
+// server's mesh forwarding absorbs misdirected requests; Resize just
+// restores the zero-forward steady state.
+func (c *ShardedClient) Resize(n int, dial func(shard int) (core.QD, error)) error {
+	if n < 1 {
+		return ErrBadRequest
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.conns); i < n; i++ {
+		qd, err := dial(i)
+		if err != nil {
+			return err
+		}
+		c.conns = append(c.conns, qd)
+		c.attempts = append(c.attempts, 0)
+	}
+	for i := n; i < len(c.conns); i++ {
+		c.lib.Close(c.conns[i]) //nolint:errcheck // surplus conns may already be dead
+	}
+	c.conns = c.conns[:n]
+	c.attempts = c.attempts[:n]
+	c.n = n
+	return nil
+}
+
+// Shards returns the shard width the client currently hashes over.
+func (c *ShardedClient) Shards() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
 // Close shuts every per-shard connection.
 func (c *ShardedClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var first error
 	for _, qd := range c.conns {
 		if err := c.lib.Close(qd); err != nil && first == nil {

@@ -37,7 +37,7 @@ func newShardedHarness(t *testing.T, shards int, seed int64) *shardedHarness {
 	h.stops = append(h.stops, cliNode.Background())
 
 	client, err := NewShardedClient(cliNode.LibOS, shards, func(i int) (demi.QD, error) {
-		return c.DialToShard(cliNode, srvNode, port, i, uint16(1000*i+17))
+		return c.Router().DialShard(cliNode, srvNode, port, i, uint16(1000*i+17))
 	})
 	if err != nil {
 		h.close()

@@ -189,7 +189,12 @@ func (d *qdesc) ioq() queue.IoQueue {
 // queue-descriptor table, the qtoken completer, and the wait machinery.
 // It is safe for concurrent use.
 type LibOS struct {
-	t         Transport
+	// tp is the active transport behind an atomic pointer: Poll reads
+	// it lock-free on every tick, and SwapTransport (live libOS
+	// switching) replaces it while operations are in flight. The cell
+	// boxes the interface value because the concrete transport type
+	// changes across a switch (catnap <-> catnip).
+	tp        atomic.Pointer[transportCell]
 	model     *simclock.CostModel
 	completer *queue.Completer
 
@@ -222,31 +227,37 @@ type forward struct {
 	stop    bool
 }
 
+// transportCell boxes the Transport interface for atomic publication.
+type transportCell struct{ t Transport }
+
 // New creates a libOS over the given transport, charging composed-queue
 // costs against model.
 func New(t Transport, model *simclock.CostModel) *LibOS {
 	l := &LibOS{
-		t:           t,
 		model:       model,
 		completer:   queue.NewCompleter(),
 		qds:         make(map[QD]*qdesc),
 		next:        1,
 		WaitTimeout: 5 * time.Second,
 	}
+	l.tp.Store(&transportCell{t: t})
 	// Name the span table after the transport so traces from multiple
 	// libOSes in one process are attributable.
 	l.completer.Spans().SetName(t.Name())
 	return l
 }
 
+// Transport returns the currently active transport.
+func (l *LibOS) Transport() Transport { return l.tp.Load().t }
+
 // Name returns the underlying libOS name.
-func (l *LibOS) Name() string { return l.t.Name() }
+func (l *LibOS) Name() string { return l.Transport().Name() }
 
 // Features returns the transport's Table 1 feature description.
-func (l *LibOS) Features() Features { return l.t.Features() }
+func (l *LibOS) Features() Features { return l.Transport().Features() }
 
 // AllocSGA allocates from the libOS memory manager (§4.5).
-func (l *LibOS) AllocSGA(n int) sga.SGA { return l.t.AllocSGA(n) }
+func (l *LibOS) AllocSGA(n int) sga.SGA { return l.Transport().AllocSGA(n) }
 
 // Completer exposes the token table (used by experiments and the
 // blocking-wait API).
@@ -263,7 +274,7 @@ func (l *LibOS) Spans() *telemetry.SpanTable { return l.completer.Spans() }
 func (l *LibOS) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	l.completer.RegisterTelemetry(r, prefix+".completer")
 	l.registerRingTelemetry(r, prefix+".uring")
-	if tr, ok := l.t.(interface {
+	if tr, ok := l.Transport().(interface {
 		RegisterTelemetry(*telemetry.Registry, string)
 	}); ok {
 		tr.RegisterTelemetry(r, prefix)
@@ -294,7 +305,7 @@ func (l *LibOS) get(qd QD) (*qdesc, error) {
 
 // Socket creates a network queue endpoint and returns its descriptor.
 func (l *LibOS) Socket() (QD, error) {
-	ep, err := l.t.Socket()
+	ep, err := l.Transport().Socket()
 	if err != nil {
 		return InvalidQD, err
 	}
@@ -334,7 +345,7 @@ func (l *LibOS) EndpointOf(qd QD) (Endpoint, error) {
 // atomic units, so no stream framing is involved; each pushed SGA
 // travels as one datagram.
 func (l *LibOS) SocketUDP() (QD, error) {
-	ep, err := l.t.SocketUDP()
+	ep, err := l.Transport().SocketUDP()
 	if err != nil {
 		return InvalidQD, err
 	}
@@ -459,7 +470,7 @@ func (l *LibOS) Close(qd QD) error {
 
 // Open opens a named file queue (storage transports only).
 func (l *LibOS) Open(path string) (QD, error) {
-	q, err := l.t.Open(path)
+	q, err := l.Transport().Open(path)
 	if err != nil {
 		return InvalidQD, err
 	}
@@ -594,7 +605,7 @@ func (l *LibOS) Poll() int {
 	// Drain attached SQ rings first so ops submitted this tick reach
 	// the transport before it is pumped (one-tick latency saved).
 	n := l.drainRings()
-	n += l.t.Poll()
+	n += l.Transport().Poll()
 	l.mu.Lock()
 	if l.pollGen != l.qdGen {
 		// Topology changed: rebuild into a *fresh* slice (a concurrent

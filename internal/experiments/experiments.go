@@ -177,6 +177,13 @@ var All = []Experiment{
 		Run:    runE18,
 	},
 	{
+		ID:     "E19",
+		Title:  "Elastic resharding and live libOS switching",
+		Source: "§3.1, §5",
+		Claim:  "the OS control plane can repartition a bypass server's cores and swap its libOS at run time: keys migrate and RSS re-steers under load without failing a request, and a kernel↔bypass switch keeps every established connection while the syscall tax appears or disappears",
+		Run:    runE19,
+	},
+	{
 		ID:     "A1",
 		Title:  "Ablation: syscall price",
 		Source: "ablation of §3.2",

@@ -55,8 +55,8 @@ func TestByID(t *testing.T) {
 			t.Fatalf("%s missing metadata", e.ID)
 		}
 	}
-	if len(All) != 20 {
-		t.Fatalf("experiment count = %d, want 18 paper experiments + 2 ablations", len(All))
+	if len(All) != 21 {
+		t.Fatalf("experiment count = %d, want 19 paper experiments + 2 ablations", len(All))
 	}
 }
 

@@ -48,7 +48,7 @@ func RunShardScale(seed int64, shards, setsGets int, aligned bool) (ShardScalePo
 	defer stopCli()
 
 	client, err := kv.NewShardedClient(cliNode.LibOS, shards, func(i int) (demi.QD, error) {
-		return c.DialToShard(cliNode, srvNode, port, i, uint16(2048*i+101))
+		return c.Router().DialShard(cliNode, srvNode, port, i, uint16(2048*i+101))
 	})
 	if err != nil {
 		return ShardScalePoint{}, err

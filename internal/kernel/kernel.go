@@ -59,6 +59,7 @@ type fdEntry struct {
 // and Demikernel paths are measured over an identical wire.
 type Kernel struct {
 	model *simclock.CostModel
+	dev   *nic.Device
 
 	mu     sync.Mutex
 	stack  *netstack.Stack
@@ -74,6 +75,7 @@ type Kernel struct {
 func New(model *simclock.CostModel, dev *nic.Device, ip netstack.IPv4Addr) *Kernel {
 	k := &Kernel{
 		model: model,
+		dev:   dev,
 		fds:   make(map[FD]*fdEntry),
 		next:  3, // 0..2 are where stdio would be
 		fs:    newFileSystem(model),
@@ -90,8 +92,36 @@ func New(model *simclock.CostModel, dev *nic.Device, ip netstack.IPv4Addr) *Kern
 	return k
 }
 
+// NewOnStack creates a kernel that adopts an already-running network
+// stack instead of building a fresh one — the demotion half of live
+// libOS switching: the same protocol state (established connections,
+// listeners, timers) moves under kernel management, and the caller
+// flips the stack's per-packet cost to the kernel profile via
+// KernelPerPacketExtra.
+func NewOnStack(model *simclock.CostModel, dev *nic.Device, stack *netstack.Stack) *Kernel {
+	return &Kernel{
+		model: model,
+		dev:   dev,
+		stack: stack,
+		fds:   make(map[FD]*fdEntry),
+		next:  3,
+		fs:    newFileSystem(model),
+	}
+}
+
+// KernelPerPacketExtra is the per-packet tax the in-kernel stack pays
+// on top of the user-level protocol work (skb management, netfilter,
+// socket lookup, softirq).
+func KernelPerPacketExtra(model *simclock.CostModel) simclock.Lat {
+	return model.KernelNetStackNS - model.UserNetStackNS
+}
+
 // Stack exposes the kernel's network stack for test plumbing.
 func (k *Kernel) Stack() *netstack.Stack { return k.stack }
+
+// Device exposes the NIC the kernel's stack drives (nil for hosts that
+// only exercise pipes and files).
+func (k *Kernel) Device() *nic.Device { return k.dev }
 
 // Poll pumps the kernel's network stack (the simulation stand-in for
 // softirq processing). It does not charge syscall costs: this is kernel

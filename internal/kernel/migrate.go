@@ -1,0 +1,58 @@
+// Live libOS switching: descriptor adoption and detachment.
+//
+// Promotion (catnap -> catnip) detaches a socket's protocol object
+// from its FD without closing it, so the connection survives while a
+// kernel-bypass libOS takes over the same netstack. Demotion adopts a
+// live connection or listener back under a fresh FD. Both are control-
+// plane operations — no syscall or copy costs are charged, matching
+// how a real handoff (e.g. LibrettOS switching a service between its
+// network server and direct mode) moves ownership without touching
+// the data path.
+package kernel
+
+import "demikernel/internal/netstack"
+
+// DetachConn removes fd from the descriptor table WITHOUT closing the
+// underlying TCP connection, and returns the live connection object.
+func (k *Kernel) DetachConn(fd FD) (*netstack.TCPConn, error) {
+	e, err := k.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	if e.kind != fdTCPConn {
+		return nil, ErrBadFD
+	}
+	k.mu.Lock()
+	e.closed = true
+	delete(k.fds, fd)
+	k.mu.Unlock()
+	return e.conn, nil
+}
+
+// DetachListener removes fd from the descriptor table WITHOUT closing
+// the underlying listener, and returns the live listener object.
+func (k *Kernel) DetachListener(fd FD) (*netstack.TCPListener, error) {
+	e, err := k.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	if e.kind != fdTCPListener {
+		return nil, ErrBadFD
+	}
+	k.mu.Lock()
+	e.closed = true
+	delete(k.fds, fd)
+	k.mu.Unlock()
+	return e.listener, nil
+}
+
+// AdoptConn wraps a live TCP connection (typically one exported from a
+// kernel-bypass libOS during demotion) in a fresh descriptor.
+func (k *Kernel) AdoptConn(c *netstack.TCPConn) FD {
+	return k.newFD(&fdEntry{kind: fdTCPConn, conn: c})
+}
+
+// AdoptListener wraps a live TCP listener in a fresh descriptor.
+func (k *Kernel) AdoptListener(l *netstack.TCPListener) FD {
+	return k.newFD(&fdEntry{kind: fdTCPListener, listener: l})
+}

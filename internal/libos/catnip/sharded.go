@@ -11,7 +11,9 @@ package catnip
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"demikernel/internal/core"
 	"demikernel/internal/fabric"
 	"demikernel/internal/netstack"
 	"demikernel/internal/nic"
@@ -22,6 +24,13 @@ import (
 
 // ShardSet is a set of catnip transports sharing one NIC, one MAC, one
 // IP — and nothing else. Shard i polls RX queue i exclusively.
+//
+// A set may be provisioned with more shards than are active: the extra
+// shards poll their (empty) queues and drain the mesh, and a live
+// Resteer widens or narrows the RSS indirection to bring them into or
+// out of the flow partition — the device-plane half of elastic
+// resharding. Size() is the *active* count; Capacity() the provisioned
+// one.
 type ShardSet struct {
 	dev *nic.Device
 	// qg, when non-nil, is the tenant queue group the set is bound to:
@@ -30,6 +39,7 @@ type ShardSet struct {
 	shards []*Transport
 	group  *shard.Group
 	neigh  *netstack.NeighborTable
+	active atomic.Int32
 }
 
 // NewSharded attaches an n-shard catnip instance to the fabric switch.
@@ -43,11 +53,24 @@ type ShardSet struct {
 // published to a neighbor table shared (read-mostly, amortised to the
 // control path) by every sibling stack.
 func NewSharded(model *simclock.CostModel, sw *fabric.Switch, cfg Config, n int) *ShardSet {
+	return NewShardedElastic(model, sw, cfg, n, n)
+}
+
+// NewShardedElastic is NewSharded with pre-provisioned headroom: the
+// device gets capacity receive queues and capacity full shard
+// verticals (stack, membuf, pool, mesh row), but RSS spreads new flows
+// across only the first n. Resteer moves the active width anywhere in
+// [1, capacity] while the set is live. capacity == n degenerates to
+// the fixed layout.
+func NewShardedElastic(model *simclock.CostModel, sw *fabric.Switch, cfg Config, n, capacity int) *ShardSet {
 	if n <= 0 {
 		panic("catnip: shard count must be positive")
 	}
-	dev := nic.New(model, sw, nic.Config{MAC: cfg.MAC, RxQueues: n})
-	if n > 1 {
+	if capacity < n {
+		capacity = n
+	}
+	dev := nic.New(model, sw, nic.Config{MAC: cfg.MAC, RxQueues: capacity})
+	if capacity > 1 {
 		dev.AddFilter(nic.HWFilter{
 			// EtherType ARP (0x0806) at the usual offset.
 			Match:  func(f []byte) bool { return len(f) >= 14 && f[12] == 0x08 && f[13] == 0x06 },
@@ -55,13 +78,19 @@ func NewSharded(model *simclock.CostModel, sw *fabric.Switch, cfg Config, n int)
 			Queue:  0,
 		})
 	}
+	if n < capacity {
+		if err := dev.SetRSSQueues(n); err != nil {
+			panic(err)
+		}
+	}
 	neigh := netstack.NewNeighborTable()
 	s := &ShardSet{
 		dev:   dev,
-		group: shard.NewGroup(n, 0),
+		group: shard.NewGroup(capacity, 0),
 		neigh: neigh,
 	}
-	for i := 0; i < n; i++ {
+	s.active.Store(int32(n))
+	for i := 0; i < capacity; i++ {
 		s.shards = append(s.shards, newOnDevice(model, dev, cfg, i, cfg.newPool(), neigh))
 	}
 	return s
@@ -90,14 +119,56 @@ func NewShardedOn(model *simclock.CostModel, grp *nic.QueueGroup, cfg Config, n 
 		group: shard.NewGroup(n, 0),
 		neigh: neigh,
 	}
+	s.active.Store(int32(n))
 	for i := 0; i < n; i++ {
 		s.shards = append(s.shards, newOnPort(model, grp.Device(), grp, cfg, i, cfg.newPool(), neigh))
 	}
 	return s
 }
 
-// Size returns the shard count.
-func (s *ShardSet) Size() int { return len(s.shards) }
+// Size returns the ACTIVE shard count: how many shards RSS spreads new
+// flows across. Equal to Capacity() unless the set was provisioned
+// elastic and resteered.
+func (s *ShardSet) Size() int { return int(s.active.Load()) }
+
+// Capacity returns the provisioned shard count.
+func (s *ShardSet) Capacity() int { return len(s.shards) }
+
+// Resteer repartitions the live flow space to m active shards: every
+// established (and in-handshake) flow on a surviving shard is pinned
+// to its current queue so the connection never moves, then the RSS
+// indirection width flips to m so new flows spread across the new
+// active set. Flows on retiring shards (index >= m) are deliberately
+// left unpinned: re-hashed frames land on a surviving shard whose
+// stack answers with RST, and the client's failover machinery redials
+// into the new layout — bounded disruption instead of a stalled
+// connection. Tenant-bound sets cannot resteer (the queue-group RSS
+// range belongs to the device's isolation plane).
+func (s *ShardSet) Resteer(m int) error {
+	if s.qg != nil {
+		return fmt.Errorf("catnip: tenant shard set cannot resteer: %w", core.ErrNotSupported)
+	}
+	if m < 1 || m > len(s.shards) {
+		return fmt.Errorf("catnip: resteer to %d shards outside [1,%d]", m, len(s.shards))
+	}
+	old := int(s.active.Load())
+	keep := old
+	if m < keep {
+		keep = m
+	}
+	pins := make(map[nic.FlowKey]int)
+	for i := 0; i < keep; i++ {
+		for _, fl := range s.shards[i].Stack().EstablishedFlows() {
+			pins[nic.FlowKey{RemoteIP: fl.RemoteIP, RemotePort: fl.RemotePort, LocalPort: fl.LocalPort}] = i
+		}
+	}
+	s.dev.SetFlowPins(pins)
+	if err := s.dev.SetRSSQueues(m); err != nil {
+		return err
+	}
+	s.active.Store(int32(m))
+	return nil
+}
 
 // Shard returns shard i's transport; each shard is a complete
 // core.Transport and is wrapped in its own core.LibOS by the facade.
@@ -122,7 +193,7 @@ func (s *ShardSet) Neighbors() *netstack.NeighborTable { return s.neigh }
 // source ports that land their flow on a chosen shard and servers can
 // partition their keyspace to match.
 func (s *ShardSet) QueueOfFlow(srcIP, dstIP netstack.IPv4Addr, srcPort, dstPort uint16) int {
-	return nic.RSSQueueFlow(srcIP, dstIP, srcPort, dstPort, len(s.shards))
+	return nic.RSSQueueFlow(srcIP, dstIP, srcPort, dstPort, s.Size())
 }
 
 // SourcePortFor searches the ephemeral range for a source port whose
@@ -164,4 +235,5 @@ func (s *ShardSet) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 		t.RegisterLifecycleTelemetry(r, p+".lifecycle")
 	}
 	s.group.RegisterTelemetry(r, prefix+".shard")
+	r.RegisterFunc(prefix+".active_shards", func() int64 { return int64(s.Size()) })
 }

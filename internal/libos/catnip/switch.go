@@ -1,0 +1,124 @@
+// Live libOS switching, catnip side: a transport can be constructed
+// over an already-running netstack (promotion from the kernel path
+// adopts the kernel's stack object wholesale — same TCP state, same
+// device, only the per-packet cost profile changes), and endpoints can
+// be exported to / adopted from the transport-neutral core.PortState.
+package catnip
+
+import (
+	"demikernel/internal/core"
+	"demikernel/internal/fabric"
+	"demikernel/internal/membuf"
+	"demikernel/internal/netstack"
+	"demikernel/internal/nic"
+	"demikernel/internal/sga"
+	"demikernel/internal/simclock"
+)
+
+// NewOnStack builds a catnip transport that drives an existing stack
+// on an existing device instead of constructing fresh ones. The stack
+// keeps every established connection, listener, and timer it had; the
+// caller is responsible for flipping its per-packet cost profile
+// (netstack.SetPerPacketExtra) to match the bypass path.
+func NewOnStack(model *simclock.CostModel, dev *nic.Device, cfg Config, stack *netstack.Stack) *Transport {
+	pool := fabric.DefaultFramePool
+	if cfg.PoolFactory != nil {
+		pool = cfg.PoolFactory()
+	}
+	var opts []membuf.Option
+	if cfg.MemCapacity > 0 {
+		opts = append(opts, membuf.WithCapacity(cfg.MemCapacity))
+	}
+	mem := membuf.NewManager(model, opts...)
+	mem.AttachDevice(dev)
+	t := &Transport{model: model, dev: dev, port: dev, mem: mem, pool: pool, cfg: cfg}
+	t.stackp.Store(stack)
+	return t
+}
+
+// HasUDP reports whether any UDP endpoint is open. UDP state cannot
+// move across a libOS switch (the kernel side has no UDP surface), so
+// SwitchKind refuses while one exists.
+func (t *Transport) HasUDP() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.udps) > 0
+}
+
+// Export implements core.PortExporter: it detaches the endpoint's
+// protocol objects and soft state for adoption by another transport.
+// The old endpoint is left closed-in-place WITHOUT closing the
+// connection — stale concurrent operations fail with queue.ErrClosed
+// (retriable by failover) instead of racing the adopter.
+func (t *Transport) Export(cep core.Endpoint) (core.PortState, bool) {
+	e, ok := cep.(*endpoint)
+	if !ok || e.t != t {
+		return core.PortState{}, false
+	}
+	e.mu.Lock()
+	st := core.PortState{
+		Bound:     e.bound,
+		LocalPort: e.localPort,
+		Listening: e.listener != nil,
+		Conn:      e.conn,
+		Listener:  e.listener,
+		Framer:    e.framer,
+		Ready:     e.ready,
+		Waiters:   e.waiters,
+	}
+	// The clone fn closes over this transport's pools; the adopter
+	// re-binds its own.
+	st.Framer.SetClone(nil)
+	// Staged TX frames move as heap copies of their unsent bytes so the
+	// membuf staging buffers can be freed back to this libOS now.
+	for i := range e.txq {
+		f := &e.txq[i]
+		rest := append([]byte(nil), f.data[f.sent:]...)
+		st.Tx = append(st.Tx, core.PortTx{Data: rest, Cost: f.cost, Done: f.done})
+		if f.buf != nil {
+			f.buf.Free()
+		}
+	}
+	e.txq = nil
+	e.ready = nil
+	e.waiters = nil
+	e.conn = nil
+	e.listener = nil
+	e.closed = true
+	e.framer = sga.Framer{}
+	e.mu.Unlock()
+	e.connp.Store(nil)
+	e.txPending.Store(0)
+	e.readyLen.Store(0)
+	e.waiterLen.Store(0)
+	return st, true
+}
+
+// Adopt implements core.PortAdopter: it rebuilds a live endpoint from
+// an exported PortState on this transport.
+func (t *Transport) Adopt(st core.PortState) (core.Endpoint, error) {
+	e := &endpoint{
+		t:         t,
+		bound:     st.Bound,
+		localPort: st.LocalPort,
+		listener:  st.Listener,
+		conn:      st.Conn,
+		framer:    st.Framer,
+		ready:     st.Ready,
+		waiters:   st.Waiters,
+	}
+	e.framer.SetClone(t.pooledCloneSGA)
+	for _, f := range st.Tx {
+		// Heap-backed frames (buf nil): flushTx just skips the staging
+		// free. The bytes were framed by the exporter; they go out as-is.
+		e.txq = append(e.txq, txFrame{data: f.Data, cost: f.Cost, done: f.Done})
+	}
+	if st.Conn != nil {
+		e.connp.Store(st.Conn)
+	}
+	e.txPending.Store(int32(len(e.txq)))
+	e.readyLen.Store(int32(len(e.ready)))
+	e.waiterLen.Store(int32(len(e.waiters)))
+	t.adopt(e)
+	return e, nil
+}

@@ -1,0 +1,96 @@
+// Elastic RSS: the device-plane half of live resharding.
+//
+// A reshard changes how many receive queues RSS spreads new flows
+// across, without reconfiguring the device's physical queue count.
+// Real NICs expose exactly this knob: the RSS indirection table is
+// reprogrammed to reference a subset of the provisioned queues
+// (ethtool -X ... weight), and individual flows can be pinned to a
+// specific queue with flow-director rules so established connections
+// keep landing where their owning core polls while *new* flows hash
+// over the new width. The simulated device mirrors both: SetRSSQueues
+// narrows/widens the RSS modulus, SetFlowPins installs an exact-match
+// flow table consulted before RSS. Both are copy-on-write mutations of
+// the classification snapshot, so the RX hot path stays lock-free.
+package nic
+
+import "fmt"
+
+// FlowKey identifies one TCP/IPv4 flow from the device's point of
+// view: the remote endpoint plus the local destination port, exactly
+// the tuple the host stack demultiplexes on. It is parsed from
+// received frames in wire order.
+type FlowKey struct {
+	RemoteIP   [4]byte
+	RemotePort uint16
+	LocalPort  uint16
+}
+
+// FlowKeyOf parses the flow identity of an inbound IPv4 frame (no IP
+// options). ok is false for non-IP traffic, fragments-with-options, or
+// frames too short to carry transport ports; those fall through to RSS.
+func FlowKeyOf(data []byte) (k FlowKey, ok bool) {
+	const ethHdr = 14
+	if len(data) < ethHdr+24 || data[12] != 0x08 || data[13] != 0x00 || data[14] != 0x45 {
+		return FlowKey{}, false
+	}
+	copy(k.RemoteIP[:], data[ethHdr+12:ethHdr+16]) // src IP
+	k.RemotePort = uint16(data[ethHdr+20])<<8 | uint16(data[ethHdr+21])
+	k.LocalPort = uint16(data[ethHdr+22])<<8 | uint16(data[ethHdr+23])
+	return k, true
+}
+
+// SetRSSQueues reprograms the RSS indirection width: new flows hash
+// across queues [0, n) while the device keeps all provisioned rings
+// live (pinned flows and hardware filters can still target any of
+// them). n must be in [1, NumRxQueues]. The change is copy-on-write
+// and applies from the next wire drain, like a real indirection-table
+// write landing asynchronously to the RX pipeline.
+func (d *Device) SetRSSQueues(n int) error {
+	if n < 1 || n > len(d.rx) {
+		return fmt.Errorf("nic: RSS width %d outside [1,%d]", n, len(d.rx))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rssQueues = n
+	d.publishLocked()
+	return nil
+}
+
+// RSSQueues reports the current RSS indirection width.
+func (d *Device) RSSQueues() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rssQueues <= 0 || d.rssQueues > len(d.rx) {
+		return len(d.rx)
+	}
+	return d.rssQueues
+}
+
+// SetFlowPins replaces the device's exact-match flow table: frames
+// whose FlowKey appears in pins are steered to the pinned queue before
+// RSS runs, the way flow-director rules keep established connections
+// on their owning core across an indirection-table rewrite. The map is
+// copied; nil or empty clears the table. Queue indexes are taken
+// modulo the provisioned queue count. Each consulted frame is charged
+// one offloaded-filter evaluation, like the hardware filter table.
+func (d *Device) SetFlowPins(pins map[FlowKey]int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(pins) == 0 {
+		d.pins = nil
+	} else {
+		cp := make(map[FlowKey]int, len(pins))
+		for k, q := range pins {
+			cp[k] = ((q % len(d.rx)) + len(d.rx)) % len(d.rx)
+		}
+		d.pins = cp
+	}
+	d.publishLocked()
+}
+
+// PinnedFlows reports the current size of the exact-match flow table.
+func (d *Device) PinnedFlows() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pins)
+}

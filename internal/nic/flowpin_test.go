@@ -1,0 +1,90 @@
+package nic
+
+import (
+	"testing"
+
+	"demikernel/internal/fabric"
+	"demikernel/internal/simclock"
+)
+
+// ipv4TCPFrame builds a frame FlowKeyOf can parse: version/IHL 0x45,
+// proto TCP, real addresses and ports at their wire offsets.
+func ipv4TCPFrame(dst, src fabric.MAC, srcIP, dstIP [4]byte, srcPort, dstPort uint16) []byte {
+	f := ipv4Frame(dst, src, srcIP, dstIP, srcPort, dstPort)
+	f[14] = 0x45
+	f[23] = 6
+	return f
+}
+
+func TestSetRSSQueuesNarrowsSpread(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 7)
+	a := New(&model, sw, Config{MAC: macA})
+	b := New(&model, sw, Config{MAC: macB, RxQueues: 8})
+	if err := b.SetRSSQueues(2); err != nil {
+		t.Fatal(err)
+	}
+	srcIP := [4]byte{10, 0, 0, 1}
+	dstIP := [4]byte{10, 0, 0, 2}
+	for p := uint16(2000); p < 2256; p++ {
+		a.Tx(ipv4TCPFrame(macB, macA, srcIP, dstIP, p, 80), 0)
+	}
+	got := 0
+	for q := 0; q < 2; q++ {
+		got += len(b.RxBurst(q, 512))
+	}
+	if got != 256 {
+		t.Fatalf("queues [0,2) received %d of 256 frames with RSS width 2", got)
+	}
+	for q := 2; q < 8; q++ {
+		if n := b.RxOccupancy(q); n != 0 {
+			t.Fatalf("queue %d received %d frames despite RSS width 2", q, n)
+		}
+	}
+	if err := b.SetRSSQueues(9); err == nil {
+		t.Fatal("SetRSSQueues(9) on an 8-queue device must fail")
+	}
+	if b.RSSQueues() != 2 {
+		t.Fatalf("RSSQueues() = %d, want 2", b.RSSQueues())
+	}
+}
+
+func TestFlowPinsOverrideRSS(t *testing.T) {
+	model := simclock.Datacenter2019()
+	sw := fabric.NewSwitch(&model, 7)
+	a := New(&model, sw, Config{MAC: macA})
+	b := New(&model, sw, Config{MAC: macB, RxQueues: 8})
+	srcIP := [4]byte{10, 0, 0, 1}
+	dstIP := [4]byte{10, 0, 0, 2}
+	frame := ipv4TCPFrame(macB, macA, srcIP, dstIP, 5555, 80)
+	key, ok := FlowKeyOf(frame)
+	if !ok {
+		t.Fatal("FlowKeyOf failed on a well-formed IPv4/TCP frame")
+	}
+	if key.RemotePort != 5555 || key.LocalPort != 80 || key.RemoteIP != srcIP {
+		t.Fatalf("FlowKeyOf = %+v", key)
+	}
+	natural := RSSQueueFlow(srcIP, dstIP, 5555, 80, 8)
+	pinTo := (natural + 3) % 8
+	b.SetFlowPins(map[FlowKey]int{key: pinTo})
+	a.Tx(frame, 0)
+	if got := len(b.RxBurst(pinTo, 8)); got != 1 {
+		t.Fatalf("pinned flow did not land on queue %d", pinTo)
+	}
+	// A different flow still follows RSS.
+	other := ipv4TCPFrame(macB, macA, srcIP, dstIP, 5556, 80)
+	a.Tx(other, 0)
+	oq := RSSQueueFlow(srcIP, dstIP, 5556, 80, 8)
+	if got := len(b.RxBurst(oq, 8)); got != 1 {
+		t.Fatalf("unpinned flow did not follow RSS to queue %d", oq)
+	}
+	// Clearing the table restores pure RSS for the pinned flow.
+	b.SetFlowPins(nil)
+	if b.PinnedFlows() != 0 {
+		t.Fatalf("PinnedFlows() = %d after clear", b.PinnedFlows())
+	}
+	a.Tx(frame, 0)
+	if got := len(b.RxBurst(natural, 8)); got != 1 {
+		t.Fatal("flow did not revert to RSS after pin clear")
+	}
+}

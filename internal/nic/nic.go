@@ -104,7 +104,9 @@ type Device struct {
 	mu        sync.Mutex
 	filters   []HWFilter // master copy; snapshot lives in class
 	groups    []*QueueGroup
-	nextQueue int // next unclaimed rx queue index (groups claim ranges)
+	nextQueue int             // next unclaimed rx queue index (groups claim ranges)
+	rssQueues int             // RSS indirection width (0 = all queues); see flowpin.go
+	pins      map[FlowKey]int // exact-match flow pins; see flowpin.go
 
 	class atomic.Pointer[classTable]
 
@@ -321,7 +323,16 @@ func (d *Device) classify(t *classTable, f *fabric.Frame) (queue int, verdict cl
 		}
 		return g.steer(d, f), classOK
 	}
-	return d.rss(f.Data), classOK
+	if len(t.pins) > 0 {
+		if k, ok := FlowKeyOf(f.Data); ok {
+			d.filterEvals.Add(1)
+			f.Cost += d.model.OffloadedFilterCost()
+			if q, pinned := t.pins[k]; pinned {
+				return q, classOK
+			}
+		}
+	}
+	return d.rss(t, f.Data), classOK
 }
 
 // AddFilter installs a hardware filter and returns its table index.
@@ -400,8 +411,12 @@ func RSSQueueFlow(srcIP, dstIP [4]byte, srcPort, dstPort uint16, queues int) int
 // on every received frame. The reduction is an unsigned modulo —
 // int(h.Sum32()) % n, the previous form, yields a negative index on
 // 32-bit ints for half the hash space.
-func (d *Device) rss(data []byte) int {
-	return int(rssHash(data) % uint32(len(d.rx)))
+func (d *Device) rss(t *classTable, data []byte) int {
+	w := t.rssQueues
+	if w <= 0 || w > len(d.rx) {
+		w = len(d.rx)
+	}
+	return int(rssHash(data) % uint32(w))
 }
 
 // rssHash is the raw flow hash rss() reduces: queue groups reduce the
@@ -532,6 +547,8 @@ func (d *Device) RegisterTelemetry(r *telemetry.Registry, prefix string) {
 	r.RegisterFunc(prefix+".dma_bytes", stat(func(s Stats) int64 { return s.DMABytes }))
 	r.RegisterFunc(prefix+".regions", stat(func(s Stats) int64 { return s.Regions }))
 	r.RegisterFunc(prefix+".rx_flushed", stat(func(s Stats) int64 { return s.RxFlushed }))
+	r.RegisterFunc(prefix+".rss_queues", func() int64 { return int64(d.RSSQueues()) })
+	r.RegisterFunc(prefix+".pinned_flows", func() int64 { return int64(d.PinnedFlows()) })
 	for q := 0; q < d.cfg.RxQueues; q++ {
 		q := q
 		r.RegisterFunc(fmt.Sprintf("%s.rxq%d.occupancy", prefix, q), func() int64 {

@@ -139,16 +139,16 @@ func TestRSSStableFlowMapping(t *testing.T) {
 		ip[12] = srcIP // src addr first byte
 		return append(f, ip...)
 	}
-	q1 := b.rss(mk(1))
+	q1 := b.rss(b.class.Load(), mk(1))
 	for i := 0; i < 10; i++ {
-		if b.rss(mk(1)) != q1 {
+		if b.rss(b.class.Load(), mk(1)) != q1 {
 			t.Fatal("RSS mapping unstable for identical flow")
 		}
 	}
 	// Different flows should spread across queues (at least two distinct).
 	seen := map[int]bool{}
 	for ip := byte(0); ip < 32; ip++ {
-		seen[b.rss(mk(ip))] = true
+		seen[b.rss(b.class.Load(), mk(ip))] = true
 	}
 	if len(seen) < 2 {
 		t.Fatalf("RSS used %d queues for 32 flows", len(seen))
@@ -189,7 +189,7 @@ func TestRSSDistribution(t *testing.T) {
 		counts := make([]int, queues)
 		for p := 0; p < flows; p++ {
 			f := ipv4Frame(macB, macA, srcIP, dstIP, uint16(20000+p), 7777)
-			counts[d.rss(f)]++
+			counts[d.rss(d.class.Load(), f)]++
 		}
 		fair := flows / queues
 		for q, n := range counts {
@@ -213,7 +213,7 @@ func TestRSSQueueFlowMatchesDevice(t *testing.T) {
 	for p := uint16(1000); p < 1512; p++ {
 		f := ipv4Frame(macB, macA, srcIP, dstIP, p, 9999)
 		want := RSSQueueFlow(srcIP, dstIP, p, 9999, 8)
-		if got := d.rss(f); got != want {
+		if got := d.rss(d.class.Load(), f); got != want {
 			t.Fatalf("port %d: device steers to queue %d, RSSQueueFlow says %d", p, got, want)
 		}
 	}

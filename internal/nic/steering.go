@@ -45,6 +45,8 @@ type classTable struct {
 	byIP      map[[4]byte]*QueueGroup
 	owners    []*QueueGroup // queue index -> owning group (nil = unclaimed)
 	hasGroups bool
+	rssQueues int             // RSS indirection width (0 = all queues)
+	pins      map[FlowKey]int // exact-match flow table, consulted before RSS
 }
 
 // queueOwner returns the group owning absolute queue qi, or nil.
@@ -82,6 +84,8 @@ func (d *Device) publishLocked() {
 	t := &classTable{
 		filters:   append([]HWFilter(nil), d.filters...),
 		hasGroups: len(d.groups) > 0,
+		rssQueues: d.rssQueues,
+		pins:      d.pins,
 	}
 	if t.hasGroups {
 		t.byMAC = make(map[fabric.MAC]*QueueGroup, len(d.groups))

@@ -21,6 +21,12 @@ const (
 	OpReply
 	// OpControl carries a control-plane request (stats, drain, config).
 	OpControl
+	// OpMigrate ships one key/value record to its owner under a new
+	// keyspace generation during an elastic reshard. Because each edge
+	// is a FIFO SPSC ring, a migrate record enqueued before any later
+	// forward on the same (old-owner → new-owner) edge is consumed
+	// first — the ordering the reshard handoff's correctness rests on.
+	OpMigrate
 )
 
 // Msg is one cross-shard message. Payload stays opaque to the mesh; Seq

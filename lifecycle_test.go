@@ -193,7 +193,7 @@ func TestChaosShardedKVCrashRestart(t *testing.T) {
 	// RSS-aligned dial; the redial flavor rotates the source-port seed
 	// by attempt so a replacement flow never collides with its corpse.
 	cli, err := kv.NewShardedClient(cliNode.LibOS, shards, func(i int) (QD, error) {
-		return c.DialToShard(cliNode, srvNode, port, i, uint16(4000*i+11))
+		return c.Router().DialShard(cliNode, srvNode, port, i, uint16(4000*i+11))
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +202,7 @@ func TestChaosShardedKVCrashRestart(t *testing.T) {
 	pol.MaxAttempts = 80
 	pol.Max = 40 * time.Millisecond
 	cli.EnableFailover(pol, func(shard, attempt int) (QD, error) {
-		return c.DialToShard(cliNode, srvNode, port, shard, uint16(4000*shard+11+attempt*131))
+		return c.Router().DialShard(cliNode, srvNode, port, shard, uint16(4000*shard+11+attempt*131))
 	})
 
 	// The schedule: loss, one-way partition (client→server dies while

@@ -1,0 +1,518 @@
+package demikernel
+
+// Elastic resharding and live libOS switching, end to end:
+//
+//   - TestReshardUnderLoad is the acceptance run: a 4-shard KV node
+//     (provisioned for 8) reshards to 8 and back down to 2 while a
+//     failover-armed client hammers it, and not one client request is
+//     allowed to fail (redials are fine; errors are not).
+//   - TestChaosReshardUnderCrashRestart layers the lifecycle gauntlet
+//     on top: reshard 2→4→3 interleaved with packet loss, an
+//     asymmetric partition, and a full crash/restart of the server
+//     node, then checks request and frame conservation across all
+//     three generations.
+//   - TestSwitchKindLive promotes a kernel-libOS node to the bypass
+//     stack (and back) with an established connection carrying data
+//     through the switch — zero drops, virtual downtime measured.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"demikernel/internal/apps/failover"
+	"demikernel/internal/apps/kv"
+	"demikernel/internal/chaos"
+	"demikernel/internal/fabric"
+	"demikernel/internal/simclock"
+)
+
+// reshardVal is the deterministic value for a key index: every write of
+// key k carries the same bytes, so a lost-response/applied-anyway write
+// can never make the final audit ambiguous.
+func reshardVal(k int) []byte { return bytes.Repeat([]byte{byte(k)}, 64+k) }
+
+// reshardRig spins up an elastic sharded KV node and a failover-armed
+// client whose redials stay valid across generations (a redial for a
+// retired shard index re-targets an active shard; the server's mesh
+// forwarding absorbs the misdirection).
+type reshardRig struct {
+	c       *Cluster
+	srvNode *ShardedNode
+	cliNode *Node
+	server  *kv.ShardedServer
+	cli     *kv.ShardedClient
+	port    uint16
+
+	stopSrv func()
+	stopCli func()
+}
+
+func newReshardRig(t testing.TB, seed int64, shards, capacity int, port uint16) *reshardRig {
+	t.Helper()
+	c := NewCluster(seed)
+	srvNode := c.MustSpawn(Catnip, WithHost(1), WithShards(shards), WithShardCapacity(capacity)).Sharded
+	cliNode := c.MustSpawn(Catnip, WithConfig(NodeConfig{Host: 2, RTO: 2 * time.Millisecond, MaxRetransmits: 6}))
+	cliNode.WaitTimeout = 500 * time.Millisecond
+
+	server := kv.NewShardedServerElastic(srvNode.Libs, &c.Model, srvNode.Mesh(), shards)
+	srvNode.SetResharder(server)
+	if err := server.Listen(port); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	wg := server.Run(stop)
+	var srvOnce sync.Once
+	stopSrv := func() { srvOnce.Do(func() { close(stop); wg.Wait() }) }
+	stopCliBg := cliNode.Background()
+	var cliOnce sync.Once
+	stopCli := func() { cliOnce.Do(stopCliBg) }
+
+	r := &reshardRig{
+		c: c, srvNode: srvNode, cliNode: cliNode, server: server,
+		port: port, stopSrv: stopSrv, stopCli: stopCli,
+	}
+	cli, err := kv.NewShardedClient(cliNode.LibOS, shards, r.dialFn(0))
+	if err != nil {
+		stopSrv()
+		stopCli()
+		t.Fatal(err)
+	}
+	var seedCtr atomic.Uint32
+	cli.EnableFailover(failover.Policy{MaxAttempts: 40, Base: time.Millisecond, Max: 20 * time.Millisecond, Jitter: 0.5, Seed: seed},
+		func(shard, attempt int) (QD, error) {
+			// Across a shrink the shard index may name a retired worker;
+			// land on an active one instead — the mesh forwards the op.
+			target := shard % r.srvNode.Size()
+			return c.Router().DialShard(cliNode, srvNode, port, target,
+				uint16(1000*shard+int(seedCtr.Add(1))*131+attempt*17))
+		})
+	r.cli = cli
+	return r
+}
+
+// dialFn returns an aligned dialer for the server's CURRENT width.
+func (r *reshardRig) dialFn(round int) func(i int) (QD, error) {
+	return func(i int) (QD, error) {
+		return r.c.Router().DialShard(r.cliNode, r.srvNode, r.port, i,
+			uint16(2000*i+31+round*257))
+	}
+}
+
+func (r *reshardRig) close() {
+	r.stopSrv()
+	r.stopCli()
+}
+
+// TestReshardUnderLoad is the headline acceptance test: grow 4→8, then
+// shrink 8→2, with client traffic running through both transitions and
+// ZERO failed requests — the failover machinery may redial, but every
+// Set and Get must ultimately succeed and return the right bytes.
+func TestReshardUnderLoad(t *testing.T) {
+	const keys = 64
+	rig := newReshardRig(t, 91, 4, 8, 6380)
+	defer rig.close()
+
+	var ops, failed atomic.Int64
+	stopLoad := make(chan struct{})
+	var loadWG sync.WaitGroup
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			k := i % keys
+			key := fmt.Sprintf("ek%03d", k)
+			if _, err := rig.cli.Set(key, reshardVal(k)); err != nil {
+				failed.Add(1)
+				t.Errorf("Set %s failed: %v", key, err)
+				return
+			}
+			got, _, found, err := rig.cli.Get(key)
+			if err != nil {
+				failed.Add(1)
+				t.Errorf("Get %s failed: %v", key, err)
+				return
+			}
+			if !found || !bytes.Equal(got, reshardVal(k)) {
+				failed.Add(1)
+				t.Errorf("Get %s returned wrong value (found=%v, %d bytes)", key, found, len(got))
+				return
+			}
+			ops.Add(2)
+		}
+	}()
+
+	// Let the steady state establish, then grow under load.
+	waitOps := func(n int64) {
+		deadline := time.Now().Add(20 * time.Second)
+		base := ops.Load()
+		for ops.Load()-base < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("load stalled: %d ops total, %d failed", ops.Load(), failed.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitOps(100)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := rig.srvNode.Reshard(ctx, 8); err != nil {
+		t.Fatalf("reshard 4→8: %v", err)
+	}
+	if got := rig.srvNode.Shards(); got != 8 {
+		t.Fatalf("active shards after grow = %d, want 8", got)
+	}
+	waitOps(100) // traffic must flow on the 8-wide layout
+	if err := rig.cli.Resize(8, rig.dialFn(1)); err != nil {
+		t.Fatalf("client resize to 8: %v", err)
+	}
+	waitOps(100)
+
+	if err := rig.srvNode.Reshard(ctx, 2); err != nil {
+		t.Fatalf("reshard 8→2: %v", err)
+	}
+	waitOps(100) // traffic through the shrink, on stale client conns
+	if err := rig.cli.Resize(2, rig.dialFn(2)); err != nil {
+		t.Fatalf("client resize to 2: %v", err)
+	}
+	waitOps(100)
+	close(stopLoad)
+	loadWG.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d client requests failed across two reshards", failed.Load())
+	}
+	if gen := rig.srvNode.Generation(); gen != 2 {
+		t.Fatalf("generation = %d, want 2", gen)
+	}
+	if got := rig.server.Active(); got != 2 {
+		t.Fatalf("server active width = %d, want 2", got)
+	}
+
+	// Key conservation: every key written exists exactly once with its
+	// deterministic value, and the migration ledger balances.
+	if got := rig.server.Len(); got != keys {
+		t.Fatalf("store holds %d keys, want %d", got, keys)
+	}
+	var migOut, migIn, drops int64
+	for i := 0; i < rig.server.Size(); i++ {
+		st := rig.server.StatsOf(i)
+		migOut += st.MigratedOut
+		migIn += st.MigratedIn
+		drops += st.ForwardDrops
+	}
+	if migOut == 0 {
+		t.Fatal("no records migrated despite two reshards")
+	}
+	if migOut != migIn {
+		t.Fatalf("migration ledger unbalanced: out=%d in=%d", migOut, migIn)
+	}
+	if drops != 0 {
+		t.Fatalf("mesh dropped %d forwards", drops)
+	}
+	for k := 0; k < keys; k++ {
+		got, _, found, err := rig.cli.Get(fmt.Sprintf("ek%03d", k))
+		if err != nil || !found || !bytes.Equal(got, reshardVal(k)) {
+			t.Fatalf("post-reshard audit: key %d err=%v found=%v", k, err, found)
+		}
+	}
+	// On the final 2-wide aligned layout the keyspace must be owned by
+	// the active shards only.
+	for i := 2; i < rig.server.Size(); i++ {
+		if st := rig.server.StatsOf(i); st.Keys != 0 {
+			t.Fatalf("retired shard %d still owns %d keys", i, st.Keys)
+		}
+	}
+}
+
+// TestChaosReshardUnderCrashRestart drives reshard 2→4→3 through the
+// full gauntlet: loss+corruption while growing, an asymmetric partition
+// of the client's path, a crash and restart of the server node between
+// the reshards, and a final audit of request and frame conservation.
+// Typed failures are allowed while the world burns; silent corruption
+// and untyped errors are not.
+func TestChaosReshardUnderCrashRestart(t *testing.T) {
+	const keys = 48
+	rig := newReshardRig(t, 92, 2, 4, 6381)
+	defer rig.close()
+
+	fport := rig.cliNode.FabricPort()
+	sport := rig.srvNode.FabricPort()
+	eng := chaos.New(92).
+		ImpairAll(0, rig.c.Switch, fabric.Impairments{LossRate: 0.02, CorruptRate: 0.05}).
+		ImpairAll(50*time.Millisecond, rig.c.Switch, fabric.Impairments{}).
+		AsymmetricPartition(70*time.Millisecond, 40*time.Millisecond, rig.c.Switch, fport, sport)
+	eng.Start()
+
+	var successes, failures atomic.Int64
+	stopLoad := make(chan struct{})
+	var loadWG sync.WaitGroup
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			eng.Step()
+			k := i % keys
+			key := fmt.Sprintf("ck%03d", k)
+			if _, err := rig.cli.Set(key, reshardVal(k)); err != nil {
+				if !typedErr(err) {
+					t.Errorf("set %d failed with untyped error: %v", i, err)
+					return
+				}
+				failures.Add(1)
+				continue
+			}
+			successes.Add(1)
+		}
+	}()
+
+	waitProgress := func(n int64, what string) {
+		deadline := time.Now().Add(30 * time.Second)
+		base := successes.Load()
+		for successes.Load()-base < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: load stalled (%d ok, %d typed failures)",
+					what, successes.Load(), failures.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitProgress(40, "warmup")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rig.srvNode.Reshard(ctx, 4); err != nil {
+		t.Fatalf("reshard 2→4 under impairment: %v", err)
+	}
+	waitProgress(40, "post-grow")
+
+	// Kill and resurrect the server between generations. The store is
+	// application state: it survives; connections and stacks do not.
+	if _, err := rig.srvNode.Crash(); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := rig.srvNode.Restart(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	waitProgress(40, "post-restart")
+
+	if err := rig.srvNode.Reshard(ctx, 3); err != nil {
+		t.Fatalf("reshard 4→3 after restart: %v", err)
+	}
+	waitProgress(40, "post-shrink")
+	close(stopLoad)
+	loadWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Chaos must have visibly engaged the recovery machinery. Whether a
+	// given op surfaces a typed failure or is absorbed by a redial is
+	// timing-dependent; what is NOT optional is that the crash forced
+	// reconnects and the partition dropped frames.
+	if rec, rep := rig.cli.FailoverStats(); rec == 0 || rep == 0 {
+		t.Fatalf("crash/restart never engaged failover: reconnects=%d replays=%d (typed failures: %d)",
+			rec, rep, failures.Load())
+	}
+	if rig.c.Switch.Stats().AsymDrops == 0 {
+		t.Fatal("asymmetric partition dropped nothing")
+	}
+	if gen := rig.srvNode.Generation(); gen != 2 {
+		t.Fatalf("generation = %d, want 2", gen)
+	}
+
+	// Request conservation: re-audit every key through a fresh aligned
+	// client at the final width. A lost-response write applied the same
+	// deterministic bytes, so presence+equality is exact.
+	if err := rig.cli.Resize(3, rig.dialFn(9)); err != nil {
+		t.Fatalf("final client resize: %v", err)
+	}
+	written := 0
+	for k := 0; k < keys; k++ {
+		got, _, found, err := rig.cli.Get(fmt.Sprintf("ck%03d", k))
+		if err != nil {
+			t.Fatalf("final audit key %d: %v", k, err)
+		}
+		if found {
+			written++
+			if !bytes.Equal(got, reshardVal(k)) {
+				t.Fatalf("key %d corrupted across generations", k)
+			}
+		}
+	}
+	if written == 0 {
+		t.Fatal("no keys survived the gauntlet")
+	}
+	var migOut, migIn int64
+	for i := 0; i < rig.server.Size(); i++ {
+		st := rig.server.StatsOf(i)
+		migOut += st.MigratedOut
+		migIn += st.MigratedIn
+	}
+	if migOut != migIn {
+		t.Fatalf("migration ledger unbalanced across crash: out=%d in=%d", migOut, migIn)
+	}
+
+	// Frame conservation across three generations and one incarnation
+	// boundary. Quiesce, then read the laws.
+	rig.c.Switch.SetImpairments(fabric.Impairments{})
+	rig.c.Switch.Flush()
+	qdeadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(qdeadline) {
+		rig.c.Poll()
+		rig.c.Switch.Flush()
+		time.Sleep(time.Millisecond)
+	}
+	rig.close()
+
+	sw := rig.c.Switch
+	fs := sw.Stats()
+	var sumTx int64
+	for id := 0; id < sw.NumPorts(); id++ {
+		sumTx += sw.PortStats(id).TxFrames
+	}
+	if lhs, rhs := sumTx+fs.InjectedDup, fs.Delivered+fs.InjectedLoss+fs.LinkDownDrops+fs.DroppedRxFull+fs.AsymDrops; lhs != rhs {
+		t.Fatalf("fabric conservation violated: tx+dup=%d != accounted=%d", lhs, rhs)
+	}
+	dev := rig.srvNode.Set.Device()
+	dev.QueueDepth(0)
+	ds := dev.Stats()
+	ps := sw.PortStats(dev.PortID())
+	if ps.Delivered != ds.RxFrames+ds.RxDropped+ds.FilterDrops {
+		t.Fatalf("nic conservation violated: delivered=%d != rx=%d+dropped=%d+filtered=%d",
+			ps.Delivered, ds.RxFrames, ds.RxDropped, ds.FilterDrops)
+	}
+}
+
+// TestSwitchKindLive promotes a catnap node to catnip and back with an
+// established connection alive the whole time — including bytes pushed
+// before the switch and popped after it. Zero dropped connections, and
+// the virtual cost of the kernel tax visibly disappears on promotion.
+func TestSwitchKindLive(t *testing.T) {
+	c := NewCluster(93)
+	srv := c.MustSpawn(Catnap, WithHost(1))
+	cli := c.MustSpawn(Catnip, WithHost(2))
+	cqd, sqd, cleanup := connectNodes(t, c, cli, srv, 80)
+	defer cleanup()
+
+	echoOnce(t, cli, cqd, srv, sqd, "before the switch")
+
+	// Push data into the established connection, THEN switch the server
+	// onto the bypass stack: the bytes must ride through the migration.
+	if _, err := cli.BlockingPush(cqd, NewSGA([]byte("in-flight across the switch"))); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // let the frame land in the kernel stack
+
+	if err := srv.SwitchKind(Catnip); err != nil {
+		t.Fatalf("promote catnap→catnip: %v", err)
+	}
+	if srv.Kind() != Catnip || srv.Catnip == nil || srv.Kernel != nil {
+		t.Fatalf("promotion left the node in a mixed state: kind=%s", srv.Kind())
+	}
+
+	comp, err := srv.BlockingPop(sqd)
+	if err != nil || comp.Err != nil {
+		t.Fatalf("pop across the switch: %v %v", err, comp.Err)
+	}
+	if string(comp.SGA.Bytes()) != "in-flight across the switch" {
+		t.Fatalf("in-flight bytes corrupted: %q", comp.SGA.Bytes())
+	}
+	echoOnce(t, cli, cqd, srv, sqd, "on the bypass stack")
+
+	// The promoted node must no longer pay kernel costs: the whole
+	// syscall surface now goes straight to the user-level stack.
+	if srv.Kernel != nil {
+		t.Fatal("kernel survived promotion")
+	}
+
+	// And back down: the same connection demotes onto a fresh kernel.
+	if err := srv.SwitchKind(Catnap); err != nil {
+		t.Fatalf("demote catnip→catnap: %v", err)
+	}
+	if srv.Kind() != Catnap || srv.Kernel == nil || srv.Catnip != nil {
+		t.Fatalf("demotion left the node in a mixed state: kind=%s", srv.Kind())
+	}
+	echoOnce(t, cli, cqd, srv, sqd, "back on the kernel path")
+	if ctr := srv.Kernel.Counters(); ctr.SyscallCrossings == 0 {
+		t.Fatalf("demoted node never crossed the kernel: %+v", ctr)
+	}
+
+	// Idempotence and gating.
+	if err := srv.SwitchKind(Catnap); err != nil {
+		t.Fatalf("no-op switch: %v", err)
+	}
+}
+
+// BenchmarkReshard measures KV op latency (virtual nanoseconds) in
+// steady state and during a live 4→8 reshard, and enforces the fence:
+// p99 during the reshard must stay within 3x of steady-state p99.
+func BenchmarkReshard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchReshardOnce(b)
+	}
+}
+
+func benchReshardOnce(b *testing.B) {
+	const keys = 64
+	rig := newReshardRig(b, 94, 4, 8, 6382)
+	defer rig.close()
+
+	measure := func(n int, during bool) []simclock.Lat {
+		var lats []simclock.Lat
+		for i := 0; i < n; i++ {
+			k := i % keys
+			cost, err := rig.cli.Set(fmt.Sprintf("bk%03d", k), reshardVal(k))
+			if err != nil {
+				b.Fatalf("bench set (during=%v): %v", during, err)
+			}
+			lats = append(lats, cost)
+		}
+		return lats
+	}
+	p99 := func(lats []simclock.Lat) simclock.Lat {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return lats[len(lats)*99/100]
+	}
+
+	steady := measure(400, false)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- rig.srvNode.Reshard(ctx, 8) }()
+	var during []simclock.Lat
+	for !rig.server.Stable() || len(during) < 100 {
+		during = append(during, measure(10, true)...)
+		if len(during) > 4000 {
+			break
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatalf("reshard: %v", err)
+	}
+
+	ps, pd := p99(steady), p99(during)
+	b.ReportMetric(float64(ps), "steady-p99-vns")
+	b.ReportMetric(float64(pd), "reshard-p99-vns")
+	if pd > 3*ps {
+		b.Fatalf("reshard p99 fence violated: %dns > 3x steady %dns", pd, ps)
+	}
+}

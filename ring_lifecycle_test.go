@@ -297,7 +297,7 @@ func TestShardedRingSmoke(t *testing.T) {
 	for shardID := 0; shardID < 2; shardID++ {
 		lib := sh.Libs[shardID]
 		lqd := lqds[shardID]
-		cqd, err := c.DialToShard(cliNode, sh, port, shardID, uint16(shardID))
+		cqd, err := c.Router().DialShard(cliNode, sh, port, shardID, uint16(shardID))
 		if err != nil {
 			t.Fatalf("shard %d dial: %v", shardID, err)
 		}

@@ -2,8 +2,8 @@ package demikernel
 
 // Spawn API tests: the unified construction surface must honor its
 // options, reject nonsense kinds and kind/option mismatches with errors
-// (not panics), and the deprecated per-kind constructors must remain
-// exact thin wrappers over it.
+// (not panics), and every spawned shape must carry the full Instance
+// surface (the per-kind constructors are gone; Spawn is the only door).
 
 import (
 	"errors"
@@ -55,37 +55,69 @@ func TestSpawnRejectsBadRequests(t *testing.T) {
 	}
 }
 
-// The deprecated constructors must be behaviorally identical to the
-// Spawn calls they forward to — same shapes, same identities.
-func TestDeprecatedConstructorsDelegate(t *testing.T) {
+// Every spawned shape satisfies Instance, reports its kind and shard
+// width, and carries the lifecycle surface.
+func TestSpawnShapesSatisfyInstance(t *testing.T) {
 	c := NewCluster(73)
 
-	nip := c.NewCatnipNode(NodeConfig{Host: 1})
+	nip := c.MustSpawn(Catnip, WithConfig(NodeConfig{Host: 1}))
 	if nip.Catnip == nil || nip.IP != c.ip(1) {
-		t.Fatalf("NewCatnipNode shape: %+v", nip)
+		t.Fatalf("catnip shape: %+v", nip)
 	}
-	nap := c.NewCatnapNode(NodeConfig{Host: 2})
+	nap := c.MustSpawn(Catnap, WithConfig(NodeConfig{Host: 2}))
 	if nap.Kernel == nil {
-		t.Fatal("NewCatnapNode spawned no kernel")
+		t.Fatal("catnap spawned no kernel")
 	}
-	mint := c.NewCatmintNode(NodeConfig{Host: 3})
+	mint := c.MustSpawn(Catmint, WithConfig(NodeConfig{Host: 3}))
 	if mint.Catmint == nil {
-		t.Fatal("NewCatmintNode spawned no RDMA transport")
+		t.Fatal("catmint spawned no RDMA transport")
 	}
-	fish, err := c.NewCatfishNode(64)
+	fish, err := c.Spawn(Catfish, WithBlocks(64))
 	if err != nil || fish.Catfish == nil {
-		t.Fatalf("NewCatfishNode: %v %+v", err, fish)
+		t.Fatalf("catfish: %v %+v", err, fish)
 	}
-	sharded := c.NewShardedCatnipNode(NodeConfig{Host: 4}, 2)
+	sharded := c.MustSpawn(Catnip, WithHost(4), WithShards(2)).Sharded
 	if sharded == nil || sharded.Size() != 2 {
-		t.Fatalf("NewShardedCatnipNode shape: %+v", sharded)
+		t.Fatalf("sharded shape: %+v", sharded)
 	}
 
-	// And a wrapper-spawned node still has the full lifecycle surface.
+	// The unified Instance surface reports each shape faithfully.
+	for _, tc := range []struct {
+		inst   Instance
+		kind   Kind
+		shards int
+	}{
+		{nip, Catnip, 1},
+		{nap, Catnap, 1},
+		{mint, Catmint, 1},
+		{fish, Catfish, 1},
+		{sharded, Catnip, 2},
+	} {
+		if tc.inst.Kind() != tc.kind || tc.inst.Shards() != tc.shards {
+			t.Fatalf("Instance reports kind=%s shards=%d, want %s/%d",
+				tc.inst.Kind(), tc.inst.Shards(), tc.kind, tc.shards)
+		}
+		if tc.inst.Generation() != 0 {
+			t.Fatalf("fresh instance at generation %d", tc.inst.Generation())
+		}
+	}
+
+	// Reshard is gated to sharded runtimes, SwitchKind to Catnap/Catnip.
+	if err := nip.Reshard(t.Context(), 2); !errors.Is(err, core.ErrNotSupported) {
+		t.Fatalf("Reshard on unsharded node = %v, want ErrNotSupported", err)
+	}
+	if err := sharded.SwitchKind(Catnap); !errors.Is(err, core.ErrNotSupported) {
+		t.Fatalf("SwitchKind on sharded node = %v, want ErrNotSupported", err)
+	}
+	if err := mint.SwitchKind(Catnip); !errors.Is(err, core.ErrNotSupported) {
+		t.Fatalf("SwitchKind catmint→catnip = %v, want ErrNotSupported", err)
+	}
+
+	// A spawned node still has the full lifecycle surface.
 	if _, err := nip.Crash(); err != nil {
-		t.Fatalf("Crash on wrapper-spawned node: %v", err)
+		t.Fatalf("Crash on spawned node: %v", err)
 	}
 	if err := nip.Restart(); err != nil {
-		t.Fatalf("Restart on wrapper-spawned node: %v", err)
+		t.Fatalf("Restart on spawned node: %v", err)
 	}
 }

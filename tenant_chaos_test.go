@@ -106,7 +106,7 @@ func TestHostileTenantSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 	cliB, err := kv.NewShardedClient(cliBNode.LibOS, vicB.Sharded.Size(), func(i int) (QD, error) {
-		return c.DialToShard(cliBNode, vicB.Sharded, port, i, uint16(3000*i+7))
+		return c.Router().DialShard(cliBNode, vicB.Sharded, port, i, uint16(3000*i+7))
 	})
 	if err != nil {
 		t.Fatal(err)
